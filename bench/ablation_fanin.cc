@@ -1,0 +1,68 @@
+// Ablation of the merge fan-in for two-pass sorts: a wide tournament
+// merges every spilled run in one pass; a narrow fan-in cascades through
+// intermediate levels, re-reading and re-writing the data once per level
+// (§6's bandwidth arithmetic — each extra level costs a full extra copy
+// of the file through the scratch disks). Compares per record grow with
+// log2(total fan-in) either way; the cascade's cost is pure IO.
+
+#include <cstdio>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== Ablation: merge fan-in / cascade depth (two-pass) ===\n");
+  const uint64_t records = 200000;  // 20 MB in ~40 spill runs
+  printf("(%llu records, memory budget forcing ~350 spill runs, MemEnv)\n\n",
+         static_cast<unsigned long long>(records));
+
+  TextTable table({"max fan-in", "spill runs", "scratch MB written",
+                   "merge cmp/rec", "spill (s)", "merge (s)", "total (s)"});
+  for (size_t fanin : {64, 16, 8, 4, 2}) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.memory_budget = 128 * 1024;  // ~512-record chunks
+    opts.run_size_records = 256;
+    opts.max_merge_fanin = fanin;
+    opts.scratch_path = "fanin_scratch";
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    Status v =
+        ValidateSortedFile(env.get(), "in.dat", "out.dat", opts.format);
+    if (!v.ok()) {
+      fprintf(stderr, "validation: %s\n", v.ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {StrFormat("%zu", fanin),
+         StrFormat("%llu", static_cast<unsigned long long>(m.num_runs)),
+         StrFormat("%.1f", m.scratch_bytes_written / 1e6),
+         StrFormat("%.2f",
+                   static_cast<double>(m.merge_stats.compares) / records),
+         StrFormat("%.3f", m.read_phase_s),
+         StrFormat("%.3f", m.merge_phase_s),
+         StrFormat("%.3f", m.total_s)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: narrowing the fan-in multiplies the scratch traffic\n"
+      "(each cascade level re-writes the whole file) while the total\n"
+      "compares stay ~log2(runs) per record — the reason one-pass merges\n"
+      "with a wide, cache-resident tournament are AlphaSort's choice and\n"
+      "cascades are reserved for inputs whose run count exceeds any\n"
+      "reasonable tournament ('ten to one hundred runs' in practice).\n");
+  return 0;
+}

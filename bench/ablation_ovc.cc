@@ -1,0 +1,127 @@
+// Ablation of offset-value coding (§4 footnote 1): "for binary data, like
+// the keys of the Datamation benchmark, offset value coding will not beat
+// AlphaSort's simpler key-prefix sort." Compares an OVC tournament merge
+// against the plain key-prefix tournament merge on random keys (the
+// benchmark's regime) and on shared-prefix keys (where coding relative to
+// predecessors pays off).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/table.h"
+#include "record/generator.h"
+#include "sort/merger.h"
+#include "sort/ovc.h"
+#include "sort/quicksort.h"
+
+using namespace alphasort;
+
+namespace {
+
+constexpr size_t kRecords = 200000;
+constexpr size_t kRuns = 16;
+
+double TimedSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct MergeResult {
+  double seconds;
+  uint64_t key_compares;  // compares that touched record keys
+  uint64_t total_compares;
+};
+
+void RunOnce(KeyDistribution dist, TextTable* table, const char* label) {
+  RecordGenerator gen(kDatamationFormat, 5);
+  const auto block = gen.Generate(dist, kRecords);
+
+  // Build the same k sorted runs for both mergers.
+  std::vector<std::vector<const char*>> ptr_runs(kRuns);
+  for (size_t i = 0; i < kRecords; ++i) {
+    ptr_runs[i % kRuns].push_back(block.data() + i * 100);
+  }
+  for (auto& run : ptr_runs) {
+    std::sort(run.begin(), run.end(), [](const char* a, const char* b) {
+      return kDatamationFormat.CompareKeys(a, b) < 0;
+    });
+  }
+
+  // Key-prefix merge.
+  std::vector<PrefixEntry> entries(kRecords);
+  std::vector<EntryRun> entry_runs;
+  {
+    size_t pos = 0;
+    for (const auto& run : ptr_runs) {
+      const size_t start = pos;
+      for (const char* rec : run) {
+        entries[pos++] = MakePrefixEntry(kDatamationFormat, rec);
+      }
+      entry_runs.push_back(
+          EntryRun{entries.data() + start, entries.data() + pos});
+    }
+  }
+  SortStats prefix_stats;
+  uint64_t prefix_emitted = 0;
+  const double prefix_s = TimedSeconds([&] {
+    RunMerger<> merger(kDatamationFormat, entry_runs, TreeLayout::kFlat,
+                       nullptr, &prefix_stats);
+    while (!merger.Done()) {
+      merger.Next();
+      ++prefix_emitted;
+    }
+  });
+
+  // OVC merge.
+  OvcMerger::Stats ovc_stats;
+  uint64_t ovc_emitted = 0;
+  const double ovc_s = TimedSeconds([&] {
+    OvcMerger merger(kDatamationFormat, ptr_runs);
+    while (!merger.Done()) {
+      merger.Next();
+      ++ovc_emitted;
+    }
+    ovc_stats = merger.stats();
+  });
+
+  table->AddRow({label, "key-prefix", StrFormat("%.1f", prefix_s * 1e3),
+                 StrFormat("%.3f",
+                           double(prefix_stats.tie_breaks) / prefix_emitted),
+                 StrFormat("%.2f",
+                           double(prefix_stats.compares) / prefix_emitted)});
+  table->AddRow({"", "OVC", StrFormat("%.1f", ovc_s * 1e3),
+                 StrFormat("%.3f",
+                           double(ovc_stats.full_compares) / ovc_emitted),
+                 StrFormat("%.2f", double(ovc_stats.code_compares +
+                                          ovc_stats.full_compares) /
+                                       ovc_emitted)});
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Ablation: offset-value coding vs key-prefix merge ===\n");
+  printf("(%zu records, %zu-way merge)\n\n", kRecords, kRuns);
+
+  TextTable table({"keys", "merger", "time (ms)", "key-compares/rec",
+                   "compares/rec"});
+  RunOnce(KeyDistribution::kUniform, &table, "random (Datamation)");
+  RunOnce(KeyDistribution::kSharedPrefix, &table, "8-byte shared prefix");
+  table.Print();
+
+  printf(
+      "\nShape check (footnote 1): on random binary keys both schemes\n"
+      "resolve essentially every compare without touching the records, so\n"
+      "OVC's extra coding work buys nothing — it 'will not beat\n"
+      "AlphaSort's simpler key-prefix sort'. On keys that defeat the\n"
+      "8-byte prefix, the prefix merger goes to the records on every\n"
+      "compare while OVC codes discriminate after one full compare per\n"
+      "key pair — the regime OVC was invented for.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation of the distributive partition sort (§4 footnote 1): "a
+// distributive sort that partitions the key-pairs into 256 buckets based
+// on the first byte of the key would eliminate 8 of the 20 compares needed
+// for a 100 MB sort. Such a partition sort might beat AlphaSort's simple
+// QuickSort."
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/table.h"
+#include "record/generator.h"
+#include "sort/partition_sort.h"
+#include "sort/quicksort.h"
+
+using namespace alphasort;
+
+namespace {
+
+double TimedSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Ablation: 256-bucket partition sort vs plain QuickSort ===\n\n");
+
+  TextTable table({"n", "quicksort (ms)", "cmp/rec", "partition (ms)",
+                   "cmp/rec", "cmp saved/rec", "speedup"});
+  for (size_t n : {20000, 100000, 500000, 1000000}) {
+    RecordGenerator gen(kDatamationFormat, 22);
+    const auto block = gen.Generate(KeyDistribution::kUniform, n);
+    std::vector<PrefixEntry> a(n), b(n);
+    BuildPrefixEntryArray(kDatamationFormat, block.data(), n, a.data());
+    b = a;
+
+    SortStats qs, ps;
+    const double t_qs = TimedSeconds(
+        [&] { SortPrefixEntryArray(kDatamationFormat, a.data(), n, &qs); });
+    const double t_ps = TimedSeconds([&] {
+      PartitionSortPrefixEntries(kDatamationFormat, b.data(), n, &ps);
+    });
+
+    table.AddRow({StrFormat("%zu", n), StrFormat("%.1f", t_qs * 1e3),
+                  StrFormat("%.1f", double(qs.compares) / n),
+                  StrFormat("%.1f", t_ps * 1e3),
+                  StrFormat("%.1f", double(ps.compares) / n),
+                  StrFormat("%.1f",
+                            double(qs.compares - ps.compares) / n),
+                  StrFormat("%.2fx", t_qs / t_ps)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: bucketing by the first key byte removes ~log2(256)\n"
+      "= 8 compares per record, as the footnote predicts (the paper's\n"
+      "'eliminate 8 of the 20 compares'). Whether that wins wall-clock\n"
+      "time depends on the cost of the extra distribution pass — the\n"
+      "footnote's 'might beat' hedge.\n");
+  return 0;
+}

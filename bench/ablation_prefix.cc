@@ -1,0 +1,87 @@
+// Ablation of the key-prefix idea (§4): "the risk of using the key-prefix
+// is that it may not be a good discriminator of the key — in that case the
+// comparison must go to the records and key-prefix-sort degenerates to
+// pointer sort."
+//
+// Sweep: keys share their first S bytes (S = 0 means fully random); as S
+// passes the 8-byte prefix, every prefix compare ties, tie-breaks go to
+// 100%, and CPU time converges on pointer sort's.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "record/generator.h"
+#include "sort/quicksort.h"
+
+using namespace alphasort;
+
+namespace {
+
+constexpr size_t kRecords = 100000;
+
+std::vector<char> BlockWithSharedPrefix(size_t shared_bytes) {
+  RecordGenerator gen(kDatamationFormat, 9 + shared_bytes);
+  auto block = gen.Generate(KeyDistribution::kUniform, kRecords);
+  for (size_t i = 0; i < kRecords; ++i) {
+    char* key = block.data() + i * 100;
+    for (size_t b = 0; b < shared_bytes && b < 10; ++b) key[b] = 'z';
+  }
+  return block;
+}
+
+double TimedSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Ablation: key-prefix discrimination (§4 risk case) ===\n");
+  printf("(%zu Datamation records; keys share their first S bytes)\n\n",
+         kRecords);
+
+  TextTable table({"shared bytes S", "prefix sort (ms)", "tie-breaks/rec",
+                   "pointer sort (ms)", "prefix vs pointer"});
+  for (size_t shared : {0, 2, 4, 6, 8, 9, 10}) {
+    const auto block = BlockWithSharedPrefix(shared);
+
+    std::vector<PrefixEntry> entries(kRecords);
+    BuildPrefixEntryArray(kDatamationFormat, block.data(), kRecords,
+                          entries.data());
+    SortStats prefix_stats;
+    const double prefix_s = TimedSeconds([&] {
+      SortPrefixEntryArray(kDatamationFormat, entries.data(), kRecords,
+                           &prefix_stats);
+    });
+
+    std::vector<RecordPtr> ptrs(kRecords);
+    BuildPointerArray(kDatamationFormat, block.data(), kRecords,
+                      ptrs.data());
+    const double pointer_s = TimedSeconds([&] {
+      SortPointerArray(kDatamationFormat, ptrs.data(), kRecords);
+    });
+
+    table.AddRow(
+        {StrFormat("%zu", shared), StrFormat("%.1f", prefix_s * 1e3),
+         StrFormat("%.2f",
+                   static_cast<double>(prefix_stats.tie_breaks) / kRecords),
+         StrFormat("%.1f", pointer_s * 1e3),
+         StrFormat("%.2fx", pointer_s / prefix_s)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: with random keys (S=0) prefix sort wins by a wide\n"
+      "margin and never tie-breaks; once S >= 8 every compare goes to the\n"
+      "records and the advantage over pointer sort collapses toward 1x —\n"
+      "the degeneration the paper warns about.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation of the QuickSort run size (§4): "the optimal run size balances
+// the time lost waiting for the first run plus time lost QuickSorting the
+// last run, against the time to merge another run during the second
+// phase." Sweeps the run size on a real end-to-end sort and reports phase
+// times, run counts, and merge compares.
+
+#include <cstdio>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== Ablation: QuickSort run size (merge fan-in trade-off) ===\n");
+  const uint64_t records = 500000;  // 50 MB
+  printf("(%llu records, in-memory files, serial)\n\n",
+         static_cast<unsigned long long>(records));
+
+  TextTable table({"run size", "runs", "read+qs (s)", "last run (s)",
+                   "merge (s)", "total (s)", "merge cmp/rec"});
+  for (size_t run_size : {5000, 20000, 50000, 100000, 250000, 500000}) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.run_size_records = run_size;
+    opts.memory_budget = 4ull << 30;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {StrFormat("%zu", run_size),
+         StrFormat("%llu", static_cast<unsigned long long>(m.num_runs)),
+         StrFormat("%.3f", m.read_phase_s), StrFormat("%.3f", m.last_run_s),
+         StrFormat("%.3f", m.merge_phase_s), StrFormat("%.3f", m.total_s),
+         StrFormat("%.2f",
+                   static_cast<double>(m.merge_stats.compares) / records)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: tiny runs push work into the merge — compares per\n"
+      "record grow with log2(#runs), visible in the last column. On real\n"
+      "disks the other side of the trade-off appears too: one giant run\n"
+      "cannot overlap the read and pays a long 'last run' stall, which is\n"
+      "why the paper picks 'between ten and one hundred runs'. (In-memory\n"
+      "files make reads nearly free, so the stall side is muted here;\n"
+      "rerun against real files to see both sides.)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Robustness sweep: AlphaSort end-to-end across key distributions. The
+// Datamation benchmark fixes uniform random keys; this shows how the
+// design behaves when the key-prefix stops discriminating (shared
+// prefixes, heavy duplicates) or when the input is pre-ordered — the
+// regimes §4 discusses when weighing QuickSort vs replacement-selection
+// and prefix vs pointer sort.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+
+using namespace alphasort;
+
+namespace {
+
+struct NamedDist {
+  KeyDistribution dist;
+  const char* name;
+};
+
+constexpr NamedDist kDistributions[] = {
+    {KeyDistribution::kUniform, "uniform (Datamation)"},
+    {KeyDistribution::kSorted, "already sorted"},
+    {KeyDistribution::kReverse, "reverse sorted"},
+    {KeyDistribution::kConstant, "all keys equal"},
+    {KeyDistribution::kFewDistinct, "16 distinct keys"},
+    {KeyDistribution::kSharedPrefix, "8-byte shared prefix"},
+    {KeyDistribution::kAlmostSorted, "almost sorted"},
+};
+
+}  // namespace
+
+int main() {
+  const uint64_t records = 500000;
+  printf("=== AlphaSort across key distributions (%llu records) ===\n\n",
+         static_cast<unsigned long long>(records));
+
+  TextTable table({"distribution", "total (s)", "qs compares/rec",
+                   "qs tie-breaks/rec", "merge tie-breaks/rec"});
+  for (const NamedDist& nd : kDistributions) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    spec.distribution = nd.dist;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.memory_budget = 4ull << 30;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    Status v =
+        ValidateSortedFile(env.get(), "in.dat", "out.dat", opts.format);
+    if (!v.ok()) {
+      fprintf(stderr, "validation (%s): %s\n",
+              nd.name, v.ToString().c_str());
+      return 1;
+    }
+    const double n = static_cast<double>(records);
+    table.AddRow({nd.name,
+                  StrFormat("%.3f", m.total_s),
+                  StrFormat("%.1f", m.quicksort_stats.compares / n),
+                  StrFormat("%.2f", m.quicksort_stats.tie_breaks / n),
+                  StrFormat("%.2f", m.merge_stats.tie_breaks / n)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: uniform keys essentially never tie-break — the\n"
+      "8-byte prefix discriminates (the ~0.1/rec residue is the Hoare\n"
+      "pivot comparing with its own copy); low-entropy keys tie-break on\n"
+      "every compare —\n"
+      "the §4 degeneration — yet the sort stays correct and log-linear\n"
+      "(the introsort depth guard covers QuickSort's 'terrible' worst\n"
+      "case the paper accepts on faith).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Figure 4 and the §4 cache analysis: the replacement-selection
+// tournament thrashes the cache unless it fits, while QuickSort's runs are
+// cache resident. Every sort kernel runs under the cache simulator
+// (AXP-like geometry, scaled so the effect shows at bench-sized inputs)
+// and reports misses per record.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "record/generator.h"
+#include "sim/cache_sim.h"
+#include "sort/quicksort.h"
+#include "sort/replacement_selection.h"
+
+using namespace alphasort;
+
+namespace {
+
+struct Row {
+  std::string name;
+  CacheSim::Stats stats;
+  uint64_t records;
+};
+
+Row RunReplacementSelection(const std::vector<char>& block, size_t n,
+                            size_t capacity, TreeLayout layout,
+                            const CacheConfig& d, const CacheConfig& b,
+                            const std::string& name) {
+  CacheSim sim(d, b);
+  ReplacementSelection<CacheSim> rs(
+      kDatamationFormat, capacity, [](size_t, const char*) {}, layout, &sim);
+  for (size_t i = 0; i < n; ++i) rs.Add(block.data() + i * 100);
+  rs.Finish();
+  return Row{name, sim.stats(), n};
+}
+
+Row RunQuickSortRuns(const std::vector<char>& block, size_t n,
+                     size_t run_size, const CacheConfig& d,
+                     const CacheConfig& b, const std::string& name) {
+  CacheSim sim(d, b);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  for (size_t start = 0; start < n; start += run_size) {
+    const size_t len = std::min(run_size, n - start);
+    QuickSortPrefixEntries(kDatamationFormat, entries.data() + start, len,
+                           &stats, &sim);
+  }
+  return Row{name, sim.stats(), n};
+}
+
+}  // namespace
+
+int main() {
+  // Scaled AXP-like hierarchy: 8 KB D-cache and 256 KB B-cache (a 4 MB
+  // B-cache would need a multi-hundred-MB workload to thrash; the ratio of
+  // tournament size to cache size is what matters).
+  const CacheConfig dcache{8 * 1024, 32, 1};
+  const CacheConfig bcache{256 * 1024, 32, 1};
+  const size_t n = 200000;
+
+  RecordGenerator gen(kDatamationFormat, 1994);
+  const auto block = gen.Generate(KeyDistribution::kUniform, n);
+
+  std::vector<Row> rows;
+  // Tournament sized in cache (fits in B-cache: 4k items * 32 B = 128 KB)
+  // and out of cache (64k items * 32 B = 2 MB >> 256 KB).
+  rows.push_back(RunReplacementSelection(
+      block, n, 4096, TreeLayout::kFlat, dcache, bcache,
+      "replacement-selection, tournament fits B-cache (4k)"));
+  rows.push_back(RunReplacementSelection(
+      block, n, 65536, TreeLayout::kFlat, dcache, bcache,
+      "replacement-selection, tournament 8x B-cache (64k, flat)"));
+  rows.push_back(RunReplacementSelection(
+      block, n, 65536, TreeLayout::kClustered, dcache, bcache,
+      "replacement-selection, 64k clustered nodes"));
+  rows.push_back(RunQuickSortRuns(
+      block, n, 4096, dcache, bcache,
+      "QuickSort key-prefix runs of 4k entries (64 KB each)"));
+  rows.push_back(RunQuickSortRuns(
+      block, n, 16384, dcache, bcache,
+      "QuickSort key-prefix runs of 16k entries (256 KB each)"));
+
+  printf("=== Figure 4: cache behaviour of tournament vs QuickSort ===\n");
+  printf("(D-cache 8 KB, B-cache 256 KB, 32 B lines, %zu records)\n\n", n);
+
+  TextTable table({"Kernel", "accesses/rec", "D-miss/rec", "mem-ref/rec",
+                   "D-miss rate", "TLB miss", "stall cyc/rec"});
+  for (const auto& row : rows) {
+    const auto& s = row.stats;
+    const double per = 1.0 / row.records;
+    table.AddRow(
+        {row.name, StrFormat("%.1f", s.accesses * per),
+         StrFormat("%.2f", (s.accesses - s.dcache_hits) * per),
+         StrFormat("%.3f", s.memory_accesses * per),
+         StrFormat("%.1f%%", 100 * s.DcacheMissRate()),
+         StrFormat("%.1f%%", 100 * s.TlbMissRate()),
+         StrFormat("%.1f", s.StallCycles() * per)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check (paper §4): the out-of-cache tournament pays far more\n"
+      "memory references per record than cache-resident QuickSort runs;\n"
+      "clustering tournament nodes into cache lines recovers a 2-3x factor\n"
+      "but still loses to QuickSort.\n");
+  return 0;
+}

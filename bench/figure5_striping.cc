@@ -1,0 +1,81 @@
+// Reproduces Figure 5 / §6: striping bandwidth scales near-linearly with
+// the number of disks until a controller saturates; more controllers
+// resume the scaling. Uses the calibrated disk-array simulator (RZ26-class
+// drives) and prints the 100 MB read/write times at each width.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/disk_sim.h"
+#include "sim/event_sim.h"
+#include "sim/hardware_configs.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== Figure 5 / §6: striping bandwidth vs number of disks ===\n");
+  printf("(RZ26-class disks, 4 per SCSI controller, as in the paper's\n"
+         " many-slow array; controller saturates at 8 MB/s)\n\n");
+
+  const DiskModel disk = hw::Rz26();
+  const ControllerModel ctlr = hw::ScsiKzmsa();
+
+  TextTable table({"disks", "controllers", "read MB/s", "write MB/s",
+                   "100MB read (s)", "100MB write (s)"});
+  for (int disks = 1; disks <= 36; ++disks) {
+    const int controllers = (disks + 3) / 4;  // 4 disks per controller
+    DiskArray array =
+        DiskArray::Uniform("sweep", disk, ctlr, disks, controllers);
+    table.AddRow({StrFormat("%d", disks), StrFormat("%d", controllers),
+                  StrFormat("%.1f", array.ReadMbps()),
+                  StrFormat("%.1f", array.WriteMbps()),
+                  StrFormat("%.2f", array.ReadSeconds(100e6)),
+                  StrFormat("%.2f", array.WriteSeconds(100e6))});
+  }
+  table.Print();
+
+  printf("\n--- event-driven cross-check (per-request simulation) ---\n");
+  printf("(100 MB striped read, 64 KB strides, round-robin issue;\n"
+         " queue depth 1 = synchronous, 3 = the paper's triple buffering)\n\n");
+  TextTable events({"disks", "analytic MB/s", "event-sim MB/s (depth 3)",
+                    "event-sim MB/s (depth 1, 5 ms seeks)"});
+  for (int disks : {1, 4, 8, 16, 24, 36}) {
+    const int controllers = (disks + 3) / 4;
+    DiskArray array =
+        DiskArray::Uniform("sweep", disk, ctlr, disks, controllers);
+    sim::EventDiskSim pipelined(array);
+    const double t3 = pipelined.StreamStriped(100e6, 64 * 1024, 3, true);
+    sim::EventDiskSim synchronous(array, /*seek_ms=*/5.0);
+    const double t1 = synchronous.StreamStriped(100e6, 64 * 1024, 1, true);
+    events.AddRow({StrFormat("%d", disks),
+                   StrFormat("%.1f", array.ReadMbps()),
+                   StrFormat("%.1f", 100.0 / t3),
+                   StrFormat("%.1f", 100.0 / t1)});
+  }
+  events.Print();
+  printf("\nWith request pipelining the per-request simulation lands on\n"
+         "the bandwidth arithmetic; without it (depth 1, realistic seek\n"
+         "time) each disk idles between requests — why §6 insists on\n"
+         "'triple buffering the reads and writes [to keep] the disks\n"
+         "transferring at their spiral rates'.\n");
+
+  printf("\n--- controller saturation: one controller, growing disks ---\n\n");
+  TextTable sat({"disks on 1 controller", "read MB/s", "note"});
+  for (int disks : {1, 2, 3, 4, 5, 6, 8}) {
+    DiskArray array = DiskArray::Uniform("sat", disk, ctlr, disks, 1);
+    sat.AddRow({StrFormat("%d", disks),
+                StrFormat("%.1f", array.ReadMbps()),
+                array.ReadMbps() >= ctlr.max_mbps - 0.01 ? "saturated"
+                                                         : ""});
+  }
+  sat.Print();
+
+  printf(
+      "\nShape check: bandwidth grows linearly with disks (no controller\n"
+      "ever saturates at 4 disks x 1.78 MB/s = 7.1 < 8 MB/s), reaching the\n"
+      "paper's 'later experiments extended this to 36-way striping and\n"
+      "64 MB/s'. The paper's 27 MB/s at 8-wide striping used faster\n"
+      "drives (~3.4 MB/s each); swap hw::Rz28()/hw::VelocitorIpi() into\n"
+      "the sweep to see that configuration.\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Reproduces Figure 7: "where the time goes". Two views:
+//   1. A real end-to-end AlphaSort run (in-memory Env, Datamation-sized
+//      input scaled by ALPHASORT_F7_RECORDS) with the measured wall-clock
+//      phase breakdown of §7.
+//   2. The cache simulator's account of the memory references behind the
+//      sort kernels, giving the D-hit / B-hit / memory split that explains
+//      the paper's "the processor spends most of its time waiting for
+//      memory" (29% issuing, 56% D-stream misses, 11% I-stream, 4% branch).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "sim/cache_sim.h"
+#include "sim/stall_model.h"
+#include "sort/merger.h"
+#include "sort/quicksort.h"
+
+using namespace alphasort;
+
+namespace {
+
+uint64_t RecordsFromEnv() {
+  const char* v = getenv("ALPHASORT_F7_RECORDS");
+  return v != nullptr ? strtoull(v, nullptr, 10) : 1000000;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t n = RecordsFromEnv();
+  printf("=== Figure 7: where the time goes (%llu records) ===\n\n",
+         static_cast<unsigned long long>(n));
+
+  // --- real run ---------------------------------------------------------
+  auto env = NewMemEnv();
+  InputSpec spec;
+  spec.path = "in.str";
+  spec.num_records = n;
+  spec.stripe_width = 8;
+  spec.stride_bytes = 64 * 1024;
+  if (Status s = CreateInputFile(env.get(), spec); !s.ok()) {
+    fprintf(stderr, "input: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  SortOptions opts;
+  opts.input_path = "in.str";
+  opts.output_path = "out.str";
+  opts.memory_budget = 4ull << 30;
+  if (Status s = CreateOutputDefinition(env.get(), "out.str", 8, 64 * 1024);
+      !s.ok()) {
+    fprintf(stderr, "outdef: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  SortMetrics m;
+  if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+    fprintf(stderr, "sort: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  printf("--- measured wall-clock phases (this host, in-memory files) ---\n\n");
+  TextTable phases({"Phase", "seconds", "share"});
+  auto add = [&](const char* name, double s) {
+    phases.AddRow({name, StrFormat("%.3f", s),
+                   StrFormat("%.0f%%", 100 * s / m.total_s)});
+  };
+  add("startup (opens, create)", m.startup_s);
+  add("read + QuickSort overlap", m.read_phase_s);
+  add("last run QuickSort", m.last_run_s);
+  add("merge + gather + write", m.merge_phase_s);
+  add("close", m.close_s);
+  phases.AddRow({"total", StrFormat("%.3f", m.total_s), "100%"});
+  phases.Print();
+
+  // --- simulated memory-reference account --------------------------------
+  const uint64_t sim_n = std::min<uint64_t>(n, 200000);
+  RecordGenerator gen(kDatamationFormat, 7);
+  auto block = gen.Generate(KeyDistribution::kUniform, sim_n);
+
+  CacheSim qs_sim;  // AXP geometry: 8 KB D, 4 MB B
+  std::vector<PrefixEntry> entries(sim_n);
+  BuildPrefixEntryArray(kDatamationFormat, block.data(), sim_n,
+                        entries.data());
+  SortStats qstats;
+  const size_t run = 100000 < sim_n ? 100000 : sim_n;
+  for (size_t start = 0; start < sim_n; start += run) {
+    QuickSortPrefixEntries(kDatamationFormat, entries.data() + start,
+                           std::min<size_t>(run, sim_n - start), &qstats,
+                           &qs_sim);
+  }
+
+  CacheSim mg_sim;
+  SortStats mstats;
+  {
+    std::vector<EntryRun> runs;
+    for (size_t start = 0; start < sim_n; start += run) {
+      const size_t len = std::min<size_t>(run, sim_n - start);
+      runs.push_back(
+          EntryRun{entries.data() + start, entries.data() + start + len});
+    }
+    RunMerger<CacheSim> merger(kDatamationFormat, runs, TreeLayout::kFlat,
+                               &mg_sim, &mstats);
+    std::vector<char> out(sim_n * 100);
+    std::vector<const char*> ptrs(sim_n);
+    size_t got = merger.NextBatch(ptrs.data(), sim_n);
+    GatherRecords(kDatamationFormat, ptrs.data(), got, out.data(), &mg_sim);
+    // The gather's record copies, for the instruction estimate.
+    mstats.bytes_moved += got * 100;
+  }
+
+  printf("\n--- simulated memory references (AXP: 8 KB D, 4 MB B) ---\n\n");
+  TextTable refs({"Kernel", "refs/rec", "D-hit", "B-hit", "memory",
+                  "TLB miss", "stall cyc/rec"});
+  auto add_sim = [&](const char* name, const CacheSim::Stats& s) {
+    refs.AddRow({name, StrFormat("%.1f", double(s.accesses) / sim_n),
+                 StrFormat("%.0f%%", 100.0 * s.dcache_hits / s.accesses),
+                 StrFormat("%.0f%%", 100.0 * s.bcache_hits / s.accesses),
+                 StrFormat("%.1f%%", 100.0 * s.memory_accesses / s.accesses),
+                 StrFormat("%.1f%%", 100.0 * s.TlbMissRate()),
+                 StrFormat("%.1f", double(s.StallCycles()) / sim_n)});
+  };
+  add_sim("QuickSort (key-prefix runs)", qs_sim.stats());
+  add_sim("merge + gather", mg_sim.stats());
+  refs.Print();
+
+  // Clock-cycle pie in the paper's terms (instruction estimate + cache
+  // stalls + the Alpha's measured branch/I-stream overheads).
+  printf("\n--- estimated clock breakdown (Figure 7 pie) ---\n\n");
+  const auto qs_pie = sim::EstimateStalls(qstats, qs_sim.stats());
+  const auto mg_pie = sim::EstimateStalls(mstats, mg_sim.stats());
+  printf("QuickSort phase : %s\n", qs_pie.ToString().c_str());
+  printf("merge + gather  : %s\n", mg_pie.ToString().c_str());
+  {
+    // Whole sort: both phases combined.
+    sim::StallBreakdown whole;
+    whole.issue_cycles = qs_pie.issue_cycles + mg_pie.issue_cycles;
+    whole.branch_stall_cycles =
+        qs_pie.branch_stall_cycles + mg_pie.branch_stall_cycles;
+    whole.istream_stall_cycles =
+        qs_pie.istream_stall_cycles + mg_pie.istream_stall_cycles;
+    whole.dstream_b_cycles = qs_pie.dstream_b_cycles + mg_pie.dstream_b_cycles;
+    whole.dstream_mem_cycles =
+        qs_pie.dstream_mem_cycles + mg_pie.dstream_mem_cycles;
+    printf("whole sort      : %s\n", whole.ToString().c_str());
+    printf("paper (Fig. 7)  : issue 29%% | branch 4%% | I-stream 11%% | "
+           "D-to-B 12%% | B-to-memory 44%%\n");
+  }
+
+  printf(
+      "\nPaper's Figure 7 pie for the 9-second DEC 10000 run: 29%% of\n"
+      "clocks issue instructions, 4%% branch mispredicts, 11%% I-stream\n"
+      "misses, 56%% D-stream misses (12%% D-to-B + 44%% B-to-main).\n"
+      "Shape check: the merge+gather kernel pays most of the memory\n"
+      "stalls ('more time is spent gathering the records than is consumed\n"
+      "in creating, sorting and merging the key-prefix/pointer pairs'),\n"
+      "and even the tuned QuickSort is dominated by memory waits —\n"
+      "exactly the paper's point.\n");
+  return 0;
+}

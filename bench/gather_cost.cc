@@ -1,0 +1,89 @@
+// Reproduces the §4 claim that the gather dominates the memory-to-memory
+// work: "More time is spent gathering the records than is consumed in
+// creating, sorting and merging the key-prefix/pointer pairs." Measures
+// each stage of the in-memory sort separately on this host, at a working
+// set past the last-level cache (where the claim's mechanism lives).
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/table.h"
+#include "record/generator.h"
+#include "sort/merger.h"
+#include "sort/quicksort.h"
+
+using namespace alphasort;
+
+namespace {
+
+double TimedSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  printf("=== §4: the gather is the memory-intensive step ===\n\n");
+
+  TextTable table({"records", "build (s)", "quicksort (s)", "merge (s)",
+                   "gather (s)", "gather / (build+sort+merge)"});
+  for (size_t n : {200000, 1000000, 2000000}) {
+    RecordGenerator gen(kDatamationFormat, 1);
+    const auto block = gen.Generate(KeyDistribution::kUniform, n);
+    std::vector<PrefixEntry> entries(n);
+    const size_t run = 100000;
+
+    const double t_build = TimedSeconds([&] {
+      BuildPrefixEntryArray(kDatamationFormat, block.data(), n,
+                            entries.data());
+    });
+    const double t_sort = TimedSeconds([&] {
+      for (size_t start = 0; start < n; start += run) {
+        SortPrefixEntryArray(kDatamationFormat, entries.data() + start,
+                             std::min(run, n - start));
+      }
+    });
+    std::vector<const char*> ptrs(n);
+    double t_merge = 0;
+    {
+      std::vector<EntryRun> runs;
+      for (size_t start = 0; start < n; start += run) {
+        const size_t len = std::min(run, n - start);
+        runs.push_back(
+            EntryRun{entries.data() + start, entries.data() + start + len});
+      }
+      RunMerger<> merger(kDatamationFormat, runs);
+      t_merge = TimedSeconds(
+          [&] { merger.NextBatch(ptrs.data(), n); });
+    }
+    std::vector<char> out(n * 100);
+    const double t_gather = TimedSeconds([&] {
+      GatherRecords(kDatamationFormat, ptrs.data(), n, out.data());
+    });
+
+    table.AddRow({StrFormat("%zu", n), StrFormat("%.3f", t_build),
+                  StrFormat("%.3f", t_sort), StrFormat("%.3f", t_merge),
+                  StrFormat("%.3f", t_gather),
+                  StrFormat("%.2fx",
+                            t_gather / (t_build + t_sort + t_merge))});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: the gather costs a large, size-stable fraction of\n"
+      "the memory-to-memory work despite copying with zero compares. On\n"
+      "1993 hardware it was the LARGEST piece ('more time is spent\n"
+      "gathering the records than ... the key-prefix/pointer pairs');\n"
+      "modern prefetchers and 100 MB LLCs soften random 100-byte copies,\n"
+      "so on this host it lands below the sort. The 1993 behaviour is\n"
+      "reproduced exactly by the cache simulator: see\n"
+      "figure7_time_breakdown, where merge+gather resolves ~56%% of its\n"
+      "references in main memory vs ~1%% for the QuickSort.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Table 1's architectural contrast: the 32-node shared-nothing
+// Hypercube sort (58 s, the record AlphaSort beat 8:1) versus AlphaSort's
+// shared-memory design. Runs both algorithms on identical inputs, then
+// lets the cost model explain why the Hypercube lost despite its
+// parallelism.
+
+#include <cstdio>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "core/hypercube_sort.h"
+#include "sim/cost_model.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== Shared-nothing (Hypercube-style) vs AlphaSort ===\n\n");
+
+  const uint64_t records = 500000;  // 50 MB
+  printf("--- real runs (%llu records, in-memory files) ---\n\n",
+         static_cast<unsigned long long>(records));
+
+  TextTable table({"algorithm", "nodes/workers", "phases (s)", "total (s)",
+                   "max skew"});
+  for (int nodes : {1, 2, 4, 8}) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    HypercubeOptions hyper;
+    hyper.nodes = nodes;
+    HypercubeMetrics m;
+    if (Status s = HypercubeSort::Run(env.get(), opts, hyper, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    Status v =
+        ValidateSortedFile(env.get(), "in.dat", "out.dat", opts.format);
+    if (!v.ok()) {
+      fprintf(stderr, "validation: %s\n", v.ToString().c_str());
+      return 1;
+    }
+    table.AddRow({"hypercube", StrFormat("%d", nodes),
+                  StrFormat("sort %.2f + merge %.2f", m.local_sort_s,
+                            m.merge_write_s),
+                  StrFormat("%.3f", m.total_s),
+                  StrFormat("%.2fx", m.max_skew)});
+  }
+  {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.memory_budget = 4ull << 30;
+    opts.num_workers = 3;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    table.AddRow({"AlphaSort", "3 workers",
+                  StrFormat("read+qs %.2f + merge %.2f", m.read_phase_s,
+                            m.merge_phase_s),
+                  StrFormat("%.3f", m.total_s), "-"});
+  }
+  table.Print();
+
+  printf("\n--- the 1992/1993 economics (Table 1) ---\n\n");
+  TextTable econ({"system", "time", "cost", "$/sort"});
+  econ.AddRow({"Intel iPSC/2 Hypercube (32 cpu, 32 disk)", "58 s", "1.0 M$",
+               StrFormat("%.2f", cost::DatamationDollarsPerSort(1e6, 58))});
+  econ.AddRow({"DEC 7000 AXP AlphaSort (3 cpu, 28 disk)", "7 s", "0.31 M$",
+               StrFormat("%.3f",
+                         cost::DatamationDollarsPerSort(312000, 7))});
+  econ.Print();
+
+  printf(
+      "\nShape check: the shared-nothing structure parallelizes cleanly\n"
+      "(probabilistic splitting balances partitions on random keys), but\n"
+      "in 1992 it took 32 message-passing micros to reach 58 s, while one\n"
+      "1993 killer micro with striped commodity disks did it in 7-9 s at\n"
+      "a third of the price — Table 1's 8:1. The same partitioned\n"
+      "structure is what §9 says the terabyte sort will need.\n");
+  return 0;
+}

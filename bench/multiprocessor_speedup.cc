@@ -1,0 +1,79 @@
+// Reproduces the §5 shared-memory multiprocessor decomposition: the root
+// does all IO while workers QuickSort runs and gather records. Sweeps the
+// worker count on a real in-memory sort, and shows the model's account of
+// the paper's 3-cpu speedup (9.1 s -> 7.0 s).
+
+#include <cstdio>
+#include <thread>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "sim/pipeline_model.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== §5: root/worker multiprocessor decomposition ===\n\n");
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  printf("--- real runs (500k records, in-memory files; this host has %u "
+         "hardware thread%s) ---\n\n",
+         hw_threads, hw_threads == 1 ? "" : "s");
+
+  TextTable real({"workers", "read+qs (s)", "merge+gather (s)", "total (s)",
+                  "speedup"});
+  double base = 0;
+  for (int workers : {0, 1, 2, 3}) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = 500000;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.num_workers = workers;
+    opts.use_affinity = workers > 0;
+    opts.memory_budget = 4ull << 30;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (workers == 0) base = m.total_s;
+    real.AddRow({StrFormat("%d", workers),
+                 StrFormat("%.3f", m.read_phase_s),
+                 StrFormat("%.3f", m.merge_phase_s),
+                 StrFormat("%.3f", m.total_s),
+                 StrFormat("%.2fx", base / m.total_s)});
+  }
+  real.Print();
+  if (hw_threads <= 1) {
+    printf("\n(one hardware thread: worker threads add coordination but no\n"
+           "parallel speedup on this host — run on a multicore machine to\n"
+           "see the scaling; the decomposition itself is exercised either\n"
+           "way and validated by the test suite)\n");
+  }
+
+  printf("\n--- model: the paper's CPU scaling (Table 8 rows 1 vs 3) ---\n\n");
+  TextTable model({"cpus", "model (s)", "paper (s)", "limit"});
+  auto systems = hw::Table8Systems();
+  struct Row { size_t idx; };
+  for (size_t idx : {size_t{2}, size_t{0}}) {  // 1 cpu, then 3 cpus
+    const auto& s = systems[idx];
+    const auto p = sim::PredictOnePass(s, 100e6);
+    model.AddRow({StrFormat("%d", s.cpus), StrFormat("%.1f", p.total_s),
+                  StrFormat("%.1f", s.paper_seconds),
+                  std::string(p.read_io_limited ? "read:io" : "read:cpu") +
+                      " " + (p.write_io_limited ? "write:io" : "write:cpu")});
+  }
+  model.Print();
+
+  printf(
+      "\nShape check: with one cpu both phases are disk-bound; extra\n"
+      "processors shift the merge+gather from CPU-bound toward the disks\n"
+      "('the use of multi-processors speeds this merge step') — together\n"
+      "with more disks that is the paper's 9.1 s -> 7.0 s.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces the §6 one-pass vs two-pass analysis:
+//   1. The economics: memory for a one-pass sort vs dedicated scratch
+//      disks for a two-pass sort, swept over sort sizes (the paper's
+//      "100 MB should be one pass; multi-gigabyte sorts two passes").
+//   2. The elapsed-time cost of a second pass, both in the pipeline model
+//      and measured with the real implementation (force_passes).
+
+#include <cstdio>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "sim/cost_model.h"
+#include "sim/pipeline_model.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== §6: one-pass vs two-pass sorts ===\n\n");
+
+  printf("--- economics: memory price vs scratch-disk price ---\n");
+  printf("(24 MB/s sort bandwidth, 3 MB/s scratch disks, 100$/MB memory,\n"
+         " 2400$/disk+controller — the paper's 1993 prices)\n\n");
+  TextTable econ({"sort size", "one-pass memory $", "two-pass disks $",
+                  "cheaper"});
+  for (double mb : {10.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 4000.0}) {
+    const auto c = cost::OnePassVsTwoPass(mb * 1e6, 24.0, 3.0);
+    econ.AddRow({StrFormat("%.0f MB", mb),
+                 StrFormat("%.0f", c.one_pass_memory_dollars),
+                 StrFormat("%.0f", c.two_pass_disk_dollars),
+                 c.one_pass_cheaper ? "one-pass" : "two-pass"});
+  }
+  econ.Print();
+
+  printf("\n--- model: elapsed time with a forced second pass ---\n\n");
+  const auto system = hw::Table8Systems()[2];  // DEC 7000, 1 cpu
+  TextTable model({"size", "one-pass (s)", "two-pass (s)", "ratio"});
+  for (double mb : {50.0, 100.0, 200.0, 500.0}) {
+    const auto one = sim::PredictOnePass(system, mb * 1e6);
+    const auto two = sim::PredictTwoPass(system, mb * 1e6);
+    model.AddRow({StrFormat("%.0f MB", mb), StrFormat("%.1f", one.total_s),
+                  StrFormat("%.1f", two.total_s),
+                  StrFormat("%.2fx", two.total_s / one.total_s)});
+  }
+  model.Print();
+
+  printf("\n--- real implementation: forced pass counts (20 MB, MemEnv) ---\n\n");
+  TextTable real({"passes", "total (s)", "runs", "scratch MB"});
+  for (int passes : {1, 2}) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = 200000;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.force_passes = passes;
+    opts.memory_budget = 1ull << 30;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    real.AddRow({StrFormat("%d", passes), StrFormat("%.3f", m.total_s),
+                 StrFormat("%llu", static_cast<unsigned long long>(m.num_runs)),
+                 StrFormat("%.1f", m.scratch_bytes_written / 1e6)});
+  }
+  real.Print();
+
+  printf(
+      "\nShape check: at 100 MB one-pass memory (10 k$) beats 16 scratch\n"
+      "disks (~38 k$); by 1 GB the disks win — 'multi-gigabyte sorts\n"
+      "should be done as two-pass sorts, but for things much smaller than\n"
+      "that, one-pass sorts are more economical'. The forced second pass\n"
+      "costs roughly the extra data movement (it re-reads and re-writes\n"
+      "every byte).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces the §4 run-generation comparison:
+//   - QuickSort is ~2.5x faster per record than the best tournament sort
+//     (Knuth's 2:1, the paper's measured 2.5:1),
+//   - replacement-selection runs average twice the tournament size
+//     ("replacement-selection generates runs twice as large as memory")
+//     while QuickSort runs equal the chunk size,
+//   - node clustering narrows but does not close the gap.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "record/generator.h"
+#include "sort/quicksort.h"
+#include "sort/replacement_selection.h"
+
+namespace alphasort {
+namespace {
+
+constexpr size_t kRecords = 400000;
+constexpr size_t kCapacity = 10000;  // tournament size W (input = 40 W)
+
+const std::vector<char>& SharedBlock() {
+  static const std::vector<char>* block = [] {
+    RecordGenerator gen(kDatamationFormat, 77);
+    return new std::vector<char>(
+        gen.Generate(KeyDistribution::kUniform, kRecords));
+  }();
+  return *block;
+}
+
+void BM_QuickSortRunGeneration(benchmark::State& state) {
+  const auto& block = SharedBlock();
+  std::vector<PrefixEntry> entries(kRecords);
+  size_t runs = 0;
+  for (auto _ : state) {
+    BuildPrefixEntryArray(kDatamationFormat, block.data(), kRecords,
+                          entries.data());
+    runs = 0;
+    for (size_t start = 0; start < kRecords; start += kCapacity) {
+      SortPrefixEntryArray(kDatamationFormat, entries.data() + start,
+                           std::min(kCapacity, kRecords - start));
+      ++runs;
+    }
+    benchmark::DoNotOptimize(entries.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["avg_run_over_W"] =
+      static_cast<double>(kRecords) / runs / kCapacity;
+}
+BENCHMARK(BM_QuickSortRunGeneration)->Unit(benchmark::kMillisecond);
+
+void RunReplacementSelection(benchmark::State& state, TreeLayout layout) {
+  const auto& block = SharedBlock();
+  size_t runs = 0;
+  for (auto _ : state) {
+    ReplacementSelection<NullTracer> rs(
+        kDatamationFormat, kCapacity, [](size_t, const char*) {}, layout);
+    for (size_t i = 0; i < kRecords; ++i) rs.Add(block.data() + i * 100);
+    rs.Finish();
+    runs = rs.num_runs();
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["avg_run_over_W"] =
+      static_cast<double>(kRecords) / runs / kCapacity;
+}
+
+void BM_ReplacementSelectionFlat(benchmark::State& state) {
+  RunReplacementSelection(state, TreeLayout::kFlat);
+}
+BENCHMARK(BM_ReplacementSelectionFlat)->Unit(benchmark::kMillisecond);
+
+void BM_ReplacementSelectionClustered(benchmark::State& state) {
+  RunReplacementSelection(state, TreeLayout::kClustered);
+}
+BENCHMARK(BM_ReplacementSelectionClustered)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace alphasort
+
+BENCHMARK_MAIN();

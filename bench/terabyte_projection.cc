@@ -1,0 +1,67 @@
+// Reproduces the §9 projection: "At a gigabyte-per-minute, it takes more
+// than 16 hours to sort a terabyte... A terabyte-per-minute parallel sort
+// is our long-term goal. That will need hundreds of fast processors,
+// gigabytes of memory, thousands of disks, and a 20 GB/s interconnect."
+// Sweeps scaled-up configurations through the pipeline model.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/cost_model.h"
+#include "sim/pipeline_model.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== §9: the road to a terabyte sort ===\n\n");
+
+  // Baseline: the MinuteSort machine at 1 GB/min.
+  const auto base = hw::MinuteSortSystem();
+  const double tb = 1e12;
+  {
+    const auto p = sim::PredictTwoPass(base, tb);
+    printf("1993 MinuteSort machine (3 cpus, 36 disks): a 1 TB two-pass\n"
+           "sort takes %.1f hours — the paper's 'more than 16 hours'.\n\n",
+           p.total_s / 3600);
+  }
+
+  printf("--- scaling processors and disks (two-pass, 1 TB) ---\n\n");
+  TextTable table({"cpus", "disks", "read MB/s", "memory GB", "time",
+                   "aggregate disk+mem price"});
+  struct Config {
+    int cpus;
+    int disks;
+    int memory_gb;
+  };
+  for (const Config& c : {Config{3, 36, 1}, Config{12, 144, 4},
+                          Config{48, 576, 16}, Config{192, 2304, 64},
+                          Config{768, 9216, 256}}) {
+    hw::AxpSystem sys = base;
+    sys.cpus = c.cpus;
+    sys.memory_mb = c.memory_gb * 1024;
+    sys.array = DiskArray::Uniform("scaled", hw::Rz26(), hw::ScsiKzmsa(),
+                                   c.disks, (c.disks + 3) / 4);
+    const auto p = sim::PredictTwoPass(sys, tb);
+    const double price = sys.array.PriceDollars() +
+                         sys.memory_mb * cost::kMemoryDollarsPerMb;
+    const double hours = p.total_s / 3600;
+    table.AddRow({StrFormat("%d", c.cpus), StrFormat("%d", c.disks),
+                  StrFormat("%.0f", sys.array.ReadMbps()),
+                  StrFormat("%d", c.memory_gb),
+                  hours >= 1 ? StrFormat("%.1f hr", hours)
+                             : StrFormat("%.1f min", p.total_s / 60),
+                  StrFormat("%.1f M$", price / 1e6)});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: disk scaling helps until the SINGLE merge root\n"
+      "saturates (the curve flattens near 3 hours above ~50 cpus) — the\n"
+      "shared-memory AlphaSort design does not reach terabyte-per-minute\n"
+      "no matter how many disks are added. That is precisely why the\n"
+      "paper's §9 goal calls for 'hundreds of fast processors... and a\n"
+      "20 GB/s interconnect': a partitioned, shared-nothing merge.\n"
+      "(History: sortbenchmark.org's first TB sort fell in 1998, the\n"
+      "terabyte-minute in 2009 — the paper's 'five or ten years off'.)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The §6 striping experiment run with the REAL pipeline in real wall-clock
+// time: every stripe member is throttled to 1993 commodity-SCSI rates
+// (4.5 MB/s reads, 3.5 MB/s writes — the paper's measured single-disk
+// numbers), and the sort is timed at increasing stripe widths. One member
+// reproduces the one-disk barrier (scaled down: the input here is 8 MB,
+// not 100 MB, so the bench finishes in seconds); eight members show the
+// near-linear speedup that striping buys.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "io/throttled_env.h"
+
+using namespace alphasort;
+
+int main() {
+  const char* env_mb = getenv("ALPHASORT_THROTTLE_MB");
+  const uint64_t records =
+      (env_mb != nullptr ? strtoull(env_mb, nullptr, 10) : 8) * 10000;
+  const double read_mbps = 4.5;   // §6: "the disk reads at about 4.5 MB/s
+  const double write_mbps = 3.5;  //      and writes at about 3.5 MB/s"
+
+  printf("=== §6 on real hardware-in-miniature: throttled stripe members ===\n");
+  printf("(%.0f MB input; each member limited to %.1f/%.1f MB/s R/W — the\n"
+         " paper's single-SCSI rates; the pipeline, AIO and gather are the\n"
+         " real implementation running in real time)\n\n",
+         records * 100 / 1e6, read_mbps, write_mbps);
+
+  const double ideal_one_disk =
+      records * 100 / (read_mbps * 1e6) + records * 100 / (write_mbps * 1e6);
+
+  TextTable table({"stripe width", "elapsed (s)", "read phase (s)",
+                   "write phase (s)", "speedup", "ideal"});
+  double base = 0;
+  for (size_t width : {1, 2, 4, 8}) {
+    auto mem = NewMemEnv();
+    ThrottledEnv env(mem.get(), read_mbps, write_mbps);
+    InputSpec spec;
+    spec.path = "in.str";
+    spec.num_records = records;
+    spec.stripe_width = width;
+    spec.stride_bytes = 64 * 1024;
+    // Generation and validation go through the unthrottled base env —
+    // only the timed sort pays the 1993 rates.
+    if (Status s = CreateInputFile(mem.get(), spec); !s.ok()) {
+      fprintf(stderr, "input: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (Status s = CreateOutputDefinition(mem.get(), "out.str", width,
+                                          65536);
+        !s.ok()) {
+      fprintf(stderr, "outdef: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    SortOptions opts;
+    opts.input_path = "in.str";
+    opts.output_path = "out.str";
+    // One chunk per member per request: chunk == stride, enough threads
+    // and outstanding requests to keep every member streaming.
+    opts.io_chunk_bytes = 64 * 1024;
+    opts.io_depth = static_cast<int>(2 * width);
+    opts.io_threads = static_cast<int>(2 * width) + 1;
+    opts.write_buffers = static_cast<int>(2 * width);
+    opts.memory_budget = 2ull << 30;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(&env, opts, &m); !s.ok()) {
+      fprintf(stderr, "sort: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    Status v =
+        ValidateSortedFile(mem.get(), "in.str", "out.str", opts.format);
+    if (!v.ok()) {
+      fprintf(stderr, "validation: %s\n", v.ToString().c_str());
+      return 1;
+    }
+    if (width == 1) base = m.total_s;
+    table.AddRow({StrFormat("%zu", width), StrFormat("%.2f", m.total_s),
+                  StrFormat("%.2f", m.read_phase_s),
+                  StrFormat("%.2f", m.merge_phase_s),
+                  StrFormat("%.2fx", base / m.total_s),
+                  StrFormat("%.2fx", static_cast<double>(width))});
+  }
+  table.Print();
+
+  printf(
+      "\nShape check: the 1-wide run is pinned at the member's spiral\n"
+      "rates (the one-disk barrier: ideal %.1f s for this input); width N\n"
+      "divides both phases by ~N because the scheduler keeps one request\n"
+      "per member in flight — 'parallel disk reads and writes give the\n"
+      "sum of the individual disk bandwidths'.\n",
+      ideal_one_disk);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces the §4/§6 comparison between AlphaSort and the OpenVMS-style
+// pure replacement-selection sort:
+//   - "We measured both the OpenVMS Sort utility and AlphaSort to take a
+//     little under one minute when using one SCSI disk. Both sorts are
+//     disk-limited" — when IO dominates, the algorithms tie;
+//   - on the CPU side QuickSorted (key-prefix, pointer) runs beat the
+//     tournament by ~2.5x (§4), which is what decides the race once
+//     striping removes the IO bottleneck.
+
+#include <cstdio>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "core/vms_sort.h"
+#include "io/throttled_env.h"
+#include "sim/hardware_configs.h"
+#include "sim/pipeline_model.h"
+
+using namespace alphasort;
+
+int main() {
+  printf("=== AlphaSort vs OpenVMS-style replacement-selection sort ===\n\n");
+
+  // --- real runs: identical inputs through both sorters -----------------
+  const uint64_t records = 500000;  // 50 MB
+  printf("--- real runs (%llu records, in-memory files) ---\n\n",
+         static_cast<unsigned long long>(records));
+  TextTable real({"sorter", "passes", "runs", "run gen (s)", "merge (s)",
+                  "total (s)"});
+  for (int which = 0; which < 2; ++which) {
+    auto env = NewMemEnv();
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    if (!CreateInputFile(env.get(), spec).ok()) return 1;
+    SortOptions opts;
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.memory_budget = 8 << 20;  // 8 MB: both sorters must go external
+    SortMetrics m;
+    Status s = which == 0 ? AlphaSort::Run(env.get(), opts, &m)
+                          : VmsSort::Run(env.get(), opts, &m);
+    if (!s.ok()) {
+      fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    Status v =
+        ValidateSortedFile(env.get(), "in.dat", "out.dat", opts.format);
+    if (!v.ok()) {
+      fprintf(stderr, "validation: %s\n", v.ToString().c_str());
+      return 1;
+    }
+    real.AddRow({which == 0 ? "AlphaSort (QuickSort runs)"
+                            : "VMS-style (replacement-selection)",
+                 StrFormat("%d", m.passes),
+                 StrFormat("%llu", static_cast<unsigned long long>(m.num_runs)),
+                 StrFormat("%.3f", m.read_phase_s),
+                 StrFormat("%.3f", m.merge_phase_s),
+                 StrFormat("%.3f", m.total_s)});
+  }
+  real.Print();
+
+  // --- the single-disk tie, in real time ---------------------------------
+  printf("\n--- real time: one throttled disk (4 MB scaled input) ---\n\n");
+  {
+    TextTable tie({"sorter", "elapsed (s)", "ideal IO-bound (s)"});
+    const uint64_t n = 40000;  // 4 MB: ~2 s at the 1993 single-disk rates
+    const double ideal = n * 100 / 4.5e6 + n * 100 / 3.5e6;
+    for (int which = 0; which < 2; ++which) {
+      auto mem = NewMemEnv();
+      ThrottledEnv env(mem.get(), 4.5, 3.5);  // §6's single-SCSI rates
+      InputSpec spec;
+      spec.path = "in.dat";
+      spec.num_records = n;
+      if (!CreateInputFile(mem.get(), spec).ok()) return 1;
+      SortOptions opts;
+      opts.input_path = "in.dat";
+      opts.output_path = "out.dat";
+      opts.memory_budget = 1ull << 30;  // memory-rich: both do one pass
+      SortMetrics m;
+      Status s = which == 0 ? AlphaSort::Run(&env, opts, &m)
+                            : VmsSort::Run(&env, opts, &m);
+      if (!s.ok()) {
+        fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (!ValidateSortedFile(mem.get(), "in.dat", "out.dat", opts.format)
+               .ok()) {
+        fprintf(stderr, "validation failed\n");
+        return 1;
+      }
+      tie.AddRow({which == 0 ? "AlphaSort" : "VMS-style",
+                  StrFormat("%.2f", m.total_s), StrFormat("%.2f", ideal)});
+    }
+    tie.Print();
+    printf("\nBoth sit on the disk's read+write time — 'we measured both\n"
+           "the OpenVMS Sort utility and AlphaSort to take a little under\n"
+           "one minute when using one SCSI disk. Both sorts are\n"
+           "disk-limited.'\n");
+  }
+
+  printf("\n--- model: one commodity SCSI disk (the one-minute barrier) ---\n\n");
+  hw::AxpSystem one_disk = hw::Table8Systems()[2];  // DEC 7000, 1 cpu
+  one_disk.array = DiskArray::Uniform("1xRZ26-class", DiskModel{
+                                          "SCSI", 4.5, 3.5, 2000, 1.05},
+                                      hw::FastScsi(), 1, 1);
+  const auto p = sim::PredictOnePass(one_disk, 100e6);
+  printf("predicted elapsed on one disk (4.5 MB/s read, 3.5 MB/s write): "
+         "%.0f s\n", p.total_s);
+  printf("paper: 'a 100MB external sort using a single 1993-vintage SCSI\n"
+         "disk takes about one minute elapsed time... A faster processor\n"
+         "or faster algorithm would not sort much faster.'\n");
+
+  printf(
+      "\nShape check: AlphaSort's QuickSorted run generation beats the\n"
+      "tournament end-to-end even though both pay the same (memcpy) IO —\n"
+      "the pure-CPU gap is the paper's ~2-2.5x, measured in\n"
+      "quicksort_vs_replacement_bench; here IO shared by both dilutes it,\n"
+      "exactly as on the single 1993 disk where 'both sorts are\n"
+      "disk-limited' at the ~1 minute wall. Striping (§6) is what turns\n"
+      "the algorithmic advantage into elapsed-time advantage.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// asort: a command-line external sort built on the AlphaSort library —
+// the "street-legal" packaging of §8's Indy/Daytona distinction. Sorts a
+// file of fixed-width records by a byte key at a given offset.
+//
+//   ./asort --in INPUT [--in INPUT2 ...] --out OUTPUT
+//           [--record-size R] [--key-size K] [--key-offset OFF]
+//           [--workers N] [--memory-mb M]
+//           [--algorithm alphasort|vms] [--merge] [--verify] [--quiet]
+//
+// INPUT/OUTPUT may be plain files or .str stripe definitions (the output
+// definition is created automatically, mirroring the first input's width,
+// if it does not exist). With --merge, every INPUT must already be
+// sorted and the inputs are merged into OUTPUT (sort's classic -m mode).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <vector>
+
+#include "benchlib/datamation.h"
+#include "core/alphasort.h"
+#include "core/merge_files.h"
+#include "core/vms_sort.h"
+#include "io/stripe.h"
+
+using namespace alphasort;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> in;
+  std::string out;
+  size_t record_size = 100;
+  size_t key_size = 10;
+  size_t key_offset = 0;
+  int workers = 0;
+  uint64_t memory_mb = 256;
+  std::string algorithm = "alphasort";
+  bool merge = false;
+  bool verify = false;
+  bool quiet = false;
+};
+
+int Usage(const char* prog) {
+  fprintf(stderr,
+          "usage: %s --in INPUT [--in INPUT2 ...] --out OUTPUT "
+          "[--record-size R] [--key-size K] [--key-offset OFF] "
+          "[--workers N] [--memory-mb M] [--algorithm alphasort|vms] "
+          "[--merge] [--verify] [--quiet]\n",
+          prog);
+  return 2;
+}
+
+bool IsStripePath(const std::string& p) {
+  return p.size() >= 4 && p.compare(p.size() - 4, 4, ".str") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = need("--in")) args.in.push_back(v);
+    else if (const char* v = need("--out")) args.out = v;
+    else if (const char* v = need("--record-size")) args.record_size = strtoul(v, nullptr, 10);
+    else if (const char* v = need("--key-size")) args.key_size = strtoul(v, nullptr, 10);
+    else if (const char* v = need("--key-offset")) args.key_offset = strtoul(v, nullptr, 10);
+    else if (const char* v = need("--workers")) args.workers = atoi(v);
+    else if (const char* v = need("--memory-mb")) args.memory_mb = strtoull(v, nullptr, 10);
+    else if (const char* v = need("--algorithm")) args.algorithm = v;
+    else if (strcmp(argv[i], "--merge") == 0) args.merge = true;
+    else if (strcmp(argv[i], "--verify") == 0) args.verify = true;
+    else if (strcmp(argv[i], "--quiet") == 0) args.quiet = true;
+    else return Usage(argv[0]);
+  }
+  if (args.in.empty() || args.out.empty()) return Usage(argv[0]);
+  if (args.in.size() > 1 && !args.merge) {
+    fprintf(stderr, "multiple --in require --merge\n");
+    return 2;
+  }
+  if (args.algorithm != "alphasort" && args.algorithm != "vms") {
+    fprintf(stderr, "unknown algorithm '%s'\n", args.algorithm.c_str());
+    return 2;
+  }
+
+  Env* env = GetPosixEnv();
+  SortOptions opts;
+  opts.input_path = args.in[0];
+  opts.output_path = args.out;
+  opts.format = RecordFormat(args.record_size, args.key_size,
+                             args.key_offset);
+  opts.num_workers = args.workers;
+  opts.memory_budget = args.memory_mb << 20;
+  opts.scratch_path = args.out + ".scratch";
+  if (!opts.format.Valid()) {
+    fprintf(stderr, "invalid record layout (R=%zu K=%zu off=%zu)\n",
+            args.record_size, args.key_size, args.key_offset);
+    return 2;
+  }
+
+  // Mirror the input's stripe width onto a missing output definition.
+  if (IsStripePath(args.out) && !env->FileExists(args.out)) {
+    auto in_file = StripeFile::Open(env, args.in[0], OpenMode::kReadOnly);
+    if (!in_file.ok()) {
+      fprintf(stderr, "open input: %s\n",
+              in_file.status().ToString().c_str());
+      return 1;
+    }
+    const auto& def = in_file.value()->definition();
+    Status s = CreateOutputDefinition(
+        env, args.out, def.members.size(),
+        def.members.empty() ? 65536 : def.members[0].stride_bytes);
+    if (!s.ok()) {
+      fprintf(stderr, "create output definition: %s\n",
+              s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  SortMetrics metrics;
+  Status s;
+  if (args.merge) {
+    s = MergeSortedFiles(env, args.in, args.out, opts, &metrics);
+  } else if (args.algorithm == "vms") {
+    s = VmsSort::Run(env, opts, &metrics);
+  } else {
+    s = AlphaSort::Run(env, opts, &metrics);
+  }
+  if (!s.ok()) {
+    fprintf(stderr, "sort failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (!args.quiet) {
+    printf("%s", metrics.ToString().c_str());
+  }
+
+  if (args.verify && !args.merge) {
+    Status v = ValidateSortedFile(env, args.in[0], args.out, opts.format);
+    if (!v.ok()) {
+      fprintf(stderr, "verification FAILED: %s\n", v.ToString().c_str());
+      return 1;
+    }
+    if (!args.quiet) printf("verification: OK\n");
+  }
+  return 0;
+}

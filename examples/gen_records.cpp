@@ -1,0 +1,86 @@
+// gen_records: standalone input generator in the spirit of the sort
+// benchmark's gensort (the paper's §8 committee grew into
+// sortbenchmark.org, whose entries use exactly this kind of tool).
+// Writes fixed-width records with incompressible random keys.
+//
+//   ./gen_records --out PATH --records N [--record-size R] [--key-size K]
+//                 [--seed S] [--dist uniform|sorted|reverse|constant|
+//                             fewdistinct|sharedprefix|almostsorted]
+//                 [--width W] [--stride BYTES]
+//
+// A PATH ending in .str produces a striped input of W members.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchlib/datamation.h"
+
+using namespace alphasort;
+
+namespace {
+
+bool ParseDistribution(const std::string& name, KeyDistribution* out) {
+  if (name == "uniform") *out = KeyDistribution::kUniform;
+  else if (name == "sorted") *out = KeyDistribution::kSorted;
+  else if (name == "reverse") *out = KeyDistribution::kReverse;
+  else if (name == "constant") *out = KeyDistribution::kConstant;
+  else if (name == "fewdistinct") *out = KeyDistribution::kFewDistinct;
+  else if (name == "sharedprefix") *out = KeyDistribution::kSharedPrefix;
+  else if (name == "almostsorted") *out = KeyDistribution::kAlmostSorted;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InputSpec spec;
+  spec.num_records = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = need("--out")) spec.path = v;
+    else if (const char* v = need("--records")) spec.num_records = strtoull(v, nullptr, 10);
+    else if (const char* v = need("--record-size")) spec.format.record_size = strtoul(v, nullptr, 10);
+    else if (const char* v = need("--key-size")) spec.format.key_size = strtoul(v, nullptr, 10);
+    else if (const char* v = need("--seed")) spec.seed = strtoull(v, nullptr, 10);
+    else if (const char* v = need("--width")) spec.stripe_width = strtoul(v, nullptr, 10);
+    else if (const char* v = need("--stride")) spec.stride_bytes = strtoull(v, nullptr, 10);
+    else if (const char* v = need("--dist")) {
+      if (!ParseDistribution(v, &spec.distribution)) {
+        fprintf(stderr, "unknown distribution '%s'\n", v);
+        return 2;
+      }
+    } else {
+      fprintf(stderr,
+              "usage: %s --out PATH --records N [--record-size R] "
+              "[--key-size K] [--seed S] [--dist NAME] [--width W] "
+              "[--stride BYTES]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (spec.path.empty() || spec.num_records == 0) {
+    fprintf(stderr, "--out and --records are required\n");
+    return 2;
+  }
+  if (!spec.format.Valid()) {
+    fprintf(stderr, "invalid record layout\n");
+    return 2;
+  }
+
+  Status s = CreateInputFile(GetPosixEnv(), spec);
+  if (!s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("wrote %llu records (%.1f MB) to %s\n",
+         static_cast<unsigned long long>(spec.num_records),
+         spec.num_records * spec.format.record_size / 1e6,
+         spec.path.c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Typed-key sorting via key conditioning (paper §4): records carrying a
+// (double price DESC, int64 id ASC) composite key are conditioned into
+// memcmp-able byte keys, then sorted with the standard cache-conscious
+// kernels. Demonstrates the "key conditioning... floating point numbers,
+// signed integers" workflow the paper describes for industrial sorts.
+//
+//   ./typed_keys
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "record/key_conditioner.h"
+#include "sort/quicksort.h"
+
+using namespace alphasort;
+
+namespace {
+
+// A little "trade" record: double price, int64 trade id, 16-byte payload.
+constexpr size_t kRecordSize = 32;
+constexpr RecordFormat kTradeFormat(kRecordSize, 16, 0);
+
+void MakeTrade(double price, int64_t id, char* out) {
+  memcpy(out, &price, 8);
+  memcpy(out + 8, &id, 8);
+  snprintf(out + 16, 16, "trade-%lld", static_cast<long long>(id));
+}
+
+}  // namespace
+
+int main() {
+  // Generate trades with random prices (some negative: rebates).
+  const size_t n = 12;
+  Random rng(7);
+  std::vector<char> block(n * kRecordSize);
+  for (size_t i = 0; i < n; ++i) {
+    const double price = (rng.NextDouble() - 0.3) * 100.0;
+    MakeTrade(price, static_cast<int64_t>(i), block.data() + i * kRecordSize);
+  }
+
+  // Sort by price descending, then id ascending.
+  KeySchema schema({{KeyField::Type::kFloat64, 0, 8, /*descending=*/true,
+                     nullptr},
+                    {KeyField::Type::kInt64, 8, 8, false, nullptr}});
+  auto conditioned = ConditionRecords(schema, kTradeFormat, block.data(), n);
+  if (!conditioned.ok()) {
+    fprintf(stderr, "%s\n", conditioned.status().ToString().c_str());
+    return 1;
+  }
+  const RecordFormat& cfmt = conditioned.value().format;
+
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(cfmt, conditioned.value().data.data(), n,
+                        entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(cfmt, entries.data(), n, &stats);
+
+  printf("trades by (price DESC, id ASC):\n");
+  printf("%10s  %6s  %s\n", "price", "id", "payload");
+  for (size_t i = 0; i < n; ++i) {
+    // The original record sits after the conditioned key.
+    const char* original = entries[i].record + cfmt.key_size;
+    double price;
+    int64_t id;
+    memcpy(&price, original, 8);
+    memcpy(&id, original + 8, 8);
+    printf("%10.2f  %6" PRId64 "  %s\n", price, id, original + 16);
+  }
+  printf("\n(%llu compares; every one resolved on conditioned bytes —\n"
+         "no typed comparison logic in the sort hot path)\n",
+         static_cast<unsigned long long>(stats.compares));
+  return 0;
+}

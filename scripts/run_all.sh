@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== benches (every paper table and figure) ==="
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo
+    echo "##### $(basename "$b") #####"
+    "$b"
+  fi
+done
+
+echo
+echo "=== examples smoke ==="
+./build/examples/quickstart
+./build/examples/typed_keys

@@ -1,0 +1,104 @@
+#include "benchlib/datamation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "io/stripe.h"
+#include "record/validator.h"
+
+namespace alphasort {
+
+namespace {
+
+bool IsStripePath(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".str") == 0;
+}
+
+std::string StripeBase(const std::string& path) {
+  return path.substr(0, path.size() - 4);
+}
+
+}  // namespace
+
+Status CreateInputFile(Env* env, const InputSpec& spec) {
+  if (!spec.format.Valid()) {
+    return Status::InvalidArgument("invalid record format");
+  }
+  if (IsStripePath(spec.path)) {
+    ALPHASORT_RETURN_IF_ERROR(WriteStripeDefinition(
+        env, spec.path,
+        MakeUniformStripe(StripeBase(spec.path), spec.stripe_width,
+                          spec.stride_bytes)));
+  }
+  Result<std::unique_ptr<StripeFile>> file =
+      StripeFile::Open(env, spec.path, OpenMode::kCreateReadWrite);
+  ALPHASORT_RETURN_IF_ERROR(file.status());
+
+  RecordGenerator gen(spec.format, spec.seed);
+  const uint64_t chunk_records =
+      std::max<uint64_t>(1, (4 << 20) / spec.format.record_size);
+  std::vector<char> block(chunk_records * spec.format.record_size);
+  uint64_t written = 0;
+  while (written < spec.num_records) {
+    const uint64_t n =
+        std::min<uint64_t>(chunk_records, spec.num_records - written);
+    gen.Generate(spec.distribution, n, block.data());
+    ALPHASORT_RETURN_IF_ERROR(
+        file.value()->Write(written * spec.format.record_size, block.data(),
+                            n * spec.format.record_size));
+    written += n;
+  }
+  return file.value()->Close();
+}
+
+Status CreateOutputDefinition(Env* env, const std::string& path,
+                              size_t width, uint64_t stride_bytes) {
+  if (!IsStripePath(path)) {
+    return Status::InvalidArgument("output definition path must end in .str");
+  }
+  return WriteStripeDefinition(
+      env, path, MakeUniformStripe(StripeBase(path), width, stride_bytes));
+}
+
+Status ValidateSortedFile(Env* env, const std::string& input_path,
+                          const std::string& output_path,
+                          const RecordFormat& format) {
+  SortValidator validator(format);
+  const uint64_t chunk_records =
+      std::max<uint64_t>(1, (4 << 20) / format.record_size);
+  std::vector<char> block(chunk_records * format.record_size);
+
+  auto feed = [&](const std::string& path, bool is_input) -> Status {
+    Result<std::unique_ptr<StripeFile>> file =
+        StripeFile::Open(env, path, OpenMode::kReadOnly);
+    ALPHASORT_RETURN_IF_ERROR(file.status());
+    Result<uint64_t> size = file.value()->Size();
+    ALPHASORT_RETURN_IF_ERROR(size.status());
+    if (size.value() % format.record_size != 0) {
+      return Status::Corruption(path + ": size not a multiple of records");
+    }
+    uint64_t offset = 0;
+    while (offset < size.value()) {
+      const size_t len = static_cast<size_t>(std::min<uint64_t>(
+          block.size(), size.value() - offset));
+      size_t got = 0;
+      ALPHASORT_RETURN_IF_ERROR(
+          file.value()->Read(offset, len, block.data(), &got));
+      if (got != len) return Status::Corruption(path + ": short read");
+      const uint64_t n = len / format.record_size;
+      if (is_input) {
+        validator.AddInput(block.data(), n);
+      } else {
+        validator.AddOutput(block.data(), n);
+      }
+      offset += len;
+    }
+    return file.value()->Close();
+  };
+
+  ALPHASORT_RETURN_IF_ERROR(feed(input_path, /*is_input=*/true));
+  ALPHASORT_RETURN_IF_ERROR(feed(output_path, /*is_input=*/false));
+  return validator.Finish();
+}
+
+}  // namespace alphasort

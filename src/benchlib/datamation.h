@@ -1,0 +1,44 @@
+#ifndef ALPHASORT_BENCHLIB_DATAMATION_H_
+#define ALPHASORT_BENCHLIB_DATAMATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/env.h"
+#include "record/generator.h"
+#include "record/record.h"
+
+namespace alphasort {
+
+// Helpers for running the Datamation benchmark (paper §2) against an Env.
+
+struct InputSpec {
+  std::string path;  // ".str" suffix creates a striped input
+  RecordFormat format = kDatamationFormat;
+  uint64_t num_records = 0;
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  uint64_t seed = 1;
+  // Striped inputs only: member count and per-member stride.
+  size_t stripe_width = 8;
+  uint64_t stride_bytes = 64 * 1024;
+};
+
+// Creates the benchmark input file (plus a stripe definition when the
+// path ends in ".str"). Generation is streamed in chunks, so inputs larger
+// than memory are fine.
+Status CreateInputFile(Env* env, const InputSpec& spec);
+
+// Creates a stripe definition for an output file mirroring `width`
+// members, so AlphaSort can create the members on open.
+Status CreateOutputDefinition(Env* env, const std::string& path,
+                              size_t width, uint64_t stride_bytes);
+
+// Streaming check of the benchmark's output rule: `output` must be a
+// sorted permutation of `input` (both may be striped).
+Status ValidateSortedFile(Env* env, const std::string& input_path,
+                          const std::string& output_path,
+                          const RecordFormat& format);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_BENCHLIB_DATAMATION_H_

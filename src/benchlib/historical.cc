@@ -1,0 +1,34 @@
+#include "benchlib/historical.h"
+
+namespace alphasort {
+
+std::vector<HistoricalResult> Table1() {
+  // Columns: system, year, time(s), $/sort, cost (M$), cpus, disks, ref.
+  // Years follow the references: Tandem/Beck '85, Tsukerman '86,
+  // Weinberger (Cray) '86, Kitsuregawa '89, Baugsto '90, Graefe+Sequent
+  // '90, Baugsto 100-cpu '90, DeWitt Hypercube '92, AXP rows '93.
+  return {
+      {"Tandem (Datamation baseline)", 1985, 3600, 4.61, 0.2, 2, 2,
+       "[1,21]", false},
+      {"Beck (Sequoia)", 1985, 980, 1.92, 0.1, 4, 4, "[7]", false},
+      {"Tsukerman + Tandem FastSort", 1986, 320, 1.25, 0.2, 3, 6, "[20]",
+       false},
+      {"Weinberger + Cray Y-MP", 1986, 26, 1.25, 7.5, 1, 1, "[22]", false},
+      {"Kitsuregawa hardware sorter", 1989, 320, 0.41, 0.2, 1, 1, "[15]",
+       false},
+      {"Baugsto (16 cpu POMA)", 1990, 180, 0.23, 0.2, 16, 16, "[4]", false},
+      {"Graefe + Sequent", 1990, 83, 0.27, 0.5, 8, 4, "[11]", false},
+      {"Baugsto (100 cpu POMA)", 1990, 40, 0.26, 1.0, 100, 100, "[4]",
+       false},
+      {"DeWitt + Intel iPSC/2 Hypercube", 1992, 58, 0.37, 1.0, 32, 32,
+       "[9]", false},
+      {"DEC 7000 AXP (3 cpu, AlphaSort)", 1993, 7.0, 0.014, 0.312, 3, 28,
+       "this paper", true},
+      {"DEC 4000 AXP (2 cpu, AlphaSort)", 1993, 8.2, 0.016, 0.312, 2, 18,
+       "this paper", true},
+      {"DEC 7000 AXP (1 cpu, AlphaSort)", 1993, 9.1, 0.014, 0.247, 1, 16,
+       "this paper", true},
+  };
+}
+
+}  // namespace alphasort

@@ -1,0 +1,28 @@
+#ifndef ALPHASORT_BENCHLIB_HISTORICAL_H_
+#define ALPHASORT_BENCHLIB_HISTORICAL_H_
+
+#include <string>
+#include <vector>
+
+namespace alphasort {
+
+// Table 1 of the paper: published Datamation sort results, 1985-1993, in
+// chronological order (asterisked prices are the paper's estimates).
+struct HistoricalResult {
+  std::string system;
+  int year = 0;
+  double seconds = 0;
+  double dollars_per_sort = 0;
+  double cost_million_dollars = 0;
+  int cpus = 0;
+  int disks = 0;
+  std::string reference;
+  bool alphasort = false;  // one of this paper's three AXP rows
+};
+
+// The full table, chronological (the paper's ordering).
+std::vector<HistoricalResult> Table1();
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_BENCHLIB_HISTORICAL_H_

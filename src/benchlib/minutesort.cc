@@ -1,0 +1,28 @@
+#include "benchlib/minutesort.h"
+
+#include "sim/cost_model.h"
+
+namespace alphasort {
+
+MinuteSortResult ComputeMinuteSort(const hw::AxpSystem& system,
+                                   double seconds) {
+  MinuteSortResult out;
+  const double bytes = sim::MaxBytesInSeconds(system, seconds);
+  out.gb_sorted = bytes / 1e9;
+  out.minute_price_dollars =
+      cost::MinuteSortDollars(system.total_price_dollars);
+  out.dollars_per_gb = cost::MinuteSortDollarsPerGb(
+      system.total_price_dollars, out.gb_sorted);
+  out.two_pass = bytes * 1.2 > system.memory_mb * 1e6;
+  return out;
+}
+
+DollarSortResult ComputeDollarSort(const hw::AxpSystem& system) {
+  DollarSortResult out;
+  out.budget_seconds = cost::DollarSortSeconds(system.total_price_dollars);
+  out.gb_sorted =
+      sim::MaxBytesInSeconds(system, out.budget_seconds) / 1e9;
+  return out;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,33 @@
+#ifndef ALPHASORT_BENCHLIB_MINUTESORT_H_
+#define ALPHASORT_BENCHLIB_MINUTESORT_H_
+
+#include "sim/hardware_configs.h"
+#include "sim/pipeline_model.h"
+
+namespace alphasort {
+
+// The paper's proposed benchmarks (§8), evaluated with the calibrated
+// pipeline model.
+
+struct MinuteSortResult {
+  double gb_sorted = 0;            // Size metric
+  double dollars_per_gb = 0;       // price-performance metric
+  double minute_price_dollars = 0; // cost of the minute (price / 1e6)
+  bool two_pass = false;           // did the solver cross into two passes
+};
+
+// "Sort as much as you can in one minute."
+MinuteSortResult ComputeMinuteSort(const hw::AxpSystem& system,
+                                   double seconds = 60.0);
+
+struct DollarSortResult {
+  double budget_seconds = 0;  // computing time one dollar buys
+  double gb_sorted = 0;       // Size metric
+};
+
+// "Sort as much as you can for less than a dollar."
+DollarSortResult ComputeDollarSort(const hw::AxpSystem& system);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_BENCHLIB_MINUTESORT_H_

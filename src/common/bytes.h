@@ -1,0 +1,57 @@
+#ifndef ALPHASORT_COMMON_BYTES_H_
+#define ALPHASORT_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace alphasort {
+
+// Byte-order helpers for key-prefix normalization.
+//
+// AlphaSort's central trick is to sort (key-prefix, pointer) pairs where the
+// prefix is the first bytes of the key re-packed as a big-endian unsigned
+// integer, so that a single integer compare has the same outcome as a
+// lexicographic byte compare over those bytes (paper §4).
+
+// Packs up to 8 leading bytes of `key` into a uint64_t whose unsigned
+// integer order equals the lexicographic order of those bytes. Keys shorter
+// than 8 bytes are zero-padded on the right (low-order side), which sorts
+// them before any longer key sharing the same bytes — matching byte order.
+inline uint64_t LoadKeyPrefix(const void* key, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(key);
+  uint64_t v = 0;
+  const size_t n = len < 8 ? len : 8;
+  for (size_t i = 0; i < n; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (56 - 8 * i);
+  }
+  return v;
+}
+
+// Fast path for keys known to have >= 8 readable bytes.
+inline uint64_t LoadKeyPrefix8(const void* key) {
+  uint64_t v;
+  memcpy(&v, key, sizeof(v));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+// Fixed-width little-endian encode/decode used by on-disk metadata.
+inline void EncodeFixed32(char* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { memcpy(dst, &v, 8); }
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_BYTES_H_

@@ -1,0 +1,59 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace alphasort {
+
+namespace {
+
+constexpr uint32_t kCrc32cPoly = 0x82f63b78u;  // reflected Castagnoli
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kCrc32cPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = MakeTable();
+  return kTable;
+}
+
+// 64-bit mix (xxhash-style avalanche) for fingerprint hashing.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto& table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void MultisetFingerprint::Add(const void* data, size_t n) {
+  // Two independent byte hashes, combined commutatively across elements.
+  const uint32_t crc = Crc32c(data, n);
+  const uint64_t h = Mix64((static_cast<uint64_t>(crc) << 32) | n);
+  sum_ += h;
+  xor_ ^= Mix64(h + 0x9e3779b97f4a7c15ULL);
+  ++count_;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,43 @@
+#ifndef ALPHASORT_COMMON_CHECKSUM_H_
+#define ALPHASORT_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace alphasort {
+
+// CRC-32C (Castagnoli), software table implementation. Used by the
+// sorted-permutation validator and stripe metadata integrity checks.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+// Order-independent 64-bit fingerprint of a multiset of byte strings:
+// equal multisets of records produce equal fingerprints regardless of
+// order. Used to check that a sort output is a permutation of its input
+// without materializing either side.
+class MultisetFingerprint {
+ public:
+  void Add(const void* data, size_t n);
+
+  // Commutative combine of two partial fingerprints.
+  void Merge(const MultisetFingerprint& other) {
+    sum_ += other.sum_;
+    xor_ ^= other.xor_;
+    count_ += other.count_;
+  }
+
+  bool operator==(const MultisetFingerprint& other) const {
+    return sum_ == other.sum_ && xor_ == other.xor_ &&
+           count_ == other.count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t sum_ = 0;
+  uint64_t xor_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_CHECKSUM_H_

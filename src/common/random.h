@@ -1,0 +1,55 @@
+#ifndef ALPHASORT_COMMON_RANDOM_H_
+#define ALPHASORT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace alphasort {
+
+// Deterministic xorshift128+ generator. Used everywhere instead of
+// std::mt19937 so that record generation is fast (the Datamation input is
+// hundreds of megabytes of random keys) and reproducible across platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding to spread low-entropy seeds across both words.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if ((s0_ | s1_) == 0) s1_ = 1;  // xorshift must not start at all-zero
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  uint32_t Next32() { return static_cast<uint32_t>(Next64() >> 32); }
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  // True with probability 1/n. Requires n > 0.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  double NextDouble() {  // uniform in [0, 1)
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_RANDOM_H_

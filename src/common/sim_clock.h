@@ -1,0 +1,36 @@
+#ifndef ALPHASORT_COMMON_SIM_CLOCK_H_
+#define ALPHASORT_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace alphasort {
+
+// Virtual time base for the discrete-event simulators. One tick is a
+// nanosecond of simulated 1993 wall time; the simulators advance it
+// explicitly, so simulated elapsed times are deterministic and independent
+// of host speed.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  int64_t NowNanos() const { return now_ns_; }
+  double NowSeconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+  void AdvanceNanos(int64_t delta_ns) { now_ns_ += delta_ns; }
+  void AdvanceSeconds(double s) {
+    now_ns_ += static_cast<int64_t>(s * 1e9 + 0.5);
+  }
+
+  // Moves the clock forward to `t_ns` if it is in the future; a no-op
+  // otherwise (events that completed in the past do not move time back).
+  void AdvanceTo(int64_t t_ns) {
+    if (t_ns > now_ns_) now_ns_ = t_ns;
+  }
+
+ private:
+  int64_t now_ns_ = 0;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,110 @@
+#ifndef ALPHASORT_COMMON_STATUS_H_
+#define ALPHASORT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace alphasort {
+
+// Operation outcome carried up the call chain instead of exceptions
+// (the library is exception-free; all fallible public entry points
+// return a Status or a Result<T>).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIOError,
+    kNotSupported,
+    kResourceExhausted,
+    kAborted,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  const std::string& message() const { return msg_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define ALPHASORT_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::alphasort::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+// Value-or-Status return type for fallible producers.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;`
+  // both work at Result-returning call sites.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Requires ok().
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_STATUS_H_

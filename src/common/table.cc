@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <cstdarg>
+
+namespace alphasort {
+
+std::string TextTable::ToString() const {
+  // Column widths: max over header and all rows.
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit_row = [&widths](std::string* out,
+                            const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      out->append(cell);
+      out->append(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) out->append(" | ");
+    }
+    out->push_back('\n');
+  };
+
+  std::string out;
+  emit_row(&out, header_);
+  for (size_t i = 0; i < widths.size(); ++i) {
+    out.append(widths[i], '-');
+    if (i + 1 < widths.size()) out.append("-+-");
+  }
+  out.push_back('\n');
+  for (const auto& row : rows_) emit_row(&out, row);
+  return out;
+}
+
+void TextTable::Print(FILE* out) const {
+  const std::string s = ToString();
+  fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,39 @@
+#ifndef ALPHASORT_COMMON_TABLE_H_
+#define ALPHASORT_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace alphasort {
+
+// Minimal ASCII table formatter used by the benchmark harnesses to print
+// the paper's tables. Columns are sized to their widest cell; numeric
+// formatting is the caller's responsibility (pass preformatted strings).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders the table with a header rule, e.g.
+  //   System        | time(s) | $/sort
+  //   --------------+---------+-------
+  //   DEC 7000 AXP  |     7.0 | 0.014
+  std::string ToString() const;
+
+  void Print(FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style helper returning std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_TABLE_H_

@@ -1,0 +1,52 @@
+#ifndef ALPHASORT_COMMON_TRACER_H_
+#define ALPHASORT_COMMON_TRACER_H_
+
+#include <cstddef>
+
+namespace alphasort {
+
+// Memory-access tracing policy.
+//
+// The sort kernels are templated on a Tracer so the cache simulator
+// (src/sim/cache_sim.h) can observe the exact sequence of loads and stores
+// each algorithm performs — that is how the paper's Figure 4 (tournament
+// tree thrashes the cache, QuickSort stays resident) is reproduced. The
+// default NullTracer has empty inline methods, so production
+// instantiations compile to plain memory operations.
+struct NullTracer {
+  void Read(const void*, size_t) {}
+  void Write(const void*, size_t) {}
+};
+
+// Wraps a Tracer with typed load/store helpers used by the kernels.
+template <typename Tracer>
+class Mem {
+ public:
+  explicit Mem(Tracer* tracer) : tracer_(tracer) {}
+
+  template <typename T>
+  T Load(const T* p) {
+    tracer_->Read(p, sizeof(T));
+    return *p;
+  }
+
+  template <typename T>
+  void Store(T* p, const T& v) {
+    tracer_->Write(p, sizeof(T));
+    *p = v;
+  }
+
+  // Annotates a raw byte-range access (e.g. a key compare through a
+  // record pointer, or a record copy during the gather phase).
+  void TouchRead(const void* p, size_t n) { tracer_->Read(p, n); }
+  void TouchWrite(void* p, size_t n) { tracer_->Write(p, n); }
+
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_COMMON_TRACER_H_

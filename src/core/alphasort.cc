@@ -1,0 +1,109 @@
+#include "core/alphasort.h"
+
+#include "common/table.h"
+#include "core/pipeline_internal.h"
+
+namespace alphasort {
+
+namespace {
+
+Status ValidateOptions(const SortOptions& o) {
+  if (o.input_path.empty() || o.output_path.empty()) {
+    return Status::InvalidArgument("input_path and output_path are required");
+  }
+  if (o.input_path == o.output_path) {
+    return Status::InvalidArgument("input and output must differ");
+  }
+  if (!o.format.Valid()) {
+    return Status::InvalidArgument("invalid record format");
+  }
+  if (o.run_size_records == 0) {
+    return Status::InvalidArgument("run_size_records must be positive");
+  }
+  if (o.io_threads <= 0 || o.io_depth <= 0 || o.io_chunk_bytes == 0) {
+    return Status::InvalidArgument("io parameters must be positive");
+  }
+  if (o.num_workers < 0) {
+    return Status::InvalidArgument("num_workers must be >= 0");
+  }
+  if (o.force_passes < 0 || o.force_passes > 2) {
+    return Status::InvalidArgument("force_passes must be 0, 1 or 2");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AlphaSort::Run(Env* env, const SortOptions& options,
+                      SortMetrics* metrics) {
+  ALPHASORT_RETURN_IF_ERROR(ValidateOptions(options));
+  SortMetrics local_metrics;
+  if (metrics == nullptr) metrics = &local_metrics;
+  *metrics = SortMetrics();
+
+  PhaseTimer total_timer;
+  PhaseTimer phase;
+
+  AsyncIO aio(options.io_threads);
+  ChorePool pool(options.num_workers, options.use_affinity);
+
+  // Open the input and create the output, members in parallel (§6).
+  Result<std::unique_ptr<StripeFile>> input =
+      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, &aio);
+  ALPHASORT_RETURN_IF_ERROR(input.status());
+  Result<std::unique_ptr<StripeFile>> output = StripeFile::Open(
+      env, options.output_path, OpenMode::kCreateReadWrite, &aio);
+  ALPHASORT_RETURN_IF_ERROR(output.status());
+
+  Result<uint64_t> size = input.value()->Size();
+  ALPHASORT_RETURN_IF_ERROR(size.status());
+  if (size.value() % options.format.record_size != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "input size %llu is not a multiple of the record size %zu",
+        static_cast<unsigned long long>(size.value()),
+        options.format.record_size));
+  }
+
+  core_internal::SortContext ctx;
+  ctx.env = env;
+  ctx.options = &options;
+  ctx.metrics = metrics;
+  ctx.aio = &aio;
+  ctx.pool = &pool;
+  ctx.input = input.value().get();
+  ctx.output = output.value().get();
+  ctx.input_bytes = size.value();
+  ctx.num_records = size.value() / options.format.record_size;
+
+  metrics->bytes_in = ctx.input_bytes;
+  metrics->num_records = ctx.num_records;
+  metrics->startup_s = phase.Lap();
+
+  // One pass if the records plus their entries fit in the budget (§6:
+  // "the Datamation sort benchmark should be done in one pass").
+  const uint64_t entry_bytes =
+      ctx.num_records * SortOptions::kEntryOverheadBytes;
+  const bool fits = ctx.input_bytes + entry_bytes <= options.memory_budget;
+  const bool one_pass =
+      options.force_passes == 1 || (options.force_passes == 0 && fits);
+  metrics->passes = one_pass ? 1 : 2;
+
+  Status sort_status =
+      one_pass ? core_internal::RunOnePass(&ctx)
+               : core_internal::RunTwoPass(&ctx);
+  if (!sort_status.ok()) {
+    input.value()->Close();
+    output.value()->Close();
+    return sort_status;
+  }
+
+  phase.Lap();
+  ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
+  ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
+  metrics->close_s = phase.Lap();
+  metrics->bytes_out = ctx.input_bytes;
+  metrics->total_s = total_timer.Lap();
+  return Status::OK();
+}
+
+}  // namespace alphasort

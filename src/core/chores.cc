@@ -1,0 +1,106 @@
+#include "core/chores.h"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace alphasort {
+
+namespace {
+
+// Best-effort pinning of the calling thread to one CPU.
+void PinToCpu(int cpu) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu) % hw, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+ChorePool::ChorePool(int num_workers, bool use_affinity) {
+  workers_.reserve(num_workers > 0 ? num_workers : 0);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i, use_affinity] {
+      // "The i-th worker process requests affinity to the i-th
+      // processor" (§5); CPU 0 stays with the root.
+      if (use_affinity) PinToCpu(i + 1);
+      WorkerLoop();
+    });
+  }
+}
+
+ChorePool::~ChorePool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ChorePool::Submit(std::function<void()> chore) {
+  if (workers_.empty()) {
+    chore();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(chore));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ChorePool::WaitIdle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ChorePool::ParallelFor(size_t n,
+                            const std::function<void(size_t)>& chore) {
+  if (n == 0) return;
+  std::atomic<size_t> next{0};
+  auto drain = [&next, n, &chore] {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      chore(i);
+    }
+  };
+  // One drainer per worker plus the root.
+  for (int w = 0; w < num_workers(); ++w) Submit(drain);
+  drain();
+  WaitIdle();
+}
+
+void ChorePool::WorkerLoop() {
+  while (true) {
+    std::function<void()> chore;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;
+      chore = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    chore();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace alphasort

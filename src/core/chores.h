@@ -1,0 +1,58 @@
+#ifndef ALPHASORT_CORE_CHORES_H_
+#define ALPHASORT_CORE_CHORES_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alphasort {
+
+// The paper's root/worker decomposition (§5): the root process performs
+// all IO and coordination; workers execute independent memory-intensive
+// "chores" (QuickSorting a run, gathering a slice of records). This pool
+// is the workers; the thread that owns the pipeline is the root.
+//
+// With zero workers every chore runs inline on the root — the
+// uni-processor configuration.
+class ChorePool {
+ public:
+  // With `use_affinity`, worker i is pinned to CPU (i+1) mod hardware
+  // concurrency (CPU 0 is left to the root), best-effort.
+  explicit ChorePool(int num_workers, bool use_affinity = false);
+  ~ChorePool();
+
+  ChorePool(const ChorePool&) = delete;
+  ChorePool& operator=(const ChorePool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Schedules a chore. With no workers, runs it immediately on the caller.
+  void Submit(std::function<void()> chore);
+
+  // Blocks until every submitted chore has finished. The root calls this
+  // at phase barriers (end of read phase, end of each gather batch).
+  void WaitIdle();
+
+  // Runs `chore(i)` for i in [0, n) across the workers *and* the calling
+  // root thread ("in its spare time, the root performs sorting chores"),
+  // returning when all are done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& chore);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_CHORES_H_

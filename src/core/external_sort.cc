@@ -1,0 +1,355 @@
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "core/pipeline_internal.h"
+#include "core/run_reader.h"
+#include "sort/merger.h"
+#include "sort/quicksort.h"
+#include "sort/tournament_tree.h"
+
+namespace alphasort {
+namespace core_internal {
+
+std::string ScratchRunPath(const SortOptions& opts, int level,
+                           size_t index) {
+  return StrFormat("%s.l%d_run%04zu%s", opts.scratch_path.c_str(), level,
+                   index, opts.scratch_stripe_width > 0 ? ".str" : "");
+}
+
+Result<std::unique_ptr<File>> OpenScratchRun(SortContext* ctx,
+                                             const std::string& path,
+                                             OpenMode mode) {
+  const SortOptions& opts = *ctx->options;
+  if (opts.scratch_stripe_width > 0 &&
+      mode == OpenMode::kCreateReadWrite) {
+    // Lay the run across dedicated scratch members (§6's scratch disks).
+    const std::string base = path.substr(0, path.size() - 4);  // drop .str
+    ALPHASORT_RETURN_IF_ERROR(WriteStripeDefinition(
+        ctx->env, path,
+        MakeUniformStripe(base, opts.scratch_stripe_width,
+                          opts.io_chunk_bytes)));
+  }
+  Result<std::unique_ptr<StripeFile>> file =
+      StripeFile::Open(ctx->env, path, mode, ctx->aio);
+  ALPHASORT_RETURN_IF_ERROR(file.status());
+  return {std::unique_ptr<File>(std::move(file).value())};
+}
+
+void RemoveScratchRun(SortContext* ctx, const std::string& path) {
+  StripeFile::Remove(ctx->env, path);
+}
+
+namespace {
+
+// Writes one QuickSorted chunk as a run file: merge the chunk's sub-runs,
+// gather into double-buffered output blocks, stream them out.
+Status WriteRunFile(SortContext* ctx, RunMerger<>& merger, File* out,
+                    uint64_t* bytes_written) {
+  const RecordFormat& fmt = ctx->options->format;
+  const size_t batch_records =
+      std::max<size_t>(1, ctx->options->io_chunk_bytes / fmt.record_size);
+
+  struct OutBuffer {
+    std::vector<char> data;
+    AsyncIO::Handle pending = 0;
+    bool in_flight = false;
+  };
+  std::vector<OutBuffer> bufs(2);
+  for (auto& b : bufs) b.data.resize(batch_records * fmt.record_size);
+  std::vector<const char*> ptrs(batch_records);
+
+  auto abandon = [&bufs, ctx](Status why) {
+    for (auto& b : bufs) {
+      if (b.in_flight) {
+        ctx->aio->Wait(b.pending);
+        b.in_flight = false;
+      }
+    }
+    return why;
+  };
+
+  uint64_t offset = 0;
+  size_t which = 0;
+  while (!merger.Done()) {
+    OutBuffer& buf = bufs[which];
+    if (buf.in_flight) {
+      buf.in_flight = false;
+      Status s = ctx->aio->Wait(buf.pending);
+      if (!s.ok()) return abandon(s);
+    }
+    const size_t got = merger.NextBatch(ptrs.data(), batch_records);
+    ParallelGather(ctx, ptrs.data(), got, buf.data.data());
+    buf.pending = ctx->aio->SubmitWrite(out, offset, buf.data.data(),
+                                        got * fmt.record_size);
+    buf.in_flight = true;
+    offset += got * fmt.record_size;
+    which ^= 1;
+  }
+  for (auto& b : bufs) {
+    if (b.in_flight) {
+      b.in_flight = false;
+      Status s = ctx->aio->Wait(b.pending);
+      if (!s.ok()) return abandon(s);
+    }
+  }
+  *bytes_written = offset;
+  return Status::OK();
+}
+
+// Pass 1: stream the input in memory-budget chunks; QuickSort each chunk
+// (sub-runs in parallel across workers) and spill it as one sorted run.
+Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  const uint64_t per_record =
+      fmt.record_size + SortOptions::kEntryOverheadBytes;
+  const uint64_t chunk_records = std::max<uint64_t>(
+      opts.run_size_records, opts.memory_budget / (2 * per_record));
+
+  std::vector<char> block(chunk_records * fmt.record_size);
+  std::vector<PrefixEntry> entries(chunk_records);
+
+  uint64_t record_pos = 0;
+  size_t run_index = 0;
+  while (record_pos < ctx->num_records) {
+    const uint64_t n =
+        std::min<uint64_t>(chunk_records, ctx->num_records - record_pos);
+    const uint64_t byte_off = record_pos * fmt.record_size;
+    const size_t byte_len = static_cast<size_t>(n * fmt.record_size);
+
+    size_t got = 0;
+    ALPHASORT_RETURN_IF_ERROR(
+        ctx->input->Read(byte_off, byte_len, block.data(), &got));
+    if (got != byte_len) {
+      return Status::Corruption("short read of input chunk");
+    }
+
+    // QuickSort the chunk as parallel sub-runs, like the one-pass read
+    // phase; the run file is produced by merging them.
+    const uint64_t sub = opts.run_size_records;
+    const size_t num_sub = static_cast<size_t>((n + sub - 1) / sub);
+    ctx->pool->ParallelFor(num_sub, [&](size_t s) {
+      const uint64_t start = s * sub;
+      const uint64_t len = std::min<uint64_t>(sub, n - start);
+      SortStats stats;
+      BuildPrefixEntryArray(fmt, block.data() + start * fmt.record_size,
+                            len, entries.data() + start);
+      SortPrefixEntryArray(fmt, entries.data() + start, len, &stats);
+    });
+
+    std::vector<EntryRun> sub_runs;
+    for (uint64_t start = 0; start < n; start += sub) {
+      const uint64_t len = std::min<uint64_t>(sub, n - start);
+      sub_runs.push_back(
+          EntryRun{entries.data() + start, entries.data() + start + len});
+    }
+    RunMerger<> merger(fmt, std::move(sub_runs));
+
+    const std::string path = ScratchRunPath(opts, 0, run_index);
+    Result<std::unique_ptr<File>> run_file =
+        OpenScratchRun(ctx, path, OpenMode::kCreateReadWrite);
+    ALPHASORT_RETURN_IF_ERROR(run_file.status());
+    uint64_t written = 0;
+    Status s = WriteRunFile(ctx, merger, run_file.value().get(), &written);
+    Status close_status = run_file.value()->Close();
+    ALPHASORT_RETURN_IF_ERROR(s);
+    ALPHASORT_RETURN_IF_ERROR(close_status);
+
+    runs->push_back(ScratchRun{path, written});
+    ctx->metrics->scratch_bytes_written += written;
+    record_pos += n;
+    ++run_index;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MergeScratchRunsToFile(SortContext* ctx,
+                              const std::vector<ScratchRun>& runs,
+                              File* out, uint64_t* bytes_out) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  const size_t k = runs.size();
+
+  std::vector<std::unique_ptr<File>> files(k);
+  std::vector<std::unique_ptr<RunReader>> readers(k);
+  // Each run gets two read-ahead buffers; at wide fan-ins the buffers
+  // must shrink so the merge stays within the memory budget (§6: the
+  // two-pass sort's whole point is using less memory).
+  const uint64_t per_run_budget =
+      k == 0 ? opts.io_chunk_bytes
+             : std::max<uint64_t>(fmt.record_size,
+                                  opts.memory_budget / (2 * k));
+  const size_t buffer_records = static_cast<size_t>(std::max<uint64_t>(
+      1, std::min<uint64_t>(opts.io_chunk_bytes, per_run_budget) /
+             fmt.record_size));
+  for (size_t r = 0; r < k; ++r) {
+    Result<std::unique_ptr<File>> f =
+        OpenScratchRun(ctx, runs[r].path, OpenMode::kReadOnly);
+    ALPHASORT_RETURN_IF_ERROR(f.status());
+    files[r] = std::move(f).value();
+    readers[r] = std::make_unique<RunReader>(files[r].get(), runs[r].bytes,
+                                             fmt, buffer_records, ctx->aio);
+    ALPHASORT_RETURN_IF_ERROR(readers[r]->Init());
+  }
+
+  struct Item {
+    uint64_t prefix;
+    const char* record;
+  };
+  struct ItemLess {
+    RecordFormat format;
+    SortStats* stats;
+    bool operator()(const Item& a, const Item& b) const {
+      ++stats->compares;
+      if (a.prefix != b.prefix) return a.prefix < b.prefix;
+      if (format.key_size <= 8) return false;
+      ++stats->tie_breaks;
+      return format.CompareKeys(a.record, b.record) < 0;
+    }
+  };
+  LoserTree<Item, ItemLess> tree(
+      k == 0 ? 1 : k, ItemLess{fmt, &ctx->metrics->merge_stats});
+  for (size_t r = 0; r < k; ++r) {
+    if (const char* rec = readers[r]->Current()) {
+      tree.SetLeaf(r, Item{fmt.KeyPrefix(rec), rec});
+    }
+  }
+  tree.Rebuild();
+
+  // Gather winners into double-buffered output blocks. Records are copied
+  // immediately (their reader buffer may recycle on the next refill), so
+  // the gather is serial on the root here — the merge pass is disk-bound
+  // anyway (§6: a second pass "uses twice the disk bandwidth").
+  struct OutBuffer {
+    std::vector<char> data;
+    size_t fill = 0;
+    AsyncIO::Handle pending = 0;
+    bool in_flight = false;
+  };
+  const size_t out_bytes =
+      std::max<size_t>(fmt.record_size,
+                       opts.io_chunk_bytes / fmt.record_size *
+                           fmt.record_size);
+  std::vector<OutBuffer> bufs(2);
+  for (auto& b : bufs) b.data.resize(out_bytes);
+
+  auto abandon = [&bufs, ctx](Status why) {
+    for (auto& b : bufs) {
+      if (b.in_flight) {
+        ctx->aio->Wait(b.pending);
+        b.in_flight = false;
+      }
+    }
+    return why;
+  };
+
+  uint64_t out_offset = 0;
+  size_t which = 0;
+  while (!tree.Empty()) {
+    OutBuffer& buf = bufs[which];
+    if (buf.in_flight) {
+      buf.in_flight = false;
+      Status s = ctx->aio->Wait(buf.pending);
+      if (!s.ok()) return abandon(s);
+    }
+    buf.fill = 0;
+    while (buf.fill < out_bytes && !tree.Empty()) {
+      const size_t r = tree.WinnerStream();
+      memcpy(buf.data.data() + buf.fill, tree.WinnerItem().record,
+             fmt.record_size);
+      buf.fill += fmt.record_size;
+      Status s = readers[r]->Advance();
+      if (!s.ok()) return abandon(s);
+      if (const char* rec = readers[r]->Current()) {
+        tree.ReplaceWinner(Item{fmt.KeyPrefix(rec), rec});
+      } else {
+        tree.ExhaustWinner();
+      }
+    }
+    buf.pending = ctx->aio->SubmitWrite(out, out_offset, buf.data.data(),
+                                        buf.fill);
+    buf.in_flight = true;
+    out_offset += buf.fill;
+    which ^= 1;
+  }
+  for (auto& b : bufs) {
+    if (b.in_flight) {
+      b.in_flight = false;
+      Status s = ctx->aio->Wait(b.pending);
+      if (!s.ok()) return abandon(s);
+    }
+  }
+  *bytes_out = out_offset;
+  return Status::OK();
+}
+
+Status MergeScratchRuns(SortContext* ctx, std::vector<ScratchRun> runs) {
+  const SortOptions& opts = *ctx->options;
+  const size_t fanin = std::max<size_t>(2, opts.max_merge_fanin);
+
+  auto cleanup = [ctx](const std::vector<ScratchRun>& spent) {
+    for (const auto& run : spent) RemoveScratchRun(ctx, run.path);
+  };
+
+  // Cascade: while too many runs remain, merge groups of `fanin` into
+  // next-level scratch runs (classic multi-level external merge).
+  int level = 1;
+  while (runs.size() > fanin) {
+    std::vector<ScratchRun> next;
+    for (size_t start = 0; start < runs.size(); start += fanin) {
+      const size_t end = std::min(runs.size(), start + fanin);
+      std::vector<ScratchRun> group(runs.begin() + start,
+                                    runs.begin() + end);
+      const std::string path = ScratchRunPath(opts, level, next.size());
+      Result<std::unique_ptr<File>> out =
+          OpenScratchRun(ctx, path, OpenMode::kCreateReadWrite);
+      if (!out.ok()) {
+        cleanup(runs);
+        return out.status();
+      }
+      uint64_t bytes = 0;
+      Status s = MergeScratchRunsToFile(ctx, group, out.value().get(),
+                                        &bytes);
+      Status close_status = out.value()->Close();
+      if (!s.ok() || !close_status.ok()) {
+        cleanup(runs);
+        cleanup(next);
+        RemoveScratchRun(ctx, path);
+        return s.ok() ? close_status : s;
+      }
+      ctx->metrics->scratch_bytes_written += bytes;
+      cleanup(group);
+      next.push_back(ScratchRun{path, bytes});
+    }
+    runs = std::move(next);
+    ++level;
+  }
+
+  uint64_t bytes = 0;
+  Status s = MergeScratchRunsToFile(ctx, runs, ctx->output, &bytes);
+  cleanup(runs);
+  ALPHASORT_RETURN_IF_ERROR(s);
+  return ctx->output->Truncate(ctx->input_bytes);
+}
+
+Status RunTwoPass(SortContext* ctx) {
+  PhaseTimer phase;
+  std::vector<ScratchRun> runs;
+  Status s = SpillRuns(ctx, &runs);
+  ctx->metrics->read_phase_s = phase.Lap();
+  ctx->metrics->num_runs = runs.size();
+  if (!s.ok()) {
+    for (const auto& run : runs) RemoveScratchRun(ctx, run.path);
+    return s;
+  }
+  s = MergeScratchRuns(ctx, std::move(runs));
+  ctx->metrics->merge_phase_s = phase.Lap();
+  return s;
+}
+
+}  // namespace core_internal
+}  // namespace alphasort

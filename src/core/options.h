@@ -1,0 +1,87 @@
+#ifndef ALPHASORT_CORE_OPTIONS_H_
+#define ALPHASORT_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "record/record.h"
+
+namespace alphasort {
+
+// Configuration for one AlphaSort run. Defaults reproduce the paper's
+// choices at laptop scale.
+struct SortOptions {
+  // Input/output paths; a ".str" suffix opens them as striped files
+  // (paper §6), anything else as a plain file.
+  std::string input_path;
+  std::string output_path;
+
+  RecordFormat format = kDatamationFormat;
+
+  // Bytes of record memory the sort may hold at once. When the input fits
+  // (with entry overhead) the sort runs in one pass; otherwise it spills
+  // QuickSorted runs to `scratch_path` and merges them in a second pass
+  // (§6's one-pass/two-pass trade-off).
+  uint64_t memory_budget = 256ull << 20;
+
+  // Records per QuickSort run during the read phase. The paper uses ~10
+  // runs per sort ("typically between ten and one hundred runs"); 100,000
+  // records ≈ the paper's run size for the Datamation input.
+  size_t run_size_records = 100000;
+
+  // Worker processes in the paper's terms: threads that QuickSort runs
+  // and gather records while the root does all IO (§5). 0 = serial (the
+  // root does everything).
+  int num_workers = 0;
+
+  // Threads servicing asynchronous IO; roughly one per stripe member
+  // keeps all disks busy.
+  int io_threads = 4;
+
+  // IO request size for the triple-buffered read/write loops.
+  size_t io_chunk_bytes = 1 << 20;
+
+  // Outstanding read requests ("triple buffering", §6).
+  int io_depth = 3;
+
+  // Output buffers cycling through the merge phase's gather→write
+  // pipeline. Two suffice when the output is one fast device; with an
+  // N-wide stripe of slow members, ~2N keeps every member writing
+  // (§6's per-disk triple buffering).
+  int write_buffers = 2;
+
+  // Two-pass only: directory/prefix for spilled run files.
+  std::string scratch_path = "alphasort_scratch";
+
+  // Two-pass only: stripe each spilled run across this many scratch
+  // members (§6: two-pass sorts need dedicated scratch-disk bandwidth —
+  // "striping requires 16 such scratch disks dedicated for the entire
+  // sort"). 0 spills plain files.
+  size_t scratch_stripe_width = 0;
+
+  // Widest tournament the merge pass drives at once; with more spilled
+  // runs than this, the merge cascades through intermediate levels.
+  size_t max_merge_fanin = 128;
+
+  // Touch every page of the record/entry arrays across the workers before
+  // reading, the paper's §5 chore ("the workers sweep through the address
+  // space touching pages... zeroing a 1 GB address space takes 12 cpu
+  // seconds"), so page faults don't serialize inside the IO loop.
+  bool prefault_memory = true;
+
+  // Pin each worker to a CPU ("affinity minimizes the cache faults and
+  // invalidations that occur when a single process migrates among
+  // multiple processors", §5). Best-effort; ignored where unsupported.
+  bool use_affinity = false;
+
+  // Force a pass count (0 = choose by memory_budget).
+  int force_passes = 0;
+
+  // Entry bytes per record the planner assumes on top of record storage.
+  static constexpr size_t kEntryOverheadBytes = sizeof(uint64_t) + sizeof(void*);
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_OPTIONS_H_

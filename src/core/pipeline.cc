@@ -1,0 +1,249 @@
+#include <algorithm>
+#include <mutex>
+
+#include "common/table.h"
+#include "core/pipeline_internal.h"
+#include "sort/merger.h"
+#include "sort/quicksort.h"
+
+namespace alphasort {
+namespace core_internal {
+
+void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
+                    char* out) {
+  const RecordFormat& fmt = ctx->options->format;
+  const size_t slices = static_cast<size_t>(ctx->pool->num_workers()) + 1;
+  const size_t per_slice = (n + slices - 1) / slices;
+  ctx->pool->ParallelFor(slices, [&](size_t s) {
+    const size_t lo = s * per_slice;
+    const size_t hi = std::min(n, lo + per_slice);
+    if (lo < hi) {
+      GatherRecords(fmt, ptrs + lo, hi - lo, out + lo * fmt.record_size);
+    }
+  });
+}
+
+namespace {
+
+// Aggregates per-chore sort stats under a lock (chores run concurrently).
+class StatsSink {
+ public:
+  void Add(const SortStats& stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_.Merge(stats);
+  }
+
+  SortStats Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  std::mutex mu_;
+  SortStats total_;
+};
+
+}  // namespace
+
+Status RunOnePass(SortContext* ctx) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  const uint64_t bytes = ctx->input_bytes;
+  const uint64_t n = ctx->num_records;
+  PhaseTimer phase;
+
+  if (n == 0) {
+    ctx->metrics->num_runs = 0;
+    return Status::OK();
+  }
+
+  // All records stay where they are read; entries reference them. Raw
+  // uninitialized allocations: zero-filling them here would touch every
+  // page serially, which is exactly the cost §5 offloads to the workers.
+  std::unique_ptr<char[]> records(new char[bytes]);
+  std::unique_ptr<PrefixEntry[]> entries(new PrefixEntry[n]);
+  StatsSink qs_stats;
+
+  // Prefault the fresh arrays across the workers (§5: "the workers sweep
+  // through the address space touching pages... zeroing a 1 GB address
+  // space takes 12 cpu seconds") so page faults don't serialize inside
+  // the IO and QuickSort loops.
+  if (opts.prefault_memory) {
+    constexpr size_t kPage = 4096;
+    const size_t slices = static_cast<size_t>(ctx->pool->num_workers()) + 1;
+    auto prefault = [slices](char* base, size_t len, size_t slice) {
+      const size_t per = (len + slices - 1) / slices;
+      const size_t lo = slice * per;
+      const size_t hi = std::min(len, lo + per);
+      for (size_t i = lo; i < hi; i += kPage) base[i] = 0;
+    };
+    char* entry_bytes = reinterpret_cast<char*>(entries.get());
+    const size_t entry_len = n * sizeof(PrefixEntry);
+    ctx->pool->ParallelFor(slices, [&](size_t s) {
+      prefault(records.get(), bytes, s);
+      prefault(entry_bytes, entry_len, s);
+    });
+  }
+
+  // --- read phase: triple-buffered chunk reads overlapped with per-run
+  // extract+QuickSort chores (§7). Chunks are processed in file order, so
+  // runs become ready as the read front passes their last record.
+  {
+    const size_t chunk = opts.io_chunk_bytes;
+    const uint64_t num_chunks = (bytes + chunk - 1) / chunk;
+    const int depth = opts.io_depth;
+    std::vector<AsyncIO::Handle> handles(num_chunks, 0);
+    uint64_t submitted = 0;
+
+    auto submit = [&](uint64_t c) {
+      const uint64_t off = c * chunk;
+      const size_t len =
+          static_cast<size_t>(std::min<uint64_t>(chunk, bytes - off));
+      handles[c] = ctx->aio->SubmitRead(ctx->input, off, len,
+                                        records.get() + off);
+      submitted = c + 1;
+    };
+    // On an error return, outstanding reads and chores still reference the
+    // local buffers; they must complete before the stack unwinds.
+    auto abandon = [&](uint64_t waited, Status why) {
+      for (uint64_t c = waited; c < submitted; ++c) {
+        ctx->aio->Wait(handles[c]);
+      }
+      ctx->pool->WaitIdle();
+      return why;
+    };
+    const uint64_t initial =
+        std::min<uint64_t>(num_chunks, static_cast<uint64_t>(depth));
+    for (uint64_t c = 0; c < initial; ++c) submit(c);
+
+    uint64_t next_run_start = 0;  // first record of the next unsorted run
+    auto dispatch_runs_below = [&](uint64_t records_ready) {
+      while (next_run_start < records_ready &&
+             records_ready - next_run_start >= opts.run_size_records) {
+        const uint64_t start = next_run_start;
+        const uint64_t len = opts.run_size_records;
+        next_run_start += len;
+        ctx->pool->Submit([ctx, &records, &entries, &qs_stats, fmt, start,
+                           len] {
+          SortStats stats;
+          NullTracer tracer;
+          BuildPrefixEntryArray(fmt,
+                                records.get() + start * fmt.record_size,
+                                len, entries.get() + start);
+          QuickSortPrefixEntries(fmt, entries.get() + start, len, &stats,
+                                 &tracer);
+          qs_stats.Add(stats);
+        });
+      }
+    };
+
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      const uint64_t off = c * chunk;
+      const size_t expect =
+          static_cast<size_t>(std::min<uint64_t>(chunk, bytes - off));
+      size_t got = 0;
+      Status read_status = ctx->aio->Wait(handles[c], &got);
+      if (!read_status.ok()) return abandon(c + 1, read_status);
+      if (got != expect) {
+        return abandon(
+            c + 1,
+            Status::Corruption(StrFormat(
+                "short read at offset %llu: wanted %zu got %zu",
+                static_cast<unsigned long long>(off), expect, got)));
+      }
+      if (c + depth < num_chunks) submit(c + depth);
+      dispatch_runs_below(
+          std::min<uint64_t>(n, ((c + 1) * chunk) / fmt.record_size));
+    }
+    ctx->metrics->read_phase_s = phase.Lap();
+
+    // --- last run: the partial tail cannot overlap any input (§7's
+    // "AlphaSort must then sort the last partition").
+    if (next_run_start < n) {
+      const uint64_t start = next_run_start;
+      const uint64_t len = n - next_run_start;
+      SortStats stats;
+      BuildPrefixEntryArray(fmt, records.get() + start * fmt.record_size,
+                            len, entries.get() + start);
+      SortPrefixEntryArray(fmt, entries.get() + start, len, &stats);
+      qs_stats.Add(stats);
+    }
+    ctx->pool->WaitIdle();
+    ctx->metrics->last_run_s = phase.Lap();
+  }
+
+  // --- merge + gather + write phase.
+  {
+    std::vector<EntryRun> runs;
+    for (uint64_t start = 0; start < n; start += opts.run_size_records) {
+      const uint64_t len = std::min<uint64_t>(opts.run_size_records,
+                                              n - start);
+      runs.push_back(
+          EntryRun{entries.get() + start, entries.get() + start + len});
+    }
+    ctx->metrics->num_runs = runs.size();
+    ctx->metrics->quicksort_stats = qs_stats.Take();
+
+    RunMerger<> merger(fmt, std::move(runs), TreeLayout::kFlat, nullptr,
+                       &ctx->metrics->merge_stats);
+
+    // Multi-buffered output: gather into one buffer while earlier ones
+    // drain (write_buffers = 2 is classic double buffering; wider rings
+    // keep every member of a slow stripe writing).
+    const size_t batch_records =
+        std::max<size_t>(1, opts.io_chunk_bytes / fmt.record_size);
+    struct OutBuffer {
+      std::vector<char> data;
+      AsyncIO::Handle pending = 0;
+      bool in_flight = false;
+    };
+    std::vector<OutBuffer> bufs(
+        static_cast<size_t>(std::max(2, opts.write_buffers)));
+    for (auto& b : bufs) b.data.resize(batch_records * fmt.record_size);
+    std::vector<const char*> ptrs(batch_records);
+
+    // On error, the other buffer's write may still be in flight and must
+    // complete before the buffers go out of scope.
+    auto abandon = [&bufs, ctx](Status why) {
+      for (auto& b : bufs) {
+        if (b.in_flight) {
+          ctx->aio->Wait(b.pending);
+          b.in_flight = false;
+        }
+      }
+      return why;
+    };
+
+    uint64_t out_offset = 0;
+    size_t which = 0;
+    while (!merger.Done()) {
+      OutBuffer& buf = bufs[which];
+      if (buf.in_flight) {
+        buf.in_flight = false;
+        Status write_status = ctx->aio->Wait(buf.pending);
+        if (!write_status.ok()) return abandon(write_status);
+      }
+      const size_t got = merger.NextBatch(ptrs.data(), batch_records);
+      ParallelGather(ctx, ptrs.data(), got, buf.data.data());
+      buf.pending = ctx->aio->SubmitWrite(ctx->output, out_offset,
+                                          buf.data.data(),
+                                          got * fmt.record_size);
+      buf.in_flight = true;
+      out_offset += got * fmt.record_size;
+      which = (which + 1) % bufs.size();
+    }
+    for (auto& b : bufs) {
+      if (b.in_flight) {
+        b.in_flight = false;
+        Status write_status = ctx->aio->Wait(b.pending);
+        if (!write_status.ok()) return abandon(write_status);
+      }
+    }
+    ALPHASORT_RETURN_IF_ERROR(ctx->output->Truncate(bytes));
+    ctx->metrics->merge_phase_s = phase.Lap();
+  }
+  return Status::OK();
+}
+
+}  // namespace core_internal
+}  // namespace alphasort

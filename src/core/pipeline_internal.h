@@ -1,0 +1,73 @@
+#ifndef ALPHASORT_CORE_PIPELINE_INTERNAL_H_
+#define ALPHASORT_CORE_PIPELINE_INTERNAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/chores.h"
+#include "core/options.h"
+#include "core/sort_metrics.h"
+#include "io/async_io.h"
+#include "io/stripe.h"
+
+namespace alphasort {
+namespace core_internal {
+
+// Shared context for one sort execution (the "root process" state).
+struct SortContext {
+  Env* env = nullptr;
+  const SortOptions* options = nullptr;
+  SortMetrics* metrics = nullptr;
+  AsyncIO* aio = nullptr;
+  ChorePool* pool = nullptr;
+  StripeFile* input = nullptr;
+  StripeFile* output = nullptr;
+  uint64_t input_bytes = 0;
+  uint64_t num_records = 0;
+};
+
+// One-pass pipeline: the whole input is held in memory (paper §7).
+Status RunOnePass(SortContext* ctx);
+
+// Two-pass external sort: QuickSorted runs spill to scratch files and are
+// streamed back through a tournament merge (paper §6).
+Status RunTwoPass(SortContext* ctx);
+
+// Gathers `ptrs[0..n)` into `out` in parallel slices across the pool.
+void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
+                    char* out);
+
+// A sorted run spilled to a scratch file.
+struct ScratchRun {
+  std::string path;
+  uint64_t bytes = 0;
+};
+
+// Scratch file name for run `index` of cascade level `level`; carries a
+// ".str" suffix when the options ask for striped scratch.
+std::string ScratchRunPath(const SortOptions& opts, int level, size_t index);
+
+// Creates (or opens read-only) one scratch run, honoring
+// options->scratch_stripe_width: striped runs get a definition file and
+// member files, plain runs a single file.
+Result<std::unique_ptr<File>> OpenScratchRun(SortContext* ctx,
+                                             const std::string& path,
+                                             OpenMode mode);
+
+// Removes a scratch run (definition + members for striped runs).
+void RemoveScratchRun(SortContext* ctx, const std::string& path);
+
+// Streams `runs` through a tournament of RunReaders into `out`.
+Status MergeScratchRunsToFile(SortContext* ctx,
+                              const std::vector<ScratchRun>& runs,
+                              File* out, uint64_t* bytes_out);
+
+// Merges `runs` into ctx->output, cascading through intermediate levels
+// while more than options->max_merge_fanin runs remain. Consumed scratch
+// files are deleted; the output is truncated to the input size.
+Status MergeScratchRuns(SortContext* ctx, std::vector<ScratchRun> runs);
+
+}  // namespace core_internal
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_PIPELINE_INTERNAL_H_

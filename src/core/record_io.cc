@@ -1,0 +1,93 @@
+#include "core/record_io.h"
+
+#include <cstring>
+
+namespace alphasort {
+
+RecordFileReader::RecordFileReader(std::unique_ptr<StripeFile> file,
+                                   RecordFormat format,
+                                   uint64_t num_records,
+                                   size_t buffer_records)
+    : file_(std::move(file)),
+      format_(format),
+      num_records_(num_records),
+      aio_(2),
+      reader_(std::make_unique<RunReader>(file_.get(),
+                                          num_records * format.record_size,
+                                          format, buffer_records, &aio_)) {}
+
+Result<std::unique_ptr<RecordFileReader>> RecordFileReader::Open(
+    Env* env, const std::string& path, const RecordFormat& format,
+    size_t buffer_records) {
+  if (!format.Valid()) {
+    return Status::InvalidArgument("invalid record format");
+  }
+  Result<std::unique_ptr<StripeFile>> file =
+      StripeFile::Open(env, path, OpenMode::kReadOnly);
+  ALPHASORT_RETURN_IF_ERROR(file.status());
+  Result<uint64_t> size = file.value()->Size();
+  ALPHASORT_RETURN_IF_ERROR(size.status());
+  if (size.value() % format.record_size != 0) {
+    return Status::InvalidArgument(path +
+                                   ": size not a multiple of records");
+  }
+  std::unique_ptr<RecordFileReader> reader(new RecordFileReader(
+      std::move(file).value(), format, size.value() / format.record_size,
+      buffer_records));
+  ALPHASORT_RETURN_IF_ERROR(reader->reader_->Init());
+  return reader;
+}
+
+Result<uint64_t> RecordFileReader::ReadBatch(char* out,
+                                             uint64_t max_records) {
+  uint64_t delivered = 0;
+  while (delivered < max_records) {
+    const char* rec = Current();
+    if (rec == nullptr) break;
+    memcpy(out + delivered * format_.record_size, rec,
+           format_.record_size);
+    ALPHASORT_RETURN_IF_ERROR(Advance());
+    ++delivered;
+  }
+  return delivered;
+}
+
+RecordFileWriter::RecordFileWriter(std::unique_ptr<StripeFile> file,
+                                   RecordFormat format, size_t buffer_bytes)
+    : file_(std::move(file)),
+      format_(format),
+      aio_(2),
+      writer_(std::make_unique<BufferedWriter>(file_.get(), &aio_,
+                                               buffer_bytes)) {}
+
+Result<std::unique_ptr<RecordFileWriter>> RecordFileWriter::Create(
+    Env* env, const std::string& path, const RecordFormat& format,
+    size_t buffer_bytes) {
+  if (!format.Valid()) {
+    return Status::InvalidArgument("invalid record format");
+  }
+  Result<std::unique_ptr<StripeFile>> file =
+      StripeFile::Open(env, path, OpenMode::kCreateReadWrite);
+  ALPHASORT_RETURN_IF_ERROR(file.status());
+  return {std::unique_ptr<RecordFileWriter>(new RecordFileWriter(
+      std::move(file).value(), format, buffer_bytes))};
+}
+
+Status RecordFileWriter::Append(const char* records, uint64_t n) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  ALPHASORT_RETURN_IF_ERROR(
+      writer_->Append(records, n * format_.record_size));
+  records_written_ += n;
+  return Status::OK();
+}
+
+Status RecordFileWriter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  ALPHASORT_RETURN_IF_ERROR(writer_->Finish());
+  ALPHASORT_RETURN_IF_ERROR(
+      file_->Truncate(records_written_ * format_.record_size));
+  return file_->Close();
+}
+
+}  // namespace alphasort

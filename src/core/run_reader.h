@@ -1,0 +1,60 @@
+#ifndef ALPHASORT_CORE_RUN_READER_H_
+#define ALPHASORT_CORE_RUN_READER_H_
+
+#include <vector>
+
+#include "io/async_io.h"
+#include "io/env.h"
+#include "record/record.h"
+
+namespace alphasort {
+
+// Double-buffered sequential record reader over one spilled run file.
+// Read-ahead goes through the async scheduler so all runs' disks stream
+// concurrently during a merge pass.
+class RunReader {
+ public:
+  RunReader(File* file, uint64_t file_bytes, const RecordFormat& fmt,
+            size_t buffer_records, AsyncIO* aio);
+
+  // A pending read targets the internal buffers; it must finish before
+  // destruction.
+  ~RunReader();
+
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+
+  // Issues the first reads; call once before Current()/Advance().
+  Status Init();
+
+  // Current record, or nullptr when the run is exhausted. The pointer is
+  // valid until the second-next Advance() that crosses a buffer boundary.
+  const char* Current() const {
+    if (pos_ >= valid_[cur_]) return nullptr;
+    return buffers_[cur_].data() + pos_;
+  }
+
+  Status Advance();
+
+ private:
+  void SubmitNext(size_t buf);
+  Status WaitPendingInto(size_t buf);
+
+  File* file_;
+  RecordFormat fmt_;
+  uint64_t file_bytes_;
+  size_t buf_bytes_;
+  AsyncIO* aio_;
+  std::vector<char> buffers_[2];
+  size_t valid_[2] = {0, 0};
+  size_t cur_ = 0;
+  size_t pos_ = 0;
+  uint64_t next_offset_ = 0;
+  AsyncIO::Handle pending_ = 0;
+  size_t pending_len_ = 0;
+  bool pending_in_flight_ = false;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_RUN_READER_H_

@@ -1,0 +1,32 @@
+#include "core/sort_metrics.h"
+
+#include "common/table.h"
+
+namespace alphasort {
+
+std::string SortMetrics::ToString() const {
+  std::string out;
+  out += StrFormat("records: %llu (%.1f MB in, %.1f MB out), %d pass(es)\n",
+                   static_cast<unsigned long long>(num_records),
+                   bytes_in / 1e6, bytes_out / 1e6, passes);
+  out += StrFormat("runs: %llu\n", static_cast<unsigned long long>(num_runs));
+  out += StrFormat(
+      "phases (s): startup %.4f | read+quicksort %.4f | last run %.4f | "
+      "merge+gather+write %.4f | close %.4f | total %.4f\n",
+      startup_s, read_phase_s, last_run_s, merge_phase_s, close_s, total_s);
+  out += StrFormat(
+      "quicksort: %llu compares, %llu exchanges, %llu tie-breaks\n",
+      static_cast<unsigned long long>(quicksort_stats.compares),
+      static_cast<unsigned long long>(quicksort_stats.exchanges),
+      static_cast<unsigned long long>(quicksort_stats.tie_breaks));
+  out += StrFormat("merge: %llu compares, %llu tie-breaks\n",
+                   static_cast<unsigned long long>(merge_stats.compares),
+                   static_cast<unsigned long long>(merge_stats.tie_breaks));
+  if (passes == 2) {
+    out += StrFormat("scratch: %.1f MB written\n",
+                     scratch_bytes_written / 1e6);
+  }
+  return out;
+}
+
+}  // namespace alphasort

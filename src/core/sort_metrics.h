@@ -1,0 +1,56 @@
+#ifndef ALPHASORT_CORE_SORT_METRICS_H_
+#define ALPHASORT_CORE_SORT_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "sort/quicksort.h"
+
+namespace alphasort {
+
+// Wall-clock phase breakdown of one sort, mirroring the paper's §7
+// walkthrough (open/read/QuickSort overlap, last run, merge+gather+write,
+// close) — the data behind Figure 7's "where the time goes".
+struct SortMetrics {
+  double startup_s = 0;      // opens, output creation, planning
+  double read_phase_s = 0;   // striped read overlapped with QuickSorts
+  double last_run_s = 0;     // final QuickSort after EOF
+  double merge_phase_s = 0;  // merge + gather + striped write
+  double close_s = 0;        // closes and cleanup
+  double total_s = 0;
+
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t num_records = 0;
+  uint64_t num_runs = 0;
+  int passes = 1;
+  uint64_t scratch_bytes_written = 0;  // two-pass only
+
+  SortStats quicksort_stats;
+  SortStats merge_stats;
+
+  std::string ToString() const;
+};
+
+// Monotonic stopwatch for phase timing.
+class PhaseTimer {
+ public:
+  PhaseTimer() : start_(Clock::now()) {}
+
+  // Seconds since construction or the last Lap().
+  double Lap() {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_SORT_METRICS_H_

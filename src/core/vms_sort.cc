@@ -1,0 +1,224 @@
+#include "core/vms_sort.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "core/chores.h"
+#include "core/pipeline_internal.h"
+#include "io/buffered_writer.h"
+#include "io/stripe.h"
+#include "sort/replacement_selection.h"
+
+namespace alphasort {
+
+namespace {
+
+using core_internal::ScratchRun;
+using core_internal::ScratchRunPath;
+
+// Streams the input through a replacement-selection tournament. When the
+// tournament holds the whole input (the paper's memory-rich single-disk
+// configuration) the single run streams directly to the output —
+// `*direct_to_output` reports that, and no scratch is written. Otherwise
+// each run spills to its own scratch file for the merge pass.
+Status GenerateRuns(core_internal::SortContext* ctx,
+                    std::vector<ScratchRun>* runs,
+                    bool* direct_to_output) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  const size_t r = fmt.record_size;
+
+  // Tournament of W records plus one spare slot the incoming record lands
+  // in; emitting a winner frees its slot, which becomes the next spare.
+  const size_t capacity = std::max<size_t>(
+      16, std::min<uint64_t>(opts.memory_budget / (2 * r),
+                             ctx->num_records == 0 ? 16 : ctx->num_records));
+  *direct_to_output = capacity >= ctx->num_records;
+  std::vector<char> workspace((capacity + 1) * r);
+
+  // Sink state: a buffered writer per run.
+  Status sink_error;
+  std::unique_ptr<File> run_file;
+  std::unique_ptr<BufferedWriter> writer;
+  size_t current_run = static_cast<size_t>(-1);
+  size_t spare_slot = capacity;  // last workspace slot starts free
+
+  const bool direct = *direct_to_output;
+  auto close_current = [&]() -> Status {
+    if (writer == nullptr) return Status::OK();
+    Status s = writer->Finish();
+    const uint64_t bytes = writer->bytes_written();
+    writer.reset();
+    ALPHASORT_RETURN_IF_ERROR(s);
+    if (!direct) {
+      Status close_status = run_file->Close();
+      run_file.reset();
+      ALPHASORT_RETURN_IF_ERROR(close_status);
+      runs->back().bytes = bytes;
+      ctx->metrics->scratch_bytes_written += bytes;
+    }
+    return Status::OK();
+  };
+
+  auto sink = [&](size_t run, const char* record) {
+    if (!sink_error.ok()) return;
+    if (run != current_run) {
+      Status s = close_current();
+      if (!s.ok()) {
+        sink_error = s;
+        return;
+      }
+      current_run = run;
+      if (direct) {
+        // The whole input fits the tournament: exactly one run, written
+        // straight to the output (the paper's memory-rich OpenVMS sort).
+        writer = std::make_unique<BufferedWriter>(ctx->output, ctx->aio,
+                                                  opts.io_chunk_bytes);
+      } else {
+        const std::string path = ScratchRunPath(opts, 0, run);
+        Result<std::unique_ptr<File>> f = core_internal::OpenScratchRun(
+            ctx, path, OpenMode::kCreateReadWrite);
+        if (!f.ok()) {
+          sink_error = f.status();
+          return;
+        }
+        run_file = std::move(f).value();
+        runs->push_back(ScratchRun{path, 0});
+        writer = std::make_unique<BufferedWriter>(run_file.get(), ctx->aio,
+                                                  opts.io_chunk_bytes);
+      }
+    }
+    Status s = writer->Append(record, fmt.record_size);
+    if (!s.ok()) {
+      sink_error = s;
+      return;
+    }
+    // The emitted record's slot is free for the next arrival. Safe
+    // because the tournament's "below last output?" check dereferences
+    // the emitted record only within the same Add() call that frees it —
+    // the slot is overwritten no earlier than the next Add().
+    spare_slot =
+        static_cast<size_t>(record - workspace.data()) / fmt.record_size;
+  };
+
+  ReplacementSelection<NullTracer> rs(fmt, capacity, sink,
+                                      TreeLayout::kFlat, nullptr,
+                                      &ctx->metrics->quicksort_stats);
+
+  // Chunked streaming read of the input.
+  std::vector<char> read_buf(
+      std::max<size_t>(r, opts.io_chunk_bytes / r * r));
+  uint64_t offset = 0;
+  uint64_t filled = 0;  // slots used during the initial fill
+  while (offset < ctx->input_bytes) {
+    const size_t len = static_cast<size_t>(
+        std::min<uint64_t>(read_buf.size(), ctx->input_bytes - offset));
+    size_t got = 0;
+    ALPHASORT_RETURN_IF_ERROR(
+        ctx->input->Read(offset, len, read_buf.data(), &got));
+    if (got != len) return Status::Corruption("short read of input");
+    for (size_t pos = 0; pos < len; pos += r) {
+      char* slot;
+      if (filled < capacity) {
+        slot = workspace.data() + filled * r;
+        ++filled;
+      } else {
+        slot = workspace.data() + spare_slot * r;
+      }
+      memcpy(slot, read_buf.data() + pos, r);
+      rs.Add(slot);
+      ALPHASORT_RETURN_IF_ERROR(sink_error);
+    }
+    offset += len;
+  }
+  rs.Finish();
+  ALPHASORT_RETURN_IF_ERROR(sink_error);
+  return close_current();
+}
+
+}  // namespace
+
+Status VmsSort::Run(Env* env, const SortOptions& options,
+                    SortMetrics* metrics) {
+  if (options.input_path.empty() || options.output_path.empty()) {
+    return Status::InvalidArgument("input_path and output_path are required");
+  }
+  if (!options.format.Valid()) {
+    return Status::InvalidArgument("invalid record format");
+  }
+  SortMetrics local_metrics;
+  if (metrics == nullptr) metrics = &local_metrics;
+  *metrics = SortMetrics();
+
+  PhaseTimer total_timer;
+  PhaseTimer phase;
+  AsyncIO aio(options.io_threads);
+  ChorePool pool(options.num_workers);
+
+  Result<std::unique_ptr<StripeFile>> input =
+      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, &aio);
+  ALPHASORT_RETURN_IF_ERROR(input.status());
+  Result<std::unique_ptr<StripeFile>> output = StripeFile::Open(
+      env, options.output_path, OpenMode::kCreateReadWrite, &aio);
+  ALPHASORT_RETURN_IF_ERROR(output.status());
+  Result<uint64_t> size = input.value()->Size();
+  ALPHASORT_RETURN_IF_ERROR(size.status());
+  if (size.value() % options.format.record_size != 0) {
+    return Status::InvalidArgument(
+        "input size is not a multiple of the record size");
+  }
+
+  core_internal::SortContext ctx;
+  ctx.env = env;
+  ctx.options = &options;
+  ctx.metrics = metrics;
+  ctx.aio = &aio;
+  ctx.pool = &pool;
+  ctx.input = input.value().get();
+  ctx.output = output.value().get();
+  ctx.input_bytes = size.value();
+  ctx.num_records = size.value() / options.format.record_size;
+  metrics->bytes_in = ctx.input_bytes;
+  metrics->num_records = ctx.num_records;
+  metrics->passes = 2;
+  metrics->startup_s = phase.Lap();
+
+  std::vector<ScratchRun> runs;
+  bool direct_to_output = false;
+  Status s = GenerateRuns(&ctx, &runs, &direct_to_output);
+  metrics->read_phase_s = phase.Lap();
+  metrics->num_runs =
+      direct_to_output ? (ctx.num_records > 0 ? 1 : 0) : runs.size();
+  if (!s.ok()) {
+    for (const auto& run : runs) {
+      core_internal::RemoveScratchRun(&ctx, run.path);
+    }
+    input.value()->Close();
+    output.value()->Close();
+    return s;
+  }
+
+  if (direct_to_output) {
+    // The single run already streamed to the output: one pass, no merge.
+    metrics->passes = 1;
+    s = output.value()->Truncate(ctx.input_bytes);
+  } else {
+    s = core_internal::MergeScratchRuns(&ctx, std::move(runs));
+  }
+  metrics->merge_phase_s = phase.Lap();
+  if (!s.ok()) {
+    input.value()->Close();
+    output.value()->Close();
+    return s;
+  }
+  ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
+  ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
+  metrics->close_s = phase.Lap();
+  metrics->bytes_out = ctx.input_bytes;
+  metrics->total_s = total_timer.Lap();
+  return Status::OK();
+}
+
+}  // namespace alphasort

@@ -1,0 +1,115 @@
+#include "io/async_io.h"
+
+#include <cassert>
+
+namespace alphasort {
+
+AsyncIO::AsyncIO(int num_threads) {
+  assert(num_threads > 0);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncIO::~AsyncIO() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+AsyncIO::Handle AsyncIO::Enqueue(Request req) {
+  Handle h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h = next_handle_++;
+    req.handle = h;
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return h;
+}
+
+AsyncIO::Handle AsyncIO::SubmitRead(File* file, uint64_t offset, size_t n,
+                                    char* buf) {
+  Request req;
+  req.op = Op::kRead;
+  req.file = file;
+  req.offset = offset;
+  req.n = n;
+  req.read_buf = buf;
+  return Enqueue(std::move(req));
+}
+
+AsyncIO::Handle AsyncIO::SubmitWrite(File* file, uint64_t offset,
+                                     const char* data, size_t n) {
+  Request req;
+  req.op = Op::kWrite;
+  req.file = file;
+  req.offset = offset;
+  req.n = n;
+  req.write_data = data;
+  return Enqueue(std::move(req));
+}
+
+AsyncIO::Handle AsyncIO::SubmitAction(std::function<Status()> action) {
+  Request req;
+  req.op = Op::kAction;
+  req.action = std::move(action);
+  return Enqueue(std::move(req));
+}
+
+Status AsyncIO::Wait(Handle h, size_t* bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, h] { return completions_.count(h) > 0; });
+  auto node = completions_.extract(h);
+  if (bytes != nullptr) *bytes = node.mapped().bytes;
+  return node.mapped().status;
+}
+
+Status AsyncIO::WaitAll(const std::vector<Handle>& handles) {
+  Status first_error;
+  for (Handle h : handles) {
+    Status s = Wait(h);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+void AsyncIO::WorkerLoop() {
+  while (true) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Completion done;
+    switch (req.op) {
+      case Op::kRead:
+        done.status = req.file->Read(req.offset, req.n, req.read_buf,
+                                     &done.bytes);
+        break;
+      case Op::kWrite:
+        done.status = req.file->Write(req.offset, req.write_data, req.n);
+        done.bytes = req.n;
+        break;
+      case Op::kAction:
+        done.status = req.action();
+        break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completions_.emplace(req.handle, std::move(done));
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace alphasort

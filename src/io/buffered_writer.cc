@@ -1,0 +1,65 @@
+#include "io/buffered_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace alphasort {
+
+BufferedWriter::BufferedWriter(File* file, AsyncIO* aio, size_t buffer_bytes)
+    : file_(file), aio_(aio), buffer_bytes_(std::max<size_t>(1, buffer_bytes)) {
+  buffers_[0].resize(buffer_bytes_);
+  buffers_[1].resize(buffer_bytes_);
+}
+
+BufferedWriter::~BufferedWriter() {
+  for (size_t b = 0; b < 2; ++b) {
+    if (in_flight_[b]) aio_->Wait(pending_[b]);
+  }
+}
+
+Status BufferedWriter::FlushCurrent() {
+  if (fill_ == 0) return Status::OK();
+  pending_[which_] = aio_->SubmitWrite(file_, offset_,
+                                       buffers_[which_].data(), fill_);
+  in_flight_[which_] = true;
+  offset_ += fill_;
+  fill_ = 0;
+  which_ ^= 1;
+  // The buffer we are about to fill may still be draining from two
+  // flushes ago.
+  if (in_flight_[which_]) {
+    in_flight_[which_] = false;
+    ALPHASORT_RETURN_IF_ERROR(aio_->Wait(pending_[which_]));
+  }
+  return Status::OK();
+}
+
+Status BufferedWriter::Append(const char* data, size_t n) {
+  while (n > 0) {
+    const size_t take = std::min(n, buffer_bytes_ - fill_);
+    memcpy(buffers_[which_].data() + fill_, data, take);
+    fill_ += take;
+    data += take;
+    n -= take;
+    if (fill_ == buffer_bytes_) {
+      ALPHASORT_RETURN_IF_ERROR(FlushCurrent());
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferedWriter::Finish() {
+  if (finished_) return Status::OK();
+  Status first_error = FlushCurrent();
+  for (size_t b = 0; b < 2; ++b) {
+    if (in_flight_[b]) {
+      in_flight_[b] = false;
+      Status s = aio_->Wait(pending_[b]);
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+  }
+  finished_ = true;
+  return first_error;
+}
+
+}  // namespace alphasort

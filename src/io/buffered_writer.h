@@ -1,0 +1,54 @@
+#ifndef ALPHASORT_IO_BUFFERED_WRITER_H_
+#define ALPHASORT_IO_BUFFERED_WRITER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "io/async_io.h"
+#include "io/env.h"
+
+namespace alphasort {
+
+// Append-style writer with two buffers: while one buffer is being written
+// through the async scheduler, the other fills — the output half of the
+// paper's triple-buffering discipline, reusable by anything that streams
+// bytes out (run spilling, the VMS-sort baseline).
+class BufferedWriter {
+ public:
+  // Buffers of `buffer_bytes` each. `file` must outlive the writer.
+  BufferedWriter(File* file, AsyncIO* aio, size_t buffer_bytes);
+
+  // Waits out any in-flight write (Finish() reports errors; the
+  // destructor only guarantees no dangling IO).
+  ~BufferedWriter();
+
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  // Appends `n` bytes; may trigger an asynchronous flush.
+  Status Append(const char* data, size_t n);
+
+  // Flushes the tail and waits for all writes. Idempotent.
+  Status Finish();
+
+  uint64_t bytes_written() const { return offset_ + fill_; }
+
+ private:
+  Status FlushCurrent();
+
+  File* file_;
+  AsyncIO* aio_;
+  size_t buffer_bytes_;
+  std::vector<char> buffers_[2];
+  bool in_flight_[2] = {false, false};
+  AsyncIO::Handle pending_[2] = {0, 0};
+  size_t which_ = 0;
+  size_t fill_ = 0;       // bytes in the current buffer
+  uint64_t offset_ = 0;   // file offset of the current buffer's start
+  bool finished_ = false;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_IO_BUFFERED_WRITER_H_

@@ -1,0 +1,31 @@
+#include "io/env.h"
+
+namespace alphasort {
+
+Status Env::WriteStringToFile(const std::string& path,
+                              const std::string& data) {
+  Result<std::unique_ptr<File>> file =
+      OpenFile(path, OpenMode::kCreateReadWrite);
+  ALPHASORT_RETURN_IF_ERROR(file.status());
+  ALPHASORT_RETURN_IF_ERROR(file.value()->Write(0, data.data(), data.size()));
+  ALPHASORT_RETURN_IF_ERROR(file.value()->Truncate(data.size()));
+  return file.value()->Close();
+}
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  Result<std::unique_ptr<File>> file = OpenFile(path, OpenMode::kReadOnly);
+  ALPHASORT_RETURN_IF_ERROR(file.status());
+  Result<uint64_t> size = file.value()->Size();
+  ALPHASORT_RETURN_IF_ERROR(size.status());
+  std::string data(size.value(), '\0');
+  size_t got = 0;
+  ALPHASORT_RETURN_IF_ERROR(
+      file.value()->Read(0, data.size(), data.data(), &got));
+  if (got != data.size()) {
+    return Status::IOError("short read of " + path);
+  }
+  ALPHASORT_RETURN_IF_ERROR(file.value()->Close());
+  return data;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,73 @@
+#ifndef ALPHASORT_IO_ENV_H_
+#define ALPHASORT_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace alphasort {
+
+// An open file handle with positional (pread/pwrite-style) IO. Positional
+// access is what the striping layer and the asynchronous scheduler need:
+// many outstanding transfers against one handle, no shared cursor.
+class File {
+ public:
+  virtual ~File() = default;
+
+  // Reads up to `n` bytes at `offset` into `scratch`. Short reads at end
+  // of file are reported through `*bytes_read` with an OK status.
+  virtual Status Read(uint64_t offset, size_t n, char* scratch,
+                      size_t* bytes_read) = 0;
+
+  // Writes `n` bytes at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, const char* data, size_t n) = 0;
+
+  virtual Result<uint64_t> Size() = 0;
+
+  virtual Status Truncate(uint64_t size) = 0;
+
+  // Durability barrier (no-op for the in-memory env).
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+// Mode for Env::OpenFile.
+enum class OpenMode {
+  kReadOnly,
+  kReadWrite,        // must exist
+  kCreateReadWrite,  // create or truncate
+};
+
+// Filesystem abstraction (RocksDB's Env idiom). Every file access in the
+// library goes through an Env so the same sort pipeline runs against real
+// disks, in-memory files (tests), and fault-injecting wrappers.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                                 OpenMode mode) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  // Convenience helpers implemented on top of the virtual interface.
+  Status WriteStringToFile(const std::string& path, const std::string& data);
+  Result<std::string> ReadFileToString(const std::string& path);
+};
+
+// Host filesystem. Thread-safe; one instance serves the whole process.
+Env* GetPosixEnv();
+
+// Heap-backed filesystem for tests and examples. Thread-safe. Each
+// instance is an isolated namespace.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_IO_ENV_H_

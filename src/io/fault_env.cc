@@ -1,0 +1,56 @@
+#include "io/fault_env.h"
+
+namespace alphasort {
+
+namespace {
+
+class FaultFile : public File {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::unique_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override {
+    ALPHASORT_RETURN_IF_ERROR(env_->BeforeIO());
+    return base_->Read(offset, n, scratch, bytes_read);
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    ALPHASORT_RETURN_IF_ERROR(env_->BeforeIO());
+    return base_->Write(offset, data, n);
+  }
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<File> base_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::BeforeIO() {
+  ops_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  // Decrement the countdown; once it reaches zero, this and every later
+  // operation fails (signed so post-exhaustion decrements cannot wrap).
+  const int64_t before =
+      remaining_ops_.fetch_sub(1, std::memory_order_relaxed);
+  if (before <= 1) {
+    return Status::IOError("injected fault");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
+    const std::string& path, OpenMode mode) {
+  Result<std::unique_ptr<File>> base = base_->OpenFile(path, mode);
+  ALPHASORT_RETURN_IF_ERROR(base.status());
+  return {std::unique_ptr<File>(
+      new FaultFile(this, std::move(base).value()))};
+}
+
+}  // namespace alphasort

@@ -1,0 +1,57 @@
+#ifndef ALPHASORT_IO_FAULT_ENV_H_
+#define ALPHASORT_IO_FAULT_ENV_H_
+
+#include <atomic>
+#include <memory>
+
+#include "io/env.h"
+
+namespace alphasort {
+
+// Wraps another Env and fails IO operations on demand — used by the tests
+// to verify that the sort pipeline surfaces disk errors instead of
+// producing silently wrong output.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // After this call, the next `countdown`-th read/write (1 = the very
+  // next) and every one after it fails with IOError.
+  void FailAfter(int64_t countdown) {
+    remaining_ops_.store(countdown, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+  // Total read/write operations observed (for choosing fault points).
+  uint64_t ops_seen() const {
+    return ops_seen_.load(std::memory_order_relaxed);
+  }
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override;
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_->GetFileSize(path);
+  }
+
+  // Called by the wrapped files before each read/write; returns non-OK
+  // when the operation should fail. Public for the file wrappers.
+  Status BeforeIO();
+
+ private:
+  Env* base_;
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> remaining_ops_{0};
+  std::atomic<uint64_t> ops_seen_{0};
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_IO_FAULT_ENV_H_

@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "io/env.h"
+
+namespace alphasort {
+
+namespace {
+
+// Shared byte storage for one in-memory file. A mutex per file keeps
+// concurrent positional reads/writes (the async IO scheduler issues them
+// from several threads) well-defined.
+struct MemFileData {
+  std::mutex mu;
+  std::vector<char> bytes;
+};
+
+class MemFile : public File {
+ public:
+  explicit MemFile(std::shared_ptr<MemFileData> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override {
+    if (closed_) return Status::IOError("read on closed file");
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset >= data_->bytes.size()) {
+      *bytes_read = 0;
+      return Status::OK();
+    }
+    const size_t avail = data_->bytes.size() - offset;
+    const size_t take = std::min(n, avail);
+    if (take > 0) {
+      memcpy(scratch, data_->bytes.data() + offset, take);
+    }
+    *bytes_read = take;
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    if (closed_) return Status::IOError("write on closed file");
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + n > data_->bytes.size()) {
+      data_->bytes.resize(offset + n);
+    }
+    if (n > 0) {
+      memcpy(data_->bytes.data() + offset, data, n);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    return static_cast<uint64_t>(data_->bytes.size());
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    data_->bytes.resize(size);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFileData> data_;
+  bool closed_ = false;
+};
+
+class MemEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    switch (mode) {
+      case OpenMode::kReadOnly:
+      case OpenMode::kReadWrite:
+        if (it == files_.end()) {
+          return Status::NotFound("no such file: " + path);
+        }
+        break;
+      case OpenMode::kCreateReadWrite:
+        if (it == files_.end()) {
+          it = files_.emplace(path, std::make_shared<MemFileData>()).first;
+        } else {
+          std::lock_guard<std::mutex> file_lock(it->second->mu);
+          it->second->bytes.clear();
+        }
+        break;
+    }
+    return {std::unique_ptr<File>(new MemFile(it->second))};
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(path) == 0) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(path) > 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    std::lock_guard<std::mutex> file_lock(it->second->mu);
+    return static_cast<uint64_t>(it->second->bytes.size());
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<MemFileData>> files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace alphasort

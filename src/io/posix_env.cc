@@ -1,0 +1,140 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "io/env.h"
+
+namespace alphasort {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  const std::string msg = context + ": " + strerror(err);
+  if (err == ENOENT) return Status::NotFound(msg);
+  if (err == ENOSPC || err == EDQUOT) return Status::ResourceExhausted(msg);
+  return Status::IOError(msg);
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pread(fd_, scratch + done, n - done,
+                                static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pread " + path_, errno);
+      }
+      if (r == 0) break;  // end of file
+      done += static_cast<size_t>(r);
+    }
+    *bytes_read = done;
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t r = ::pwrite(fd_, data + done, n - done,
+                                 static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pwrite " + path_, errno);
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return PosixError("fstat " + path_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError("ftruncate " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return PosixError("fdatasync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return PosixError("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kReadOnly:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kReadWrite:
+        flags = O_RDWR;
+        break;
+      case OpenMode::kCreateReadWrite:
+        flags = O_RDWR | O_CREAT | O_TRUNC;
+        break;
+    }
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    return {std::unique_ptr<File>(new PosixFile(path, fd))};
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return PosixError("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return PosixError("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* GetPosixEnv() {
+  static PosixEnv* env = new PosixEnv();  // never destroyed (static-safe)
+  return env;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,251 @@
+#include "io/stripe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace alphasort {
+
+namespace {
+
+bool HasStrSuffix(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".str") == 0;
+}
+
+}  // namespace
+
+uint64_t StripeDefinition::CycleBytes() const {
+  uint64_t total = 0;
+  for (const auto& m : members) total += m.stride_bytes;
+  return total;
+}
+
+Result<StripeDefinition> StripeDefinition::Parse(const std::string& text) {
+  StripeDefinition def;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    StripeMember member;
+    if (!(fields >> member.path)) continue;  // blank line
+    if (!(fields >> member.stride_bytes)) {
+      return Status::Corruption(
+          StrFormat("stripe definition line %d: missing stride", line_no));
+    }
+    if (member.stride_bytes == 0) {
+      return Status::Corruption(
+          StrFormat("stripe definition line %d: zero stride", line_no));
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::Corruption(
+          StrFormat("stripe definition line %d: trailing junk", line_no));
+    }
+    def.members.push_back(std::move(member));
+  }
+  if (def.members.empty()) {
+    return Status::Corruption("stripe definition has no members");
+  }
+  return def;
+}
+
+std::string StripeDefinition::Serialize() const {
+  std::string out = "# alphasort stripe definition\n";
+  for (const auto& m : members) {
+    out += StrFormat("%s %llu\n", m.path.c_str(),
+                     static_cast<unsigned long long>(m.stride_bytes));
+  }
+  return out;
+}
+
+Status WriteStripeDefinition(Env* env, const std::string& path,
+                             const StripeDefinition& def) {
+  if (def.members.empty()) {
+    return Status::InvalidArgument("stripe definition has no members");
+  }
+  return env->WriteStringToFile(path, def.Serialize());
+}
+
+StripeDefinition MakeUniformStripe(const std::string& base, size_t width,
+                                   uint64_t stride_bytes) {
+  StripeDefinition def;
+  def.members.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    def.members.push_back(
+        StripeMember{StrFormat("%s.s%02zu", base.c_str(), i), stride_bytes});
+  }
+  return def;
+}
+
+StripeFile::StripeFile(StripeDefinition def,
+                       std::vector<std::unique_ptr<File>> files)
+    : def_(std::move(def)),
+      members_(std::move(files)),
+      cycle_bytes_(def_.CycleBytes()) {
+  stride_prefix_.reserve(def_.members.size() + 1);
+  stride_prefix_.push_back(0);
+  for (const auto& m : def_.members) {
+    stride_prefix_.push_back(stride_prefix_.back() + m.stride_bytes);
+  }
+}
+
+Result<std::unique_ptr<StripeFile>> StripeFile::Open(Env* env,
+                                                     const std::string& path,
+                                                     OpenMode mode,
+                                                     AsyncIO* aio) {
+  StripeDefinition def;
+  if (HasStrSuffix(path)) {
+    Result<std::string> text = env->ReadFileToString(path);
+    ALPHASORT_RETURN_IF_ERROR(text.status());
+    Result<StripeDefinition> parsed = StripeDefinition::Parse(text.value());
+    ALPHASORT_RETURN_IF_ERROR(parsed.status());
+    def = std::move(parsed).value();
+  } else {
+    // Any plain file is a one-member stripe; the stride is immaterial.
+    def.members.push_back(StripeMember{path, 1 << 20});
+  }
+
+  const size_t width = def.members.size();
+  std::vector<std::unique_ptr<File>> files(width);
+  if (aio != nullptr) {
+    // Open/create every member in parallel ("asynchronous operations
+    // allow the N steps to proceed in parallel", §6).
+    std::vector<AsyncIO::Handle> handles;
+    handles.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+      handles.push_back(aio->SubmitAction([env, &def, &files, i, mode] {
+        Result<std::unique_ptr<File>> f = env->OpenFile(def.members[i].path,
+                                                        mode);
+        ALPHASORT_RETURN_IF_ERROR(f.status());
+        files[i] = std::move(f).value();
+        return Status::OK();
+      }));
+    }
+    ALPHASORT_RETURN_IF_ERROR(aio->WaitAll(handles));
+  } else {
+    for (size_t i = 0; i < width; ++i) {
+      Result<std::unique_ptr<File>> f =
+          env->OpenFile(def.members[i].path, mode);
+      ALPHASORT_RETURN_IF_ERROR(f.status());
+      files[i] = std::move(f).value();
+    }
+  }
+  return {std::unique_ptr<StripeFile>(
+      new StripeFile(std::move(def), std::move(files)))};
+}
+
+Status StripeFile::Remove(Env* env, const std::string& path) {
+  if (!HasStrSuffix(path)) return env->DeleteFile(path);
+  Result<std::string> text = env->ReadFileToString(path);
+  ALPHASORT_RETURN_IF_ERROR(text.status());
+  Result<StripeDefinition> parsed = StripeDefinition::Parse(text.value());
+  ALPHASORT_RETURN_IF_ERROR(parsed.status());
+  Status first_error;
+  for (const auto& m : parsed.value().members) {
+    Status s = env->DeleteFile(m.path);
+    if (!s.ok() && !s.IsNotFound() && first_error.ok()) first_error = s;
+  }
+  Status s = env->DeleteFile(path);
+  if (!s.ok() && first_error.ok()) first_error = s;
+  return first_error;
+}
+
+std::vector<StripeFile::Segment> StripeFile::MapRange(uint64_t offset,
+                                                      size_t n) const {
+  std::vector<Segment> segments;
+  uint64_t logical = offset;
+  size_t remaining = n;
+  while (remaining > 0) {
+    const uint64_t cycle = logical / cycle_bytes_;
+    const uint64_t in_cycle = logical % cycle_bytes_;
+    // Member whose stride window contains in_cycle.
+    const size_t member =
+        static_cast<size_t>(
+            std::upper_bound(stride_prefix_.begin(), stride_prefix_.end(),
+                             in_cycle) -
+            stride_prefix_.begin()) -
+        1;
+    const uint64_t within = in_cycle - stride_prefix_[member];
+    const uint64_t stride = def_.members[member].stride_bytes;
+    const size_t len = static_cast<size_t>(
+        std::min<uint64_t>(remaining, stride - within));
+    segments.push_back(Segment{member, members_[member].get(),
+                               cycle * stride + within, logical, len});
+    logical += len;
+    remaining -= len;
+  }
+  return segments;
+}
+
+Status StripeFile::Read(uint64_t offset, size_t n, char* scratch,
+                        size_t* bytes_read) {
+  *bytes_read = 0;
+  for (const Segment& seg : MapRange(offset, n)) {
+    size_t got = 0;
+    ALPHASORT_RETURN_IF_ERROR(seg.file->Read(
+        seg.member_offset, seg.length,
+        scratch + (seg.logical_offset - offset), &got));
+    *bytes_read += got;
+    if (got < seg.length) break;  // logical end of a densely written file
+  }
+  return Status::OK();
+}
+
+Status StripeFile::Write(uint64_t offset, const char* data, size_t n) {
+  for (const Segment& seg : MapRange(offset, n)) {
+    ALPHASORT_RETURN_IF_ERROR(seg.file->Write(
+        seg.member_offset, data + (seg.logical_offset - offset),
+        seg.length));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> StripeFile::Size() {
+  // Correct for densely written striped files (every logical byte up to
+  // the size has been written), which is the only way this library writes
+  // them.
+  uint64_t total = 0;
+  for (auto& m : members_) {
+    Result<uint64_t> s = m->Size();
+    ALPHASORT_RETURN_IF_ERROR(s.status());
+    total += s.value();
+  }
+  return total;
+}
+
+Status StripeFile::Truncate(uint64_t size) {
+  const uint64_t full_cycles = size / cycle_bytes_;
+  const uint64_t remainder = size % cycle_bytes_;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const uint64_t stride = def_.members[i].stride_bytes;
+    const uint64_t in_last = std::min<uint64_t>(
+        stride,
+        remainder > stride_prefix_[i] ? remainder - stride_prefix_[i] : 0);
+    ALPHASORT_RETURN_IF_ERROR(
+        members_[i]->Truncate(full_cycles * stride + in_last));
+  }
+  return Status::OK();
+}
+
+Status StripeFile::Sync() {
+  for (auto& m : members_) ALPHASORT_RETURN_IF_ERROR(m->Sync());
+  return Status::OK();
+}
+
+Status StripeFile::Close() {
+  Status first_error;
+  for (auto& m : members_) {
+    Status s = m->Close();
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,112 @@
+#ifndef ALPHASORT_IO_STRIPE_H_
+#define ALPHASORT_IO_STRIPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/async_io.h"
+#include "io/env.h"
+
+namespace alphasort {
+
+// Host-based file striping (paper §6).
+//
+// A striped file is described by a stripe-definition file — "a normal file
+// whose name has the suffix .str" — with one line per member:
+//
+//     # comment
+//     disk0/part0.dat 65536
+//     disk1/part1.dat 65536
+//
+// where the number is the member's stride in bytes. Logical bytes are laid
+// out cycle by cycle: each cycle places stride_i consecutive bytes on
+// member i, so a cycle-sized read touches every member once — the paper's
+// Figure 5, "each disk contributes a track of information to the stride".
+//
+// StripeFile presents the logical file through the ordinary File
+// interface, and additionally exposes the logical→member mapping
+// (MapRange) so the sort pipeline can submit one asynchronous request per
+// member and drive all disks in parallel.
+
+struct StripeMember {
+  std::string path;
+  uint64_t stride_bytes = 0;
+};
+
+struct StripeDefinition {
+  std::vector<StripeMember> members;
+
+  // Total bytes per cycle (sum of member strides).
+  uint64_t CycleBytes() const;
+
+  // Parses the .str text format. Rejects empty definitions, zero strides,
+  // and malformed lines.
+  static Result<StripeDefinition> Parse(const std::string& text);
+
+  std::string Serialize() const;
+};
+
+// Writes `def` as a stripe-definition file at `path` (should end in .str).
+Status WriteStripeDefinition(Env* env, const std::string& path,
+                             const StripeDefinition& def);
+
+// Convenience: a definition with `width` members "<base>.sNN" and a
+// uniform stride, rooted next to the definition file's location.
+StripeDefinition MakeUniformStripe(const std::string& base, size_t width,
+                                   uint64_t stride_bytes);
+
+class StripeFile : public File {
+ public:
+  // A contiguous logical range living on one member.
+  struct Segment {
+    size_t member = 0;          // index into members()
+    File* file = nullptr;       // that member's handle
+    uint64_t member_offset = 0;
+    uint64_t logical_offset = 0;
+    size_t length = 0;
+  };
+
+  // Opens `path`. If it ends in ".str" the definition is read and every
+  // member is opened (or created) — in parallel when `aio` is provided,
+  // the paper's trick for keeping the N-wide open out of the critical
+  // path. Any other path opens as a trivial 1-member stripe.
+  static Result<std::unique_ptr<StripeFile>> Open(Env* env,
+                                                  const std::string& path,
+                                                  OpenMode mode,
+                                                  AsyncIO* aio = nullptr);
+
+  // Deletes the members and (if `path` is a definition file) the
+  // definition itself.
+  static Status Remove(Env* env, const std::string& path);
+
+  // File interface over the logical byte stream. Reads clamp at the
+  // logical size; a member that comes up short inside the logical size is
+  // reported as corruption.
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override;
+  Status Write(uint64_t offset, const char* data, size_t n) override;
+  Result<uint64_t> Size() override;
+  Status Truncate(uint64_t size) override;
+  Status Sync() override;
+  Status Close() override;
+
+  // Splits [offset, offset+n) into per-member segments, in logical order.
+  std::vector<Segment> MapRange(uint64_t offset, size_t n) const;
+
+  size_t width() const { return members_.size(); }
+  const StripeDefinition& definition() const { return def_; }
+  uint64_t cycle_bytes() const { return cycle_bytes_; }
+
+ private:
+  StripeFile(StripeDefinition def, std::vector<std::unique_ptr<File>> files);
+
+  StripeDefinition def_;
+  std::vector<std::unique_ptr<File>> members_;
+  std::vector<uint64_t> stride_prefix_;  // prefix sums of strides
+  uint64_t cycle_bytes_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_IO_STRIPE_H_

@@ -1,0 +1,92 @@
+#include "io/throttled_env.h"
+
+#include <chrono>
+#include <thread>
+
+namespace alphasort {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One simulated spindle: transfers serialize and take bytes/rate.
+class Spindle {
+ public:
+  Spindle(double read_mbps, double write_mbps, double seek_ms)
+      : read_rate_(read_mbps * 1e6),
+        write_rate_(write_mbps * 1e6),
+        seek_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(seek_ms))) {}
+
+  // Blocks until this request's transfer window has elapsed.
+  void Transfer(size_t bytes, bool is_read) {
+    const double rate = is_read ? read_rate_ : write_rate_;
+    const auto duration =
+        seek_ + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(bytes / rate));
+    Clock::time_point done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const Clock::time_point start = std::max(Clock::now(), busy_until_);
+      busy_until_ = start + duration;
+      done = busy_until_;
+    }
+    std::this_thread::sleep_until(done);
+  }
+
+ private:
+  double read_rate_;
+  double write_rate_;
+  Clock::duration seek_;
+  std::mutex mu_;
+  Clock::time_point busy_until_ = Clock::now();
+};
+
+class ThrottledFile : public File {
+ public:
+  ThrottledFile(std::unique_ptr<File> base, double read_mbps,
+                double write_mbps, double seek_ms)
+      : base_(std::move(base)),
+        spindle_(read_mbps, write_mbps, seek_ms) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override {
+    Status s = base_->Read(offset, n, scratch, bytes_read);
+    if (s.ok()) spindle_.Transfer(*bytes_read, /*is_read=*/true);
+    return s;
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    Status s = base_->Write(offset, data, n);
+    if (s.ok()) spindle_.Transfer(n, /*is_read=*/false);
+    return s;
+  }
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<File> base_;
+  Spindle spindle_;
+};
+
+}  // namespace
+
+ThrottledEnv::ThrottledEnv(Env* base, double read_mbps, double write_mbps,
+                           double seek_ms)
+    : base_(base),
+      read_mbps_(read_mbps),
+      write_mbps_(write_mbps),
+      seek_ms_(seek_ms) {}
+
+Result<std::unique_ptr<File>> ThrottledEnv::OpenFile(const std::string& path,
+                                                     OpenMode mode) {
+  Result<std::unique_ptr<File>> base = base_->OpenFile(path, mode);
+  ALPHASORT_RETURN_IF_ERROR(base.status());
+  return {std::unique_ptr<File>(new ThrottledFile(
+      std::move(base).value(), read_mbps_, write_mbps_, seek_ms_))};
+}
+
+}  // namespace alphasort

@@ -1,0 +1,111 @@
+#include "record/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace alphasort {
+
+namespace {
+
+// Writes `v` as a big-endian integer into key[0..n), so that numeric order
+// of v equals lexicographic byte order of the key bytes.
+void StoreBigEndian(char* key, size_t n, uint64_t v) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t shift = 8 * (n - 1 - i);
+    key[i] = shift < 64 ? static_cast<char>((v >> shift) & 0xff) : 0;
+  }
+}
+
+}  // namespace
+
+void RecordGenerator::FillKey(KeyDistribution dist, uint64_t index,
+                              uint64_t count, char* key) {
+  const size_t k = format_.key_size;
+  switch (dist) {
+    case KeyDistribution::kUniform: {
+      size_t i = 0;
+      for (; i + 8 <= k; i += 8) {
+        const uint64_t r = rng_.Next64();
+        memcpy(key + i, &r, 8);
+      }
+      if (i < k) {
+        const uint64_t r = rng_.Next64();
+        memcpy(key + i, &r, k - i);
+      }
+      break;
+    }
+    case KeyDistribution::kSorted:
+      StoreBigEndian(key, k, index);
+      break;
+    case KeyDistribution::kReverse:
+      StoreBigEndian(key, k, count - 1 - index);
+      break;
+    case KeyDistribution::kConstant:
+      memset(key, 'k', k);
+      break;
+    case KeyDistribution::kFewDistinct:
+      StoreBigEndian(key, k, rng_.Uniform(16));
+      break;
+    case KeyDistribution::kSharedPrefix: {
+      const size_t shared = std::min(SharedPrefixLen(), k);
+      memset(key, 'p', shared);
+      for (size_t i = shared; i < k; ++i) {
+        key[i] = static_cast<char>(rng_.Next32() & 0xff);
+      }
+      break;
+    }
+    case KeyDistribution::kAlmostSorted:
+      // Mostly in order; ~1/16 of records get a random displacement.
+      if (rng_.OneIn(16)) {
+        StoreBigEndian(key, k, rng_.Uniform(count));
+      } else {
+        StoreBigEndian(key, k, index);
+      }
+      break;
+  }
+}
+
+void RecordGenerator::FillPayload(uint64_t index, char* record) {
+  const size_t payload_off = format_.key_offset + format_.key_size;
+  const size_t payload_len = format_.record_size - payload_off;
+  if (payload_len == 0) return;
+  char* p = record + payload_off;
+  // Leading 8 bytes of payload identify the record; the remainder is a
+  // deterministic filler pattern (incompressible enough for our purposes,
+  // and cheap to regenerate for validation).
+  if (payload_len >= 8) {
+    EncodeFixed64(p, index);
+    for (size_t i = 8; i < payload_len; ++i) {
+      p[i] = static_cast<char>('A' + (index + i) % 26);
+    }
+  } else {
+    for (size_t i = 0; i < payload_len; ++i) {
+      p[i] = static_cast<char>('A' + (index + i) % 26);
+    }
+  }
+}
+
+void RecordGenerator::Generate(KeyDistribution dist, uint64_t count,
+                               char* out) {
+  assert(format_.Valid());
+  for (uint64_t i = 0; i < count; ++i) {
+    char* rec = out + i * format_.record_size;
+    if (format_.key_offset > 0) {
+      memset(rec, '.', format_.key_offset);
+    }
+    FillKey(dist, i, count, rec + format_.key_offset);
+    FillPayload(i, rec);
+  }
+}
+
+std::vector<char> RecordGenerator::Generate(KeyDistribution dist,
+                                            uint64_t count) {
+  std::vector<char> out(count * format_.record_size);
+  Generate(dist, count, out.data());
+  return out;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,55 @@
+#ifndef ALPHASORT_RECORD_GENERATOR_H_
+#define ALPHASORT_RECORD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "record/record.h"
+
+namespace alphasort {
+
+// Key distributions used by tests and ablation benches. The Datamation
+// benchmark itself is kUniform (random incompressible keys).
+enum class KeyDistribution {
+  kUniform,         // i.i.d. random bytes (the benchmark's distribution)
+  kSorted,          // already ascending (QuickSort-friendly, RS run-law edge)
+  kReverse,         // descending
+  kConstant,        // all keys identical (prefix never discriminates)
+  kFewDistinct,     // keys drawn from a small set (heavy duplicates)
+  kSharedPrefix,    // first SharedPrefixLen() bytes equal, rest random —
+                    // defeats key-prefix sorting, the paper's §4 risk case
+  kAlmostSorted,    // sorted with a sprinkling of out-of-place records
+};
+
+class RecordGenerator {
+ public:
+  RecordGenerator(RecordFormat format, uint64_t seed)
+      : format_(format), rng_(seed) {}
+
+  // Number of leading key bytes that kSharedPrefix keys have in common.
+  // Chosen to exceed the 8-byte prefix so prefix compares always tie.
+  static constexpr size_t SharedPrefixLen() { return 8; }
+
+  // Fills `out` (must hold count * record_size bytes) with `count` records.
+  // Payload bytes carry the record's generation index so a record remains
+  // identifiable after sorting.
+  void Generate(KeyDistribution dist, uint64_t count, char* out);
+
+  // Convenience: allocate-and-fill.
+  std::vector<char> Generate(KeyDistribution dist, uint64_t count);
+
+  const RecordFormat& format() const { return format_; }
+
+ private:
+  void FillKey(KeyDistribution dist, uint64_t index, uint64_t count,
+               char* key);
+  void FillPayload(uint64_t index, char* record);
+
+  RecordFormat format_;
+  Random rng_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_RECORD_GENERATOR_H_

@@ -1,0 +1,142 @@
+#include "record/key_conditioner.h"
+
+#include <cstring>
+
+#include "common/table.h"
+
+namespace alphasort {
+
+CollationTable CollationTable::Identity() {
+  CollationTable t;
+  for (int i = 0; i < 256; ++i) t.weight[i] = static_cast<uint8_t>(i);
+  return t;
+}
+
+CollationTable CollationTable::CaseInsensitiveAscii() {
+  CollationTable t = Identity();
+  for (int c = 'a'; c <= 'z'; ++c) {
+    t.weight[c] = static_cast<uint8_t>(c - 'a' + 'A');
+  }
+  return t;
+}
+
+Status KeySchema::Validate(const RecordFormat& format) const {
+  if (fields_.empty()) {
+    return Status::InvalidArgument("key schema has no fields");
+  }
+  for (const KeyField& f : fields_) {
+    if (f.size == 0) {
+      return Status::InvalidArgument("key field has zero size");
+    }
+    if (f.offset + f.size > format.record_size) {
+      return Status::InvalidArgument(StrFormat(
+          "key field [%zu, %zu) overruns the %zu-byte record", f.offset,
+          f.offset + f.size, format.record_size));
+    }
+    switch (f.type) {
+      case KeyField::Type::kBytes:
+        break;
+      case KeyField::Type::kUint64:
+      case KeyField::Type::kInt64:
+      case KeyField::Type::kFloat64:
+        if (f.size != 8) {
+          return Status::InvalidArgument(
+              "numeric key fields must be 8 bytes");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+size_t KeySchema::ConditionedSize() const {
+  size_t total = 0;
+  for (const KeyField& f : fields_) total += f.ConditionedSize();
+  return total;
+}
+
+namespace {
+
+void StoreBigEndian64(uint64_t v, char* out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((v >> (56 - 8 * i)) & 0xff);
+  }
+}
+
+// IEEE-754 totalOrder transform: after this, unsigned integer order of
+// the bits equals numeric order (negatives reversed into ascending,
+// -0 < +0, -NaN first, +NaN last).
+uint64_t NormalizeDoubleBits(uint64_t bits) {
+  if (bits & (1ULL << 63)) return ~bits;  // negative: flip everything
+  return bits | (1ULL << 63);             // positive: set the sign bit
+}
+
+}  // namespace
+
+void KeySchema::Condition(const char* record, char* out) const {
+  for (const KeyField& f : fields_) {
+    const char* src = record + f.offset;
+    switch (f.type) {
+      case KeyField::Type::kBytes: {
+        if (f.collation != nullptr) {
+          for (size_t i = 0; i < f.size; ++i) {
+            out[i] = static_cast<char>(
+                f.collation->weight[static_cast<unsigned char>(src[i])]);
+          }
+        } else {
+          memcpy(out, src, f.size);
+        }
+        break;
+      }
+      case KeyField::Type::kUint64: {
+        uint64_t v;
+        memcpy(&v, src, 8);
+        StoreBigEndian64(v, out);
+        break;
+      }
+      case KeyField::Type::kInt64: {
+        uint64_t v;
+        memcpy(&v, src, 8);
+        StoreBigEndian64(v ^ (1ULL << 63), out);  // flip the sign bit
+        break;
+      }
+      case KeyField::Type::kFloat64: {
+        uint64_t bits;
+        memcpy(&bits, src, 8);
+        StoreBigEndian64(NormalizeDoubleBits(bits), out);
+        break;
+      }
+    }
+    if (f.descending) {
+      for (size_t i = 0; i < f.ConditionedSize(); ++i) {
+        out[i] = static_cast<char>(~out[i]);
+      }
+    }
+    out += f.ConditionedSize();
+  }
+}
+
+std::string KeySchema::Condition(const char* record) const {
+  std::string out(ConditionedSize(), '\0');
+  Condition(record, out.data());
+  return out;
+}
+
+Result<ConditionedBlock> ConditionRecords(const KeySchema& schema,
+                                          const RecordFormat& format,
+                                          const char* records, size_t n) {
+  ALPHASORT_RETURN_IF_ERROR(schema.Validate(format));
+  ConditionedBlock out;
+  const size_t key_size = schema.ConditionedSize();
+  out.format = RecordFormat(key_size + format.record_size, key_size, 0);
+  out.data.resize(n * out.format.record_size);
+  for (size_t i = 0; i < n; ++i) {
+    const char* src = records + i * format.record_size;
+    char* dst = out.data.data() + i * out.format.record_size;
+    schema.Condition(src, dst);
+    memcpy(dst + key_size, src, format.record_size);
+  }
+  return out;
+}
+
+}  // namespace alphasort

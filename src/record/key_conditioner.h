@@ -1,0 +1,100 @@
+#ifndef ALPHASORT_RECORD_KEY_CONDITIONER_H_
+#define ALPHASORT_RECORD_KEY_CONDITIONER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+
+namespace alphasort {
+
+// Key conditioning (paper §4): "Key conditioning extracts the sort key
+// from each record, transforms the result to allow efficient byte
+// compares, and stores it with the record as an added field. This is
+// often done for keys involving floating point numbers, signed integers,
+// or character strings with non-standard collating sequences."
+//
+// A KeySchema describes one or more typed fields inside a record; the
+// conditioner renders them into a byte string whose memcmp order equals
+// the typed (field-by-field) order — which is exactly what the key-prefix
+// QuickSort and the tournament merge need.
+
+struct CollationTable {
+  // Maps each input byte to its collation weight. Must be injective to
+  // preserve distinctness (Validate() checks).
+  std::array<uint8_t, 256> weight;
+
+  // Identity (plain byte order).
+  static CollationTable Identity();
+  // ASCII case-insensitive: 'a'..'z' collate with 'A'..'Z'. (Not
+  // injective — equal-ignoring-case strings condition equally.)
+  static CollationTable CaseInsensitiveAscii();
+};
+
+struct KeyField {
+  enum class Type {
+    kBytes,     // raw bytes, optionally collated
+    kUint64,    // little-endian unsigned in the record
+    kInt64,     // little-endian two's-complement in the record
+    kFloat64,   // IEEE-754 double in the record
+  };
+
+  Type type = Type::kBytes;
+  size_t offset = 0;  // byte offset inside the record
+  size_t size = 0;    // bytes in the record (8 for the numeric types)
+  bool descending = false;
+  // kBytes only; nullptr = plain byte order.
+  const CollationTable* collation = nullptr;
+
+  // Bytes this field contributes to the conditioned key.
+  size_t ConditionedSize() const { return size; }
+};
+
+class KeySchema {
+ public:
+  KeySchema() = default;
+  explicit KeySchema(std::vector<KeyField> fields)
+      : fields_(std::move(fields)) {}
+
+  // Fails on overlapping/overrunning fields or wrong numeric sizes.
+  Status Validate(const RecordFormat& format) const;
+
+  size_t ConditionedSize() const;
+  const std::vector<KeyField>& fields() const { return fields_; }
+
+  // Renders `record`'s key fields into `out` (ConditionedSize() bytes)
+  // such that memcmp order over outputs == field-by-field typed order.
+  //
+  // Encodings: unsigned -> big-endian; signed -> sign bit flipped, then
+  // big-endian; double -> IEEE totalOrder trick (negative values have all
+  // bits flipped, positive ones the sign bit), so -0.0 sorts immediately
+  // before +0.0 and NaNs sort at the extremes; descending fields are
+  // complemented.
+  void Condition(const char* record, char* out) const;
+
+  std::string Condition(const char* record) const;
+
+ private:
+  std::vector<KeyField> fields_;
+};
+
+// Rewrites a block of records into a new format whose leading
+// ConditionedSize() bytes are the conditioned key and whose remainder is
+// the original record — "stores it with the record as an added field".
+// The returned format is {ConditionedSize()+record_size, ConditionedSize()}
+// with key at offset 0, ready for the standard AlphaSort kernels.
+struct ConditionedBlock {
+  RecordFormat format;
+  std::vector<char> data;
+};
+
+Result<ConditionedBlock> ConditionRecords(const KeySchema& schema,
+                                          const RecordFormat& format,
+                                          const char* records, size_t n);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_RECORD_KEY_CONDITIONER_H_

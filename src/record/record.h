@@ -1,0 +1,59 @@
+#ifndef ALPHASORT_RECORD_RECORD_H_
+#define ALPHASORT_RECORD_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/slice.h"
+
+namespace alphasort {
+
+// Describes the fixed-width record layout a sort operates on.
+//
+// The Datamation benchmark (paper §2) fixes 100-byte records whose first
+// 10 bytes are an incompressible random key; the rest of the library is
+// written against this struct so tests and ablations can vary R and K
+// (the paper's analysis in §4 is parameterized on R, K, and pointer size P).
+struct RecordFormat {
+  size_t record_size = 100;  // R
+  size_t key_offset = 0;
+  size_t key_size = 10;  // K
+
+  constexpr RecordFormat() = default;
+  constexpr RecordFormat(size_t r, size_t k, size_t key_off = 0)
+      : record_size(r), key_offset(key_off), key_size(k) {}
+
+  bool Valid() const {
+    return record_size > 0 && key_size > 0 &&
+           key_offset + key_size <= record_size;
+  }
+
+  const char* KeyPtr(const char* record) const { return record + key_offset; }
+  Slice Key(const char* record) const {
+    return Slice(record + key_offset, key_size);
+  }
+
+  // Lexicographic three-way compare of two records' full keys.
+  int CompareKeys(const char* a, const char* b) const {
+    return memcmp(a + key_offset, b + key_offset, key_size);
+  }
+
+  // Normalized big-endian integer prefix of the key (paper §4: most
+  // compares resolve on this single integer).
+  uint64_t KeyPrefix(const char* record) const {
+    if (key_size >= 8) return LoadKeyPrefix8(record + key_offset);
+    return LoadKeyPrefix(record + key_offset, key_size);
+  }
+};
+
+// The standard benchmark layout.
+inline constexpr RecordFormat kDatamationFormat(100, 10);
+
+// One million 100-byte records: the Datamation problem size.
+inline constexpr uint64_t kDatamationRecordCount = 1000000;
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_RECORD_RECORD_H_

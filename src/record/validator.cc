@@ -1,0 +1,57 @@
+#include "record/validator.h"
+
+#include <cstring>
+
+#include "common/table.h"
+
+namespace alphasort {
+
+void SortValidator::AddInput(const char* data, uint64_t num_records) {
+  for (uint64_t i = 0; i < num_records; ++i) {
+    input_fp_.Add(data + i * format_.record_size, format_.record_size);
+  }
+}
+
+void SortValidator::AddOutput(const char* data, uint64_t num_records) {
+  for (uint64_t i = 0; i < num_records; ++i) {
+    const char* rec = data + i * format_.record_size;
+    const char* key = format_.KeyPtr(rec);
+    if (have_prev_ && sorted_ &&
+        memcmp(prev_key_.data(), key, format_.key_size) > 0) {
+      sorted_ = false;
+      first_disorder_index_ = output_fp_.count();
+    }
+    prev_key_.assign(key, format_.key_size);
+    have_prev_ = true;
+    output_fp_.Add(rec, format_.record_size);
+  }
+}
+
+Status SortValidator::Finish() const {
+  if (!sorted_) {
+    return Status::Corruption(StrFormat(
+        "output not key-ascending at record %llu",
+        static_cast<unsigned long long>(first_disorder_index_)));
+  }
+  if (input_fp_.count() != output_fp_.count()) {
+    return Status::Corruption(StrFormat(
+        "record count mismatch: input=%llu output=%llu",
+        static_cast<unsigned long long>(input_fp_.count()),
+        static_cast<unsigned long long>(output_fp_.count())));
+  }
+  if (!(input_fp_ == output_fp_)) {
+    return Status::Corruption(
+        "output is not a permutation of the input (fingerprint mismatch)");
+  }
+  return Status::OK();
+}
+
+Status ValidateSorted(const RecordFormat& format, const char* input,
+                      const char* output, uint64_t num_records) {
+  SortValidator v(format);
+  v.AddInput(input, num_records);
+  v.AddOutput(output, num_records);
+  return v.Finish();
+}
+
+}  // namespace alphasort

@@ -1,0 +1,54 @@
+#ifndef ALPHASORT_RECORD_VALIDATOR_H_
+#define ALPHASORT_RECORD_VALIDATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/checksum.h"
+#include "common/status.h"
+#include "record/record.h"
+
+namespace alphasort {
+
+// Streaming checker for the benchmark's output rule: "the output file must
+// be a permutation of the input file sorted in key-ascending order"
+// (paper §2). Feed the input stream to `AddInput` and the output stream in
+// order to `AddOutput`; `Finish` reports the verdict.
+//
+// Sortedness is checked online (each output record against its
+// predecessor); the permutation property is checked with an
+// order-independent multiset fingerprint over whole records, so neither
+// side is ever materialized.
+class SortValidator {
+ public:
+  explicit SortValidator(RecordFormat format) : format_(format) {}
+
+  // Records may arrive in any number of chunks; `data` must hold a whole
+  // number of records.
+  void AddInput(const char* data, uint64_t num_records);
+  void AddOutput(const char* data, uint64_t num_records);
+
+  // OK iff the output seen so far is sorted and is a permutation of the
+  // input seen so far.
+  Status Finish() const;
+
+  uint64_t input_records() const { return input_fp_.count(); }
+  uint64_t output_records() const { return output_fp_.count(); }
+
+ private:
+  RecordFormat format_;
+  MultisetFingerprint input_fp_;
+  MultisetFingerprint output_fp_;
+  bool sorted_ = true;
+  uint64_t first_disorder_index_ = 0;
+  std::string prev_key_;  // last output key, empty until first record
+  bool have_prev_ = false;
+};
+
+// One-shot helper over in-memory buffers.
+Status ValidateSorted(const RecordFormat& format, const char* input,
+                      const char* output, uint64_t num_records);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_RECORD_VALIDATOR_H_

@@ -1,0 +1,82 @@
+#include "sim/cache_sim.h"
+
+#include <cassert>
+
+namespace alphasort {
+
+CacheLevel::CacheLevel(CacheConfig config)
+    : config_(config), num_sets_(config.NumSets()) {
+  assert(config_.size_bytes % (config_.line_bytes * config_.associativity) ==
+         0);
+  assert(num_sets_ > 0);
+  const size_t slots = num_sets_ * config_.associativity;
+  tags_.assign(slots, 0);
+  lru_.assign(slots, 0);
+  valid_.assign(slots, 0);
+}
+
+bool CacheLevel::Access(uint64_t line_addr) {
+  const size_t set = static_cast<size_t>(line_addr % num_sets_);
+  const uint64_t tag = line_addr / num_sets_;
+  const size_t base = set * config_.associativity;
+  ++tick_;
+
+  size_t victim = base;
+  uint64_t oldest = ~uint64_t{0};
+  for (size_t way = 0; way < config_.associativity; ++way) {
+    const size_t slot = base + way;
+    if (valid_[slot] && tags_[slot] == tag) {
+      lru_[slot] = tick_;
+      return true;
+    }
+    const uint64_t age = valid_[slot] ? lru_[slot] : 0;
+    if (age < oldest) {
+      oldest = age;
+      victim = slot;
+    }
+  }
+  tags_[victim] = tag;
+  valid_[victim] = 1;
+  lru_[victim] = tick_;
+  return false;
+}
+
+void CacheLevel::Reset() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  tick_ = 0;
+}
+
+TlbSim::TlbSim(size_t entries, size_t page_bytes)
+    : capacity_(entries), page_bytes_(page_bytes) {
+  assert(capacity_ > 0 && page_bytes_ > 0);
+  pages_.assign(capacity_, ~uint64_t{0});
+  lru_.assign(capacity_, 0);
+}
+
+bool TlbSim::Access(uint64_t page) {
+  ++tick_;
+  size_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (size_t i = 0; i < capacity_; ++i) {
+    if (pages_[i] == page) {
+      lru_[i] = tick_;
+      return true;
+    }
+    if (lru_[i] < oldest) {
+      oldest = lru_[i];
+      victim = i;
+    }
+  }
+  pages_[victim] = page;
+  lru_[victim] = tick_;
+  return false;
+}
+
+void TlbSim::Reset() {
+  std::fill(pages_.begin(), pages_.end(), ~uint64_t{0});
+  std::fill(lru_.begin(), lru_.end(), 0);
+  tick_ = 0;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,174 @@
+#ifndef ALPHASORT_SIM_CACHE_SIM_H_
+#define ALPHASORT_SIM_CACHE_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace alphasort {
+
+// One level of a set-associative cache with LRU replacement. Addresses are
+// byte addresses; an access touches every line the byte range covers.
+struct CacheConfig {
+  size_t size_bytes = 0;
+  size_t line_bytes = 32;
+  size_t associativity = 1;  // 1 = direct mapped
+
+  size_t NumSets() const {
+    return size_bytes / (line_bytes * associativity);
+  }
+};
+
+class CacheLevel {
+ public:
+  explicit CacheLevel(CacheConfig config);
+
+  // Returns true on hit; on miss the line is installed (allocate-on-miss
+  // for both reads and writes, like the AXP B-cache).
+  bool Access(uint64_t line_addr);
+
+  void Reset();
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  CacheConfig config_;
+  size_t num_sets_;
+  // tags_[set * associativity + way]; lru_[..] smaller = older.
+  std::vector<uint64_t> tags_;
+  std::vector<uint64_t> lru_;
+  std::vector<char> valid_;
+  uint64_t tick_ = 0;
+};
+
+// Data-translation-buffer (TLB) model: a small fully-associative LRU map
+// of page numbers. The paper's §7 instruction mix charges 9% of CPU time
+// to PALcode "mostly handling address translation buffer (DTB) misses",
+// and §4 blames the gather step's "terrible cache AND TLB behavior" — the
+// 21064's 32-entry DTB covers only 256 KB of 8 KB pages, far less than
+// 100 MB of randomly-gathered records.
+class TlbSim {
+ public:
+  // 21064 defaults: 32 data-TLB entries, 8 KB pages.
+  explicit TlbSim(size_t entries = 32, size_t page_bytes = 8192);
+
+  // Returns true on hit; installs on miss (LRU).
+  bool Access(uint64_t page);
+
+  void Reset();
+
+  size_t page_bytes() const { return page_bytes_; }
+
+ private:
+  size_t capacity_;
+  size_t page_bytes_;
+  std::vector<uint64_t> pages_;
+  std::vector<uint64_t> lru_;
+  uint64_t tick_ = 0;
+};
+
+// Two-level data-cache simulator matching the Alpha AXP hierarchy the
+// paper optimizes for (§3): an 8 KB on-chip D-cache and a 4 MB on-board
+// B-cache, 32-byte lines, direct mapped, plus the 32-entry data TLB. It
+// implements the Tracer policy (Read/Write), so any sort kernel templated
+// on a tracer can run under it; that is how Figure 4's
+// QuickSort-vs-tournament cache comparison is reproduced.
+class CacheSim {
+ public:
+  struct Stats {
+    uint64_t accesses = 0;       // line-granular accesses
+    uint64_t dcache_hits = 0;
+    uint64_t bcache_hits = 0;    // missed D, hit B
+    uint64_t memory_accesses = 0;  // missed both
+    uint64_t tlb_accesses = 0;   // page-granular accesses
+    uint64_t tlb_misses = 0;
+
+    double DcacheMissRate() const {
+      return accesses == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(dcache_hits) / accesses;
+    }
+    double MemoryRate() const {
+      return accesses == 0
+                 ? 0.0
+                 : static_cast<double>(memory_accesses) / accesses;
+    }
+    double TlbMissRate() const {
+      return tlb_accesses == 0
+                 ? 0.0
+                 : static_cast<double>(tlb_misses) / tlb_accesses;
+    }
+
+    // Stall-cycle estimate with the Figure 3 latency ladder: D-hit free
+    // (pipelined), B-hit and memory pay their latencies, and each DTB
+    // miss costs a PALcode fill (~50 cycles on the 21064).
+    uint64_t StallCycles(uint64_t bcache_latency = 10,
+                         uint64_t memory_latency = 100,
+                         uint64_t tlb_fill = 50) const {
+      return bcache_hits * bcache_latency +
+             memory_accesses * memory_latency + tlb_misses * tlb_fill;
+    }
+  };
+
+  // Defaults: DEC 7000 AXP (21064): 8 KB direct-mapped D-cache, 4 MB
+  // direct-mapped B-cache, 32-byte lines, 32-entry DTB over 8 KB pages.
+  CacheSim()
+      : CacheSim(CacheConfig{8 * 1024, 32, 1},
+                 CacheConfig{4 * 1024 * 1024, 32, 1}) {}
+
+  CacheSim(CacheConfig dcache, CacheConfig bcache, size_t tlb_entries = 32,
+           size_t page_bytes = 8192)
+      : dcache_(dcache),
+        bcache_(bcache),
+        tlb_(tlb_entries, page_bytes),
+        line_bytes_(dcache.line_bytes) {}
+
+  // Tracer interface: every line covered by [p, p+n) goes through the
+  // hierarchy. Writes behave like reads for occupancy purposes
+  // (write-allocate).
+  void Read(const void* p, size_t n) { Touch(p, n); }
+  void Write(const void* p, size_t n) { Touch(p, n); }
+
+  void Reset() {
+    dcache_.Reset();
+    bcache_.Reset();
+    tlb_.Reset();
+    stats_ = Stats();
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Touch(const void* p, size_t n) {
+    const uint64_t addr = reinterpret_cast<uint64_t>(p);
+    const uint64_t first = addr / line_bytes_;
+    const uint64_t last = (addr + (n == 0 ? 0 : n - 1)) / line_bytes_;
+    for (uint64_t line = first; line <= last; ++line) {
+      ++stats_.accesses;
+      if (dcache_.Access(line)) {
+        ++stats_.dcache_hits;
+      } else if (bcache_.Access(line)) {
+        ++stats_.bcache_hits;
+      } else {
+        ++stats_.memory_accesses;
+      }
+    }
+    const uint64_t first_page = addr / tlb_.page_bytes();
+    const uint64_t last_page =
+        (addr + (n == 0 ? 0 : n - 1)) / tlb_.page_bytes();
+    for (uint64_t page = first_page; page <= last_page; ++page) {
+      ++stats_.tlb_accesses;
+      if (!tlb_.Access(page)) ++stats_.tlb_misses;
+    }
+  }
+
+  CacheLevel dcache_;
+  CacheLevel bcache_;
+  TlbSim tlb_;
+  size_t line_bytes_;
+  Stats stats_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_CACHE_SIM_H_

@@ -1,0 +1,52 @@
+#include "sim/cost_model.h"
+
+#include <cmath>
+
+namespace alphasort {
+namespace cost {
+
+namespace {
+constexpr double kSecondsPer5Years = 5 * 365.25 * 24 * 3600;
+}  // namespace
+
+double DatamationDollarsPerSort(double system_price_dollars,
+                                double elapsed_seconds) {
+  return system_price_dollars * elapsed_seconds / kSecondsPer5Years;
+}
+
+double MinuteSortDollars(double system_price_dollars) {
+  return system_price_dollars / 1e6;
+}
+
+double MinuteSortDollarsPerGb(double system_price_dollars,
+                              double gb_sorted_per_minute) {
+  if (gb_sorted_per_minute <= 0) return 0;
+  return MinuteSortDollars(system_price_dollars) / gb_sorted_per_minute;
+}
+
+double DollarSortSeconds(double system_price_dollars) {
+  // One minute costs price/1e6 dollars, so a dollar buys 1e6/price
+  // minutes.
+  if (system_price_dollars <= 0) return 0;
+  return 60.0 * 1e6 / system_price_dollars;
+}
+
+PassCost OnePassVsTwoPass(double sort_bytes, double target_bandwidth_mbps,
+                          double disk_write_mbps,
+                          double memory_dollars_per_mb,
+                          double disk_dollars) {
+  PassCost out;
+  out.one_pass_memory_dollars = sort_bytes / 1e6 * memory_dollars_per_mb;
+  // Scratch stripes must absorb the runs at full sort bandwidth while they
+  // are written AND read back — the paper's "twice the disk bandwidth" —
+  // and those drives are dedicated for the entire sort.
+  const double scratch_disks =
+      std::ceil(2.0 * target_bandwidth_mbps / disk_write_mbps);
+  out.two_pass_disk_dollars = scratch_disks * disk_dollars;
+  out.one_pass_cheaper =
+      out.one_pass_memory_dollars < out.two_pass_disk_dollars;
+  return out;
+}
+
+}  // namespace cost
+}  // namespace alphasort

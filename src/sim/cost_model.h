@@ -1,0 +1,52 @@
+#ifndef ALPHASORT_SIM_COST_MODEL_H_
+#define ALPHASORT_SIM_COST_MODEL_H_
+
+namespace alphasort {
+
+// The paper's price arithmetic (1993 dollars).
+namespace cost {
+
+// "Using 1993 prices for Alpha AXP, a disk and its controller costs about
+// 2400$" (§6); memory "at 100$/MB" (§6).
+inline constexpr double kDiskPlusControllerDollars = 2400.0;
+inline constexpr double kMemoryDollarsPerMb = 100.0;
+
+// Datamation's metric: 5-year cost of the system prorated over the
+// elapsed time of the sort (§2).
+double DatamationDollarsPerSort(double system_price_dollars,
+                                double elapsed_seconds);
+
+// MinuteSort (§8): price/1e6 approximates one minute of a 3-year
+// depreciation (1.58 M minutes in 3 years, the ~30% excess covering
+// software and maintenance).
+double MinuteSortDollars(double system_price_dollars);
+
+// MinuteSort price-performance: $/sorted GB.
+double MinuteSortDollarsPerGb(double system_price_dollars,
+                              double gb_sorted_per_minute);
+
+// DollarSort (§8): seconds of use of this system that one dollar buys.
+double DollarSortSeconds(double system_price_dollars);
+
+// One-pass vs two-pass economics (§6). A one-pass sort of `bytes` needs
+// that much extra memory; a two-pass sort instead needs enough scratch
+// disks to carry the intermediate runs at the sort's bandwidth (the paper
+// dedicates bandwidth-matched scratch disks for the duration: 16 extra
+// drives for the 100 MB sort on their array).
+struct PassCost {
+  double one_pass_memory_dollars = 0;
+  double two_pass_disk_dollars = 0;
+  bool one_pass_cheaper = false;
+};
+
+// `target_bandwidth_mbps` is the stripe bandwidth the scratch runs must
+// sustain; `disk_write_mbps` a scratch disk's rate.
+PassCost OnePassVsTwoPass(double sort_bytes, double target_bandwidth_mbps,
+                          double disk_write_mbps,
+                          double memory_dollars_per_mb = kMemoryDollarsPerMb,
+                          double disk_dollars = kDiskPlusControllerDollars);
+
+}  // namespace cost
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_COST_MODEL_H_

@@ -1,0 +1,89 @@
+#include "sim/disk_sim.h"
+
+#include <algorithm>
+
+namespace alphasort {
+
+double ControllerGroup::ReadMbps() const {
+  return std::min(controller.max_mbps, num_disks * disk.read_mbps);
+}
+
+double ControllerGroup::WriteMbps() const {
+  return std::min(controller.max_mbps, num_disks * disk.write_mbps);
+}
+
+double ControllerGroup::PriceDollars() const {
+  return controller.price_dollars + num_disks * disk.price_dollars;
+}
+
+double ControllerGroup::CapacityGb() const {
+  return num_disks * disk.capacity_gb;
+}
+
+int DiskArray::TotalDisks() const {
+  int n = 0;
+  for (const auto& g : groups) n += g.num_disks;
+  return n;
+}
+
+double DiskArray::ReadMbps() const {
+  double total = 0;
+  for (const auto& g : groups) total += g.ReadMbps();
+  return total;
+}
+
+double DiskArray::WriteMbps() const {
+  double total = 0;
+  for (const auto& g : groups) total += g.WriteMbps();
+  return total;
+}
+
+double DiskArray::PriceDollars() const {
+  double total = 0;
+  for (const auto& g : groups) total += g.PriceDollars();
+  return total;
+}
+
+double DiskArray::CapacityGb() const {
+  double total = 0;
+  for (const auto& g : groups) total += g.CapacityGb();
+  return total;
+}
+
+double DiskArray::ReadSeconds(double bytes) const {
+  const double rate = ReadMbps();
+  if (rate <= 0) return 0;
+  return startup_seconds + bytes / (rate * 1e6);
+}
+
+double DiskArray::WriteSeconds(double bytes) const {
+  const double rate = WriteMbps();
+  if (rate <= 0) return 0;
+  return startup_seconds + bytes / (rate * 1e6);
+}
+
+DiskModel WithWriteCacheEnabled(DiskModel disk, double write_boost) {
+  disk.name += "+WCE";
+  disk.write_mbps *= write_boost;
+  return disk;
+}
+
+DiskArray DiskArray::Uniform(const std::string& name, DiskModel disk,
+                             ControllerModel controller, int disks,
+                             int controllers) {
+  DiskArray array;
+  array.name = name;
+  if (controllers <= 0 || disks <= 0) return array;
+  const int base = disks / controllers;
+  int extra = disks % controllers;
+  for (int c = 0; c < controllers; ++c) {
+    ControllerGroup group;
+    group.controller = controller;
+    group.disk = disk;
+    group.num_disks = base + (extra-- > 0 ? 1 : 0);
+    if (group.num_disks > 0) array.groups.push_back(group);
+  }
+  return array;
+}
+
+}  // namespace alphasort

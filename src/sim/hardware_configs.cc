@@ -1,0 +1,139 @@
+#include "sim/hardware_configs.h"
+
+namespace alphasort {
+namespace hw {
+
+// Per-disk spiral rates are derived from the paper's measured stripe
+// rates:
+//   many-slow: 36 RZ26 read 64 MB/s, write 49 MB/s  -> 1.78 / 1.36 MB/s
+//   few-fast : 12 RZ28 + 6 Velocitor read 52, write 39
+//   §7 run   : 16 RZ74 read ~25.8 MB/s (100 MB in 3.87 s), write ~20.4
+// Prices: "a disk and its controller costs about 2400$" (§6); the RZ26
+// itself is "about 2000$" with ~400$ of controller share; Table 6 lists
+// 85 k$ and 122 k$ for the complete arrays (cabinets included — folded
+// into the controller price here).
+
+DiskModel Rz26() { return DiskModel{"RZ26", 1.78, 1.36, 2000, 1.05}; }
+DiskModel Rz28() { return DiskModel{"RZ28", 2.50, 1.90, 3800, 2.1}; }
+DiskModel Rz74() { return DiskModel{"RZ74", 1.62, 1.28, 2400, 3.6}; }
+DiskModel VelocitorIpi() {
+  return DiskModel{"Velocitor", 3.67, 2.70, 7600, 2.0};
+}
+
+ControllerModel ScsiKzmsa() { return ControllerModel{"SCSI (kzmsa)", 8.0, 1400}; }
+ControllerModel FastScsi() { return ControllerModel{"fast-SCSI", 10.0, 1600}; }
+ControllerModel GenrocoIpi() {
+  return ControllerModel{"Genroco IPI", 15.0, 8000};
+}
+
+DiskArray ManySlowArray() {
+  DiskArray a = DiskArray::Uniform("many-slow", Rz26(), ScsiKzmsa(), 36, 9);
+  return a;
+}
+
+DiskArray FewFastArray() {
+  DiskArray a;
+  a.name = "few-fast";
+  DiskArray scsi_part =
+      DiskArray::Uniform("scsi", Rz28(), ScsiKzmsa(), 12, 4);
+  DiskArray ipi_part =
+      DiskArray::Uniform("ipi", VelocitorIpi(), GenrocoIpi(), 6, 3);
+  a.groups = scsi_part.groups;
+  a.groups.insert(a.groups.end(), ipi_part.groups.begin(),
+                  ipi_part.groups.end());
+  return a;
+}
+
+std::vector<AxpSystem> Table8Systems() {
+  std::vector<AxpSystem> systems;
+
+  {
+    AxpSystem s;
+    s.name = "DEC 7000 AXP (3 cpu)";
+    s.cpus = 3;
+    s.clock_ns = 5.0;
+    s.memory_mb = 256;
+    s.array = DiskArray::Uniform("28xRZ26", Rz26(), FastScsi(), 28, 7);
+    s.total_price_dollars = 312000;
+    s.disk_ctlr_price_dollars = 123000;
+    s.paper_seconds = 7.0;
+    s.paper_dollars_per_sort = 0.014;
+    systems.push_back(s);
+  }
+  {
+    AxpSystem s;
+    s.name = "DEC 4000 AXP (2 cpu)";
+    s.cpus = 2;
+    s.clock_ns = 6.25;
+    s.memory_mb = 256;
+    DiskArray scsi = DiskArray::Uniform("scsi", Rz28(), ScsiKzmsa(), 12, 4);
+    DiskArray ipi =
+        DiskArray::Uniform("ipi", VelocitorIpi(), GenrocoIpi(), 6, 3);
+    s.array.name = "12scsi+6ipi";
+    s.array.groups = scsi.groups;
+    s.array.groups.insert(s.array.groups.end(), ipi.groups.begin(),
+                          ipi.groups.end());
+    s.total_price_dollars = 312000;
+    s.disk_ctlr_price_dollars = 95000;
+    s.paper_seconds = 8.2;
+    s.paper_dollars_per_sort = 0.016;
+    systems.push_back(s);
+  }
+  {
+    AxpSystem s;
+    s.name = "DEC 7000 AXP (1 cpu)";
+    s.cpus = 1;
+    s.clock_ns = 5.0;
+    s.memory_mb = 256;
+    s.array = DiskArray::Uniform("16xRZ74", Rz74(), FastScsi(), 16, 6);
+    s.total_price_dollars = 247000;
+    s.disk_ctlr_price_dollars = 65000;
+    s.paper_seconds = 9.1;
+    s.paper_dollars_per_sort = 0.014;
+    systems.push_back(s);
+  }
+  {
+    AxpSystem s;
+    s.name = "DEC 4000 AXP (1 cpu)";
+    s.cpus = 1;
+    s.clock_ns = 6.25;
+    s.memory_mb = 384;
+    s.array = DiskArray::Uniform("12xRZ26", Rz26(), FastScsi(), 12, 4);
+    s.total_price_dollars = 166000;
+    s.disk_ctlr_price_dollars = 48000;
+    s.paper_seconds = 11.3;
+    s.paper_dollars_per_sort = 0.014;
+    systems.push_back(s);
+  }
+  {
+    AxpSystem s;
+    s.name = "DEC 3000 AXP (1 cpu)";
+    s.cpus = 1;
+    s.clock_ns = 6.6;
+    s.memory_mb = 256;
+    s.array = DiskArray::Uniform("10xRZ26", Rz26(), ScsiKzmsa(), 10, 5);
+    s.total_price_dollars = 97000;
+    s.disk_ctlr_price_dollars = 48000;
+    s.paper_seconds = 13.7;
+    s.paper_dollars_per_sort = 0.009;
+    systems.push_back(s);
+  }
+  return systems;
+}
+
+AxpSystem MinuteSortSystem() {
+  AxpSystem s;
+  s.name = "DEC 7000 AXP (3 cpu, MinuteSort)";
+  s.cpus = 3;
+  s.clock_ns = 5.0;
+  s.memory_mb = 1250;
+  s.array = ManySlowArray();
+  s.total_price_dollars = 512000;
+  s.disk_ctlr_price_dollars = 85000;
+  s.paper_seconds = 60.0;
+  s.paper_dollars_per_sort = 0.51;
+  return s;
+}
+
+}  // namespace hw
+}  // namespace alphasort

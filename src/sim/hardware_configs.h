@@ -1,0 +1,55 @@
+#ifndef ALPHASORT_SIM_HARDWARE_CONFIGS_H_
+#define ALPHASORT_SIM_HARDWARE_CONFIGS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/disk_sim.h"
+
+namespace alphasort {
+
+// Catalog of the 1993 hardware the paper measures, calibrated to the
+// rates and prices it reports (Table 6, Table 8, §6, §7). Per-disk spiral
+// rates are back-derived from the paper's measured stripe rates; the
+// derivations are documented in EXPERIMENTS.md.
+namespace hw {
+
+// --- disks ------------------------------------------------------------
+DiskModel Rz26();        // commodity 3.5" SCSI; 36 of them read 64 MB/s
+DiskModel Rz28();        // faster SCSI drive of the few-fast array
+DiskModel Rz74();        // drives of the 9.1-second uni-processor run
+DiskModel VelocitorIpi();  // fast IPI drive behind a Genroco controller
+
+// --- controllers --------------------------------------------------------
+ControllerModel ScsiKzmsa();   // plain SCSI
+ControllerModel FastScsi();    // fast-SCSI
+ControllerModel GenrocoIpi();  // "two fast IPI drives offer 15 MB/s"
+
+// --- Table 6 arrays -----------------------------------------------------
+DiskArray ManySlowArray();  // 36 RZ26 on 9 SCSI controllers, 85 k$
+DiskArray FewFastArray();   // 12 RZ28 on 4 SCSI + 6 Velocitor on 3 IPI
+
+// --- Table 8 systems ------------------------------------------------------
+struct AxpSystem {
+  std::string name;
+  int cpus = 1;
+  double clock_ns = 5.0;
+  int memory_mb = 256;
+  DiskArray array;
+  double total_price_dollars = 0;      // system list price
+  double disk_ctlr_price_dollars = 0;  // of which disks + controllers
+  // Paper-reported results, for side-by-side comparison.
+  double paper_seconds = 0;
+  double paper_dollars_per_sort = 0;
+};
+
+std::vector<AxpSystem> Table8Systems();
+
+// The MinuteSort machine of §8: 3-CPU DEC 7000, 1.25 GB memory, 36 disks,
+// 512 k$ list.
+AxpSystem MinuteSortSystem();
+
+}  // namespace hw
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_HARDWARE_CONFIGS_H_

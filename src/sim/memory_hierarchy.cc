@@ -1,0 +1,38 @@
+#include "sim/memory_hierarchy.h"
+
+#include "common/table.h"
+
+namespace alphasort {
+
+MemoryHierarchy MemoryHierarchy::Axp7000() {
+  MemoryHierarchy h;
+  h.clock_ns = 5.0;
+  // Latencies in 5 ns clock ticks, following Figure 3's log scale:
+  // registers ~1 tick, on-chip cache ~2, on-board cache ~10, main memory
+  // ~100, disk ~2 years of human time (1e7 ticks), tape/optical ~2000
+  // years (1e10).
+  h.levels = {
+      {"registers", 1, "my head (1 min)"},
+      {"on-chip cache", 2, "this room (2 min)"},
+      {"on-board cache", 10, "this campus (10 min)"},
+      {"main memory", 100, "Sacramento (1.5 hr)"},
+      {"disk", 1.0e7, "Pluto (2 years)"},
+      {"tape / optical robot", 1.0e10, "Andromeda (2,000 years)"},
+  };
+  return h;
+}
+
+std::string MemoryHierarchy::HumanTime(double clock_ticks) {
+  // One tick == one minute of body time.
+  const double minutes = clock_ticks;
+  if (minutes < 60) return StrFormat("%.0f min", minutes);
+  const double hours = minutes / 60;
+  if (hours < 24) return StrFormat("%.1f hr", hours);
+  const double days = hours / 24;
+  if (days < 365) return StrFormat("%.0f days", days);
+  const double years = days / 365.25;
+  if (years < 10) return StrFormat("%.1f years", years);
+  return StrFormat("%.0f years", years);
+}
+
+}  // namespace alphasort

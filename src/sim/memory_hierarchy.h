@@ -1,0 +1,38 @@
+#ifndef ALPHASORT_SIM_MEMORY_HIERARCHY_H_
+#define ALPHASORT_SIM_MEMORY_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+namespace alphasort {
+
+// The paper's Figure 3 ladder: "How far away is the data?" Each level's
+// distance is measured in processor clock ticks (5 ns on the DEC 7000),
+// and translated to a human scale where one tick is one minute of body
+// time.
+struct MemoryLevel {
+  std::string name;
+  double clock_ticks;     // access latency in CPU clocks
+  std::string analogy;    // the paper's San Francisco analogy
+};
+
+struct MemoryHierarchy {
+  double clock_ns = 5.0;  // 200 MHz Alpha
+  std::vector<MemoryLevel> levels;
+
+  // The hierarchy as drawn in Figure 3.
+  static MemoryHierarchy Axp7000();
+
+  // Latency of `level` in nanoseconds.
+  double LatencyNanos(const MemoryLevel& level) const {
+    return level.clock_ticks * clock_ns;
+  }
+
+  // Human-scale time if one clock tick took one minute.
+  // Returns a readable string ("2 min", "1.5 hr", "2 years", ...).
+  static std::string HumanTime(double clock_ticks);
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_MEMORY_HIERARCHY_H_

@@ -1,0 +1,135 @@
+#include "sim/pipeline_event_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace alphasort {
+namespace sim {
+
+namespace {
+
+// Earliest-free assignment onto `free_at`; returns the chore's end time.
+double RunOnFreestCpu(std::vector<double>* free_at, double ready,
+                      double duration) {
+  auto it = std::min_element(free_at->begin(), free_at->end());
+  const double start = std::max(ready, *it);
+  *it = start + duration;
+  return *it;
+}
+
+}  // namespace
+
+PipelineEventResult SimulatePipelineEvents(const hw::AxpSystem& system,
+                                           double bytes,
+                                           const CpuCostModel& cost,
+                                           uint64_t run_records,
+                                           uint64_t stride_bytes) {
+  PipelineEventResult out;
+  const double clock_scale = system.clock_ns / 5.0;
+  const uint64_t record_size = 100;
+  const uint64_t n = static_cast<uint64_t>(bytes / record_size);
+  const int cpus = std::max(1, system.cpus);
+  if (n == 0) return out;
+
+  // --- read phase: strided reads, depth-3 per disk, round-robin. A run
+  // is ready when the stride containing its last record completes.
+  EventDiskSim disks(system.array);
+  const int num_disks = std::max(1, disks.num_disks());
+  const uint64_t total_bytes = n * record_size;
+  const uint64_t num_chunks =
+      (total_bytes + stride_bytes - 1) / stride_bytes;
+
+  std::vector<std::vector<double>> done_per_disk(num_disks);
+  std::vector<double> chunk_done(num_chunks, 0);
+  double last_read = 0;
+  {
+    uint64_t remaining = total_bytes;
+    for (uint64_t i = 0; i < num_chunks; ++i) {
+      const int d = static_cast<int>(i % num_disks);
+      const uint64_t len = std::min<uint64_t>(stride_bytes, remaining);
+      remaining -= len;
+      auto& history = done_per_disk[d];
+      const double issue = history.size() >= 3
+                               ? history[history.size() - 3]
+                               : 0.0;
+      chunk_done[i] = disks.ScheduleRead(d, len, issue);
+      history.push_back(chunk_done[i]);
+      last_read = std::max(last_read, chunk_done[i]);
+    }
+  }
+  out.read_phase_s = last_read;
+
+  // QuickSort chores on the CPUs, each ready at its last chunk's arrival.
+  const double qs_per_record =
+      cost.extract_quicksort_s * clock_scale / 1e6;
+  std::vector<double> cpu_free(cpus, 0.0);
+  double last_sort = 0;
+  for (uint64_t start = 0; start < n; start += run_records) {
+    const uint64_t len = std::min<uint64_t>(run_records, n - start);
+    const uint64_t last_byte = (start + len) * record_size - 1;
+    const double ready = chunk_done[last_byte / stride_bytes];
+    const double dur = len * qs_per_record;
+    last_sort = std::max(last_sort,
+                         RunOnFreestCpu(&cpu_free, ready, dur));
+    out.cpu_busy_s += dur;
+  }
+  out.last_run_s = std::max(0.0, last_sort - last_read);
+
+  // --- merge phase: the root merges one output buffer at a time (serial
+  // token), workers gather it, and the buffer — a full stripe cycle —
+  // is written to every disk at once, double buffered: the root may only
+  // start filling buffer i once buffer i-2 has drained.
+  EventDiskSim write_disks(system.array);
+  const double merge_per_record = cost.merge_root_s * clock_scale / 1e6;
+  const double gather_per_record =
+      cost.gather_s * clock_scale / 1e6 / cpus;
+  const uint64_t batch_records = std::max<uint64_t>(
+      1, static_cast<uint64_t>(num_disks) * stride_bytes / record_size);
+  double merge_token = 0;  // when the root can start the next buffer
+  std::vector<double> batch_done;
+  double last_write = 0;
+  uint64_t emitted = 0;
+  while (emitted < n) {
+    const uint64_t len = std::min<uint64_t>(batch_records, n - emitted);
+    const double buffer_free =
+        batch_done.size() >= 2 ? batch_done[batch_done.size() - 2] : 0.0;
+    // Root merge (serial) then gather, gated by buffer reuse. With one
+    // CPU the root does both back to back; with workers the gather
+    // overlaps the root's next merge (§5's division of labour).
+    double merged;
+    double gathered;
+    if (cpus == 1) {
+      merged = std::max(merge_token, buffer_free) +
+               len * (merge_per_record + gather_per_record);
+      merge_token = merged;
+      gathered = merged;
+    } else {
+      merged = std::max(merge_token, buffer_free) + len * merge_per_record;
+      merge_token = merged;
+      gathered = merged + len * gather_per_record;
+    }
+    // The buffer spans the stripe: one chunk per disk, all concurrent.
+    uint64_t remaining = len * record_size;
+    double done = gathered;
+    for (int d = 0; d < num_disks && remaining > 0; ++d) {
+      const uint64_t chunk = std::min<uint64_t>(stride_bytes, remaining);
+      remaining -= chunk;
+      done = std::max(done, write_disks.ScheduleWrite(d, chunk, gathered));
+    }
+    batch_done.push_back(done);
+    last_write = std::max(last_write, done);
+    emitted += len;
+  }
+  out.merge_phase_s = last_write;
+
+  const double os_half = cost.os_overlappable_s * clock_scale / 2.0;
+  out.total_s = cost.startup_s * clock_scale +
+                std::max(out.read_phase_s, os_half) + out.last_run_s +
+                std::max(out.merge_phase_s, os_half) +
+                cost.shutdown_s * clock_scale +
+                cost.mp_overhead_s * (cpus - 1);
+  return out;
+}
+
+}  // namespace sim
+}  // namespace alphasort

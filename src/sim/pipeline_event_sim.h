@@ -1,0 +1,39 @@
+#ifndef ALPHASORT_SIM_PIPELINE_EVENT_SIM_H_
+#define ALPHASORT_SIM_PIPELINE_EVENT_SIM_H_
+
+#include "sim/event_sim.h"
+#include "sim/pipeline_model.h"
+
+namespace alphasort {
+namespace sim {
+
+// Discrete-event cross-check of the analytic pipeline model: instead of
+// phase maxima, it plays out the actual event interleaving —
+//   read phase : strided chunk reads round-robin across the disks with
+//                the paper's triple buffering; a QuickSort chore becomes
+//                ready when the stride carrying its run's last record
+//                completes, and runs on the earliest-free CPU;
+//   last run   : whatever QuickSort work remains after the final stride;
+//   merge phase: the root merges batch after batch (serial), workers
+//                gather each batch, and the double-buffered striped write
+//                overlaps the next batch's merge+gather.
+// Agreement between this simulation and the analytic maxima is what
+// justifies using the simple model for Tables 1/8 (see
+// tests/pipeline_event_test.cc and bench/table8_axp_systems).
+struct PipelineEventResult {
+  double read_phase_s = 0;   // until the last stride lands
+  double last_run_s = 0;     // QuickSort tail after the last stride
+  double merge_phase_s = 0;  // merge+gather+write, event-interleaved
+  double total_s = 0;        // with the model's startup/shutdown charges
+  double cpu_busy_s = 0;     // summed QuickSort chore time (all CPUs)
+};
+
+PipelineEventResult SimulatePipelineEvents(
+    const hw::AxpSystem& system, double bytes,
+    const CpuCostModel& cost = CpuCostModel(),
+    uint64_t run_records = 100000, uint64_t stride_bytes = 64 * 1024);
+
+}  // namespace sim
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_PIPELINE_EVENT_SIM_H_

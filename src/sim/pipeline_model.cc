@@ -1,0 +1,87 @@
+#include "sim/pipeline_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alphasort {
+namespace sim {
+
+namespace {
+
+// Memory a one-pass sort needs: the records plus the (prefix, pointer)
+// entry array and working buffers (~1.2x, paper extends the address space
+// by 110 MB for the 100 MB sort).
+constexpr double kMemoryExpansion = 1.2;
+
+PipelinePrediction Predict(const hw::AxpSystem& system, double bytes,
+                           const CpuCostModel& cost, bool two_pass) {
+  PipelinePrediction p;
+  const double millions_of_records = bytes / 100e6 * 1.0;  // 100-B records
+  const double clock_scale = system.clock_ns / 5.0;
+  const double per_m = millions_of_records * clock_scale;
+
+  const double io_factor = two_pass ? 2.0 : 1.0;
+  p.read_io_s = io_factor * system.array.ReadSeconds(bytes);
+  p.write_io_s = io_factor * system.array.WriteSeconds(bytes);
+
+  const int cpus = std::max(1, system.cpus);
+  const double qs = cost.extract_quicksort_s * per_m * (two_pass ? 1.0 : 1.0);
+  const double merge_root = cost.merge_root_s * per_m;
+  const double gather = cost.gather_s * per_m;
+  const double os_half = cost.os_overlappable_s * clock_scale / 2.0;
+
+  p.read_cpu_s = qs / cpus + os_half;
+  p.write_cpu_s = merge_root + gather / cpus + os_half;
+
+  p.startup_s = cost.startup_s * clock_scale;
+  p.shutdown_s = cost.shutdown_s * clock_scale;
+  p.mp_overhead_s = cost.mp_overhead_s * (cpus - 1);
+  p.last_run_s = cost.last_run_fraction * qs / cpus;
+
+  p.read_phase_s = std::max(p.read_io_s, p.read_cpu_s);
+  p.write_phase_s = std::max(p.write_io_s, p.write_cpu_s);
+  p.read_io_limited = p.read_io_s >= p.read_cpu_s;
+  p.write_io_limited = p.write_io_s >= p.write_cpu_s;
+
+  p.total_s = p.startup_s + p.read_phase_s + p.last_run_s + p.write_phase_s +
+              p.shutdown_s + p.mp_overhead_s;
+  return p;
+}
+
+}  // namespace
+
+PipelinePrediction PredictOnePass(const hw::AxpSystem& system, double bytes,
+                                  const CpuCostModel& cost) {
+  return Predict(system, bytes, cost, /*two_pass=*/false);
+}
+
+PipelinePrediction PredictTwoPass(const hw::AxpSystem& system, double bytes,
+                                  const CpuCostModel& cost) {
+  return Predict(system, bytes, cost, /*two_pass=*/true);
+}
+
+double MaxBytesInSeconds(const hw::AxpSystem& system, double seconds,
+                         const CpuCostModel& cost) {
+  const double memory_bytes = system.memory_mb * 1e6;
+  auto elapsed = [&](double bytes) {
+    const bool fits = bytes * kMemoryExpansion <= memory_bytes;
+    return fits ? PredictOnePass(system, bytes, cost).total_s
+                : PredictTwoPass(system, bytes, cost).total_s;
+  };
+  // Elapsed time is monotone in bytes (with one upward jump at the
+  // one-pass/two-pass boundary); binary search the inverse.
+  double lo = 0;
+  double hi = 1e12;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (elapsed(mid) <= seconds) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace sim
+}  // namespace alphasort

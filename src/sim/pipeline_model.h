@@ -1,0 +1,78 @@
+#ifndef ALPHASORT_SIM_PIPELINE_MODEL_H_
+#define ALPHASORT_SIM_PIPELINE_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/hardware_configs.h"
+
+namespace alphasort {
+namespace sim {
+
+// Analytic model of the AlphaSort pipeline (paper §7 walkthrough),
+// calibrated on the DEC 7000 AXP uni-processor 9.1-second run and used to
+// regenerate Tables 1 and 8, Figure 5's elapsed times, and the MinuteSort
+// result.
+//
+// The model mirrors the paper's phase structure:
+//   startup        load the image, open input stripes, create output
+//   read phase     striped read overlapped with prefix-extract+QuickSort
+//                  (whichever is slower governs; the paper's run is
+//                  disk-bound here)
+//   last run       the final QuickSort that cannot overlap any input
+//   merge+write    striped write overlapped with the root's merge and the
+//                  workers' gather (again max of IO and CPU)
+//   shutdown       close files, return to shell
+//
+// CPU-side costs are expressed in seconds per million records at a 5 ns
+// clock and scaled by the target's clock; OS chores that the paper shows
+// hiding inside IO waits (address-space zeroing, file allocation) are
+// modeled as overlappable root CPU work split across the two phases.
+// Multiprocessor runs carry a per-extra-CPU coordination charge
+// (process creation, shared-section attach) calibrated on Table 8.
+struct CpuCostModel {
+  // Seconds per 1e6 records at 5 ns clock.
+  double extract_quicksort_s = 2.0;  // paper: ~2 s of the 6 s mm-sort
+  double merge_root_s = 1.0;         // tournament on the root
+  double gather_s = 3.0;             // "more time is spent gathering..."
+  double os_overlappable_s = 1.6;    // zeroing, allocation (of 1.9 s OS)
+  double startup_s = 0.30;           // load + stripe opens + create
+  double shutdown_s = 0.05;          // closes + return
+  double mp_overhead_s = 0.90;       // per additional processor
+  double last_run_fraction = 0.10;   // one of ~10 runs sorts after EOF
+};
+
+struct PipelinePrediction {
+  double read_io_s = 0;
+  double write_io_s = 0;
+  double read_cpu_s = 0;   // overlappable CPU work in the read phase
+  double write_cpu_s = 0;  // overlappable CPU work in the merge phase
+  double startup_s = 0;
+  double read_phase_s = 0;
+  double last_run_s = 0;
+  double write_phase_s = 0;
+  double shutdown_s = 0;
+  double mp_overhead_s = 0;
+  double total_s = 0;
+  bool read_io_limited = false;
+  bool write_io_limited = false;
+};
+
+// One-pass Datamation-style sort of `bytes` (100-byte records).
+PipelinePrediction PredictOnePass(const hw::AxpSystem& system, double bytes,
+                                  const CpuCostModel& cost = CpuCostModel());
+
+// Two-pass external sort: runs are written to (and re-read from) the same
+// array, so the stripe carries the data twice in each direction.
+PipelinePrediction PredictTwoPass(const hw::AxpSystem& system, double bytes,
+                                  const CpuCostModel& cost = CpuCostModel());
+
+// Largest input (bytes) the system sorts within `seconds` — the
+// MinuteSort metric when seconds = 60. One-pass while the input fits in
+// memory (with entry overhead), two-pass beyond.
+double MaxBytesInSeconds(const hw::AxpSystem& system, double seconds,
+                         const CpuCostModel& cost = CpuCostModel());
+
+}  // namespace sim
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_PIPELINE_MODEL_H_

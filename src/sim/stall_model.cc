@@ -1,0 +1,37 @@
+#include "sim/stall_model.h"
+
+#include "common/table.h"
+
+namespace alphasort {
+namespace sim {
+
+std::string StallBreakdown::ToString() const {
+  const double total = TotalCycles();
+  if (total <= 0) return "(no work)";
+  auto pct = [total](double v) { return 100.0 * v / total; };
+  return StrFormat(
+      "issue %.0f%% | branch %.0f%% | I-stream %.0f%% | D-to-B %.0f%% | "
+      "B-to-memory %.0f%%",
+      pct(issue_cycles), pct(branch_stall_cycles),
+      pct(istream_stall_cycles), pct(dstream_b_cycles),
+      pct(dstream_mem_cycles));
+}
+
+StallBreakdown EstimateStalls(const SortStats& ops,
+                              const CacheSim::Stats& cache,
+                              const StallModelParams& params) {
+  StallBreakdown out;
+  const double instructions =
+      ops.compares * params.instructions_per_compare +
+      ops.exchanges * params.instructions_per_exchange +
+      ops.bytes_moved * params.instructions_per_byte_moved;
+  out.issue_cycles = instructions * params.cpi_issue;
+  out.branch_stall_cycles = out.issue_cycles * params.branch_stall_ratio;
+  out.istream_stall_cycles = out.issue_cycles * params.istream_stall_ratio;
+  out.dstream_b_cycles = cache.bcache_hits * params.bcache_latency;
+  out.dstream_mem_cycles = cache.memory_accesses * params.memory_latency;
+  return out;
+}
+
+}  // namespace sim
+}  // namespace alphasort

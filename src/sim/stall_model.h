@@ -1,0 +1,66 @@
+#ifndef ALPHASORT_SIM_STALL_MODEL_H_
+#define ALPHASORT_SIM_STALL_MODEL_H_
+
+#include <string>
+
+#include "sim/cache_sim.h"
+#include "sort/quicksort.h"
+
+namespace alphasort {
+namespace sim {
+
+// Clock-cycle account for a sort kernel, in the style of the paper's
+// Figure 7 pie ("29% of the clocks execute instructions, 4% branch
+// mis-predictions, 11% I-stream misses, 56% D-stream misses").
+//
+// Issue cycles are estimated from the kernel's operation counts
+// (SortStats) with per-operation instruction budgets; data stalls come
+// from the cache simulator's hit/miss counts times the Figure 3 latency
+// ladder; branch and I-stream charges use the paper's measured Alpha
+// ratios as fixed overheads on the issue stream.
+struct StallBreakdown {
+  double issue_cycles = 0;
+  double branch_stall_cycles = 0;
+  double istream_stall_cycles = 0;
+  double dstream_b_cycles = 0;    // D-cache miss serviced by the B-cache
+  double dstream_mem_cycles = 0;  // B-cache miss serviced by memory
+
+  double TotalCycles() const {
+    return issue_cycles + branch_stall_cycles + istream_stall_cycles +
+           dstream_b_cycles + dstream_mem_cycles;
+  }
+  double IssueFraction() const { return issue_cycles / TotalCycles(); }
+  double DstreamFraction() const {
+    return (dstream_b_cycles + dstream_mem_cycles) / TotalCycles();
+  }
+
+  std::string ToString() const;
+};
+
+struct StallModelParams {
+  // Per-operation instruction budgets (integer + load/store + branch),
+  // derived from the §7 instruction mix of a compare-dominated kernel.
+  double instructions_per_compare = 12;
+  double instructions_per_exchange = 8;
+  double instructions_per_byte_moved = 0.25;  // unrolled copy loops
+  double cpi_issue = 0.8;   // >40% dual issue (§7) => CPI < 1
+
+  // The paper's measured overhead ratios on the Alpha 21064.
+  double branch_stall_ratio = 0.14;   // 4% of clocks vs 29% issuing
+  double istream_stall_ratio = 0.38;  // 11% of clocks vs 29% issuing
+
+  // Figure 3 latencies (5 ns clocks).
+  double bcache_latency = 10;
+  double memory_latency = 100;
+};
+
+// Combines a kernel's operation counts and its simulated cache behaviour
+// into a clock breakdown.
+StallBreakdown EstimateStalls(const SortStats& ops,
+                              const CacheSim::Stats& cache,
+                              const StallModelParams& params = {});
+
+}  // namespace sim
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SIM_STALL_MODEL_H_

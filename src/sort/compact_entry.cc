@@ -1,0 +1,72 @@
+#include "sort/compact_entry.h"
+
+#include "common/bytes.h"
+
+namespace alphasort {
+
+namespace {
+
+uint32_t Prefix32(const RecordFormat& fmt, const char* record) {
+  return static_cast<uint32_t>(fmt.KeyPrefix(record) >> 32);
+}
+
+// Index-based Ops over compact entries for the shared introsort driver.
+class CompactOps {
+ public:
+  CompactOps(const RecordFormat& format, const char* base,
+             CompactEntry* entries, SortStats* stats)
+      : fmt_(format), base_(base), a_(entries), stats_(stats) {}
+
+  bool Less(size_t i, size_t j) { return LessEntries(a_[i], a_[j]); }
+
+  void Swap(size_t i, size_t j) {
+    ++stats_->exchanges;
+    stats_->bytes_moved += 2 * sizeof(CompactEntry);
+    std::swap(a_[i], a_[j]);
+  }
+
+  void SetPivot(size_t i) { pivot_ = a_[i]; }
+  bool LessThanPivot(size_t i) { return LessEntries(a_[i], pivot_); }
+  bool PivotLessThan(size_t i) { return LessEntries(pivot_, a_[i]); }
+
+ private:
+  const char* Rec(const CompactEntry& e) const {
+    return base_ + static_cast<uint64_t>(e.index) * fmt_.record_size;
+  }
+
+  bool LessEntries(const CompactEntry& x, const CompactEntry& y) {
+    ++stats_->compares;
+    if (x.prefix != y.prefix) return x.prefix < y.prefix;
+    if (fmt_.key_size <= 4) return false;
+    ++stats_->tie_breaks;
+    return fmt_.CompareKeys(Rec(x), Rec(y)) < 0;
+  }
+
+  RecordFormat fmt_;
+  const char* base_;
+  CompactEntry* a_;
+  SortStats* stats_;
+  CompactEntry pivot_{};
+};
+
+}  // namespace
+
+void BuildCompactEntryArray(const RecordFormat& format, const char* base,
+                            size_t n, CompactEntry* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = CompactEntry{
+        Prefix32(format, base + i * format.record_size),
+        static_cast<uint32_t>(i)};
+  }
+}
+
+void SortCompactEntryArray(const RecordFormat& format, const char* base,
+                           CompactEntry* entries, size_t n,
+                           SortStats* stats) {
+  SortStats local;
+  if (stats == nullptr) stats = &local;
+  CompactOps ops(format, base, entries, stats);
+  sort_internal::IntroSort(ops, n);
+}
+
+}  // namespace alphasort

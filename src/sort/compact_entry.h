@@ -1,0 +1,39 @@
+#ifndef ALPHASORT_SORT_COMPACT_ENTRY_H_
+#define ALPHASORT_SORT_COMPACT_ENTRY_H_
+
+#include <cstdint>
+
+#include "record/record.h"
+#include "sort/quicksort.h"
+
+namespace alphasort {
+
+// The paper's actual entry layout: "AlphaSort extracts the 8-byte (record
+// address, key-prefix) pairs from each record" (§7) — a 32-bit key prefix
+// plus a 32-bit record reference, so twice as many entries fit in a cache
+// line as with this library's default 16-byte (64-bit prefix, 64-bit
+// pointer) entries. The cost is a weaker discriminator: a 4-byte prefix
+// of random keys starts colliding around ~2^16 records (birthday bound),
+// sending more compares through the records.
+//
+// The record reference is an index relative to a base pointer, which is
+// how a 32-bit slot addresses >4 GB of records.
+struct CompactEntry {
+  uint32_t prefix;  // first 4 key bytes, big-endian normalized
+  uint32_t index;   // record index relative to the base
+};
+static_assert(sizeof(CompactEntry) == 8, "the paper's 8-byte pairs");
+
+// Builds entries over `n` contiguous records starting at `base`.
+void BuildCompactEntryArray(const RecordFormat& format, const char* base,
+                            size_t n, CompactEntry* out);
+
+// Sorts entries by key (4-byte prefix fast path, full-key fallback
+// through base + index on ties). Stats count tie-breaks as usual.
+void SortCompactEntryArray(const RecordFormat& format, const char* base,
+                           CompactEntry* entries, size_t n,
+                           SortStats* stats = nullptr);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_COMPACT_ENTRY_H_

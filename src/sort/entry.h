@@ -1,0 +1,57 @@
+#ifndef ALPHASORT_SORT_ENTRY_H_
+#define ALPHASORT_SORT_ENTRY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "record/record.h"
+
+namespace alphasort {
+
+// The three detached representations a QuickSort can operate on instead of
+// whole records (paper §4). Record sort needs no entry type: it permutes
+// the record array itself.
+
+// Pointer sort: sort raw record pointers; every compare chases both
+// pointers into main memory.
+using RecordPtr = const char*;
+
+// Key sort: the full (conditioned) key is carried next to the pointer, so
+// compares never touch the record. Keys longer than kInlineKeyCapacity are
+// not supported by this discipline (use key-prefix sort, which falls back
+// to the record on prefix ties).
+struct KeyEntry {
+  static constexpr size_t kInlineKeyCapacity = 16;
+
+  std::array<char, kInlineKeyCapacity> key;  // zero-padded past key_size
+  const char* record;
+};
+
+// Key-prefix sort — AlphaSort's choice. The first (up to) 8 key bytes are
+// normalized into a big-endian integer; most compares are one integer
+// compare, and ties go through the pointer to the full key.
+struct PrefixEntry {
+  uint64_t prefix;
+  const char* record;
+};
+
+inline KeyEntry MakeKeyEntry(const RecordFormat& format, const char* record) {
+  KeyEntry e;
+  e.key.fill(0);
+  const size_t n = format.key_size < KeyEntry::kInlineKeyCapacity
+                       ? format.key_size
+                       : KeyEntry::kInlineKeyCapacity;
+  memcpy(e.key.data(), format.KeyPtr(record), n);
+  e.record = record;
+  return e;
+}
+
+inline PrefixEntry MakePrefixEntry(const RecordFormat& format,
+                                   const char* record) {
+  return PrefixEntry{format.KeyPrefix(record), record};
+}
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_ENTRY_H_

@@ -1,0 +1,128 @@
+#ifndef ALPHASORT_SORT_MERGER_H_
+#define ALPHASORT_SORT_MERGER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/tracer.h"
+#include "record/record.h"
+#include "sort/entry.h"
+#include "sort/quicksort.h"
+#include "sort/tournament_tree.h"
+
+namespace alphasort {
+
+// A sorted run of (key-prefix, pointer) entries, as produced by the
+// QuickSort phase. The entries reference records that stay where they were
+// read into memory; records are only copied once, by the gather step.
+struct EntryRun {
+  const PrefixEntry* begin = nullptr;
+  const PrefixEntry* end = nullptr;
+
+  size_t size() const { return static_cast<size_t>(end - begin); }
+};
+
+// Merges K sorted runs of prefix entries with a loser tree, emitting the
+// globally ordered stream of record pointers (paper §4/§7: "the merge
+// results in a stream of in-order record pointers"). Compares resolve on
+// the prefix; ties "examine the full keys in the records".
+template <typename Tracer = NullTracer>
+class RunMerger {
+ public:
+  // `tracer` may be null only when Tracer is default-constructible (a
+  // default-constructed instance is used then).
+  RunMerger(const RecordFormat& format, std::vector<EntryRun> runs,
+            TreeLayout layout = TreeLayout::kFlat, Tracer* tracer = nullptr,
+            SortStats* stats = nullptr)
+      : format_(format),
+        runs_(std::move(runs)),
+        cursors_(runs_.size()),
+        stats_(stats != nullptr ? stats : &local_stats_),
+        tree_(runs_.empty() ? 1 : runs_.size(),
+              EntryLess{format, tracer != nullptr ? tracer : &default_tracer_,
+                        stats_},
+              layout, tracer != nullptr ? tracer : &default_tracer_) {
+    for (size_t s = 0; s < runs_.size(); ++s) {
+      cursors_[s] = runs_[s].begin;
+      if (cursors_[s] != runs_[s].end) {
+        tree_.SetLeaf(s, *cursors_[s]++);
+      }
+    }
+    tree_.Rebuild();
+  }
+
+  bool Done() const { return tree_.Empty(); }
+
+  // Next record pointer in global key order. Requires !Done().
+  const char* Next() {
+    const PrefixEntry win = tree_.WinnerItem();
+    const size_t s = tree_.WinnerStream();
+    if (cursors_[s] != runs_[s].end) {
+      tree_.ReplaceWinner(*cursors_[s]++);
+    } else {
+      tree_.ExhaustWinner();
+    }
+    return win.record;
+  }
+
+  // Drains up to `max` pointers into `out`; returns the count produced.
+  size_t NextBatch(const char** out, size_t max) {
+    size_t n = 0;
+    while (n < max && !Done()) out[n++] = Next();
+    return n;
+  }
+
+  uint64_t tree_compares() const { return tree_.compares(); }
+
+ private:
+  struct EntryLess {
+    RecordFormat format;
+    Tracer* tracer;
+    SortStats* stats;
+
+    bool operator()(const PrefixEntry& a, const PrefixEntry& b) const {
+      ++stats->compares;
+      if (a.prefix != b.prefix) return a.prefix < b.prefix;
+      if (format.key_size <= 8) return false;
+      ++stats->tie_breaks;
+      Mem<Tracer> mem(tracer);
+      mem.TouchRead(format.KeyPtr(a.record), format.key_size);
+      mem.TouchRead(format.KeyPtr(b.record), format.key_size);
+      return format.CompareKeys(a.record, b.record) < 0;
+    }
+  };
+
+  Tracer default_tracer_{};
+  RecordFormat format_;
+  std::vector<EntryRun> runs_;
+  std::vector<const PrefixEntry*> cursors_;
+  SortStats local_stats_;
+  SortStats* stats_;
+  LoserTree<PrefixEntry, EntryLess, Tracer> tree_;
+};
+
+// Gathers records into an output buffer following the merged pointer
+// stream. This is AlphaSort's single record copy — "records are only
+// copied this one time" (§4) — and the memory-intensive step that workers
+// execute during the merge phase (§5).
+template <typename Tracer>
+void GatherRecords(const RecordFormat& format, const char* const* pointers,
+                   size_t n, char* out, Tracer* tracer) {
+  Mem<Tracer> mem(tracer);
+  const size_t r = format.record_size;
+  for (size_t i = 0; i < n; ++i) {
+    mem.TouchRead(pointers[i], r);
+    mem.TouchWrite(out + i * r, r);
+    memcpy(out + i * r, pointers[i], r);
+  }
+}
+
+inline void GatherRecords(const RecordFormat& format,
+                          const char* const* pointers, size_t n, char* out) {
+  NullTracer tracer;
+  GatherRecords(format, pointers, n, out, &tracer);
+}
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_MERGER_H_

@@ -1,0 +1,168 @@
+#include "sort/ovc.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace alphasort {
+
+namespace {
+
+// Packs key bytes [offset, offset+2) big-endian, zero-padded past the end.
+uint32_t ValueBytes(const char* key, size_t key_size, size_t offset) {
+  uint32_t v = 0;
+  if (offset < key_size) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(key[offset])) << 8;
+  }
+  if (offset + 1 < key_size) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(key[offset + 1]));
+  }
+  return v;
+}
+
+}  // namespace
+
+OvcMerger::OvcMerger(const RecordFormat& format,
+                     std::vector<std::vector<const char*>> runs)
+    : format_(format),
+      runs_(std::move(runs)),
+      cursor_(runs_.size(), 0),
+      k_(runs_.size() == 0 ? 1 : runs_.size()),
+      nodes_(k_ > 1 ? k_ - 1 : 1, kNone),
+      leaves_(k_) {
+  assert(format_.key_size < 65536);
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    if (!runs_[r].empty()) {
+      leaves_[r].record = runs_[r][0];
+      leaves_[r].code = InitialCode(runs_[r][0]);
+      leaves_[r].exhausted = false;
+      cursor_[r] = 1;
+    }
+  }
+  if (k_ == 1) {
+    winner_ = (!runs_.empty() && !leaves_[0].exhausted) ? 0 : kNone;
+  } else {
+    const size_t w = RebuildSubtree(1);
+    winner_ = (w != kNone && !leaves_[w].exhausted) ? w : kNone;
+  }
+}
+
+uint32_t OvcMerger::CodeAgainst(const char* key_rec,
+                                const char* base_rec) const {
+  const char* a = format_.KeyPtr(key_rec);
+  const char* b = format_.KeyPtr(base_rec);
+  size_t off = 0;
+  while (off < format_.key_size && a[off] == b[off]) ++off;
+  return (static_cast<uint32_t>(format_.key_size - off) << 16) |
+         ValueBytes(a, format_.key_size, off);
+}
+
+uint32_t OvcMerger::InitialCode(const char* rec) const {
+  // First record of a run is coded against the virtual "minus infinity"
+  // key: offset 0, value = first two key bytes.
+  return (static_cast<uint32_t>(format_.key_size) << 16) |
+         ValueBytes(format_.KeyPtr(rec), format_.key_size, 0);
+}
+
+void OvcMerger::RefillLeaf(size_t r) {
+  Leaf& leaf = leaves_[r];
+  if (cursor_[r] >= runs_[r].size()) {
+    leaf.exhausted = true;
+    return;
+  }
+  const char* prev = leaf.record;  // the record just emitted from run r
+  const char* next = runs_[r][cursor_[r]++];
+  leaf.record = next;
+  leaf.code = CodeAgainst(next, prev);
+  stats_.key_bytes_read += format_.key_size;  // code computation scan
+  leaf.exhausted = false;
+}
+
+bool OvcMerger::LeafBeats(size_t a, size_t b) {
+  if (a == kNone) return false;
+  if (b == kNone) return true;
+  Leaf& la = leaves_[a];
+  Leaf& lb = leaves_[b];
+  if (la.exhausted) return false;
+  if (lb.exhausted) return true;
+  if (la.code != lb.code) {
+    ++stats_.code_compares;
+    const bool a_wins = la.code < lb.code;
+    // With a two-byte value field there is one case where the loser's code
+    // goes stale: equal offsets and equal first value bytes (the keys agree
+    // one byte past the offset). Recode the loser against the new winner —
+    // its shared prefix is exactly offset+1 bytes.
+    if ((la.code >> 16) == (lb.code >> 16) &&
+        ((la.code ^ lb.code) & 0xff00) == 0) {
+      Leaf& loser = a_wins ? lb : la;
+      const uint32_t stored = la.code >> 16;  // K - offset
+      const size_t new_off = format_.key_size - stored + 1;
+      loser.code =
+          ((stored - 1) << 16) |
+          ValueBytes(format_.KeyPtr(loser.record), format_.key_size, new_off);
+    }
+    return a_wins;
+  }
+  // Equal codes relative to the same base: the keys agree through the
+  // coded bytes; compare the remainder and recode the loser against the
+  // winner.
+  ++stats_.full_compares;
+  const size_t shared = format_.key_size - (la.code >> 16);
+  const char* ka = format_.KeyPtr(la.record);
+  const char* kb = format_.KeyPtr(lb.record);
+  size_t off = shared;
+  while (off < format_.key_size && ka[off] == kb[off]) ++off;
+  stats_.key_bytes_read += 2 * (off - shared + 1);
+  if (off >= format_.key_size) {
+    // Fully equal keys: break ties by run index (stable), loser's code
+    // becomes "equal to base" = 0.
+    const bool a_wins = a < b;
+    (a_wins ? lb : la).code = 0;
+    return a_wins;
+  }
+  const bool a_wins =
+      static_cast<unsigned char>(ka[off]) < static_cast<unsigned char>(kb[off]);
+  Leaf& loser = a_wins ? lb : la;
+  const char* loser_key = a_wins ? kb : ka;
+  loser.code = (static_cast<uint32_t>(format_.key_size - off) << 16) |
+               ValueBytes(loser_key, format_.key_size, off);
+  return a_wins;
+}
+
+void OvcMerger::Replay(size_t leaf) {
+  if (k_ == 1) {
+    winner_ = leaves_[0].exhausted ? kNone : 0;
+    return;
+  }
+  size_t winner = leaf;
+  for (size_t node = (k_ + leaf) / 2; node >= 1; node /= 2) {
+    size_t& loser = nodes_[node - 1];
+    if (LeafBeats(loser, winner)) std::swap(loser, winner);
+  }
+  winner_ = (winner != kNone && !leaves_[winner].exhausted) ? winner : kNone;
+}
+
+size_t OvcMerger::RebuildSubtree(size_t node) {
+  auto resolve = [&](size_t c) -> size_t {
+    if (c < k_) return RebuildSubtree(c);
+    return c - k_;
+  };
+  const size_t wl = resolve(2 * node);
+  const size_t wr = resolve(2 * node + 1);
+  if (LeafBeats(wr, wl)) {
+    nodes_[node - 1] = wl;
+    return wr;
+  }
+  nodes_[node - 1] = wr;
+  return wl;
+}
+
+const char* OvcMerger::Next() {
+  assert(!Done());
+  const size_t w = winner_;
+  const char* rec = leaves_[w].record;
+  RefillLeaf(w);
+  Replay(w);
+  return rec;
+}
+
+}  // namespace alphasort

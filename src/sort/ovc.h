@@ -1,0 +1,86 @@
+#ifndef ALPHASORT_SORT_OVC_H_
+#define ALPHASORT_SORT_OVC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "record/record.h"
+#include "sort/quicksort.h"
+
+namespace alphasort {
+
+// Offset-value coding (OVC) k-way merge — the IBM DFsort/SyncSort
+// technique the paper says it is "evaluating" (§4, footnote 1; Conner,
+// IBM TDB 1977). Each candidate key is coded relative to the key that
+// last preceded or defeated it: code = (K - offset) << 16 | value, where
+// `offset` is the length of the shared prefix and `value` packs the next
+// two key bytes. Two candidates coded against the same base compare by
+// code alone; only equal codes force a full-key comparison, after which
+// the loser's code is recomputed relative to the winner.
+//
+// The tree-of-losers invariant that makes this sound: the loser stored at
+// a node was last defeated by the winner that passed through that node,
+// and a replacement item entering from a run is coded against the last
+// global winner (its run predecessor). Unequal-code outcomes preserve the
+// invariant automatically (the loser's shared prefix with the new winner
+// is unchanged); only the equal-code path rewrites a code.
+//
+// The paper's verdict — for random binary keys like Datamation's, OVC
+// "will not beat AlphaSort's simpler key-prefix sort" — is what
+// bench/ablation_ovc measures.
+class OvcMerger {
+ public:
+  struct Stats {
+    uint64_t code_compares = 0;  // resolved on the 32-bit code alone
+    uint64_t full_compares = 0;  // had to touch both keys
+    uint64_t key_bytes_read = 0;
+  };
+
+  // `runs[i]` is a key-ascending run of record pointers. Pointers must
+  // stay valid for the merger's lifetime.
+  OvcMerger(const RecordFormat& format,
+            std::vector<std::vector<const char*>> runs);
+
+  bool Done() const { return winner_ == kNone; }
+
+  // Next record pointer in global key order. Requires !Done().
+  const char* Next();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  struct Leaf {
+    uint32_t code = 0;
+    const char* record = nullptr;
+    bool exhausted = true;
+  };
+
+  uint32_t CodeAgainst(const char* key_rec, const char* base_rec) const;
+  uint32_t InitialCode(const char* rec) const;
+
+  // Pulls run r's next record, coded against its run predecessor (= the
+  // winner just emitted), into the leaf.
+  void RefillLeaf(size_t r);
+
+  // True iff leaf a beats (sorts before) leaf b; may rewrite the loser's
+  // code when a full comparison was needed.
+  bool LeafBeats(size_t a, size_t b);
+
+  void Replay(size_t leaf);
+  size_t RebuildSubtree(size_t node);
+
+  RecordFormat format_;
+  std::vector<std::vector<const char*>> runs_;
+  std::vector<size_t> cursor_;
+  size_t k_;
+  std::vector<size_t> nodes_;  // loser tree over k_ leaves
+  std::vector<Leaf> leaves_;
+  size_t winner_ = kNone;
+  Stats stats_;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_OVC_H_

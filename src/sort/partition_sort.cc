@@ -1,0 +1,46 @@
+#include "sort/partition_sort.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace alphasort {
+
+void PartitionSortPrefixEntries(const RecordFormat& format,
+                                PrefixEntry* entries, size_t n,
+                                SortStats* stats) {
+  SortStats local;
+  if (stats == nullptr) stats = &local;
+  if (n < 2) return;
+
+  // Bucket by the key's first byte = the prefix's most significant byte.
+  auto bucket_of = [](const PrefixEntry& e) -> size_t {
+    return static_cast<size_t>(e.prefix >> 56);
+  };
+
+  std::array<size_t, 257> offsets{};
+  for (size_t i = 0; i < n; ++i) ++offsets[bucket_of(entries[i]) + 1];
+  for (size_t b = 0; b < 256; ++b) offsets[b + 1] += offsets[b];
+
+  std::vector<PrefixEntry> scratch(n);
+  {
+    std::array<size_t, 256> cursor{};
+    memcpy(cursor.data(), offsets.data(), sizeof(cursor));
+    for (size_t i = 0; i < n; ++i) {
+      scratch[cursor[bucket_of(entries[i])]++] = entries[i];
+      ++stats->exchanges;
+      stats->bytes_moved += sizeof(PrefixEntry);
+    }
+  }
+  memcpy(entries, scratch.data(), n * sizeof(PrefixEntry));
+
+  for (size_t b = 0; b < 256; ++b) {
+    const size_t lo = offsets[b];
+    const size_t hi = offsets[b + 1];
+    if (hi - lo > 1) {
+      SortPrefixEntryArray(format, entries + lo, hi - lo, stats);
+    }
+  }
+}
+
+}  // namespace alphasort

@@ -1,0 +1,60 @@
+#include "sort/quicksort.h"
+
+namespace alphasort {
+
+void BuildPointerArray(const RecordFormat& format, const char* records,
+                       size_t n, RecordPtr* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = records + i * format.record_size;
+  }
+}
+
+void BuildKeyEntryArray(const RecordFormat& format, const char* records,
+                        size_t n, KeyEntry* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = MakeKeyEntry(format, records + i * format.record_size);
+  }
+}
+
+void BuildPrefixEntryArray(const RecordFormat& format, const char* records,
+                           size_t n, PrefixEntry* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = MakePrefixEntry(format, records + i * format.record_size);
+  }
+}
+
+namespace {
+SortStats* OrLocal(SortStats* stats, SortStats* local) {
+  return stats != nullptr ? stats : local;
+}
+}  // namespace
+
+void SortRecords(const RecordFormat& format, char* records, size_t n,
+                 SortStats* stats) {
+  SortStats local;
+  NullTracer tracer;
+  QuickSortRecords(format, records, n, OrLocal(stats, &local), &tracer);
+}
+
+void SortPointerArray(const RecordFormat& format, RecordPtr* ptrs, size_t n,
+                      SortStats* stats) {
+  SortStats local;
+  NullTracer tracer;
+  QuickSortPointers(format, ptrs, n, OrLocal(stats, &local), &tracer);
+}
+
+void SortKeyEntryArray(const RecordFormat& format, KeyEntry* entries,
+                       size_t n, SortStats* stats) {
+  SortStats local;
+  NullTracer tracer;
+  QuickSortKeyEntries(format, entries, n, OrLocal(stats, &local), &tracer);
+}
+
+void SortPrefixEntryArray(const RecordFormat& format, PrefixEntry* entries,
+                          size_t n, SortStats* stats) {
+  SortStats local;
+  NullTracer tracer;
+  QuickSortPrefixEntries(format, entries, n, OrLocal(stats, &local), &tracer);
+}
+
+}  // namespace alphasort

@@ -1,0 +1,437 @@
+#ifndef ALPHASORT_SORT_QUICKSORT_H_
+#define ALPHASORT_SORT_QUICKSORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/tracer.h"
+#include "record/record.h"
+#include "sort/entry.h"
+
+namespace alphasort {
+
+// Counters reported by every sort discipline; the paper's §4 comparisons
+// ("QuickSort makes fewer exchanges on average", "record exchanges move 2R
+// bytes vs 2(K+P)") are stated in exactly these terms.
+struct SortStats {
+  uint64_t compares = 0;
+  uint64_t exchanges = 0;
+  uint64_t bytes_moved = 0;       // data moved by exchanges
+  uint64_t tie_breaks = 0;        // prefix compares that went to the record
+
+  void Merge(const SortStats& o) {
+    compares += o.compares;
+    exchanges += o.exchanges;
+    bytes_moved += o.bytes_moved;
+    tie_breaks += o.tie_breaks;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Generic introsort over an "Ops" policy.
+//
+// Ops must provide:
+//   bool Less(size_t i, size_t j);       // a[i] < a[j]
+//   void Swap(size_t i, size_t j);
+//   void SetPivot(size_t i);             // copy a[i] into pivot storage
+//   bool LessThanPivot(size_t i);        // a[i] < pivot
+//   bool PivotLessThan(size_t i);        // pivot < a[i]
+//
+// The driver is a classic median-of-three Hoare quicksort with an
+// insertion-sort cutoff for small partitions and a heapsort fallback when
+// recursion exceeds 2*log2(n) — the paper (§4) accepts QuickSort's "terrible
+// (N^2)" worst case on practical grounds; the depth guard removes the risk
+// without changing average behaviour.
+// ---------------------------------------------------------------------------
+
+namespace sort_internal {
+
+inline int FloorLog2(size_t n) {
+  int r = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+constexpr size_t kInsertionCutoff = 16;
+
+template <typename Ops>
+void InsertionSort(Ops& ops, size_t lo, size_t hi) {
+  for (size_t i = lo + 1; i < hi; ++i) {
+    for (size_t j = i; j > lo && ops.Less(j, j - 1); --j) {
+      ops.Swap(j, j - 1);
+    }
+  }
+}
+
+template <typename Ops>
+void SiftDown(Ops& ops, size_t lo, size_t root, size_t n) {
+  // Max-heap over a[lo..lo+n), root is a heap-relative index.
+  while (true) {
+    const size_t child = 2 * root + 1;
+    if (child >= n) return;
+    size_t best = child;
+    if (child + 1 < n && ops.Less(lo + child, lo + child + 1)) {
+      best = child + 1;
+    }
+    if (!ops.Less(lo + root, lo + best)) return;
+    ops.Swap(lo + root, lo + best);
+    root = best;
+  }
+}
+
+template <typename Ops>
+void HeapSort(Ops& ops, size_t lo, size_t hi) {
+  const size_t n = hi - lo;
+  if (n < 2) return;
+  for (size_t i = n / 2; i-- > 0;) SiftDown(ops, lo, i, n);
+  for (size_t i = n - 1; i > 0; --i) {
+    ops.Swap(lo, lo + i);
+    SiftDown(ops, lo, 0, i);
+  }
+}
+
+template <typename Ops>
+void IntroSortLoop(Ops& ops, size_t lo, size_t hi, int depth_budget) {
+  while (hi - lo > kInsertionCutoff) {
+    if (depth_budget-- == 0) {
+      HeapSort(ops, lo, hi);
+      return;
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    // Order a[lo] <= a[mid] <= a[hi-1]; the extremes then bound the Hoare
+    // scans, and a[mid] is the median-of-three pivot.
+    if (ops.Less(mid, lo)) ops.Swap(mid, lo);
+    if (ops.Less(hi - 1, lo)) ops.Swap(hi - 1, lo);
+    if (ops.Less(hi - 1, mid)) ops.Swap(hi - 1, mid);
+    ops.SetPivot(mid);
+
+    size_t i = lo;
+    size_t j = hi - 1;
+    while (true) {
+      do {
+        ++i;
+      } while (ops.LessThanPivot(i));
+      do {
+        --j;
+      } while (ops.PivotLessThan(j));
+      if (i >= j) break;
+      ops.Swap(i, j);
+    }
+    // Recurse into the smaller side, iterate on the larger (O(log n) stack).
+    if (j + 1 - lo < hi - (j + 1)) {
+      IntroSortLoop(ops, lo, j + 1, depth_budget);
+      lo = j + 1;
+    } else {
+      IntroSortLoop(ops, j + 1, hi, depth_budget);
+      hi = j + 1;
+    }
+  }
+  InsertionSort(ops, lo, hi);
+}
+
+template <typename Ops>
+void IntroSort(Ops& ops, size_t n) {
+  if (n < 2) return;
+  IntroSortLoop(ops, 0, n, 2 * FloorLog2(n));
+}
+
+}  // namespace sort_internal
+
+// ---------------------------------------------------------------------------
+// The four disciplines of paper §4.
+// ---------------------------------------------------------------------------
+
+// (1) Record sort: permute the record array in place. Compares read keys
+// out of records; exchanges move 2R bytes.
+template <typename Tracer = NullTracer>
+class RecordSortOps {
+ public:
+  RecordSortOps(const RecordFormat& format, char* records, Tracer* tracer,
+                SortStats* stats)
+      : fmt_(format),
+        base_(records),
+        mem_(tracer),
+        stats_(stats),
+        pivot_(format.record_size),
+        tmp_(format.record_size) {}
+
+  bool Less(size_t i, size_t j) {
+    ++stats_->compares;
+    mem_.TouchRead(Key(i), fmt_.key_size);
+    mem_.TouchRead(Key(j), fmt_.key_size);
+    return memcmp(Key(i), Key(j), fmt_.key_size) < 0;
+  }
+
+  void Swap(size_t i, size_t j) {
+    ++stats_->exchanges;
+    stats_->bytes_moved += 2 * fmt_.record_size;
+    char* a = Rec(i);
+    char* b = Rec(j);
+    mem_.TouchRead(a, fmt_.record_size);
+    mem_.TouchRead(b, fmt_.record_size);
+    mem_.TouchWrite(a, fmt_.record_size);
+    mem_.TouchWrite(b, fmt_.record_size);
+    memcpy(tmp_.data(), a, fmt_.record_size);
+    memmove(a, b, fmt_.record_size);
+    memcpy(b, tmp_.data(), fmt_.record_size);
+  }
+
+  void SetPivot(size_t i) {
+    mem_.TouchRead(Rec(i), fmt_.record_size);
+    memcpy(pivot_.data(), Rec(i), fmt_.record_size);
+  }
+
+  bool LessThanPivot(size_t i) {
+    ++stats_->compares;
+    mem_.TouchRead(Key(i), fmt_.key_size);
+    return memcmp(Key(i), fmt_.KeyPtr(pivot_.data()), fmt_.key_size) < 0;
+  }
+
+  bool PivotLessThan(size_t i) {
+    ++stats_->compares;
+    mem_.TouchRead(Key(i), fmt_.key_size);
+    return memcmp(fmt_.KeyPtr(pivot_.data()), Key(i), fmt_.key_size) < 0;
+  }
+
+ private:
+  char* Rec(size_t i) { return base_ + i * fmt_.record_size; }
+  const char* Key(size_t i) { return fmt_.KeyPtr(Rec(i)); }
+
+  RecordFormat fmt_;
+  char* base_;
+  Mem<Tracer> mem_;
+  SortStats* stats_;
+  std::vector<char> pivot_;
+  std::vector<char> tmp_;
+};
+
+// (2) Pointer sort: sort an array of record pointers; every compare chases
+// both pointers to the records' keys.
+template <typename Tracer = NullTracer>
+class PointerSortOps {
+ public:
+  PointerSortOps(const RecordFormat& format, RecordPtr* ptrs, Tracer* tracer,
+                 SortStats* stats)
+      : fmt_(format), a_(ptrs), mem_(tracer), stats_(stats) {}
+
+  bool Less(size_t i, size_t j) {
+    ++stats_->compares;
+    const RecordPtr pi = mem_.Load(&a_[i]);
+    const RecordPtr pj = mem_.Load(&a_[j]);
+    mem_.TouchRead(fmt_.KeyPtr(pi), fmt_.key_size);
+    mem_.TouchRead(fmt_.KeyPtr(pj), fmt_.key_size);
+    return fmt_.CompareKeys(pi, pj) < 0;
+  }
+
+  void Swap(size_t i, size_t j) {
+    ++stats_->exchanges;
+    stats_->bytes_moved += 2 * sizeof(RecordPtr);
+    const RecordPtr pi = mem_.Load(&a_[i]);
+    const RecordPtr pj = mem_.Load(&a_[j]);
+    mem_.Store(&a_[i], pj);
+    mem_.Store(&a_[j], pi);
+  }
+
+  void SetPivot(size_t i) { pivot_ = mem_.Load(&a_[i]); }
+
+  bool LessThanPivot(size_t i) {
+    ++stats_->compares;
+    const RecordPtr p = mem_.Load(&a_[i]);
+    mem_.TouchRead(fmt_.KeyPtr(p), fmt_.key_size);
+    mem_.TouchRead(fmt_.KeyPtr(pivot_), fmt_.key_size);
+    return fmt_.CompareKeys(p, pivot_) < 0;
+  }
+
+  bool PivotLessThan(size_t i) {
+    ++stats_->compares;
+    const RecordPtr p = mem_.Load(&a_[i]);
+    mem_.TouchRead(fmt_.KeyPtr(p), fmt_.key_size);
+    mem_.TouchRead(fmt_.KeyPtr(pivot_), fmt_.key_size);
+    return fmt_.CompareKeys(pivot_, p) < 0;
+  }
+
+ private:
+  RecordFormat fmt_;
+  RecordPtr* a_;
+  Mem<Tracer> mem_;
+  SortStats* stats_;
+  RecordPtr pivot_ = nullptr;
+};
+
+// (3) Key sort: the full key is carried with the pointer; compares never
+// leave the entry array.
+template <typename Tracer = NullTracer>
+class KeySortOps {
+ public:
+  KeySortOps(const RecordFormat& format, KeyEntry* entries, Tracer* tracer,
+             SortStats* stats)
+      : key_size_(format.key_size < KeyEntry::kInlineKeyCapacity
+                      ? format.key_size
+                      : KeyEntry::kInlineKeyCapacity),
+        a_(entries),
+        mem_(tracer),
+        stats_(stats) {}
+
+  bool Less(size_t i, size_t j) {
+    ++stats_->compares;
+    mem_.TouchRead(&a_[i], sizeof(KeyEntry));
+    mem_.TouchRead(&a_[j], sizeof(KeyEntry));
+    return memcmp(a_[i].key.data(), a_[j].key.data(), key_size_) < 0;
+  }
+
+  void Swap(size_t i, size_t j) {
+    ++stats_->exchanges;
+    stats_->bytes_moved += 2 * sizeof(KeyEntry);
+    mem_.TouchRead(&a_[i], sizeof(KeyEntry));
+    mem_.TouchRead(&a_[j], sizeof(KeyEntry));
+    mem_.TouchWrite(&a_[i], sizeof(KeyEntry));
+    mem_.TouchWrite(&a_[j], sizeof(KeyEntry));
+    std::swap(a_[i], a_[j]);
+  }
+
+  void SetPivot(size_t i) {
+    mem_.TouchRead(&a_[i], sizeof(KeyEntry));
+    pivot_ = a_[i];
+  }
+
+  bool LessThanPivot(size_t i) {
+    ++stats_->compares;
+    mem_.TouchRead(&a_[i], sizeof(KeyEntry));
+    return memcmp(a_[i].key.data(), pivot_.key.data(), key_size_) < 0;
+  }
+
+  bool PivotLessThan(size_t i) {
+    ++stats_->compares;
+    mem_.TouchRead(&a_[i], sizeof(KeyEntry));
+    return memcmp(pivot_.key.data(), a_[i].key.data(), key_size_) < 0;
+  }
+
+ private:
+  size_t key_size_;
+  KeyEntry* a_;
+  Mem<Tracer> mem_;
+  SortStats* stats_;
+  KeyEntry pivot_{};
+};
+
+// (4) Key-prefix sort — AlphaSort's discipline. Compares resolve on the
+// normalized integer prefix; equal prefixes fall back to the full keys in
+// the records (the paper's stated risk when the prefix discriminates
+// poorly, in which case this degenerates to pointer sort).
+template <typename Tracer = NullTracer>
+class PrefixSortOps {
+ public:
+  PrefixSortOps(const RecordFormat& format, PrefixEntry* entries,
+                Tracer* tracer, SortStats* stats)
+      : fmt_(format), a_(entries), mem_(tracer), stats_(stats) {}
+
+  bool Less(size_t i, size_t j) {
+    mem_.TouchRead(&a_[i], sizeof(PrefixEntry));
+    mem_.TouchRead(&a_[j], sizeof(PrefixEntry));
+    return LessEntries(a_[i], a_[j]);
+  }
+
+  void Swap(size_t i, size_t j) {
+    ++stats_->exchanges;
+    stats_->bytes_moved += 2 * sizeof(PrefixEntry);
+    mem_.TouchRead(&a_[i], sizeof(PrefixEntry));
+    mem_.TouchRead(&a_[j], sizeof(PrefixEntry));
+    mem_.TouchWrite(&a_[i], sizeof(PrefixEntry));
+    mem_.TouchWrite(&a_[j], sizeof(PrefixEntry));
+    std::swap(a_[i], a_[j]);
+  }
+
+  void SetPivot(size_t i) {
+    mem_.TouchRead(&a_[i], sizeof(PrefixEntry));
+    pivot_ = a_[i];
+  }
+
+  bool LessThanPivot(size_t i) {
+    mem_.TouchRead(&a_[i], sizeof(PrefixEntry));
+    return LessEntries(a_[i], pivot_);
+  }
+
+  bool PivotLessThan(size_t i) {
+    mem_.TouchRead(&a_[i], sizeof(PrefixEntry));
+    return LessEntries(pivot_, a_[i]);
+  }
+
+ private:
+  bool LessEntries(const PrefixEntry& x, const PrefixEntry& y) {
+    ++stats_->compares;
+    if (x.prefix != y.prefix) return x.prefix < y.prefix;
+    if (fmt_.key_size <= 8) return false;  // prefix covers the whole key
+    ++stats_->tie_breaks;
+    mem_.TouchRead(fmt_.KeyPtr(x.record), fmt_.key_size);
+    mem_.TouchRead(fmt_.KeyPtr(y.record), fmt_.key_size);
+    return fmt_.CompareKeys(x.record, y.record) < 0;
+  }
+
+  RecordFormat fmt_;
+  PrefixEntry* a_;
+  Mem<Tracer> mem_;
+  SortStats* stats_;
+  PrefixEntry pivot_{};
+};
+
+// ---------------------------------------------------------------------------
+// Entry construction + sort drivers.
+// ---------------------------------------------------------------------------
+
+template <typename Tracer = NullTracer>
+void QuickSortRecords(const RecordFormat& format, char* records, size_t n,
+                      SortStats* stats, Tracer* tracer) {
+  RecordSortOps<Tracer> ops(format, records, tracer, stats);
+  sort_internal::IntroSort(ops, n);
+}
+
+template <typename Tracer = NullTracer>
+void QuickSortPointers(const RecordFormat& format, RecordPtr* ptrs, size_t n,
+                       SortStats* stats, Tracer* tracer) {
+  PointerSortOps<Tracer> ops(format, ptrs, tracer, stats);
+  sort_internal::IntroSort(ops, n);
+}
+
+template <typename Tracer = NullTracer>
+void QuickSortKeyEntries(const RecordFormat& format, KeyEntry* entries,
+                         size_t n, SortStats* stats, Tracer* tracer) {
+  KeySortOps<Tracer> ops(format, entries, tracer, stats);
+  sort_internal::IntroSort(ops, n);
+}
+
+template <typename Tracer = NullTracer>
+void QuickSortPrefixEntries(const RecordFormat& format, PrefixEntry* entries,
+                            size_t n, SortStats* stats, Tracer* tracer) {
+  PrefixSortOps<Tracer> ops(format, entries, tracer, stats);
+  sort_internal::IntroSort(ops, n);
+}
+
+// Builds the detached arrays from a contiguous block of records. These are
+// the "extract the (key-prefix, pointer) pairs as records arrive" step of
+// the AlphaSort pipeline (paper §7).
+void BuildPointerArray(const RecordFormat& format, const char* records,
+                       size_t n, RecordPtr* out);
+void BuildKeyEntryArray(const RecordFormat& format, const char* records,
+                        size_t n, KeyEntry* out);
+void BuildPrefixEntryArray(const RecordFormat& format, const char* records,
+                           size_t n, PrefixEntry* out);
+
+// Non-templated convenience wrappers (NullTracer), used by tests, benches
+// and the AlphaSort core.
+void SortRecords(const RecordFormat& format, char* records, size_t n,
+                 SortStats* stats = nullptr);
+void SortPointerArray(const RecordFormat& format, RecordPtr* ptrs, size_t n,
+                      SortStats* stats = nullptr);
+void SortKeyEntryArray(const RecordFormat& format, KeyEntry* entries,
+                       size_t n, SortStats* stats = nullptr);
+void SortPrefixEntryArray(const RecordFormat& format, PrefixEntry* entries,
+                          size_t n, SortStats* stats = nullptr);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_QUICKSORT_H_

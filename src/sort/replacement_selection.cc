@@ -1,0 +1,22 @@
+#include "sort/replacement_selection.h"
+
+namespace alphasort {
+
+std::vector<std::vector<const char*>> GenerateRunsReplacementSelection(
+    const RecordFormat& format, const char* records, size_t n,
+    size_t capacity, SortStats* stats, TreeLayout layout) {
+  std::vector<std::vector<const char*>> runs;
+  auto sink = [&runs](size_t run, const char* record) {
+    if (run >= runs.size()) runs.resize(run + 1);
+    runs[run].push_back(record);
+  };
+  ReplacementSelection<NullTracer> rs(format, capacity, sink, layout,
+                                      nullptr, stats);
+  for (size_t i = 0; i < n; ++i) {
+    rs.Add(records + i * format.record_size);
+  }
+  rs.Finish();
+  return runs;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,157 @@
+#ifndef ALPHASORT_SORT_REPLACEMENT_SELECTION_H_
+#define ALPHASORT_SORT_REPLACEMENT_SELECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/tracer.h"
+#include "record/record.h"
+#include "sort/quicksort.h"
+#include "sort/tournament_tree.h"
+
+namespace alphasort {
+
+// Replacement-selection run generation — the OpenVMS-sort baseline the
+// paper measures AlphaSort against (§4). A tournament of `capacity`
+// records is kept in memory; each step emits the smallest key eligible for
+// the current run and replaces it with the next input record, which joins
+// the current run if its key is not below the last key emitted, and the
+// next run otherwise. On random input the expected run length is twice the
+// tournament size (Knuth's "snowplow" law), which the paper cites as
+// replacement-selection's advantage; its disadvantages — tournament
+// compares are ~2-2.5x the cost of QuickSort compares and the tree
+// thrashes the cache (Figure 4) — are what AlphaSort exploits.
+//
+// Output records are delivered, in run order, to a sink callback. Emission
+// is stable: records with equal keys leave a run in arrival order.
+template <typename Tracer = NullTracer>
+class ReplacementSelection {
+ public:
+  // Sink receives (run_index, record). Runs are emitted in increasing
+  // run_index with nondecreasing keys within a run.
+  using Sink = std::function<void(size_t run, const char* record)>;
+
+  // `tracer` may be null only when Tracer is default-constructible.
+  ReplacementSelection(const RecordFormat& format, size_t capacity,
+                       Sink sink, TreeLayout layout = TreeLayout::kFlat,
+                       Tracer* tracer = nullptr, SortStats* stats = nullptr)
+      : format_(format),
+        capacity_(capacity),
+        sink_(std::move(sink)),
+        stats_(stats != nullptr ? stats : &local_stats_),
+        tree_(capacity, ItemLess{format,
+                                 tracer != nullptr ? tracer : &default_tracer_,
+                                 stats_},
+              layout, tracer != nullptr ? tracer : &default_tracer_) {}
+
+  // Feeds one record. The record bytes must stay valid until emitted.
+  void Add(const char* record) {
+    const Item item = MakeItem(record);
+    if (filled_ < capacity_) {
+      tree_.SetLeaf(filled_++, item);
+      if (filled_ == capacity_) tree_.Rebuild();
+      return;
+    }
+    EmitWinner(&item);
+  }
+
+  // Drains the tournament; after this the generator is exhausted.
+  void Finish() {
+    if (filled_ < capacity_) {
+      // Input smaller than the tournament: play what we have.
+      tree_.Rebuild();
+      filled_ = capacity_;
+    }
+    while (!tree_.Empty()) EmitWinner(nullptr);
+  }
+
+  // Number of distinct runs emitted so far.
+  size_t num_runs() const { return emitted_ > 0 ? max_run_ + 1 : 0; }
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct Item {
+    uint32_t run;
+    uint64_t prefix;
+    uint64_t seq;  // arrival order; makes equal-key emission stable
+    const char* record;
+  };
+
+  struct ItemLess {
+    RecordFormat format;
+    Tracer* tracer;
+    SortStats* stats;
+
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.run != b.run) return a.run < b.run;
+      ++stats->compares;
+      if (a.prefix != b.prefix) return a.prefix < b.prefix;
+      if (format.key_size > 8) {
+        ++stats->tie_breaks;
+        Mem<Tracer> mem(tracer);
+        mem.TouchRead(format.KeyPtr(a.record), format.key_size);
+        mem.TouchRead(format.KeyPtr(b.record), format.key_size);
+        const int c = format.CompareKeys(a.record, b.record);
+        if (c != 0) return c < 0;
+      }
+      return a.seq < b.seq;
+    }
+  };
+
+  Item MakeItem(const char* record) {
+    return Item{0, format_.KeyPrefix(record), next_seq_++, record};
+  }
+
+  // True iff `record`'s key is below the last emitted key (and therefore
+  // cannot extend the current run).
+  bool BelowLastOutput(const Item& item) const {
+    if (item.prefix != last_prefix_) return item.prefix < last_prefix_;
+    if (format_.key_size <= 8) return false;
+    return format_.CompareKeys(item.record, last_record_) < 0;
+  }
+
+  // Pops the winner to the sink; replaces its leaf with *incoming (tagged
+  // with the right run) or exhausts the leaf when incoming is null.
+  void EmitWinner(const Item* incoming) {
+    const Item win = tree_.WinnerItem();
+    sink_(win.run, win.record);
+    ++emitted_;
+    if (win.run > max_run_) max_run_ = win.run;
+    last_prefix_ = win.prefix;
+    last_record_ = win.record;
+    if (incoming != nullptr) {
+      Item item = *incoming;
+      item.run = win.run + (BelowLastOutput(item) ? 1 : 0);
+      tree_.ReplaceWinner(item);
+    } else {
+      tree_.ExhaustWinner();
+    }
+  }
+
+  Tracer default_tracer_{};
+  RecordFormat format_;
+  size_t capacity_;
+  Sink sink_;
+  SortStats local_stats_;
+  SortStats* stats_;
+  LoserTree<Item, ItemLess, Tracer> tree_;
+  size_t filled_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t emitted_ = 0;
+  uint32_t max_run_ = 0;
+  uint64_t last_prefix_ = 0;
+  const char* last_record_ = nullptr;
+};
+
+// Convenience: generate runs over a contiguous block of records, returning
+// the run partition as vectors of record pointers (each inner vector is a
+// sorted run). Used by tests and the run-length-law benches.
+std::vector<std::vector<const char*>> GenerateRunsReplacementSelection(
+    const RecordFormat& format, const char* records, size_t n,
+    size_t capacity, SortStats* stats = nullptr,
+    TreeLayout layout = TreeLayout::kFlat);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_REPLACEMENT_SELECTION_H_

@@ -1,0 +1,47 @@
+#include "sort/tournament_tree.h"
+
+namespace alphasort {
+
+TreeLayoutMap::TreeLayoutMap(size_t num_nodes, TreeLayout layout,
+                             int cluster_height)
+    : num_nodes_(num_nodes),
+      layout_(layout),
+      cluster_height_(cluster_height),
+      slots_per_cluster_(size_t{1} << cluster_height),  // 2^h - 1, padded
+      positions_needed_(num_nodes) {
+  if (layout_ != TreeLayout::kClustered) return;
+  map_.assign(num_nodes_ + 1, 0);
+  size_t next_pos = 0;
+  NumberSubtree(1, &next_pos);
+  positions_needed_ = next_pos;
+}
+
+void TreeLayoutMap::NumberSubtree(size_t root, size_t* next_pos) {
+  if (root > num_nodes_) return;
+  // The top `cluster_height_` levels of this subtree form one cluster
+  // occupying a full aligned block of slots_per_cluster_ positions (2^h - 1
+  // nodes plus one slot of padding); the subtree roots hanging below the
+  // block are numbered recursively into their own clusters.
+  const size_t block_start = *next_pos;
+  *next_pos += slots_per_cluster_;
+  size_t in_block = 0;
+  std::vector<size_t> level = {root};
+  std::vector<size_t> below;
+  for (int h = 0; h < cluster_height_ && !level.empty(); ++h) {
+    std::vector<size_t> next_level;
+    for (size_t node : level) {
+      if (node > num_nodes_) continue;
+      map_[node] = block_start + in_block++;
+      next_level.push_back(2 * node);
+      next_level.push_back(2 * node + 1);
+    }
+    if (h + 1 == cluster_height_) {
+      below = next_level;
+    } else {
+      level = next_level;
+    }
+  }
+  for (size_t node : below) NumberSubtree(node, next_pos);
+}
+
+}  // namespace alphasort

@@ -1,0 +1,233 @@
+#ifndef ALPHASORT_SORT_TOURNAMENT_TREE_H_
+#define ALPHASORT_SORT_TOURNAMENT_TREE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/tracer.h"
+
+namespace alphasort {
+
+// Maps heap-numbered tournament nodes (1-based, parent i/2) to array
+// positions. The paper (§4) investigates clustering "tournament nodes so
+// that most parent-child node pairs are contained in the same cache line",
+// reporting a 2-3x miss reduction; both layouts are provided so the cache
+// simulator can reproduce that comparison (Figure 4).
+enum class TreeLayout {
+  kFlat,       // position = heap index (classic layout)
+  kClustered,  // subtrees of `cluster_height` levels packed contiguously
+};
+
+class TreeLayoutMap {
+ public:
+  // `num_nodes` internal nodes, heap-numbered 1..num_nodes. For the
+  // clustered layout, each subtree of `cluster_height` levels (2^h - 1
+  // nodes) is padded to `slots_per_cluster` and placed at a
+  // cluster-aligned position, so an aligned backing array keeps every
+  // parent-child pair inside one cache line.
+  TreeLayoutMap(size_t num_nodes, TreeLayout layout, int cluster_height = 2);
+
+  size_t Position(size_t heap_index) const {
+    assert(heap_index >= 1 && heap_index <= num_nodes_);
+    return layout_ == TreeLayout::kFlat ? heap_index - 1
+                                        : map_[heap_index];
+  }
+
+  // Array slots the layout occupies (>= num_nodes for the padded
+  // clustered layout).
+  size_t PositionsNeeded() const { return positions_needed_; }
+
+  // Cluster padding in slots; an aligned allocation should align the
+  // array base to this many elements.
+  size_t SlotsPerCluster() const { return slots_per_cluster_; }
+
+ private:
+  void NumberSubtree(size_t root, size_t* next_pos);
+
+  size_t num_nodes_;
+  TreeLayout layout_;
+  int cluster_height_;
+  size_t slots_per_cluster_;
+  size_t positions_needed_;
+  std::vector<uint32_t> map_;  // heap index -> position (clustered only)
+};
+
+// K-way loser tree ("tournament of replacement-selection", paper §4).
+//
+// Leaves hold one candidate item per input stream; internal nodes hold the
+// losers of their sub-tournaments, and the overall winner is cached at the
+// root. Replacing the winner costs exactly one leaf-to-root path of
+// compares: O(log K) per extracted item.
+//
+// Item is any copyable value; Less is a strict weak ordering. Exhausted
+// streams are represented with an explicit "infinite" flag rather than a
+// sentinel key, so any key value is legal input.
+template <typename Item, typename Less, typename Tracer = NullTracer>
+class LoserTree {
+ public:
+  // `k` streams (k >= 1). All leaves start exhausted; call Replace() for
+  // each stream, then Rebuild(), before the first Winner().
+  // `tracer` may be null only when Tracer is default-constructible (a
+  // default-constructed instance is used then).
+  LoserTree(size_t k, Less less, TreeLayout layout = TreeLayout::kFlat,
+            Tracer* tracer = nullptr)
+      : k_(k),
+        less_(less),
+        mem_(tracer != nullptr ? tracer : &default_tracer_),
+        layout_map_(k > 1 ? k - 1 : 1, layout),
+        node_storage_(layout_map_.PositionsNeeded() +
+                          layout_map_.SlotsPerCluster(),
+                      kInfinite),
+        leaves_(k),
+        leaf_infinite_(k, true) {
+    assert(k >= 1);
+    // Align the node array to the cluster size so a clustered layout's
+    // parent-child blocks coincide with cache lines.
+    const size_t align_bytes =
+        layout_map_.SlotsPerCluster() * sizeof(size_t);
+    const uintptr_t base = reinterpret_cast<uintptr_t>(node_storage_.data());
+    const size_t skew = (align_bytes - base % align_bytes) % align_bytes;
+    nodes_ = node_storage_.data() + skew / sizeof(size_t);
+  }
+
+  size_t k() const { return k_; }
+
+  // Sets stream `s`'s current candidate (does not re-run the tournament;
+  // use during initial fill, then call Rebuild()).
+  void SetLeaf(size_t s, const Item& item) {
+    mem_.TouchWrite(&leaves_[s], sizeof(Item));
+    leaves_[s] = item;
+    leaf_infinite_[s] = false;
+  }
+
+  void SetLeafExhausted(size_t s) { leaf_infinite_[s] = true; }
+
+  // Plays the full tournament; O(K). Call once after initial SetLeaf()s.
+  void Rebuild();
+
+  // True iff every stream is exhausted.
+  bool Empty() const { return winner_ == kInfinite; }
+
+  // Stream index of the current winner. Requires !Empty().
+  size_t WinnerStream() const {
+    assert(!Empty());
+    return winner_;
+  }
+
+  const Item& WinnerItem() const {
+    assert(!Empty());
+    return leaves_[winner_];
+  }
+
+  // Replaces the winner's leaf with the stream's next item (or marks the
+  // stream exhausted) and replays the winner's leaf-to-root path.
+  void ReplaceWinner(const Item& item) {
+    const size_t s = WinnerStream();
+    mem_.TouchWrite(&leaves_[s], sizeof(Item));
+    leaves_[s] = item;
+    leaf_infinite_[s] = false;
+    Replay(s);
+  }
+
+  void ExhaustWinner() {
+    const size_t s = WinnerStream();
+    leaf_infinite_[s] = true;
+    Replay(s);
+  }
+
+  uint64_t compares() const { return compares_; }
+
+ private:
+  static constexpr size_t kInfinite = static_cast<size_t>(-1);
+
+  // True iff stream a's item sorts before stream b's (infinite sorts last;
+  // ties broken by stream index for stability across equal keys).
+  bool StreamLess(size_t a, size_t b) {
+    if (a == kInfinite) return false;
+    if (b == kInfinite) return true;
+    if (leaf_infinite_[a]) return false;
+    if (leaf_infinite_[b]) return true;
+    ++compares_;
+    mem_.TouchRead(&leaves_[a], sizeof(Item));
+    mem_.TouchRead(&leaves_[b], sizeof(Item));
+    if (less_(leaves_[a], leaves_[b])) return true;
+    if (less_(leaves_[b], leaves_[a])) return false;
+    return a < b;
+  }
+
+  size_t& NodeAt(size_t heap_index) {
+    return nodes_[layout_map_.Position(heap_index)];
+  }
+
+  // Replays the path from leaf `s` to the root: at each node the incoming
+  // winner is compared with the stored loser; the loser stays, the winner
+  // moves up. Leaf s sits at virtual heap index k_+s; internal nodes are
+  // 1..k_-1 (Knuth's tree-of-losers numbering).
+  void Replay(size_t s) {
+    if (k_ == 1) {
+      winner_ = leaf_infinite_[0] ? kInfinite : 0;
+      return;
+    }
+    size_t winner = s;
+    for (size_t node = (k_ + s) / 2; node >= 1; node /= 2) {
+      size_t& loser = NodeAt(node);
+      mem_.TouchRead(&loser, sizeof(size_t));
+      if (StreamLess(loser, winner)) {
+        std::swap(loser, winner);
+        mem_.TouchWrite(&NodeAt(node), sizeof(size_t));
+      }
+    }
+    winner_ = (winner != kInfinite && leaf_infinite_[winner]) ? kInfinite
+                                                              : winner;
+  }
+
+  size_t RebuildSubtree(size_t node);
+
+  size_t k_;
+  Less less_;
+  Tracer default_tracer_{};
+  Mem<Tracer> mem_;
+  TreeLayoutMap layout_map_;
+  std::vector<size_t> node_storage_;  // backing store (over-allocated)
+  size_t* nodes_ = nullptr;  // aligned view: losing stream per position
+  std::vector<Item> leaves_;
+  std::vector<char> leaf_infinite_;
+  size_t winner_ = kInfinite;
+  uint64_t compares_ = 0;
+};
+
+template <typename Item, typename Less, typename Tracer>
+size_t LoserTree<Item, Less, Tracer>::RebuildSubtree(size_t node) {
+  // Returns the winning stream of the subtree rooted at heap node `node`,
+  // storing losers on the way up. A child index c < k_ is an internal
+  // node; c >= k_ is leaf c - k_ (the numbering Replay() inverts).
+  auto resolve = [&](size_t c) -> size_t {
+    if (c < k_) return RebuildSubtree(c);
+    return c - k_;
+  };
+  const size_t w_left = resolve(2 * node);
+  const size_t w_right = resolve(2 * node + 1);
+  if (StreamLess(w_right, w_left)) {
+    NodeAt(node) = w_left;
+    return w_right;
+  }
+  NodeAt(node) = w_right;
+  return w_left;
+}
+
+template <typename Item, typename Less, typename Tracer>
+void LoserTree<Item, Less, Tracer>::Rebuild() {
+  if (k_ == 1) {
+    winner_ = leaf_infinite_[0] ? kInfinite : 0;
+    return;
+  }
+  size_t w = RebuildSubtree(1);
+  winner_ = (w != kInfinite && leaf_infinite_[w]) ? kInfinite : w;
+  compares_ = 0;  // setup compares are not charged to the merge
+}
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_SORT_TOURNAMENT_TREE_H_

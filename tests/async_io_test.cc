@@ -1,0 +1,129 @@
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/async_io.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+
+namespace alphasort {
+namespace {
+
+TEST(AsyncIOTest, ReadCompletesWithData) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("f", "asynchronous").ok());
+  auto f = env->OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  AsyncIO aio(2);
+  char buf[5];
+  auto h = aio.SubmitRead(f.value().get(), 1, 5, buf);
+  size_t got = 0;
+  ASSERT_TRUE(aio.Wait(h, &got).ok());
+  EXPECT_EQ(got, 5u);
+  EXPECT_EQ(std::string(buf, 5), "synch");
+}
+
+TEST(AsyncIOTest, WriteCompletesAndPersists) {
+  auto env = NewMemEnv();
+  auto f = env->OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+
+  AsyncIO aio(2);
+  const std::string data = "written asynchronously";
+  auto h = aio.SubmitWrite(f.value().get(), 0, data.data(), data.size());
+  ASSERT_TRUE(aio.Wait(h).ok());
+  EXPECT_EQ(env->ReadFileToString("f").value(), data);
+}
+
+TEST(AsyncIOTest, ManyOutstandingRequestsAllComplete) {
+  auto env = NewMemEnv();
+  auto f = env->OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+
+  AsyncIO aio(4);
+  const size_t kChunk = 64;
+  const size_t kCount = 100;
+  std::vector<std::string> chunks(kCount);
+  std::vector<AsyncIO::Handle> handles;
+  for (size_t i = 0; i < kCount; ++i) {
+    chunks[i].assign(kChunk, static_cast<char>('a' + i % 26));
+    handles.push_back(aio.SubmitWrite(f.value().get(), i * kChunk,
+                                      chunks[i].data(), kChunk));
+  }
+  ASSERT_TRUE(aio.WaitAll(handles).ok());
+  ASSERT_EQ(f.value()->Size().value(), kChunk * kCount);
+
+  // Read everything back through the scheduler, out of order.
+  std::vector<std::string> read_bufs(kCount, std::string(kChunk, 0));
+  std::vector<AsyncIO::Handle> reads;
+  for (size_t i = kCount; i-- > 0;) {
+    reads.push_back(aio.SubmitRead(f.value().get(), i * kChunk,
+                                   kChunk, read_bufs[i].data()));
+  }
+  ASSERT_TRUE(aio.WaitAll(reads).ok());
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(read_bufs[i], chunks[i]);
+}
+
+TEST(AsyncIOTest, ActionsRunAndReportStatus) {
+  AsyncIO aio(2);
+  std::atomic<int> ran{0};
+  auto ok_h = aio.SubmitAction([&ran] {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  auto bad_h = aio.SubmitAction([&ran] {
+    ran.fetch_add(1);
+    return Status::IOError("boom");
+  });
+  EXPECT_TRUE(aio.Wait(ok_h).ok());
+  EXPECT_TRUE(aio.Wait(bad_h).IsIOError());
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(AsyncIOTest, ErrorsPropagateThroughWait) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("f", "data").ok());
+  auto f = fenv.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  AsyncIO aio(1);
+  fenv.FailAfter(1);
+  char buf[4];
+  auto h = aio.SubmitRead(f.value().get(), 0, 4, buf);
+  EXPECT_TRUE(aio.Wait(h).IsIOError());
+}
+
+TEST(AsyncIOTest, WaitAllReturnsFirstError) {
+  AsyncIO aio(1);  // single thread: deterministic completion order
+  std::vector<AsyncIO::Handle> handles;
+  handles.push_back(aio.SubmitAction([] { return Status::OK(); }));
+  handles.push_back(
+      aio.SubmitAction([] { return Status::Corruption("first"); }));
+  handles.push_back(
+      aio.SubmitAction([] { return Status::IOError("second"); }));
+  Status s = aio.WaitAll(handles);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "first");
+}
+
+TEST(AsyncIOTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    AsyncIO aio(1);
+    for (int i = 0; i < 50; ++i) {
+      aio.SubmitAction([&ran] {
+        ran.fetch_add(1);
+        return Status::OK();
+      });
+    }
+    // Destructor must let all 50 queued actions finish.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace alphasort

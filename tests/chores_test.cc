@@ -1,0 +1,88 @@
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chores.h"
+
+namespace alphasort {
+namespace {
+
+TEST(ChorePoolTest, ZeroWorkersRunsInline) {
+  ChorePool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  std::thread::id ran_on;
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  pool.WaitIdle();  // trivially idle
+}
+
+TEST(ChorePoolTest, ChoresRunOnWorkers) {
+  ChorePool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ChorePoolTest, WaitIdleBlocksUntilDone) {
+  ChorePool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ChorePoolTest, ParallelForCoversAllIndicesExactlyOnce) {
+  for (int workers : {0, 1, 4}) {
+    ChorePool pool(workers);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " workers " << workers;
+    }
+  }
+}
+
+TEST(ChorePoolTest, ParallelForUsesRootThreadToo) {
+  ChorePool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  pool.ParallelFor(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(std::this_thread::get_id());
+  });
+  // The root participates ("in its spare time, the root performs sorting
+  // chores"), so at least the root's id is present.
+  EXPECT_TRUE(seen.count(std::this_thread::get_id()) > 0);
+}
+
+TEST(ChorePoolTest, DestructorDrainsOutstandingChores) {
+  std::atomic<int> count{0};
+  {
+    ChorePool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ChorePoolTest, ParallelForZeroIsNoop) {
+  ChorePool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,250 @@
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/checksum.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace alphasort {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() -> Status { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    ALPHASORT_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_FALSE(s.empty());
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+TEST(SliceTest, CompareMatchesLexicographicOrder) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Shorter string that is a prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abc").starts_with(Slice("ab")));
+  EXPECT_FALSE(Slice("abc").starts_with(Slice("b")));
+}
+
+TEST(SliceTest, EqualityAndLessOperators) {
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+  EXPECT_TRUE(Slice("x") < Slice("y"));
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ZeroSeedStillGenerates) {
+  Random r(0);
+  EXPECT_NE(r.Next64() | r.Next64(), 0u);
+}
+
+// Property: integer order of LoadKeyPrefix equals lexicographic byte order
+// of the key bytes — the correctness condition for key-prefix sorting.
+TEST(BytesTest, PrefixOrderMatchesByteOrderProperty) {
+  Random r(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    unsigned char a[10], b[10];
+    for (auto& c : a) c = static_cast<unsigned char>(r.Uniform(4));  // ties
+    for (auto& c : b) c = static_cast<unsigned char>(r.Uniform(4));
+    const uint64_t pa = LoadKeyPrefix(a, 8);
+    const uint64_t pb = LoadKeyPrefix(b, 8);
+    const int byte_order = memcmp(a, b, 8);
+    if (byte_order < 0) {
+      EXPECT_LT(pa, pb);
+    } else if (byte_order > 0) {
+      EXPECT_GT(pa, pb);
+    } else {
+      EXPECT_EQ(pa, pb);
+    }
+  }
+}
+
+TEST(BytesTest, LoadKeyPrefix8MatchesGenericLoader) {
+  Random r(13);
+  for (int trial = 0; trial < 1000; ++trial) {
+    char key[8];
+    for (auto& c : key) c = static_cast<char>(r.Next32() & 0xff);
+    EXPECT_EQ(LoadKeyPrefix(key, 8), LoadKeyPrefix8(key));
+  }
+}
+
+TEST(BytesTest, ShortKeysZeroPad) {
+  const char k3[] = {'a', 'b', 'c'};
+  const char k4[] = {'a', 'b', 'c', '\0'};
+  // "abc" (len 3) == "abc\0" (len 4) after zero padding: prefix can't
+  // distinguish them, which matches byte order for NUL-padded keys.
+  EXPECT_EQ(LoadKeyPrefix(k3, 3), LoadKeyPrefix(k4, 4));
+  const char k1[] = {'a', 'b', 'd'};
+  EXPECT_LT(LoadKeyPrefix(k3, 3), LoadKeyPrefix(k1, 3));
+}
+
+TEST(BytesTest, FixedEncodingRoundTrips) {
+  char buf[8];
+  EncodeFixed32(buf, 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+  EncodeFixed64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefULL);
+}
+
+TEST(ChecksumTest, Crc32cKnownVector) {
+  // Standard CRC-32C test vector: "123456789" -> 0xe3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+}
+
+TEST(ChecksumTest, Crc32cDetectsCorruption) {
+  std::string data(1024, 'x');
+  const uint32_t before = Crc32c(data.data(), data.size());
+  data[512] ^= 1;
+  EXPECT_NE(before, Crc32c(data.data(), data.size()));
+}
+
+TEST(FingerprintTest, OrderIndependent) {
+  MultisetFingerprint a, b;
+  a.Add("one", 3);
+  a.Add("two", 3);
+  a.Add("three", 5);
+  b.Add("three", 5);
+  b.Add("one", 3);
+  b.Add("two", 3);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(FingerprintTest, DetectsSubstitution) {
+  MultisetFingerprint a, b;
+  a.Add("one", 3);
+  a.Add("two", 3);
+  b.Add("one", 3);
+  b.Add("twx", 3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FingerprintTest, DetectsDuplicateSwap) {
+  // {x, x, y} vs {x, y, y} must differ even though XOR alone would agree.
+  MultisetFingerprint a, b;
+  a.Add("x", 1);
+  a.Add("x", 1);
+  a.Add("y", 1);
+  b.Add("x", 1);
+  b.Add("y", 1);
+  b.Add("y", 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FingerprintTest, MergeEqualsSequentialAdds) {
+  MultisetFingerprint whole, part1, part2;
+  whole.Add("a", 1);
+  whole.Add("b", 1);
+  whole.Add("c", 1);
+  part1.Add("b", 1);
+  part2.Add("a", 1);
+  part2.Add("c", 1);
+  part1.Merge(part2);
+  EXPECT_TRUE(whole == part1);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0);
+  clock.AdvanceNanos(500);
+  clock.AdvanceSeconds(1.0);
+  EXPECT_EQ(clock.NowNanos(), 1000000500);
+  clock.AdvanceTo(10);  // in the past: no-op
+  EXPECT_EQ(clock.NowNanos(), 1000000500);
+  clock.AdvanceTo(2000000000);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 2.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "n"});
+  t.AddRow({"a", "100"});
+  t.AddRow({"longer", "1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name   | n"), std::string::npos);
+  EXPECT_NE(s.find("-------+----"), std::string::npos) << s;
+  EXPECT_NE(s.find("longer | 1"), std::string::npos);
+}
+
+TEST(TextTableTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,150 @@
+// Randomized schemas through the key conditioner: the conditioned byte
+// order must equal the field-by-field typed order for arbitrary
+// combinations of field types, ascending/descending flags, and offsets.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "record/key_conditioner.h"
+
+namespace alphasort {
+namespace {
+
+constexpr size_t kRecordSize = 64;
+
+// Typed three-way compare of one field between two records — the oracle.
+int CompareField(const KeyField& f, const char* a, const char* b) {
+  int c = 0;
+  switch (f.type) {
+    case KeyField::Type::kBytes: {
+      for (size_t i = 0; i < f.size && c == 0; ++i) {
+        uint8_t xa = static_cast<uint8_t>(a[f.offset + i]);
+        uint8_t xb = static_cast<uint8_t>(b[f.offset + i]);
+        if (f.collation != nullptr) {
+          xa = f.collation->weight[xa];
+          xb = f.collation->weight[xb];
+        }
+        c = (xa > xb) - (xa < xb);
+      }
+      break;
+    }
+    case KeyField::Type::kUint64: {
+      uint64_t va, vb;
+      memcpy(&va, a + f.offset, 8);
+      memcpy(&vb, b + f.offset, 8);
+      c = (va > vb) - (va < vb);
+      break;
+    }
+    case KeyField::Type::kInt64: {
+      int64_t va, vb;
+      memcpy(&va, a + f.offset, 8);
+      memcpy(&vb, b + f.offset, 8);
+      c = (va > vb) - (va < vb);
+      break;
+    }
+    case KeyField::Type::kFloat64: {
+      double va, vb;
+      memcpy(&va, a + f.offset, 8);
+      memcpy(&vb, b + f.offset, 8);
+      // Oracle uses IEEE totalOrder semantics for equal-comparing values
+      // with distinct bits (-0 < +0); plain < covers the rest.
+      if (va < vb) c = -1;
+      else if (va > vb) c = 1;
+      else {
+        uint64_t ba, bb;
+        memcpy(&ba, &va, 8);
+        memcpy(&bb, &vb, 8);
+        if (ba == bb) c = 0;
+        else c = std::signbit(va) && !std::signbit(vb) ? -1 : 1;
+      }
+      break;
+    }
+  }
+  return f.descending ? -c : c;
+}
+
+int CompareTyped(const KeySchema& schema, const char* a, const char* b) {
+  for (const KeyField& f : schema.fields()) {
+    const int c = CompareField(f, a, b);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+KeySchema RandomSchema(Random* rng) {
+  static const CollationTable kCi = CollationTable::CaseInsensitiveAscii();
+  std::vector<KeyField> fields;
+  const size_t num_fields = 1 + rng->Uniform(3);
+  size_t offset = 0;
+  for (size_t i = 0; i < num_fields; ++i) {
+    KeyField f;
+    switch (rng->Uniform(4)) {
+      case 0:
+        f.type = KeyField::Type::kBytes;
+        f.size = 1 + rng->Uniform(6);
+        f.collation = rng->OneIn(2) ? &kCi : nullptr;
+        break;
+      case 1:
+        f.type = KeyField::Type::kUint64;
+        f.size = 8;
+        break;
+      case 2:
+        f.type = KeyField::Type::kInt64;
+        f.size = 8;
+        break;
+      default:
+        f.type = KeyField::Type::kFloat64;
+        f.size = 8;
+        break;
+    }
+    f.offset = offset;
+    f.descending = rng->OneIn(2);
+    offset += f.size;
+    fields.push_back(f);
+  }
+  return KeySchema(std::move(fields));
+}
+
+// Random record with low-entropy bytes so field ties actually occur.
+std::vector<char> RandomRecord(Random* rng) {
+  std::vector<char> rec(kRecordSize);
+  for (auto& c : rec) c = static_cast<char>(rng->Uniform(4));
+  if (rng->OneIn(3)) {
+    // Sometimes plant a double so the float path sees real values.
+    const double v = (rng->NextDouble() - 0.5) * 1e6;
+    memcpy(rec.data(), &v, 8);
+  }
+  return rec;
+}
+
+TEST(ConditionerFuzzTest, ConditionedOrderEqualsTypedOrder) {
+  Random rng(123);
+  for (int schema_trial = 0; schema_trial < 50; ++schema_trial) {
+    const KeySchema schema = RandomSchema(&rng);
+    ASSERT_TRUE(schema.Validate(RecordFormat(kRecordSize, 1)).ok());
+    for (int pair_trial = 0; pair_trial < 50; ++pair_trial) {
+      const auto a = RandomRecord(&rng);
+      auto b = RandomRecord(&rng);
+      if (rng.OneIn(3)) b = a;  // force exact ties sometimes
+      const std::string ca = schema.Condition(a.data());
+      const std::string cb = schema.Condition(b.data());
+      const int typed = CompareTyped(schema, a.data(), b.data());
+      const int conditioned = ca.compare(cb);
+      if (typed < 0) {
+        ASSERT_LT(conditioned, 0) << "schema " << schema_trial;
+      } else if (typed > 0) {
+        ASSERT_GT(conditioned, 0) << "schema " << schema_trial;
+      } else {
+        ASSERT_EQ(conditioned, 0) << "schema " << schema_trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alphasort

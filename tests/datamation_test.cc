@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "benchlib/datamation.h"
+#include "benchlib/historical.h"
+#include "benchlib/minutesort.h"
+#include "io/stripe.h"
+
+namespace alphasort {
+namespace {
+
+TEST(DatamationInputTest, CreatesPlainFileOfRightSize) {
+  auto env = NewMemEnv();
+  InputSpec spec;
+  spec.path = "in.dat";
+  spec.num_records = 1234;
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  EXPECT_EQ(env->GetFileSize("in.dat").value(), 1234u * 100);
+}
+
+TEST(DatamationInputTest, CreatesStripedInput) {
+  auto env = NewMemEnv();
+  InputSpec spec;
+  spec.path = "in.str";
+  spec.num_records = 5000;
+  spec.stripe_width = 4;
+  spec.stride_bytes = 8192;
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  ASSERT_TRUE(env->FileExists("in.str"));
+  ASSERT_TRUE(env->FileExists("in.s00"));
+  ASSERT_TRUE(env->FileExists("in.s03"));
+  auto sf = StripeFile::Open(env.get(), "in.str", OpenMode::kReadOnly);
+  ASSERT_TRUE(sf.ok());
+  EXPECT_EQ(sf.value()->Size().value(), 5000u * 100);
+}
+
+TEST(DatamationInputTest, GenerationIsDeterministicPerSeed) {
+  auto env = NewMemEnv();
+  InputSpec spec;
+  spec.path = "a.dat";
+  spec.num_records = 100;
+  spec.seed = 5;
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  spec.path = "b.dat";
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  spec.path = "c.dat";
+  spec.seed = 6;
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  EXPECT_EQ(env->ReadFileToString("a.dat").value(),
+            env->ReadFileToString("b.dat").value());
+  EXPECT_NE(env->ReadFileToString("a.dat").value(),
+            env->ReadFileToString("c.dat").value());
+}
+
+TEST(DatamationValidateTest, DetectsUnsortedOutputFile) {
+  auto env = NewMemEnv();
+  InputSpec spec;
+  spec.path = "in.dat";
+  spec.num_records = 100;
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  // "Output" identical to the (unsorted) input.
+  ASSERT_TRUE(env
+                  ->WriteStringToFile(
+                      "out.dat", env->ReadFileToString("in.dat").value())
+                  .ok());
+  Status s = ValidateSortedFile(env.get(), "in.dat", "out.dat",
+                                kDatamationFormat);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(DatamationValidateTest, RejectsOutputDefinitionWithoutStrSuffix) {
+  auto env = NewMemEnv();
+  EXPECT_TRUE(CreateOutputDefinition(env.get(), "out.dat", 4, 1024)
+                  .IsInvalidArgument());
+}
+
+TEST(HistoricalTest, Table1IsChronologicalAndEndsWithAlphaSort) {
+  const auto table = Table1();
+  ASSERT_GE(table.size(), 10u);
+  for (size_t i = 1; i < table.size(); ++i) {
+    EXPECT_LE(table[i - 1].year, table[i].year);
+  }
+  // AlphaSort holds the three fastest rows.
+  EXPECT_TRUE(table.back().alphasort);
+  double best_other = 1e9;
+  double worst_alpha = 0;
+  for (const auto& row : table) {
+    if (row.alphasort) {
+      worst_alpha = std::max(worst_alpha, row.seconds);
+    } else {
+      best_other = std::min(best_other, row.seconds);
+    }
+  }
+  EXPECT_LT(worst_alpha, best_other);
+}
+
+TEST(HistoricalTest, AlphaSortBeatsHypercubeEightToOne) {
+  // §1: "beats the best published record on a 32-cpu 32-disk Hypercube by
+  // 8:1".
+  const auto table = Table1();
+  double hypercube = 0;
+  double best_alpha = 1e9;
+  for (const auto& row : table) {
+    if (row.system.find("Hypercube") != std::string::npos) {
+      hypercube = row.seconds;
+    }
+    if (row.alphasort) best_alpha = std::min(best_alpha, row.seconds);
+  }
+  ASSERT_GT(hypercube, 0);
+  EXPECT_NEAR(hypercube / best_alpha, 8.3, 0.5);
+}
+
+TEST(MinuteSortTest, ReproducesPaperHeadline) {
+  const auto result = ComputeMinuteSort(hw::MinuteSortSystem());
+  EXPECT_NEAR(result.gb_sorted, 1.08, 0.15);       // §8: 1.08 GB
+  EXPECT_NEAR(result.minute_price_dollars, 0.512, 0.001);
+  EXPECT_NEAR(result.dollars_per_gb, 0.47, 0.10);  // §8: 0.47 $/GB
+}
+
+TEST(MinuteSortTest, BiggerMemoryAllowsOnePassLonger) {
+  hw::AxpSystem small = hw::MinuteSortSystem();
+  small.memory_mb = 64;  // force two-pass
+  const auto r_small = ComputeMinuteSort(small);
+  const auto r_big = ComputeMinuteSort(hw::MinuteSortSystem());
+  EXPECT_TRUE(r_small.two_pass);
+  EXPECT_GT(r_big.gb_sorted, r_small.gb_sorted);
+}
+
+TEST(DollarSortTest, CheapSystemsGetMoreTime) {
+  hw::AxpSystem big = hw::MinuteSortSystem();  // 512 k$
+  hw::AxpSystem cheap = big;
+  cheap.total_price_dollars = 97000;  // DEC 3000-ish
+  const auto r_big = ComputeDollarSort(big);
+  const auto r_cheap = ComputeDollarSort(cheap);
+  EXPECT_GT(r_cheap.budget_seconds, r_big.budget_seconds);
+  // More time on the same hardware sorts more data.
+  EXPECT_GT(r_cheap.gb_sorted, r_big.gb_sorted);
+}
+
+}  // namespace
+}  // namespace alphasort

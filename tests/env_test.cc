@@ -1,0 +1,150 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+
+namespace alphasort {
+namespace {
+
+// Runs the same behavioural suite against every Env implementation.
+class EnvSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "mem") {
+      owned_ = NewMemEnv();
+      env_ = owned_.get();
+      prefix_ = "";
+    } else {
+      env_ = GetPosixEnv();
+      prefix_ = ::testing::TempDir() + "alphasort_env_test_";
+    }
+  }
+
+  void TearDown() override {
+    for (const auto& p : created_) env_->DeleteFile(p);
+  }
+
+  std::string Path(const std::string& name) {
+    const std::string p = prefix_ + name;
+    created_.push_back(p);
+    return p;
+  }
+
+  Env* env_ = nullptr;
+
+ private:
+  std::unique_ptr<Env> owned_;
+  std::string prefix_;
+  std::vector<std::string> created_;
+};
+
+TEST_P(EnvSuite, CreateWriteReadRoundTrip) {
+  const std::string path = Path("roundtrip");
+  ASSERT_TRUE(env_->WriteStringToFile(path, "hello striped world").ok());
+  Result<std::string> back = env_->ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "hello striped world");
+}
+
+TEST_P(EnvSuite, OpenMissingFileIsNotFound) {
+  Result<std::unique_ptr<File>> f =
+      env_->OpenFile(Path("missing"), OpenMode::kReadOnly);
+  EXPECT_FALSE(f.ok());
+  EXPECT_TRUE(f.status().IsNotFound()) << f.status().ToString();
+}
+
+TEST_P(EnvSuite, PositionalWritesExtendFile) {
+  const std::string path = Path("positional");
+  auto f = env_->OpenFile(path, OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Write(5, "world", 5).ok());
+  ASSERT_TRUE(f.value()->Write(0, "hello", 5).ok());
+  ASSERT_EQ(f.value()->Size().value(), 10u);
+  char buf[10];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 10, buf, &got).ok());
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(std::string(buf, 10), "helloworld");
+}
+
+TEST_P(EnvSuite, ReadPastEndIsShort) {
+  const std::string path = Path("short");
+  ASSERT_TRUE(env_->WriteStringToFile(path, "abc").ok());
+  auto f = env_->OpenFile(path, OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  char buf[16];
+  size_t got = 99;
+  ASSERT_TRUE(f.value()->Read(1, 16, buf, &got).ok());
+  EXPECT_EQ(got, 2u);
+  EXPECT_EQ(std::string(buf, 2), "bc");
+  ASSERT_TRUE(f.value()->Read(100, 16, buf, &got).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_P(EnvSuite, TruncateShrinksFile) {
+  const std::string path = Path("trunc");
+  ASSERT_TRUE(env_->WriteStringToFile(path, "0123456789").ok());
+  auto f = env_->OpenFile(path, OpenMode::kReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Truncate(4).ok());
+  EXPECT_EQ(f.value()->Size().value(), 4u);
+}
+
+TEST_P(EnvSuite, CreateTruncatesExistingContent) {
+  const std::string path = Path("recreate");
+  ASSERT_TRUE(env_->WriteStringToFile(path, "long old content").ok());
+  ASSERT_TRUE(env_->WriteStringToFile(path, "new").ok());
+  EXPECT_EQ(env_->ReadFileToString(path).value(), "new");
+}
+
+TEST_P(EnvSuite, DeleteAndExists) {
+  const std::string path = Path("deleteme");
+  EXPECT_FALSE(env_->FileExists(path));
+  ASSERT_TRUE(env_->WriteStringToFile(path, "x").ok());
+  EXPECT_TRUE(env_->FileExists(path));
+  EXPECT_TRUE(env_->DeleteFile(path).ok());
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_TRUE(env_->DeleteFile(path).IsNotFound());
+}
+
+TEST_P(EnvSuite, GetFileSize) {
+  const std::string path = Path("sized");
+  ASSERT_TRUE(env_->WriteStringToFile(path, std::string(12345, 'z')).ok());
+  EXPECT_EQ(env_->GetFileSize(path).value(), 12345u);
+  EXPECT_TRUE(env_->GetFileSize(Path("nosuch")).status().IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvSuite,
+                         ::testing::Values("mem", "posix"),
+                         [](const auto& info) { return info.param; });
+
+TEST(FaultEnvTest, FailsExactlyAtCountdown) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("f", "0123456789").ok());
+  auto f = fenv.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  char buf[4];
+  size_t got;
+  fenv.FailAfter(3);
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).ok());
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).ok());
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).IsIOError());
+  // Stays failed.
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).IsIOError());
+  fenv.Disarm();
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).ok());
+}
+
+TEST(FaultEnvTest, CountsOperations) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("f", "abc").ok());  // one write
+  EXPECT_GE(fenv.ops_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace alphasort

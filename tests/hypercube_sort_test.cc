@@ -1,0 +1,123 @@
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/datamation.h"
+#include "core/hypercube_sort.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+struct HyperE2E {
+  std::unique_ptr<Env> env = NewMemEnv();
+  SortOptions opts;
+  HypercubeOptions hyper;
+  HypercubeMetrics metrics;
+
+  Status Prepare(uint64_t records, KeyDistribution dist) {
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    spec.distribution = dist;
+    spec.seed = 99;
+    ALPHASORT_RETURN_IF_ERROR(CreateInputFile(env.get(), spec));
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    return Status::OK();
+  }
+
+  Status Sort() {
+    return HypercubeSort::Run(env.get(), opts, hyper, &metrics);
+  }
+
+  Status Validate() {
+    return ValidateSortedFile(env.get(), "in.dat", "out.dat", opts.format);
+  }
+};
+
+class HypercubeSweep : public ::testing::TestWithParam<
+                           std::tuple<KeyDistribution, uint64_t, int>> {};
+
+TEST_P(HypercubeSweep, SortsToASortedPermutation) {
+  const auto [dist, records, nodes] = GetParam();
+  HyperE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(records, dist).ok());
+  e2e.hyper.nodes = nodes;
+  Status s = e2e.Sort();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  Status v = e2e.Validate();
+  EXPECT_TRUE(v.ok()) << v.ToString();
+  EXPECT_EQ(e2e.metrics.num_records, records);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HypercubeSweep,
+    ::testing::Combine(::testing::ValuesIn(test::AllDistributions()),
+                       ::testing::Values(uint64_t{0}, uint64_t{1},
+                                         uint64_t{1000}, uint64_t{7777}),
+                       ::testing::Values(1, 2, 4, 7)),
+    [](const auto& info) {
+      return std::string(test::DistributionName(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(HypercubeSortTest, ProbabilisticSplittingBalancesUniformKeys) {
+  HyperE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(40000, KeyDistribution::kUniform).ok());
+  e2e.hyper.nodes = 8;
+  e2e.hyper.samples_per_node = 128;
+  ASSERT_TRUE(e2e.Sort().ok());
+  // Paper [9]: partitions come out near-equal with enough samples.
+  EXPECT_LT(e2e.metrics.max_skew, 1.35)
+      << "largest partition " << e2e.metrics.max_skew << "x the ideal";
+  EXPECT_GE(e2e.metrics.max_skew, 1.0);
+}
+
+TEST(HypercubeSortTest, FewSamplesSkewMore) {
+  auto run_with_samples = [](size_t samples) {
+    HyperE2E e2e;
+    EXPECT_TRUE(e2e.Prepare(40000, KeyDistribution::kUniform).ok());
+    e2e.hyper.nodes = 8;
+    e2e.hyper.samples_per_node = samples;
+    EXPECT_TRUE(e2e.Sort().ok());
+    return e2e.metrics.max_skew;
+  };
+  const double skew_few = run_with_samples(2);
+  const double skew_many = run_with_samples(256);
+  EXPECT_LT(skew_many, skew_few);
+}
+
+TEST(HypercubeSortTest, ConstantKeysCollapseToOnePartitionButStaySorted) {
+  // Degenerate splitting: every record equal -> one node gets everything.
+  // Correctness must survive the total imbalance.
+  HyperE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(5000, KeyDistribution::kConstant).ok());
+  e2e.hyper.nodes = 4;
+  ASSERT_TRUE(e2e.Sort().ok());
+  EXPECT_TRUE(e2e.Validate().ok());
+  EXPECT_NEAR(e2e.metrics.max_skew, 4.0, 0.01);
+}
+
+TEST(HypercubeSortTest, RejectsBadNodeCount) {
+  HyperE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(100, KeyDistribution::kUniform).ok());
+  e2e.hyper.nodes = 0;
+  EXPECT_TRUE(e2e.Sort().IsInvalidArgument());
+}
+
+TEST(HypercubeSortTest, ReportsPhaseMetrics) {
+  HyperE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(10000, KeyDistribution::kUniform).ok());
+  e2e.hyper.nodes = 4;
+  ASSERT_TRUE(e2e.Sort().ok());
+  EXPECT_GT(e2e.metrics.total_s, 0);
+  EXPECT_GT(e2e.metrics.local_sort_s, 0);
+  EXPECT_GT(e2e.metrics.merge_write_s, 0);
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "record/key_conditioner.h"
+#include "sort/quicksort.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+// Writes `v` (any 8-byte type) into a little record at offset 0.
+template <typename T>
+std::vector<char> Rec(T v, size_t record_size = 16) {
+  std::vector<char> rec(record_size, 0);
+  memcpy(rec.data(), &v, sizeof(v));
+  return rec;
+}
+
+template <typename T>
+int ConditionedCompare(const KeySchema& schema, T a, T b) {
+  const auto ra = Rec(a);
+  const auto rb = Rec(b);
+  const std::string ca = schema.Condition(ra.data());
+  const std::string cb = schema.Condition(rb.data());
+  return ca.compare(cb);
+}
+
+TEST(KeyConditionerTest, Uint64OrderMatches) {
+  KeySchema schema({{KeyField::Type::kUint64, 0, 8, false, nullptr}});
+  Random rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.Next64() >> (rng.Uniform(64));
+    const uint64_t b = rng.Next64() >> (rng.Uniform(64));
+    const int c = ConditionedCompare(schema, a, b);
+    if (a < b) {
+      EXPECT_LT(c, 0);
+    } else if (a > b) {
+      EXPECT_GT(c, 0);
+    } else {
+      EXPECT_EQ(c, 0);
+    }
+  }
+}
+
+TEST(KeyConditionerTest, Int64OrderMatchesIncludingNegatives) {
+  KeySchema schema({{KeyField::Type::kInt64, 0, 8, false, nullptr}});
+  Random rng(2);
+  std::vector<int64_t> interesting = {
+      INT64_MIN, INT64_MIN + 1, -1000000, -1, 0, 1, 1000000, INT64_MAX - 1,
+      INT64_MAX};
+  for (int i = 0; i < 1000; ++i) {
+    interesting.push_back(static_cast<int64_t>(rng.Next64()));
+  }
+  for (size_t i = 0; i < interesting.size(); ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      const int64_t a = interesting[i];
+      const int64_t b = interesting[rng.Uniform(interesting.size())];
+      const int c = ConditionedCompare(schema, a, b);
+      if (a < b) {
+        EXPECT_LT(c, 0) << a << " vs " << b;
+      } else if (a > b) {
+        EXPECT_GT(c, 0) << a << " vs " << b;
+      } else {
+        EXPECT_EQ(c, 0) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(KeyConditionerTest, DoubleOrderMatches) {
+  KeySchema schema({{KeyField::Type::kFloat64, 0, 8, false, nullptr}});
+  Random rng(3);
+  std::vector<double> interesting = {
+      -1e308, -1.0, -1e-308, -0.0, 0.0, 1e-308, 0.5, 1.0, 3.14159, 1e308};
+  for (int i = 0; i < 500; ++i) {
+    interesting.push_back((rng.NextDouble() - 0.5) * 1e12);
+  }
+  for (size_t i = 0; i < interesting.size(); ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      const double a = interesting[i];
+      const double b = interesting[rng.Uniform(interesting.size())];
+      const int c = ConditionedCompare(schema, a, b);
+      if (a < b) {
+        EXPECT_LT(c, 0) << a << " vs " << b;
+      } else if (a > b) {
+        EXPECT_GT(c, 0) << a << " vs " << b;
+      }
+      // a == b covers 0.0 vs -0.0, which conditions as -0 < +0
+      // (IEEE totalOrder); only assert equality for identical bits.
+      uint64_t ba, bb;
+      memcpy(&ba, &a, 8);
+      memcpy(&bb, &b, 8);
+      if (ba == bb) {
+        EXPECT_EQ(c, 0);
+      }
+    }
+  }
+}
+
+TEST(KeyConditionerTest, NegativeZeroSortsBeforePositiveZero) {
+  KeySchema schema({{KeyField::Type::kFloat64, 0, 8, false, nullptr}});
+  EXPECT_LT(ConditionedCompare(schema, -0.0, 0.0), 0);
+}
+
+TEST(KeyConditionerTest, DescendingInvertsOrder) {
+  KeySchema schema({{KeyField::Type::kUint64, 0, 8, true, nullptr}});
+  EXPECT_GT(ConditionedCompare<uint64_t>(schema, 1, 2), 0);
+  EXPECT_LT(ConditionedCompare<uint64_t>(schema, 2, 1), 0);
+  EXPECT_EQ(ConditionedCompare<uint64_t>(schema, 7, 7), 0);
+}
+
+TEST(KeyConditionerTest, CaseInsensitiveCollation) {
+  static const CollationTable kTable = CollationTable::CaseInsensitiveAscii();
+  KeySchema schema({{KeyField::Type::kBytes, 0, 4, false, &kTable}});
+  auto rec = [](const char* s) {
+    std::vector<char> r(16, 0);
+    memcpy(r.data(), s, strlen(s));
+    return r;
+  };
+  EXPECT_EQ(schema.Condition(rec("abCD").data()),
+            schema.Condition(rec("ABcd").data()));
+  EXPECT_LT(schema.Condition(rec("abc").data()),
+            schema.Condition(rec("ABD").data()));
+}
+
+TEST(KeyConditionerTest, CompositeKeysCompareFieldByField) {
+  // (double ascending, int64 descending) composite.
+  KeySchema schema({{KeyField::Type::kFloat64, 0, 8, false, nullptr},
+                    {KeyField::Type::kInt64, 8, 8, true, nullptr}});
+  auto rec = [](double d, int64_t i) {
+    std::vector<char> r(32, 0);
+    memcpy(r.data(), &d, 8);
+    memcpy(r.data() + 8, &i, 8);
+    return r;
+  };
+  // Primary field dominates.
+  EXPECT_LT(schema.Condition(rec(1.0, 5).data()),
+            schema.Condition(rec(2.0, -5).data()));
+  // Equal primary: secondary is descending.
+  EXPECT_LT(schema.Condition(rec(1.0, 9).data()),
+            schema.Condition(rec(1.0, 3).data()));
+}
+
+TEST(KeyConditionerTest, ValidationCatchesBadSchemas) {
+  RecordFormat fmt(16, 8);
+  EXPECT_TRUE(
+      KeySchema(std::vector<KeyField>{}).Validate(fmt).IsInvalidArgument());
+  EXPECT_TRUE(KeySchema({{KeyField::Type::kBytes, 0, 0, false, nullptr}})
+                  .Validate(fmt)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(KeySchema({{KeyField::Type::kBytes, 10, 8, false, nullptr}})
+                  .Validate(fmt)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(KeySchema({{KeyField::Type::kInt64, 0, 4, false, nullptr}})
+                  .Validate(fmt)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(KeySchema({{KeyField::Type::kInt64, 0, 8, false, nullptr}})
+                  .Validate(fmt)
+                  .ok());
+}
+
+TEST(KeyConditionerTest, ConditionRecordsProducesSortableBlock) {
+  // Records with a signed 64-bit key: condition, then sort with the
+  // standard key-prefix kernel, and check numeric order.
+  const RecordFormat fmt(24, 8);
+  const size_t n = 2000;
+  Random rng(4);
+  std::vector<char> block(n * fmt.record_size);
+  std::vector<int64_t> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<int64_t>(rng.Next64());
+    memcpy(block.data() + i * fmt.record_size, &values[i], 8);
+    EncodeFixed64(block.data() + i * fmt.record_size + 8, i);
+  }
+
+  KeySchema schema({{KeyField::Type::kInt64, 0, 8, false, nullptr}});
+  auto conditioned = ConditionRecords(schema, fmt, block.data(), n);
+  ASSERT_TRUE(conditioned.ok());
+  const RecordFormat& cfmt = conditioned.value().format;
+  EXPECT_EQ(cfmt.record_size, 8u + 24u);
+  EXPECT_EQ(cfmt.key_size, 8u);
+
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(cfmt, conditioned.value().data.data(), n,
+                        entries.data());
+  SortPrefixEntryArray(cfmt, entries.data(), n);
+
+  int64_t prev = INT64_MIN;
+  for (size_t i = 0; i < n; ++i) {
+    // Original record is appended after the conditioned key.
+    int64_t v;
+    memcpy(&v, entries[i].record + 8, 8);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace alphasort

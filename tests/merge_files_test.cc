@@ -1,0 +1,204 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "core/merge_files.h"
+#include "core/record_io.h"
+#include "record/validator.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+// Writes a sorted record file of n records at `path`.
+Status MakeSortedFile(Env* env, const std::string& path, uint64_t n,
+                      uint64_t seed) {
+  InputSpec spec;
+  spec.path = "tmp_unsorted.dat";
+  spec.num_records = n;
+  spec.seed = seed;
+  ALPHASORT_RETURN_IF_ERROR(CreateInputFile(env, spec));
+  SortOptions opts;
+  opts.input_path = "tmp_unsorted.dat";
+  opts.output_path = path;
+  ALPHASORT_RETURN_IF_ERROR(AlphaSort::Run(env, opts));
+  return env->DeleteFile("tmp_unsorted.dat");
+}
+
+TEST(MergeFilesTest, MergesSortedFilesIntoOne) {
+  auto env = NewMemEnv();
+  std::vector<std::string> inputs;
+  SortValidator validator(kDatamationFormat);
+  std::vector<char> buf;
+  for (int i = 0; i < 4; ++i) {
+    const std::string path = StrFormat("sorted%d.dat", i);
+    ASSERT_TRUE(MakeSortedFile(env.get(), path, 500 + 100 * i, i).ok());
+    inputs.push_back(path);
+    auto data = env->ReadFileToString(path).value();
+    validator.AddInput(data.data(), data.size() / 100);
+  }
+
+  SortOptions opts;
+  SortMetrics m;
+  ASSERT_TRUE(
+      MergeSortedFiles(env.get(), inputs, "merged.dat", opts, &m).ok());
+  EXPECT_EQ(m.num_records, 500u + 600 + 700 + 800);
+  EXPECT_EQ(m.num_runs, 4u);
+
+  auto merged = env->ReadFileToString("merged.dat").value();
+  validator.AddOutput(merged.data(), merged.size() / 100);
+  EXPECT_TRUE(validator.Finish().ok());
+}
+
+TEST(MergeFilesTest, RejectsUnsortedInput) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(MakeSortedFile(env.get(), "good.dat", 300, 1).ok());
+  InputSpec spec;
+  spec.path = "bad.dat";  // random order: not sorted
+  spec.num_records = 300;
+  spec.seed = 2;
+  ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+
+  SortOptions opts;
+  Status s = MergeSortedFiles(env.get(), {"good.dat", "bad.dat"},
+                              "merged.dat", opts);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("not sorted"), std::string::npos);
+}
+
+TEST(MergeFilesTest, SingleAndZeroInputs) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(MakeSortedFile(env.get(), "one.dat", 200, 3).ok());
+  SortOptions opts;
+  ASSERT_TRUE(
+      MergeSortedFiles(env.get(), {"one.dat"}, "copy.dat", opts).ok());
+  EXPECT_EQ(env->ReadFileToString("copy.dat").value(),
+            env->ReadFileToString("one.dat").value());
+
+  ASSERT_TRUE(MergeSortedFiles(env.get(), {}, "empty.dat", opts).ok());
+  EXPECT_EQ(env->GetFileSize("empty.dat").value(), 0u);
+}
+
+TEST(MergeFilesTest, StableAcrossInputsForEqualKeys) {
+  auto env = NewMemEnv();
+  // Two files of constant keys: merged output must drain file 0 first.
+  for (int i = 0; i < 2; ++i) {
+    InputSpec spec;
+    spec.path = StrFormat("const%d.dat", i);
+    spec.num_records = 50;
+    spec.distribution = KeyDistribution::kConstant;
+    spec.seed = 10 + i;
+    ASSERT_TRUE(CreateInputFile(env.get(), spec).ok());
+  }
+  SortOptions opts;
+  ASSERT_TRUE(MergeSortedFiles(env.get(), {"const0.dat", "const1.dat"},
+                               "merged.dat", opts)
+                  .ok());
+  const std::string merged = env->ReadFileToString("merged.dat").value();
+  const std::string first = env->ReadFileToString("const0.dat").value();
+  EXPECT_EQ(merged.substr(0, first.size()), first);
+}
+
+TEST(RecordIoTest, WriterReaderRoundTrip) {
+  auto env = NewMemEnv();
+  RecordGenerator gen(kDatamationFormat, 5);
+  const uint64_t n = 3000;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+
+  auto writer = RecordFileWriter::Create(env.get(), "records.dat",
+                                         kDatamationFormat);
+  ASSERT_TRUE(writer.ok());
+  // Ragged appends.
+  uint64_t written = 0;
+  Random rng(6);
+  while (written < n) {
+    const uint64_t chunk = std::min<uint64_t>(1 + rng.Uniform(700),
+                                              n - written);
+    ASSERT_TRUE(writer.value()
+                    ->Append(block.data() + written * 100, chunk)
+                    .ok());
+    written += chunk;
+  }
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  EXPECT_EQ(writer.value()->records_written(), n);
+
+  auto reader = RecordFileReader::Open(env.get(), "records.dat",
+                                       kDatamationFormat, 128);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->num_records(), n);
+  uint64_t i = 0;
+  while (const char* rec = reader.value()->Current()) {
+    ASSERT_EQ(memcmp(rec, block.data() + i * 100, 100), 0) << "record " << i;
+    ASSERT_TRUE(reader.value()->Advance().ok());
+    ++i;
+  }
+  EXPECT_EQ(i, n);
+}
+
+TEST(RecordIoTest, ReadBatchDeliversAllRecords) {
+  auto env = NewMemEnv();
+  RecordGenerator gen(kDatamationFormat, 8);
+  const uint64_t n = 1000;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  {
+    auto writer = RecordFileWriter::Create(env.get(), "batch.dat",
+                                           kDatamationFormat);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(block.data(), n).ok());
+    ASSERT_TRUE(writer.value()->Finish().ok());
+  }
+  auto reader =
+      RecordFileReader::Open(env.get(), "batch.dat", kDatamationFormat);
+  ASSERT_TRUE(reader.ok());
+  std::vector<char> out(n * 100);
+  uint64_t total = 0;
+  while (true) {
+    auto got = reader.value()->ReadBatch(out.data() + total * 100, 333);
+    ASSERT_TRUE(got.ok());
+    if (got.value() == 0) break;
+    total += got.value();
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(memcmp(out.data(), block.data(), n * 100), 0);
+}
+
+TEST(RecordIoTest, WriterRejectsAppendAfterFinish) {
+  auto env = NewMemEnv();
+  auto writer =
+      RecordFileWriter::Create(env.get(), "w.dat", kDatamationFormat);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  char rec[100] = {};
+  EXPECT_TRUE(writer.value()->Append(rec, 1).IsInvalidArgument());
+}
+
+TEST(RecordIoTest, StripedRoundTrip) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(WriteStripeDefinition(
+                  env.get(), "recs.str",
+                  MakeUniformStripe("recs", 3, 4096))
+                  .ok());
+  RecordGenerator gen(kDatamationFormat, 9);
+  const uint64_t n = 2000;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  {
+    auto writer = RecordFileWriter::Create(env.get(), "recs.str",
+                                           kDatamationFormat);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append(block.data(), n).ok());
+    ASSERT_TRUE(writer.value()->Finish().ok());
+  }
+  auto reader =
+      RecordFileReader::Open(env.get(), "recs.str", kDatamationFormat);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->num_records(), n);
+}
+
+}  // namespace
+}  // namespace alphasort

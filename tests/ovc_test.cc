@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "record/generator.h"
+#include "sort/ovc.h"
+#include "sort/quicksort.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+// Builds `num_runs` sorted runs of record pointers over the block.
+std::vector<std::vector<const char*>> MakeSortedRuns(const RecordFormat& fmt,
+                                                     const char* block,
+                                                     size_t n,
+                                                     size_t num_runs) {
+  std::vector<std::vector<const char*>> runs(num_runs);
+  for (size_t i = 0; i < n; ++i) {
+    runs[i % num_runs].push_back(block + i * fmt.record_size);
+  }
+  for (auto& run : runs) {
+    std::sort(run.begin(), run.end(), [&fmt](const char* a, const char* b) {
+      return fmt.CompareKeys(a, b) < 0;
+    });
+  }
+  return runs;
+}
+
+class OvcSweep : public ::testing::TestWithParam<
+                     std::tuple<KeyDistribution, size_t, size_t>> {};
+
+// Property: the OVC merge produces the same globally sorted stream as a
+// plain comparison merge, for every distribution / size / fan-in.
+TEST_P(OvcSweep, MergesCorrectly) {
+  const auto [dist, n, k] = GetParam();
+  RecordGenerator gen(kDatamationFormat, 555 + n + k);
+  auto block = gen.Generate(dist, n);
+  auto runs = MakeSortedRuns(kDatamationFormat, block.data(), n, k);
+
+  OvcMerger merger(kDatamationFormat, runs);
+  std::vector<const char*> out;
+  while (!merger.Done()) out.push_back(merger.Next());
+
+  ASSERT_EQ(out.size(), n);
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, out));
+
+  // Same multiset of records (pointers are unique per record).
+  std::vector<const char*> expect;
+  for (const auto& run : runs) {
+    expect.insert(expect.end(), run.begin(), run.end());
+  }
+  std::sort(expect.begin(), expect.end());
+  std::vector<const char*> got = out;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsSizesFanIn, OvcSweep,
+    ::testing::Combine(::testing::ValuesIn(test::AllDistributions()),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{128},
+                                         size_t{2048}),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{3},
+                                         size_t{8}, size_t{13})),
+    [](const auto& info) {
+      return std::string(test::DistributionName(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(OvcTest, MostComparesResolveOnCodesForRandomKeys) {
+  // OVC's selling point: full-key compares are rare when keys are random.
+  RecordGenerator gen(kDatamationFormat, 99);
+  const size_t n = 5000;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  auto runs = MakeSortedRuns(kDatamationFormat, block.data(), n, 10);
+  OvcMerger merger(kDatamationFormat, runs);
+  while (!merger.Done()) merger.Next();
+  const auto& stats = merger.stats();
+  EXPECT_GT(stats.code_compares, 10 * stats.full_compares)
+      << "code=" << stats.code_compares << " full=" << stats.full_compares;
+}
+
+TEST(OvcTest, DuplicateHeavyKeysStillMergeStably) {
+  RecordGenerator gen(kDatamationFormat, 77);
+  const size_t n = 600;
+  auto block = gen.Generate(KeyDistribution::kConstant, n);
+  // Round-robin split: run r holds records r, r+k, r+2k, ... so a merge
+  // that prefers the lowest run index on ties emits records grouped but
+  // key-sorted; just verify global key order + completeness here.
+  auto runs = MakeSortedRuns(kDatamationFormat, block.data(), n, 7);
+  OvcMerger merger(kDatamationFormat, runs);
+  size_t count = 0;
+  const char* prev = nullptr;
+  while (!merger.Done()) {
+    const char* rec = merger.Next();
+    if (prev != nullptr) {
+      EXPECT_LE(kDatamationFormat.CompareKeys(prev, rec), 0);
+    }
+    prev = rec;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(OvcTest, SharedPrefixKeysForceFullCompares) {
+  // Keys identical in the first 8 bytes: codes frequently collide, so OVC
+  // must fall back often — the regime where the paper says OVC-style
+  // schemes lose their advantage.
+  RecordGenerator gen(kDatamationFormat, 88);
+  const size_t n = 3000;
+  auto block = gen.Generate(KeyDistribution::kSharedPrefix, n);
+  auto runs = MakeSortedRuns(kDatamationFormat, block.data(), n, 8);
+  OvcMerger merger(kDatamationFormat, runs);
+  std::vector<const char*> out;
+  while (!merger.Done()) out.push_back(merger.Next());
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, out));
+  EXPECT_GT(merger.stats().full_compares, 0u);
+}
+
+TEST(OvcTest, EmptyAndSingletonRuns) {
+  RecordGenerator gen(kDatamationFormat, 66);
+  auto block = gen.Generate(KeyDistribution::kUniform, 3);
+  std::vector<std::vector<const char*>> runs(5);
+  runs[1].push_back(block.data());
+  runs[3].push_back(block.data() + 100);
+  runs[4].push_back(block.data() + 200);
+  OvcMerger merger(kDatamationFormat, runs);
+  std::vector<const char*> out;
+  while (!merger.Done()) out.push_back(merger.Next());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, out));
+}
+
+TEST(OvcTest, NoRunsMeansDone) {
+  OvcMerger merger(kDatamationFormat, {});
+  EXPECT_TRUE(merger.Done());
+}
+
+}  // namespace
+}  // namespace alphasort

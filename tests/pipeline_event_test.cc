@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/pipeline_event_sim.h"
+
+namespace alphasort {
+namespace {
+
+TEST(PipelineEventSimTest, AgreesWithAnalyticModelOnTable8) {
+  // The event-driven playout and the analytic phase maxima must tell the
+  // same story for every Table 8 system (within ~15%) — that agreement is
+  // what licenses the simple model for the table reproductions.
+  for (const auto& system : hw::Table8Systems()) {
+    const auto analytic = sim::PredictOnePass(system, 100e6);
+    const auto events = sim::SimulatePipelineEvents(system, 100e6);
+    EXPECT_NEAR(events.total_s, analytic.total_s, 0.15 * analytic.total_s)
+        << system.name << ": events=" << events.total_s
+        << " analytic=" << analytic.total_s;
+  }
+}
+
+TEST(PipelineEventSimTest, IoBoundReadPhaseTracksDiskTime) {
+  const auto system = hw::Table8Systems()[2];  // DEC 7000, 1 cpu: IO bound
+  const auto events = sim::SimulatePipelineEvents(system, 100e6);
+  // §7: "the read of the input file completes at the end of 3.87 s".
+  EXPECT_NEAR(events.read_phase_s, 3.87, 0.5);
+  // The last partial run sorts after EOF: a visible but small tail.
+  EXPECT_GT(events.last_run_s, 0.0);
+  EXPECT_LT(events.last_run_s, 1.0);
+}
+
+TEST(PipelineEventSimTest, CpuBoundWhenDisksAreFast) {
+  // Absurdly fast disks: the pipeline becomes CPU-bound and the phases
+  // track the QuickSort / merge+gather costs instead.
+  hw::AxpSystem fast = hw::Table8Systems()[2];
+  fast.array = DiskArray::Uniform(
+      "warp", DiskModel{"fast", 1000, 1000, 0, 1},
+      ControllerModel{"c", 100000, 0}, 8, 8);
+  const auto events = sim::SimulatePipelineEvents(fast, 100e6);
+  // 1 cpu: ~2 s of extract+QuickSort dominates the read phase tail.
+  EXPECT_GT(events.last_run_s + events.read_phase_s, 1.5);
+  EXPECT_GT(events.merge_phase_s, 3.0);  // merge 1 s + gather 3 s serial-ish
+}
+
+TEST(PipelineEventSimTest, MoreCpusShortenTheCpuSide) {
+  hw::AxpSystem fast = hw::Table8Systems()[2];
+  fast.array = DiskArray::Uniform(
+      "warp", DiskModel{"fast", 1000, 1000, 0, 1},
+      ControllerModel{"c", 100000, 0}, 8, 8);
+  const auto one = sim::SimulatePipelineEvents(fast, 100e6);
+  fast.cpus = 3;
+  const auto three = sim::SimulatePipelineEvents(fast, 100e6);
+  EXPECT_LT(three.read_phase_s + three.last_run_s,
+            one.read_phase_s + one.last_run_s);
+  EXPECT_LT(three.merge_phase_s, one.merge_phase_s);
+}
+
+TEST(PipelineEventSimTest, ModelsAgreeAcrossRandomConfigurations) {
+  // Property: the analytic maxima and the event playout stay within ~30%
+  // of each other over a broad space of sane configurations — neither
+  // model is trusted alone.
+  Random rng(4096);
+  for (int trial = 0; trial < 30; ++trial) {
+    hw::AxpSystem sys;
+    sys.name = "random";
+    sys.cpus = 1 + static_cast<int>(rng.Uniform(4));
+    sys.clock_ns = 4.0 + rng.NextDouble() * 4.0;
+    sys.memory_mb = 256;
+    const int disks = 4 + static_cast<int>(rng.Uniform(33));
+    const double disk_rate = 1.0 + rng.NextDouble() * 4.0;
+    sys.array = DiskArray::Uniform(
+        "rand", DiskModel{"d", disk_rate, disk_rate * 0.75, 2000, 1},
+        ControllerModel{"c", 8.0 + rng.NextDouble() * 8.0, 1500}, disks,
+        1 + disks / 4);
+    const double bytes = (20 + rng.Uniform(300)) * 1e6;
+    const double analytic = sim::PredictOnePass(sys, bytes).total_s;
+    const double events = sim::SimulatePipelineEvents(sys, bytes).total_s;
+    EXPECT_NEAR(events, analytic, 0.30 * analytic)
+        << "trial " << trial << ": cpus=" << sys.cpus
+        << " disks=" << disks << " rate=" << disk_rate
+        << " bytes=" << bytes;
+  }
+}
+
+TEST(PipelineEventSimTest, EmptyInputIsFree) {
+  const auto events =
+      sim::SimulatePipelineEvents(hw::Table8Systems()[0], 0);
+  EXPECT_EQ(events.total_s, 0.0);
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,317 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "record/generator.h"
+#include "sort/compact_entry.h"
+#include "sort/entry.h"
+#include "sort/quicksort.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+enum class Discipline { kRecord, kPointer, kKey, kPrefix };
+
+const char* DisciplineName(Discipline d) {
+  switch (d) {
+    case Discipline::kRecord:
+      return "Record";
+    case Discipline::kPointer:
+      return "Pointer";
+    case Discipline::kKey:
+      return "Key";
+    case Discipline::kPrefix:
+      return "Prefix";
+  }
+  return "?";
+}
+
+// Sorts `block` with the given discipline and returns the sorted order as
+// record pointers (record sort rearranges the block itself).
+std::vector<const char*> RunDiscipline(const RecordFormat& fmt,
+                                       std::vector<char>& block, size_t n,
+                                       Discipline d, SortStats* stats) {
+  std::vector<const char*> out(n);
+  switch (d) {
+    case Discipline::kRecord: {
+      SortRecords(fmt, block.data(), n, stats);
+      for (size_t i = 0; i < n; ++i) out[i] = block.data() + i * fmt.record_size;
+      break;
+    }
+    case Discipline::kPointer: {
+      std::vector<RecordPtr> ptrs(n);
+      BuildPointerArray(fmt, block.data(), n, ptrs.data());
+      SortPointerArray(fmt, ptrs.data(), n, stats);
+      out.assign(ptrs.begin(), ptrs.end());
+      break;
+    }
+    case Discipline::kKey: {
+      std::vector<KeyEntry> entries(n);
+      BuildKeyEntryArray(fmt, block.data(), n, entries.data());
+      SortKeyEntryArray(fmt, entries.data(), n, stats);
+      for (size_t i = 0; i < n; ++i) out[i] = entries[i].record;
+      break;
+    }
+    case Discipline::kPrefix: {
+      std::vector<PrefixEntry> entries(n);
+      BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+      SortPrefixEntryArray(fmt, entries.data(), n, stats);
+      for (size_t i = 0; i < n; ++i) out[i] = entries[i].record;
+      break;
+    }
+  }
+  return out;
+}
+
+using SweepParam = std::tuple<Discipline, KeyDistribution, size_t>;
+
+class QuickSortSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Property: every discipline sorts every distribution at every size, and
+// the result is a permutation (validated via the multiset of keys).
+TEST_P(QuickSortSweep, SortsCorrectly) {
+  const auto [discipline, dist, n] = GetParam();
+  RecordGenerator gen(kDatamationFormat, 1234 + n);
+  auto block = gen.Generate(dist, n);
+  auto original = block;
+
+  SortStats stats;
+  auto ptrs = RunDiscipline(kDatamationFormat, block, n, discipline, &stats);
+
+  ASSERT_EQ(ptrs.size(), n);
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, ptrs));
+
+  // Permutation check: multiset of keys must be preserved.
+  std::vector<std::string> in_keys, out_keys;
+  for (size_t i = 0; i < n; ++i) {
+    in_keys.push_back(
+        test::KeyOf(kDatamationFormat, original.data() + i * 100));
+    out_keys.push_back(test::KeyOf(kDatamationFormat, ptrs[i]));
+  }
+  std::sort(in_keys.begin(), in_keys.end());
+  std::sort(out_keys.begin(), out_keys.end());
+  EXPECT_EQ(in_keys, out_keys);
+
+  if (n >= 2) {
+    EXPECT_GT(stats.compares, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDisciplinesAllDistributions, QuickSortSweep,
+    ::testing::Combine(
+        ::testing::Values(Discipline::kRecord, Discipline::kPointer,
+                          Discipline::kKey, Discipline::kPrefix),
+        ::testing::ValuesIn(test::AllDistributions()),
+        ::testing::Values(size_t{0}, size_t{1}, size_t{2}, size_t{15},
+                          size_t{16}, size_t{17}, size_t{100}, size_t{1000},
+                          size_t{4096})),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(DisciplineName(std::get<0>(info.param))) + "_" +
+             test::DistributionName(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(QuickSortTest, PrefixSortFallsBackToFullKeysOnCollisions) {
+  // SharedPrefix keys agree on the first 8 bytes, so the integer prefix
+  // never discriminates; sorting must still succeed via tie-breaks.
+  RecordGenerator gen(kDatamationFormat, 99);
+  const size_t n = 512;
+  auto block = gen.Generate(KeyDistribution::kSharedPrefix, n);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(kDatamationFormat, entries.data(), n, &stats);
+  EXPECT_GT(stats.tie_breaks, 0u);
+  std::vector<const char*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = entries[i].record;
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, ptrs));
+}
+
+TEST(QuickSortTest, PrefixCoveringWholeKeyNeverTieBreaks) {
+  // K = 8: the prefix is the whole key; no record accesses are needed even
+  // with duplicate keys.
+  RecordFormat fmt(32, 8);
+  RecordGenerator gen(fmt, 5);
+  const size_t n = 1000;
+  auto block = gen.Generate(KeyDistribution::kFewDistinct, n);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(fmt, entries.data(), n, &stats);
+  EXPECT_EQ(stats.tie_breaks, 0u);
+  std::vector<const char*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = entries[i].record;
+  EXPECT_TRUE(test::PointersAreSorted(fmt, ptrs));
+}
+
+TEST(QuickSortTest, RecordSortExchangesMoveWholeRecords) {
+  // The paper's cost model: record exchanges move 2R bytes vs 2(K+P) for
+  // detached sorts. Verify the stats reflect that.
+  RecordGenerator gen(kDatamationFormat, 21);
+  const size_t n = 256;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  auto block2 = block;
+
+  SortStats rec_stats, prefix_stats;
+  SortRecords(kDatamationFormat, block.data(), n, &rec_stats);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(kDatamationFormat, block2.data(), n, entries.data());
+  SortPrefixEntryArray(kDatamationFormat, entries.data(), n, &prefix_stats);
+
+  ASSERT_GT(rec_stats.exchanges, 0u);
+  ASSERT_GT(prefix_stats.exchanges, 0u);
+  EXPECT_EQ(rec_stats.bytes_moved, rec_stats.exchanges * 2 * 100);
+  EXPECT_EQ(prefix_stats.bytes_moved,
+            prefix_stats.exchanges * 2 * sizeof(PrefixEntry));
+  // Per exchange, record sort moves 100/16 = 6.25x more bytes.
+  EXPECT_GT(rec_stats.bytes_moved / rec_stats.exchanges,
+            prefix_stats.bytes_moved / prefix_stats.exchanges);
+}
+
+TEST(QuickSortTest, CompareCountIsNLogNish) {
+  // Average-case QuickSort ~ 2 n ln n compares; allow generous slack but
+  // catch accidental quadratic behaviour.
+  RecordGenerator gen(kDatamationFormat, 31);
+  const size_t n = 20000;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(kDatamationFormat, entries.data(), n, &stats);
+  const double n_log_n = n * std::log2(static_cast<double>(n));
+  EXPECT_LT(stats.compares, 4 * n_log_n);
+}
+
+TEST(QuickSortTest, ConstantKeysDoNotGoQuadratic) {
+  // All-equal keys are quicksort's classic pathology; the Hoare partition
+  // plus depth guard must keep compares near n log n.
+  RecordGenerator gen(kDatamationFormat, 41);
+  const size_t n = 20000;
+  auto block = gen.Generate(KeyDistribution::kConstant, n);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(kDatamationFormat, entries.data(), n, &stats);
+  const double n_log_n = n * std::log2(static_cast<double>(n));
+  EXPECT_LT(stats.compares, 6 * n_log_n);
+}
+
+TEST(QuickSortTest, MedianOfThreeKillerStaysLoglinear) {
+  // An adversarial permutation that degrades plain median-of-three
+  // quicksort toward quadratic behaviour; the depth guard's heapsort
+  // fallback must keep the compare count log-linear.
+  const size_t n = 16384;  // power of two for the classic construction
+  std::vector<uint64_t> keys(n);
+  // McIlroy-style "median-of-3 killer": pair up elements so every
+  // median-of-three pivot choice is near-minimal.
+  for (size_t i = 0; i < n / 2; ++i) {
+    keys[2 * i] = i;
+    keys[2 * i + 1] = i + n / 2;
+  }
+  RecordFormat fmt(16, 8);
+  std::vector<char> block(n * 16, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // Big-endian store so integer order == byte order.
+    for (int b = 0; b < 8; ++b) {
+      block[i * 16 + b] = static_cast<char>((keys[i] >> (56 - 8 * b)) & 0xff);
+    }
+  }
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(fmt, entries.data(), n, &stats);
+  std::vector<const char*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = entries[i].record;
+  EXPECT_TRUE(test::PointersAreSorted(fmt, ptrs));
+  const double n_log_n = n * std::log2(static_cast<double>(n));
+  EXPECT_LT(stats.compares, 8 * n_log_n) << "quadratic blowup";
+}
+
+TEST(QuickSortTest, TinyRecordsSortAsRecords) {
+  // R <= 16: the paper recommends record sort; make sure it works on the
+  // small-record layouts it is meant for.
+  RecordFormat fmt(16, 8);
+  RecordGenerator gen(fmt, 3);
+  const size_t n = 777;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  SortRecords(fmt, block.data(), n);
+  EXPECT_TRUE(test::BlockIsSorted(fmt, block.data(), n));
+}
+
+class CompactEntrySweep : public ::testing::TestWithParam<
+                              std::tuple<KeyDistribution, size_t>> {};
+
+// The paper's 8-byte (address, prefix) pairs sort correctly across every
+// distribution, including the ones that defeat the 4-byte prefix.
+TEST_P(CompactEntrySweep, SortsCorrectly) {
+  const auto [dist, n] = GetParam();
+  RecordGenerator gen(kDatamationFormat, 313 + n);
+  auto block = gen.Generate(dist, n);
+  std::vector<CompactEntry> entries(n);
+  BuildCompactEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  SortCompactEntryArray(kDatamationFormat, block.data(), entries.data(), n,
+                        &stats);
+  std::vector<const char*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) {
+    ptrs[i] = block.data() + uint64_t{entries[i].index} * 100;
+  }
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, ptrs));
+  // Every index appears exactly once.
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = entries[i].index;
+  std::sort(idx.begin(), idx.end());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(idx[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndSizes, CompactEntrySweep,
+    ::testing::Combine(::testing::ValuesIn(test::AllDistributions()),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{100},
+                                         size_t{3000})),
+    [](const auto& info) {
+      return std::string(test::DistributionName(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CompactEntryTest, FourByteSharedPrefixForcesTieBreaks) {
+  const size_t n = 1000;
+  RecordGenerator gen(kDatamationFormat, 5);
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  for (size_t i = 0; i < n; ++i) memset(block.data() + i * 100, 'q', 4);
+  std::vector<CompactEntry> entries(n);
+  BuildCompactEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  SortCompactEntryArray(kDatamationFormat, block.data(), entries.data(), n,
+                        &stats);
+  EXPECT_GT(stats.tie_breaks, n);  // essentially every compare
+  // The wide 8-byte prefix on the same data needs none (beyond pivot
+  // self-compares).
+  std::vector<PrefixEntry> wide(n);
+  BuildPrefixEntryArray(kDatamationFormat, block.data(), n, wide.data());
+  SortStats wide_stats;
+  SortPrefixEntryArray(kDatamationFormat, wide.data(), n, &wide_stats);
+  EXPECT_LT(wide_stats.tie_breaks, n / 2);
+}
+
+TEST(QuickSortTest, KeyOffsetInsideRecordIsRespected) {
+  RecordFormat fmt(64, 10, 20);  // key starts at byte 20
+  RecordGenerator gen(fmt, 17);
+  const size_t n = 500;
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  SortPrefixEntryArray(fmt, entries.data(), n);
+  std::vector<const char*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) ptrs[i] = entries[i].record;
+  EXPECT_TRUE(test::PointersAreSorted(fmt, ptrs));
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,212 @@
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "record/generator.h"
+#include "record/record.h"
+#include "record/validator.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+TEST(RecordFormatTest, DatamationDefaults) {
+  EXPECT_EQ(kDatamationFormat.record_size, 100u);
+  EXPECT_EQ(kDatamationFormat.key_size, 10u);
+  EXPECT_TRUE(kDatamationFormat.Valid());
+}
+
+TEST(RecordFormatTest, ValidityChecks) {
+  EXPECT_FALSE(RecordFormat(0, 1).Valid());
+  EXPECT_FALSE(RecordFormat(10, 0).Valid());
+  EXPECT_FALSE(RecordFormat(10, 8, 4).Valid());  // key overruns record
+  EXPECT_TRUE(RecordFormat(16, 8, 8).Valid());
+}
+
+TEST(RecordFormatTest, CompareKeysIsLexicographic) {
+  RecordFormat fmt(8, 4);
+  char a[8] = {'a', 'b', 'c', 'd', 0, 0, 0, 0};
+  char b[8] = {'a', 'b', 'c', 'e', 9, 9, 9, 9};  // payload must not matter
+  EXPECT_LT(fmt.CompareKeys(a, b), 0);
+  b[3] = 'd';
+  EXPECT_EQ(fmt.CompareKeys(a, b), 0);
+}
+
+TEST(RecordFormatTest, KeyPrefixRespectsOffset) {
+  RecordFormat fmt(20, 10, 5);
+  char rec[20] = {};
+  memset(rec, 0x7f, sizeof(rec));
+  rec[5] = 0x01;
+  const uint64_t p = fmt.KeyPrefix(rec);
+  EXPECT_EQ(p >> 56, 0x01u);
+}
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  RecordGenerator gen(kDatamationFormat, 1);
+  auto block = gen.Generate(KeyDistribution::kUniform, 100);
+  EXPECT_EQ(block.size(), 100u * 100u);
+}
+
+TEST(GeneratorTest, PayloadIdentifiesRecordIndex) {
+  RecordGenerator gen(kDatamationFormat, 1);
+  auto block = gen.Generate(KeyDistribution::kUniform, 10);
+  for (uint64_t i = 0; i < 10; ++i) {
+    const char* payload = block.data() + i * 100 + 10;
+    EXPECT_EQ(DecodeFixed64(payload), i);
+  }
+}
+
+TEST(GeneratorTest, UniformKeysAreDiverse) {
+  RecordGenerator gen(kDatamationFormat, 42);
+  auto block = gen.Generate(KeyDistribution::kUniform, 1000);
+  std::set<std::string> keys;
+  for (size_t i = 0; i < 1000; ++i) {
+    keys.insert(test::KeyOf(kDatamationFormat, block.data() + i * 100));
+  }
+  // 10 random bytes: collisions essentially impossible at n=1000.
+  EXPECT_EQ(keys.size(), 1000u);
+}
+
+TEST(GeneratorTest, SortedDistributionIsSorted) {
+  RecordGenerator gen(kDatamationFormat, 42);
+  auto block = gen.Generate(KeyDistribution::kSorted, 500);
+  EXPECT_TRUE(test::BlockIsSorted(kDatamationFormat, block.data(), 500));
+}
+
+TEST(GeneratorTest, ReverseDistributionIsStrictlyDescending) {
+  RecordGenerator gen(kDatamationFormat, 42);
+  auto block = gen.Generate(KeyDistribution::kReverse, 500);
+  for (size_t i = 1; i < 500; ++i) {
+    EXPECT_GT(kDatamationFormat.CompareKeys(block.data() + (i - 1) * 100,
+                                            block.data() + i * 100),
+              0);
+  }
+}
+
+TEST(GeneratorTest, ConstantKeysAllEqual) {
+  RecordGenerator gen(kDatamationFormat, 42);
+  auto block = gen.Generate(KeyDistribution::kConstant, 100);
+  const std::string k0 = test::KeyOf(kDatamationFormat, block.data());
+  for (size_t i = 1; i < 100; ++i) {
+    EXPECT_EQ(test::KeyOf(kDatamationFormat, block.data() + i * 100), k0);
+  }
+}
+
+TEST(GeneratorTest, SharedPrefixDefeatsEightBytePrefix) {
+  RecordGenerator gen(kDatamationFormat, 42);
+  auto block = gen.Generate(KeyDistribution::kSharedPrefix, 200);
+  const uint64_t p0 = kDatamationFormat.KeyPrefix(block.data());
+  bool any_suffix_differs = false;
+  for (size_t i = 1; i < 200; ++i) {
+    const char* rec = block.data() + i * 100;
+    EXPECT_EQ(kDatamationFormat.KeyPrefix(rec), p0)
+        << "prefixes must collide by construction";
+    if (memcmp(rec + 8, block.data() + 8, 2) != 0) any_suffix_differs = true;
+  }
+  EXPECT_TRUE(any_suffix_differs);
+}
+
+TEST(GeneratorTest, FewDistinctHasFewKeys) {
+  RecordGenerator gen(kDatamationFormat, 42);
+  auto block = gen.Generate(KeyDistribution::kFewDistinct, 1000);
+  std::set<std::string> keys;
+  for (size_t i = 0; i < 1000; ++i) {
+    keys.insert(test::KeyOf(kDatamationFormat, block.data() + i * 100));
+  }
+  EXPECT_LE(keys.size(), 16u);
+  EXPECT_GE(keys.size(), 2u);
+}
+
+TEST(GeneratorTest, WorksForTinyRecords) {
+  RecordFormat fmt(16, 8);
+  RecordGenerator gen(fmt, 9);
+  auto block = gen.Generate(KeyDistribution::kUniform, 50);
+  EXPECT_EQ(block.size(), 50u * 16u);
+}
+
+TEST(ValidatorTest, AcceptsCorrectSort) {
+  RecordGenerator gen(kDatamationFormat, 5);
+  auto input = gen.Generate(KeyDistribution::kUniform, 300);
+  auto output = input;
+  // Sort output by key using a trivial O(n^2)-free std::sort on indices.
+  std::vector<size_t> idx(300);
+  for (size_t i = 0; i < 300; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return kDatamationFormat.CompareKeys(input.data() + a * 100,
+                                         input.data() + b * 100) < 0;
+  });
+  std::vector<char> sorted(300 * 100);
+  for (size_t i = 0; i < 300; ++i) {
+    memcpy(sorted.data() + i * 100, input.data() + idx[i] * 100, 100);
+  }
+  EXPECT_TRUE(
+      ValidateSorted(kDatamationFormat, input.data(), sorted.data(), 300)
+          .ok());
+}
+
+TEST(ValidatorTest, RejectsUnsortedOutput) {
+  RecordGenerator gen(kDatamationFormat, 6);
+  auto input = gen.Generate(KeyDistribution::kReverse, 100);
+  // Output identical to (reverse-sorted) input: permutation but unsorted.
+  Status s =
+      ValidateSorted(kDatamationFormat, input.data(), input.data(), 100);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("not key-ascending"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsDroppedRecord) {
+  RecordGenerator gen(kDatamationFormat, 7);
+  auto input = gen.Generate(KeyDistribution::kSorted, 100);
+  SortValidator v(kDatamationFormat);
+  v.AddInput(input.data(), 100);
+  v.AddOutput(input.data(), 99);  // one record short
+  EXPECT_TRUE(v.Finish().IsCorruption());
+}
+
+TEST(ValidatorTest, RejectsTamperedPayload) {
+  RecordGenerator gen(kDatamationFormat, 8);
+  auto input = gen.Generate(KeyDistribution::kSorted, 100);
+  auto output = input;
+  output[55 * 100 + 50] ^= 1;  // flip one payload byte; keys still sorted
+  Status s =
+      ValidateSorted(kDatamationFormat, input.data(), output.data(), 100);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("permutation"), std::string::npos);
+}
+
+TEST(ValidatorTest, AcceptsDuplicateKeysInAnyRelativeOrder) {
+  RecordGenerator gen(kDatamationFormat, 9);
+  auto input = gen.Generate(KeyDistribution::kConstant, 50);
+  // Any permutation of equal-key records is a valid sort; swap two.
+  auto output = input;
+  std::vector<char> tmp(100);
+  memcpy(tmp.data(), output.data(), 100);
+  memcpy(output.data(), output.data() + 100, 100);
+  memcpy(output.data() + 100, tmp.data(), 100);
+  EXPECT_TRUE(
+      ValidateSorted(kDatamationFormat, input.data(), output.data(), 50)
+          .ok());
+}
+
+TEST(ValidatorTest, StreamingChunksMatchOneShot) {
+  RecordGenerator gen(kDatamationFormat, 10);
+  auto input = gen.Generate(KeyDistribution::kSorted, 64);
+  SortValidator v(kDatamationFormat);
+  // Feed in ragged chunks.
+  v.AddInput(input.data(), 10);
+  v.AddInput(input.data() + 10 * 100, 54);
+  v.AddOutput(input.data(), 1);
+  v.AddOutput(input.data() + 100, 63);
+  EXPECT_TRUE(v.Finish().ok());
+}
+
+TEST(ValidatorTest, EmptyInputIsValid) {
+  SortValidator v(kDatamationFormat);
+  EXPECT_TRUE(v.Finish().ok());
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "record/generator.h"
+#include "sort/replacement_selection.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+using Runs = std::vector<std::vector<const char*>>;
+
+Runs Generate(KeyDistribution dist, size_t n, size_t capacity,
+              std::vector<char>* block, SortStats* stats = nullptr,
+              TreeLayout layout = TreeLayout::kFlat) {
+  RecordGenerator gen(kDatamationFormat, 4242 + n + capacity);
+  *block = gen.Generate(dist, n);
+  return GenerateRunsReplacementSelection(kDatamationFormat, block->data(), n,
+                                          capacity, stats, layout);
+}
+
+size_t TotalEmitted(const Runs& runs) {
+  size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  return total;
+}
+
+class RsSweep : public ::testing::TestWithParam<
+                    std::tuple<KeyDistribution, size_t, size_t>> {};
+
+// Property: every run is internally sorted and the union of runs is the
+// whole input, for all distributions, sizes, and capacities.
+TEST_P(RsSweep, RunsAreSortedAndComplete) {
+  const auto [dist, n, capacity] = GetParam();
+  std::vector<char> block;
+  const Runs runs = Generate(dist, n, capacity, &block);
+  EXPECT_EQ(TotalEmitted(runs), n);
+  for (const auto& run : runs) {
+    EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, run));
+  }
+  // No record emitted twice.
+  std::vector<const char*> all;
+  for (const auto& run : runs) all.insert(all.end(), run.begin(), run.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsSizesCapacities, RsSweep,
+    ::testing::Combine(::testing::ValuesIn(test::AllDistributions()),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{50},
+                                         size_t{1000}),
+                       ::testing::Values(size_t{1}, size_t{4}, size_t{64},
+                                         size_t{128})),
+    [](const auto& info) {
+      return std::string(test::DistributionName(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ReplacementSelectionTest, RunLengthLawOnRandomInput) {
+  // Knuth's snowplow: expected run length = 2W on random input. With
+  // n = 64 * W, expect about 32-33 runs; allow [24, 44].
+  const size_t w = 256;
+  const size_t n = 64 * w;
+  std::vector<char> block;
+  const Runs runs = Generate(KeyDistribution::kUniform, n, w, &block);
+  EXPECT_GE(runs.size(), 24u);
+  EXPECT_LE(runs.size(), 44u);
+  // Average run length about 2W.
+  const double avg = static_cast<double>(n) / runs.size();
+  EXPECT_GT(avg, 1.5 * w);
+  EXPECT_LT(avg, 2.7 * w);
+}
+
+TEST(ReplacementSelectionTest, SortedInputYieldsOneRun) {
+  // The snowplow never stops on presorted input (the paper's §4 point:
+  // replacement-selection "generates long runs").
+  std::vector<char> block;
+  const Runs runs = Generate(KeyDistribution::kSorted, 2000, 16, &block);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].size(), 2000u);
+}
+
+TEST(ReplacementSelectionTest, ReverseInputYieldsWorstCaseRuns) {
+  // Reverse order defeats replacement-selection: every record starts a
+  // new... rather, runs of exactly W (each tournament fill drains whole).
+  const size_t w = 32;
+  const size_t n = 320;
+  std::vector<char> block;
+  const Runs runs = Generate(KeyDistribution::kReverse, n, w, &block);
+  EXPECT_EQ(runs.size(), n / w);
+  for (const auto& run : runs) EXPECT_EQ(run.size(), w);
+}
+
+TEST(ReplacementSelectionTest, InputSmallerThanTournamentIsOneSortedRun) {
+  std::vector<char> block;
+  const Runs runs = Generate(KeyDistribution::kUniform, 10, 4096, &block);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].size(), 10u);
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, runs[0]));
+}
+
+TEST(ReplacementSelectionTest, EmissionIsStableForEqualKeys) {
+  // Equal keys must leave a run in arrival order (paper: "it has
+  // stability"). Constant keys + capacity > n => single run in exact
+  // arrival order.
+  RecordGenerator gen(kDatamationFormat, 7);
+  const size_t n = 200;
+  auto block = gen.Generate(KeyDistribution::kConstant, n);
+  const Runs runs = GenerateRunsReplacementSelection(
+      kDatamationFormat, block.data(), n, 512);
+  ASSERT_EQ(runs.size(), 1u);
+  for (size_t i = 0; i < n; ++i) {
+    // Payload carries the arrival index.
+    EXPECT_EQ(DecodeFixed64(runs[0][i] + 10), i);
+  }
+}
+
+TEST(ReplacementSelectionTest, StableAcrossTournamentRecycling) {
+  // Same stability property when records flow through a small tournament.
+  RecordGenerator gen(kDatamationFormat, 8);
+  const size_t n = 500;
+  auto block = gen.Generate(KeyDistribution::kConstant, n);
+  const Runs runs = GenerateRunsReplacementSelection(
+      kDatamationFormat, block.data(), n, 16);
+  ASSERT_EQ(runs.size(), 1u);  // equal keys never force a new run
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(DecodeFixed64(runs[0][i] + 10), i);
+  }
+}
+
+TEST(ReplacementSelectionTest, ClusteredLayoutProducesSameRuns) {
+  std::vector<char> block_a, block_b;
+  const Runs flat =
+      Generate(KeyDistribution::kUniform, 3000, 128, &block_a, nullptr,
+               TreeLayout::kFlat);
+  const Runs clustered =
+      Generate(KeyDistribution::kUniform, 3000, 128, &block_b, nullptr,
+               TreeLayout::kClustered);
+  ASSERT_EQ(flat.size(), clustered.size());
+  for (size_t r = 0; r < flat.size(); ++r) {
+    ASSERT_EQ(flat[r].size(), clustered[r].size());
+    for (size_t i = 0; i < flat[r].size(); ++i) {
+      // Same seeds generate identical blocks; compare record contents.
+      EXPECT_EQ(memcmp(flat[r][i], clustered[r][i], 100), 0);
+    }
+  }
+}
+
+TEST(ReplacementSelectionTest, CountsComparesInStats) {
+  std::vector<char> block;
+  SortStats stats;
+  Generate(KeyDistribution::kUniform, 2000, 64, &block, &stats);
+  EXPECT_GT(stats.compares, 2000u);  // ~ n log2(W) total
+}
+
+}  // namespace
+}  // namespace alphasort

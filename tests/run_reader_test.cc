@@ -1,0 +1,119 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/run_reader.h"
+#include "io/fault_env.h"
+
+namespace alphasort {
+namespace {
+
+class RunReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  // Writes n records of "index as 4 digits + padding" and opens the file.
+  void MakeRun(uint64_t n) {
+    std::string data;
+    for (uint64_t i = 0; i < n; ++i) {
+      char rec[16];
+      snprintf(rec, sizeof(rec), "%04llu........",
+               static_cast<unsigned long long>(i));
+      data.append(rec, 16);
+    }
+    ASSERT_TRUE(env_->WriteStringToFile("run", data).ok());
+    auto f = env_->OpenFile("run", OpenMode::kReadOnly);
+    ASSERT_TRUE(f.ok());
+    file_ = std::move(f).value();
+    bytes_ = data.size();
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<File> file_;
+  uint64_t bytes_ = 0;
+  const RecordFormat fmt_{16, 4};
+};
+
+TEST_F(RunReaderTest, ReadsAllRecordsInOrder) {
+  MakeRun(100);
+  AsyncIO aio(2);
+  RunReader reader(file_.get(), bytes_, fmt_, /*buffer_records=*/7, &aio);
+  ASSERT_TRUE(reader.Init().ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    const char* rec = reader.Current();
+    ASSERT_NE(rec, nullptr) << "exhausted early at " << i;
+    char expect[5];
+    snprintf(expect, sizeof(expect), "%04llu",
+             static_cast<unsigned long long>(i));
+    EXPECT_EQ(std::string(rec, 4), expect);
+    ASSERT_TRUE(reader.Advance().ok());
+  }
+  EXPECT_EQ(reader.Current(), nullptr);
+}
+
+TEST_F(RunReaderTest, SingleRecordBuffers) {
+  MakeRun(10);
+  AsyncIO aio(1);
+  RunReader reader(file_.get(), bytes_, fmt_, /*buffer_records=*/1, &aio);
+  ASSERT_TRUE(reader.Init().ok());
+  uint64_t count = 0;
+  while (reader.Current() != nullptr) {
+    ++count;
+    ASSERT_TRUE(reader.Advance().ok());
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(RunReaderTest, EmptyRunIsImmediatelyExhausted) {
+  MakeRun(0);
+  AsyncIO aio(1);
+  RunReader reader(file_.get(), bytes_, fmt_, 4, &aio);
+  ASSERT_TRUE(reader.Init().ok());
+  EXPECT_EQ(reader.Current(), nullptr);
+}
+
+TEST_F(RunReaderTest, RunNotMultipleOfBufferSize) {
+  MakeRun(23);  // buffer of 8: 2 full buffers + 7 records
+  AsyncIO aio(2);
+  RunReader reader(file_.get(), bytes_, fmt_, 8, &aio);
+  ASSERT_TRUE(reader.Init().ok());
+  uint64_t count = 0;
+  while (reader.Current() != nullptr) {
+    ++count;
+    ASSERT_TRUE(reader.Advance().ok());
+  }
+  EXPECT_EQ(count, 23u);
+}
+
+TEST_F(RunReaderTest, SurfacesReadFaults) {
+  MakeRun(100);
+  FaultInjectionEnv fenv(env_.get());
+  auto f = fenv.OpenFile("run", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  AsyncIO aio(1);
+  RunReader reader(f.value().get(), bytes_, fmt_, 4, &aio);
+  fenv.FailAfter(3);  // init's two reads succeed, a later refill fails
+  Status s = reader.Init();
+  while (s.ok() && reader.Current() != nullptr) {
+    s = reader.Advance();
+  }
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+TEST_F(RunReaderTest, TruncatedRunIsCorruption) {
+  MakeRun(20);
+  // Claim more bytes than the file holds: the reader must notice the
+  // short read rather than looping or fabricating records.
+  AsyncIO aio(1);
+  RunReader reader(file_.get(), bytes_ + 64, fmt_, 4, &aio);
+  Status s = reader.Init();
+  while (s.ok() && reader.Current() != nullptr) {
+    s = reader.Advance();
+  }
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace alphasort

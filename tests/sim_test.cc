@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/disk_sim.h"
+#include "sim/hardware_configs.h"
+#include "sim/memory_hierarchy.h"
+#include "sim/pipeline_model.h"
+#include "sim/stall_model.h"
+
+namespace alphasort {
+namespace {
+
+TEST(DiskSimTest, GroupBandwidthSumsDisksUntilControllerCap) {
+  ControllerGroup g;
+  g.controller = ControllerModel{"ctlr", 10.0, 1000};
+  g.disk = DiskModel{"d", 2.0, 1.5, 2000, 1.0};
+  g.num_disks = 3;
+  EXPECT_DOUBLE_EQ(g.ReadMbps(), 6.0);
+  g.num_disks = 8;  // 16 MB/s of disks on a 10 MB/s controller
+  EXPECT_DOUBLE_EQ(g.ReadMbps(), 10.0);
+  EXPECT_DOUBLE_EQ(g.WriteMbps(), 10.0);
+}
+
+TEST(DiskSimTest, UniformArraySpreadsDisksEvenly) {
+  DiskArray a = DiskArray::Uniform("a", DiskModel{"d", 2, 1, 100, 1},
+                                   ControllerModel{"c", 100, 10}, 10, 3);
+  ASSERT_EQ(a.groups.size(), 3u);
+  EXPECT_EQ(a.groups[0].num_disks + a.groups[1].num_disks +
+                a.groups[2].num_disks,
+            10);
+  EXPECT_EQ(a.TotalDisks(), 10);
+  // 4+3+3 split.
+  EXPECT_EQ(a.groups[0].num_disks, 4);
+}
+
+TEST(DiskSimTest, NearLinearScalingUntilSaturation) {
+  // Figure 5 / §6: adding disks adds bandwidth until the controller
+  // saturates; adding controllers keeps scaling.
+  const DiskModel disk{"d", 2.0, 1.5, 2000, 1};
+  const ControllerModel ctlr{"c", 8.0, 1000};
+  double prev = 0;
+  for (int disks = 1; disks <= 4; ++disks) {  // 4*2 = 8: at the cap
+    DiskArray a = DiskArray::Uniform("a", disk, ctlr, disks, 1);
+    EXPECT_DOUBLE_EQ(a.ReadMbps(), disks * 2.0);
+    EXPECT_GT(a.ReadMbps(), prev);
+    prev = a.ReadMbps();
+  }
+  // Past saturation: flat.
+  EXPECT_DOUBLE_EQ(DiskArray::Uniform("a", disk, ctlr, 6, 1).ReadMbps(), 8.0);
+  // More controllers resume scaling.
+  EXPECT_DOUBLE_EQ(DiskArray::Uniform("a", disk, ctlr, 12, 3).ReadMbps(),
+                   24.0);
+}
+
+TEST(DiskSimTest, TransferTimesIncludeStartup) {
+  DiskArray a = DiskArray::Uniform("a", DiskModel{"d", 10, 10, 0, 1},
+                                   ControllerModel{"c", 100, 0}, 1, 1);
+  a.startup_seconds = 0.5;
+  EXPECT_NEAR(a.ReadSeconds(100e6), 0.5 + 10.0, 1e-9);
+}
+
+TEST(HardwareConfigsTest, Table6ArraysMatchPaperRates) {
+  const DiskArray many_slow = hw::ManySlowArray();
+  EXPECT_EQ(many_slow.TotalDisks(), 36);
+  EXPECT_NEAR(many_slow.ReadMbps(), 64.0, 1.5);   // paper: 64 MB/s
+  EXPECT_NEAR(many_slow.WriteMbps(), 49.0, 1.5);  // paper: 49 MB/s
+
+  const DiskArray few_fast = hw::FewFastArray();
+  EXPECT_EQ(few_fast.TotalDisks(), 18);
+  EXPECT_NEAR(few_fast.ReadMbps(), 52.0, 1.5);   // paper: 52 MB/s
+  EXPECT_NEAR(few_fast.WriteMbps(), 39.0, 1.5);  // paper: 39 MB/s
+
+  // The paper's point: many-slow beats few-fast on both rate and price.
+  EXPECT_GT(many_slow.ReadMbps(), few_fast.ReadMbps());
+  EXPECT_LT(many_slow.PriceDollars(), few_fast.PriceDollars());
+}
+
+TEST(CostModelTest, DatamationDollarsMatchTable8) {
+  // 312 k$ system, 7.0 s sort -> ~0.014 $.
+  EXPECT_NEAR(cost::DatamationDollarsPerSort(312000, 7.0), 0.014, 0.0005);
+  // 97 k$, 13.7 s -> ~0.008-0.009 $.
+  EXPECT_NEAR(cost::DatamationDollarsPerSort(97000, 13.7), 0.0085, 0.001);
+}
+
+TEST(CostModelTest, MinuteSortPricing) {
+  // §8: the 512 k$ MinuteSort machine costs 51 cents a minute, and
+  // 1.1 GB/min gives 0.47 $/GB.
+  EXPECT_NEAR(cost::MinuteSortDollars(512000), 0.512, 1e-9);
+  EXPECT_NEAR(cost::MinuteSortDollarsPerGb(512000, 1.1), 0.47, 0.01);
+}
+
+TEST(CostModelTest, DollarSortScalesInversely) {
+  // §8: "a million dollar system [sorts] for a minute, while a 10,000$
+  // system could sort for 100 minutes."
+  EXPECT_NEAR(cost::DollarSortSeconds(1e6), 60.0, 1e-9);
+  EXPECT_NEAR(cost::DollarSortSeconds(1e4), 6000.0, 1e-9);
+}
+
+TEST(CostModelTest, OnePassWinsAtDatamationScale) {
+  // §6: 100 MB of memory (10 k$) vs 16 scratch disks (~36 k$+).
+  const auto c = cost::OnePassVsTwoPass(100e6, 24.0, 3.0);
+  EXPECT_NEAR(c.one_pass_memory_dollars, 10000, 1);
+  EXPECT_GE(c.two_pass_disk_dollars, 30000);
+  EXPECT_TRUE(c.one_pass_cheaper);
+}
+
+TEST(CostModelTest, TwoPassWinsAtGigabyteScale) {
+  // §6: for a 1 GB sort, extra disks beat 1 GB of memory.
+  const auto c = cost::OnePassVsTwoPass(1e9, 24.0, 3.0);
+  EXPECT_NEAR(c.one_pass_memory_dollars, 100000, 1);
+  EXPECT_FALSE(c.one_pass_cheaper);
+}
+
+TEST(MemoryHierarchyTest, LadderIsMonotone) {
+  const auto h = MemoryHierarchy::Axp7000();
+  ASSERT_GE(h.levels.size(), 5u);
+  for (size_t i = 1; i < h.levels.size(); ++i) {
+    EXPECT_GT(h.levels[i].clock_ticks, h.levels[i - 1].clock_ticks);
+  }
+  // Main memory ~100 ticks = 500 ns at 5 ns clock.
+  EXPECT_NEAR(h.LatencyNanos(h.levels[3]), 500, 1);
+}
+
+TEST(MemoryHierarchyTest, HumanTimesReadSensibly) {
+  EXPECT_EQ(MemoryHierarchy::HumanTime(2), "2 min");
+  EXPECT_EQ(MemoryHierarchy::HumanTime(100), "1.7 hr");
+  EXPECT_EQ(MemoryHierarchy::HumanTime(1.0e7), "19 years");
+}
+
+TEST(PipelineModelTest, ReproducesTable8WithinTenPercent) {
+  for (const auto& system : hw::Table8Systems()) {
+    const auto p = sim::PredictOnePass(system, 100e6);
+    EXPECT_NEAR(p.total_s, system.paper_seconds,
+                0.10 * system.paper_seconds)
+        << system.name;
+  }
+}
+
+TEST(PipelineModelTest, Table8OrderingPreserved) {
+  const auto systems = hw::Table8Systems();
+  double prev = 0;
+  for (const auto& system : systems) {
+    const double t = sim::PredictOnePass(system, 100e6).total_s;
+    EXPECT_GT(t, prev) << system.name;  // table is sorted fastest-first
+    prev = t;
+  }
+}
+
+TEST(PipelineModelTest, UniProcessorRunIsIoLimitedLikeThePaper) {
+  // §7: the 9.1 s run is disk-bound in both phases.
+  const auto system = hw::Table8Systems()[2];  // DEC 7000 1 cpu
+  const auto p = sim::PredictOnePass(system, 100e6);
+  EXPECT_TRUE(p.read_io_limited);
+  EXPECT_TRUE(p.write_io_limited);
+  EXPECT_NEAR(p.read_io_s, 3.87, 0.3);   // "read completes at 3.87 s"
+  EXPECT_NEAR(p.write_io_s, 4.9, 0.3);   // "disk limited, taking 4.9 s"
+}
+
+TEST(PipelineModelTest, MonotoneInBytesAndDisks) {
+  // More data takes longer; more disks never hurt.
+  const auto base = hw::Table8Systems()[2];
+  double prev = 0;
+  for (double mb : {10.0, 50.0, 100.0, 400.0}) {
+    const double t = sim::PredictOnePass(base, mb * 1e6).total_s;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  double prev_disks = 1e9;
+  for (int disks : {4, 8, 16, 32}) {
+    hw::AxpSystem sys = base;
+    sys.array =
+        DiskArray::Uniform("d", hw::Rz26(), hw::FastScsi(), disks,
+                           (disks + 3) / 4);
+    const double t = sim::PredictOnePass(sys, 100e6).total_s;
+    EXPECT_LE(t, prev_disks + 1e-9);
+    prev_disks = t;
+  }
+}
+
+TEST(PipelineModelTest, TwoPassDoublesIoTime) {
+  const auto system = hw::Table8Systems()[2];
+  const auto one = sim::PredictOnePass(system, 100e6);
+  const auto two = sim::PredictTwoPass(system, 100e6);
+  EXPECT_NEAR(two.read_io_s, 2 * one.read_io_s, 0.2);
+  EXPECT_GT(two.total_s, one.total_s);
+}
+
+TEST(PipelineModelTest, MinuteSortNearPaperResult) {
+  // §8: 1.08 GB in a minute on the 3-CPU DEC 7000.
+  const double bytes = sim::MaxBytesInSeconds(hw::MinuteSortSystem(), 60.0);
+  EXPECT_NEAR(bytes / 1e9, 1.08, 0.15);
+}
+
+TEST(StallModelTest, PureComputeIsAllIssue) {
+  SortStats ops;
+  ops.compares = 1000;
+  CacheSim::Stats cache;  // no misses at all
+  const auto pie = sim::EstimateStalls(ops, cache);
+  EXPECT_GT(pie.issue_cycles, 0);
+  EXPECT_EQ(pie.dstream_b_cycles + pie.dstream_mem_cycles, 0);
+  EXPECT_GT(pie.IssueFraction(), 0.6);
+}
+
+TEST(StallModelTest, MemoryMissesDominateWhenPresent) {
+  SortStats ops;
+  ops.compares = 1000;
+  CacheSim::Stats cache;
+  cache.accesses = 5000;
+  cache.dcache_hits = 1000;
+  cache.bcache_hits = 1000;
+  cache.memory_accesses = 3000;  // 3000 * 100 cycles of stalls
+  const auto pie = sim::EstimateStalls(ops, cache);
+  EXPECT_GT(pie.DstreamFraction(), 0.9);
+  EXPECT_LT(pie.IssueFraction(), 0.1);
+  EXPECT_NE(pie.ToString().find("B-to-memory"), std::string::npos);
+}
+
+TEST(StallModelTest, FractionsSumToOne) {
+  SortStats ops;
+  ops.compares = 500;
+  ops.exchanges = 100;
+  ops.bytes_moved = 3200;
+  CacheSim::Stats cache;
+  cache.accesses = 100;
+  cache.bcache_hits = 40;
+  cache.memory_accesses = 10;
+  const auto pie = sim::EstimateStalls(ops, cache);
+  const double sum = pie.issue_cycles + pie.branch_stall_cycles +
+                     pie.istream_stall_cycles + pie.dstream_b_cycles +
+                     pie.dstream_mem_cycles;
+  EXPECT_DOUBLE_EQ(sum, pie.TotalCycles());
+}
+
+TEST(WceTest, WriteCacheBoostsWritesOnly) {
+  const DiskModel plain = hw::Rz26();
+  const DiskModel wce = WithWriteCacheEnabled(plain);
+  EXPECT_DOUBLE_EQ(wce.read_mbps, plain.read_mbps);
+  EXPECT_NEAR(wce.write_mbps, plain.write_mbps * 1.25, 1e-9);
+  // Footnote 2: ~20% fewer disks for the same write bandwidth.
+  const double disks_plain = 49.0 / plain.write_mbps;
+  const double disks_wce = 49.0 / wce.write_mbps;
+  EXPECT_NEAR(1.0 - disks_wce / disks_plain, 0.20, 0.01);
+}
+
+TEST(PipelineModelTest, MoreTimeSortsMoreBytes) {
+  const auto system = hw::MinuteSortSystem();
+  const double b30 = sim::MaxBytesInSeconds(system, 30.0);
+  const double b60 = sim::MaxBytesInSeconds(system, 60.0);
+  const double b120 = sim::MaxBytesInSeconds(system, 120.0);
+  EXPECT_LT(b30, b60);
+  EXPECT_LT(b60, b120);
+}
+
+}  // namespace
+}  // namespace alphasort

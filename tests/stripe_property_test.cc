@@ -1,0 +1,152 @@
+// Property tests for the striping layer: a reference model of the
+// logical→member mapping is checked against StripeFile for randomized
+// definitions, write patterns, and read ranges.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "io/env.h"
+#include "io/stripe.h"
+
+namespace alphasort {
+namespace {
+
+// Reference mapping: logical offset -> (member, member offset), computed
+// the slow, obviously-correct way (byte-by-byte walk of the cycle).
+struct ReferenceMap {
+  std::vector<uint64_t> strides;
+  uint64_t cycle;
+
+  explicit ReferenceMap(const StripeDefinition& def) : cycle(0) {
+    for (const auto& m : def.members) {
+      strides.push_back(m.stride_bytes);
+      cycle += m.stride_bytes;
+    }
+  }
+
+  std::pair<size_t, uint64_t> Locate(uint64_t logical) const {
+    const uint64_t c = logical / cycle;
+    uint64_t r = logical % cycle;
+    for (size_t i = 0; i < strides.size(); ++i) {
+      if (r < strides[i]) return {i, c * strides[i] + r};
+      r -= strides[i];
+    }
+    return {0, 0};  // unreachable
+  }
+};
+
+TEST(StripePropertyTest, MapRangeAgreesWithReferenceModel) {
+  Random rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto env = NewMemEnv();
+    StripeDefinition def;
+    const size_t width = 1 + rng.Uniform(6);
+    for (size_t i = 0; i < width; ++i) {
+      def.members.push_back(StripeMember{
+          StrFormat("m%zu", i), 1 + rng.Uniform(500)});
+    }
+    ASSERT_TRUE(WriteStripeDefinition(env.get(), "t.str", def).ok());
+    auto sf =
+        StripeFile::Open(env.get(), "t.str", OpenMode::kCreateReadWrite);
+    ASSERT_TRUE(sf.ok());
+
+    const ReferenceMap ref(def);
+    for (int probe = 0; probe < 60; ++probe) {
+      const uint64_t offset = rng.Uniform(10 * ref.cycle + 17);
+      const size_t len = 1 + rng.Uniform(3 * ref.cycle);
+      uint64_t logical = offset;
+      for (const auto& seg : sf.value()->MapRange(offset, len)) {
+        ASSERT_EQ(seg.logical_offset, logical);
+        // Every byte of the segment must agree with the reference.
+        const auto [member, member_off] = ref.Locate(seg.logical_offset);
+        ASSERT_EQ(seg.member, member)
+            << "trial " << trial << " logical " << seg.logical_offset;
+        ASSERT_EQ(seg.member_offset, member_off);
+        // Segment stays inside one stride chunk.
+        const auto [last_member, last_off] =
+            ref.Locate(seg.logical_offset + seg.length - 1);
+        ASSERT_EQ(last_member, member);
+        ASSERT_EQ(last_off, member_off + seg.length - 1);
+        logical += seg.length;
+      }
+      ASSERT_EQ(logical, offset + len);
+    }
+  }
+}
+
+TEST(StripePropertyTest, RandomWritesThenReadsRoundTrip) {
+  Random rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto env = NewMemEnv();
+    StripeDefinition def;
+    const size_t width = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < width; ++i) {
+      def.members.push_back(StripeMember{
+          StrFormat("w%zu", i), 16 * (1 + rng.Uniform(32))});
+    }
+    ASSERT_TRUE(WriteStripeDefinition(env.get(), "w.str", def).ok());
+    auto sf =
+        StripeFile::Open(env.get(), "w.str", OpenMode::kCreateReadWrite);
+    ASSERT_TRUE(sf.ok());
+
+    // Build the logical image with sequential chunk writes of random
+    // sizes (the only pattern the library produces: dense, in order).
+    const size_t total = 1 + rng.Uniform(20000);
+    std::string image(total, 0);
+    for (auto& c : image) c = static_cast<char>(rng.Next32() & 0xff);
+    size_t pos = 0;
+    while (pos < total) {
+      const size_t chunk = 1 + rng.Uniform(total - pos);
+      ASSERT_TRUE(
+          sf.value()->Write(pos, image.data() + pos, chunk).ok());
+      pos += chunk;
+    }
+    ASSERT_EQ(sf.value()->Size().value(), total);
+
+    // Random range reads must reproduce the image.
+    for (int probe = 0; probe < 30; ++probe) {
+      const size_t off = rng.Uniform(total);
+      const size_t len = 1 + rng.Uniform(total - off);
+      std::string got(len, 0);
+      size_t n = 0;
+      ASSERT_TRUE(sf.value()->Read(off, len, got.data(), &n).ok());
+      ASSERT_EQ(n, len);
+      ASSERT_EQ(got, image.substr(off, len));
+    }
+  }
+}
+
+TEST(StripePropertyTest, TruncateToAnyPointPreservesPrefix) {
+  Random rng(99);
+  auto env = NewMemEnv();
+  StripeDefinition def;
+  def.members = {{"a", 48}, {"b", 16}, {"c", 80}};
+  ASSERT_TRUE(WriteStripeDefinition(env.get(), "t.str", def).ok());
+  auto sf =
+      StripeFile::Open(env.get(), "t.str", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  const size_t total = 5000;
+  std::string image(total, 0);
+  for (auto& c : image) c = static_cast<char>(rng.Next32() & 0xff);
+  ASSERT_TRUE(sf.value()->Write(0, image.data(), total).ok());
+
+  for (size_t cut : {size_t{4999}, size_t{4097}, size_t{144}, size_t{143},
+                     size_t{17}, size_t{1}, size_t{0}}) {
+    ASSERT_TRUE(sf.value()->Truncate(cut).ok());
+    ASSERT_EQ(sf.value()->Size().value(), cut);
+    std::string got(cut, 0);
+    size_t n = 0;
+    ASSERT_TRUE(sf.value()->Read(0, cut, got.data(), &n).ok());
+    ASSERT_EQ(n, cut);
+    ASSERT_EQ(got, image.substr(0, cut)) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,246 @@
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "io/env.h"
+#include "io/stripe.h"
+
+namespace alphasort {
+namespace {
+
+std::string RandomBlob(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::string s(n, 0);
+  for (auto& c : s) c = static_cast<char>(rng.Next32() & 0xff);
+  return s;
+}
+
+class StripeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  // Creates a width-way uniform stripe definition at "test.str".
+  void MakeStripe(size_t width, uint64_t stride) {
+    ASSERT_TRUE(WriteStripeDefinition(
+                    env_.get(), "test.str",
+                    MakeUniformStripe("member", width, stride))
+                    .ok());
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(StripeTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(StripeDefinition::Parse("").status().IsCorruption());
+  EXPECT_TRUE(StripeDefinition::Parse("# only comments\n\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(StripeDefinition::Parse("path_without_stride\n")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(
+      StripeDefinition::Parse("path 0\n").status().IsCorruption());
+  EXPECT_TRUE(StripeDefinition::Parse("path 64 junk\n")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(StripeTest, ParseSerializeRoundTrip) {
+  StripeDefinition def;
+  def.members = {{"a.dat", 1024}, {"b.dat", 2048}, {"c.dat", 512}};
+  Result<StripeDefinition> back = StripeDefinition::Parse(def.Serialize());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().members.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.value().members[i].path, def.members[i].path);
+    EXPECT_EQ(back.value().members[i].stride_bytes,
+              def.members[i].stride_bytes);
+  }
+  EXPECT_EQ(back.value().CycleBytes(), 1024u + 2048u + 512u);
+}
+
+TEST_F(StripeTest, WriteReadRoundTripAcrossMembers) {
+  MakeStripe(4, 16);
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok()) << sf.status().ToString();
+  const std::string blob = RandomBlob(1000, 1);  // 15.6 cycles of 64
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+  EXPECT_EQ(sf.value()->Size().value(), blob.size());
+
+  std::string back(blob.size(), 0);
+  size_t got = 0;
+  ASSERT_TRUE(sf.value()->Read(0, back.size(), back.data(), &got).ok());
+  EXPECT_EQ(got, blob.size());
+  EXPECT_EQ(back, blob);
+}
+
+TEST_F(StripeTest, DataActuallySpreadsAcrossMembers) {
+  MakeStripe(3, 8);
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  // Two full cycles: AAAAAAAABBBBBBBBCCCCCCCC AAAAAAAABBBBBBBBCCCCCCCC
+  std::string blob;
+  for (int c = 0; c < 2; ++c) {
+    blob += std::string(8, 'A');
+    blob += std::string(8, 'B');
+    blob += std::string(8, 'C');
+  }
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+  EXPECT_EQ(env_->ReadFileToString("member.s00").value(), "AAAAAAAAAAAAAAAA");
+  EXPECT_EQ(env_->ReadFileToString("member.s01").value(), "BBBBBBBBBBBBBBBB");
+  EXPECT_EQ(env_->ReadFileToString("member.s02").value(), "CCCCCCCCCCCCCCCC");
+}
+
+TEST_F(StripeTest, UnalignedReadsAndWrites) {
+  MakeStripe(4, 16);
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  const std::string blob = RandomBlob(4096, 2);
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+
+  Random rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t off = rng.Uniform(blob.size());
+    const size_t len = 1 + rng.Uniform(blob.size() - off);
+    std::string back(len, 0);
+    size_t got = 0;
+    ASSERT_TRUE(sf.value()->Read(off, len, back.data(), &got).ok());
+    ASSERT_EQ(got, len);
+    EXPECT_EQ(back, blob.substr(off, len)) << "off=" << off << " len=" << len;
+  }
+}
+
+TEST_F(StripeTest, HeterogeneousStridesMapCorrectly) {
+  StripeDefinition def;
+  def.members = {{"h0", 4}, {"h1", 12}, {"h2", 8}};  // cycle = 24
+  ASSERT_TRUE(WriteStripeDefinition(env_.get(), "h.str", def).ok());
+  auto sf =
+      StripeFile::Open(env_.get(), "h.str", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  const std::string blob = RandomBlob(24 * 10 + 13, 3);
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+  std::string back(blob.size(), 0);
+  size_t got = 0;
+  ASSERT_TRUE(sf.value()->Read(0, back.size(), back.data(), &got).ok());
+  EXPECT_EQ(got, blob.size());
+  EXPECT_EQ(back, blob);
+  // Member sizes follow the mapping: 10 full cycles + 13 bytes remainder
+  // (4 to h0, 9 of 12 to h1, 0 to h2).
+  EXPECT_EQ(env_->GetFileSize("h0").value(), 44u);
+  EXPECT_EQ(env_->GetFileSize("h1").value(), 129u);
+  EXPECT_EQ(env_->GetFileSize("h2").value(), 80u);
+}
+
+TEST_F(StripeTest, MapRangeSegmentsArePerMemberAndOrdered) {
+  MakeStripe(4, 16);
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  const auto segments = sf.value()->MapRange(8, 64);  // crosses 5 chunks
+  ASSERT_EQ(segments.size(), 5u);
+  uint64_t expected_logical = 8;
+  size_t total = 0;
+  for (const auto& seg : segments) {
+    EXPECT_EQ(seg.logical_offset, expected_logical);
+    EXPECT_LE(seg.length, 16u);
+    expected_logical += seg.length;
+    total += seg.length;
+  }
+  EXPECT_EQ(total, 64u);
+  // First partial chunk is member 0 offset 8, then members 1,2,3,0.
+  EXPECT_EQ(segments[0].member, 0u);
+  EXPECT_EQ(segments[0].member_offset, 8u);
+  EXPECT_EQ(segments[0].length, 8u);
+  EXPECT_EQ(segments[1].member, 1u);
+  EXPECT_EQ(segments[4].member, 0u);
+  EXPECT_EQ(segments[4].member_offset, 16u);  // second cycle
+}
+
+TEST_F(StripeTest, PlainPathActsAsSingleMemberStripe) {
+  auto sf = StripeFile::Open(env_.get(), "plain.dat",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  EXPECT_EQ(sf.value()->width(), 1u);
+  ASSERT_TRUE(sf.value()->Write(0, "data", 4).ok());
+  EXPECT_EQ(env_->ReadFileToString("plain.dat").value(), "data");
+}
+
+TEST_F(StripeTest, OpenMissingDefinitionIsNotFound) {
+  auto sf =
+      StripeFile::Open(env_.get(), "absent.str", OpenMode::kReadOnly);
+  EXPECT_TRUE(sf.status().IsNotFound());
+}
+
+TEST_F(StripeTest, OpenWithParallelAio) {
+  MakeStripe(8, 32);
+  AsyncIO aio(4);
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite, &aio);
+  ASSERT_TRUE(sf.ok());
+  EXPECT_EQ(sf.value()->width(), 8u);
+  const std::string blob = RandomBlob(1024, 4);
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+  std::string back(blob.size(), 0);
+  size_t got = 0;
+  ASSERT_TRUE(sf.value()->Read(0, back.size(), back.data(), &got).ok());
+  EXPECT_EQ(back, blob);
+}
+
+TEST_F(StripeTest, TruncateDistributesAcrossMembers) {
+  MakeStripe(2, 10);  // cycle = 20
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  const std::string blob = RandomBlob(100, 5);
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+  // Truncate to 35 = 1 full cycle (20) + 15: member0 gets 10+10, member1
+  // gets 10+5.
+  ASSERT_TRUE(sf.value()->Truncate(35).ok());
+  EXPECT_EQ(sf.value()->Size().value(), 35u);
+  EXPECT_EQ(env_->GetFileSize("member.s00").value(), 20u);
+  EXPECT_EQ(env_->GetFileSize("member.s01").value(), 15u);
+  std::string back(35, 0);
+  size_t got = 0;
+  ASSERT_TRUE(sf.value()->Read(0, 35, back.data(), &got).ok());
+  EXPECT_EQ(got, 35u);
+  EXPECT_EQ(back, blob.substr(0, 35));
+}
+
+TEST_F(StripeTest, ReadStopsAtLogicalEnd) {
+  MakeStripe(3, 16);
+  auto sf = StripeFile::Open(env_.get(), "test.str",
+                             OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(sf.ok());
+  const std::string blob = RandomBlob(100, 6);
+  ASSERT_TRUE(sf.value()->Write(0, blob.data(), blob.size()).ok());
+  std::string back(200, 0);
+  size_t got = 0;
+  ASSERT_TRUE(sf.value()->Read(0, 200, back.data(), &got).ok());
+  EXPECT_EQ(got, 100u);
+}
+
+TEST_F(StripeTest, RemoveDeletesMembersAndDefinition) {
+  MakeStripe(3, 16);
+  {
+    auto sf = StripeFile::Open(env_.get(), "test.str",
+                               OpenMode::kCreateReadWrite);
+    ASSERT_TRUE(sf.ok());
+    ASSERT_TRUE(sf.value()->Write(0, "xyz", 3).ok());
+    ASSERT_TRUE(sf.value()->Close().ok());
+  }
+  ASSERT_TRUE(env_->FileExists("member.s00"));
+  ASSERT_TRUE(StripeFile::Remove(env_.get(), "test.str").ok());
+  EXPECT_FALSE(env_->FileExists("test.str"));
+  EXPECT_FALSE(env_->FileExists("member.s00"));
+  EXPECT_FALSE(env_->FileExists("member.s01"));
+  EXPECT_FALSE(env_->FileExists("member.s02"));
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -1,0 +1,70 @@
+#ifndef ALPHASORT_TESTS_TEST_UTIL_H_
+#define ALPHASORT_TESTS_TEST_UTIL_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "record/generator.h"
+#include "record/record.h"
+
+namespace alphasort {
+namespace test {
+
+// Returns the record's key as a std::string for easy comparison in tests.
+inline std::string KeyOf(const RecordFormat& fmt, const char* rec) {
+  return std::string(fmt.KeyPtr(rec), fmt.key_size);
+}
+
+// True iff consecutive records in `block` are key-ascending.
+inline bool BlockIsSorted(const RecordFormat& fmt, const char* block,
+                          size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    const char* prev = block + (i - 1) * fmt.record_size;
+    const char* cur = block + i * fmt.record_size;
+    if (fmt.CompareKeys(prev, cur) > 0) return false;
+  }
+  return true;
+}
+
+// True iff the pointed-to records are key-ascending.
+inline bool PointersAreSorted(const RecordFormat& fmt,
+                              const std::vector<const char*>& ptrs) {
+  for (size_t i = 1; i < ptrs.size(); ++i) {
+    if (fmt.CompareKeys(ptrs[i - 1], ptrs[i]) > 0) return false;
+  }
+  return true;
+}
+
+// All distributions a property test should sweep.
+inline std::vector<KeyDistribution> AllDistributions() {
+  return {KeyDistribution::kUniform,      KeyDistribution::kSorted,
+          KeyDistribution::kReverse,      KeyDistribution::kConstant,
+          KeyDistribution::kFewDistinct,  KeyDistribution::kSharedPrefix,
+          KeyDistribution::kAlmostSorted};
+}
+
+inline const char* DistributionName(KeyDistribution d) {
+  switch (d) {
+    case KeyDistribution::kUniform:
+      return "Uniform";
+    case KeyDistribution::kSorted:
+      return "Sorted";
+    case KeyDistribution::kReverse:
+      return "Reverse";
+    case KeyDistribution::kConstant:
+      return "Constant";
+    case KeyDistribution::kFewDistinct:
+      return "FewDistinct";
+    case KeyDistribution::kSharedPrefix:
+      return "SharedPrefix";
+    case KeyDistribution::kAlmostSorted:
+      return "AlmostSorted";
+  }
+  return "Unknown";
+}
+
+}  // namespace test
+}  // namespace alphasort
+
+#endif  // ALPHASORT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,89 @@
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/async_io.h"
+#include "io/throttled_env.h"
+
+namespace alphasort {
+namespace {
+
+double Elapsed(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+TEST(ThrottledEnvTest, ReadTakesBytesOverRate) {
+  auto mem = NewMemEnv();
+  ASSERT_TRUE(mem->WriteStringToFile("f", std::string(1 << 20, 'x')).ok());
+  ThrottledEnv env(mem.get(), /*read=*/10.0, /*write=*/10.0);
+  auto f = env.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  std::vector<char> buf(1 << 20);
+  size_t got = 0;
+  const double t = Elapsed([&] {
+    ASSERT_TRUE(f.value()->Read(0, buf.size(), buf.data(), &got).ok());
+  });
+  EXPECT_EQ(got, buf.size());
+  // 1 MB at 10 MB/s ~ 0.1 s (allow generous scheduler slack upward).
+  EXPECT_GE(t, 0.095);
+  EXPECT_LT(t, 0.5);
+}
+
+TEST(ThrottledEnvTest, TransfersOnOneFileSerialize) {
+  auto mem = NewMemEnv();
+  ASSERT_TRUE(mem->WriteStringToFile("f", std::string(1 << 20, 'x')).ok());
+  ThrottledEnv env(mem.get(), 10.0, 10.0);
+  auto f = env.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  AsyncIO aio(4);
+  std::vector<char> a(512 << 10), b(512 << 10);
+  const double t = Elapsed([&] {
+    auto h1 = aio.SubmitRead(f.value().get(), 0, a.size(), a.data());
+    auto h2 = aio.SubmitRead(f.value().get(), a.size(), b.size(), b.data());
+    ASSERT_TRUE(aio.WaitAll({h1, h2}).ok());
+  });
+  // Two 0.5 MB reads on ONE 10 MB/s spindle: ~0.1 s total (serialized).
+  EXPECT_GE(t, 0.095);
+}
+
+TEST(ThrottledEnvTest, DifferentFilesOverlap) {
+  auto mem = NewMemEnv();
+  ASSERT_TRUE(mem->WriteStringToFile("a", std::string(1 << 20, 'x')).ok());
+  ASSERT_TRUE(mem->WriteStringToFile("b", std::string(1 << 20, 'y')).ok());
+  ThrottledEnv env(mem.get(), 10.0, 10.0);
+  auto fa = env.OpenFile("a", OpenMode::kReadOnly);
+  auto fb = env.OpenFile("b", OpenMode::kReadOnly);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  AsyncIO aio(4);
+  std::vector<char> ba(1 << 20), bb(1 << 20);
+  const double t = Elapsed([&] {
+    auto h1 = aio.SubmitRead(fa.value().get(), 0, ba.size(), ba.data());
+    auto h2 = aio.SubmitRead(fb.value().get(), 0, bb.size(), bb.data());
+    ASSERT_TRUE(aio.WaitAll({h1, h2}).ok());
+  });
+  // Two spindles in parallel: ~0.1 s, not 0.2 s.
+  EXPECT_LT(t, 0.18);
+}
+
+TEST(ThrottledEnvTest, DataIntegrityPreserved) {
+  auto mem = NewMemEnv();
+  ThrottledEnv env(mem.get(), 50.0, 50.0);
+  auto f = env.OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Write(0, "throttled bytes", 15).ok());
+  char buf[15];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 15, buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), "throttled bytes");
+  EXPECT_EQ(env.GetFileSize("f").value(), 15u);
+}
+
+}  // namespace
+}  // namespace alphasort

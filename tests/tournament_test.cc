@@ -1,0 +1,190 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/tournament_tree.h"
+
+namespace alphasort {
+namespace {
+
+struct IntLess {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+using IntTree = LoserTree<int, IntLess>;
+
+// Merges k sorted int vectors through the loser tree.
+std::vector<int> MergeWithTree(const std::vector<std::vector<int>>& runs,
+                               TreeLayout layout) {
+  const size_t k = runs.size();
+  IntTree tree(k == 0 ? 1 : k, IntLess{}, layout);
+  std::vector<size_t> cursor(k, 0);
+  for (size_t s = 0; s < k; ++s) {
+    if (!runs[s].empty()) {
+      tree.SetLeaf(s, runs[s][0]);
+      cursor[s] = 1;
+    }
+  }
+  tree.Rebuild();
+  std::vector<int> out;
+  while (!tree.Empty()) {
+    const size_t s = tree.WinnerStream();
+    out.push_back(tree.WinnerItem());
+    if (cursor[s] < runs[s].size()) {
+      tree.ReplaceWinner(runs[s][cursor[s]++]);
+    } else {
+      tree.ExhaustWinner();
+    }
+  }
+  return out;
+}
+
+class LoserTreeKSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, TreeLayout>> {};
+
+// Property: merging k sorted runs yields the sorted union, for every fan-in
+// (including awkward non-powers-of-two) and both node layouts.
+TEST_P(LoserTreeKSweep, MergesKSortedRuns) {
+  const auto [k, layout] = GetParam();
+  Random rng(1000 + k);
+  std::vector<std::vector<int>> runs(k);
+  std::vector<int> all;
+  for (auto& run : runs) {
+    const size_t len = rng.Uniform(50);
+    for (size_t i = 0; i < len; ++i) {
+      run.push_back(static_cast<int>(rng.Uniform(1000)));
+    }
+    std::sort(run.begin(), run.end());
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(MergeWithTree(runs, layout), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanInsAndLayouts, LoserTreeKSweep,
+    ::testing::Combine(::testing::Values(size_t{1}, size_t{2}, size_t{3},
+                                         size_t{4}, size_t{5}, size_t{7},
+                                         size_t{8}, size_t{13}, size_t{16},
+                                         size_t{33}, size_t{100}),
+                       ::testing::Values(TreeLayout::kFlat,
+                                         TreeLayout::kClustered)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == TreeLayout::kFlat ? "_flat"
+                                                           : "_clustered");
+    });
+
+TEST(LoserTreeTest, EmptyRunsAreSkipped) {
+  std::vector<std::vector<int>> runs = {{}, {1, 3}, {}, {2}, {}};
+  EXPECT_EQ(MergeWithTree(runs, TreeLayout::kFlat),
+            (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LoserTreeTest, AllRunsEmptyIsEmptyTree) {
+  std::vector<std::vector<int>> runs(4);
+  EXPECT_TRUE(MergeWithTree(runs, TreeLayout::kFlat).empty());
+}
+
+TEST(LoserTreeTest, SingleStreamPassesThrough) {
+  std::vector<std::vector<int>> runs = {{5, 6, 7}};
+  EXPECT_EQ(MergeWithTree(runs, TreeLayout::kFlat),
+            (std::vector<int>{5, 6, 7}));
+}
+
+TEST(LoserTreeTest, EqualItemsPreferLowerStream) {
+  // Tie-break by stream index: stream 0's equal item must win first.
+  IntTree tree(3, IntLess{});
+  tree.SetLeaf(0, 7);
+  tree.SetLeaf(1, 7);
+  tree.SetLeaf(2, 7);
+  tree.Rebuild();
+  EXPECT_EQ(tree.WinnerStream(), 0u);
+  tree.ExhaustWinner();
+  EXPECT_EQ(tree.WinnerStream(), 1u);
+  tree.ExhaustWinner();
+  EXPECT_EQ(tree.WinnerStream(), 2u);
+  tree.ExhaustWinner();
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(LoserTreeTest, ComparesPerPopAreLogK) {
+  // K-way merge does ~log2(K) compares per extraction, not K.
+  const size_t k = 64;
+  const size_t per_run = 100;
+  std::vector<std::vector<int>> runs(k);
+  int v = 0;
+  for (auto& run : runs) {
+    for (size_t i = 0; i < per_run; ++i) run.push_back(v++);
+    std::sort(run.begin(), run.end());
+  }
+  IntTree tree(k, IntLess{});
+  std::vector<size_t> cursor(k, 0);
+  for (size_t s = 0; s < k; ++s) {
+    tree.SetLeaf(s, runs[s][0]);
+    cursor[s] = 1;
+  }
+  tree.Rebuild();
+  size_t pops = 0;
+  while (!tree.Empty()) {
+    const size_t s = tree.WinnerStream();
+    ++pops;
+    if (cursor[s] < runs[s].size()) {
+      tree.ReplaceWinner(runs[s][cursor[s]++]);
+    } else {
+      tree.ExhaustWinner();
+    }
+  }
+  EXPECT_EQ(pops, k * per_run);
+  // <= log2(64) = 6 item compares per pop (exhausted-leaf steps are free).
+  EXPECT_LE(tree.compares(), pops * 6);
+  EXPECT_GT(tree.compares(), pops * 2);  // sanity: it did real work
+}
+
+TEST(TreeLayoutMapTest, FlatLayoutIsIdentity) {
+  TreeLayoutMap map(15, TreeLayout::kFlat);
+  for (size_t i = 1; i <= 15; ++i) EXPECT_EQ(map.Position(i), i - 1);
+}
+
+TEST(TreeLayoutMapTest, ClusteredLayoutIsInjectiveWithinBounds) {
+  for (size_t n : {1u, 2u, 3u, 7u, 10u, 31u, 100u, 255u}) {
+    TreeLayoutMap map(n, TreeLayout::kClustered);
+    std::set<size_t> seen;
+    for (size_t i = 1; i <= n; ++i) {
+      const size_t p = map.Position(i);
+      EXPECT_LT(p, map.PositionsNeeded());
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate position " << p;
+    }
+    // Each cluster holds at least one node and takes SlotsPerCluster
+    // positions, so padding costs at most that factor.
+    EXPECT_LE(map.PositionsNeeded(), map.SlotsPerCluster() * (n + 1));
+  }
+}
+
+TEST(TreeLayoutMapTest, ClustersStartAtAlignedPositions) {
+  TreeLayoutMap map(255, TreeLayout::kClustered, 2);
+  // Every cluster root (node whose depth is even) lands on a multiple of
+  // SlotsPerCluster, so an aligned array keeps each cluster in one line.
+  EXPECT_EQ(map.Position(1) % map.SlotsPerCluster(), 0u);
+  EXPECT_EQ(map.Position(4) % map.SlotsPerCluster(), 0u);
+  EXPECT_EQ(map.Position(16) % map.SlotsPerCluster(), 0u);
+}
+
+TEST(TreeLayoutMapTest, ClusteredKeepsParentAndChildrenAdjacent) {
+  // With cluster_height=2, a parent at even depth and its two children
+  // occupy three consecutive positions.
+  TreeLayoutMap map(31, TreeLayout::kClustered, 2);
+  const size_t root = map.Position(1);
+  EXPECT_EQ(map.Position(2), root + 1);
+  EXPECT_EQ(map.Position(3), root + 2);
+  // Node 4 starts its own cluster with children 8, 9.
+  const size_t four = map.Position(4);
+  EXPECT_EQ(map.Position(8), four + 1);
+  EXPECT_EQ(map.Position(9), four + 2);
+}
+
+}  // namespace
+}  // namespace alphasort

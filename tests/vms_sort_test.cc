@@ -1,0 +1,157 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/datamation.h"
+#include "core/alphasort.h"
+#include "core/vms_sort.h"
+#include "io/fault_env.h"
+#include "tests/test_util.h"
+
+namespace alphasort {
+namespace {
+
+struct VmsE2E {
+  std::unique_ptr<Env> env = NewMemEnv();
+  SortOptions opts;
+  SortMetrics metrics;
+
+  Status Prepare(uint64_t records, KeyDistribution dist) {
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = records;
+    spec.distribution = dist;
+    spec.seed = 4242;
+    ALPHASORT_RETURN_IF_ERROR(CreateInputFile(env.get(), spec));
+    opts.input_path = "in.dat";
+    opts.output_path = "out.dat";
+    opts.memory_budget = 64 * 1024;  // tiny tournament: many runs
+    opts.io_chunk_bytes = 8 * 1024;
+    opts.scratch_path = "vms_scratch";
+    return Status::OK();
+  }
+
+  Status Sort() { return VmsSort::Run(env.get(), opts, &metrics); }
+
+  Status Validate() {
+    return ValidateSortedFile(env.get(), "in.dat", "out.dat", opts.format);
+  }
+};
+
+class VmsSortSweep : public ::testing::TestWithParam<
+                         std::tuple<KeyDistribution, uint64_t>> {};
+
+TEST_P(VmsSortSweep, SortsToASortedPermutation) {
+  const auto [dist, records] = GetParam();
+  VmsE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(records, dist).ok());
+  Status s = e2e.Sort();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  Status v = e2e.Validate();
+  EXPECT_TRUE(v.ok()) << v.ToString();
+  EXPECT_EQ(e2e.metrics.num_records, records);
+  // 64 KB budget = a 327-record tournament: inputs that fit stream one
+  // run straight to the output (one pass); larger inputs spill + merge.
+  EXPECT_EQ(e2e.metrics.passes, records <= 327 ? 1 : 2);
+}
+
+// kConstant and kFewDistinct exercise the tournament's equal-key paths
+// through the recycled workspace slots — the subtle part of the
+// streaming baseline.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VmsSortSweep,
+    ::testing::Combine(::testing::ValuesIn(test::AllDistributions()),
+                       ::testing::Values(uint64_t{0}, uint64_t{1},
+                                         uint64_t{300}, uint64_t{5000})),
+    [](const auto& info) {
+      return std::string(test::DistributionName(std::get<0>(info.param))) +
+             "_n" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VmsSortTest, RandomInputProducesSnowplowRuns) {
+  VmsE2E e2e;
+  const uint64_t n = 20000;
+  ASSERT_TRUE(e2e.Prepare(n, KeyDistribution::kUniform).ok());
+  // memory_budget 64 KB -> W = 64K/200 = 327 records (floor 16).
+  ASSERT_TRUE(e2e.Sort().ok());
+  const double w = 64.0 * 1024 / (2 * 100);
+  const double avg_run = static_cast<double>(n) / e2e.metrics.num_runs;
+  // Snowplow law: average run ~ 2W.
+  EXPECT_GT(avg_run, 1.4 * w);
+  EXPECT_LT(avg_run, 2.8 * w);
+  EXPECT_TRUE(e2e.Validate().ok());
+}
+
+TEST(VmsSortTest, SortedInputMakesOneRun) {
+  VmsE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(5000, KeyDistribution::kSorted).ok());
+  ASSERT_TRUE(e2e.Sort().ok());
+  EXPECT_EQ(e2e.metrics.num_runs, 1u);
+  EXPECT_TRUE(e2e.Validate().ok());
+}
+
+TEST(VmsSortTest, CascadesWhenRunsExceedFanin) {
+  VmsE2E e2e;
+  const uint64_t n = 20000;
+  ASSERT_TRUE(e2e.Prepare(n, KeyDistribution::kReverse).ok());
+  // Reverse input defeats the snowplow: runs of exactly W (~327), so
+  // ~61 runs; force a cascade with a fan-in of 8.
+  e2e.opts.max_merge_fanin = 8;
+  ASSERT_TRUE(e2e.Sort().ok());
+  EXPECT_GT(e2e.metrics.num_runs, 8u);
+  Status v = e2e.Validate();
+  EXPECT_TRUE(v.ok()) << v.ToString();
+  // Intermediate scratch got cleaned up.
+  EXPECT_FALSE(e2e.env->FileExists("vms_scratch.l0_run0000"));
+  EXPECT_FALSE(e2e.env->FileExists("vms_scratch.l1_run0000"));
+}
+
+TEST(VmsSortTest, MemoryRichInputStreamsDirectlyToOutput) {
+  // Whole input inside the tournament: one pass, no scratch at all (the
+  // paper's single-disk OpenVMS configuration, where both sorts finish in
+  // read+write time).
+  VmsE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(2000, KeyDistribution::kUniform).ok());
+  e2e.opts.memory_budget = 16 << 20;  // tournament >> input
+  ASSERT_TRUE(e2e.Sort().ok());
+  EXPECT_EQ(e2e.metrics.passes, 1);
+  EXPECT_EQ(e2e.metrics.num_runs, 1u);
+  EXPECT_EQ(e2e.metrics.scratch_bytes_written, 0u);
+  EXPECT_FALSE(e2e.env->FileExists("vms_scratch.l0_run0000"));
+  EXPECT_TRUE(e2e.Validate().ok());
+}
+
+TEST(VmsSortTest, SurfacesInjectedFaults) {
+  VmsE2E e2e;
+  ASSERT_TRUE(e2e.Prepare(5000, KeyDistribution::kUniform).ok());
+  FaultInjectionEnv fenv(e2e.env.get());
+  for (int64_t fail_at : {3, 30, 100}) {
+    fenv.FailAfter(fail_at);
+    Status s = VmsSort::Run(&fenv, e2e.opts, &e2e.metrics);
+    EXPECT_FALSE(s.ok()) << "fault at " << fail_at;
+    fenv.Disarm();
+  }
+}
+
+TEST(VmsSortTest, AgreesWithAlphaSortByteForByte) {
+  // Same (unique-keyed) input through both sorters: identical output.
+  VmsE2E vms;
+  ASSERT_TRUE(vms.Prepare(8000, KeyDistribution::kUniform).ok());
+  ASSERT_TRUE(vms.Sort().ok());
+  auto vms_out = vms.env->ReadFileToString("out.dat");
+  ASSERT_TRUE(vms_out.ok());
+
+  // AlphaSort over the byte-identical input (same seed).
+  VmsE2E alpha;
+  ASSERT_TRUE(alpha.Prepare(8000, KeyDistribution::kUniform).ok());
+  SortMetrics m;
+  alpha.opts.memory_budget = 1ull << 30;
+  ASSERT_TRUE(AlphaSort::Run(alpha.env.get(), alpha.opts, &m).ok());
+  auto alpha_out = alpha.env->ReadFileToString("out.dat");
+  ASSERT_TRUE(alpha_out.ok());
+  EXPECT_TRUE(vms_out.value() == alpha_out.value());
+}
+
+}  // namespace
+}  // namespace alphasort
