@@ -16,20 +16,24 @@ using namespace alphasort;
 
 namespace {
 
-double HostSortSeconds(uint64_t records, int workers) {
+// Sorts `records` in-memory records; returns the metrics (total_s < 0 on
+// failure) so the caller can report time and throughput from one source.
+SortMetrics HostSort(uint64_t records, int workers) {
+  SortMetrics m;
+  m.total_s = -1;
   auto env = NewMemEnv();
   InputSpec spec;
   spec.path = "in.dat";
   spec.num_records = records;
-  if (!CreateInputFile(env.get(), spec).ok()) return -1;
+  if (!CreateInputFile(env.get(), spec).ok()) return m;
   SortOptions opts;
   opts.input_path = "in.dat";
   opts.output_path = "out.dat";
   opts.memory_budget = 8ull << 30;
   opts.num_workers = workers;
-  SortMetrics m;
-  if (!AlphaSort::Run(env.get(), opts, &m).ok()) return -1;
-  return m.total_s;
+  m.total_s = 0;
+  if (!AlphaSort::Run(env.get(), opts, &m).ok()) m.total_s = -1;
+  return m;
 }
 
 }  // namespace
@@ -67,11 +71,12 @@ int main() {
   uint64_t best_fit = 0;
   double best_time = 0;
   while (true) {
-    const double t = HostSortSeconds(records, 0);
+    const SortMetrics m = HostSort(records, 0);
+    const double t = m.total_s;
     if (t < 0) break;
-    printf("  %9llu records (%6.1f MB): %.2f s\n",
+    printf("  %9llu records (%6.1f MB): %.2f s (%.0f MB/s)\n",
            static_cast<unsigned long long>(records), records * 100 / 1e6,
-           t);
+           t, m.Throughput().mb_per_s);
     if (t <= budget_s) {
       best_fit = records;
       best_time = t;

@@ -32,7 +32,7 @@ int main() {
   const double ideal_one_disk =
       records * 100 / (read_mbps * 1e6) + records * 100 / (write_mbps * 1e6);
 
-  TextTable table({"stripe width", "elapsed (s)", "read phase (s)",
+  TextTable table({"stripe width", "elapsed (s)", "MB/s", "read phase (s)",
                    "write phase (s)", "speedup", "ideal"});
   double base = 0;
   for (size_t width : {1, 2, 4, 8}) {
@@ -78,6 +78,7 @@ int main() {
     }
     if (width == 1) base = m.total_s;
     table.AddRow({StrFormat("%zu", width), StrFormat("%.2f", m.total_s),
+                  StrFormat("%.2f", m.Throughput().mb_per_s),
                   StrFormat("%.2f", m.read_phase_s),
                   StrFormat("%.2f", m.merge_phase_s),
                   StrFormat("%.2fx", base / m.total_s),

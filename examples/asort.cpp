@@ -6,17 +6,26 @@
 //           [--record-size R] [--key-size K] [--key-offset OFF]
 //           [--workers N] [--memory-mb M]
 //           [--algorithm alphasort|vms] [--merge] [--verify] [--quiet]
+//           [--trace=FILE] [--metrics] [--mem] [--gen-records N]
 //
 // INPUT/OUTPUT may be plain files or .str stripe definitions (the output
 // definition is created automatically, mirroring the first input's width,
 // if it does not exist). With --merge, every INPUT must already be
 // sorted and the inputs are merged into OUTPUT (sort's classic -m mode).
+//
+// Observability (docs/observability.md): --trace=FILE records a span
+// timeline of the sort and writes Chrome trace-event JSON openable in
+// chrome://tracing or https://ui.perfetto.dev; --metrics dumps the
+// process metrics registry (IO scheduler queue waits, stripe fanout,
+// chore counts) after the sort. --mem runs against an in-memory Env and
+// --gen-records N generates the input first — together they make a
+// self-contained smoke run: asort --mem --gen-records 100000 ...
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
-
 #include <vector>
 
 #include "benchlib/datamation.h"
@@ -24,6 +33,8 @@
 #include "core/merge_files.h"
 #include "core/vms_sort.h"
 #include "io/stripe.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace alphasort;
 
@@ -41,6 +52,10 @@ struct Args {
   bool merge = false;
   bool verify = false;
   bool quiet = false;
+  std::string trace_path;      // --trace=FILE: Chrome trace JSON
+  bool metrics = false;        // dump the process metrics registry
+  bool mem = false;            // run against an in-memory Env
+  uint64_t gen_records = 0;    // generate the input first
 };
 
 int Usage(const char* prog) {
@@ -48,7 +63,8 @@ int Usage(const char* prog) {
           "usage: %s --in INPUT [--in INPUT2 ...] --out OUTPUT "
           "[--record-size R] [--key-size K] [--key-offset OFF] "
           "[--workers N] [--memory-mb M] [--algorithm alphasort|vms] "
-          "[--merge] [--verify] [--quiet]\n",
+          "[--merge] [--verify] [--quiet] [--trace=FILE] [--metrics] "
+          "[--mem] [--gen-records N]\n",
           prog);
   return 2;
 }
@@ -74,6 +90,11 @@ int main(int argc, char** argv) {
     else if (const char* v = need("--workers")) args.workers = atoi(v);
     else if (const char* v = need("--memory-mb")) args.memory_mb = strtoull(v, nullptr, 10);
     else if (const char* v = need("--algorithm")) args.algorithm = v;
+    else if (const char* v = need("--trace")) args.trace_path = v;
+    else if (strncmp(argv[i], "--trace=", 8) == 0) args.trace_path = argv[i] + 8;
+    else if (const char* v = need("--gen-records")) args.gen_records = strtoull(v, nullptr, 10);
+    else if (strcmp(argv[i], "--metrics") == 0) args.metrics = true;
+    else if (strcmp(argv[i], "--mem") == 0) args.mem = true;
     else if (strcmp(argv[i], "--merge") == 0) args.merge = true;
     else if (strcmp(argv[i], "--verify") == 0) args.verify = true;
     else if (strcmp(argv[i], "--quiet") == 0) args.quiet = true;
@@ -89,7 +110,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::unique_ptr<Env> owned_env;
   Env* env = GetPosixEnv();
+  if (args.mem) {
+    owned_env = NewMemEnv();
+    env = owned_env.get();
+  }
+
+  if (args.gen_records > 0) {
+    InputSpec spec;
+    spec.path = args.in[0];
+    spec.format = RecordFormat(args.record_size, args.key_size,
+                               args.key_offset);
+    spec.num_records = args.gen_records;
+    if (Status g = CreateInputFile(env, spec); !g.ok()) {
+      fprintf(stderr, "generate input: %s\n", g.ToString().c_str());
+      return 1;
+    }
+  }
+
   SortOptions opts;
   opts.input_path = args.in[0];
   opts.output_path = args.out;
@@ -123,6 +162,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The recorder outlives the sort; JSON is written after Uninstall so
+  // no instrumentation point can race the export.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!args.trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->Install();
+  }
+
   SortMetrics metrics;
   Status s;
   if (args.merge) {
@@ -132,12 +179,36 @@ int main(int argc, char** argv) {
   } else {
     s = AlphaSort::Run(env, opts, &metrics);
   }
+  if (recorder != nullptr) {
+    obs::TraceRecorder::Uninstall();
+    const std::string json = recorder->ToChromeJson();
+    // The trace always goes to the host filesystem (even with --mem):
+    // it is for a human to load into chrome://tracing.
+    FILE* f = fopen(args.trace_path.c_str(), "w");
+    if (f == nullptr ||
+        fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      fprintf(stderr, "write trace %s failed\n", args.trace_path.c_str());
+      if (f != nullptr) fclose(f);
+      return 1;
+    }
+    fclose(f);
+    if (!args.quiet) {
+      printf("trace: %zu events -> %s%s\n", recorder->size(),
+             args.trace_path.c_str(),
+             recorder->dropped() > 0 ? " (ring wrapped; oldest dropped)"
+                                     : "");
+    }
+  }
   if (!s.ok()) {
     fprintf(stderr, "sort failed: %s\n", s.ToString().c_str());
     return 1;
   }
   if (!args.quiet) {
     printf("%s", metrics.ToString().c_str());
+  }
+  if (args.metrics) {
+    printf("--- metrics registry ---\n%s",
+           obs::MetricsRegistry::Global()->ToString().c_str());
   }
 
   if (args.verify && !args.merge) {

@@ -2,19 +2,24 @@
 // minute" on this machine. Doubles the input size until a sort no longer
 // fits the budget and reports the largest size that did.
 //
-//   ./minute_sort [--seconds S] [--workers K] [--mem]
+//   ./minute_sort [--seconds S] [--workers K] [--mem] [--trace=FILE]
 //
 // --mem sorts in-memory files (pure CPU/memory measurement); without it,
-// files live under /tmp.
+// files live under /tmp. --trace records a span timeline across the
+// doubling runs (the bounded ring keeps the most recent events, i.e. the
+// largest sorts) and writes Chrome trace-event JSON on exit — see
+// docs/observability.md.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "benchlib/datamation.h"
 #include "core/alphasort.h"
 #include "io/stripe.h"
+#include "obs/trace.h"
 
 using namespace alphasort;
 
@@ -22,6 +27,7 @@ int main(int argc, char** argv) {
   double seconds = 60.0;
   int workers = 0;
   bool in_memory = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = atof(argv[++i]);
@@ -29,11 +35,23 @@ int main(int argc, char** argv) {
       workers = atoi(argv[++i]);
     } else if (strcmp(argv[i], "--mem") == 0) {
       in_memory = true;
+    } else if (strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      fprintf(stderr, "usage: %s [--seconds S] [--workers K] [--mem]\n",
+      fprintf(stderr,
+              "usage: %s [--seconds S] [--workers K] [--mem] "
+              "[--trace=FILE]\n",
               argv[0]);
       return 2;
     }
+  }
+
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->Install();
   }
 
   std::unique_ptr<Env> owned;
@@ -94,6 +112,21 @@ int main(int argc, char** argv) {
     printf("\nResult: %.2f GB sorted within %.0f s (%.2f s used).\n",
            best * 100 / 1e9, seconds, best_time);
     printf("The 1993 record: 1.08 GB on a 3-cpu DEC 7000 AXP (512 k$).\n");
+  }
+
+  if (recorder != nullptr) {
+    obs::TraceRecorder::Uninstall();
+    const std::string json = recorder->ToChromeJson();
+    FILE* f = fopen(trace_path.c_str(), "w");
+    if (f == nullptr ||
+        fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      fprintf(stderr, "write trace %s failed\n", trace_path.c_str());
+      if (f != nullptr) fclose(f);
+      return 1;
+    }
+    fclose(f);
+    printf("trace: %zu events -> %s\n", recorder->size(),
+           trace_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,125 @@
+// trace_lint: validates a Chrome trace-event JSON file produced by
+// `asort --trace` (or any obs::TraceRecorder export).
+//
+//   ./trace_lint FILE [--require NAME]... [--distinct-threads N]
+//
+// Exits 0 when FILE parses as a structurally valid Chrome trace, every
+// --require NAME appears as an event-name substring, and events span at
+// least N distinct tids. Used by scripts/ci.sh to smoke-test the
+// observability pipeline end to end.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/trace.h"
+
+using namespace alphasort;
+
+namespace {
+
+// Collects the value of every `"key":` string or number occurrence.
+// Sufficient for trace JSON we already validated: keys only appear as
+// object members, and name/tid never contain nested structures.
+std::vector<std::string> FieldValues(const std::string& json,
+                                     const std::string& key) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    if (pos >= json.size()) break;
+    if (json[pos] == '"') {
+      const size_t end = json.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      values.push_back(json.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    } else {
+      size_t end = pos;
+      while (end < json.size() &&
+             (isdigit(static_cast<unsigned char>(json[end])) ||
+              json[end] == '-')) {
+        ++end;
+      }
+      values.push_back(json.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  size_t distinct_threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      required.push_back(argv[++i]);
+    } else if (strcmp(argv[i], "--distinct-threads") == 0 && i + 1 < argc) {
+      distinct_threads = strtoul(argv[++i], nullptr, 10);
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      fprintf(stderr,
+              "usage: %s FILE [--require NAME]... [--distinct-threads N]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    fprintf(stderr, "trace_lint: no input file\n");
+    return 2;
+  }
+
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fprintf(stderr, "trace_lint: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string json;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, got);
+  fclose(f);
+
+  if (Status s = obs::ValidateChromeTraceJson(json); !s.ok()) {
+    fprintf(stderr, "trace_lint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> names = FieldValues(json, "name");
+  for (const std::string& want : required) {
+    bool found = false;
+    for (const std::string& name : names) {
+      if (name.find(want) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      fprintf(stderr, "trace_lint: no event named like \"%s\"\n",
+              want.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<std::string> tids = FieldValues(json, "tid");
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  if (tids.size() < distinct_threads) {
+    fprintf(stderr, "trace_lint: %zu distinct threads, wanted >= %zu\n",
+            tids.size(), distinct_threads);
+    return 1;
+  }
+
+  printf("trace_lint: %s ok (%zu events, %zu threads)\n", path.c_str(),
+         names.size(), tids.size());
+  return 0;
+}

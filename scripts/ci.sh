@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests, a sanitizer pass over the test suite,
+# and an observability smoke that sorts 100k records under --trace and
+# validates the emitted Chrome trace JSON (docs/observability.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== sanitizers: ASan + UBSan test suite ==="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-asan -j "$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== observability smoke: asort --trace on an in-memory input ==="
+trace="$(mktemp /tmp/alphasort_trace.XXXXXX.json)"
+trap 'rm -f "$trace"' EXIT
+./build/examples/asort --mem --gen-records 100000 \
+  --in smoke_in.dat --out smoke_out.dat \
+  --trace="$trace" --verify --metrics
+# The trace must parse as a Chrome trace and show the pipeline's overlap:
+# reads, QuickSorts, merge batches, and gather slices on distinct threads.
+./build/examples/trace_lint "$trace" \
+  --require read --require quicksort --require merge --require gather \
+  --distinct-threads 3
+
+echo
+echo "CI: all gates passed."

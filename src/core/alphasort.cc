@@ -1,11 +1,39 @@
 #include "core/alphasort.h"
 
+#include <optional>
+
 #include "common/table.h"
 #include "core/pipeline_internal.h"
+#include "obs/metrics_env.h"
+#include "obs/trace.h"
 
 namespace alphasort {
 
 namespace {
+
+// Summarizes one direction of a MetricsEnv snapshot into the plain
+// percentile struct SortMetrics carries.
+IoLatencyStats SummarizeReads(const obs::IoModeSnapshot& io) {
+  IoLatencyStats out;
+  out.ops = io.reads;
+  out.bytes = io.read_bytes;
+  out.p50_us = io.read_latency_us.Percentile(50);
+  out.p95_us = io.read_latency_us.Percentile(95);
+  out.p99_us = io.read_latency_us.Percentile(99);
+  out.max_us = double(io.read_latency_us.max);
+  return out;
+}
+
+IoLatencyStats SummarizeWrites(const obs::IoModeSnapshot& io) {
+  IoLatencyStats out;
+  out.ops = io.writes;
+  out.bytes = io.write_bytes;
+  out.p50_us = io.write_latency_us.Percentile(50);
+  out.p95_us = io.write_latency_us.Percentile(95);
+  out.p99_us = io.write_latency_us.Percentile(99);
+  out.max_us = double(io.write_latency_us.max);
+  return out;
+}
 
 Status ValidateOptions(const SortOptions& o) {
   if (o.input_path.empty() || o.output_path.empty()) {
@@ -43,11 +71,20 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
 
   PhaseTimer total_timer;
   PhaseTimer phase;
+  obs::TraceSpan run_span("sort.run");
+
+  // Every file the sort touches (input, output, scratch) is opened
+  // through the metrics wrapper so the phase report can show IO latency
+  // percentiles next to the wall-clock laps.
+  obs::MetricsEnv metrics_env(env);
+  if (options.collect_io_metrics) env = &metrics_env;
 
   AsyncIO aio(options.io_threads);
   ChorePool pool(options.num_workers, options.use_affinity);
 
   // Open the input and create the output, members in parallel (§6).
+  std::optional<obs::TraceSpan> startup_span;
+  startup_span.emplace("sort.startup");
   Result<std::unique_ptr<StripeFile>> input =
       StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, &aio);
   ALPHASORT_RETURN_IF_ERROR(input.status());
@@ -78,6 +115,7 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   metrics->bytes_in = ctx.input_bytes;
   metrics->num_records = ctx.num_records;
   metrics->startup_s = phase.Lap();
+  startup_span.reset();
 
   // One pass if the records plus their entries fit in the budget (§6:
   // "the Datamation sort benchmark should be done in one pass").
@@ -98,11 +136,19 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   }
 
   phase.Lap();
-  ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
-  ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
+  {
+    obs::TraceSpan close_span("sort.close");
+    ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
+    ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
+  }
   metrics->close_s = phase.Lap();
   metrics->bytes_out = ctx.input_bytes;
   metrics->total_s = total_timer.Lap();
+  if (options.collect_io_metrics) {
+    const obs::IoModeSnapshot io = metrics_env.Snapshot().Total();
+    metrics->read_io = SummarizeReads(io);
+    metrics->write_io = SummarizeWrites(io);
+  }
   return Status::OK();
 }
 

@@ -7,9 +7,18 @@
 #include <sched.h>
 #endif
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace alphasort {
 
 namespace {
+
+obs::Counter* ChoresExecuted() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("chores.executed");
+  return c;
+}
 
 // Best-effort pinning of the calling thread to one CPU.
 void PinToCpu(int cpu) {
@@ -52,13 +61,17 @@ ChorePool::~ChorePool() {
 void ChorePool::Submit(std::function<void()> chore) {
   if (workers_.empty()) {
     chore();
+    ChoresExecuted()->Add();
     return;
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(chore));
     ++in_flight_;
+    depth = queue_.size();
   }
+  obs::TraceCounter("chores.queue_depth", static_cast<int64_t>(depth));
   work_cv_.notify_one();
 }
 
@@ -95,6 +108,7 @@ void ChorePool::WorkerLoop() {
       queue_.pop_front();
     }
     chore();
+    ChoresExecuted()->Add();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

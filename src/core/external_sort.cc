@@ -5,6 +5,7 @@
 #include "common/table.h"
 #include "core/pipeline_internal.h"
 #include "core/run_reader.h"
+#include "obs/trace.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
 #include "sort/tournament_tree.h"
@@ -133,6 +134,7 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
     ctx->pool->ParallelFor(num_sub, [&](size_t s) {
       const uint64_t start = s * sub;
       const uint64_t len = std::min<uint64_t>(sub, n - start);
+      obs::TraceSpan span("quicksort.run", "cpu");
       SortStats stats;
       BuildPrefixEntryArray(fmt, block.data() + start * fmt.record_size,
                             len, entries.data() + start);
@@ -257,17 +259,20 @@ Status MergeScratchRunsToFile(SortContext* ctx,
       if (!s.ok()) return abandon(s);
     }
     buf.fill = 0;
-    while (buf.fill < out_bytes && !tree.Empty()) {
-      const size_t r = tree.WinnerStream();
-      memcpy(buf.data.data() + buf.fill, tree.WinnerItem().record,
-             fmt.record_size);
-      buf.fill += fmt.record_size;
-      Status s = readers[r]->Advance();
-      if (!s.ok()) return abandon(s);
-      if (const char* rec = readers[r]->Current()) {
-        tree.ReplaceWinner(Item{fmt.KeyPrefix(rec), rec});
-      } else {
-        tree.ExhaustWinner();
+    {
+      obs::TraceSpan span("merge.batch", "cpu");
+      while (buf.fill < out_bytes && !tree.Empty()) {
+        const size_t r = tree.WinnerStream();
+        memcpy(buf.data.data() + buf.fill, tree.WinnerItem().record,
+               fmt.record_size);
+        buf.fill += fmt.record_size;
+        Status s = readers[r]->Advance();
+        if (!s.ok()) return abandon(s);
+        if (const char* rec = readers[r]->Current()) {
+          tree.ReplaceWinner(Item{fmt.KeyPrefix(rec), rec});
+        } else {
+          tree.ExhaustWinner();
+        }
       }
     }
     buf.pending = ctx->aio->SubmitWrite(out, out_offset, buf.data.data(),
@@ -339,14 +344,21 @@ Status MergeScratchRuns(SortContext* ctx, std::vector<ScratchRun> runs) {
 Status RunTwoPass(SortContext* ctx) {
   PhaseTimer phase;
   std::vector<ScratchRun> runs;
-  Status s = SpillRuns(ctx, &runs);
+  Status s;
+  {
+    obs::TraceSpan span("sort.read_phase");
+    s = SpillRuns(ctx, &runs);
+  }
   ctx->metrics->read_phase_s = phase.Lap();
   ctx->metrics->num_runs = runs.size();
   if (!s.ok()) {
     for (const auto& run : runs) RemoveScratchRun(ctx, run.path);
     return s;
   }
-  s = MergeScratchRuns(ctx, std::move(runs));
+  {
+    obs::TraceSpan span("sort.merge_phase");
+    s = MergeScratchRuns(ctx, std::move(runs));
+  }
   ctx->metrics->merge_phase_s = phase.Lap();
   return s;
 }

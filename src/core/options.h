@@ -75,6 +75,12 @@ struct SortOptions {
   // multiple processors", §5). Best-effort; ignored where unsupported.
   bool use_affinity = false;
 
+  // Wrap the Env in an obs::MetricsEnv for the duration of the sort and
+  // fill SortMetrics::read_io / write_io with per-direction IO latency
+  // percentiles. Costs two clock reads per IO request — invisible next
+  // to the request itself — and never touches the compare path.
+  bool collect_io_metrics = true;
+
   // Force a pass count (0 = choose by memory_budget).
   int force_passes = 0;
 

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <mutex>
+#include <optional>
 
 #include "common/table.h"
 #include "core/pipeline_internal.h"
+#include "obs/trace.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
 
@@ -18,6 +20,7 @@ void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
     const size_t lo = s * per_slice;
     const size_t hi = std::min(n, lo + per_slice);
     if (lo < hi) {
+      obs::TraceSpan span("gather.slice", "cpu");
       GatherRecords(fmt, ptrs + lo, hi - lo, out + lo * fmt.record_size);
     }
   });
@@ -89,6 +92,8 @@ Status RunOnePass(SortContext* ctx) {
   // extract+QuickSort chores (§7). Chunks are processed in file order, so
   // runs become ready as the read front passes their last record.
   {
+    std::optional<obs::TraceSpan> phase_span;
+    phase_span.emplace("sort.read_phase");
     const size_t chunk = opts.io_chunk_bytes;
     const uint64_t num_chunks = (bytes + chunk - 1) / chunk;
     const int depth = opts.io_depth;
@@ -125,6 +130,7 @@ Status RunOnePass(SortContext* ctx) {
         next_run_start += len;
         ctx->pool->Submit([ctx, &records, &entries, &qs_stats, fmt, start,
                            len] {
+          obs::TraceSpan span("quicksort.run", "cpu");
           SortStats stats;
           NullTracer tracer;
           BuildPrefixEntryArray(fmt,
@@ -156,12 +162,14 @@ Status RunOnePass(SortContext* ctx) {
           std::min<uint64_t>(n, ((c + 1) * chunk) / fmt.record_size));
     }
     ctx->metrics->read_phase_s = phase.Lap();
+    phase_span.emplace("sort.last_run");
 
     // --- last run: the partial tail cannot overlap any input (§7's
     // "AlphaSort must then sort the last partition").
     if (next_run_start < n) {
       const uint64_t start = next_run_start;
       const uint64_t len = n - next_run_start;
+      obs::TraceSpan span("quicksort.run", "cpu");
       SortStats stats;
       BuildPrefixEntryArray(fmt, records.get() + start * fmt.record_size,
                             len, entries.get() + start);
@@ -174,6 +182,7 @@ Status RunOnePass(SortContext* ctx) {
 
   // --- merge + gather + write phase.
   {
+    obs::TraceSpan merge_phase_span("sort.merge_phase");
     std::vector<EntryRun> runs;
     for (uint64_t start = 0; start < n; start += opts.run_size_records) {
       const uint64_t len = std::min<uint64_t>(opts.run_size_records,
@@ -223,7 +232,11 @@ Status RunOnePass(SortContext* ctx) {
         Status write_status = ctx->aio->Wait(buf.pending);
         if (!write_status.ok()) return abandon(write_status);
       }
-      const size_t got = merger.NextBatch(ptrs.data(), batch_records);
+      size_t got;
+      {
+        obs::TraceSpan span("merge.batch", "cpu");
+        got = merger.NextBatch(ptrs.data(), batch_records);
+      }
       ParallelGather(ctx, ptrs.data(), got, buf.data.data());
       buf.pending = ctx->aio->SubmitWrite(ctx->output, out_offset,
                                           buf.data.data(),

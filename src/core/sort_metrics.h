@@ -9,6 +9,27 @@
 
 namespace alphasort {
 
+// Latency/volume summary of one direction of IO (reads or writes),
+// filled from the obs::MetricsEnv histograms when the pipeline runs with
+// SortOptions::collect_io_metrics. Percentiles are microseconds.
+struct IoLatencyStats {
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+
+  bool Valid() const { return ops > 0; }
+};
+
+// Sort throughput derived from a SortMetrics (see
+// SortMetrics::Throughput); zero when the sort recorded no time.
+struct SortThroughput {
+  double mb_per_s = 0;       // input megabytes (1e6 bytes) per second
+  double records_per_s = 0;
+};
+
 // Wall-clock phase breakdown of one sort, mirroring the paper's §7
 // walkthrough (open/read/QuickSort overlap, last run, merge+gather+write,
 // close) — the data behind Figure 7's "where the time goes".
@@ -29,6 +50,25 @@ struct SortMetrics {
 
   SortStats quicksort_stats;
   SortStats merge_stats;
+
+  // Per-direction IO latency percentiles: reads cover the read phase's
+  // striped input (plus scratch re-reads on two-pass sorts), writes cover
+  // the merge phase's output (plus scratch spills). Empty when IO metrics
+  // collection is disabled.
+  IoLatencyStats read_io;
+  IoLatencyStats write_io;
+
+  // Sum of the five phase laps. `total_s` is measured independently by
+  // the pipeline; the two agree within timer noise, and ToString() flags
+  // a total that drifts from its parts (a phase not being timed).
+  double PhaseSum() const {
+    return startup_s + read_phase_s + last_run_s + merge_phase_s + close_s;
+  }
+
+  // MB/s and records/s over the total wall clock (falling back to the
+  // phase sum when total_s was never set). The single definition used by
+  // ToString() and the benches.
+  SortThroughput Throughput() const;
 
   std::string ToString() const;
 };

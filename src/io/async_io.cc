@@ -2,7 +2,36 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace alphasort {
+
+namespace {
+
+// Scheduler metrics, registered once per process. aio.queue_wait_us is
+// the time a request sat queued before an IO thread picked it up — the
+// direct signal that io_threads or io_depth is the bottleneck, which the
+// per-device latency histograms (obs::MetricsEnv) cannot show.
+struct AioMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Histogram* queue_wait_us;
+
+  static AioMetrics* Get() {
+    static AioMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      auto* metrics = new AioMetrics();
+      metrics->submitted = registry->GetCounter("aio.submitted");
+      metrics->completed = registry->GetCounter("aio.completed");
+      metrics->queue_wait_us = registry->GetHistogram("aio.queue_wait_us");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 AsyncIO::AsyncIO(int num_threads) {
   assert(num_threads > 0);
@@ -23,12 +52,17 @@ AsyncIO::~AsyncIO() {
 
 AsyncIO::Handle AsyncIO::Enqueue(Request req) {
   Handle h;
+  size_t depth;
+  req.enqueued_at = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     h = next_handle_++;
     req.handle = h;
     queue_.push_back(std::move(req));
+    depth = queue_.size();
   }
+  AioMetrics::Get()->submitted->Add();
+  obs::TraceCounter("aio.queue_depth", static_cast<int64_t>(depth));
   work_cv_.notify_one();
   return h;
 }
@@ -82,6 +116,7 @@ Status AsyncIO::WaitAll(const std::vector<Handle>& handles) {
 void AsyncIO::WorkerLoop() {
   while (true) {
     Request req;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -89,21 +124,34 @@ void AsyncIO::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down and drained
       req = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    AioMetrics::Get()->queue_wait_us->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - req.enqueued_at)
+            .count()));
+    obs::TraceCounter("aio.queue_depth", static_cast<int64_t>(depth));
     Completion done;
     switch (req.op) {
-      case Op::kRead:
+      case Op::kRead: {
+        obs::TraceSpan span("aio.read", "io");
         done.status = req.file->Read(req.offset, req.n, req.read_buf,
                                      &done.bytes);
         break;
-      case Op::kWrite:
+      }
+      case Op::kWrite: {
+        obs::TraceSpan span("aio.write", "io");
         done.status = req.file->Write(req.offset, req.write_data, req.n);
         done.bytes = req.n;
         break;
-      case Op::kAction:
+      }
+      case Op::kAction: {
+        obs::TraceSpan span("aio.action", "io");
         done.status = req.action();
         break;
+      }
     }
+    AioMetrics::Get()->completed->Add();
     {
       std::lock_guard<std::mutex> lock(mu_);
       completions_.emplace(req.handle, std::move(done));

@@ -1,6 +1,7 @@
 #ifndef ALPHASORT_IO_ASYNC_IO_H_
 #define ALPHASORT_IO_ASYNC_IO_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -69,6 +70,9 @@ class AsyncIO {
     char* read_buf = nullptr;
     const char* write_data = nullptr;
     std::function<Status()> action;
+    // When the request entered the queue; queue wait = dequeue - enqueue
+    // feeds the aio.queue_wait_us histogram (obs::MetricsRegistry).
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   struct Completion {

@@ -66,6 +66,19 @@ Env* GetPosixEnv();
 
 // Heap-backed filesystem for tests and examples. Thread-safe. Each
 // instance is an isolated namespace.
+//
+// Semantics with concurrently open handles (relied upon by the metrics
+// and pipeline layers, POSIX-like, verified by env_test.cc):
+//   - All handles to one path share the same bytes: a Write through one
+//     handle is immediately visible to reads, Size(), and the env-level
+//     GetFileSize()/FileExists().
+//   - DeleteFile unlinks the name — FileExists()/GetFileSize() say gone —
+//     but handles already open keep reading and writing the (now
+//     anonymous) bytes, like an unlinked POSIX inode.
+//   - Re-opening a path with kCreateReadWrite truncates the shared
+//     bytes; existing handles observe the truncation.
+//   - After Close(), every operation on that handle fails with IOError;
+//     other handles to the same path are unaffected.
 std::unique_ptr<Env> NewMemEnv();
 
 }  // namespace alphasort

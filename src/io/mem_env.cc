@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -11,7 +12,10 @@ namespace {
 
 // Shared byte storage for one in-memory file. A mutex per file keeps
 // concurrent positional reads/writes (the async IO scheduler issues them
-// from several threads) well-defined.
+// from several threads) well-defined. Every handle opened on one path
+// shares this object (and DeleteFile only drops the env's reference), so
+// cross-handle visibility and unlinked-but-open behavior fall out of the
+// shared_ptr — see the NewMemEnv contract in io/env.h.
 struct MemFileData {
   std::mutex mu;
   std::vector<char> bytes;
@@ -52,17 +56,22 @@ class MemFile : public File {
   }
 
   Result<uint64_t> Size() override {
+    if (closed_) return Status::IOError("size on closed file");
     std::lock_guard<std::mutex> lock(data_->mu);
     return static_cast<uint64_t>(data_->bytes.size());
   }
 
   Status Truncate(uint64_t size) override {
+    if (closed_) return Status::IOError("truncate on closed file");
     std::lock_guard<std::mutex> lock(data_->mu);
     data_->bytes.resize(size);
     return Status::OK();
   }
 
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    if (closed_) return Status::IOError("sync on closed file");
+    return Status::OK();
+  }
 
   Status Close() override {
     closed_ = true;
@@ -71,7 +80,10 @@ class MemFile : public File {
 
  private:
   std::shared_ptr<MemFileData> data_;
-  bool closed_ = false;
+  // Close can race in-flight reads on other threads (the async scheduler
+  // drains before the root closes, but nothing in the File contract
+  // forces that); atomic keeps the check well-defined.
+  std::atomic<bool> closed_{false};
 };
 
 class MemEnv : public Env {

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace alphasort {
 
@@ -12,6 +14,16 @@ namespace {
 
 bool HasStrSuffix(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".str") == 0;
+}
+
+// Members a logical request touched. A healthy striped sort fans most
+// requests across every member (the paper's Figure 5 premise); a fanout
+// histogram stuck at 1 means chunks are smaller than one stride and the
+// stripe is running serially.
+obs::Histogram* FanoutHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("stripe.fanout");
+  return h;
 }
 
 }  // namespace
@@ -121,6 +133,7 @@ Result<std::unique_ptr<StripeFile>> StripeFile::Open(Env* env,
     handles.reserve(width);
     for (size_t i = 0; i < width; ++i) {
       handles.push_back(aio->SubmitAction([env, &def, &files, i, mode] {
+        obs::TraceSpan span("stripe.open_member", "io");
         Result<std::unique_ptr<File>> f = env->OpenFile(def.members[i].path,
                                                         mode);
         ALPHASORT_RETURN_IF_ERROR(f.status());
@@ -187,7 +200,9 @@ std::vector<StripeFile::Segment> StripeFile::MapRange(uint64_t offset,
 Status StripeFile::Read(uint64_t offset, size_t n, char* scratch,
                         size_t* bytes_read) {
   *bytes_read = 0;
-  for (const Segment& seg : MapRange(offset, n)) {
+  const std::vector<Segment> segments = MapRange(offset, n);
+  FanoutHistogram()->Record(segments.size());
+  for (const Segment& seg : segments) {
     size_t got = 0;
     ALPHASORT_RETURN_IF_ERROR(seg.file->Read(
         seg.member_offset, seg.length,
@@ -199,7 +214,9 @@ Status StripeFile::Read(uint64_t offset, size_t n, char* scratch,
 }
 
 Status StripeFile::Write(uint64_t offset, const char* data, size_t n) {
-  for (const Segment& seg : MapRange(offset, n)) {
+  const std::vector<Segment> segments = MapRange(offset, n);
+  FanoutHistogram()->Record(segments.size());
+  for (const Segment& seg : segments) {
     ALPHASORT_RETURN_IF_ERROR(seg.file->Write(
         seg.member_offset, data + (seg.logical_offset - offset),
         seg.length));

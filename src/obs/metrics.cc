@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/table.h"
+
+namespace alphasort {
+namespace obs {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample, 1-based; p=0 means the first sample.
+  const double rank = std::max(1.0, p / 100.0 * double(count));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cumulative + buckets[b];
+    if (double(next) >= rank) {
+      // Single-value buckets ({0} and {1}) need no interpolation.
+      if (Histogram::UpperBound(b) - Histogram::LowerBound(b) <= 1) {
+        return double(Histogram::LowerBound(b));
+      }
+      // Interpolate by the sample's position among this bucket's samples.
+      const double lo = double(Histogram::LowerBound(b));
+      const double hi =
+          b + 1 == kNumBuckets
+              ? double(max)
+              : std::min<double>(double(Histogram::UpperBound(b)),
+                                 double(max));
+      const double frac = (rank - double(cumulative)) / double(buckets[b]);
+      return std::min(lo + (hi - lo) * frac, double(max));
+    }
+    cumulative = next;
+  }
+  return double(max);
+}
+
+std::string HistogramSnapshot::Summary(const char* unit) const {
+  if (count == 0) return "n=0";
+  return StrFormat("n=%llu mean=%.1f%s p50=%.0f%s p95=%.0f%s p99=%.0f%s "
+                   "max=%llu%s",
+                   static_cast<unsigned long long>(count), Mean(), unit,
+                   Percentile(50), unit, Percentile(95), unit,
+                   Percentile(99), unit,
+                   static_cast<unsigned long long>(max), unit);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  // bit_width(1) == 1 -> bucket 1; bit_width(2..3) == 2 -> bucket 2; the
+  // top bucket absorbs values with bit_width > 63.
+  return std::min<size_t>(std::bit_width(value), kNumBuckets - 1);
+}
+
+uint64_t Histogram::LowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return uint64_t{1} << (bucket - 1);
+}
+
+uint64_t Histogram::UpperBound(size_t bucket) {
+  if (bucket == 0) return 1;
+  if (bucket >= kNumBuckets - 1) return UINT64_MAX;
+  return uint64_t{1} << bucket;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    if (counter->Value() == 0) continue;
+    out += StrFormat("%-32s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter->Value()));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    if (snap.count == 0) continue;
+    out += StrFormat("%-32s %s\n", name.c_str(),
+                     snap.Summary("").c_str());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace obs
+}  // namespace alphasort

@@ -1,0 +1,129 @@
+#ifndef ALPHASORT_OBS_METRICS_H_
+#define ALPHASORT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace alphasort {
+namespace obs {
+
+// Process-wide metrics primitives for the sort pipeline.
+//
+// The paper's evidence is observational — Figure 7's phase breakdown,
+// Table 6's per-disk bandwidth — and tuning an external sort needs the
+// same visibility at runtime: how many IOs, how large, how long each
+// took, and whether CPU and IO actually overlap. Counters and histograms
+// here are lock-free on the update path (one relaxed atomic RMW per
+// event) so instrumentation can stay enabled in production builds; the
+// hot compare path is never instrumented at all (same philosophy as the
+// NullTracer in src/common/tracer.h).
+
+// Monotonically increasing event count. Relaxed ordering: totals are
+// read at quiescent points (end of a sort), not used for synchronization.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time summary of a Histogram (see below). Plain data: safe to
+// copy, compare, and ship across threads.
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = 64;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / count; }
+
+  // Value at percentile `p` in [0, 100], linearly interpolated inside the
+  // containing bucket and clamped to the observed max. Returns 0 for an
+  // empty histogram.
+  double Percentile(double p) const;
+
+  // "n=12 mean=3.4us p50=2us p95=9us p99=15us max=18us" (unit is a
+  // caller-supplied suffix, purely cosmetic).
+  std::string Summary(const char* unit) const;
+
+  // Merges another snapshot into this one (bucket-wise sum).
+  void Merge(const HistogramSnapshot& other);
+};
+
+// Fixed-bucket power-of-two histogram for non-negative integer samples
+// (the pipeline records latencies in microseconds and sizes in bytes).
+//
+// Bucket b holds values in [LowerBound(b), UpperBound(b)):
+//   bucket 0 = {0}, bucket 1 = {1}, bucket b = [2^(b-1), 2^b) for b >= 2,
+// and the last bucket absorbs everything above 2^62. Recording is one
+// relaxed fetch_add per sample plus a bit-scan — no locks, no allocation.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  // Index of the bucket `value` falls into.
+  static size_t BucketFor(uint64_t value);
+
+  // Smallest value the bucket can hold (inclusive).
+  static uint64_t LowerBound(size_t bucket);
+
+  // One past the largest value the bucket can hold (exclusive); the last
+  // bucket reports UINT64_MAX.
+  static uint64_t UpperBound(size_t bucket);
+
+  void Record(uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Named registry of counters and histograms. Registration takes a lock;
+// the returned pointers are stable for the life of the registry, so call
+// sites look a metric up once (typically via a function-local static) and
+// update it lock-free afterwards.
+class MetricsRegistry {
+ public:
+  // Process-wide instance used by the library's instrumentation points
+  // (async IO scheduler, stripe layer, chore pool). Never destroyed.
+  static MetricsRegistry* Global();
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Multi-line dump, one metric per line, sorted by name. Metrics with no
+  // recorded events are omitted.
+  std::string ToString() const;
+
+  // Zeroes every metric (pointers stay valid). Benches call this between
+  // configurations.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace alphasort
+
+#endif  // ALPHASORT_OBS_METRICS_H_

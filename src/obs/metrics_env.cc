@@ -1,0 +1,169 @@
+#include "obs/metrics_env.h"
+
+#include <chrono>
+
+#include "common/table.h"
+#include "obs/trace.h"
+
+namespace alphasort {
+namespace obs {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+std::string ModeLine(const char* name, const IoModeSnapshot& m) {
+  std::string out;
+  if (m.reads > 0) {
+    out += StrFormat("io[%s] reads: %llu ops, %.1f MB, %s\n", name,
+                     static_cast<unsigned long long>(m.reads),
+                     m.read_bytes / 1e6,
+                     m.read_latency_us.Summary("us").c_str());
+  }
+  if (m.writes > 0) {
+    out += StrFormat("io[%s] writes: %llu ops, %.1f MB, %s\n", name,
+                     static_cast<unsigned long long>(m.writes),
+                     m.write_bytes / 1e6,
+                     m.write_latency_us.Summary("us").c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+IoModeSnapshot IoSnapshot::Total() const {
+  IoModeSnapshot total = read_only;
+  for (const IoModeSnapshot* m : {&read_write, &create_read_write}) {
+    total.opens += m->opens;
+    total.reads += m->reads;
+    total.writes += m->writes;
+    total.read_bytes += m->read_bytes;
+    total.write_bytes += m->write_bytes;
+    total.read_latency_us.Merge(m->read_latency_us);
+    total.write_latency_us.Merge(m->write_latency_us);
+  }
+  return total;
+}
+
+std::string IoSnapshot::ToString() const {
+  return ModeLine("read-only", read_only) +
+         ModeLine("read-write", read_write) +
+         ModeLine("create", create_read_write);
+}
+
+// Live counters behind one open mode. Updates are lock-free; files opened
+// in the same mode share one instance.
+struct MetricsEnv::ModeStats {
+  Counter opens;
+  Counter reads;
+  Counter writes;
+  Counter read_bytes;
+  Counter write_bytes;
+  Histogram read_latency_us;
+  Histogram write_latency_us;
+
+  IoModeSnapshot Snapshot() const {
+    IoModeSnapshot snap;
+    snap.opens = opens.Value();
+    snap.reads = reads.Value();
+    snap.writes = writes.Value();
+    snap.read_bytes = read_bytes.Value();
+    snap.write_bytes = write_bytes.Value();
+    snap.read_latency_us = read_latency_us.Snapshot();
+    snap.write_latency_us = write_latency_us.Snapshot();
+    return snap;
+  }
+};
+
+namespace {
+
+// Pass-through File that times reads and writes into the owning mode's
+// stats. The stats object is owned by the MetricsEnv, which must outlive
+// the file (same lifetime rule as the base Env itself).
+class MetricsFile : public File {
+ public:
+  MetricsFile(std::unique_ptr<File> base, MetricsEnv::ModeStats* stats)
+      : base_(std::move(base)), stats_(stats) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override;
+  Status Write(uint64_t offset, const char* data, size_t n) override;
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<File> base_;
+  MetricsEnv::ModeStats* const stats_;
+};
+
+Status MetricsFile::Read(uint64_t offset, size_t n, char* scratch,
+                         size_t* bytes_read) {
+  TraceSpan span("io.read", "io");
+  const auto start = std::chrono::steady_clock::now();
+  Status s = base_->Read(offset, n, scratch, bytes_read);
+  stats_->read_latency_us.Record(ElapsedUs(start));
+  stats_->reads.Add();
+  if (s.ok()) stats_->read_bytes.Add(*bytes_read);
+  return s;
+}
+
+Status MetricsFile::Write(uint64_t offset, const char* data, size_t n) {
+  TraceSpan span("io.write", "io");
+  const auto start = std::chrono::steady_clock::now();
+  Status s = base_->Write(offset, data, n);
+  stats_->write_latency_us.Record(ElapsedUs(start));
+  stats_->writes.Add();
+  if (s.ok()) stats_->write_bytes.Add(n);
+  return s;
+}
+
+}  // namespace
+
+MetricsEnv::MetricsEnv(Env* base)
+    : base_(base), stats_(new ModeStats[3]) {}
+
+MetricsEnv::~MetricsEnv() = default;
+
+Result<std::unique_ptr<File>> MetricsEnv::OpenFile(const std::string& path,
+                                                   OpenMode mode) {
+  TraceSpan span("io.open", "io");
+  Result<std::unique_ptr<File>> f = base_->OpenFile(path, mode);
+  ALPHASORT_RETURN_IF_ERROR(f.status());
+  ModeStats* stats = &stats_[static_cast<size_t>(mode)];
+  stats->opens.Add();
+  return {std::unique_ptr<File>(
+      new MetricsFile(std::move(f).value(), stats))};
+}
+
+Status MetricsEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+bool MetricsEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> MetricsEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+IoSnapshot MetricsEnv::Snapshot() const {
+  IoSnapshot snap;
+  snap.read_only = stats_[size_t{0}].Snapshot();
+  snap.read_write = stats_[size_t{1}].Snapshot();
+  snap.create_read_write = stats_[size_t{2}].Snapshot();
+  return snap;
+}
+
+std::string MetricsEnv::ToString() const { return Snapshot().ToString(); }
+
+}  // namespace obs
+}  // namespace alphasort

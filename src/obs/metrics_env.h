@@ -1,0 +1,81 @@
+#ifndef ALPHASORT_OBS_METRICS_ENV_H_
+#define ALPHASORT_OBS_METRICS_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "io/env.h"
+#include "obs/metrics.h"
+
+namespace alphasort {
+namespace obs {
+
+// Point-in-time IO statistics for one Env::OpenFile mode.
+struct IoModeSnapshot {
+  uint64_t opens = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  HistogramSnapshot read_latency_us;
+  HistogramSnapshot write_latency_us;
+};
+
+// Per-mode IO statistics plus cross-mode aggregates.
+struct IoSnapshot {
+  IoModeSnapshot read_only;         // OpenMode::kReadOnly
+  IoModeSnapshot read_write;        // OpenMode::kReadWrite
+  IoModeSnapshot create_read_write; // OpenMode::kCreateReadWrite
+
+  // Sum across all three modes.
+  IoModeSnapshot Total() const;
+
+  // One line per open mode with op counts, byte totals, and latency
+  // percentiles; empty modes are omitted.
+  std::string ToString() const;
+};
+
+// Wraps another Env and records per-open-mode IO counts, byte totals,
+// and latency histograms for every file opened through it. Composes with
+// the other Env wrappers (fault-injecting, throttled): MetricsEnv over a
+// ThrottledEnv measures the simulated 1993 disks, a ThrottledEnv over a
+// MetricsEnv would measure the raw store underneath.
+//
+// Thread-safe the same way the wrapped Env is: metric updates are
+// lock-free, and a MetricsFile adds no synchronization around the
+// underlying file's own. Latencies are measured around the base call, so
+// queueing in AsyncIO is excluded — this histogram is device time, the
+// aio.queue_wait_us histogram (MetricsRegistry) is scheduler time.
+//
+// Relies on the Env contract that FileExists/GetFileSize observe writes
+// made through concurrently open handles (see io/env.h).
+class MetricsEnv : public Env {
+ public:
+  // `base` must outlive this wrapper and the files opened through it.
+  explicit MetricsEnv(Env* base);
+  ~MetricsEnv() override;
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override;
+  Status DeleteFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+
+  IoSnapshot Snapshot() const;
+
+  // Shorthand for Snapshot().ToString().
+  std::string ToString() const;
+
+  // Live counters for one open mode; defined in metrics_env.cc and shared
+  // with the file wrappers there.
+  struct ModeStats;
+
+ private:
+  Env* const base_;
+  std::unique_ptr<ModeStats[]> stats_;  // one per OpenMode
+};
+
+}  // namespace obs
+}  // namespace alphasort
+
+#endif  // ALPHASORT_OBS_METRICS_ENV_H_

@@ -1,0 +1,367 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/table.h"
+
+namespace alphasort {
+namespace obs {
+
+int CurrentThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::atomic<TraceRecorder*> TraceRecorder::current_{nullptr};
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRecorder::Install() {
+  current_.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::Uninstall() {
+  current_.store(nullptr, std::memory_order_release);
+}
+
+uint64_t TraceRecorder::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Add(TraceEvent ev) {
+  // Claim a slot with one relaxed RMW; past capacity the ring wraps and
+  // the oldest events are overwritten. Two writers can only collide on a
+  // slot if one laps the other by a full ring, which would need more
+  // concurrent events than threads exist — torn events are acceptable in
+  // that pathological case, lost sorts are not.
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  ring_[seq % ring_.size()] = ev;
+}
+
+void TraceRecorder::AddComplete(const char* name, const char* category,
+                                int tid, uint64_t ts_us, uint64_t dur_us) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.type = TraceEvent::Type::kComplete;
+  ev.tid = tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  Add(ev);
+}
+
+void TraceRecorder::AddInstant(const char* name, const char* category) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.type = TraceEvent::Type::kInstant;
+  ev.tid = CurrentThreadId();
+  ev.ts_us = NowUs();
+  Add(ev);
+}
+
+void TraceRecorder::AddCounter(const char* name, int64_t value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = "counter";
+  ev.type = TraceEvent::Type::kCounter;
+  ev.tid = CurrentThreadId();
+  ev.ts_us = NowUs();
+  ev.value = value;
+  Add(ev);
+}
+
+size_t TraceRecorder::size() const {
+  return static_cast<size_t>(std::min<uint64_t>(
+      next_.load(std::memory_order_relaxed), ring_.size()));
+}
+
+uint64_t TraceRecorder::dropped() const {
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+namespace {
+
+void AppendEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      *out += StrFormat("\\u%04x", c);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::vector<TraceEvent> events;
+  const size_t n = size();
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (ring_[i].name != nullptr) events.push_back(ring_[i]);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(ev.name, &out);
+    out += "\",\"cat\":\"";
+    AppendEscaped(ev.category == nullptr ? "" : ev.category, &out);
+    out += "\",";
+    switch (ev.type) {
+      case TraceEvent::Type::kComplete:
+        out += StrFormat(
+            "\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,",
+            static_cast<unsigned long long>(ev.ts_us),
+            static_cast<unsigned long long>(ev.dur_us));
+        break;
+      case TraceEvent::Type::kInstant:
+        out += StrFormat("\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,",
+                         static_cast<unsigned long long>(ev.ts_us));
+        break;
+      case TraceEvent::Type::kCounter:
+        out += StrFormat(
+            "\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld},",
+            static_cast<unsigned long long>(ev.ts_us),
+            static_cast<long long>(ev.value));
+        break;
+    }
+    out += StrFormat("\"pid\":1,\"tid\":%d}", ev.tid);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON checker for trace files. Validates the
+// grammar and, for trace-event objects, the required fields. It never
+// builds a DOM: event objects are checked as their keys stream past.
+
+namespace {
+
+class TraceJsonChecker {
+ public:
+  explicit TraceJsonChecker(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  Status Check() {
+    SkipSpace();
+    if (p_ < end_ && *p_ == '[') {
+      // Bare event-array form.
+      ALPHASORT_RETURN_IF_ERROR(ParseEventArray());
+    } else {
+      ALPHASORT_RETURN_IF_ERROR(ParseTopObject());
+    }
+    SkipSpace();
+    if (p_ != end_) return Fail("trailing characters after JSON value");
+    if (!saw_events_) return Fail("no traceEvents array found");
+    return Status::OK();
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return Status::Corruption(StrFormat(
+        "trace JSON invalid at byte %zu: %s",
+        static_cast<size_t>(p_ - begin_), why.c_str()));
+  }
+
+  void SkipSpace() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Fail(StrFormat("expected '%c'", c));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    SkipSpace();
+    if (p_ >= end_ || *p_ != '"') return Fail("expected string");
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return Fail("unterminated escape");
+        const char esc = *p_;
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ >= end_ || !isxdigit(static_cast<unsigned char>(*p_))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return Fail("bad escape character");
+        }
+        ++p_;
+      } else {
+        if (out != nullptr) out->push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ >= end_) return Fail("unterminated string");
+    ++p_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseNumber() {
+    SkipSpace();
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    while (p_ < end_ && isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ < end_ && *p_ == '.') {
+      ++p_;
+      while (p_ < end_ && isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ < end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      while (p_ < end_ && isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ == start || (p_ == start + 1 && *start == '-')) {
+      return Fail("malformed number");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue() {
+    SkipSpace();
+    if (p_ >= end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject(nullptr);
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString(nullptr);
+      case 't':
+        return ConsumeWord("true");
+      case 'f':
+        return ConsumeWord("false");
+      case 'n':
+        return ConsumeWord("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Status ConsumeWord(const char* word) {
+    for (const char* w = word; *w != '\0'; ++w, ++p_) {
+      if (p_ >= end_ || *p_ != *w) return Fail("malformed literal");
+    }
+    return Status::OK();
+  }
+
+  // Parses an object; when `keys` is non-null, collects its top-level
+  // key names.
+  Status ParseObject(std::vector<std::string>* keys) {
+    ALPHASORT_RETURN_IF_ERROR(Expect('{'));
+    if (Consume('}')) return Status::OK();
+    do {
+      std::string key;
+      ALPHASORT_RETURN_IF_ERROR(ParseString(&key));
+      ALPHASORT_RETURN_IF_ERROR(Expect(':'));
+      ALPHASORT_RETURN_IF_ERROR(ParseValue());
+      if (keys != nullptr) keys->push_back(std::move(key));
+    } while (Consume(','));
+    return Expect('}');
+  }
+
+  Status ParseArray() {
+    ALPHASORT_RETURN_IF_ERROR(Expect('['));
+    if (Consume(']')) return Status::OK();
+    do {
+      ALPHASORT_RETURN_IF_ERROR(ParseValue());
+    } while (Consume(','));
+    return Expect(']');
+  }
+
+  // One element of the traceEvents array: an object with the fields the
+  // Chrome trace viewer requires.
+  Status ParseEvent() {
+    std::vector<std::string> keys;
+    ALPHASORT_RETURN_IF_ERROR(ParseObject(&keys));
+    auto has = [&keys](const char* k) {
+      return std::find(keys.begin(), keys.end(), k) != keys.end();
+    };
+    for (const char* required : {"name", "ph", "ts", "pid", "tid"}) {
+      if (!has(required)) {
+        return Fail(StrFormat("trace event missing \"%s\"", required));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseEventArray() {
+    saw_events_ = true;
+    ALPHASORT_RETURN_IF_ERROR(Expect('['));
+    if (Consume(']')) return Status::OK();
+    do {
+      ALPHASORT_RETURN_IF_ERROR(ParseEvent());
+    } while (Consume(','));
+    return Expect(']');
+  }
+
+  Status ParseTopObject() {
+    ALPHASORT_RETURN_IF_ERROR(Expect('{'));
+    if (Consume('}')) return Status::OK();
+    do {
+      std::string key;
+      ALPHASORT_RETURN_IF_ERROR(ParseString(&key));
+      ALPHASORT_RETURN_IF_ERROR(Expect(':'));
+      if (key == "traceEvents") {
+        ALPHASORT_RETURN_IF_ERROR(ParseEventArray());
+      } else {
+        ALPHASORT_RETURN_IF_ERROR(ParseValue());
+      }
+    } while (Consume(','));
+    return Expect('}');
+  }
+
+  const char* p_;
+  const char* const end_;
+  const char* const begin_ = p_;
+  bool saw_events_ = false;
+};
+
+}  // namespace
+
+Status ValidateChromeTraceJson(const std::string& json) {
+  return TraceJsonChecker(json).Check();
+}
+
+}  // namespace obs
+}  // namespace alphasort

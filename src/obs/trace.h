@@ -1,0 +1,150 @@
+#ifndef ALPHASORT_OBS_TRACE_H_
+#define ALPHASORT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace alphasort {
+namespace obs {
+
+// Span-based trace recorder exporting Chrome trace-event JSON.
+//
+// The pipeline's whole argument (paper §7) is overlap: striped reads
+// proceed while workers QuickSort runs, and the merge's gather proceeds
+// while earlier output buffers drain. A wall-clock phase breakdown cannot
+// show overlap; a per-thread span timeline can. The recorder collects
+// begin/end events into a bounded lock-free ring buffer and serializes
+// them in the Chrome trace-event format, so a sort's execution opens
+// directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracing is off by default and costs one relaxed atomic load per
+// instrumentation point when off. Enable it by installing a recorder:
+//
+//   obs::TraceRecorder recorder;
+//   recorder.Install();
+//   ... run the sort ...
+//   obs::TraceRecorder::Uninstall();
+//   std::string json = recorder.ToChromeJson();
+
+// Small dense id for the calling thread (0, 1, 2, ... in first-use
+// order), stable for the thread's lifetime. Used as the Chrome "tid".
+int CurrentThreadId();
+
+struct TraceEvent {
+  enum class Type : uint8_t {
+    kComplete,  // Chrome ph:"X" — a span with a duration
+    kInstant,   // Chrome ph:"i" — a point in time
+    kCounter,   // Chrome ph:"C" — a sampled value (queue depth)
+  };
+
+  // `name` and `category` must be string literals (or otherwise outlive
+  // the recorder): events store the pointer, not a copy, so recording
+  // never allocates.
+  const char* name = nullptr;
+  const char* category = nullptr;
+  Type type = Type::kComplete;
+  int tid = 0;
+  uint64_t ts_us = 0;   // microseconds since the recorder's epoch
+  uint64_t dur_us = 0;  // kComplete only
+  int64_t value = 0;    // kCounter only
+};
+
+class TraceRecorder {
+ public:
+  // `capacity` bounds memory: the ring keeps the most recent `capacity`
+  // events and counts the rest as dropped.
+  explicit TraceRecorder(size_t capacity = size_t{1} << 16);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Makes this recorder the process-global trace sink. At most one
+  // recorder is installed at a time; installing replaces the previous
+  // one. The recorder must outlive its installation.
+  void Install();
+  static void Uninstall();
+
+  // The installed recorder, or nullptr when tracing is off. Relaxed
+  // single atomic load: cheap enough for per-IO call sites.
+  static TraceRecorder* Current() {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  // Microseconds since this recorder was constructed.
+  uint64_t NowUs() const;
+
+  void AddComplete(const char* name, const char* category, int tid,
+                   uint64_t ts_us, uint64_t dur_us);
+  void AddInstant(const char* name, const char* category);
+  void AddCounter(const char* name, int64_t value);
+
+  // Events currently retained (<= capacity) and events overwritten after
+  // the ring filled.
+  size_t size() const;
+  uint64_t dropped() const;
+
+  // Serializes retained events, sorted by timestamp, as a Chrome
+  // trace-event JSON object: {"traceEvents":[...]}.
+  std::string ToChromeJson() const;
+
+ private:
+  void Add(TraceEvent ev);
+
+  static std::atomic<TraceRecorder*> current_;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> ring_;
+  std::atomic<uint64_t> next_{0};  // total events ever added
+};
+
+// RAII span: records a kComplete event covering its lifetime, attributed
+// to the constructing thread. Nesting works naturally (Chrome renders
+// enclosing spans as stacked slices). When no recorder is installed at
+// construction, both constructor and destructor are a few instructions.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "sort")
+      : recorder_(TraceRecorder::Current()),
+        name_(name),
+        category_(category),
+        start_us_(recorder_ != nullptr ? recorder_->NowUs() : 0) {}
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->AddComplete(name_, category_, CurrentThreadId(), start_us_,
+                             recorder_->NowUs() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* const recorder_;
+  const char* const name_;
+  const char* const category_;
+  const uint64_t start_us_;
+};
+
+// Emits a counter sample if tracing is on (e.g. IO queue depth).
+inline void TraceCounter(const char* name, int64_t value) {
+  if (TraceRecorder* rec = TraceRecorder::Current()) {
+    rec->AddCounter(name, value);
+  }
+}
+
+// Checks that `json` is syntactically valid JSON and structurally a
+// Chrome trace: a {"traceEvents": [...]} object (or a bare array) whose
+// elements carry the required "name"/"ph"/"ts"/"pid"/"tid" fields. Used
+// by the tests and the trace_lint tool; not a general-purpose parser.
+Status ValidateChromeTraceJson(const std::string& json);
+
+}  // namespace obs
+}  // namespace alphasort
+
+#endif  // ALPHASORT_OBS_TRACE_H_

@@ -242,6 +242,32 @@ TEST(AlphaSortTest, ReportsPhaseMetrics) {
   EXPECT_GT(m.quicksort_stats.compares, 0u);
   EXPECT_GT(m.merge_stats.compares, 0u);
   EXPECT_FALSE(m.ToString().empty());
+
+  // total_s must equal the sum of the phase laps (within timer noise).
+  EXPECT_GT(m.PhaseSum(), 0.0);
+  EXPECT_NEAR(m.total_s, m.PhaseSum(), 0.05 * m.total_s + 1e-4);
+
+  const SortThroughput t = m.Throughput();
+  EXPECT_GT(t.mb_per_s, 0.0);
+  EXPECT_GT(t.records_per_s, 0.0);
+  EXPECT_NEAR(t.records_per_s * 100, t.mb_per_s * 1e6, 1.0);
+
+  // IO latency stats come from the built-in MetricsEnv wrap.
+  ASSERT_TRUE(m.read_io.Valid());
+  ASSERT_TRUE(m.write_io.Valid());
+  EXPECT_GE(m.read_io.bytes, m.bytes_in);
+  EXPECT_GE(m.write_io.bytes, m.bytes_out);
+  EXPECT_LE(m.read_io.p50_us, m.read_io.p95_us);
+  EXPECT_LE(m.read_io.p95_us, m.read_io.p99_us);
+  EXPECT_LE(m.read_io.p99_us, m.read_io.max_us);
+  EXPECT_NE(m.ToString().find("throughput:"), std::string::npos);
+  EXPECT_NE(m.ToString().find("io reads:"), std::string::npos);
+
+  // Disabling collection leaves the IO stats empty.
+  e2e.opts.collect_io_metrics = false;
+  ASSERT_TRUE(e2e.Sort().ok());
+  EXPECT_FALSE(e2e.metrics.read_io.Valid());
+  EXPECT_FALSE(e2e.metrics.write_io.Valid());
 }
 
 TEST(AlphaSortTest, RejectsBadOptions) {

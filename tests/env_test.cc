@@ -121,6 +121,82 @@ INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvSuite,
                          ::testing::Values("mem", "posix"),
                          [](const auto& info) { return info.param; });
 
+// Pins the concurrent-handle contract documented in io/env.h for
+// NewMemEnv — the pipeline stats files through the env while writers
+// still hold them open, and obs::MetricsEnv relies on the same rules.
+
+TEST(MemEnvSemanticsTest, WritesThroughOpenHandleVisibleToMetadata) {
+  auto env = NewMemEnv();
+  auto f = env->OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Write(0, "0123456789", 10).ok());
+  // No Close/Sync needed: FileExists and GetFileSize see the bytes.
+  EXPECT_TRUE(env->FileExists("f"));
+  ASSERT_TRUE(env->GetFileSize("f").ok());
+  EXPECT_EQ(env->GetFileSize("f").value(), 10u);
+
+  // A second concurrently open handle shares the same bytes.
+  auto g = env->OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(f.value()->Write(10, "abc", 3).ok());
+  char buf[16];
+  size_t got = 0;
+  ASSERT_TRUE(g.value()->Read(0, 16, buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), "0123456789abc");
+}
+
+TEST(MemEnvSemanticsTest, DeleteUnlinksNameButOpenHandlesKeepWorking) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("f", "payload").ok());
+  auto f = env->OpenFile("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(env->DeleteFile("f").ok());
+  // The name is gone...
+  EXPECT_FALSE(env->FileExists("f"));
+  EXPECT_TRUE(env->GetFileSize("f").status().IsNotFound());
+  // ...but the open handle still reads and writes (POSIX unlinked-inode
+  // behaviour; the sort deletes scratch files it is still draining).
+  char buf[8];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 7, buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), "payload");
+  EXPECT_TRUE(f.value()->Write(7, "!", 1).ok());
+  EXPECT_EQ(f.value()->Size().value(), 8u);
+}
+
+TEST(MemEnvSemanticsTest, RecreateTruncatesSharedBytes) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("f", "old content").ok());
+  auto reader = env->OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(reader.ok());
+  // Re-opening with kCreateReadWrite truncates the shared data: the
+  // already open reader observes the truncation.
+  auto writer = env->OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(reader.value()->Size().value(), 0u);
+  char buf[16];
+  size_t got = 99;
+  ASSERT_TRUE(reader.value()->Read(0, 16, buf, &got).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(MemEnvSemanticsTest, ClosedHandleFailsEveryOperation) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->WriteStringToFile("f", "abc").ok());
+  auto f = env->OpenFile("f", OpenMode::kReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Close().ok());
+  char buf[4];
+  size_t got = 0;
+  EXPECT_TRUE(f.value()->Read(0, 3, buf, &got).IsIOError());
+  EXPECT_TRUE(f.value()->Write(0, "x", 1).IsIOError());
+  EXPECT_TRUE(f.value()->Size().status().IsIOError());
+  EXPECT_TRUE(f.value()->Truncate(1).IsIOError());
+  EXPECT_TRUE(f.value()->Sync().IsIOError());
+  // The file itself is unaffected.
+  EXPECT_EQ(env->ReadFileToString("f").value(), "abc");
+}
+
 TEST(FaultEnvTest, FailsExactlyAtCountdown) {
   auto mem = NewMemEnv();
   FaultInjectionEnv fenv(mem.get());

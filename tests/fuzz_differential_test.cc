@@ -17,6 +17,7 @@
 #include "core/alphasort.h"
 #include "core/hypercube_sort.h"
 #include "core/vms_sort.h"
+#include "obs/metrics_env.h"
 #include "tests/test_util.h"
 
 namespace alphasort {
@@ -106,21 +107,35 @@ TEST(FuzzDifferentialTest, RandomConfigurationsSortCorrectly) {
                       .ok());
     }
 
+    // Every sort runs through the metrics wrapper: this fuzzes
+    // obs::MetricsEnv's pass-through against the same correctness oracle
+    // as the sorters themselves.
+    obs::MetricsEnv menv(env.get());
     SortMetrics m;
     m.num_records = c.records;
     Status s;
     if (c.sorter == 1) {
-      s = VmsSort::Run(env.get(), c.opts, &m);
+      s = VmsSort::Run(&menv, c.opts, &m);
     } else if (c.sorter == 2) {
       HypercubeOptions hyper;
       hyper.nodes = 1 + static_cast<int>(c.opts.num_workers);
       HypercubeMetrics hm;
-      s = HypercubeSort::Run(env.get(), c.opts, hyper, &hm);
+      s = HypercubeSort::Run(&menv, c.opts, hyper, &hm);
     } else {
-      s = AlphaSort::Run(env.get(), c.opts, &m);
+      s = AlphaSort::Run(&menv, c.opts, &m);
     }
     ASSERT_TRUE(s.ok()) << s.ToString();
     ASSERT_EQ(m.num_records, c.records);
+
+    // The wrapper saw at least the input read and the output write.
+    if (c.records > 0) {
+      const obs::IoModeSnapshot io = menv.Snapshot().Total();
+      const uint64_t payload = c.records * c.format.record_size;
+      EXPECT_GE(io.read_bytes, payload);
+      EXPECT_GE(io.write_bytes, payload);
+      EXPECT_GT(io.reads, 0u);
+      EXPECT_GT(io.writes, 0u);
+    }
 
     // Reference: read input, stable-sort by key, compare keys positionally
     // against the produced output (payloads may legally differ only within

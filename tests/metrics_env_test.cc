@@ -1,0 +1,163 @@
+// Tests for obs::MetricsEnv — the measuring Env wrapper must be a
+// perfect pass-through (same bytes, same statuses, same metadata as the
+// wrapped Env) while recording per-open-mode op counts, byte totals, and
+// latency histograms.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "obs/metrics_env.h"
+
+namespace alphasort {
+namespace obs {
+namespace {
+
+class MetricsEnvTest : public ::testing::Test {
+ protected:
+  MetricsEnvTest() : base_(NewMemEnv()), env_(base_.get()) {}
+
+  std::unique_ptr<Env> base_;
+  MetricsEnv env_;
+};
+
+TEST_F(MetricsEnvTest, PassThroughRoundTrip) {
+  ASSERT_TRUE(env_.WriteStringToFile("f", "payload bytes").ok());
+  Result<std::string> back = env_.ReadFileToString("f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "payload bytes");
+
+  // The wrapper and the base agree on metadata.
+  EXPECT_TRUE(env_.FileExists("f"));
+  EXPECT_TRUE(base_->FileExists("f"));
+  ASSERT_TRUE(env_.GetFileSize("f").ok());
+  EXPECT_EQ(env_.GetFileSize("f").value(), 13u);
+  EXPECT_EQ(base_->GetFileSize("f").value(), 13u);
+
+  ASSERT_TRUE(env_.DeleteFile("f").ok());
+  EXPECT_FALSE(base_->FileExists("f"));
+}
+
+TEST_F(MetricsEnvTest, ErrorsPassThroughUnchanged) {
+  Result<std::unique_ptr<File>> missing =
+      env_.OpenFile("missing", OpenMode::kReadOnly);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_FALSE(env_.GetFileSize("missing").ok());
+  EXPECT_FALSE(env_.DeleteFile("missing").ok());
+  // Failed opens record nothing.
+  EXPECT_EQ(env_.Snapshot().Total().opens, 0u);
+}
+
+TEST_F(MetricsEnvTest, CountsOpsAndBytesPerMode) {
+  ASSERT_TRUE(base_->WriteStringToFile("f", std::string(1000, 'x')).ok());
+
+  auto r = env_.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(r.ok());
+  char buf[256];
+  size_t got = 0;
+  ASSERT_TRUE(r.value()->Read(0, 256, buf, &got).ok());
+  ASSERT_EQ(got, 256u);
+  ASSERT_TRUE(r.value()->Read(900, 256, buf, &got).ok());
+  ASSERT_EQ(got, 100u);  // short read at EOF still counted exactly
+
+  auto w = env_.OpenFile("g", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w.value()->Write(0, buf, 64).ok());
+
+  const IoSnapshot snap = env_.Snapshot();
+  EXPECT_EQ(snap.read_only.opens, 1u);
+  EXPECT_EQ(snap.read_only.reads, 2u);
+  EXPECT_EQ(snap.read_only.read_bytes, 356u);
+  EXPECT_EQ(snap.read_only.writes, 0u);
+  EXPECT_EQ(snap.read_only.read_latency_us.count, 2u);
+
+  EXPECT_EQ(snap.create_read_write.opens, 1u);
+  EXPECT_EQ(snap.create_read_write.writes, 1u);
+  EXPECT_EQ(snap.create_read_write.write_bytes, 64u);
+  EXPECT_EQ(snap.create_read_write.write_latency_us.count, 1u);
+
+  EXPECT_EQ(snap.read_write.opens, 0u);
+
+  const IoModeSnapshot total = snap.Total();
+  EXPECT_EQ(total.opens, 2u);
+  EXPECT_EQ(total.reads, 2u);
+  EXPECT_EQ(total.writes, 1u);
+  EXPECT_EQ(total.read_bytes, 356u);
+  EXPECT_EQ(total.write_bytes, 64u);
+
+  const std::string text = snap.ToString();
+  EXPECT_NE(text.find("read-only"), std::string::npos) << text;
+  EXPECT_NE(text.find("create"), std::string::npos) << text;
+  EXPECT_EQ(text.find("read-write"), std::string::npos) << text;
+}
+
+TEST_F(MetricsEnvTest, FileMetadataOpsPassThrough) {
+  auto f = env_.OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Write(0, "0123456789", 10).ok());
+  ASSERT_TRUE(f.value()->Size().ok());
+  EXPECT_EQ(f.value()->Size().value(), 10u);
+  ASSERT_TRUE(f.value()->Truncate(4).ok());
+  EXPECT_EQ(f.value()->Size().value(), 4u);
+  EXPECT_TRUE(f.value()->Sync().ok());
+  EXPECT_TRUE(f.value()->Close().ok());
+  // Size/Truncate/Sync/Close are not IO ops; only the write counted.
+  const IoModeSnapshot total = env_.Snapshot().Total();
+  EXPECT_EQ(total.reads, 0u);
+  EXPECT_EQ(total.writes, 1u);
+}
+
+TEST_F(MetricsEnvTest, FailedIoCountsOpButNotBytes) {
+  // Compose with the fault injector: MetricsEnv over FaultInjectionEnv
+  // over MemEnv. A failing read is still an op (its latency was real)
+  // but adds no bytes.
+  FaultInjectionEnv faulty(base_.get());
+  MetricsEnv env(&faulty);
+  ASSERT_TRUE(base_->WriteStringToFile("f", "abcdef").ok());
+  auto f = env.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  char buf[8];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 4, buf, &got).ok());
+  faulty.FailAfter(1);
+  EXPECT_FALSE(f.value()->Read(0, 4, buf, &got).ok());
+
+  const IoModeSnapshot total = env.Snapshot().Total();
+  EXPECT_EQ(total.reads, 2u);
+  EXPECT_EQ(total.read_bytes, 4u);
+  EXPECT_EQ(total.read_latency_us.count, 2u);
+}
+
+TEST_F(MetricsEnvTest, ModesAccumulateAcrossFiles) {
+  for (int i = 0; i < 3; ++i) {
+    auto f = env_.OpenFile("f" + std::to_string(i),
+                           OpenMode::kCreateReadWrite);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f.value()->Write(0, "x", 1).ok());
+  }
+  const IoModeSnapshot m = env_.Snapshot().create_read_write;
+  EXPECT_EQ(m.opens, 3u);
+  EXPECT_EQ(m.writes, 3u);
+  EXPECT_EQ(m.write_bytes, 3u);
+}
+
+TEST_F(MetricsEnvTest, WritesThroughWrapperVisibleToBaseHandles) {
+  // The pipeline opens some files through the metrics wrapper and stats
+  // them through the base env; both views must agree (the MemEnv
+  // shared-data contract documented in io/env.h).
+  auto f = env_.OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Write(0, "hello", 5).ok());
+  ASSERT_TRUE(base_->GetFileSize("f").ok());
+  EXPECT_EQ(base_->GetFileSize("f").value(), 5u);
+  EXPECT_EQ(env_.GetFileSize("f").value(), 5u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace alphasort
