@@ -1,0 +1,66 @@
+// fault_campaign: the fault-tolerance smoke gate scripts/ci.sh runs.
+//
+//   ./fault_campaign --mem [--seeds N] [--seed BASE] [--records N]
+//                    [--verbose]
+//
+// Runs N seeded sorts, each against a fresh in-memory filesystem with a
+// randomized fault plan (transient/permanent failures, short reads,
+// partial writes, silent scratch corruption — see
+// docs/fault_tolerance.md), and classifies every trial. Exits non-zero
+// if any trial is incorrect: wrong output under an OK status, or leaked
+// scratch files. Clean errors are expected and fine — that is what
+// "fail, don't lie" means.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "benchlib/fault_campaign.h"
+
+using namespace alphasort;
+
+int main(int argc, char** argv) {
+  CampaignConfig config;
+  config.trials = 64;
+  bool mem = false;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--mem") == 0) {
+      mem = true;
+    } else if (strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      config.trials = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      config.base_seed = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      config.max_records = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--verbose") == 0) {
+      config.verbose = true;
+    } else {
+      fprintf(stderr,
+              "usage: %s --mem [--seeds N] [--seed BASE] [--records N] "
+              "[--verbose]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (!mem) {
+    fprintf(stderr,
+            "fault_campaign: only --mem is supported (each trial runs "
+            "against a fresh in-memory filesystem)\n");
+    return 2;
+  }
+  if (config.trials <= 0 || config.max_records < 300) {
+    fprintf(stderr,
+            "fault_campaign: --seeds must be positive and --records at "
+            "least 300\n");
+    return 2;
+  }
+
+  const CampaignReport report = RunFaultCampaign(config);
+  printf("%s", report.ToString().c_str());
+  if (report.incorrect > 0) {
+    fprintf(stderr, "fault_campaign: %d INCORRECT trial(s)\n",
+            report.incorrect);
+    return 1;
+  }
+  return 0;
+}

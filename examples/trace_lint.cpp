@@ -89,8 +89,26 @@ int main(int argc, char** argv) {
   while ((got = fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, got);
   fclose(f);
 
+  // Name the two most common breakages outright — an empty file (the
+  // recorder never flushed) and a truncated one (the process died
+  // mid-export) — instead of leaving them to a parse error at some byte.
+  if (json.empty()) {
+    fprintf(stderr,
+            "trace_lint: %s is empty (0 bytes) — trace was never written "
+            "or never flushed\n",
+            path.c_str());
+    return 1;
+  }
   if (Status s = obs::ValidateChromeTraceJson(json); !s.ok()) {
-    fprintf(stderr, "trace_lint: %s\n", s.ToString().c_str());
+    const size_t last = json.find_last_not_of(" \t\r\n");
+    if (last == std::string::npos || json[last] != '}') {
+      fprintf(stderr,
+              "trace_lint: %s looks truncated (%zu bytes, no closing "
+              "'}') — writer likely died mid-export; %s\n",
+              path.c_str(), json.size(), s.ToString().c_str());
+    } else {
+      fprintf(stderr, "trace_lint: %s\n", s.ToString().c_str());
+    }
     return 1;
   }
 

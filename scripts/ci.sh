@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build + tests, a sanitizer pass over the test suite,
-# and an observability smoke that sorts 100k records under --trace and
-# validates the emitted Chrome trace JSON (docs/observability.md).
+# CI gate: tier-1 build + tests, sanitizer passes (ASan+UBSan suite, TSan
+# over the concurrency-heavy suites), a fault-campaign smoke gate
+# (docs/fault_tolerance.md), and an observability smoke that sorts 100k
+# records under --trace and validates the emitted Chrome trace JSON
+# (docs/observability.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,28 @@ cmake -B build-asan -S . \
   >/dev/null
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== sanitizers: TSan over the concurrency-heavy suites ==="
+# The suites where threads actually share state: the async IO scheduler,
+# the chore pool + full pipeline, retries racing IO threads, and the
+# fault campaign's storm of concurrent sorts.
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target \
+  async_io_test chores_test alphasort_test retry_env_test \
+  fault_campaign_test obs_test throttled_env_test
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" -R \
+  '^(async_io_test|chores_test|alphasort_test|retry_env_test|fault_campaign_test|obs_test|throttled_env_test)$'
+
+echo
+echo "=== fault-campaign smoke: 32 seeded storms must never lie ==="
+# Each seed sorts through a randomized fault plan (transient faults,
+# short reads, partial writes, silent scratch corruption, dead stripe
+# members). Exit is non-zero on any wrong-output or leaked scratch file.
+./build/examples/fault_campaign --mem --seeds 32
 
 echo
 echo "=== observability smoke: asort --trace on an in-memory input ==="

@@ -4,6 +4,7 @@
 
 #include "common/table.h"
 #include "core/pipeline_internal.h"
+#include "io/retry_env.h"
 #include "obs/metrics_env.h"
 #include "obs/trace.h"
 
@@ -79,6 +80,22 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   obs::MetricsEnv metrics_env(env);
   if (options.collect_io_metrics) env = &metrics_env;
 
+  // The retry wrapper sits above the metrics wrapper so each physical
+  // attempt is timed individually; transient IOErrors on any file the
+  // sort opens are retried per options.retry_policy.
+  std::optional<RetryEnv> retry_env;
+  if (options.retry_policy.enabled()) {
+    retry_env.emplace(env, options.retry_policy);
+    env = &*retry_env;
+  }
+  auto fill_retry_metrics = [&retry_env, metrics] {
+    if (!retry_env) return;
+    const RetryStats rs = retry_env->stats();
+    metrics->io_retries = rs.retries;
+    metrics->io_retries_recovered = rs.ops_recovered;
+    metrics->io_retries_exhausted = rs.ops_exhausted;
+  };
+
   AsyncIO aio(options.io_threads);
   ChorePool pool(options.num_workers, options.use_affinity);
 
@@ -132,6 +149,7 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   if (!sort_status.ok()) {
     input.value()->Close();
     output.value()->Close();
+    fill_retry_metrics();
     return sort_status;
   }
 
@@ -144,6 +162,7 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   metrics->close_s = phase.Lap();
   metrics->bytes_out = ctx.input_bytes;
   metrics->total_s = total_timer.Lap();
+  fill_retry_metrics();
   if (options.collect_io_metrics) {
     const obs::IoModeSnapshot io = metrics_env.Snapshot().Total();
     metrics->read_io = SummarizeReads(io);

@@ -2,6 +2,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/table.h"
 #include "core/pipeline_internal.h"
 #include "core/run_reader.h"
@@ -23,6 +24,11 @@ Result<std::unique_ptr<File>> OpenScratchRun(SortContext* ctx,
                                              const std::string& path,
                                              OpenMode mode) {
   const SortOptions& opts = *ctx->options;
+  if (mode == OpenMode::kCreateReadWrite) {
+    // Track before creating anything: even a half-created stripe (the
+    // definition landed, a member open failed) must be swept on exit.
+    ctx->scratch_created.push_back(path);
+  }
   if (opts.scratch_stripe_width > 0 &&
       mode == OpenMode::kCreateReadWrite) {
     // Lay the run across dedicated scratch members (§6's scratch disks).
@@ -42,12 +48,29 @@ void RemoveScratchRun(SortContext* ctx, const std::string& path) {
   StripeFile::Remove(ctx->env, path);
 }
 
+void ScratchSweeper::Sweep() {
+  for (const auto& path : ctx_->scratch_created) {
+    if (ctx_->env->FileExists(path)) RemoveScratchRun(ctx_, path);
+  }
+  // Backstop for fragments the per-run removal cannot reach — e.g. stripe
+  // members whose definition file was already deleted, or writes that
+  // landed after a failed removal. The ".l" suffix keeps the sweep inside
+  // the "<scratch>.l<level>_run<NNNN>" namespace this sort owns.
+  std::vector<std::string> stray;
+  if (ctx_->env->ListFiles(ctx_->options->scratch_path + ".l", &stray)
+          .ok()) {
+    for (const auto& path : stray) ctx_->env->DeleteFile(path);
+  }
+}
+
 namespace {
 
 // Writes one QuickSorted chunk as a run file: merge the chunk's sub-runs,
-// gather into double-buffered output blocks, stream them out.
+// gather into double-buffered output blocks, stream them out. `*crc_out`
+// receives the CRC-32C of the written byte stream (accumulated in submit
+// order, which is file order).
 Status WriteRunFile(SortContext* ctx, RunMerger<>& merger, File* out,
-                    uint64_t* bytes_written) {
+                    uint64_t* bytes_written, uint32_t* crc_out) {
   const RecordFormat& fmt = ctx->options->format;
   const size_t batch_records =
       std::max<size_t>(1, ctx->options->io_chunk_bytes / fmt.record_size);
@@ -72,6 +95,7 @@ Status WriteRunFile(SortContext* ctx, RunMerger<>& merger, File* out,
   };
 
   uint64_t offset = 0;
+  uint32_t crc = 0;
   size_t which = 0;
   while (!merger.Done()) {
     OutBuffer& buf = bufs[which];
@@ -82,6 +106,7 @@ Status WriteRunFile(SortContext* ctx, RunMerger<>& merger, File* out,
     }
     const size_t got = merger.NextBatch(ptrs.data(), batch_records);
     ParallelGather(ctx, ptrs.data(), got, buf.data.data());
+    crc = Crc32c(buf.data.data(), got * fmt.record_size, crc);
     buf.pending = ctx->aio->SubmitWrite(out, offset, buf.data.data(),
                                         got * fmt.record_size);
     buf.in_flight = true;
@@ -96,6 +121,7 @@ Status WriteRunFile(SortContext* ctx, RunMerger<>& merger, File* out,
     }
   }
   *bytes_written = offset;
+  *crc_out = crc;
   return Status::OK();
 }
 
@@ -154,12 +180,14 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
         OpenScratchRun(ctx, path, OpenMode::kCreateReadWrite);
     ALPHASORT_RETURN_IF_ERROR(run_file.status());
     uint64_t written = 0;
-    Status s = WriteRunFile(ctx, merger, run_file.value().get(), &written);
+    uint32_t crc = 0;
+    Status s = WriteRunFile(ctx, merger, run_file.value().get(), &written,
+                            &crc);
     Status close_status = run_file.value()->Close();
     ALPHASORT_RETURN_IF_ERROR(s);
     ALPHASORT_RETURN_IF_ERROR(close_status);
 
-    runs->push_back(ScratchRun{path, written});
+    runs->push_back(ScratchRun{path, written, crc, /*has_crc=*/true});
     ctx->metrics->scratch_bytes_written += written;
     record_pos += n;
     ++run_index;
@@ -171,7 +199,8 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
 
 Status MergeScratchRunsToFile(SortContext* ctx,
                               const std::vector<ScratchRun>& runs,
-                              File* out, uint64_t* bytes_out) {
+                              File* out, uint64_t* bytes_out,
+                              uint32_t* crc_out) {
   const SortOptions& opts = *ctx->options;
   const RecordFormat& fmt = opts.format;
   const size_t k = runs.size();
@@ -250,6 +279,7 @@ Status MergeScratchRunsToFile(SortContext* ctx,
   };
 
   uint64_t out_offset = 0;
+  uint32_t out_crc = 0;
   size_t which = 0;
   while (!tree.Empty()) {
     OutBuffer& buf = bufs[which];
@@ -275,6 +305,7 @@ Status MergeScratchRunsToFile(SortContext* ctx,
         }
       }
     }
+    out_crc = Crc32c(buf.data.data(), buf.fill, out_crc);
     buf.pending = ctx->aio->SubmitWrite(out, out_offset, buf.data.data(),
                                         buf.fill);
     buf.in_flight = true;
@@ -288,7 +319,23 @@ Status MergeScratchRunsToFile(SortContext* ctx,
       if (!s.ok()) return abandon(s);
     }
   }
+  // Every reader has drained its whole file; compare the CRC of what the
+  // merge actually consumed against what the spill pass wrote. A mismatch
+  // means the scratch bytes changed between write and read — surface it
+  // as corruption, never as silently wrong output.
+  if (opts.verify_run_checksums) {
+    for (size_t r = 0; r < k; ++r) {
+      if (!runs[r].has_crc) continue;
+      if (readers[r]->crc32c() != runs[r].crc32c) {
+        return Status::Corruption(StrFormat(
+            "scratch run %s corrupted: crc32c %08x on read, %08x on write",
+            runs[r].path.c_str(), readers[r]->crc32c(), runs[r].crc32c));
+      }
+      ++ctx->metrics->runs_checksum_verified;
+    }
+  }
   *bytes_out = out_offset;
+  if (crc_out != nullptr) *crc_out = out_crc;
   return Status::OK();
 }
 
@@ -317,8 +364,9 @@ Status MergeScratchRuns(SortContext* ctx, std::vector<ScratchRun> runs) {
         return out.status();
       }
       uint64_t bytes = 0;
+      uint32_t crc = 0;
       Status s = MergeScratchRunsToFile(ctx, group, out.value().get(),
-                                        &bytes);
+                                        &bytes, &crc);
       Status close_status = out.value()->Close();
       if (!s.ok() || !close_status.ok()) {
         cleanup(runs);
@@ -328,21 +376,24 @@ Status MergeScratchRuns(SortContext* ctx, std::vector<ScratchRun> runs) {
       }
       ctx->metrics->scratch_bytes_written += bytes;
       cleanup(group);
-      next.push_back(ScratchRun{path, bytes});
+      next.push_back(ScratchRun{path, bytes, crc, /*has_crc=*/true});
     }
     runs = std::move(next);
     ++level;
   }
 
   uint64_t bytes = 0;
-  Status s = MergeScratchRunsToFile(ctx, runs, ctx->output, &bytes);
+  uint32_t crc = 0;
+  Status s = MergeScratchRunsToFile(ctx, runs, ctx->output, &bytes, &crc);
   cleanup(runs);
   ALPHASORT_RETURN_IF_ERROR(s);
+  ctx->metrics->output_crc32c = crc;
   return ctx->output->Truncate(ctx->input_bytes);
 }
 
 Status RunTwoPass(SortContext* ctx) {
   PhaseTimer phase;
+  ScratchSweeper sweeper(ctx);
   std::vector<ScratchRun> runs;
   Status s;
   {

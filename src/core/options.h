@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/retry_env.h"
 #include "record/record.h"
 
 namespace alphasort {
@@ -74,6 +75,18 @@ struct SortOptions {
   // invalidations that occur when a single process migrates among
   // multiple processors", §5). Best-effort; ignored where unsupported.
   bool use_affinity = false;
+
+  // Transient-fault retry for every file the sort touches (input, output,
+  // scratch): IOError results are re-attempted max_attempts times with
+  // capped exponential backoff, so a flaky stripe member degrades
+  // throughput instead of killing the sort (docs/fault_tolerance.md).
+  // Set max_attempts = 1 to fail fast on the first IOError.
+  RetryPolicy retry_policy;
+
+  // Verify the CRC-32C of every spilled run as the merge pass streams it
+  // back; a mismatch surfaces as Status::Corruption instead of silently
+  // wrong output. Checksums are computed on write either way.
+  bool verify_run_checksums = true;
 
   // Wrap the Env in an obs::MetricsEnv for the duration of the sort and
   // fill SortMetrics::read_io / write_io with per-direction IO latency

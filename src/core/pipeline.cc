@@ -2,6 +2,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/checksum.h"
 #include "common/table.h"
 #include "core/pipeline_internal.h"
 #include "obs/trace.h"
@@ -224,6 +225,7 @@ Status RunOnePass(SortContext* ctx) {
     };
 
     uint64_t out_offset = 0;
+    uint32_t out_crc = 0;
     size_t which = 0;
     while (!merger.Done()) {
       OutBuffer& buf = bufs[which];
@@ -238,6 +240,7 @@ Status RunOnePass(SortContext* ctx) {
         got = merger.NextBatch(ptrs.data(), batch_records);
       }
       ParallelGather(ctx, ptrs.data(), got, buf.data.data());
+      out_crc = Crc32c(buf.data.data(), got * fmt.record_size, out_crc);
       buf.pending = ctx->aio->SubmitWrite(ctx->output, out_offset,
                                           buf.data.data(),
                                           got * fmt.record_size);
@@ -253,6 +256,7 @@ Status RunOnePass(SortContext* ctx) {
       }
     }
     ALPHASORT_RETURN_IF_ERROR(ctx->output->Truncate(bytes));
+    ctx->metrics->output_crc32c = out_crc;
     ctx->metrics->merge_phase_s = phase.Lap();
   }
   return Status::OK();

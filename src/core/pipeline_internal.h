@@ -24,6 +24,12 @@ struct SortContext {
   StripeFile* output = nullptr;
   uint64_t input_bytes = 0;
   uint64_t num_records = 0;
+
+  // Every scratch-run path this sort has created, whether or not it was
+  // later cleaned up in-line. Only the root thread creates scratch runs,
+  // so plain vector access is safe. The ScratchSweeper uses it (plus an
+  // Env::ListFiles backstop) to guarantee a failed sort leaks nothing.
+  std::vector<std::string> scratch_created;
 };
 
 // One-pass pipeline: the whole input is held in memory (paper §7).
@@ -37,10 +43,37 @@ Status RunTwoPass(SortContext* ctx);
 void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
                     char* out);
 
-// A sorted run spilled to a scratch file.
+// A sorted run spilled to a scratch file. The CRC-32C of the run's byte
+// stream is computed as it is written and verified as the merge pass
+// streams it back (SortOptions::verify_run_checksums), so an undetected
+// scratch-disk corruption surfaces as Status::Corruption instead of
+// silently wrong output. Runs merged from pre-existing files (no known
+// checksum) leave has_crc false.
 struct ScratchRun {
   std::string path;
   uint64_t bytes = 0;
+  uint32_t crc32c = 0;
+  bool has_crc = false;
+};
+
+// Scope guard for the scratch namespace: on destruction deletes every
+// scratch run recorded in ctx->scratch_created that still exists, then
+// sweeps Env::ListFiles for stray stripe fragments under the scratch
+// prefix. The success path has already deleted everything, so this is a
+// no-op there; on any error or early return it guarantees a failed sort
+// never leaks scratch files.
+class ScratchSweeper {
+ public:
+  explicit ScratchSweeper(SortContext* ctx) : ctx_(ctx) {}
+  ~ScratchSweeper() { Sweep(); }
+
+  ScratchSweeper(const ScratchSweeper&) = delete;
+  ScratchSweeper& operator=(const ScratchSweeper&) = delete;
+
+ private:
+  void Sweep();
+
+  SortContext* ctx_;
 };
 
 // Scratch file name for run `index` of cascade level `level`; carries a
@@ -57,10 +90,13 @@ Result<std::unique_ptr<File>> OpenScratchRun(SortContext* ctx,
 // Removes a scratch run (definition + members for striped runs).
 void RemoveScratchRun(SortContext* ctx, const std::string& path);
 
-// Streams `runs` through a tournament of RunReaders into `out`.
+// Streams `runs` through a tournament of RunReaders into `out`,
+// verifying each run's CRC-32C as it drains and accumulating the CRC of
+// the merged output into `*crc_out` (optional).
 Status MergeScratchRunsToFile(SortContext* ctx,
                               const std::vector<ScratchRun>& runs,
-                              File* out, uint64_t* bytes_out);
+                              File* out, uint64_t* bytes_out,
+                              uint32_t* crc_out = nullptr);
 
 // Merges `runs` into ctx->output, cascading through intermediate levels
 // while more than options->max_merge_fanin runs remain. Consumed scratch

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
+
 namespace alphasort {
 
 RunReader::RunReader(File* file, uint64_t file_bytes, const RecordFormat& fmt,
@@ -69,6 +71,9 @@ Status RunReader::WaitPendingInto(size_t buf) {
     return Status::Corruption("short read from scratch run");
   }
   valid_[buf] = got;
+  // Buffers are filled strictly in file order (one read in flight at a
+  // time), so this accumulates the CRC of the whole byte stream.
+  crc_ = Crc32c(buffers_[buf].data(), got, crc_);
   return Status::OK();
 }
 

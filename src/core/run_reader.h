@@ -27,6 +27,11 @@ class RunReader {
   // Issues the first reads; call once before Current()/Advance().
   Status Init();
 
+  // CRC-32C of every byte delivered so far, accumulated in file order.
+  // After the run is exhausted this covers the whole file, so the merge
+  // pass can compare it against the checksum recorded at spill time.
+  uint32_t crc32c() const { return crc_; }
+
   // Current record, or nullptr when the run is exhausted. The pointer is
   // valid until the second-next Advance() that crosses a buffer boundary.
   const char* Current() const {
@@ -53,6 +58,7 @@ class RunReader {
   AsyncIO::Handle pending_ = 0;
   size_t pending_len_ = 0;
   bool pending_in_flight_ = false;
+  uint32_t crc_ = 0;
 };
 
 }  // namespace alphasort

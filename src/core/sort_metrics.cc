@@ -61,8 +61,20 @@ std::string SortMetrics::ToString() const {
                    static_cast<unsigned long long>(merge_stats.compares),
                    static_cast<unsigned long long>(merge_stats.tie_breaks));
   if (passes == 2) {
-    out += StrFormat("scratch: %.1f MB written\n",
-                     scratch_bytes_written / 1e6);
+    out += StrFormat("scratch: %.1f MB written, %llu run checksum(s) "
+                     "verified\n",
+                     scratch_bytes_written / 1e6,
+                     static_cast<unsigned long long>(runs_checksum_verified));
+  }
+  if (io_retries > 0) {
+    out += StrFormat(
+        "retries: %llu re-attempts, %llu op(s) recovered, %llu exhausted\n",
+        static_cast<unsigned long long>(io_retries),
+        static_cast<unsigned long long>(io_retries_recovered),
+        static_cast<unsigned long long>(io_retries_exhausted));
+  }
+  if (output_crc32c != 0) {
+    out += StrFormat("output crc32c: %08x\n", output_crc32c);
   }
   return out;
 }

@@ -51,6 +51,20 @@ struct SortMetrics {
   SortStats quicksort_stats;
   SortStats merge_stats;
 
+  // Fault-tolerance telemetry (docs/fault_tolerance.md). Retry counts
+  // come from the RetryEnv the pipeline wraps around the caller's Env:
+  // io_retries counts re-attempts after transient IOErrors, io_retries
+  // recovered counts operations that then succeeded, and a non-zero
+  // io_retries_exhausted means some operation failed every attempt (the
+  // sort reported that error). runs_checksum_verified counts spilled runs
+  // whose CRC-32C matched on merge-read; output_crc32c is the CRC-32C of
+  // the sorted output byte stream (both passes compute it).
+  uint64_t io_retries = 0;
+  uint64_t io_retries_recovered = 0;
+  uint64_t io_retries_exhausted = 0;
+  uint64_t runs_checksum_verified = 0;
+  uint32_t output_crc32c = 0;
+
   // Per-direction IO latency percentiles: reads cover the read phase's
   // striped input (plus scratch re-reads on two-pass sorts), writes cover
   // the merge phase's output (plus scratch spills). Empty when IO metrics

@@ -2,6 +2,13 @@
 
 namespace alphasort {
 
+Status Env::ListFiles(const std::string& prefix,
+                      std::vector<std::string>* out) {
+  (void)out;
+  return Status::NotSupported("ListFiles not implemented for prefix " +
+                              prefix);
+}
+
 Status Env::WriteStringToFile(const std::string& path,
                               const std::string& data) {
   Result<std::unique_ptr<File>> file =

@@ -56,6 +56,14 @@ class Env {
   virtual bool FileExists(const std::string& path) = 0;
   virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
 
+  // Appends to `out` every existing path that starts with `prefix`
+  // (including any directory part), in unspecified order. Used by the
+  // crash-safe scratch-run sweeper to find stripe fragments that a failed
+  // sort left behind. Default: NotSupported; Posix, Mem, and the wrapper
+  // envs implement/forward it.
+  virtual Status ListFiles(const std::string& prefix,
+                           std::vector<std::string>* out);
+
   // Convenience helpers implemented on top of the virtual interface.
   Status WriteStringToFile(const std::string& path, const std::string& data);
   Result<std::string> ReadFileToString(const std::string& path);

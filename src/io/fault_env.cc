@@ -1,23 +1,76 @@
 #include "io/fault_env.h"
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+
 namespace alphasort {
 
 namespace {
 
 class FaultFile : public File {
  public:
-  FaultFile(FaultInjectionEnv* env, std::unique_ptr<File> base)
-      : env_(env), base_(std::move(base)) {}
+  FaultFile(FaultInjectionEnv* env, std::string path, FaultSpec spec,
+            std::unique_ptr<File> base)
+      : env_(env),
+        path_(std::move(path)),
+        spec_(spec),
+        base_(std::move(base)) {}
 
   Status Read(uint64_t offset, size_t n, char* scratch,
               size_t* bytes_read) override {
     ALPHASORT_RETURN_IF_ERROR(env_->BeforeIO());
-    return base_->Read(offset, n, scratch, bytes_read);
+    switch (env_->DecideRead(path_, spec_)) {
+      case FaultInjectionEnv::Action::kFail:
+        return Status::IOError("injected read fault on " + path_);
+      case FaultInjectionEnv::Action::kShortRead: {
+        ALPHASORT_RETURN_IF_ERROR(
+            base_->Read(offset, n, scratch, bytes_read));
+        // Deliver a strict prefix (at least one byte when any arrived) —
+        // indistinguishable from a device that transferred less than
+        // asked, which is exactly what the retry layer must absorb.
+        if (*bytes_read > 1) {
+          *bytes_read =
+              1 + static_cast<size_t>(env_->NextUniform() *
+                                      static_cast<double>(*bytes_read - 1));
+        }
+        return Status::OK();
+      }
+      default:
+        return base_->Read(offset, n, scratch, bytes_read);
+    }
   }
 
   Status Write(uint64_t offset, const char* data, size_t n) override {
     ALPHASORT_RETURN_IF_ERROR(env_->BeforeIO());
-    return base_->Write(offset, data, n);
+    switch (env_->DecideWrite(path_, spec_)) {
+      case FaultInjectionEnv::Action::kFail:
+        return Status::IOError("injected write fault on " + path_);
+      case FaultInjectionEnv::Action::kPartialWrite: {
+        // Persist a prefix, then report failure: the bytes are torn on
+        // disk and only a full positional rewrite makes them whole.
+        const size_t prefix =
+            static_cast<size_t>(env_->NextUniform() * static_cast<double>(n));
+        if (prefix > 0) {
+          ALPHASORT_RETURN_IF_ERROR(base_->Write(offset, data, prefix));
+        }
+        return Status::IOError("injected partial write on " + path_);
+      }
+      case FaultInjectionEnv::Action::kCorrupt: {
+        // Silent corruption: flip one byte, report success. Only a
+        // checksum downstream can catch this.
+        if (n == 0) return base_->Write(offset, data, n);
+        std::vector<char> copy(data, data + n);
+        const size_t at =
+            static_cast<size_t>(env_->NextUniform() * static_cast<double>(n));
+        copy[std::min(at, n - 1)] ^= 0x40;
+        return base_->Write(offset, copy.data(), n);
+      }
+      default:
+        return base_->Write(offset, data, n);
+    }
   }
 
   Result<uint64_t> Size() override { return base_->Size(); }
@@ -27,10 +80,36 @@ class FaultFile : public File {
 
  private:
   FaultInjectionEnv* env_;
+  const std::string path_;
+  const FaultSpec spec_;
   std::unique_ptr<File> base_;
 };
 
 }  // namespace
+
+const FaultSpec& FaultPlan::SpecFor(const std::string& path) const {
+  for (const auto& [needle, spec] : overrides) {
+    if (path.find(needle) != std::string::npos) return spec;
+  }
+  return defaults;
+}
+
+bool FaultPlan::Empty() const {
+  if (!defaults.Empty()) return false;
+  for (const auto& [needle, spec] : overrides) {
+    (void)needle;
+    if (!spec.Empty()) return false;
+  }
+  return true;
+}
+
+void FaultInjectionEnv::SetPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plan_ = std::move(plan);
+  has_plan_ = !plan_.Empty();
+  dead_paths_.clear();
+  draw_counter_.store(0, std::memory_order_relaxed);
+}
 
 Status FaultInjectionEnv::BeforeIO() {
   ops_seen_.fetch_add(1, std::memory_order_relaxed);
@@ -45,12 +124,101 @@ Status FaultInjectionEnv::BeforeIO() {
   return Status::OK();
 }
 
+double FaultInjectionEnv::NextUniform() {
+  // A counter-based draw: each decision hashes (seed, ticket) through the
+  // generator's SplitMix seeding, so concurrent IO threads never contend
+  // on shared RNG state and a fixed serial op order replays exactly.
+  const uint64_t ticket =
+      draw_counter_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    seed = plan_.seed;
+  }
+  Random rng(seed ^ (ticket * 0x9e3779b97f4a7c15ULL));
+  return rng.NextDouble();
+}
+
+bool FaultInjectionEnv::PathDead(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return dead_paths_.count(path) > 0;
+}
+
+void FaultInjectionEnv::MarkDead(const std::string& path) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  dead_paths_.insert(path);
+}
+
+FaultInjectionEnv::Action FaultInjectionEnv::DecideRead(
+    const std::string& path, const FaultSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    if (!has_plan_) return Action::kNone;
+    if (dead_paths_.count(path) > 0) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      return Action::kFail;
+    }
+  }
+  if (spec.Empty()) return Action::kNone;
+  if (spec.read_fail_prob > 0 && NextUniform() < spec.read_fail_prob) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    if (spec.mode == FaultMode::kPermanent) MarkDead(path);
+    return Action::kFail;
+  }
+  if (spec.short_read_prob > 0 && NextUniform() < spec.short_read_prob) {
+    short_reads_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kShortRead;
+  }
+  return Action::kNone;
+}
+
+FaultInjectionEnv::Action FaultInjectionEnv::DecideWrite(
+    const std::string& path, const FaultSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    if (!has_plan_) return Action::kNone;
+    if (dead_paths_.count(path) > 0) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      return Action::kFail;
+    }
+  }
+  if (spec.Empty()) return Action::kNone;
+  if (spec.write_fail_prob > 0 && NextUniform() < spec.write_fail_prob) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    if (spec.mode == FaultMode::kPermanent) MarkDead(path);
+    return Action::kFail;
+  }
+  if (spec.partial_write_prob > 0 &&
+      NextUniform() < spec.partial_write_prob) {
+    partial_writes_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kPartialWrite;
+  }
+  if (spec.corrupt_write_prob > 0 &&
+      NextUniform() < spec.corrupt_write_prob) {
+    corrupt_writes_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Action::kCorrupt;
+  }
+  return Action::kNone;
+}
+
 Result<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
     const std::string& path, OpenMode mode) {
+  FaultSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    if (has_plan_) {
+      if (dead_paths_.count(path) > 0) {
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::IOError("injected permanent fault: " + path +
+                               " is dead");
+      }
+      spec = plan_.SpecFor(path);
+    }
+  }
   Result<std::unique_ptr<File>> base = base_->OpenFile(path, mode);
   ALPHASORT_RETURN_IF_ERROR(base.status());
   return {std::unique_ptr<File>(
-      new FaultFile(this, std::move(base).value()))};
+      new FaultFile(this, path, spec, std::move(base).value()))};
 }
 
 }  // namespace alphasort

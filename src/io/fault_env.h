@@ -3,14 +3,74 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "io/env.h"
 
 namespace alphasort {
 
-// Wraps another Env and fails IO operations on demand — used by the tests
-// to verify that the sort pipeline surfaces disk errors instead of
-// producing silently wrong output.
+// How an injected fault behaves over time (docs/fault_tolerance.md).
+enum class FaultMode {
+  // The attempt fails, but the device recovers: a retry of the same
+  // operation rolls the dice again and usually succeeds. Models bus
+  // resets, SCSI timeouts, transient controller errors.
+  kTransient,
+  // The first triggered fault kills the file for good: every later
+  // operation on that path (including re-opens) fails. Models a dead
+  // stripe member.
+  kPermanent,
+};
+
+// Probabilistic fault behaviour applied to every operation on matching
+// files. All probabilities are independent per operation and drawn from
+// the owning FaultInjectionEnv's seeded stream.
+struct FaultSpec {
+  double read_fail_prob = 0;      // read returns IOError, no data
+  double write_fail_prob = 0;     // write returns IOError, nothing written
+  double short_read_prob = 0;     // read delivers a prefix with OK status
+  double partial_write_prob = 0;  // a prefix is persisted, then IOError
+  double corrupt_write_prob = 0;  // one byte flipped silently, status OK
+  FaultMode mode = FaultMode::kTransient;
+
+  bool Empty() const {
+    return read_fail_prob == 0 && write_fail_prob == 0 &&
+           short_read_prob == 0 && partial_write_prob == 0 &&
+           corrupt_write_prob == 0;
+  }
+};
+
+// A scripted, seeded fault campaign: a default spec for every file plus
+// per-member overrides keyed by path substring (first match wins). Tests
+// and the fault_campaign driver derive plans from a seed so every run is
+// reproducible and hundreds of distinct storm shapes are one loop away.
+struct FaultPlan {
+  uint64_t seed = 1;
+  FaultSpec defaults;
+  // (path substring, spec): lets a plan single out one stripe member
+  // ("in.str.s01") or one class of files (".l" = scratch runs).
+  std::vector<std::pair<std::string, FaultSpec>> overrides;
+
+  // The spec governing `path`: the first matching override, else the
+  // default spec.
+  const FaultSpec& SpecFor(const std::string& path) const;
+
+  bool Empty() const;
+};
+
+// Wraps another Env and injects IO faults — either a deterministic
+// countdown (FailAfter, the original single-shot mode the pipeline tests
+// use) or a scripted probabilistic campaign (SetPlan). Used to verify
+// that the sort pipeline surfaces disk errors instead of producing
+// silently wrong output, and that the retry layer absorbs transient ones.
+//
+// Thread-safe: IO threads consult the plan concurrently. Fault decisions
+// are drawn from a seeded counter-based stream, so a plan's fault mix is
+// reproducible for a fixed serial op order and statistically stable under
+// concurrency.
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
@@ -24,9 +84,28 @@ class FaultInjectionEnv : public Env {
 
   void Disarm() { armed_.store(false, std::memory_order_relaxed); }
 
+  // Installs a fault campaign. Replaces any previous plan; files opened
+  // earlier keep the spec they resolved at open time. Pass a
+  // default-constructed plan to clear.
+  void SetPlan(FaultPlan plan);
+
   // Total read/write operations observed (for choosing fault points).
   uint64_t ops_seen() const {
     return ops_seen_.load(std::memory_order_relaxed);
+  }
+
+  // Campaign telemetry, for tests asserting a plan actually fired.
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t short_reads_injected() const {
+    return short_reads_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t partial_writes_injected() const {
+    return partial_writes_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t corrupt_writes_injected() const {
+    return corrupt_writes_injected_.load(std::memory_order_relaxed);
   }
 
   Result<std::unique_ptr<File>> OpenFile(const std::string& path,
@@ -40,16 +119,51 @@ class FaultInjectionEnv : public Env {
   Result<uint64_t> GetFileSize(const std::string& path) override {
     return base_->GetFileSize(path);
   }
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) override {
+    return base_->ListFiles(prefix, out);
+  }
 
-  // Called by the wrapped files before each read/write; returns non-OK
-  // when the operation should fail. Public for the file wrappers.
+  // --- internals shared with the file wrappers ---
+
+  // What the wrapper should do to one operation.
+  enum class Action { kNone, kFail, kShortRead, kPartialWrite, kCorrupt };
+
+  // Called by the wrapped files before each read/write; applies the
+  // legacy countdown. Returns non-OK when the operation should fail.
   Status BeforeIO();
 
+  // Campaign decision for one read/write on `path` under `spec`.
+  Action DecideRead(const std::string& path, const FaultSpec& spec);
+  Action DecideWrite(const std::string& path, const FaultSpec& spec);
+
+  // Uniform [0,1) draw from the plan's seeded stream (used by the file
+  // wrappers to pick corruption offsets and short-read lengths).
+  double NextUniform();
+
+  bool PathDead(const std::string& path) const;
+
  private:
+  void MarkDead(const std::string& path);
+
   Env* base_;
+
+  // Legacy countdown mode.
   std::atomic<bool> armed_{false};
   std::atomic<int64_t> remaining_ops_{0};
   std::atomic<uint64_t> ops_seen_{0};
+
+  // Campaign mode.
+  mutable std::mutex plan_mu_;
+  FaultPlan plan_;
+  bool has_plan_ = false;
+  std::set<std::string> dead_paths_;
+  std::atomic<uint64_t> draw_counter_{0};
+
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> short_reads_injected_{0};
+  std::atomic<uint64_t> partial_writes_injected_{0};
+  std::atomic<uint64_t> corrupt_writes_injected_{0};
 };
 
 }  // namespace alphasort

@@ -132,6 +132,17 @@ class MemEnv : public Env {
     return static_cast<uint64_t>(it->second->bytes.size());
   }
 
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    // files_ is ordered, so the prefix range is contiguous.
+    for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      out->push_back(it->first);
+    }
+    return Status::OK();
+  }
+
  private:
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<MemFileData>> files_;

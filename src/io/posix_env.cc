@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <mutex>
 
 #include "io/env.h"
@@ -127,6 +128,34 @@ class PosixEnv : public Env {
       return PosixError("stat " + path, errno);
     }
     return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) override {
+    // Split into the containing directory and a leaf-name prefix; match
+    // directory entries against the leaf and return them joined back the
+    // way the caller spelled the prefix. (<dirent.h> is off-limits here:
+    // glibc declares the scandir comparator `int alphasort(...)`, which
+    // collides with this project's namespace.)
+    const size_t slash = prefix.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : prefix.substr(0, slash + 1);
+    const std::string leaf =
+        slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      if (ec == std::errc::no_such_file_or_directory) {
+        return Status::OK();  // nothing to list
+      }
+      return Status::IOError("list " + dir + ": " + ec.message());
+    }
+    for (const auto& entry : it) {
+      const std::string name = entry.path().filename().string();
+      if (name.compare(0, leaf.size(), leaf) != 0) continue;
+      out->push_back(slash == std::string::npos ? name : dir + name);
+    }
+    return Status::OK();
   }
 };
 

@@ -1,0 +1,154 @@
+#include "io/retry_env.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace alphasort {
+
+namespace {
+
+// Process-wide retry metrics (function-local statics: registered once,
+// updated lock-free afterwards — same idiom as the AsyncIO scheduler).
+struct RetryMetrics {
+  obs::Counter* retries;
+  obs::Counter* recovered;
+  obs::Counter* exhausted;
+  obs::Histogram* backoff_us;
+
+  static RetryMetrics* Get() {
+    static RetryMetrics* m = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      auto* metrics = new RetryMetrics();
+      metrics->retries = registry->GetCounter("io.retry.attempts");
+      metrics->recovered = registry->GetCounter("io.retry.recovered");
+      metrics->exhausted = registry->GetCounter("io.retry.exhausted");
+      metrics->backoff_us = registry->GetHistogram("io.retry.backoff_us");
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+class RetryFile : public File {
+ public:
+  RetryFile(RetryEnv* env, std::unique_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override {
+    const RetryPolicy& policy = env_->policy();
+    int attempt = 1;
+    uint32_t backoff_us = policy.backoff_initial_us;
+    size_t total = 0;
+    while (true) {
+      size_t got = 0;
+      const Status s =
+          base_->Read(offset + total, n - total, scratch + total, &got);
+      if (s.ok()) {
+        if (attempt > 1) env_->CountRecovered();
+        total += got;
+        if (got == 0 || total == n) {
+          // A zero-byte read is proof of end of file; a full buffer is
+          // done. Either way `total` is the honest transfer count.
+          *bytes_read = total;
+          return Status::OK();
+        }
+        // Short read: either end of file or a short device transfer.
+        // Re-issue the remainder — if the next read returns zero bytes it
+        // was EOF and the short count stands. Progress is guaranteed
+        // (got > 0), so this loop terminates without an attempt budget.
+        env_->CountShortReadResume();
+        attempt = 1;  // a fresh op from the device's point of view
+        backoff_us = policy.backoff_initial_us;
+        continue;
+      }
+      if (!s.IsIOError() || attempt >= policy.max_attempts) {
+        if (s.IsIOError() && policy.enabled()) env_->CountExhausted();
+        return s;
+      }
+      ++attempt;
+      env_->BackoffAndCount(&backoff_us);
+    }
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    const RetryPolicy& policy = env_->policy();
+    int attempt = 1;
+    uint32_t backoff_us = policy.backoff_initial_us;
+    while (true) {
+      // Positional writes are idempotent: a retry rewrites the whole
+      // range, healing any prefix a torn attempt left behind.
+      const Status s = base_->Write(offset, data, n);
+      if (s.ok()) {
+        if (attempt > 1) env_->CountRecovered();
+        return s;
+      }
+      if (!s.IsIOError() || attempt >= policy.max_attempts) {
+        if (s.IsIOError() && policy.enabled()) env_->CountExhausted();
+        return s;
+      }
+      ++attempt;
+      env_->BackoffAndCount(&backoff_us);
+    }
+  }
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  RetryEnv* env_;
+  std::unique_ptr<File> base_;
+};
+
+}  // namespace
+
+RetryEnv::RetryEnv(Env* base, RetryPolicy policy)
+    : base_(base), policy_(policy) {}
+
+Result<std::unique_ptr<File>> RetryEnv::OpenFile(const std::string& path,
+                                                 OpenMode mode) {
+  Result<std::unique_ptr<File>> base = base_->OpenFile(path, mode);
+  ALPHASORT_RETURN_IF_ERROR(base.status());
+  if (!policy_.enabled()) return base;
+  return {std::unique_ptr<File>(
+      new RetryFile(this, std::move(base).value()))};
+}
+
+void RetryEnv::BackoffAndCount(uint32_t* backoff_us) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  RetryMetrics::Get()->retries->Add();
+  RetryMetrics::Get()->backoff_us->Record(*backoff_us);
+  {
+    obs::TraceSpan span("io.retry_backoff", "io");
+    std::this_thread::sleep_for(std::chrono::microseconds(*backoff_us));
+  }
+  *backoff_us = std::min<uint64_t>(uint64_t{*backoff_us} * 2,
+                                   policy_.backoff_cap_us);
+}
+
+void RetryEnv::CountRecovered() {
+  ops_recovered_.fetch_add(1, std::memory_order_relaxed);
+  RetryMetrics::Get()->recovered->Add();
+}
+
+void RetryEnv::CountExhausted() {
+  ops_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  RetryMetrics::Get()->exhausted->Add();
+}
+
+RetryStats RetryEnv::stats() const {
+  RetryStats s;
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.ops_recovered = ops_recovered_.load(std::memory_order_relaxed);
+  s.ops_exhausted = ops_exhausted_.load(std::memory_order_relaxed);
+  s.short_read_resumes =
+      short_read_resumes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,97 @@
+#ifndef ALPHASORT_IO_RETRY_ENV_H_
+#define ALPHASORT_IO_RETRY_ENV_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+
+namespace alphasort {
+
+// Retry discipline for transient IO faults (docs/fault_tolerance.md).
+//
+// Only Status::kIOError is treated as possibly-transient and retried:
+// Corruption, NotFound, InvalidArgument, and the rest describe the data
+// or the request, not the device, so retrying them cannot help and only
+// hides bugs. Backoff is exponential (doubling) from `backoff_initial_us`
+// up to `backoff_cap_us` per attempt.
+struct RetryPolicy {
+  // Total attempts per operation, first try included. 1 disables retry.
+  int max_attempts = 3;
+  uint32_t backoff_initial_us = 100;
+  uint32_t backoff_cap_us = 20000;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+// Counters a RetryEnv accumulates across all files opened through it.
+// Mirrored into the global metrics registry ("io.retry.*") and folded
+// into SortMetrics by the pipeline.
+struct RetryStats {
+  uint64_t retries = 0;            // re-attempts after an IOError
+  uint64_t ops_recovered = 0;      // ops that succeeded on a re-attempt
+  uint64_t ops_exhausted = 0;      // ops that failed every attempt
+  uint64_t short_read_resumes = 0; // reads continued after a short count
+};
+
+// Wraps another Env and retries transient per-operation failures on the
+// files opened through it, so one flaky stripe member degrades throughput
+// instead of killing the sort. Reads additionally resume short counts
+// (re-issuing the remainder until a zero-byte read proves end of file),
+// which turns an injected or device-level short transfer back into the
+// full transfer the caller asked for.
+//
+// Positional reads and writes are idempotent, which is what makes blind
+// re-issue safe: a torn write is simply rewritten in place. Retried
+// attempts pass through any inner MetricsEnv individually, so latency
+// histograms count physical attempts; each backoff wait is visible as an
+// "io.retry_backoff" trace span.
+//
+// Thread-safe the same way the wrapped Env is; stats are lock-free.
+class RetryEnv : public Env {
+ public:
+  // `base` must outlive this wrapper and the files opened through it.
+  explicit RetryEnv(Env* base, RetryPolicy policy = RetryPolicy());
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override;
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_->GetFileSize(path);
+  }
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) override {
+    return base_->ListFiles(prefix, out);
+  }
+
+  const RetryPolicy& policy() const { return policy_; }
+  RetryStats stats() const;
+
+  // Internal: one backoff-and-count step shared by the file wrappers.
+  // Sleeps `*backoff_us`, doubles it up to the cap, and bumps counters.
+  void BackoffAndCount(uint32_t* backoff_us);
+  void CountRecovered();
+  void CountExhausted();
+  void CountShortReadResume() {
+    short_read_resumes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  Env* base_;
+  RetryPolicy policy_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> ops_recovered_{0};
+  std::atomic<uint64_t> ops_exhausted_{0};
+  std::atomic<uint64_t> short_read_resumes_{0};
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_IO_RETRY_ENV_H_

@@ -36,6 +36,10 @@ class ThrottledEnv : public Env {
   Result<uint64_t> GetFileSize(const std::string& path) override {
     return base_->GetFileSize(path);
   }
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) override {
+    return base_->ListFiles(prefix, out);
+  }
 
  private:
   Env* base_;

@@ -155,6 +155,11 @@ Result<uint64_t> MetricsEnv::GetFileSize(const std::string& path) {
   return base_->GetFileSize(path);
 }
 
+Status MetricsEnv::ListFiles(const std::string& prefix,
+                             std::vector<std::string>* out) {
+  return base_->ListFiles(prefix, out);
+}
+
 IoSnapshot MetricsEnv::Snapshot() const {
   IoSnapshot snap;
   snap.read_only = stats_[size_t{0}].Snapshot();

@@ -60,6 +60,8 @@ class MetricsEnv : public Env {
   Status DeleteFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) override;
 
   IoSnapshot Snapshot() const;
 

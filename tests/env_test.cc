@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -117,6 +119,26 @@ TEST_P(EnvSuite, GetFileSize) {
   EXPECT_TRUE(env_->GetFileSize(Path("nosuch")).status().IsNotFound());
 }
 
+TEST_P(EnvSuite, ListFilesMatchesPrefix) {
+  const std::string a = Path("list_a.l0_run0000");
+  const std::string b = Path("list_a.l0_run0001");
+  const std::string other = Path("list_b.dat");
+  ASSERT_TRUE(env_->WriteStringToFile(a, "x").ok());
+  ASSERT_TRUE(env_->WriteStringToFile(b, "y").ok());
+  ASSERT_TRUE(env_->WriteStringToFile(other, "z").ok());
+
+  std::vector<std::string> out;
+  ASSERT_TRUE(env_->ListFiles(Path("list_a"), &out).ok());
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+
+  out.clear();
+  EXPECT_TRUE(env_->ListFiles(Path("list_zzz_nomatch"), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvSuite,
                          ::testing::Values("mem", "posix"),
                          [](const auto& info) { return info.param; });
@@ -220,6 +242,187 @@ TEST(FaultEnvTest, CountsOperations) {
   FaultInjectionEnv fenv(mem.get());
   ASSERT_TRUE(fenv.WriteStringToFile("f", "abc").ok());  // one write
   EXPECT_GE(fenv.ops_seen(), 1u);
+}
+
+TEST(FaultEnvTest, TransientPlanFailsSomeOpsAndRecovers) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("f", "0123456789").ok());
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.defaults.read_fail_prob = 0.5;
+  fenv.SetPlan(plan);
+
+  auto f = fenv.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  char buf[10];
+  size_t got;
+  int failed = 0, succeeded = 0;
+  for (int i = 0; i < 200; ++i) {
+    Status s = f.value()->Read(0, 10, buf, &got);
+    if (s.ok()) {
+      ++succeeded;
+    } else {
+      EXPECT_TRUE(s.IsIOError()) << s.ToString();
+      ++failed;
+    }
+  }
+  // Transient means each attempt re-rolls: at 50% both outcomes must
+  // occur, and a failure never sticks to the file.
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(succeeded, 0);
+  EXPECT_EQ(fenv.faults_injected(), static_cast<uint64_t>(failed));
+
+  fenv.SetPlan(FaultPlan{});
+  EXPECT_TRUE(f.value()->Read(0, 10, buf, &got).ok());
+}
+
+TEST(FaultEnvTest, ShortReadInjectionDeliversAStrictPrefix) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("f", "0123456789").ok());
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.defaults.short_read_prob = 1;
+  fenv.SetPlan(plan);
+
+  auto f = fenv.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  char buf[10];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 10, buf, &got).ok());
+  EXPECT_GE(got, 1u);
+  EXPECT_LT(got, 10u);
+  // The delivered prefix is genuine data, not garbage.
+  EXPECT_EQ(std::string(buf, got), std::string("0123456789").substr(0, got));
+  EXPECT_GT(fenv.short_reads_injected(), 0u);
+}
+
+TEST(FaultEnvTest, PartialWritePersistsAPrefixThenFails) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.defaults.partial_write_prob = 1;
+  fenv.SetPlan(plan);
+
+  auto f = fenv.OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f.value()->Write(0, "0123456789", 10).IsIOError());
+  EXPECT_GT(fenv.partial_writes_injected(), 0u);
+  // Whatever landed is a prefix of the intended bytes.
+  Result<std::string> back = mem->ReadFileToString("f");
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(back.value().size(), 10u);
+  EXPECT_EQ(back.value(),
+            std::string("0123456789").substr(0, back.value().size()));
+
+  // A full positional rewrite makes the range whole — the property the
+  // retry layer relies on.
+  fenv.SetPlan(FaultPlan{});
+  ASSERT_TRUE(f.value()->Write(0, "0123456789", 10).ok());
+  EXPECT_EQ(mem->ReadFileToString("f").value(), "0123456789");
+}
+
+TEST(FaultEnvTest, CorruptWriteFlipsOneByteSilently) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.defaults.corrupt_write_prob = 1;
+  fenv.SetPlan(plan);
+
+  auto f = fenv.OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+  const std::string data = "0123456789";
+  ASSERT_TRUE(f.value()->Write(0, data.data(), data.size()).ok());  // "ok"!
+  EXPECT_GT(fenv.corrupt_writes_injected(), 0u);
+
+  const std::string back = mem->ReadFileToString("f").value();
+  ASSERT_EQ(back.size(), data.size());
+  int diffs = 0;
+  for (size_t i = 0; i < data.size(); ++i) diffs += back[i] != data[i];
+  EXPECT_EQ(diffs, 1);
+}
+
+TEST(FaultEnvTest, PerPathOverrideSinglesOutOneMember) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("in.str.s00", "aaaa").ok());
+  ASSERT_TRUE(fenv.WriteStringToFile("in.str.s01", "bbbb").ok());
+
+  FaultPlan plan;
+  plan.seed = 19;
+  FaultSpec flaky;
+  flaky.read_fail_prob = 1;
+  plan.overrides.emplace_back(".s01", flaky);
+  fenv.SetPlan(plan);
+
+  char buf[4];
+  size_t got;
+  auto healthy = fenv.OpenFile("in.str.s00", OpenMode::kReadOnly);
+  auto sick = fenv.OpenFile("in.str.s01", OpenMode::kReadOnly);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(sick.ok());
+  EXPECT_TRUE(healthy.value()->Read(0, 4, buf, &got).ok());
+  EXPECT_TRUE(sick.value()->Read(0, 4, buf, &got).IsIOError());
+}
+
+TEST(FaultEnvTest, PermanentFaultKillsThePathForGood) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fenv(mem.get());
+  ASSERT_TRUE(fenv.WriteStringToFile("dying", "dddd").ok());
+  ASSERT_TRUE(fenv.WriteStringToFile("healthy", "hhhh").ok());
+
+  FaultPlan plan;
+  plan.seed = 23;
+  FaultSpec fatal;
+  fatal.read_fail_prob = 1;
+  fatal.mode = FaultMode::kPermanent;
+  plan.overrides.emplace_back("dying", fatal);
+  fenv.SetPlan(plan);
+
+  char buf[4];
+  size_t got;
+  auto f = fenv.OpenFile("dying", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).IsIOError());
+  // Still dead on the same handle, and re-opening fails outright.
+  EXPECT_TRUE(f.value()->Read(0, 4, buf, &got).IsIOError());
+  EXPECT_FALSE(fenv.OpenFile("dying", OpenMode::kReadOnly).ok());
+  // Unrelated paths are untouched.
+  auto h = fenv.OpenFile("healthy", OpenMode::kReadOnly);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value()->Read(0, 4, buf, &got).ok());
+  // Installing a fresh plan resurrects the path.
+  fenv.SetPlan(FaultPlan{});
+  EXPECT_TRUE(fenv.OpenFile("dying", OpenMode::kReadOnly).ok());
+}
+
+TEST(FaultEnvTest, SameSeedSameSerialFaultSequence) {
+  auto run = [](uint64_t seed) {
+    auto mem = NewMemEnv();
+    FaultInjectionEnv fenv(mem.get());
+    fenv.WriteStringToFile("f", "0123456789");
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.defaults.read_fail_prob = 0.3;
+    fenv.SetPlan(plan);
+    auto f = fenv.OpenFile("f", OpenMode::kReadOnly);
+    std::string outcomes;
+    char buf[10];
+    size_t got;
+    for (int i = 0; i < 64; ++i) {
+      outcomes += f.value()->Read(0, 10, buf, &got).ok() ? '.' : 'X';
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));  // different storms, astronomically likely
 }
 
 }  // namespace

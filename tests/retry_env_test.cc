@@ -1,0 +1,235 @@
+#include "io/retry_env.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace alphasort {
+namespace {
+
+// Deterministic flaky Env: fails the first `fail_reads`/`fail_writes`
+// operations with IOError (or `error` when set), then behaves normally.
+// Optionally caps every read at `max_read_bytes` to model a device that
+// transfers less than asked.
+class FlakyEnv : public Env {
+ public:
+  explicit FlakyEnv(Env* base) : base_(base) {}
+
+  std::atomic<int> fail_reads{0};
+  std::atomic<int> fail_writes{0};
+  std::atomic<size_t> max_read_bytes{0};  // 0 = unlimited
+  Status error = Status::IOError("flaky");
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         OpenMode mode) override;
+  Status DeleteFile(const std::string& path) override {
+    return base_->DeleteFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_->GetFileSize(path);
+  }
+
+ private:
+  friend class FlakyFile;
+  Env* base_;
+};
+
+class FlakyFile : public File {
+ public:
+  FlakyFile(FlakyEnv* env, std::unique_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch,
+              size_t* bytes_read) override {
+    if (env_->fail_reads.load() > 0) {
+      env_->fail_reads.fetch_sub(1);
+      return env_->error;
+    }
+    const size_t cap = env_->max_read_bytes.load();
+    if (cap > 0) n = std::min(n, cap);
+    return base_->Read(offset, n, scratch, bytes_read);
+  }
+
+  Status Write(uint64_t offset, const char* data, size_t n) override {
+    if (env_->fail_writes.load() > 0) {
+      env_->fail_writes.fetch_sub(1);
+      return env_->error;
+    }
+    return base_->Write(offset, data, n);
+  }
+
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FlakyEnv* env_;
+  std::unique_ptr<File> base_;
+};
+
+Result<std::unique_ptr<File>> FlakyEnv::OpenFile(const std::string& path,
+                                                 OpenMode mode) {
+  Result<std::unique_ptr<File>> base = base_->OpenFile(path, mode);
+  ALPHASORT_RETURN_IF_ERROR(base.status());
+  return {std::unique_ptr<File>(
+      new FlakyFile(this, std::move(base).value()))};
+}
+
+// Fast backoff so tests don't sleep for real.
+RetryPolicy TestPolicy(int max_attempts) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.backoff_initial_us = 1;
+  p.backoff_cap_us = 4;
+  return p;
+}
+
+struct RetryFixture {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  FlakyEnv flaky{mem.get()};
+  RetryEnv retry;
+
+  explicit RetryFixture(int max_attempts = 3)
+      : retry(&flaky, TestPolicy(max_attempts)) {}
+};
+
+TEST(RetryEnvTest, ReadRecoversAfterTransientFaults) {
+  RetryFixture fx(3);
+  ASSERT_TRUE(fx.mem->WriteStringToFile("f", "0123456789").ok());
+  auto f = fx.retry.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  fx.flaky.fail_reads = 2;  // two transient faults, third attempt lands
+  char buf[10];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 10, buf, &got).ok());
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(std::string(buf, got), "0123456789");
+
+  const RetryStats stats = fx.retry.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.ops_recovered, 1u);
+  EXPECT_EQ(stats.ops_exhausted, 0u);
+}
+
+TEST(RetryEnvTest, ReadGivesUpAfterBoundedAttempts) {
+  RetryFixture fx(3);
+  ASSERT_TRUE(fx.mem->WriteStringToFile("f", "abc").ok());
+  auto f = fx.retry.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  fx.flaky.fail_reads = 100;  // effectively permanent
+  char buf[3];
+  size_t got = 0;
+  EXPECT_TRUE(f.value()->Read(0, 3, buf, &got).IsIOError());
+  // 3 attempts total: the fault budget only shrank by max_attempts.
+  EXPECT_EQ(fx.flaky.fail_reads.load(), 97);
+
+  const RetryStats stats = fx.retry.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.ops_recovered, 0u);
+  EXPECT_EQ(stats.ops_exhausted, 1u);
+}
+
+TEST(RetryEnvTest, NonIOErrorIsNeverRetried) {
+  RetryFixture fx(5);
+  ASSERT_TRUE(fx.mem->WriteStringToFile("f", "abc").ok());
+  auto f = fx.retry.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  fx.flaky.error = Status::Corruption("bad bytes");
+  fx.flaky.fail_reads = 5;
+  char buf[3];
+  size_t got = 0;
+  EXPECT_TRUE(f.value()->Read(0, 3, buf, &got).IsCorruption());
+  // One attempt only: Corruption describes the data, not the device.
+  EXPECT_EQ(fx.flaky.fail_reads.load(), 4);
+  EXPECT_EQ(fx.retry.stats().retries, 0u);
+}
+
+TEST(RetryEnvTest, ShortReadsAreResumedToTheFullTransfer) {
+  RetryFixture fx(3);
+  ASSERT_TRUE(fx.mem->WriteStringToFile("f", "0123456789").ok());
+  auto f = fx.retry.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  fx.flaky.max_read_bytes = 3;  // device transfers at most 3 bytes a call
+  char buf[10];
+  size_t got = 0;
+  ASSERT_TRUE(f.value()->Read(0, 10, buf, &got).ok());
+  EXPECT_EQ(got, 10u);
+  EXPECT_EQ(std::string(buf, got), "0123456789");
+  EXPECT_GE(fx.retry.stats().short_read_resumes, 3u);
+}
+
+TEST(RetryEnvTest, EndOfFileShortReadReturnsHonestCount) {
+  RetryFixture fx(3);
+  ASSERT_TRUE(fx.mem->WriteStringToFile("f", "abc").ok());
+  auto f = fx.retry.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  // Asking past the end must still return the honest short count — the
+  // resume loop stops at the zero-byte read that proves EOF rather than
+  // spinning or failing.
+  char buf[16];
+  size_t got = 99;
+  ASSERT_TRUE(f.value()->Read(1, 16, buf, &got).ok());
+  EXPECT_EQ(got, 2u);
+  EXPECT_EQ(std::string(buf, got), "bc");
+  ASSERT_TRUE(f.value()->Read(100, 16, buf, &got).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(RetryEnvTest, WriteRecoversAndHealsTornPrefix) {
+  RetryFixture fx(3);
+  auto f = fx.retry.OpenFile("f", OpenMode::kCreateReadWrite);
+  ASSERT_TRUE(f.ok());
+
+  fx.flaky.fail_writes = 1;
+  ASSERT_TRUE(f.value()->Write(0, "0123456789", 10).ok());
+  EXPECT_EQ(fx.mem->ReadFileToString("f").value(), "0123456789");
+
+  const RetryStats stats = fx.retry.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.ops_recovered, 1u);
+}
+
+TEST(RetryEnvTest, DisabledPolicyPassesFaultsStraightThrough) {
+  RetryFixture fx(1);  // max_attempts = 1 disables retry
+  ASSERT_TRUE(fx.mem->WriteStringToFile("f", "abc").ok());
+  auto f = fx.retry.OpenFile("f", OpenMode::kReadOnly);
+  ASSERT_TRUE(f.ok());
+
+  fx.flaky.fail_reads = 1;
+  char buf[3];
+  size_t got = 0;
+  EXPECT_TRUE(f.value()->Read(0, 3, buf, &got).IsIOError());
+  EXPECT_EQ(fx.flaky.fail_reads.load(), 0);
+  EXPECT_EQ(fx.retry.stats().retries, 0u);
+  // The very next read works: nothing latched.
+  EXPECT_TRUE(f.value()->Read(0, 3, buf, &got).ok());
+}
+
+TEST(RetryEnvTest, BackoffDoublesUpToTheCap) {
+  RetryFixture fx(5);
+  uint32_t backoff = fx.retry.policy().backoff_initial_us;
+  fx.retry.BackoffAndCount(&backoff);
+  EXPECT_EQ(backoff, 2u);
+  fx.retry.BackoffAndCount(&backoff);
+  EXPECT_EQ(backoff, 4u);
+  fx.retry.BackoffAndCount(&backoff);
+  EXPECT_EQ(backoff, 4u);  // capped
+  EXPECT_EQ(fx.retry.stats().retries, 3u);
+}
+
+}  // namespace
+}  // namespace alphasort
