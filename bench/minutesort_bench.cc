@@ -74,9 +74,16 @@ int main() {
     const SortMetrics m = HostSort(records, 0);
     const double t = m.total_s;
     if (t < 0) break;
-    printf("  %9llu records (%6.1f MB): %.2f s (%.0f MB/s)\n",
+    // Per-run registry delta (not the cumulative process registry): each
+    // doubling run reports only its own IO, so the aio counts scale with
+    // this run's size instead of the whole loop's history.
+    const uint64_t run_ios = m.registry_delta.counters.count("aio.submitted")
+                                 ? m.registry_delta.counters.at("aio.submitted")
+                                 : 0;
+    printf("  %9llu records (%6.1f MB): %.2f s (%.0f MB/s, %llu aio ops)\n",
            static_cast<unsigned long long>(records), records * 100 / 1e6,
-           t, m.Throughput().mb_per_s);
+           t, m.Throughput().mb_per_s,
+           static_cast<unsigned long long>(run_ios));
     if (t <= budget_s) {
       best_fit = records;
       best_time = t;

@@ -6,7 +6,8 @@
 //           [--record-size R] [--key-size K] [--key-offset OFF]
 //           [--workers N] [--memory-mb M]
 //           [--algorithm alphasort|vms] [--merge] [--verify] [--quiet]
-//           [--trace=FILE] [--metrics] [--mem] [--gen-records N]
+//           [--trace=FILE] [--report=FILE] [--metrics] [--mem]
+//           [--gen-records N]
 //
 // INPUT/OUTPUT may be plain files or .str stripe definitions (the output
 // definition is created automatically, mirroring the first input's width,
@@ -15,9 +16,12 @@
 //
 // Observability (docs/observability.md): --trace=FILE records a span
 // timeline of the sort and writes Chrome trace-event JSON openable in
-// chrome://tracing or https://ui.perfetto.dev; --metrics dumps the
-// process metrics registry (IO scheduler queue waits, stripe fanout,
-// chore counts) after the sort. --mem runs against an in-memory Env and
+// chrome://tracing or https://ui.perfetto.dev; --report=FILE writes the
+// versioned SortReport JSON (phase breakdown, IO percentiles, registry
+// delta, hardware counters — validate with report_lint); --metrics dumps
+// this run's delta of the process metrics registry (IO scheduler queue
+// waits, stripe fanout, chore counts). --mem runs against an in-memory
+// Env and
 // --gen-records N generates the input first — together they make a
 // self-contained smoke run: asort --mem --gen-records 100000 ...
 
@@ -32,8 +36,10 @@
 #include "core/alphasort.h"
 #include "core/merge_files.h"
 #include "core/vms_sort.h"
+#include "common/table.h"
 #include "io/stripe.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 using namespace alphasort;
@@ -53,7 +59,8 @@ struct Args {
   bool verify = false;
   bool quiet = false;
   std::string trace_path;      // --trace=FILE: Chrome trace JSON
-  bool metrics = false;        // dump the process metrics registry
+  std::string report_path;     // --report=FILE: SortReport JSON
+  bool metrics = false;        // dump this run's metrics-registry delta
   bool mem = false;            // run against an in-memory Env
   uint64_t gen_records = 0;    // generate the input first
 };
@@ -63,8 +70,8 @@ int Usage(const char* prog) {
           "usage: %s --in INPUT [--in INPUT2 ...] --out OUTPUT "
           "[--record-size R] [--key-size K] [--key-offset OFF] "
           "[--workers N] [--memory-mb M] [--algorithm alphasort|vms] "
-          "[--merge] [--verify] [--quiet] [--trace=FILE] [--metrics] "
-          "[--mem] [--gen-records N]\n",
+          "[--merge] [--verify] [--quiet] [--trace=FILE] [--report=FILE] "
+          "[--metrics] [--mem] [--gen-records N]\n",
           prog);
   return 2;
 }
@@ -92,6 +99,8 @@ int main(int argc, char** argv) {
     else if (const char* v = need("--algorithm")) args.algorithm = v;
     else if (const char* v = need("--trace")) args.trace_path = v;
     else if (strncmp(argv[i], "--trace=", 8) == 0) args.trace_path = argv[i] + 8;
+    else if (const char* v = need("--report")) args.report_path = v;
+    else if (strncmp(argv[i], "--report=", 9) == 0) args.report_path = argv[i] + 9;
     else if (const char* v = need("--gen-records")) args.gen_records = strtoull(v, nullptr, 10);
     else if (strcmp(argv[i], "--metrics") == 0) args.metrics = true;
     else if (strcmp(argv[i], "--mem") == 0) args.mem = true;
@@ -172,12 +181,25 @@ int main(int argc, char** argv) {
 
   SortMetrics metrics;
   Status s;
+  // AlphaSort::Run brackets the registry itself; the merge and vms paths
+  // need the same per-run delta taken here so --metrics and --report
+  // describe this run, not the whole process history.
+  obs::RegistrySnapshot registry_before;
+  const bool external_delta = args.merge || args.algorithm == "vms";
+  if (external_delta) {
+    registry_before = obs::MetricsRegistry::Global()->Snapshot();
+  }
   if (args.merge) {
     s = MergeSortedFiles(env, args.in, args.out, opts, &metrics);
   } else if (args.algorithm == "vms") {
     s = VmsSort::Run(env, opts, &metrics);
   } else {
     s = AlphaSort::Run(env, opts, &metrics);
+  }
+  if (external_delta) {
+    metrics.registry_delta =
+        obs::MetricsRegistry::Global()->Snapshot().DeltaSince(
+            registry_before);
   }
   if (recorder != nullptr) {
     obs::TraceRecorder::Uninstall();
@@ -207,8 +229,37 @@ int main(int argc, char** argv) {
     printf("%s", metrics.ToString().c_str());
   }
   if (args.metrics) {
-    printf("--- metrics registry ---\n%s",
-           obs::MetricsRegistry::Global()->ToString().c_str());
+    // The registry is process-global and cumulative (it also saw e.g.
+    // --gen-records IO); the delta scopes the dump to the sort itself.
+    printf("--- metrics (this run) ---\n%s",
+           metrics.registry_delta.ToString().c_str());
+  }
+
+  if (!args.report_path.empty()) {
+    obs::SortReport report;
+    report.tool = "asort";
+    report.config = StrFormat(
+        "in=%s out=%s algorithm=%s workers=%d memory_mb=%llu "
+        "record_size=%zu%s%s",
+        args.in[0].c_str(), args.out.c_str(),
+        args.merge ? "merge" : args.algorithm.c_str(), args.workers,
+        static_cast<unsigned long long>(args.memory_mb), args.record_size,
+        args.mem ? " mem" : "", args.verify ? " verify" : "");
+    report.metrics = metrics;
+    const std::string json = report.ToJson();
+    // Like the trace, the report always goes to the host filesystem:
+    // it is input for report_lint / bench_compare, not sort data.
+    FILE* f = fopen(args.report_path.c_str(), "w");
+    if (f == nullptr ||
+        fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      fprintf(stderr, "write report %s failed\n", args.report_path.c_str());
+      if (f != nullptr) fclose(f);
+      return 1;
+    }
+    fclose(f);
+    if (!args.quiet) {
+      printf("report: %s\n", args.report_path.c_str());
+    }
   }
 
   if (args.verify && !args.merge) {

@@ -1,0 +1,300 @@
+// bench_report: the canonical benchmark suite behind the BENCH_*.json
+// perf trajectory (scripts/bench.sh, scripts/bench_compare.py).
+//
+//   ./bench_report [--smoke] [--name NAME] [--out FILE]
+//                  [--suite NAME]... [--workers K]
+//
+// Runs four suites — the paper's run-generation comparison (§4
+// QuickSort vs replacement-selection), output-stripe scaling (§6),
+// the 8B-vs-16B entry ablation (§7), and an end-to-end in-memory
+// Datamation sort — and writes one BenchReport JSON
+// (kind "alphasort.bench_report") with a numeric metrics object per
+// configuration. --smoke shrinks every input so the whole suite runs in
+// seconds (CI); sizes are part of each entry's config string, so smoke
+// and full runs never silently compare against each other. --suite
+// filters to the named suite(s); --out defaults to BENCH_<name>.json in
+// the current directory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "core/alphasort.h"
+#include "obs/report.h"
+#include "record/generator.h"
+#include "sort/compact_entry.h"
+#include "sort/quicksort.h"
+#include "sort/replacement_selection.h"
+
+using namespace alphasort;
+
+namespace {
+
+double TimedSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct BenchConfig {
+  bool smoke = false;
+  int workers = 3;
+};
+
+// --- §4: QuickSort vs replacement-selection run generation.
+void RunQuicksortVsReplacement(const BenchConfig& cfg,
+                               obs::BenchReport* report) {
+  const size_t records = cfg.smoke ? 60000 : 400000;
+  const size_t capacity = 10000;
+  RecordGenerator gen(kDatamationFormat, 77);
+  const auto block = gen.Generate(KeyDistribution::kUniform, records);
+
+  {
+    std::vector<PrefixEntry> entries(records);
+    size_t runs = 0;
+    const double s = TimedSeconds([&] {
+      BuildPrefixEntryArray(kDatamationFormat, block.data(), records,
+                            entries.data());
+      for (size_t start = 0; start < records; start += capacity) {
+        SortPrefixEntryArray(kDatamationFormat, entries.data() + start,
+                             std::min(capacity, records - start));
+        ++runs;
+      }
+    });
+    obs::BenchEntry e;
+    e.suite = "quicksort_vs_replacement";
+    e.config = StrFormat("algo=quicksort n=%zu W=%zu", records, capacity);
+    e.values = {{"seconds", s},
+                {"records_per_s", records / s},
+                {"runs", double(runs)},
+                {"avg_run_over_W", double(records) / runs / capacity}};
+    report->entries.push_back(std::move(e));
+  }
+
+  for (const TreeLayout layout : {TreeLayout::kFlat, TreeLayout::kClustered}) {
+    size_t runs = 0;
+    const double s = TimedSeconds([&] {
+      ReplacementSelection<NullTracer> rs(
+          kDatamationFormat, capacity, [](size_t, const char*) {}, layout);
+      for (size_t i = 0; i < records; ++i) {
+        rs.Add(block.data() + i * kDatamationFormat.record_size);
+      }
+      rs.Finish();
+      runs = rs.num_runs();
+    });
+    obs::BenchEntry e;
+    e.suite = "quicksort_vs_replacement";
+    e.config = StrFormat(
+        "algo=replacement_%s n=%zu W=%zu",
+        layout == TreeLayout::kFlat ? "flat" : "clustered", records,
+        capacity);
+    e.values = {{"seconds", s},
+                {"records_per_s", records / s},
+                {"runs", double(runs)},
+                {"avg_run_over_W", double(records) / runs / capacity}};
+    report->entries.push_back(std::move(e));
+  }
+}
+
+// --- §6: output-stripe scaling, in-memory Env.
+void RunStriping(const BenchConfig& cfg, obs::BenchReport* report) {
+  const uint64_t records = cfg.smoke ? 50000 : 500000;
+  for (const size_t width : {1, 2, 4}) {
+    std::unique_ptr<Env> env = NewMemEnv();
+    InputSpec spec;
+    spec.path = StrFormat("bench_in_w%zu.str", width);
+    spec.num_records = records;
+    spec.stripe_width = width;
+    if (Status s = CreateInputFile(env.get(), spec); !s.ok()) {
+      fprintf(stderr, "striping input: %s\n", s.ToString().c_str());
+      continue;
+    }
+    const std::string out = StrFormat("bench_out_w%zu.str", width);
+    if (Status s = CreateOutputDefinition(env.get(), out, width,
+                                          spec.stride_bytes);
+        !s.ok()) {
+      fprintf(stderr, "striping output: %s\n", s.ToString().c_str());
+      continue;
+    }
+    SortOptions opts;
+    opts.input_path = spec.path;
+    opts.output_path = out;
+    opts.num_workers = cfg.workers;
+    SortMetrics m;
+    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+      fprintf(stderr, "striping sort: %s\n", s.ToString().c_str());
+      continue;
+    }
+    obs::BenchEntry e;
+    e.suite = "striping";
+    e.config = StrFormat("width=%zu n=%llu workers=%d", width,
+                         static_cast<unsigned long long>(records),
+                         cfg.workers);
+    e.values = {{"seconds", m.total_s},
+                {"mb_per_s", m.Throughput().mb_per_s},
+                {"read_phase_s", m.read_phase_s},
+                {"merge_phase_s", m.merge_phase_s}};
+    report->entries.push_back(std::move(e));
+  }
+}
+
+// --- §7: 8-byte vs 16-byte sort entries.
+void RunEntryWidth(const BenchConfig& cfg, obs::BenchReport* report) {
+  const size_t n = cfg.smoke ? 50000 : 1000000;
+  RecordGenerator gen(kDatamationFormat, 44);
+  const auto block = gen.Generate(KeyDistribution::kUniform, n);
+
+  {
+    std::vector<PrefixEntry> wide(n);
+    BuildPrefixEntryArray(kDatamationFormat, block.data(), n, wide.data());
+    SortStats stats;
+    const double s = TimedSeconds([&] {
+      SortPrefixEntryArray(kDatamationFormat, wide.data(), n, &stats);
+    });
+    obs::BenchEntry e;
+    e.suite = "entry_width";
+    e.config = StrFormat("entry=16B n=%zu", n);
+    e.values = {{"sort_s", s},
+                {"records_per_s", n / s},
+                {"ties_per_record", double(stats.tie_breaks) / n}};
+    report->entries.push_back(std::move(e));
+  }
+  {
+    std::vector<CompactEntry> narrow(n);
+    BuildCompactEntryArray(kDatamationFormat, block.data(), n,
+                           narrow.data());
+    SortStats stats;
+    const double s = TimedSeconds([&] {
+      SortCompactEntryArray(kDatamationFormat, block.data(), narrow.data(),
+                            n, &stats);
+    });
+    obs::BenchEntry e;
+    e.suite = "entry_width";
+    e.config = StrFormat("entry=8B n=%zu", n);
+    e.values = {{"sort_s", s},
+                {"records_per_s", n / s},
+                {"ties_per_record", double(stats.tie_breaks) / n}};
+    report->entries.push_back(std::move(e));
+  }
+}
+
+// --- End-to-end Datamation sort, in-memory Env.
+void RunDatamation(const BenchConfig& cfg, obs::BenchReport* report) {
+  const uint64_t records = cfg.smoke ? 100000 : 1000000;
+  std::unique_ptr<Env> env = NewMemEnv();
+  InputSpec spec;
+  spec.path = "bench_datamation_in.dat";
+  spec.num_records = records;
+  if (Status s = CreateInputFile(env.get(), spec); !s.ok()) {
+    fprintf(stderr, "datamation input: %s\n", s.ToString().c_str());
+    return;
+  }
+  SortOptions opts;
+  opts.input_path = spec.path;
+  opts.output_path = "bench_datamation_out.dat";
+  opts.num_workers = cfg.workers;
+  SortMetrics m;
+  if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
+    fprintf(stderr, "datamation sort: %s\n", s.ToString().c_str());
+    return;
+  }
+  if (Status s = ValidateSortedFile(env.get(), spec.path, opts.output_path,
+                                    opts.format);
+      !s.ok()) {
+    fprintf(stderr, "datamation validate: %s\n", s.ToString().c_str());
+    return;
+  }
+  obs::BenchEntry e;
+  e.suite = "datamation";
+  e.config = StrFormat("n=%llu workers=%d mem",
+                       static_cast<unsigned long long>(records),
+                       cfg.workers);
+  e.values = {{"seconds", m.total_s},
+              {"mb_per_s", m.Throughput().mb_per_s},
+              {"records_per_s", m.Throughput().records_per_s},
+              {"read_phase_s", m.read_phase_s},
+              {"merge_phase_s", m.merge_phase_s}};
+  report->entries.push_back(std::move(e));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  std::string name;
+  std::string out_path;
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      only.push_back(argv[++i]);
+    } else if (strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      cfg.workers = atoi(argv[++i]);
+    } else {
+      fprintf(stderr,
+              "usage: %s [--smoke] [--name NAME] [--out FILE] "
+              "[--suite NAME]... [--workers K]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (name.empty()) name = cfg.smoke ? "smoke" : "full";
+  if (out_path.empty()) out_path = "BENCH_" + name + ".json";
+
+  obs::BenchReport report;
+  report.name = name;
+  const std::pair<const char*, void (*)(const BenchConfig&,
+                                        obs::BenchReport*)>
+      suites[] = {
+          {"quicksort_vs_replacement", RunQuicksortVsReplacement},
+          {"striping", RunStriping},
+          {"entry_width", RunEntryWidth},
+          {"datamation", RunDatamation},
+      };
+  for (const auto& [suite_name, fn] : suites) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), suite_name) == only.end()) {
+      continue;
+    }
+    printf("running suite: %s\n", suite_name);
+    fn(cfg, &report);
+  }
+  if (report.entries.empty()) {
+    fprintf(stderr, "bench_report: no suites ran\n");
+    return 1;
+  }
+
+  const std::string json = report.ToJson();
+  if (Status s = obs::ValidateBenchReportJson(json); !s.ok()) {
+    fprintf(stderr, "bench_report: self-check failed: %s\n",
+            s.ToString().c_str());
+    return 1;
+  }
+  FILE* f = fopen(out_path.c_str(), "w");
+  if (f == nullptr ||
+      fwrite(json.data(), 1, json.size(), f) != json.size()) {
+    fprintf(stderr, "bench_report: write %s failed\n", out_path.c_str());
+    if (f != nullptr) fclose(f);
+    return 1;
+  }
+  fclose(f);
+
+  printf("\n%s", report.ToText().c_str());
+  printf("\nwrote %s (%zu entries)\n", out_path.c_str(),
+         report.entries.size());
+  return 0;
+}

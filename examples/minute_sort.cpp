@@ -3,12 +3,14 @@
 // fits the budget and reports the largest size that did.
 //
 //   ./minute_sort [--seconds S] [--workers K] [--mem] [--trace=FILE]
+//                 [--report=FILE]
 //
 // --mem sorts in-memory files (pure CPU/memory measurement); without it,
 // files live under /tmp. --trace records a span timeline across the
 // doubling runs (the bounded ring keeps the most recent events, i.e. the
 // largest sorts) and writes Chrome trace-event JSON on exit — see
-// docs/observability.md.
+// docs/observability.md. --report writes the SortReport JSON of the best
+// run (the largest sort that fit the budget).
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,8 +19,10 @@
 #include <string>
 
 #include "benchlib/datamation.h"
+#include "common/table.h"
 #include "core/alphasort.h"
 #include "io/stripe.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 using namespace alphasort;
@@ -28,6 +32,7 @@ int main(int argc, char** argv) {
   int workers = 0;
   bool in_memory = false;
   std::string trace_path;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
       seconds = atof(argv[++i]);
@@ -39,10 +44,14 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else if (strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
     } else {
       fprintf(stderr,
               "usage: %s [--seconds S] [--workers K] [--mem] "
-              "[--trace=FILE]\n",
+              "[--trace=FILE] [--report=FILE]\n",
               argv[0]);
       return 2;
     }
@@ -72,6 +81,7 @@ int main(int argc, char** argv) {
   uint64_t records = 500000;
   uint64_t best = 0;
   double best_time = 0;
+  SortMetrics best_metrics;
   while (true) {
     const std::string in_path = prefix + "msort_in.dat";
     const std::string out_path = prefix + "msort_out.dat";
@@ -101,6 +111,7 @@ int main(int argc, char** argv) {
     if (m.total_s > seconds) break;
     best = records;
     best_time = m.total_s;
+    best_metrics = m;
     records *= 2;
     if (records * 100ull > (6ull << 30)) {
       printf("  (stopping: input would exceed this host's memory)\n");
@@ -127,6 +138,25 @@ int main(int argc, char** argv) {
     fclose(f);
     printf("trace: %zu events -> %s\n", recorder->size(),
            trace_path.c_str());
+  }
+
+  if (!report_path.empty() && best > 0) {
+    obs::SortReport report;
+    report.tool = "minute_sort";
+    report.config = StrFormat(
+        "seconds=%.0f workers=%d records=%llu%s", seconds, workers,
+        static_cast<unsigned long long>(best), in_memory ? " mem" : "");
+    report.metrics = best_metrics;
+    const std::string json = report.ToJson();
+    FILE* f = fopen(report_path.c_str(), "w");
+    if (f == nullptr ||
+        fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      fprintf(stderr, "write report %s failed\n", report_path.c_str());
+      if (f != nullptr) fclose(f);
+      return 1;
+    }
+    fclose(f);
+    printf("report (best run): %s\n", report_path.c_str());
   }
   return 0;
 }

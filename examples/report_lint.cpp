@@ -1,0 +1,80 @@
+// report_lint: validates an AlphaSort report JSON file — either a
+// SortReport (`asort --report`, `minute_sort --report`) or a BenchReport
+// (bench_report / scripts/bench.sh).
+//
+//   ./report_lint FILE...
+//
+// The file's `kind` field selects the schema; exits 0 when every file
+// carries its schema completely (see docs/observability.md for the
+// field lists). Used by scripts/ci.sh to gate the report and bench
+// smokes.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+using namespace alphasort;
+
+namespace {
+
+int LintOne(const char* path) {
+  FILE* f = fopen(path, "rb");
+  if (f == nullptr) {
+    fprintf(stderr, "report_lint: cannot open %s\n", path);
+    return 1;
+  }
+  std::string json;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, got);
+  fclose(f);
+
+  if (json.empty()) {
+    fprintf(stderr, "report_lint: %s is empty (0 bytes)\n", path);
+    return 1;
+  }
+  obs::JsonValue root;
+  if (Status s = obs::ParseJson(json, &root); !s.ok()) {
+    fprintf(stderr, "report_lint: %s: %s\n", path, s.ToString().c_str());
+    return 1;
+  }
+  const obs::JsonValue* kind =
+      root.IsObject() ? root.Find("kind") : nullptr;
+  if (kind == nullptr || !kind->IsString()) {
+    fprintf(stderr, "report_lint: %s has no \"kind\" field\n", path);
+    return 1;
+  }
+
+  Status s;
+  if (kind->string_value == obs::SortReport::kKind) {
+    s = obs::ValidateSortReportJson(json);
+  } else if (kind->string_value == obs::BenchReport::kKind) {
+    s = obs::ValidateBenchReportJson(json);
+  } else {
+    fprintf(stderr, "report_lint: %s: unknown kind \"%s\"\n", path,
+            kind->string_value.c_str());
+    return 1;
+  }
+  if (!s.ok()) {
+    fprintf(stderr, "report_lint: %s: %s\n", path, s.ToString().c_str());
+    return 1;
+  }
+  printf("report_lint: %s ok (%s)\n", path, kind->string_value.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (LintOne(argv[i]) != 0) rc = 1;
+  }
+  return rc;
+}

@@ -1,74 +1,51 @@
 // trace_lint: validates a Chrome trace-event JSON file produced by
 // `asort --trace` (or any obs::TraceRecorder export).
 //
-//   ./trace_lint FILE [--require NAME]... [--distinct-threads N]
+//   ./trace_lint FILE [--require NAME]... [--require-counter NAME]...
+//                [--distinct-threads N]
 //
 // Exits 0 when FILE parses as a structurally valid Chrome trace, every
-// --require NAME appears as an event-name substring, and events span at
-// least N distinct tids. Used by scripts/ci.sh to smoke-test the
-// observability pipeline end to end.
+// --require NAME appears as an event-name substring, every
+// --require-counter NAME appears as a counter event (ph "C") with that
+// exact name and a numeric args.value, events span at least N distinct
+// tids, and each thread's timestamps are monotonically non-decreasing
+// (the recorder exports a globally time-sorted array; out-of-order
+// events within one tid mean a broken export or a hand-edited file).
+// Used by scripts/ci.sh to smoke-test the observability pipeline end to
+// end.
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "obs/json.h"
 #include "obs/trace.h"
 
 using namespace alphasort;
 
-namespace {
-
-// Collects the value of every `"key":` string or number occurrence.
-// Sufficient for trace JSON we already validated: keys only appear as
-// object members, and name/tid never contain nested structures.
-std::vector<std::string> FieldValues(const std::string& json,
-                                     const std::string& key) {
-  std::vector<std::string> values;
-  const std::string needle = "\"" + key + "\":";
-  size_t pos = 0;
-  while ((pos = json.find(needle, pos)) != std::string::npos) {
-    pos += needle.size();
-    if (pos >= json.size()) break;
-    if (json[pos] == '"') {
-      const size_t end = json.find('"', pos + 1);
-      if (end == std::string::npos) break;
-      values.push_back(json.substr(pos + 1, end - pos - 1));
-      pos = end + 1;
-    } else {
-      size_t end = pos;
-      while (end < json.size() &&
-             (isdigit(static_cast<unsigned char>(json[end])) ||
-              json[end] == '-')) {
-        ++end;
-      }
-      values.push_back(json.substr(pos, end - pos));
-      pos = end;
-    }
-  }
-  return values;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
+  std::vector<std::string> required_counters;
   size_t distinct_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required.push_back(argv[++i]);
+    } else if (strcmp(argv[i], "--require-counter") == 0 && i + 1 < argc) {
+      required_counters.push_back(argv[++i]);
     } else if (strcmp(argv[i], "--distinct-threads") == 0 && i + 1 < argc) {
       distinct_threads = strtoul(argv[++i], nullptr, 10);
     } else if (path.empty() && argv[i][0] != '-') {
       path = argv[i];
     } else {
       fprintf(stderr,
-              "usage: %s FILE [--require NAME]... [--distinct-threads N]\n",
+              "usage: %s FILE [--require NAME]... "
+              "[--require-counter NAME]... [--distinct-threads N]\n",
               argv[0]);
       return 2;
     }
@@ -112,7 +89,67 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::vector<std::string> names = FieldValues(json, "name");
+  // The streaming checker above validated structure and required event
+  // fields; the DOM pass answers content questions (names, counters,
+  // per-thread timestamp order).
+  obs::JsonValue root;
+  if (Status s = obs::ParseJson(json, &root); !s.ok()) {
+    fprintf(stderr, "trace_lint: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const obs::JsonValue* events =
+      root.IsObject() ? root.Find("traceEvents") : &root;
+  if (events == nullptr || !events->IsArray()) {
+    fprintf(stderr, "trace_lint: no traceEvents array\n");
+    return 1;
+  }
+
+  std::set<std::string> names;
+  std::set<std::string> counter_names;
+  std::set<double> tids;
+  std::map<double, double> last_ts_by_tid;
+  for (size_t i = 0; i < events->items.size(); ++i) {
+    const obs::JsonValue& ev = events->items[i];
+    const obs::JsonValue* name = ev.Find("name");
+    const obs::JsonValue* ph = ev.Find("ph");
+    const obs::JsonValue* ts = ev.Find("ts");
+    const obs::JsonValue* tid = ev.Find("tid");
+    if (name == nullptr || !name->IsString() || ph == nullptr ||
+        !ph->IsString() || ts == nullptr || !ts->IsNumber() ||
+        tid == nullptr || !tid->IsNumber()) {
+      fprintf(stderr, "trace_lint: event %zu is missing name/ph/ts/tid\n",
+              i);
+      return 1;
+    }
+    names.insert(name->string_value);
+    tids.insert(tid->number_value);
+    if (ph->string_value == "C") {
+      const obs::JsonValue* args = ev.Find("args");
+      const obs::JsonValue* value =
+          args != nullptr && args->IsObject() ? args->Find("value") : nullptr;
+      if (value == nullptr || !value->IsNumber()) {
+        fprintf(stderr,
+                "trace_lint: counter event \"%s\" (event %zu) has no "
+                "numeric args.value\n",
+                name->string_value.c_str(), i);
+        return 1;
+      }
+      counter_names.insert(name->string_value);
+    }
+    auto [it, inserted] =
+        last_ts_by_tid.emplace(tid->number_value, ts->number_value);
+    if (!inserted) {
+      if (ts->number_value < it->second) {
+        fprintf(stderr,
+                "trace_lint: tid %.0f timestamps go backwards at event "
+                "%zu (%.0f us after %.0f us) — export is not time-sorted\n",
+                tid->number_value, i, ts->number_value, it->second);
+        return 1;
+      }
+      it->second = ts->number_value;
+    }
+  }
+
   for (const std::string& want : required) {
     bool found = false;
     for (const std::string& name : names) {
@@ -127,17 +164,21 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-
-  std::vector<std::string> tids = FieldValues(json, "tid");
-  std::sort(tids.begin(), tids.end());
-  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const std::string& want : required_counters) {
+    if (counter_names.count(want) == 0) {
+      fprintf(stderr, "trace_lint: no counter event named \"%s\"\n",
+              want.c_str());
+      return 1;
+    }
+  }
   if (tids.size() < distinct_threads) {
     fprintf(stderr, "trace_lint: %zu distinct threads, wanted >= %zu\n",
             tids.size(), distinct_threads);
     return 1;
   }
 
-  printf("trace_lint: %s ok (%zu events, %zu threads)\n", path.c_str(),
-         names.size(), tids.size());
+  printf("trace_lint: %s ok (%zu events, %zu threads, %zu counters)\n",
+         path.c_str(), events->items.size(), tids.size(),
+         counter_names.size());
   return 0;
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the canonical benchmark suite (examples/bench_report) and writes
+# BENCH_<name>.json at the repo root — the unit of the perf trajectory
+# that successive changes are compared against (scripts/bench_compare.py).
+#
+#   scripts/bench.sh [--smoke] [--name NAME] [--build-dir DIR]
+#                    [--suite NAME]... [--workers K]
+#
+# --smoke shrinks every suite's input so the whole run takes seconds
+# (what scripts/ci.sh gates on); the default full run takes minutes.
+# The written file is validated with report_lint before the script
+# reports success.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=build
+smoke=""
+name=""
+passthrough=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; shift ;;
+    --name) name="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --suite|--workers) passthrough+=("$1" "$2"); shift 2 ;;
+    *) echo "usage: $0 [--smoke] [--name NAME] [--build-dir DIR]" \
+           "[--suite NAME]... [--workers K]" >&2; exit 2 ;;
+  esac
+done
+if [[ -z "$name" ]]; then
+  if [[ -n "$smoke" ]]; then name=smoke; else name=full; fi
+fi
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_report report_lint
+
+out="BENCH_${name}.json"
+"./$build_dir/examples/bench_report" $smoke --name "$name" --out "$out" \
+  ${passthrough[@]+"${passthrough[@]}"}
+"./$build_dir/examples/report_lint" "$out"
+echo "bench.sh: wrote $out"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_*.json perf-trajectory files.
+
+    scripts/bench_compare.py BASELINE NEW [--threshold FRAC] [--warn-only]
+
+Entries are matched by (suite, config); for every metric present in both
+the relative change is printed, and a change past --threshold (default
+0.25, i.e. 25%) in the *worse* direction fails the comparison. Metrics
+named *_s or *_ms or named "seconds" are lower-is-better (times);
+everything else (throughputs, counts) is higher-is-better. Structural
+metrics (runs, avg_run_over_W, ties_per_record) describe the workload,
+not its speed, and are compared for drift in either direction.
+
+Exit status: 0 when no regression (or --warn-only), 1 on regression,
+2 on usage/schema errors. CI runs this informationally (--warn-only)
+because its machines are shared and noisy; the printed table is the
+artifact that matters.
+"""
+
+import argparse
+import json
+import sys
+
+# Workload-shape metrics: a drift in either direction is suspicious (the
+# benchmark is no longer measuring the same thing), but neither direction
+# is "better".
+STRUCTURAL = {"runs", "avg_run_over_W", "ties_per_record"}
+
+
+def lower_is_better(metric: str) -> bool:
+    return (
+        metric == "seconds"
+        or metric.endswith("_s")
+        or metric.endswith("_ms")
+        or metric.endswith("_us")
+    )
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("kind") != "alphasort.bench_report":
+        sys.exit(f"bench_compare: {path} is not an alphasort.bench_report")
+    if doc.get("schema_version") != 1:
+        sys.exit(
+            f"bench_compare: {path} has schema_version "
+            f"{doc.get('schema_version')}, this reader understands 1"
+        )
+    entries = {}
+    for entry in doc.get("suites", []):
+        entries[(entry["suite"], entry["config"])] = entry["metrics"]
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative change that counts as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print regressions but always exit 0",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+
+    regressions = []
+    compared = 0
+    header = f"{'suite/config':<52} {'metric':<16} {'base':>12} {'new':>12} {'change':>8}"
+    print(header)
+    print("-" * len(header))
+    for key in sorted(base.keys() & new.keys()):
+        suite, config = key
+        label = f"{suite}: {config}"
+        for metric in sorted(base[key].keys() & new[key].keys()):
+            b, n = base[key][metric], new[key][metric]
+            if b == 0:
+                change = 0.0 if n == 0 else float("inf")
+            else:
+                change = (n - b) / abs(b)
+            compared += 1
+            if metric in STRUCTURAL:
+                worse = abs(change) > args.threshold
+            elif lower_is_better(metric):
+                worse = change > args.threshold
+            else:
+                worse = change < -args.threshold
+            flag = "  <-- REGRESSION" if worse else ""
+            print(
+                f"{label:<52} {metric:<16} {b:>12.6g} {n:>12.6g} "
+                f"{change:>+7.1%}{flag}"
+            )
+            if worse:
+                regressions.append((label, metric, change))
+
+    only_base = sorted(base.keys() - new.keys())
+    only_new = sorted(new.keys() - base.keys())
+    for key in only_base:
+        print(f"note: {key[0]}: {key[1]} only in {args.baseline}")
+    for key in only_new:
+        print(f"note: {key[0]}: {key[1]} only in {args.new}")
+    if compared == 0:
+        sys.exit("bench_compare: no comparable (suite, config) pairs")
+
+    print()
+    if regressions:
+        print(
+            f"bench_compare: {len(regressions)} regression(s) past "
+            f"{args.threshold:.0%} across {compared} metric(s)"
+        )
+        return 0 if args.warn_only else 1
+    print(f"bench_compare: OK ({compared} metric(s) within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + tests, sanitizer passes (ASan+UBSan suite, TSan
 # over the concurrency-heavy suites), a fault-campaign smoke gate
-# (docs/fault_tolerance.md), and an observability smoke that sorts 100k
-# records under --trace and validates the emitted Chrome trace JSON
-# (docs/observability.md).
+# (docs/fault_tolerance.md), an observability smoke that sorts 100k
+# records under --trace/--report and validates both JSON artifacts, and a
+# bench smoke (scripts/bench.sh --smoke) compared informationally against
+# the committed BENCH_smoke.json baseline (docs/observability.md).
+# Machine-readable outputs land in ci-artifacts/ for workflow upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mkdir -p ci-artifacts
 
 echo "=== tier 1: build + tests ==="
 cmake -B build -S . >/dev/null
@@ -44,17 +48,46 @@ echo "=== fault-campaign smoke: 32 seeded storms must never lie ==="
 ./build/examples/fault_campaign --mem --seeds 32
 
 echo
-echo "=== observability smoke: asort --trace on an in-memory input ==="
-trace="$(mktemp /tmp/alphasort_trace.XXXXXX.json)"
-trap 'rm -f "$trace"' EXIT
-./build/examples/asort --mem --gen-records 100000 \
+echo "=== observability smoke: asort --trace/--report on an in-memory input ==="
+# --workers 3 so chores actually queue (workers=0 runs chores inline and
+# never emits the chores.queue_depth counter the lint below requires).
+./build/examples/asort --mem --gen-records 100000 --workers 3 \
   --in smoke_in.dat --out smoke_out.dat \
-  --trace="$trace" --verify --metrics
-# The trace must parse as a Chrome trace and show the pipeline's overlap:
-# reads, QuickSorts, merge batches, and gather slices on distinct threads.
-./build/examples/trace_lint "$trace" \
+  --trace=ci-artifacts/trace.json --report=ci-artifacts/report.json \
+  --verify --metrics
+# The trace must parse as a Chrome trace, show the pipeline's overlap
+# (reads, QuickSorts, merge batches, and gather slices on distinct
+# threads), carry the queue-depth counter tracks, and be time-sorted
+# per thread.
+./build/examples/trace_lint ci-artifacts/trace.json \
   --require read --require quicksort --require merge --require gather \
+  --require-counter aio.queue_depth --require-counter chores.queue_depth \
   --distinct-threads 3
+# The report must carry the full v1 sort-report schema: phase breakdown
+# summing to the total, IO percentiles, registry delta, and hardware
+# counters populated or explicitly unavailable.
+./build/examples/report_lint ci-artifacts/report.json
+
+echo
+echo "=== bench smoke: scripts/bench.sh --smoke -> BENCH_smoke.json ==="
+# The committed BENCH_smoke.json is the baseline; keep it aside so the
+# fresh run can be compared against it, then restore it (the trajectory
+# file only changes when a PR deliberately re-baselines).
+baseline=""
+if [[ -f BENCH_smoke.json ]]; then
+  baseline="$(mktemp /tmp/alphasort_bench_base.XXXXXX.json)"
+  trap 'rm -f "$baseline"' EXIT
+  cp BENCH_smoke.json "$baseline"
+fi
+./scripts/bench.sh --smoke
+cp BENCH_smoke.json ci-artifacts/BENCH_smoke.json
+if [[ -n "$baseline" ]]; then
+  # Informational: CI machines are shared and noisy, so regressions warn
+  # in the log (and the uploaded artifact) instead of failing the gate.
+  python3 scripts/bench_compare.py "$baseline" BENCH_smoke.json \
+    --warn-only --threshold 0.5
+  cp "$baseline" BENCH_smoke.json
+fi
 
 echo
 echo "CI: all gates passed."

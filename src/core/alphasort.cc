@@ -5,7 +5,9 @@
 #include "common/table.h"
 #include "core/pipeline_internal.h"
 #include "io/retry_env.h"
+#include "obs/metrics.h"
 #include "obs/metrics_env.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace alphasort {
@@ -73,6 +75,40 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   PhaseTimer total_timer;
   PhaseTimer phase;
   obs::TraceSpan run_span("sort.run");
+
+  // Observability brackets. The registry snapshot scopes the process
+  // global counters to this run (back-to-back sorts each report their
+  // own delta); the perf accumulator collects hardware counters from
+  // every ScopedPerfRegion the pipeline enters. TryInstall can lose to
+  // a concurrent sort in the same process — that sort keeps collecting,
+  // this one reports attempted=false. Declaration order matters:
+  // total_perf must die before perf_acc, and perf_acc's destructor
+  // uninstalls itself so the early error returns below cannot leave a
+  // dangling global.
+  obs::RegistrySnapshot registry_before;
+  if (options.collect_registry_delta) {
+    registry_before = obs::MetricsRegistry::Global()->Snapshot();
+  }
+  std::optional<obs::PerfAccumulator> perf_acc;
+  if (options.collect_perf_counters) {
+    perf_acc.emplace();
+    if (!perf_acc->TryInstall()) perf_acc.reset();
+  }
+  std::optional<obs::ScopedPerfRegion> total_perf;
+  if (perf_acc) total_perf.emplace("total");
+  auto finish_observability = [&] {
+    total_perf.reset();
+    if (perf_acc) {
+      perf_acc->Uninstall();
+      metrics->perf.attempted = true;
+      metrics->perf.regions = perf_acc->Regions();
+    }
+    if (options.collect_registry_delta) {
+      metrics->registry_delta =
+          obs::MetricsRegistry::Global()->Snapshot().DeltaSince(
+              registry_before);
+    }
+  };
 
   // Every file the sort touches (input, output, scratch) is opened
   // through the metrics wrapper so the phase report can show IO latency
@@ -150,6 +186,7 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
     input.value()->Close();
     output.value()->Close();
     fill_retry_metrics();
+    finish_observability();
     return sort_status;
   }
 
@@ -168,6 +205,7 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
     metrics->read_io = SummarizeReads(io);
     metrics->write_io = SummarizeWrites(io);
   }
+  finish_observability();
   return Status::OK();
 }
 

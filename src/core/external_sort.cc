@@ -6,6 +6,7 @@
 #include "common/table.h"
 #include "core/pipeline_internal.h"
 #include "core/run_reader.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
@@ -161,6 +162,7 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
       const uint64_t start = s * sub;
       const uint64_t len = std::min<uint64_t>(sub, n - start);
       obs::TraceSpan span("quicksort.run", "cpu");
+      obs::ScopedPerfRegion perf("quicksort");
       SortStats stats;
       BuildPrefixEntryArray(fmt, block.data() + start * fmt.record_size,
                             len, entries.data() + start);
@@ -291,6 +293,7 @@ Status MergeScratchRunsToFile(SortContext* ctx,
     buf.fill = 0;
     {
       obs::TraceSpan span("merge.batch", "cpu");
+      obs::ScopedPerfRegion perf("merge");
       while (buf.fill < out_bytes && !tree.Empty()) {
         const size_t r = tree.WinnerStream();
         memcpy(buf.data.data() + buf.fill, tree.WinnerItem().record,
@@ -398,6 +401,7 @@ Status RunTwoPass(SortContext* ctx) {
   Status s;
   {
     obs::TraceSpan span("sort.read_phase");
+    obs::ScopedPerfRegion perf("read_phase");
     s = SpillRuns(ctx, &runs);
   }
   ctx->metrics->read_phase_s = phase.Lap();
@@ -408,6 +412,7 @@ Status RunTwoPass(SortContext* ctx) {
   }
   {
     obs::TraceSpan span("sort.merge_phase");
+    obs::ScopedPerfRegion perf("merge_phase");
     s = MergeScratchRuns(ctx, std::move(runs));
   }
   ctx->metrics->merge_phase_s = phase.Lap();

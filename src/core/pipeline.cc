@@ -5,6 +5,7 @@
 #include "common/checksum.h"
 #include "common/table.h"
 #include "core/pipeline_internal.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
@@ -22,6 +23,7 @@ void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
     const size_t hi = std::min(n, lo + per_slice);
     if (lo < hi) {
       obs::TraceSpan span("gather.slice", "cpu");
+      obs::ScopedPerfRegion perf("gather");
       GatherRecords(fmt, ptrs + lo, hi - lo, out + lo * fmt.record_size);
     }
   });
@@ -95,6 +97,8 @@ Status RunOnePass(SortContext* ctx) {
   {
     std::optional<obs::TraceSpan> phase_span;
     phase_span.emplace("sort.read_phase");
+    std::optional<obs::ScopedPerfRegion> phase_perf;
+    phase_perf.emplace("read_phase");
     const size_t chunk = opts.io_chunk_bytes;
     const uint64_t num_chunks = (bytes + chunk - 1) / chunk;
     const int depth = opts.io_depth;
@@ -132,6 +136,7 @@ Status RunOnePass(SortContext* ctx) {
         ctx->pool->Submit([ctx, &records, &entries, &qs_stats, fmt, start,
                            len] {
           obs::TraceSpan span("quicksort.run", "cpu");
+          obs::ScopedPerfRegion perf("quicksort");
           SortStats stats;
           NullTracer tracer;
           BuildPrefixEntryArray(fmt,
@@ -164,6 +169,7 @@ Status RunOnePass(SortContext* ctx) {
     }
     ctx->metrics->read_phase_s = phase.Lap();
     phase_span.emplace("sort.last_run");
+    phase_perf.emplace("last_run");
 
     // --- last run: the partial tail cannot overlap any input (§7's
     // "AlphaSort must then sort the last partition").
@@ -171,6 +177,7 @@ Status RunOnePass(SortContext* ctx) {
       const uint64_t start = next_run_start;
       const uint64_t len = n - next_run_start;
       obs::TraceSpan span("quicksort.run", "cpu");
+      obs::ScopedPerfRegion perf("quicksort");
       SortStats stats;
       BuildPrefixEntryArray(fmt, records.get() + start * fmt.record_size,
                             len, entries.get() + start);
@@ -184,6 +191,7 @@ Status RunOnePass(SortContext* ctx) {
   // --- merge + gather + write phase.
   {
     obs::TraceSpan merge_phase_span("sort.merge_phase");
+    obs::ScopedPerfRegion merge_phase_perf("merge_phase");
     std::vector<EntryRun> runs;
     for (uint64_t start = 0; start < n; start += opts.run_size_records) {
       const uint64_t len = std::min<uint64_t>(opts.run_size_records,
@@ -237,6 +245,7 @@ Status RunOnePass(SortContext* ctx) {
       size_t got;
       {
         obs::TraceSpan span("merge.batch", "cpu");
+        obs::ScopedPerfRegion perf("merge");
         got = merger.NextBatch(ptrs.data(), batch_records);
       }
       ParallelGather(ctx, ptrs.data(), got, buf.data.data());

@@ -101,6 +101,61 @@ void Histogram::Reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+RegistrySnapshot RegistrySnapshot::DeltaSince(
+    const RegistrySnapshot& earlier) const {
+  RegistrySnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    const uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    // Counters are monotonic while a run is in flight; the clamp only
+    // matters if someone ResetAll()s between the two snapshots.
+    delta.counters[name] = value >= base ? value - base : value;
+  }
+  for (const auto& [name, snap] : histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      delta.histograms[name] = snap;
+      continue;
+    }
+    const HistogramSnapshot& base = it->second;
+    HistogramSnapshot d;
+    d.count = snap.count >= base.count ? snap.count - base.count : snap.count;
+    d.sum = snap.sum >= base.sum ? snap.sum - base.sum : snap.sum;
+    d.max = snap.max;  // interval max is unknowable; keep the upper bound
+    for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+      d.buckets[b] = snap.buckets[b] >= base.buckets[b]
+                         ? snap.buckets[b] - base.buckets[b]
+                         : snap.buckets[b];
+    }
+    delta.histograms[name] = d;
+  }
+  return delta;
+}
+
+std::string RegistrySnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    out += StrFormat("%-32s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, snap] : histograms) {
+    if (snap.count == 0) continue;
+    out += StrFormat("%-32s %s\n", name.c_str(), snap.Summary("").c_str());
+  }
+  return out;
+}
+
+bool RegistrySnapshot::Empty() const {
+  for (const auto& [name, value] : counters) {
+    if (value != 0) return false;
+  }
+  for (const auto& [name, snap] : histograms) {
+    if (snap.count != 0) return false;
+  }
+  return true;
+}
+
 MetricsRegistry* MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return registry;
@@ -135,6 +190,18 @@ std::string MetricsRegistry::ToString() const {
                      snap.Summary("").c_str());
   }
   return out;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -96,6 +96,30 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+// Point-in-time copy of a registry's contents (see
+// MetricsRegistry::Snapshot). Plain data; the delta of two snapshots is
+// what a per-run report wants — the registry is process-global and
+// cumulative, so back-to-back sorts in one process (every bench binary)
+// would otherwise attribute the whole process history to the last run.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Events recorded since `earlier` (counter subtraction, bucket-wise
+  // histogram subtraction). Caveat: a histogram's max cannot be
+  // un-merged, so the delta keeps the later absolute max — an upper
+  // bound for the interval, exact whenever the interval recorded the
+  // process-wide maximum.
+  RegistrySnapshot DeltaSince(const RegistrySnapshot& earlier) const;
+
+  // Same one-metric-per-line format as MetricsRegistry::ToString();
+  // metrics with no events are omitted.
+  std::string ToString() const;
+
+  // True when every counter is zero and every histogram is empty.
+  bool Empty() const;
+};
+
 // Named registry of counters and histograms. Registration takes a lock;
 // the returned pointers are stable for the life of the registry, so call
 // sites look a metric up once (typically via a function-local static) and
@@ -112,6 +136,10 @@ class MetricsRegistry {
   // Multi-line dump, one metric per line, sorted by name. Metrics with no
   // recorded events are omitted.
   std::string ToString() const;
+
+  // Copies every metric's current value. Two snapshots bracket a run;
+  // their DeltaSince is the run's own traffic.
+  RegistrySnapshot Snapshot() const;
 
   // Zeroes every metric (pointers stay valid). Benches call this between
   // configurations.

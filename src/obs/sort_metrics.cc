@@ -1,4 +1,4 @@
-#include "core/sort_metrics.h"
+#include "obs/sort_metrics.h"
 
 #include <cmath>
 
@@ -76,6 +76,7 @@ std::string SortMetrics::ToString() const {
   if (output_crc32c != 0) {
     out += StrFormat("output crc32c: %08x\n", output_crc32c);
   }
+  out += perf.ToString();
   return out;
 }
 

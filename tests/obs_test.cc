@@ -226,6 +226,60 @@ TEST(MetricsRegistryTest, ResetAllKeepsPointersValid) {
 }
 
 // ------------------------------------------------------------------ //
+// Registry snapshots and per-run deltas
+
+TEST(RegistrySnapshotTest, DeltaScopesARun) {
+  // The registry is process-global and cumulative; the snapshot delta is
+  // what lets back-to-back sorts each report only their own events.
+  MetricsRegistry reg;
+  reg.GetCounter("ops")->Add(10);
+  reg.GetHistogram("lat")->Record(100);
+  const RegistrySnapshot before = reg.Snapshot();
+  reg.GetCounter("ops")->Add(7);
+  reg.GetCounter("fresh")->Add(2);
+  reg.GetHistogram("lat")->Record(200);
+  reg.GetHistogram("lat")->Record(300);
+  const RegistrySnapshot delta = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("ops"), 7u);
+  EXPECT_EQ(delta.counters.at("fresh"), 2u);
+  EXPECT_EQ(delta.histograms.at("lat").count, 2u);
+  EXPECT_EQ(delta.histograms.at("lat").sum, 500u);
+}
+
+TEST(RegistrySnapshotTest, IdenticalSnapshotsDeltaToEmpty) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops")->Add(5);
+  reg.GetHistogram("lat")->Record(10);
+  const RegistrySnapshot snap = reg.Snapshot();
+  const RegistrySnapshot delta = reg.Snapshot().DeltaSince(snap);
+  EXPECT_TRUE(delta.Empty());
+  EXPECT_FALSE(snap.Empty());
+}
+
+TEST(RegistrySnapshotTest, ToStringOmitsZeroEntries) {
+  MetricsRegistry reg;
+  reg.GetCounter("quiet")->Add(3);
+  const RegistrySnapshot before = reg.Snapshot();
+  reg.GetCounter("active")->Add(1);
+  const RegistrySnapshot delta = reg.Snapshot().DeltaSince(before);
+  const std::string dump = delta.ToString();
+  EXPECT_NE(dump.find("active"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("quiet"), std::string::npos) << dump;
+}
+
+TEST(RegistrySnapshotTest, DeltaMaxIsUpperBound) {
+  // A histogram's max cannot be un-merged; the delta keeps the later
+  // absolute max, an upper bound for the interval.
+  MetricsRegistry reg;
+  reg.GetHistogram("lat")->Record(1000);
+  const RegistrySnapshot before = reg.Snapshot();
+  reg.GetHistogram("lat")->Record(10);
+  const RegistrySnapshot delta = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.histograms.at("lat").count, 1u);
+  EXPECT_EQ(delta.histograms.at("lat").max, 1000u);
+}
+
+// ------------------------------------------------------------------ //
 // Trace recorder
 
 // Every trace test uninstalls on exit so the global sink never leaks
