@@ -31,6 +31,7 @@ int main() {
     opts.input_path = "in.dat";
     opts.output_path = "out.dat";
     opts.memory_budget = 128 * 1024;  // ~512-record chunks
+    opts.io_chunk_bytes = 16 * 1024;  // keep budget >= 4 io chunks
     opts.run_size_records = 256;
     opts.max_merge_fanin = fanin;
     opts.scratch_path = "fanin_scratch";

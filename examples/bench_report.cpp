@@ -4,10 +4,11 @@
 //   ./bench_report [--smoke] [--name NAME] [--out FILE]
 //                  [--suite NAME]... [--workers K]
 //
-// Runs four suites — the paper's run-generation comparison (§4
+// Runs five suites — the paper's run-generation comparison (§4
 // QuickSort vs replacement-selection), output-stripe scaling (§6),
-// the 8B-vs-16B entry ablation (§7), and an end-to-end in-memory
-// Datamation sort — and writes one BenchReport JSON
+// the 8B-vs-16B entry ablation (§7), an end-to-end in-memory
+// Datamation sort, and SortService concurrency scaling
+// (docs/service.md) — and writes one BenchReport JSON
 // (kind "alphasort.bench_report") with a numeric metrics object per
 // configuration. --smoke shrinks every input so the whole suite runs in
 // seconds (CI); sizes are part of each entry's config string, so smoke
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "benchlib/datamation.h"
+#include "benchlib/service_bench.h"
 #include "common/table.h"
 #include "core/alphasort.h"
 #include "obs/report.h"
@@ -226,6 +228,41 @@ void RunDatamation(const BenchConfig& cfg, obs::BenchReport* report) {
   report->entries.push_back(std::move(e));
 }
 
+// --- SortService aggregate throughput vs job concurrency, with and
+// without transient fault injection (docs/service.md).
+void RunService(const BenchConfig& cfg, obs::BenchReport* report) {
+  const uint64_t records = cfg.smoke ? 20000 : 100000;
+  for (const bool faults : {false, true}) {
+    for (const int running : {1, 2, 4}) {
+      ServiceBenchConfig sb;
+      sb.num_jobs = 8;
+      sb.records_per_job = records;
+      sb.max_running = running;
+      sb.service_budget = 64ull << 20;
+      sb.job_budget = 16ull << 20;
+      sb.num_workers = cfg.workers;
+      sb.inject_faults = faults;
+      const ServiceBenchResult r = RunServiceBench(sb);
+      if (r.jobs_ok != sb.num_jobs) {
+        fprintf(stderr, "service bench (running=%d faults=%d): %s\n",
+                running, faults, r.ToString().c_str());
+        continue;
+      }
+      obs::BenchEntry e;
+      e.suite = "service";
+      e.config = StrFormat(
+          "jobs=%d running=%d n=%llu workers=%d faults=%d", sb.num_jobs,
+          running, static_cast<unsigned long long>(records), cfg.workers,
+          faults ? 1 : 0);
+      e.values = {{"seconds", r.wall_s},
+                  {"aggregate_mb_per_s", r.aggregate_mb_per_s},
+                  {"peak_admitted_mb", r.peak_admitted_bytes / 1e6},
+                  {"down_negotiated", double(r.down_negotiated)}};
+      report->entries.push_back(std::move(e));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,6 +301,7 @@ int main(int argc, char** argv) {
           {"striping", RunStriping},
           {"entry_width", RunEntryWidth},
           {"datamation", RunDatamation},
+          {"service", RunService},
       };
   for (const auto& [suite_name, fn] : suites) {
     if (!only.empty() &&

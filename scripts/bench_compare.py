@@ -23,8 +23,16 @@ import sys
 
 # Workload-shape metrics: a drift in either direction is suspicious (the
 # benchmark is no longer measuring the same thing), but neither direction
-# is "better".
-STRUCTURAL = {"runs", "avg_run_over_W", "ties_per_record"}
+# is "better". The service suite's admission telemetry is structural too:
+# peak admitted bytes and down-negotiation counts are facts about the
+# arbitration shape, not speed.
+STRUCTURAL = {
+    "runs",
+    "avg_run_over_W",
+    "ties_per_record",
+    "peak_admitted_mb",
+    "down_negotiated",
+}
 
 
 def lower_is_better(metric: str) -> bool:

@@ -2,9 +2,11 @@
 # CI gate: tier-1 build + tests, sanitizer passes (ASan+UBSan suite, TSan
 # over the concurrency-heavy suites), a fault-campaign smoke gate
 # (docs/fault_tolerance.md), an observability smoke that sorts 100k
-# records under --trace/--report and validates both JSON artifacts, and a
-# bench smoke (scripts/bench.sh --smoke) compared informationally against
-# the committed BENCH_smoke.json baseline (docs/observability.md).
+# records under --trace/--report and validates both JSON artifacts, a
+# SortService smoke (concurrent jobs + a cancel under one shared budget,
+# docs/service.md), and a bench smoke (scripts/bench.sh --smoke) compared
+# informationally against the committed BENCH_smoke.json baseline
+# (docs/observability.md).
 # Machine-readable outputs land in ci-artifacts/ for workflow upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,9 +38,9 @@ cmake -B build-tsan -S . \
   >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   async_io_test chores_test alphasort_test retry_env_test \
-  fault_campaign_test obs_test throttled_env_test
+  fault_campaign_test obs_test throttled_env_test sort_service_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" -R \
-  '^(async_io_test|chores_test|alphasort_test|retry_env_test|fault_campaign_test|obs_test|throttled_env_test)$'
+  '^(async_io_test|chores_test|alphasort_test|retry_env_test|fault_campaign_test|obs_test|throttled_env_test|sort_service_test)$'
 
 echo
 echo "=== fault-campaign smoke: 32 seeded storms must never lie ==="
@@ -67,6 +69,15 @@ echo "=== observability smoke: asort --trace/--report on an in-memory input ==="
 # summing to the total, IO percentiles, registry delta, and hardware
 # counters populated or explicitly unavailable.
 ./build/examples/report_lint ci-artifacts/report.json
+
+echo
+echo "=== service smoke: 4 concurrent jobs + a cancel under one budget ==="
+# The SortService gate (docs/service.md): four jobs whose summed budgets
+# exceed the service budget run concurrently, plus a fifth cancelled
+# right after submit. Exit is non-zero if any surviving job fails or
+# produces unsorted output, if the cancel ends dirty, if peak admitted
+# bytes ever exceeded the budget, or if a scratch file leaks.
+./build/examples/sort_service --smoke
 
 echo
 echo "=== bench smoke: scripts/bench.sh --smoke -> BENCH_smoke.json ==="

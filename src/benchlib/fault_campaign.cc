@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/table.h"
 #include "core/alphasort.h"
+#include "io/env_stack.h"
 
 namespace alphasort {
 
@@ -77,7 +78,12 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   Random rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234567);
 
   std::unique_ptr<Env> mem = NewMemEnv();
-  FaultInjectionEnv fenv(mem.get());
+  // Canonical layer order (io/env_stack.h): the fault layer sits
+  // directly above the base store; the sort adds its own metrics/retry
+  // layers above it per run.
+  EnvStack stack(mem.get());
+  stack.PushFaults();
+  FaultInjectionEnv& fenv = *stack.faults();
 
   // Randomized geometry: plain/striped endpoints, one or two passes,
   // several stripe widths, fan-ins narrow enough to force merge cascades.
@@ -130,7 +136,7 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   FaultPlan plan = MakeCampaignPlan(seed, opts.scratch_path);
   result.plan_overrides = plan.overrides.size();
   fenv.SetPlan(plan);
-  result.sort_status = AlphaSort::Run(&fenv, opts, &result.metrics);
+  result.sort_status = AlphaSort::Run(stack.top(), opts, &result.metrics);
   fenv.SetPlan(FaultPlan{});  // quiesce before validation
   result.faults_injected = fenv.faults_injected();
 

@@ -1,0 +1,140 @@
+#include "benchlib/service_bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "io/env_stack.h"
+#include "svc/sort_service.h"
+
+namespace alphasort {
+
+std::string ServiceBenchResult::ToString() const {
+  std::string out = StrFormat(
+      "%d ok, %d failed, %d invalid, %d leaked scratch; "
+      "%.2fs wall, %.1f MB/s aggregate, peak admitted %.1f MB, "
+      "%llu down-negotiated",
+      jobs_ok, jobs_failed, jobs_invalid, leaked_scratch, wall_s,
+      aggregate_mb_per_s, peak_admitted_bytes / 1e6,
+      static_cast<unsigned long long>(down_negotiated));
+  if (!first_error.ok()) {
+    out += StrFormat("; first error: %s", first_error.ToString().c_str());
+  }
+  return out;
+}
+
+ServiceBenchResult RunServiceBench(const ServiceBenchConfig& config) {
+  ServiceBenchResult result;
+  std::unique_ptr<Env> mem = NewMemEnv();
+
+  // Canonical layer order (io/env_stack.h): faults directly above the
+  // base store; each job's own metrics/retry layers stack above this
+  // inside the pipeline.
+  EnvStack stack(mem.get());
+  if (config.inject_faults) {
+    stack.PushFaults();
+    FaultPlan plan;
+    plan.seed = config.seed;
+    plan.defaults.read_fail_prob = 0.002;
+    plan.defaults.write_fail_prob = 0.002;
+    plan.defaults.mode = FaultMode::kTransient;
+    stack.faults()->SetPlan(plan);
+  }
+  Env* env = stack.top();
+
+  const RecordFormat format = kDatamationFormat;
+  std::vector<std::string> inputs(config.num_jobs);
+  std::vector<std::string> outputs(config.num_jobs);
+  for (int j = 0; j < config.num_jobs; ++j) {
+    inputs[j] = StrFormat("svc_in_%02d.dat", j);
+    outputs[j] = StrFormat("svc_out_%02d.dat", j);
+    InputSpec spec;
+    spec.path = inputs[j];
+    spec.format = format;
+    spec.num_records = config.records_per_job;
+    spec.seed = config.seed + static_cast<uint64_t>(j);
+    if (Status s = CreateInputFile(mem.get(), spec); !s.ok()) {
+      result.first_error = s;
+      return result;
+    }
+  }
+
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = config.service_budget;
+  sopts.max_running = config.max_running;
+  sopts.max_queued = config.num_jobs;  // the bench never wants rejections
+  sopts.num_workers = config.num_workers;
+  svc::SortService service(env, sopts);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<SortJob> jobs;
+  std::vector<int> job_index;  // jobs[k] sorts inputs[job_index[k]]
+  jobs.reserve(config.num_jobs);
+  for (int j = 0; j < config.num_jobs; ++j) {
+    SortOptions opts;
+    opts.input_path = inputs[j];
+    opts.output_path = outputs[j];
+    opts.format = format;
+    opts.memory_budget = config.job_budget;
+    opts.io_chunk_bytes = static_cast<size_t>(std::min<uint64_t>(
+        64 * 1024, config.job_budget / SortOptions::kMinMemoryBudgetChunks));
+    opts.run_size_records = 10000;
+    opts.scratch_path = "svc_scratch";
+    if (config.inject_faults) {
+      opts.retry_policy.max_attempts = 8;
+      opts.retry_policy.backoff_initial_us = 1;
+      opts.retry_policy.backoff_cap_us = 16;
+    }
+    Result<SortJob> job = service.Submit(opts);
+    if (!job.ok()) {
+      ++result.jobs_failed;
+      if (result.first_error.ok()) result.first_error = job.status();
+      continue;
+    }
+    jobs.push_back(std::move(job).value());
+    job_index.push_back(j);
+  }
+
+  uint64_t validated_bytes = 0;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    const SortResult& r = jobs[j].Wait();
+    if (!r.status.ok()) {
+      ++result.jobs_failed;
+      if (result.first_error.ok()) result.first_error = r.status;
+      continue;
+    }
+    if (Status v = ValidateSortedFile(mem.get(), inputs[job_index[j]],
+                                      outputs[job_index[j]], format);
+        !v.ok()) {
+      ++result.jobs_invalid;
+      if (result.first_error.ok()) result.first_error = v;
+      continue;
+    }
+    ++result.jobs_ok;
+    validated_bytes += r.metrics.bytes_out;
+  }
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  if (result.wall_s > 0) {
+    result.aggregate_mb_per_s = validated_bytes / 1e6 / result.wall_s;
+  }
+
+  const svc::SortServiceStats stats = service.stats();
+  result.peak_admitted_bytes = stats.peak_admitted_bytes;
+  result.down_negotiated = stats.down_negotiated;
+
+  // Every job is done: any file left under the scratch namespace is a
+  // leak (per-job sweepers plus per-job directories should have removed
+  // everything).
+  std::vector<std::string> stray;
+  if (mem->ListFiles("svc_scratch", &stray).ok()) {
+    result.leaked_scratch = static_cast<int>(stray.size());
+  }
+  return result;
+}
+
+}  // namespace alphasort

@@ -1,0 +1,54 @@
+#ifndef ALPHASORT_BENCHLIB_SERVICE_BENCH_H_
+#define ALPHASORT_BENCHLIB_SERVICE_BENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace alphasort {
+
+// Harness measuring SortService aggregate throughput as job concurrency
+// scales (docs/service.md): N identical Datamation jobs are submitted at
+// once against a fresh in-memory filesystem, the service arbitrates
+// them under a fixed global budget, and the harness reports wall-clock
+// throughput plus the arbitration telemetry (peak admitted bytes,
+// down-negotiations). With `inject_faults` the Env is wrapped in a
+// transient-fault layer and every job carries a retry policy, so the
+// numbers show what arbitration costs under an unreliable disk too.
+
+struct ServiceBenchConfig {
+  int num_jobs = 8;
+  uint64_t records_per_job = 50000;
+  // Concurrency under test: the service's max_running.
+  int max_running = 2;
+  // Global admission budget lent across running jobs.
+  uint64_t service_budget = 64ull << 20;
+  // What each job asks for; above service_budget exercises
+  // down-negotiation.
+  uint64_t job_budget = 16ull << 20;
+  int num_workers = 2;
+  bool inject_faults = false;
+  uint64_t seed = 1;
+};
+
+struct ServiceBenchResult {
+  int jobs_ok = 0;          // Status OK and output validated sorted
+  int jobs_failed = 0;      // any non-OK terminal status
+  int jobs_invalid = 0;     // OK status but output failed validation
+  int leaked_scratch = 0;   // scratch files left after every job finished
+  double wall_s = 0;        // submit of the first job -> last job done
+  double aggregate_mb_per_s = 0;  // validated output bytes / wall_s
+  uint64_t peak_admitted_bytes = 0;
+  uint64_t down_negotiated = 0;
+  Status first_error;       // first non-OK job status, if any
+
+  std::string ToString() const;
+};
+
+// Runs one configuration start to finish on a fresh MemEnv.
+ServiceBenchResult RunServiceBench(const ServiceBenchConfig& config);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_BENCHLIB_SERVICE_BENCH_H_

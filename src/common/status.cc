@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kAborted:
       return "Aborted";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ class Status {
     kNotSupported,
     kResourceExhausted,
     kAborted,
+    kUnavailable,        // try again later (queue full, shutting down)
+    kDeadlineExceeded,   // the operation's deadline passed
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,6 +53,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(Code::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -63,6 +71,10 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   const std::string& message() const { return msg_; }
 

@@ -4,7 +4,8 @@
 
 #include "common/table.h"
 #include "core/pipeline_internal.h"
-#include "io/retry_env.h"
+#include "core/sorter.h"
+#include "io/env_stack.h"
 #include "obs/metrics.h"
 #include "obs/metrics_env.h"
 #include "obs/perf_counters.h"
@@ -38,36 +39,14 @@ IoLatencyStats SummarizeWrites(const obs::IoModeSnapshot& io) {
   return out;
 }
 
-Status ValidateOptions(const SortOptions& o) {
-  if (o.input_path.empty() || o.output_path.empty()) {
-    return Status::InvalidArgument("input_path and output_path are required");
-  }
-  if (o.input_path == o.output_path) {
-    return Status::InvalidArgument("input and output must differ");
-  }
-  if (!o.format.Valid()) {
-    return Status::InvalidArgument("invalid record format");
-  }
-  if (o.run_size_records == 0) {
-    return Status::InvalidArgument("run_size_records must be positive");
-  }
-  if (o.io_threads <= 0 || o.io_depth <= 0 || o.io_chunk_bytes == 0) {
-    return Status::InvalidArgument("io parameters must be positive");
-  }
-  if (o.num_workers < 0) {
-    return Status::InvalidArgument("num_workers must be >= 0");
-  }
-  if (o.force_passes < 0 || o.force_passes > 2) {
-    return Status::InvalidArgument("force_passes must be 0, 1 or 2");
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
-Status AlphaSort::Run(Env* env, const SortOptions& options,
-                      SortMetrics* metrics) {
-  ALPHASORT_RETURN_IF_ERROR(ValidateOptions(options));
+namespace core_internal {
+
+Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
+                       ChorePool* pool, const SortControl* control,
+                       SortMetrics* metrics) {
+  ALPHASORT_RETURN_IF_ERROR(options.Validate());
   SortMetrics local_metrics;
   if (metrics == nullptr) metrics = &local_metrics;
   *metrics = SortMetrics();
@@ -110,39 +89,29 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
     }
   };
 
-  // Every file the sort touches (input, output, scratch) is opened
-  // through the metrics wrapper so the phase report can show IO latency
-  // percentiles next to the wall-clock laps.
-  obs::MetricsEnv metrics_env(env);
-  if (options.collect_io_metrics) env = &metrics_env;
-
-  // The retry wrapper sits above the metrics wrapper so each physical
-  // attempt is timed individually; transient IOErrors on any file the
-  // sort opens are retried per options.retry_policy.
-  std::optional<RetryEnv> retry_env;
-  if (options.retry_policy.enabled()) {
-    retry_env.emplace(env, options.retry_policy);
-    env = &*retry_env;
-  }
-  auto fill_retry_metrics = [&retry_env, metrics] {
-    if (!retry_env) return;
-    const RetryStats rs = retry_env->stats();
+  // Env wrapping per the canonical EnvStack order: metrics above the
+  // caller's env so every physical attempt is timed individually, retry
+  // on top so each re-attempt passes back through metrics.
+  EnvStack stack(env);
+  if (options.collect_io_metrics) stack.PushMetrics();
+  if (options.retry_policy.enabled()) stack.PushRetry(options.retry_policy);
+  env = stack.top();
+  auto fill_retry_metrics = [&stack, metrics] {
+    if (stack.retry() == nullptr) return;
+    const RetryStats rs = stack.retry()->stats();
     metrics->io_retries = rs.retries;
     metrics->io_retries_recovered = rs.ops_recovered;
     metrics->io_retries_exhausted = rs.ops_exhausted;
   };
 
-  AsyncIO aio(options.io_threads);
-  ChorePool pool(options.num_workers, options.use_affinity);
-
   // Open the input and create the output, members in parallel (§6).
   std::optional<obs::TraceSpan> startup_span;
   startup_span.emplace("sort.startup");
   Result<std::unique_ptr<StripeFile>> input =
-      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, &aio);
+      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, aio);
   ALPHASORT_RETURN_IF_ERROR(input.status());
   Result<std::unique_ptr<StripeFile>> output = StripeFile::Open(
-      env, options.output_path, OpenMode::kCreateReadWrite, &aio);
+      env, options.output_path, OpenMode::kCreateReadWrite, aio);
   ALPHASORT_RETURN_IF_ERROR(output.status());
 
   Result<uint64_t> size = input.value()->Size();
@@ -158,12 +127,13 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   ctx.env = env;
   ctx.options = &options;
   ctx.metrics = metrics;
-  ctx.aio = &aio;
-  ctx.pool = &pool;
+  ctx.aio = aio;
+  ctx.pool = pool;
   ctx.input = input.value().get();
   ctx.output = output.value().get();
   ctx.input_bytes = size.value();
   ctx.num_records = size.value() / options.format.record_size;
+  ctx.control = control;
 
   metrics->bytes_in = ctx.input_bytes;
   metrics->num_records = ctx.num_records;
@@ -179,9 +149,11 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
       options.force_passes == 1 || (options.force_passes == 0 && fits);
   metrics->passes = one_pass ? 1 : 2;
 
-  Status sort_status =
-      one_pass ? core_internal::RunOnePass(&ctx)
-               : core_internal::RunTwoPass(&ctx);
+  Status sort_status = CheckControl(&ctx);
+  if (sort_status.ok()) {
+    sort_status = one_pass ? core_internal::RunOnePass(&ctx)
+                           : core_internal::RunTwoPass(&ctx);
+  }
   if (!sort_status.ok()) {
     input.value()->Close();
     output.value()->Close();
@@ -200,13 +172,31 @@ Status AlphaSort::Run(Env* env, const SortOptions& options,
   metrics->bytes_out = ctx.input_bytes;
   metrics->total_s = total_timer.Lap();
   fill_retry_metrics();
-  if (options.collect_io_metrics) {
-    const obs::IoModeSnapshot io = metrics_env.Snapshot().Total();
+  if (stack.metrics() != nullptr) {
+    const obs::IoModeSnapshot io = stack.metrics()->Snapshot().Total();
     metrics->read_io = SummarizeReads(io);
     metrics->write_io = SummarizeWrites(io);
   }
   finish_observability();
   return Status::OK();
+}
+
+}  // namespace core_internal
+
+Status AlphaSort::Run(Env* env, const SortOptions& options,
+                      SortMetrics* metrics) {
+  // Thin wrapper over the instance API: one transient Sorter sized from
+  // the options, one job, wait. New code should hold a Sorter (or a
+  // svc::SortService) and Start() jobs against it.
+  Sorter::Resources resources;
+  resources.num_workers = options.num_workers;
+  resources.io_threads = options.io_threads;
+  resources.use_affinity = options.use_affinity;
+  Sorter sorter(env, resources);
+  SortJob job = sorter.Start(options);
+  const SortResult& result = job.Wait();
+  if (metrics != nullptr) *metrics = result.metrics;
+  return result.status;
 }
 
 }  // namespace alphasort

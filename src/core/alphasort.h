@@ -33,11 +33,20 @@ namespace alphasort {
 //   opts.num_workers = 3;
 //   SortMetrics metrics;
 //   Status s = AlphaSort::Run(GetPosixEnv(), opts, &metrics);
+//
+// AlphaSort::Run is the historical one-shot entry point, kept as a thin
+// wrapper over the instance-based job API (core/sorter.h): it builds a
+// transient Sorter, Start()s the one job, and Wait()s. Code that runs
+// more than one sort — or wants cancellation handles, deadlines, or
+// shared IO/worker pools — should use Sorter::Start directly, and code
+// that needs admission control across concurrent sorts should submit to
+// a SortService (src/svc/sort_service.h, docs/service.md).
 class AlphaSort {
  public:
   // Sorts input to output; fills `metrics` (optional) with the phase
   // breakdown. Returns the first error encountered; on error the output
-  // file contents are unspecified.
+  // file contents are unspecified. Equivalent to
+  // Sorter(env).Start(options).Wait() with pools sized from `options`.
   static Status Run(Env* env, const SortOptions& options,
                     SortMetrics* metrics = nullptr);
 };

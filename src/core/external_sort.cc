@@ -99,6 +99,8 @@ Status WriteRunFile(SortContext* ctx, RunMerger<>& merger, File* out,
   uint32_t crc = 0;
   size_t which = 0;
   while (!merger.Done()) {
+    // Cancellation/deadline poll, once per run-file output batch.
+    if (Status ctl = CheckControl(ctx); !ctl.ok()) return abandon(ctl);
     OutBuffer& buf = bufs[which];
     if (buf.in_flight) {
       buf.in_flight = false;
@@ -142,6 +144,9 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
   uint64_t record_pos = 0;
   size_t run_index = 0;
   while (record_pos < ctx->num_records) {
+    // Cancellation/deadline poll, once per spilled run (no IO is in
+    // flight between runs; the sweeper removes already-spilled runs).
+    ALPHASORT_RETURN_IF_ERROR(CheckControl(ctx));
     const uint64_t n =
         std::min<uint64_t>(chunk_records, ctx->num_records - record_pos);
     const uint64_t byte_off = record_pos * fmt.record_size;
@@ -284,6 +289,8 @@ Status MergeScratchRunsToFile(SortContext* ctx,
   uint32_t out_crc = 0;
   size_t which = 0;
   while (!tree.Empty()) {
+    // Cancellation/deadline poll, once per merge output batch.
+    if (Status ctl = CheckControl(ctx); !ctl.ok()) return abandon(ctl);
     OutBuffer& buf = bufs[which];
     if (buf.in_flight) {
       buf.in_flight = false;

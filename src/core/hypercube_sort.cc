@@ -37,9 +37,7 @@ Status HypercubeSort::Run(Env* env, const SortOptions& options,
   if (hyper.nodes <= 0) {
     return Status::InvalidArgument("nodes must be positive");
   }
-  if (!options.format.Valid()) {
-    return Status::InvalidArgument("invalid record format");
-  }
+  ALPHASORT_RETURN_IF_ERROR(options.Validate());
   const RecordFormat fmt = options.format;
   const size_t P = static_cast<size_t>(hyper.nodes);
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "io/retry_env.h"
 #include "record/record.h"
 
@@ -109,8 +110,32 @@ struct SortOptions {
   // Force a pass count (0 = choose by memory_budget).
   int force_passes = 0;
 
+  // Wall-clock budget in seconds for the whole sort, 0 = none. The
+  // pipeline checks cooperatively at run/merge-batch boundaries and
+  // returns Status::DeadlineExceeded once it passes; under a SortService
+  // the clock starts at Submit, so the limit covers queue wait too.
+  double time_limit_s = 0;
+
   // Entry bytes per record the planner assumes on top of record storage.
   static constexpr size_t kEntryOverheadBytes = sizeof(uint64_t) + sizeof(void*);
+
+  // Checks every invariant the pipeline assumes, in one place. Called by
+  // every entry point (AlphaSort, VmsSort, HypercubeSort, SortWithSchema,
+  // SortService::Submit) before any file is touched:
+  //   - input/output paths set and distinct, valid record format
+  //   - run_size_records > 0
+  //   - io_threads >= 1, io_depth >= 1, io_chunk_bytes > 0
+  //   - max_merge_fanin >= 2 (a 1-way "merge" cannot make progress)
+  //   - scratch_path set, scratch_stripe_width <= kMaxScratchStripeWidth
+  //   - memory_budget >= kMinMemoryBudgetChunks IO chunks (the two-pass
+  //     planner needs room for at least a few buffers)
+  //   - num_workers >= 0, force_passes in {0,1,2}, time_limit_s >= 0,
+  //     retry_policy.max_attempts >= 1
+  // Returns InvalidArgument naming the violated invariant.
+  Status Validate() const;
+
+  static constexpr size_t kMaxScratchStripeWidth = 64;
+  static constexpr uint64_t kMinMemoryBudgetChunks = 4;
 };
 
 }  // namespace alphasort

@@ -150,6 +150,12 @@ Status RunOnePass(SortContext* ctx) {
     };
 
     for (uint64_t c = 0; c < num_chunks; ++c) {
+      // Cancellation/deadline poll, once per read chunk: the in-flight
+      // chunk completes (the buffers stay referenced), then the sort
+      // unwinds through the normal error path.
+      if (Status ctl = CheckControl(ctx); !ctl.ok()) {
+        return abandon(c, ctl);
+      }
       const uint64_t off = c * chunk;
       const size_t expect =
           static_cast<size_t>(std::min<uint64_t>(chunk, bytes - off));
@@ -236,6 +242,8 @@ Status RunOnePass(SortContext* ctx) {
     uint32_t out_crc = 0;
     size_t which = 0;
     while (!merger.Done()) {
+      // Cancellation/deadline poll, once per merge output batch.
+      if (Status ctl = CheckControl(ctx); !ctl.ok()) return abandon(ctl);
       OutBuffer& buf = bufs[which];
       if (buf.in_flight) {
         buf.in_flight = false;

@@ -6,6 +6,7 @@
 
 #include "core/chores.h"
 #include "core/options.h"
+#include "core/sort_control.h"
 #include "core/sort_metrics.h"
 #include "io/async_io.h"
 #include "io/stripe.h"
@@ -25,12 +26,32 @@ struct SortContext {
   uint64_t input_bytes = 0;
   uint64_t num_records = 0;
 
+  // Cooperative cancellation/deadline token, optional. The pipeline
+  // polls it at run/merge-batch boundaries via CheckControl.
+  const SortControl* control = nullptr;
+
   // Every scratch-run path this sort has created, whether or not it was
   // later cleaned up in-line. Only the root thread creates scratch runs,
   // so plain vector access is safe. The ScratchSweeper uses it (plus an
   // Env::ListFiles backstop) to guarantee a failed sort leaks nothing.
   std::vector<std::string> scratch_created;
 };
+
+// Cancellation/deadline poll, called once per IO-buffer quantum (read
+// chunk, spill chunk, merge output batch). OK when no token is set.
+inline Status CheckControl(const SortContext* ctx) {
+  return ctx->control == nullptr ? Status::OK() : ctx->control->Check();
+}
+
+// The whole sort pipeline with caller-provided shared resources: plan
+// passes, run them, fill metrics. `aio` and `pool` may be shared across
+// concurrent sorts (a SortService owns one of each); `control` is the
+// per-job cancellation/deadline token (may be null). The env wrapping
+// (metrics, retry) prescribed by `options` happens inside.
+// AlphaSort::Run and Sorter jobs both land here.
+Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
+                       ChorePool* pool, const SortControl* control,
+                       SortMetrics* metrics);
 
 // One-pass pipeline: the whole input is held in memory (paper §7).
 Status RunOnePass(SortContext* ctx);

@@ -1,0 +1,80 @@
+#ifndef ALPHASORT_CORE_SORT_CONTROL_H_
+#define ALPHASORT_CORE_SORT_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace alphasort {
+
+// Cooperative cancellation and deadline token for one sort execution.
+//
+// The pipeline polls Check() at its natural quanta — once per read
+// chunk, per spilled run chunk, and per merge output batch — so a
+// cancelled or expired sort stops within one IO buffer's worth of work,
+// unwinds through the normal error path, and the ScratchSweeper removes
+// whatever it had spilled. Nothing is torn down mid-operation: an
+// in-flight IO completes, then the next boundary observes the token.
+//
+// Thread-safe: RequestCancel() may be called from any thread (that is
+// its whole purpose — SortJob::Cancel() calls it from outside the
+// sorting thread); the deadline is set once before the sort starts.
+class SortControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  SortControl() = default;
+  SortControl(const SortControl&) = delete;
+  SortControl& operator=(const SortControl&) = delete;
+
+  // Asks the sort to stop at the next check point. Idempotent.
+  void RequestCancel() {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+  // Absolute deadline; Check() fails once it passes. Set before the
+  // sort starts (a service sets it at Submit so the deadline covers
+  // queue wait, which is the point of deadlines under backpressure).
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  void SetTimeout(double seconds) {
+    SetDeadline(Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds)));
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  bool deadline_passed() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  // OK while the sort may keep running; Aborted after RequestCancel();
+  // DeadlineExceeded after the deadline passes. Cancellation wins when
+  // both hold (the caller explicitly asked).
+  Status Check() const {
+    if (cancel_requested()) return Status::Aborted("sort cancelled");
+    if (deadline_passed()) {
+      return Status::DeadlineExceeded("sort deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancel_requested_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_SORT_CONTROL_H_

@@ -1,0 +1,123 @@
+#include "core/sorter.h"
+
+#include <utility>
+
+#include "common/table.h"
+#include "core/pipeline_internal.h"
+
+namespace alphasort {
+
+namespace core_internal {
+
+void JobCore::Finish(Status status) {
+  std::lock_guard<std::mutex> lock(mu);
+  result.status = std::move(status);
+  state = SortJobState::kDone;
+  cv.notify_all();
+}
+
+void ExecuteJob(Env* env, JobCore* job, AsyncIO* aio, ChorePool* pool) {
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = SortJobState::kRunning;
+  }
+  // A job cancelled or expired while queued never touches a file.
+  Status s = job->control.Check();
+  if (s.ok()) {
+    s = RunSortPipeline(env, job->options, aio, pool, &job->control,
+                        &job->result.metrics);
+  }
+  job->result.report.tool = "sorter";
+  job->result.report.config = StrFormat(
+      "job=%llu in=%s out=%s workers=%d budget=%llu%s",
+      static_cast<unsigned long long>(job->id),
+      job->options.input_path.c_str(), job->options.output_path.c_str(),
+      job->options.num_workers,
+      static_cast<unsigned long long>(job->options.memory_budget),
+      job->down_negotiated ? " down_negotiated" : "");
+  job->result.report.metrics = job->result.metrics;
+  job->Finish(std::move(s));
+}
+
+}  // namespace core_internal
+
+SortJobState SortJob::state() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->state;
+}
+
+void SortJob::Cancel() {
+  core_->control.RequestCancel();
+  if (core_->on_cancel) core_->on_cancel();
+}
+
+const SortResult& SortJob::Wait() {
+  std::unique_lock<std::mutex> lock(core_->mu);
+  core_->cv.wait(lock,
+                 [this] { return core_->state == SortJobState::kDone; });
+  return core_->result;
+}
+
+bool SortJob::TryWait(SortResult* out) {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  if (core_->state != SortJobState::kDone) return false;
+  if (out != nullptr) *out = core_->result;
+  return true;
+}
+
+Sorter::Sorter(Env* env, const Resources& resources)
+    : env_(env),
+      aio_(resources.io_threads),
+      pool_(resources.num_workers, resources.use_affinity) {}
+
+Sorter::~Sorter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& job : jobs_) {
+    if (job.thread.joinable()) job.thread.join();
+  }
+  jobs_.clear();
+}
+
+void Sorter::ReapFinishedLocked() {
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    bool done;
+    {
+      std::lock_guard<std::mutex> lock(it->core->mu);
+      done = it->core->state == SortJobState::kDone;
+    }
+    if (done) {
+      if (it->thread.joinable()) it->thread.join();
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SortJob Sorter::Start(const SortOptions& options) {
+  auto core = std::make_shared<core_internal::JobCore>();
+  core->options = options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    core->id = next_id_++;
+  }
+  if (Status v = options.Validate(); !v.ok()) {
+    core->Finish(std::move(v));
+    return SortJob(core);
+  }
+  if (options.time_limit_s > 0) {
+    core->control.SetTimeout(options.time_limit_s);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ReapFinishedLocked();
+  Running running;
+  running.core = core;
+  running.thread = std::thread([this, core] {
+    core_internal::ExecuteJob(env_, core.get(), &aio_, &pool_);
+  });
+  jobs_.push_back(std::move(running));
+  return SortJob(core);
+}
+
+}  // namespace alphasort

@@ -1,0 +1,186 @@
+#ifndef ALPHASORT_CORE_SORTER_H_
+#define ALPHASORT_CORE_SORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/chores.h"
+#include "core/options.h"
+#include "core/sort_control.h"
+#include "core/sort_metrics.h"
+#include "io/async_io.h"
+#include "io/env.h"
+#include "obs/report.h"
+
+namespace alphasort {
+
+namespace svc {
+class SortService;  // src/svc/sort_service.h; befriended below
+}  // namespace svc
+
+// The instance-based public sort API.
+//
+// A Sorter owns the process-wide resources the paper's root/worker model
+// shares — one AsyncIO scheduler and one ChorePool — and runs each
+// Start()ed sort as a *job* against them. The returned SortJob is a
+// cheap shared handle: Wait() for the result, Cancel() to stop the sort
+// at its next run/merge-batch boundary, state() to observe progress.
+//
+//   Sorter sorter(GetPosixEnv());
+//   SortJob job = sorter.Start(options);
+//   const SortResult& r = job.Wait();
+//   if (!r.status.ok()) ...
+//
+// The historical one-shot entry point is a thin wrapper over this API:
+// AlphaSort::Run(env, opts, &metrics) constructs a transient Sorter,
+// Start()s the one job, and Wait()s.
+//
+// A Sorter starts every job immediately on its own thread — it shares
+// resources but does not arbitrate them. For admission control (global
+// memory budget, bounded queue, backpressure) stack a svc::SortService
+// on top: it returns the same SortJob handles.
+
+// The complete outcome of one sort job.
+struct SortResult {
+  Status status;
+  SortMetrics metrics;
+  // The versioned machine-readable report for this job (tool "sorter"),
+  // ready for SortReport::ToJson()/ToText().
+  obs::SortReport report;
+};
+
+// Observable lifecycle of a job. Queued covers both "not yet started"
+// (Sorter: thread not yet scheduled; SortService: waiting for admission)
+// states; Done covers every terminal outcome including cancellation —
+// inspect SortResult::status to distinguish.
+enum class SortJobState { kQueued, kRunning, kDone };
+
+namespace core_internal {
+
+// Shared state behind a SortJob handle. Owned jointly by the handles and
+// the executor (Sorter or SortService) via shared_ptr.
+struct JobCore {
+  uint64_t id = 0;
+  SortOptions options;  // effective options the job runs with
+  SortControl control;
+
+  // Admission ticket a SortService charged against its global memory
+  // budget; 0 for plain Sorter jobs. Informational after admission.
+  uint64_t admitted_bytes = 0;
+  // True when a SortService shrank the requested memory_budget to fit
+  // its global budget (down-negotiation into a two-pass plan).
+  bool down_negotiated = false;
+
+  // Invoked (without mu held) on Cancel, so a queueing executor can wake
+  // its scheduler and reap the job without waiting for a runner tick.
+  std::function<void()> on_cancel;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  SortJobState state = SortJobState::kQueued;
+  SortResult result;
+
+  void Finish(Status status);
+};
+
+// Runs `job` on the calling thread over the shared resources, filling
+// job->result (metrics + report) and signalling waiters. Used by
+// Sorter's per-job threads and SortService's runner threads.
+void ExecuteJob(Env* env, JobCore* job, AsyncIO* aio, ChorePool* pool);
+
+}  // namespace core_internal
+
+// Shared handle to one sort job. Copyable and cheap; all copies refer
+// to the same job. A default-constructed handle is empty (valid() is
+// false) and must not be waited on.
+class SortJob {
+ public:
+  SortJob() = default;
+
+  bool valid() const { return core_ != nullptr; }
+  uint64_t id() const { return core_->id; }
+
+  SortJobState state() const;
+
+  // Requests cooperative cancellation: a queued job finishes without
+  // running, a running job stops at its next run/merge-batch boundary
+  // (Status::Aborted either way, scratch swept). Safe from any thread;
+  // a no-op once the job is done.
+  void Cancel();
+
+  // Blocks until the job is done and returns its result. The reference
+  // stays valid for the life of the job (any handle keeps it alive).
+  const SortResult& Wait();
+
+  // Non-blocking: true with `*out` filled (if non-null) when the job is
+  // done, false while it is still queued or running.
+  bool TryWait(SortResult* out = nullptr);
+
+  // True when a SortService shrank this job's memory budget to fit the
+  // service-wide budget (always false for plain Sorter jobs).
+  bool down_negotiated() const { return core_->down_negotiated; }
+
+ private:
+  friend class Sorter;
+  friend class svc::SortService;
+  explicit SortJob(std::shared_ptr<core_internal::JobCore> core)
+      : core_(std::move(core)) {}
+
+  std::shared_ptr<core_internal::JobCore> core_;
+};
+
+// Runs sort jobs against one shared AsyncIO scheduler and ChorePool.
+// Start() launches each job immediately on its own thread; the
+// destructor waits for every outstanding job.
+//
+// Thread-safe: Start() may be called concurrently; jobs share the pools
+// (chores from concurrent jobs interleave across the same workers, as
+// concurrent sorts on one machine share its CPUs).
+class Sorter {
+ public:
+  struct Resources {
+    int num_workers = 0;    // shared ChorePool width
+    int io_threads = 4;     // shared AsyncIO threads
+    bool use_affinity = false;
+  };
+
+  // `env` must outlive the Sorter and every job started through it.
+  explicit Sorter(Env* env) : Sorter(env, Resources()) {}
+  Sorter(Env* env, const Resources& resources);
+  ~Sorter();
+
+  Sorter(const Sorter&) = delete;
+  Sorter& operator=(const Sorter&) = delete;
+
+  // Validates `options` and starts the sort. Never blocks on the sort
+  // itself; validation failures return an already-done job carrying the
+  // InvalidArgument status. options.time_limit_s (if set) starts
+  // counting here.
+  SortJob Start(const SortOptions& options);
+
+  Env* env() const { return env_; }
+
+ private:
+  struct Running {
+    std::shared_ptr<core_internal::JobCore> core;
+    std::thread thread;
+  };
+
+  void ReapFinishedLocked();
+
+  Env* env_;
+  AsyncIO aio_;
+  ChorePool pool_;
+  std::mutex mu_;
+  std::vector<Running> jobs_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_CORE_SORTER_H_

@@ -14,6 +14,7 @@ Status SortWithSchema(Env* env, const SortOptions& options,
                       const KeySchema& schema, SortMetrics* metrics) {
   SortMetrics local_metrics;
   if (metrics == nullptr) metrics = &local_metrics;
+  ALPHASORT_RETURN_IF_ERROR(options.Validate());
   const RecordFormat& fmt = options.format;
   ALPHASORT_RETURN_IF_ERROR(schema.Validate(fmt));
 

@@ -142,12 +142,7 @@ Status GenerateRuns(core_internal::SortContext* ctx,
 
 Status VmsSort::Run(Env* env, const SortOptions& options,
                     SortMetrics* metrics) {
-  if (options.input_path.empty() || options.output_path.empty()) {
-    return Status::InvalidArgument("input_path and output_path are required");
-  }
-  if (!options.format.Valid()) {
-    return Status::InvalidArgument("invalid record format");
-  }
+  ALPHASORT_RETURN_IF_ERROR(options.Validate());
   SortMetrics local_metrics;
   if (metrics == nullptr) metrics = &local_metrics;
   *metrics = SortMetrics();

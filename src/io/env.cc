@@ -9,6 +9,16 @@ Status Env::ListFiles(const std::string& prefix,
                               prefix);
 }
 
+Status Env::CreateDir(const std::string& path) {
+  (void)path;  // flat namespace: nothing to create
+  return Status::OK();
+}
+
+Status Env::RemoveDir(const std::string& path) {
+  (void)path;  // flat namespace: nothing to remove
+  return Status::OK();
+}
+
 Status Env::WriteStringToFile(const std::string& path,
                               const std::string& data) {
   Result<std::unique_ptr<File>> file =

@@ -64,6 +64,18 @@ class Env {
   virtual Status ListFiles(const std::string& prefix,
                            std::vector<std::string>* out);
 
+  // Ensures `path` exists as a directory, creating missing parents
+  // (mkdir -p). Envs with a flat namespace (MemEnv — paths are plain
+  // map keys) inherit the default no-op; PosixEnv creates real
+  // directories; the wrapper envs forward to their base so the
+  // bottom-most env decides. Used by the SortService for per-job
+  // scratch namespaces ("<scratch>/job-<id>/").
+  virtual Status CreateDir(const std::string& path);
+
+  // Removes `path` if it is an empty directory; NotFound/IOError
+  // otherwise. Default no-op for flat namespaces, like CreateDir.
+  virtual Status RemoveDir(const std::string& path);
+
   // Convenience helpers implemented on top of the virtual interface.
   Status WriteStringToFile(const std::string& path, const std::string& data);
   Result<std::string> ReadFileToString(const std::string& path);

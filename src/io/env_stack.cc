@@ -1,0 +1,43 @@
+#include "io/env_stack.h"
+
+namespace alphasort {
+
+EnvStack::~EnvStack() {
+  while (!layers_.empty()) layers_.pop_back();  // top-down
+}
+
+EnvStack& EnvStack::PushThrottle(double read_mbps, double write_mbps,
+                                 double seek_ms) {
+  auto layer =
+      std::make_unique<ThrottledEnv>(top_, read_mbps, write_mbps, seek_ms);
+  throttle_ = layer.get();
+  top_ = layer.get();
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+EnvStack& EnvStack::PushFaults() {
+  auto layer = std::make_unique<FaultInjectionEnv>(top_);
+  faults_ = layer.get();
+  top_ = layer.get();
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+EnvStack& EnvStack::PushMetrics() {
+  auto layer = std::make_unique<obs::MetricsEnv>(top_);
+  metrics_ = layer.get();
+  top_ = layer.get();
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+EnvStack& EnvStack::PushRetry(RetryPolicy policy) {
+  auto layer = std::make_unique<RetryEnv>(top_, policy);
+  retry_ = layer.get();
+  top_ = layer.get();
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+}  // namespace alphasort

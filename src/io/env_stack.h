@@ -1,0 +1,91 @@
+#ifndef ALPHASORT_IO_ENV_STACK_H_
+#define ALPHASORT_IO_ENV_STACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "io/retry_env.h"
+#include "io/throttled_env.h"
+#include "obs/metrics_env.h"
+
+namespace alphasort {
+
+// Builder that owns a chain of Env wrappers over a caller-provided base.
+//
+// The wrappers compose, but their order is semantics, not taste. The
+// canonical stack, bottom to top:
+//
+//   base            the real store (Posix, Mem)
+//   ThrottledEnv    device model: each file behaves like one 1993 disk
+//   FaultInjectionEnv
+//                   device faults: injected errors look like the device
+//                   failing, so everything above reacts as it would to
+//                   real hardware
+//   MetricsEnv      per-attempt observation: latency histograms time
+//                   each physical attempt, including ones a layer above
+//                   will retry
+//   RetryEnv        recovery policy: re-issues failed attempts; sits on
+//                   top so every retry passes back through metrics and
+//                   faults individually
+//
+// Push order is bottom-up: the first Push wraps the base, each later
+// Push wraps the previous top. Skipping layers is fine (the pipeline
+// usually runs metrics+retry only); reordering them changes what is
+// measured and what is retried, so deviate deliberately — e.g. pushing
+// metrics below a ThrottledEnv measures the raw store instead of the
+// simulated disks.
+//
+// The stack owns every wrapper and destroys them top-down; the base env
+// and any files opened through top() must outlive the stack.
+class EnvStack {
+ public:
+  explicit EnvStack(Env* base) : base_(base), top_(base) {}
+
+  EnvStack(const EnvStack&) = delete;
+  EnvStack& operator=(const EnvStack&) = delete;
+  ~EnvStack();
+
+  // Device model: rate-limit every opened file (MB/s per direction,
+  // optional per-request seek charge).
+  EnvStack& PushThrottle(double read_mbps, double write_mbps,
+                         double seek_ms = 0.0);
+
+  // Device faults: an initially quiet FaultInjectionEnv; arm it through
+  // faults() (FailAfter or SetPlan).
+  EnvStack& PushFaults();
+
+  // Per-attempt IO observation (opens, bytes, latency histograms).
+  EnvStack& PushMetrics();
+
+  // Recovery policy: retry transient IOErrors per `policy`.
+  EnvStack& PushRetry(RetryPolicy policy = RetryPolicy());
+
+  // The outermost env — what the pipeline should open files through.
+  // Equals the base when nothing was pushed.
+  Env* top() const { return top_; }
+  Env* base() const { return base_; }
+
+  // Typed access to pushed layers; null when that layer was never
+  // pushed. With duplicates (unusual), the most recently pushed wins.
+  ThrottledEnv* throttle() const { return throttle_; }
+  FaultInjectionEnv* faults() const { return faults_; }
+  obs::MetricsEnv* metrics() const { return metrics_; }
+  RetryEnv* retry() const { return retry_; }
+
+ private:
+  Env* base_;
+  Env* top_;
+  // Owned wrappers in push order; destroyed in reverse so each wrapper
+  // outlives the layers stacked on top of it.
+  std::vector<std::unique_ptr<Env>> layers_;
+  ThrottledEnv* throttle_ = nullptr;
+  FaultInjectionEnv* faults_ = nullptr;
+  obs::MetricsEnv* metrics_ = nullptr;
+  RetryEnv* retry_ = nullptr;
+};
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_IO_ENV_STACK_H_

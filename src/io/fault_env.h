@@ -123,6 +123,12 @@ class FaultInjectionEnv : public Env {
                    std::vector<std::string>* out) override {
     return base_->ListFiles(prefix, out);
   }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status RemoveDir(const std::string& path) override {
+    return base_->RemoveDir(path);
+  }
 
   // --- internals shared with the file wrappers ---
 

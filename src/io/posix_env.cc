@@ -130,6 +130,24 @@ class PosixEnv : public Env {
     return static_cast<uint64_t>(st.st_size);
   }
 
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::IOError("mkdir " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& path) override {
+    std::error_code ec;
+    if (!std::filesystem::remove(path, ec) || ec) {
+      return Status::IOError("rmdir " + path + ": " +
+                             (ec ? ec.message() : "not found"));
+    }
+    return Status::OK();
+  }
+
   Status ListFiles(const std::string& prefix,
                    std::vector<std::string>* out) override {
     // Split into the containing directory and a leaf-name prefix; match

@@ -70,6 +70,12 @@ class RetryEnv : public Env {
                    std::vector<std::string>* out) override {
     return base_->ListFiles(prefix, out);
   }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status RemoveDir(const std::string& path) override {
+    return base_->RemoveDir(path);
+  }
 
   const RetryPolicy& policy() const { return policy_; }
   RetryStats stats() const;

@@ -40,6 +40,12 @@ class ThrottledEnv : public Env {
                    std::vector<std::string>* out) override {
     return base_->ListFiles(prefix, out);
   }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Status RemoveDir(const std::string& path) override {
+    return base_->RemoveDir(path);
+  }
 
  private:
   Env* base_;

@@ -129,6 +129,7 @@ RegistrySnapshot RegistrySnapshot::DeltaSince(
     }
     delta.histograms[name] = d;
   }
+  delta.gauges = gauges;  // levels carry over, not differences
   return delta;
 }
 
@@ -143,6 +144,11 @@ std::string RegistrySnapshot::ToString() const {
     if (snap.count == 0) continue;
     out += StrFormat("%-32s %s\n", name.c_str(), snap.Summary("").c_str());
   }
+  for (const auto& [name, value] : gauges) {
+    if (value == 0) continue;
+    out += StrFormat("%-32s %lld\n", name.c_str(),
+                     static_cast<long long>(value));
+  }
   return out;
 }
 
@@ -152,6 +158,9 @@ bool RegistrySnapshot::Empty() const {
   }
   for (const auto& [name, snap] : histograms) {
     if (snap.count != 0) return false;
+  }
+  for (const auto& [name, value] : gauges) {
+    if (value != 0) return false;
   }
   return true;
 }
@@ -175,6 +184,13 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 std::string MetricsRegistry::ToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -189,6 +205,11 @@ std::string MetricsRegistry::ToString() const {
     out += StrFormat("%-32s %s\n", name.c_str(),
                      snap.Summary("").c_str());
   }
+  for (const auto& [name, gauge] : gauges_) {
+    if (gauge->Value() == 0) continue;
+    out += StrFormat("%-32s %lld\n", name.c_str(),
+                     static_cast<long long>(gauge->Value()));
+  }
   return out;
 }
 
@@ -201,6 +222,9 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, hist] : histograms_) {
     snap.histograms[name] = hist->Snapshot();
   }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
   return snap;
 }
 
@@ -208,6 +232,7 @@ void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
 }
 
 }  // namespace obs

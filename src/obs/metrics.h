@@ -37,6 +37,26 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Instantaneous level that can rise and fall — queue depths, running job
+// counts, admitted bytes. Signed so a misordered Add/Sub pair shows up as
+// a negative level instead of a 2^64 wraparound. Same relaxed-ordering
+// rationale as Counter.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(int64_t delta = 1) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // Point-in-time summary of a Histogram (see below). Plain data: safe to
 // copy, compare, and ship across threads.
 struct HistogramSnapshot {
@@ -104,12 +124,14 @@ class Histogram {
 struct RegistrySnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, int64_t> gauges;
 
   // Events recorded since `earlier` (counter subtraction, bucket-wise
   // histogram subtraction). Caveat: a histogram's max cannot be
   // un-merged, so the delta keeps the later absolute max — an upper
   // bound for the interval, exact whenever the interval recorded the
-  // process-wide maximum.
+  // process-wide maximum. Gauges are levels, not accumulations: the
+  // delta carries the later snapshot's level unchanged.
   RegistrySnapshot DeltaSince(const RegistrySnapshot& earlier) const;
 
   // Same one-metric-per-line format as MetricsRegistry::ToString();
@@ -132,6 +154,7 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
 
   // Multi-line dump, one metric per line, sorted by name. Metrics with no
   // recorded events are omitted.
@@ -149,6 +172,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
 };
 
 }  // namespace obs

@@ -160,6 +160,14 @@ Status MetricsEnv::ListFiles(const std::string& prefix,
   return base_->ListFiles(prefix, out);
 }
 
+Status MetricsEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status MetricsEnv::RemoveDir(const std::string& path) {
+  return base_->RemoveDir(path);
+}
+
 IoSnapshot MetricsEnv::Snapshot() const {
   IoSnapshot snap;
   snap.read_only = stats_[size_t{0}].Snapshot();

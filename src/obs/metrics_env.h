@@ -62,6 +62,8 @@ class MetricsEnv : public Env {
   Result<uint64_t> GetFileSize(const std::string& path) override;
   Status ListFiles(const std::string& prefix,
                    std::vector<std::string>* out) override;
+  Status CreateDir(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
 
   IoSnapshot Snapshot() const;
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 
 #include "common/table.h"
 
@@ -222,20 +224,64 @@ PerfDelta ComputeDelta(const PerfCounterGroup& group,
   return delta;
 }
 
-std::atomic<PerfAccumulator*> PerfAccumulator::current_{nullptr};
+namespace {
+
+// The one global accumulator slot plus the pin count that keeps the
+// installed accumulator alive while ScopedPerfRegions reference it.
+// Function-local static so the slot outlives any static accumulator.
+struct AccumulatorSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  PerfAccumulator* acc = nullptr;
+  int pins = 0;
+};
+
+AccumulatorSlot& Slot() {
+  static AccumulatorSlot* slot = new AccumulatorSlot();
+  return *slot;
+}
+
+}  // namespace
 
 PerfAccumulator::~PerfAccumulator() { Uninstall(); }
 
 bool PerfAccumulator::TryInstall() {
-  PerfAccumulator* expected = nullptr;
-  return current_.compare_exchange_strong(expected, this,
-                                          std::memory_order_acq_rel);
+  AccumulatorSlot& slot = Slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.acc != nullptr) return false;
+  slot.acc = this;
+  return true;
 }
 
 void PerfAccumulator::Uninstall() {
-  PerfAccumulator* expected = this;
-  current_.compare_exchange_strong(expected, nullptr,
-                                   std::memory_order_acq_rel);
+  AccumulatorSlot& slot = Slot();
+  std::unique_lock<std::mutex> lock(slot.mu);
+  if (slot.acc != this) return;
+  // Drain regions already pinned to this accumulator before letting the
+  // caller destroy it. Regions release their pin at scope exit and never
+  // block on the slot while pinned, so this always terminates.
+  slot.cv.wait(lock, [&slot] { return slot.pins == 0; });
+  slot.acc = nullptr;
+}
+
+PerfAccumulator* PerfAccumulator::Current() {
+  AccumulatorSlot& slot = Slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.acc;
+}
+
+PerfAccumulator* PerfAccumulator::AcquirePin() {
+  AccumulatorSlot& slot = Slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.acc == nullptr) return nullptr;
+  ++slot.pins;
+  return slot.acc;
+}
+
+void PerfAccumulator::ReleasePin() {
+  AccumulatorSlot& slot = Slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (--slot.pins == 0) slot.cv.notify_all();
 }
 
 void PerfAccumulator::Add(const char* region, const PerfDelta& delta) {
@@ -254,7 +300,7 @@ PerfCounterGroup* ThreadPerfGroup() {
 }
 
 ScopedPerfRegion::ScopedPerfRegion(const char* region)
-    : acc_(PerfAccumulator::Current()), region_(region) {
+    : acc_(PerfAccumulator::AcquirePin()), region_(region) {
   if (acc_ != nullptr) before_ = ThreadPerfGroup()->Read();
 }
 
@@ -262,6 +308,7 @@ ScopedPerfRegion::~ScopedPerfRegion() {
   if (acc_ == nullptr) return;
   PerfCounterGroup* group = ThreadPerfGroup();
   acc_->Add(region_, ComputeDelta(*group, before_, group->Read()));
+  PerfAccumulator::ReleasePin();
 }
 
 bool PerfReport::AnyAvailable() const {

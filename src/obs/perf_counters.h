@@ -2,7 +2,6 @@
 #define ALPHASORT_OBS_PERF_COUNTERS_H_
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -142,6 +141,14 @@ PerfDelta ComputeDelta(const PerfCounterGroup& group,
 // first wins and the rest simply collect nothing), and the destructor
 // uninstalls itself so an early error return cannot leave a dangling
 // global.
+//
+// Lifetime under concurrency: a ScopedPerfRegion *pins* the installed
+// accumulator for its whole scope, and Uninstall blocks until every pin
+// is released. Without that, a concurrent sort could destroy the
+// accumulator between a region's constructor (which captured the
+// pointer) and its destructor (which adds to it) — regions run on
+// shared worker threads, so any job's regions may target any job's
+// accumulator.
 class PerfAccumulator {
  public:
   PerfAccumulator() = default;
@@ -154,30 +161,35 @@ class PerfAccumulator {
   // holds the slot.
   bool TryInstall();
 
-  // Uninstalls if currently installed (no-op otherwise).
+  // Uninstalls if currently installed (no-op otherwise). Waits for
+  // in-flight ScopedPerfRegions pinning this accumulator to finish, so
+  // the object is safe to destroy on return.
   void Uninstall();
 
-  static PerfAccumulator* Current() {
-    return current_.load(std::memory_order_acquire);
-  }
+  static PerfAccumulator* Current();
+
+  // Pins the installed accumulator (null when none): the returned
+  // pointer stays valid until ReleasePin(). Every AcquirePin that
+  // returned non-null must be paired with exactly one ReleasePin.
+  static PerfAccumulator* AcquirePin();
+  static void ReleasePin();
 
   void Add(const char* region, const PerfDelta& delta);
 
   std::map<std::string, PerfDelta> Regions() const;
 
  private:
-  static std::atomic<PerfAccumulator*> current_;
-
   mutable std::mutex mu_;
   std::map<std::string, PerfDelta> regions_;
 };
 
 // RAII region: samples the calling thread's counters at construction and
 // destruction and adds the delta to the installed accumulator under
-// `region` (a string literal). When no accumulator is installed the
-// whole object is one relaxed atomic load. Regions may overlap and nest
-// freely — each is an independent label, so e.g. "merge_phase" on the
-// root contains the same cycles the per-batch "merge" regions count.
+// `region` (a string literal). The accumulator stays pinned (alive) for
+// the region's whole scope; when none is installed the object is one
+// uncontended lock round-trip. Regions may overlap and nest freely —
+// each is an independent label, so e.g. "merge_phase" on the root
+// contains the same cycles the per-batch "merge" regions count.
 class ScopedPerfRegion {
  public:
   explicit ScopedPerfRegion(const char* region);

@@ -68,7 +68,27 @@ void AppendRegistry(const RegistrySnapshot& reg, std::string* out) {
         JsonNumber(snap.Percentile(95)).c_str(),
         JsonNumber(snap.Percentile(99)).c_str(), U64(snap.max).c_str());
   }
-  *out += "}}";
+  *out += "}";
+  // Gauges (instantaneous levels, e.g. svc.* service state) appear only
+  // when something set one, so reports from gauge-free runs are
+  // byte-identical to the previous schema.
+  bool any_gauge = false;
+  for (const auto& [name, value] : reg.gauges) {
+    if (value != 0) any_gauge = true;
+  }
+  if (any_gauge) {
+    *out += ",\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : reg.gauges) {
+      if (value == 0) continue;
+      if (!first) *out += ",";
+      first = false;
+      *out += Quoted(name) +
+              StrFormat(":%lld", static_cast<long long>(value));
+    }
+    *out += "}";
+  }
+  *out += "}";
 }
 
 void AppendPerf(const PerfReport& perf, std::string* out) {

@@ -213,6 +213,7 @@ TEST(AlphaSortTest, MemoryBudgetBoundaryPicksPassesCorrectly) {
     ASSERT_TRUE(
         e2e.Prepare(records, KeyDistribution::kUniform, false).ok());
     e2e.opts.memory_budget = bytes + entries;
+    e2e.opts.io_chunk_bytes = 16 * 1024;  // keep budget >= 4 io chunks
     ASSERT_TRUE(e2e.Sort().ok());
     EXPECT_EQ(e2e.metrics.passes, 1);
   }
@@ -222,6 +223,7 @@ TEST(AlphaSortTest, MemoryBudgetBoundaryPicksPassesCorrectly) {
     ASSERT_TRUE(
         e2e.Prepare(records, KeyDistribution::kUniform, false).ok());
     e2e.opts.memory_budget = bytes + entries - 1;
+    e2e.opts.io_chunk_bytes = 16 * 1024;  // keep budget >= 4 io chunks
     ASSERT_TRUE(e2e.Sort().ok());
     EXPECT_EQ(e2e.metrics.passes, 2);
     EXPECT_TRUE(e2e.Validate().ok());

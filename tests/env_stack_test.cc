@@ -1,0 +1,93 @@
+// EnvStack composes the Env wrappers in their canonical order (base ->
+// throttle -> faults -> metrics -> retry). These tests pin the builder
+// mechanics: top() tracks the last push, the typed accessors point at
+// the live layers, IO flows through the whole chain to the base store,
+// and an armed fault layer is visible through top().
+
+#include "io/env_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace alphasort {
+namespace {
+
+TEST(EnvStackTest, EmptyStackIsTheBase) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  EXPECT_EQ(stack.top(), mem.get());
+  EXPECT_EQ(stack.base(), mem.get());
+  EXPECT_EQ(stack.throttle(), nullptr);
+  EXPECT_EQ(stack.faults(), nullptr);
+  EXPECT_EQ(stack.metrics(), nullptr);
+  EXPECT_EQ(stack.retry(), nullptr);
+}
+
+TEST(EnvStackTest, TopTracksEachPushAndAccessorsPointAtLayers) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+
+  stack.PushThrottle(100.0, 100.0);
+  ASSERT_NE(stack.throttle(), nullptr);
+  EXPECT_EQ(stack.top(), stack.throttle());
+
+  stack.PushFaults();
+  ASSERT_NE(stack.faults(), nullptr);
+  EXPECT_EQ(stack.top(), stack.faults());
+
+  stack.PushMetrics();
+  ASSERT_NE(stack.metrics(), nullptr);
+  EXPECT_EQ(stack.top(), stack.metrics());
+
+  stack.PushRetry();
+  ASSERT_NE(stack.retry(), nullptr);
+  EXPECT_EQ(stack.top(), stack.retry());
+
+  EXPECT_EQ(stack.base(), mem.get());
+}
+
+TEST(EnvStackTest, IoFlowsThroughTheFullChainToTheBase) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(1000.0, 1000.0);
+  stack.PushFaults();  // quiet until armed
+  stack.PushMetrics();
+  stack.PushRetry();
+
+  ASSERT_TRUE(stack.top()->WriteStringToFile("f.dat", "hello stack").ok());
+  // The write landed in the base store...
+  Result<std::string> via_base = mem->ReadFileToString("f.dat");
+  ASSERT_TRUE(via_base.ok());
+  EXPECT_EQ(via_base.value(), "hello stack");
+  // ...and reads back through every layer.
+  Result<std::string> via_top = stack.top()->ReadFileToString("f.dat");
+  ASSERT_TRUE(via_top.ok());
+  EXPECT_EQ(via_top.value(), "hello stack");
+  EXPECT_TRUE(stack.top()->FileExists("f.dat"));
+}
+
+TEST(EnvStackTest, ArmedFaultLayerSurfacesThroughTop) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  ASSERT_TRUE(mem->WriteStringToFile("f.dat", "payload").ok());
+
+  EnvStack stack(mem.get());
+  stack.PushFaults();
+
+  FaultPlan plan;
+  plan.defaults.read_fail_prob = 1.0;
+  plan.defaults.mode = FaultMode::kTransient;
+  stack.faults()->SetPlan(plan);
+  Result<std::string> r = stack.top()->ReadFileToString("f.dat");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError()) << r.status().ToString();
+
+  stack.faults()->SetPlan(FaultPlan{});  // quiesce
+  Result<std::string> again = stack.top()->ReadFileToString("f.dat");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), "payload");
+}
+
+}  // namespace
+}  // namespace alphasort

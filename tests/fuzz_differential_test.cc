@@ -73,10 +73,15 @@ FuzzCase MakeCase(Random* rng) {
   c.opts.run_size_records = 1 + rng->Uniform(1500);
   c.opts.max_merge_fanin = 2 + rng->Uniform(32);
   c.opts.prefault_memory = rng->OneIn(2);
-  // Budget sometimes forces two passes, sometimes not.
+  // Budget sometimes forces two passes, sometimes not. Validate()
+  // requires budget >= 4 io chunks, so cap the chunk by the budget.
   c.opts.memory_budget = rng->OneIn(2)
                              ? 32 * 1024 + rng->Uniform(256 * 1024)
                              : (1ull << 30);
+  c.opts.io_chunk_bytes = std::min<size_t>(
+      c.opts.io_chunk_bytes,
+      static_cast<size_t>(c.opts.memory_budget /
+                          SortOptions::kMinMemoryBudgetChunks));
   c.opts.scratch_path = "fuzz_scratch";
   return c;
 }

@@ -6,7 +6,10 @@
 // against the live syscall only asserts invariants that hold whether or
 // not counters are available.
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -120,6 +123,43 @@ TEST(PerfAccumulatorTest, OnlyOneInstallWins) {
   EXPECT_EQ(PerfAccumulator::Current(), nullptr);
   EXPECT_TRUE(second.TryInstall());
   second.Uninstall();
+}
+
+// Uninstall must wait for in-flight regions: with concurrent sort jobs
+// on shared worker threads, one job's ScopedPerfRegion can target the
+// accumulator another job is about to destroy (the use-after-free the
+// pin count exists to prevent).
+TEST(PerfAccumulatorTest, UninstallDrainsPinnedRegions) {
+  PerfAccumulator acc;
+  ASSERT_TRUE(acc.TryInstall());
+
+  std::atomic<bool> region_open{false};
+  std::atomic<bool> release_region{false};
+  std::thread worker([&] {
+    ScopedPerfRegion region("pinned");
+    region_open.store(true);
+    while (!release_region.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!region_open.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<bool> uninstalled{false};
+  std::thread uninstaller([&] {
+    acc.Uninstall();
+    uninstalled.store(true);
+  });
+  // The region is still open, so Uninstall must be parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(uninstalled.load());
+
+  release_region.store(true);
+  worker.join();
+  uninstaller.join();
+  EXPECT_TRUE(uninstalled.load());
+  EXPECT_EQ(PerfAccumulator::Current(), nullptr);
 }
 
 TEST(PerfAccumulatorTest, DestructorUninstalls) {

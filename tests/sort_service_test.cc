@@ -1,0 +1,355 @@
+// Tests for svc::SortService: admission against a global memory budget,
+// bounded-queue backpressure, cancellation of queued and running jobs,
+// per-job deadlines, down-negotiation, and scratch hygiene. Everything
+// runs against an in-memory Env; the slow-IO tests interpose a
+// ThrottledEnv so "running" is an observable window, not a race.
+
+#include "svc/sort_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchlib/datamation.h"
+#include "common/table.h"
+#include "io/env_stack.h"
+
+namespace alphasort {
+namespace {
+
+constexpr uint64_t kMB = 1ull << 20;
+
+SortOptions JobOptions(int index, uint64_t memory_budget) {
+  SortOptions opts;
+  opts.input_path = StrFormat("in_%02d.dat", index);
+  opts.output_path = StrFormat("out_%02d.dat", index);
+  opts.memory_budget = memory_budget;
+  opts.io_chunk_bytes = 64 * 1024;
+  opts.run_size_records = 5000;
+  opts.scratch_path = "scratch";
+  return opts;
+}
+
+Status MakeInput(Env* env, int index, uint64_t records) {
+  InputSpec spec;
+  spec.path = StrFormat("in_%02d.dat", index);
+  spec.num_records = records;
+  spec.seed = 100 + static_cast<uint64_t>(index);
+  return CreateInputFile(env, spec);
+}
+
+// Polls until `job` leaves the queue (or is done, if it raced ahead).
+void WaitUntilRunning(SortJob* job) {
+  while (job->state() == SortJobState::kQueued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ExpectNoScratch(Env* env) {
+  std::vector<std::string> stray;
+  ASSERT_TRUE(env->ListFiles("scratch", &stray).ok());
+  EXPECT_TRUE(stray.empty())
+      << stray.size() << " scratch file(s) leaked, first: " << stray[0];
+}
+
+// The ISSUE acceptance stress: 8 concurrent jobs whose summed budgets
+// (8 x 16 MB) far exceed the 32 MB service budget. Every job completes
+// with validated sorted output and the peak of admitted tickets never
+// exceeds the budget.
+TEST(SortServiceTest, OversubscribedBudgetAllJobsComplete) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  const int kJobs = 8;
+  const uint64_t kRecords = 20000;
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(MakeInput(mem.get(), j, kRecords).ok());
+  }
+
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = 32 * kMB;
+  sopts.max_running = 4;
+  sopts.max_queued = kJobs;
+  sopts.num_workers = 2;
+  svc::SortService service(mem.get(), sopts);
+
+  std::vector<SortJob> jobs;
+  for (int j = 0; j < kJobs; ++j) {
+    Result<SortJob> job = service.Submit(JobOptions(j, 16 * kMB));
+    ASSERT_TRUE(job.ok()) << job.status().ToString();
+    jobs.push_back(std::move(job).value());
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    const SortResult& r = jobs[j].Wait();
+    EXPECT_TRUE(r.status.ok()) << "job " << j << ": " << r.status.ToString();
+    EXPECT_EQ(jobs[j].state(), SortJobState::kDone);
+    Status v = ValidateSortedFile(mem.get(), StrFormat("in_%02d.dat", j),
+                                  StrFormat("out_%02d.dat", j),
+                                  kDatamationFormat);
+    EXPECT_TRUE(v.ok()) << "job " << j << ": " << v.ToString();
+  }
+
+  const svc::SortServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_LE(stats.peak_admitted_bytes, sopts.memory_budget);
+  // Two 16 MB tickets fit; the high-water mark should show real
+  // concurrency, not accidental serialization.
+  EXPECT_GE(stats.peak_admitted_bytes, 32 * kMB);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.running, 0);
+  EXPECT_EQ(stats.admitted_bytes, 0u);
+  ExpectNoScratch(mem.get());
+}
+
+// Past max_queued the service says Unavailable instead of buffering
+// without bound. With one slow running job and a queue of two, the
+// fourth concurrent submission cannot be accepted.
+TEST(SortServiceTest, QueueFullReturnsUnavailable) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/2.0, /*write_mbps=*/100.0);
+  const int kAttempts = 6;
+  for (int j = 0; j < kAttempts; ++j) {
+    ASSERT_TRUE(MakeInput(mem.get(), j, 20000).ok());  // 2 MB ≈ 1s read
+  }
+
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = 64 * kMB;
+  sopts.max_running = 1;
+  sopts.max_queued = 2;
+  svc::SortService service(stack.top(), sopts);
+
+  std::vector<SortJob> accepted;
+  bool saw_unavailable = false;
+  for (int j = 0; j < kAttempts; ++j) {
+    Result<SortJob> job = service.Submit(JobOptions(j, 8 * kMB));
+    if (job.ok()) {
+      accepted.push_back(std::move(job).value());
+    } else {
+      EXPECT_TRUE(job.status().IsUnavailable()) << job.status().ToString();
+      saw_unavailable = true;
+      break;
+    }
+  }
+  // At most 1 running + 2 queued fit, so by the 4th submission the slow
+  // first job is still reading and the queue is full.
+  EXPECT_TRUE(saw_unavailable);
+  EXPECT_LE(accepted.size(), 3u);
+  EXPECT_GE(service.stats().rejected, 1u);
+
+  // Drain quickly: give up on everything still in the system.
+  for (SortJob& job : accepted) job.Cancel();
+  for (SortJob& job : accepted) job.Wait();
+  ExpectNoScratch(mem.get());
+}
+
+// Cancelling a running one-pass job stops it at the next read-chunk
+// boundary with a clean Aborted status and no scratch left behind.
+TEST(SortServiceTest, CancelRunningJobMidReadAborts) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/1.0, /*write_mbps=*/100.0);
+  ASSERT_TRUE(MakeInput(mem.get(), 0, 20000).ok());  // 2 MB ≈ 2s read
+
+  svc::SortService service(stack.top(), svc::SortServiceOptions());
+  Result<SortJob> job = service.Submit(JobOptions(0, 8 * kMB));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  SortJob handle = std::move(job).value();
+
+  WaitUntilRunning(&handle);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  handle.Cancel();
+  const SortResult& r = handle.Wait();
+  EXPECT_TRUE(r.status.IsAborted()) << r.status.ToString();
+  ExpectNoScratch(mem.get());
+}
+
+// Same for a two-pass job stopped after it has spilled runs: the abort
+// path must sweep the job's scratch namespace.
+TEST(SortServiceTest, CancelRunningJobTwoPassSweepsScratch) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/4.0, /*write_mbps=*/4.0);
+  ASSERT_TRUE(MakeInput(mem.get(), 0, 20000).ok());
+
+  svc::SortService service(stack.top(), svc::SortServiceOptions());
+  SortOptions opts = JobOptions(0, 8 * kMB);
+  opts.force_passes = 2;
+  opts.run_size_records = 2000;  // ~10 spilled runs
+  Result<SortJob> job = service.Submit(opts);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  SortJob handle = std::move(job).value();
+
+  WaitUntilRunning(&handle);
+  // Reading 2 MB at 4 MB/s takes ~0.5s; by 250 ms some runs are on
+  // "disk" and the cancel lands mid-spill or mid-merge.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  handle.Cancel();
+  const SortResult& r = handle.Wait();
+  EXPECT_TRUE(r.status.IsAborted()) << r.status.ToString();
+  ExpectNoScratch(mem.get());
+}
+
+// A queued job cancelled before admission finishes Aborted without ever
+// touching a file; the service counts it as cancelled_queued.
+TEST(SortServiceTest, CancelQueuedJobNeverRuns) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/2.0, /*write_mbps=*/100.0);
+  ASSERT_TRUE(MakeInput(mem.get(), 0, 20000).ok());
+  ASSERT_TRUE(MakeInput(mem.get(), 1, 20000).ok());
+
+  svc::SortServiceOptions sopts;
+  sopts.max_running = 1;
+  svc::SortService service(stack.top(), sopts);
+
+  Result<SortJob> slow = service.Submit(JobOptions(0, 8 * kMB));
+  ASSERT_TRUE(slow.ok());
+  SortJob slow_handle = std::move(slow).value();
+  WaitUntilRunning(&slow_handle);
+
+  Result<SortJob> queued = service.Submit(JobOptions(1, 8 * kMB));
+  ASSERT_TRUE(queued.ok());
+  SortJob queued_handle = std::move(queued).value();
+  EXPECT_EQ(queued_handle.state(), SortJobState::kQueued);
+
+  queued_handle.Cancel();
+  const SortResult& r = queued_handle.Wait();
+  EXPECT_TRUE(r.status.IsAborted()) << r.status.ToString();
+  EXPECT_FALSE(mem->FileExists("out_01.dat"));
+
+  EXPECT_TRUE(slow_handle.Wait().status.ok());
+  const svc::SortServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled_queued, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  ExpectNoScratch(mem.get());
+}
+
+// A job whose time_limit_s expires mid-run ends with a clean
+// DeadlineExceeded status and an empty scratch namespace.
+TEST(SortServiceTest, DeadlineExceededIsCleanAndSweeps) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/1.0, /*write_mbps=*/1.0);
+  ASSERT_TRUE(MakeInput(mem.get(), 0, 20000).ok());  // ≈2s at 1 MB/s
+
+  svc::SortService service(stack.top(), svc::SortServiceOptions());
+  SortOptions opts = JobOptions(0, 8 * kMB);
+  opts.force_passes = 2;
+  opts.run_size_records = 2000;
+  opts.time_limit_s = 0.2;
+  Result<SortJob> job = service.Submit(opts);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  SortJob handle = std::move(job).value();
+
+  const SortResult& r = handle.Wait();
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  ExpectNoScratch(mem.get());
+}
+
+// A job asking for more memory than the whole service owns is not
+// rejected: its budget is clamped to the service's and the job runs
+// (two-pass if the input no longer fits), flagged down_negotiated.
+TEST(SortServiceTest, OversizeRequestIsDownNegotiated) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  const uint64_t kRecords = 20000;  // 2 MB data + entry overhead > 1 MB
+  ASSERT_TRUE(MakeInput(mem.get(), 0, kRecords).ok());
+
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = 1 * kMB;
+  svc::SortService service(mem.get(), sopts);
+
+  Result<SortJob> job = service.Submit(JobOptions(0, 64 * kMB));
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  SortJob handle = std::move(job).value();
+  EXPECT_TRUE(handle.down_negotiated());
+
+  const SortResult& r = handle.Wait();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.metrics.passes, 2);  // 64 MB one-pass plan became two-pass
+  EXPECT_TRUE(ValidateSortedFile(mem.get(), "in_00.dat", "out_00.dat",
+                                 kDatamationFormat)
+                  .ok());
+
+  const svc::SortServiceStats stats = service.stats();
+  EXPECT_EQ(stats.down_negotiated, 1u);
+  EXPECT_LE(stats.peak_admitted_bytes, sopts.memory_budget);
+  ExpectNoScratch(mem.get());
+}
+
+// Down-negotiation re-validates: when the clamped budget cannot hold
+// even a few io chunks, Submit fails loudly instead of queueing a job
+// that can never run.
+TEST(SortServiceTest, SubmitRejectsJobThatCannotFitServiceBudget) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = 2 * kMB;
+  svc::SortService service(mem.get(), sopts);
+
+  SortOptions opts = JobOptions(0, 64 * kMB);
+  opts.io_chunk_bytes = 1 * kMB;  // needs >= 4 MB, service owns 2 MB
+  Result<SortJob> job = service.Submit(opts);
+  ASSERT_FALSE(job.ok());
+  EXPECT_TRUE(job.status().IsInvalidArgument()) << job.status().ToString();
+}
+
+TEST(SortServiceTest, SubmitValidatesOptions) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  svc::SortService service(mem.get(), svc::SortServiceOptions());
+  SortOptions opts;  // no paths
+  Result<SortJob> job = service.Submit(opts);
+  ASSERT_FALSE(job.ok());
+  EXPECT_TRUE(job.status().IsInvalidArgument()) << job.status().ToString();
+}
+
+TEST(SortServiceTest, SubmitAfterShutdownIsUnavailable) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  ASSERT_TRUE(MakeInput(mem.get(), 0, 1000).ok());
+  svc::SortService service(mem.get(), svc::SortServiceOptions());
+  service.Shutdown();
+  Result<SortJob> job = service.Submit(JobOptions(0, 8 * kMB));
+  ASSERT_FALSE(job.ok());
+  EXPECT_TRUE(job.status().IsUnavailable()) << job.status().ToString();
+}
+
+// Concurrent two-pass jobs spill under distinct job-<id> namespaces and
+// neither sweeps the other's runs: both outputs validate.
+TEST(SortServiceTest, ConcurrentTwoPassJobsKeepScratchSeparate) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  const int kJobs = 4;
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(MakeInput(mem.get(), j, 20000).ok());
+  }
+
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = 16 * kMB;
+  sopts.max_running = 4;
+  svc::SortService service(mem.get(), sopts);
+
+  std::vector<SortJob> jobs;
+  for (int j = 0; j < kJobs; ++j) {
+    SortOptions opts = JobOptions(j, 2 * kMB);
+    opts.force_passes = 2;
+    opts.run_size_records = 2000;
+    Result<SortJob> job = service.Submit(opts);
+    ASSERT_TRUE(job.ok()) << job.status().ToString();
+    jobs.push_back(std::move(job).value());
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    const SortResult& r = jobs[j].Wait();
+    EXPECT_TRUE(r.status.ok()) << "job " << j << ": " << r.status.ToString();
+    EXPECT_EQ(r.metrics.passes, 2);
+    EXPECT_TRUE(ValidateSortedFile(mem.get(), StrFormat("in_%02d.dat", j),
+                                   StrFormat("out_%02d.dat", j),
+                                   kDatamationFormat)
+                    .ok());
+  }
+  ExpectNoScratch(mem.get());
+}
+
+}  // namespace
+}  // namespace alphasort

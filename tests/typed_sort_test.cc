@@ -125,6 +125,7 @@ TEST_F(TypedSortTest, TwoPassTypedSort) {
   opts.output_path = "out.dat";
   opts.format = kTradeFormat;
   opts.memory_budget = 32 * 1024;  // force a spill on the widened records
+  opts.io_chunk_bytes = 8 * 1024;  // keep budget >= 4 io chunks
   opts.run_size_records = 200;
   KeySchema schema({{KeyField::Type::kInt64, 8, 8, true, nullptr}});
   SortMetrics m;
