@@ -4,7 +4,8 @@
 //
 //   ./asort --in INPUT [--in INPUT2 ...] --out OUTPUT
 //           [--record-size R] [--key-size K] [--key-offset OFF]
-//           [--workers N] [--memory-mb M]
+//           [--workers N] [--merge-parallelism P] [--prefetch-distance D]
+//           [--memory-mb M]
 //           [--algorithm alphasort|vms] [--merge] [--verify] [--quiet]
 //           [--trace=FILE] [--report=FILE] [--metrics] [--mem]
 //           [--gen-records N]
@@ -53,6 +54,8 @@ struct Args {
   size_t key_size = 10;
   size_t key_offset = 0;
   int workers = 0;
+  int merge_parallelism = -1;  // -1 = auto (workers + 1 key ranges)
+  long prefetch_distance = -1;  // -1 = library default, 0 = disable
   uint64_t memory_mb = 256;
   std::string algorithm = "alphasort";
   bool merge = false;
@@ -69,7 +72,8 @@ int Usage(const char* prog) {
   fprintf(stderr,
           "usage: %s --in INPUT [--in INPUT2 ...] --out OUTPUT "
           "[--record-size R] [--key-size K] [--key-offset OFF] "
-          "[--workers N] [--memory-mb M] [--algorithm alphasort|vms] "
+          "[--workers N] [--merge-parallelism P] [--prefetch-distance D] "
+          "[--memory-mb M] [--algorithm alphasort|vms] "
           "[--merge] [--verify] [--quiet] [--trace=FILE] [--report=FILE] "
           "[--metrics] [--mem] [--gen-records N]\n",
           prog);
@@ -95,6 +99,8 @@ int main(int argc, char** argv) {
     else if (const char* v = need("--key-size")) args.key_size = strtoul(v, nullptr, 10);
     else if (const char* v = need("--key-offset")) args.key_offset = strtoul(v, nullptr, 10);
     else if (const char* v = need("--workers")) args.workers = atoi(v);
+    else if (const char* v = need("--merge-parallelism")) args.merge_parallelism = atoi(v);
+    else if (const char* v = need("--prefetch-distance")) args.prefetch_distance = atol(v);
     else if (const char* v = need("--memory-mb")) args.memory_mb = strtoull(v, nullptr, 10);
     else if (const char* v = need("--algorithm")) args.algorithm = v;
     else if (const char* v = need("--trace")) args.trace_path = v;
@@ -144,6 +150,10 @@ int main(int argc, char** argv) {
   opts.format = RecordFormat(args.record_size, args.key_size,
                              args.key_offset);
   opts.num_workers = args.workers;
+  opts.merge_parallelism = args.merge_parallelism;
+  if (args.prefetch_distance >= 0) {
+    opts.prefetch_distance = static_cast<size_t>(args.prefetch_distance);
+  }
   opts.memory_budget = args.memory_mb << 20;
   opts.scratch_path = args.out + ".scratch";
   if (!opts.format.Valid()) {

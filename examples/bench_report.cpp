@@ -4,10 +4,12 @@
 //   ./bench_report [--smoke] [--name NAME] [--out FILE]
 //                  [--suite NAME]... [--workers K]
 //
-// Runs five suites — the paper's run-generation comparison (§4
+// Runs six suites — the paper's run-generation comparison (§4
 // QuickSort vs replacement-selection), output-stripe scaling (§6),
 // the 8B-vs-16B entry ablation (§7), an end-to-end in-memory
-// Datamation sort, and SortService concurrency scaling
+// Datamation sort, hot-kernel microbenchmarks (entry build, merge,
+// gather, partitioned merge; docs/perf.md), and SortService
+// concurrency scaling
 // (docs/service.md) — and writes one BenchReport JSON
 // (kind "alphasort.bench_report") with a numeric metrics object per
 // configuration. --smoke shrinks every input so the whole suite runs in
@@ -27,11 +29,14 @@
 
 #include "benchlib/datamation.h"
 #include "benchlib/service_bench.h"
+#include "common/prefetch.h"
 #include "common/table.h"
 #include "core/alphasort.h"
 #include "obs/report.h"
 #include "record/generator.h"
 #include "sort/compact_entry.h"
+#include "sort/merge_partition.h"
+#include "sort/merger.h"
 #include "sort/quicksort.h"
 #include "sort/replacement_selection.h"
 
@@ -228,6 +233,158 @@ void RunDatamation(const BenchConfig& cfg, obs::BenchReport* report) {
   report->entries.push_back(std::move(e));
 }
 
+// --- Hot-kernel microbenchmarks behind docs/perf.md: entry build,
+// QuickSort, the tournament merge, gather, and the key-range-partitioned
+// merge at 1/2/4 ranges. Sizes are FIXED at Datamation scale (1M
+// records) regardless of --smoke: the whole suite runs in a few seconds
+// either way, and fixed sizes keep the config strings of CI smoke runs
+// and the committed BENCH_kernels.json trajectory identical, so
+// bench_compare always finds comparable pairs.
+//
+// The partitioned entries report two times. `wall_s` is what this
+// machine measured: the ranges run back to back (CI containers often
+// expose a single CPU, where true concurrency is impossible).
+// `critical_path_s` = partition_s + max per-range time is the phase's
+// load-balance bound — the wall clock a machine with >= `ranges` idle
+// cores would see, since ranges share nothing but read-only entries.
+// `speedup_vs_seq` compares critical paths against the ranges=1 entry of
+// the same run. docs/perf.md discusses both numbers.
+void RunKernels(const BenchConfig& cfg, obs::BenchReport* report) {
+  (void)cfg;  // fixed-size by design, see above
+  const RecordFormat fmt = kDatamationFormat;
+  const size_t n = 1000000;
+  const size_t run_records = 100000;
+  RecordGenerator gen(fmt, 99);
+  const auto block = gen.Generate(KeyDistribution::kUniform, n);
+
+  auto push = [report](std::string config,
+                       std::vector<std::pair<std::string, double>> values) {
+    obs::BenchEntry e;
+    e.suite = "kernels";
+    e.config = std::move(config);
+    e.values = std::move(values);
+    report->entries.push_back(std::move(e));
+  };
+
+  // Entry-array build, both widths, prefetch hints on and off.
+  for (const size_t dist : {kDefaultPrefetchDistance, size_t{0}}) {
+    {
+      std::vector<PrefixEntry> entries(n);
+      const double s = TimedSeconds([&] {
+        BuildPrefixEntryArray(fmt, block.data(), n, entries.data(), dist);
+      });
+      push(StrFormat("kernel=entry_build entry=16B n=%zu prefetch=%zu", n,
+                     dist),
+           {{"seconds", s}, {"records_per_s", n / s}});
+    }
+    {
+      std::vector<CompactEntry> entries(n);
+      const double s = TimedSeconds([&] {
+        BuildCompactEntryArray(fmt, block.data(), n, entries.data(), dist);
+      });
+      push(StrFormat("kernel=entry_build entry=8B n=%zu prefetch=%zu", n,
+                     dist),
+           {{"seconds", s}, {"records_per_s", n / s}});
+    }
+  }
+
+  // QuickSort the read phase's runs; the sorted entries feed every merge
+  // kernel below.
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  size_t num_runs = 0;
+  const double qs_s = TimedSeconds([&] {
+    for (size_t start = 0; start < n; start += run_records) {
+      SortPrefixEntryArray(fmt, entries.data() + start,
+                           std::min(run_records, n - start));
+      ++num_runs;
+    }
+  });
+  push(StrFormat("kernel=quicksort n=%zu W=%zu", n, run_records),
+       {{"seconds", qs_s},
+        {"records_per_s", n / qs_s},
+        {"runs", double(num_runs)}});
+
+  std::vector<EntryRun> runs;
+  for (size_t start = 0; start < n; start += run_records) {
+    const size_t len = std::min(run_records, n - start);
+    runs.push_back(
+        EntryRun{entries.data() + start, entries.data() + start + len});
+  }
+
+  // Tournament merge alone (pointer stream, no gather), leaf-replacement
+  // prefetch on and off.
+  const size_t batch = std::max<size_t>(1, (1 << 20) / fmt.record_size);
+  std::vector<const char*> ptrs(n);
+  for (const bool prefetch : {true, false}) {
+    size_t produced = 0;
+    const double s = TimedSeconds([&] {
+      RunMerger<> merger(fmt, runs, TreeLayout::kFlat, nullptr, nullptr,
+                         prefetch);
+      while (!merger.Done()) {
+        produced += merger.NextBatch(ptrs.data() + produced, batch);
+      }
+    });
+    push(StrFormat("kernel=merge n=%zu runs=%zu prefetch=%zu", n,
+                   runs.size(),
+                   prefetch ? kDefaultPrefetchDistance : size_t{0}),
+         {{"seconds", s}, {"records_per_s", produced / s}});
+  }
+
+  // Gather along the merged pointer stream (the single record copy),
+  // prefetch on and off. `ptrs` holds the full merged order from above.
+  std::vector<char> out(n * fmt.record_size);
+  for (const size_t dist : {kDefaultPrefetchDistance, size_t{0}}) {
+    const double s = TimedSeconds(
+        [&] { GatherRecords(fmt, ptrs.data(), n, out.data(), dist); });
+    push(StrFormat("kernel=gather n=%zu prefetch=%zu", n, dist),
+         {{"seconds", s},
+          {"mb_per_s", double(n) * fmt.record_size / 1e6 / s}});
+  }
+
+  // Key-range-partitioned merge+gather at 1/2/4 ranges. Ranges run back
+  // to back (see the suite comment for why), each timed alone.
+  double seq_critical_path = 0;
+  for (const size_t max_ranges : {size_t{1}, size_t{2}, size_t{4}}) {
+    MergePartition part;
+    const double partition_s = TimedSeconds(
+        [&] { part = PartitionEntryRuns(fmt, runs, max_ranges); });
+    double sum_s = 0, max_range_s = 0;
+    uint64_t produced = 0;
+    for (const MergeRange& range : part.ranges) {
+      const double range_s = TimedSeconds([&] {
+        RunMerger<> merger(fmt, range.runs);
+        std::vector<const char*> range_ptrs(range.num_records);
+        size_t got = 0;
+        while (!merger.Done()) {
+          got += merger.NextBatch(range_ptrs.data() + got, batch);
+        }
+        GatherRecords(fmt, range_ptrs.data(), got,
+                      out.data() + range.first_record * fmt.record_size);
+        produced += got;
+      });
+      sum_s += range_s;
+      max_range_s = std::max(max_range_s, range_s);
+    }
+    if (produced != n) {
+      fprintf(stderr, "kernels: partitioned merge produced %llu of %zu\n",
+              static_cast<unsigned long long>(produced), n);
+      continue;
+    }
+    const double critical_path_s = partition_s + max_range_s;
+    if (max_ranges == 1) seq_critical_path = critical_path_s;
+    push(StrFormat("kernel=pmerge n=%zu runs=%zu max_ranges=%zu", n,
+                   runs.size(), max_ranges),
+         {{"wall_s", partition_s + sum_s},
+          {"partition_s", partition_s},
+          {"critical_path_s", critical_path_s},
+          {"max_range_s", max_range_s},
+          {"ranges", double(part.NumRanges())},
+          {"speedup_vs_seq",
+           critical_path_s > 0 ? seq_critical_path / critical_path_s : 0}});
+  }
+}
+
 // --- SortService aggregate throughput vs job concurrency, with and
 // without transient fault injection (docs/service.md).
 void RunService(const BenchConfig& cfg, obs::BenchReport* report) {
@@ -301,6 +458,7 @@ int main(int argc, char** argv) {
           {"striping", RunStriping},
           {"entry_width", RunEntryWidth},
           {"datamation", RunDatamation},
+          {"kernels", RunKernels},
           {"service", RunService},
       };
   for (const auto& [suite_name, fn] : suites) {

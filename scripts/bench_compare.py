@@ -32,6 +32,10 @@ STRUCTURAL = {
     "ties_per_record",
     "peak_admitted_mb",
     "down_negotiated",
+    # The kernels suite's partitioned merge: how many key ranges the
+    # partitioner actually produced. A drift means the splitter sampling
+    # changed shape, not that the merge got faster or slower.
+    "ranges",
 }
 
 

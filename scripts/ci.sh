@@ -4,9 +4,10 @@
 # (docs/fault_tolerance.md), an observability smoke that sorts 100k
 # records under --trace/--report and validates both JSON artifacts, a
 # SortService smoke (concurrent jobs + a cancel under one shared budget,
-# docs/service.md), and a bench smoke (scripts/bench.sh --smoke) compared
+# docs/service.md), a bench smoke (scripts/bench.sh --smoke) compared
 # informationally against the committed BENCH_smoke.json baseline
-# (docs/observability.md).
+# (docs/observability.md), and a kernel-bench smoke compared against the
+# committed BENCH_kernels.json (docs/perf.md).
 # Machine-readable outputs land in ci-artifacts/ for workflow upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,17 +31,19 @@ ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 echo
 echo "=== sanitizers: TSan over the concurrency-heavy suites ==="
 # The suites where threads actually share state: the async IO scheduler,
-# the chore pool + full pipeline, retries racing IO threads, and the
-# fault campaign's storm of concurrent sorts.
+# the chore pool + full pipeline, retries racing IO threads, the
+# partitioned merge's concurrent range merges, and the fault campaign's
+# storm of concurrent sorts.
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
-  async_io_test chores_test alphasort_test retry_env_test \
-  fault_campaign_test obs_test throttled_env_test sort_service_test
+  async_io_test chores_test alphasort_test merge_partition_test \
+  retry_env_test fault_campaign_test obs_test throttled_env_test \
+  sort_service_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" -R \
-  '^(async_io_test|chores_test|alphasort_test|retry_env_test|fault_campaign_test|obs_test|throttled_env_test|sort_service_test)$'
+  '^(async_io_test|chores_test|alphasort_test|merge_partition_test|retry_env_test|fault_campaign_test|obs_test|throttled_env_test|sort_service_test)$'
 
 echo
 echo "=== fault-campaign smoke: 32 seeded storms must never lie ==="
@@ -99,6 +102,18 @@ if [[ -n "$baseline" ]]; then
     --warn-only --threshold 0.5
   cp "$baseline" BENCH_smoke.json
 fi
+
+echo
+echo "=== kernel bench smoke: hot kernels vs committed BENCH_kernels.json ==="
+# The kernels suite runs at fixed Datamation scale even under smoke
+# (docs/perf.md), so the fresh run and the committed baseline always
+# produce comparable (suite, config) pairs for bench_compare. Warn-only
+# for the same shared-machine-noise reason as the bench smoke above.
+./build/examples/bench_report --suite kernels --name kernels \
+  --out ci-artifacts/BENCH_kernels.json
+./build/examples/report_lint ci-artifacts/BENCH_kernels.json
+python3 scripts/bench_compare.py BENCH_kernels.json \
+  ci-artifacts/BENCH_kernels.json --warn-only --threshold 0.5
 
 echo
 echo "CI: all gates passed."

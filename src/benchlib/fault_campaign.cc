@@ -128,6 +128,12 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   opts.io_depth = 2 + static_cast<int>(rng.Uniform(3));
   opts.num_workers = static_cast<int>(rng.Uniform(3));
   opts.max_merge_fanin = 2 + rng.Uniform(6);
+  // Exercise the key-range-partitioned merge (docs/perf.md) under fault
+  // injection too: auto, forced-sequential, and explicit range counts.
+  const int kMergeParallelism[] = {-1, 1, 2, 4};
+  opts.merge_parallelism = kMergeParallelism[rng.Uniform(4)];
+  const size_t kPrefetchDistance[] = {0, 8, 32};
+  opts.prefetch_distance = kPrefetchDistance[rng.Uniform(3)];
   opts.scratch_stripe_width = rng.OneIn(3) ? 2 : 0;
   opts.retry_policy.max_attempts = 2 + static_cast<int>(rng.Uniform(4));
   opts.retry_policy.backoff_initial_us = 1;

@@ -35,7 +35,52 @@ uint64_t Mix64(uint64_t x) {
   return x;
 }
 
+// GF(2) vector-matrix product: each matrix column is the image of one
+// bit of `vec` under multiplication by x^k mod the CRC polynomial.
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
 }  // namespace
+
+uint32_t Crc32cCombine(uint32_t crc1, uint32_t crc2, uint64_t len2) {
+  // zlib's crc32_combine ported to the Castagnoli polynomial: advance
+  // crc1 through len2 zero bytes by repeated matrix squaring (the matrix
+  // for x^8, squared per bit of len2), then fold in crc2. The pre/post
+  // inversion Crc32c applies cancels out of the algebra, so the final
+  // conditioned values combine directly.
+  if (len2 == 0) return crc1;
+  uint32_t even[32];  // operator for 2^k zero bytes, k even
+  uint32_t odd[32];   // ... k odd
+  odd[0] = kCrc32cPoly;  // operator for one zero bit
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);   // one zero byte, two bits at a time...
+  Gf2MatrixSquare(odd, even);   // ...four bits: even is now 8 bits = 1 byte
+  do {
+    Gf2MatrixSquare(even, odd);
+    if (len2 & 1) crc1 = Gf2MatrixTimes(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    Gf2MatrixSquare(odd, even);
+    if (len2 & 1) crc1 = Gf2MatrixTimes(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
 
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
   const auto& table = Table();

@@ -10,6 +10,13 @@ namespace alphasort {
 // sorted-permutation validator and stripe metadata integrity checks.
 uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
 
+// CRC of the concatenation A||B from the CRCs of A and B and the length
+// of B: Crc32cCombine(Crc32c(a), Crc32c(b), len_b) == Crc32c(a||b).
+// O(log len2) GF(2) matrix products. This is what lets the partitioned
+// merge checksum each output range independently (ranges complete out of
+// order) and still report the byte-stream CRC of the whole sorted output.
+uint32_t Crc32cCombine(uint32_t crc1, uint32_t crc2, uint64_t len2);
+
 // Order-independent 64-bit fingerprint of a multiset of byte strings:
 // equal multisets of records produce equal fingerprints regardless of
 // order. Used to check that a sort output is a permutation of its input

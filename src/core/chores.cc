@@ -1,5 +1,6 @@
 #include "core/chores.h"
 
+#include <algorithm>
 #include <atomic>
 
 #if defined(__linux__)
@@ -84,10 +85,20 @@ void ChorePool::WaitIdle() {
 void ChorePool::ParallelFor(size_t n,
                             const std::function<void(size_t)>& chore) {
   if (n == 0) return;
+  // Drainers grab contiguous chunks of indices, not one index per
+  // fetch_add: with fine-grained bodies (prefaulting a page, touching a
+  // slice) a shared counter bumped once per index ping-pongs its cache
+  // line between every thread and the RMW becomes the loop. ~8 chunks
+  // per thread keeps the tail load-balanced while shrinking counter
+  // traffic by the chunk factor.
+  const size_t threads = static_cast<size_t>(num_workers()) + 1;
+  const size_t chunk = std::max<size_t>(1, n / (8 * threads));
   std::atomic<size_t> next{0};
-  auto drain = [&next, n, &chore] {
-    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      chore(i);
+  auto drain = [&next, n, chunk, &chore] {
+    for (size_t lo = next.fetch_add(chunk); lo < n;
+         lo = next.fetch_add(chunk)) {
+      const size_t hi = std::min(n, lo + chunk);
+      for (size_t i = lo; i < hi; ++i) chore(i);
     }
   };
   // One drainer per worker plus the root.

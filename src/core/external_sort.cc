@@ -170,7 +170,8 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
       obs::ScopedPerfRegion perf("quicksort");
       SortStats stats;
       BuildPrefixEntryArray(fmt, block.data() + start * fmt.record_size,
-                            len, entries.data() + start);
+                            len, entries.data() + start,
+                            opts.prefetch_distance);
       SortPrefixEntryArray(fmt, entries.data() + start, len, &stats);
     });
 
@@ -180,7 +181,8 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
       sub_runs.push_back(
           EntryRun{entries.data() + start, entries.data() + start + len});
     }
-    RunMerger<> merger(fmt, std::move(sub_runs));
+    RunMerger<> merger(fmt, std::move(sub_runs), TreeLayout::kFlat, nullptr,
+                       nullptr, opts.prefetch_distance != 0);
 
     const std::string path = ScratchRunPath(opts, 0, run_index);
     Result<std::unique_ptr<File>> run_file =
@@ -293,6 +295,9 @@ Status MergeScratchRunsToFile(SortContext* ctx,
     if (Status ctl = CheckControl(ctx); !ctl.ok()) return abandon(ctl);
     OutBuffer& buf = bufs[which];
     if (buf.in_flight) {
+      // Output seal step, kept out of the "merge" region so that region
+      // stays a pure tournament measurement (docs/perf.md).
+      obs::ScopedPerfRegion perf("merge.seal");
       buf.in_flight = false;
       Status s = ctx->aio->Wait(buf.pending);
       if (!s.ok()) return abandon(s);
@@ -315,9 +320,13 @@ Status MergeScratchRunsToFile(SortContext* ctx,
         }
       }
     }
-    out_crc = Crc32c(buf.data.data(), buf.fill, out_crc);
-    buf.pending = ctx->aio->SubmitWrite(out, out_offset, buf.data.data(),
-                                        buf.fill);
+    {
+      obs::TraceSpan span("merge.seal", "io");
+      obs::ScopedPerfRegion perf("merge.seal");
+      out_crc = Crc32c(buf.data.data(), buf.fill, out_crc);
+      buf.pending = ctx->aio->SubmitWrite(out, out_offset, buf.data.data(),
+                                          buf.fill);
+    }
     buf.in_flight = true;
     out_offset += buf.fill;
     which ^= 1;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/prefetch.h"
 #include "common/status.h"
 #include "io/retry_env.h"
 #include "record/record.h"
@@ -107,6 +108,23 @@ struct SortOptions {
   // process each report only their own registry traffic.
   bool collect_registry_delta = true;
 
+  // Ways to split the merge phase's key space across workers (paper §5:
+  // the root subdivides the merge so every processor drives its own
+  // tournament). -1 = auto (num_workers + 1 ranges — one more range than
+  // workers so finishers pick up the tail and the phase load-balances);
+  // 1 = the classic single global tournament; N > 1 = at most N disjoint
+  // key ranges. Only the one-pass in-memory merge partitions; with
+  // num_workers == 0 the sort always merges sequentially (the root would
+  // deadlock waiting on itself otherwise). Output bytes and CRC are
+  // identical either way (sort/merge_partition.h documents why).
+  int merge_parallelism = -1;
+
+  // Records/entries of lookahead for the software-prefetch hints in the
+  // hot kernels (entry build, tournament leaf replacement, gather).
+  // 0 disables the hints entirely; see common/prefetch.h and
+  // docs/perf.md for the measured effect.
+  size_t prefetch_distance = kDefaultPrefetchDistance;
+
   // Force a pass count (0 = choose by memory_budget).
   int force_passes = 0;
 
@@ -131,6 +149,7 @@ struct SortOptions {
   //     planner needs room for at least a few buffers)
   //   - num_workers >= 0, force_passes in {0,1,2}, time_limit_s >= 0,
   //     retry_policy.max_attempts >= 1
+  //   - merge_parallelism is -1 (auto) or >= 1
   // Returns InvalidArgument naming the violated invariant.
   Status Validate() const;
 

@@ -1,12 +1,16 @@
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <optional>
 
 #include "common/checksum.h"
 #include "common/table.h"
 #include "core/pipeline_internal.h"
+#include "obs/metrics.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
+#include "sort/merge_partition.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
 
@@ -16,6 +20,7 @@ namespace core_internal {
 void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
                     char* out) {
   const RecordFormat& fmt = ctx->options->format;
+  const size_t prefetch = ctx->options->prefetch_distance;
   const size_t slices = static_cast<size_t>(ctx->pool->num_workers()) + 1;
   const size_t per_slice = (n + slices - 1) / slices;
   ctx->pool->ParallelFor(slices, [&](size_t s) {
@@ -24,7 +29,8 @@ void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
     if (lo < hi) {
       obs::TraceSpan span("gather.slice", "cpu");
       obs::ScopedPerfRegion perf("gather");
-      GatherRecords(fmt, ptrs + lo, hi - lo, out + lo * fmt.record_size);
+      GatherRecords(fmt, ptrs + lo, hi - lo, out + lo * fmt.record_size,
+                    prefetch);
     }
   });
 }
@@ -48,6 +54,232 @@ class StatsSink {
   std::mutex mu_;
   SortStats total_;
 };
+
+// svc-style process counters for the partitioned merge, resolved once.
+struct PartitionCounters {
+  obs::Counter* sorts;    // merges that ran partitioned
+  obs::Counter* ranges;   // total key ranges across those merges
+  obs::Counter* batches;  // output batches sealed by workers
+
+  static PartitionCounters* Get() {
+    static PartitionCounters* c = [] {
+      auto* registry = obs::MetricsRegistry::Global();
+      return new PartitionCounters{
+          registry->GetCounter("merge.partitioned_sorts"),
+          registry->GetCounter("merge.ranges"),
+          registry->GetCounter("merge.sealed_batches")};
+    }();
+    return c;
+  }
+};
+
+// One gather buffer cycling through the partitioned merge's
+// fill → seal → write → recycle loop. `offset`/`len` pin the batch to its
+// absolute position in the output file, so batches from different ranges
+// can complete in any order.
+struct RangeBuffer {
+  std::vector<char> data;
+  uint64_t offset = 0;
+  size_t len = 0;
+  AsyncIO::Handle pending = 0;
+};
+
+// The key-range-partitioned merge (paper §5: the root subdivides the sort
+// "into sub-sorts on key ranges" so every processor drives its own
+// tournament). Each range becomes one chore: a worker merges the range's
+// run slices through its own loser tree and gathers each batch into a
+// pooled buffer, stamped with its exact output offset
+// (range.first_record is known up front, so no coordination on where
+// bytes land). The root keeps owning all IO, exactly as in the
+// sequential path: it drains sealed buffers into AsyncIO writes, keeps
+// up to write_buffers of them in flight, and recycles retired buffers
+// back to the workers.
+//
+// Output bytes are identical to the sequential merge by construction
+// (sort/merge_partition.h documents the boundary contract); the output
+// CRC is the per-range CRCs folded in range order with Crc32cCombine.
+//
+// Deadlock discipline: workers block only on the free-buffer pool; the
+// root blocks on the sealed queue only while nothing is in flight
+// (otherwise it retires the oldest write first, which is what frees
+// buffers). An abort — IO error or cancellation — raises `abort` under
+// the lock and wakes every waiter; workers drain out at their next
+// buffer acquisition.
+Status PartitionedMerge(SortContext* ctx, const MergePartition& partition,
+                        uint32_t* crc_out) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  const size_t num_ranges = partition.NumRanges();
+  const size_t batch_records =
+      std::max<size_t>(1, opts.io_chunk_bytes / fmt.record_size);
+  const size_t write_depth =
+      static_cast<size_t>(std::max(2, opts.write_buffers));
+
+  // Enough buffers for every worker to fill one while the root keeps a
+  // full write pipe in flight.
+  const size_t num_bufs =
+      write_depth + std::min<size_t>(
+                        static_cast<size_t>(ctx->pool->num_workers()),
+                        num_ranges);
+  std::vector<RangeBuffer> storage(num_bufs);
+  for (auto& b : storage) b.data.resize(batch_records * fmt.record_size);
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable free_cv;    // workers: a buffer came free
+    std::condition_variable sealed_cv;  // root: sealed batch / range done
+    std::vector<RangeBuffer*> free_bufs;
+    std::deque<RangeBuffer*> sealed;
+    size_t ranges_done = 0;
+    bool abort = false;
+  } shared;
+  for (auto& b : storage) shared.free_bufs.push_back(&b);
+
+  std::vector<uint32_t> range_crc(num_ranges, 0);
+  StatsSink merge_stats;
+
+  for (size_t r = 0; r < num_ranges; ++r) {
+    // Everything captured by reference outlives the chore: the root
+    // WaitIdle()s before this function returns.
+    ctx->pool->Submit([&, r] {
+      const MergeRange& range = partition.ranges[r];
+      obs::TraceSpan range_span("merge.range", "cpu");
+      SortStats stats;
+      RunMerger<> merger(fmt, range.runs, TreeLayout::kFlat, nullptr,
+                         &stats, opts.prefetch_distance != 0);
+      std::vector<const char*> ptrs(batch_records);
+      uint64_t offset = range.first_record * fmt.record_size;
+      while (!merger.Done()) {
+        RangeBuffer* buf = nullptr;
+        {
+          std::unique_lock<std::mutex> lock(shared.mu);
+          shared.free_cv.wait(lock, [&shared] {
+            return shared.abort || !shared.free_bufs.empty();
+          });
+          if (shared.abort) break;
+          buf = shared.free_bufs.back();
+          shared.free_bufs.pop_back();
+        }
+        size_t got;
+        {
+          obs::TraceSpan span("merge.batch", "cpu");
+          obs::ScopedPerfRegion perf("merge");
+          got = merger.NextBatch(ptrs.data(), batch_records);
+        }
+        {
+          obs::TraceSpan span("gather.slice", "cpu");
+          obs::ScopedPerfRegion perf("gather");
+          GatherRecords(fmt, ptrs.data(), got, buf->data.data(),
+                        opts.prefetch_distance);
+        }
+        buf->offset = offset;
+        buf->len = got * fmt.record_size;
+        offset += buf->len;
+        // A range's batches are produced front to back by this one
+        // chore, so its CRC folds sequentially right here.
+        range_crc[r] = Crc32c(buf->data.data(), buf->len, range_crc[r]);
+        {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          shared.sealed.push_back(buf);
+        }
+        shared.sealed_cv.notify_one();
+      }
+      merge_stats.Add(stats);
+      {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        ++shared.ranges_done;
+      }
+      shared.sealed_cv.notify_one();
+    });
+  }
+
+  std::deque<RangeBuffer*> in_flight;
+  Status status;
+
+  // Waits the oldest in-flight write and returns its buffer to the pool.
+  auto retire_oldest = [&] {
+    RangeBuffer* buf = in_flight.front();
+    in_flight.pop_front();
+    Status write_status = ctx->aio->Wait(buf->pending);
+    if (!write_status.ok() && status.ok()) status = write_status;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.free_bufs.push_back(buf);
+    }
+    shared.free_cv.notify_one();
+  };
+  auto raise_abort = [&shared] {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.abort = true;
+    shared.free_cv.notify_all();
+  };
+
+  for (;;) {
+    RangeBuffer* buf = nullptr;
+    bool all_done = false;
+    {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      if (shared.sealed.empty() && in_flight.empty()) {
+        shared.sealed_cv.wait(lock, [&shared, num_ranges] {
+          return !shared.sealed.empty() ||
+                 shared.ranges_done == num_ranges;
+        });
+      }
+      if (!shared.sealed.empty()) {
+        buf = shared.sealed.front();
+        shared.sealed.pop_front();
+      } else if (in_flight.empty()) {
+        all_done = shared.ranges_done == num_ranges;
+      }
+    }
+    if (buf != nullptr) {
+      // Cancellation/deadline poll, once per sealed batch.
+      if (Status ctl = CheckControl(ctx); !ctl.ok()) {
+        if (status.ok()) status = ctl;
+        std::lock_guard<std::mutex> lock(shared.mu);
+        shared.free_bufs.push_back(buf);  // never submitted
+        break;
+      }
+      {
+        obs::TraceSpan span("merge.seal", "io");
+        obs::ScopedPerfRegion perf("merge.seal");
+        buf->pending = ctx->aio->SubmitWrite(ctx->output, buf->offset,
+                                             buf->data.data(), buf->len);
+      }
+      in_flight.push_back(buf);
+      PartitionCounters::Get()->batches->Add();
+      if (in_flight.size() < write_depth) continue;
+    } else if (all_done) {
+      break;
+    }
+    // Write pipe full, or nothing sealed while writes are outstanding:
+    // retiring the oldest write is the only way buffers come free.
+    if (!in_flight.empty()) {
+      obs::ScopedPerfRegion perf("merge.seal");
+      retire_oldest();
+      if (!status.ok()) break;
+    }
+  }
+
+  // Unwind: wake every worker (on error they drain out; on success they
+  // are already done), let the pool go idle, then retire whatever writes
+  // are still outstanding — the buffers must outlive them.
+  if (!status.ok()) raise_abort();
+  ctx->pool->WaitIdle();
+  while (!in_flight.empty()) retire_oldest();
+
+  ctx->metrics->merge_stats.Merge(merge_stats.Take());
+  if (status.ok()) {
+    uint32_t crc = 0;
+    for (size_t r = 0; r < num_ranges; ++r) {
+      crc = Crc32cCombine(
+          crc, range_crc[r],
+          partition.ranges[r].num_records * fmt.record_size);
+    }
+    *crc_out = crc;
+  }
+  return status;
+}
 
 }  // namespace
 
@@ -141,7 +373,8 @@ Status RunOnePass(SortContext* ctx) {
           NullTracer tracer;
           BuildPrefixEntryArray(fmt,
                                 records.get() + start * fmt.record_size,
-                                len, entries.get() + start);
+                                len, entries.get() + start,
+                                ctx->options->prefetch_distance);
           QuickSortPrefixEntries(fmt, entries.get() + start, len, &stats,
                                  &tracer);
           qs_stats.Add(stats);
@@ -186,7 +419,8 @@ Status RunOnePass(SortContext* ctx) {
       obs::ScopedPerfRegion perf("quicksort");
       SortStats stats;
       BuildPrefixEntryArray(fmt, records.get() + start * fmt.record_size,
-                            len, entries.get() + start);
+                            len, entries.get() + start,
+                            opts.prefetch_distance);
       SortPrefixEntryArray(fmt, entries.get() + start, len, &stats);
       qs_stats.Add(stats);
     }
@@ -208,8 +442,43 @@ Status RunOnePass(SortContext* ctx) {
     ctx->metrics->num_runs = runs.size();
     ctx->metrics->quicksort_stats = qs_stats.Take();
 
+    // Merge strategy (§5): with workers available, split the key space
+    // into ~workers+1 disjoint ranges and let every worker drive its own
+    // tournament; without workers (or when the split degenerates — all
+    // keys equal, a single run) fall through to the classic single
+    // global tournament. A zero-worker pool must stay sequential: its
+    // Submit() runs chores inline on the root, which would deadlock the
+    // fill/seal handshake below.
+    size_t want_ranges = 1;
+    if (ctx->pool->num_workers() > 0) {
+      want_ranges =
+          opts.merge_parallelism == -1
+              ? static_cast<size_t>(ctx->pool->num_workers()) + 1
+              : static_cast<size_t>(opts.merge_parallelism);
+    }
+    if (want_ranges > 1) {
+      MergePartition partition;
+      {
+        obs::TraceSpan span("merge.partition", "cpu");
+        obs::ScopedPerfRegion perf("merge.partition");
+        partition = PartitionEntryRuns(fmt, runs, want_ranges);
+      }
+      if (partition.NumRanges() > 1) {
+        PartitionCounters::Get()->sorts->Add();
+        PartitionCounters::Get()->ranges->Add(partition.NumRanges());
+        ctx->metrics->merge_ranges = partition.NumRanges();
+        uint32_t crc = 0;
+        ALPHASORT_RETURN_IF_ERROR(PartitionedMerge(ctx, partition, &crc));
+        ALPHASORT_RETURN_IF_ERROR(ctx->output->Truncate(bytes));
+        ctx->metrics->output_crc32c = crc;
+        ctx->metrics->merge_phase_s = phase.Lap();
+        return Status::OK();
+      }
+    }
+
     RunMerger<> merger(fmt, std::move(runs), TreeLayout::kFlat, nullptr,
-                       &ctx->metrics->merge_stats);
+                       &ctx->metrics->merge_stats,
+                       opts.prefetch_distance != 0);
 
     // Multi-buffered output: gather into one buffer while earlier ones
     // drain (write_buffers = 2 is classic double buffering; wider rings
@@ -246,6 +515,11 @@ Status RunOnePass(SortContext* ctx) {
       if (Status ctl = CheckControl(ctx); !ctl.ok()) return abandon(ctl);
       OutBuffer& buf = bufs[which];
       if (buf.in_flight) {
+        // Reclaiming the buffer from its earlier write is part of the
+        // output seal step, not the merge proper — account it there so
+        // the "merge" region stays a pure tournament measurement
+        // (docs/perf.md).
+        obs::ScopedPerfRegion perf("merge.seal");
         buf.in_flight = false;
         Status write_status = ctx->aio->Wait(buf.pending);
         if (!write_status.ok()) return abandon(write_status);
@@ -257,10 +531,14 @@ Status RunOnePass(SortContext* ctx) {
         got = merger.NextBatch(ptrs.data(), batch_records);
       }
       ParallelGather(ctx, ptrs.data(), got, buf.data.data());
-      out_crc = Crc32c(buf.data.data(), got * fmt.record_size, out_crc);
-      buf.pending = ctx->aio->SubmitWrite(ctx->output, out_offset,
-                                          buf.data.data(),
-                                          got * fmt.record_size);
+      {
+        obs::TraceSpan span("merge.seal", "io");
+        obs::ScopedPerfRegion perf("merge.seal");
+        out_crc = Crc32c(buf.data.data(), got * fmt.record_size, out_crc);
+        buf.pending = ctx->aio->SubmitWrite(ctx->output, out_offset,
+                                            buf.data.data(),
+                                            got * fmt.record_size);
+      }
       buf.in_flight = true;
       out_offset += got * fmt.record_size;
       which = (which + 1) % bufs.size();

@@ -185,9 +185,10 @@ std::string SortReport::ToJson() const {
                    Quoted(tool).c_str(), Quoted(config).c_str());
   out += StrFormat(
       "\"records\":%s,\"bytes_in\":%s,\"bytes_out\":%s,\"passes\":%d,"
-      "\"runs\":%s,",
+      "\"runs\":%s,\"merge_ranges\":%s,",
       U64(m.num_records).c_str(), U64(m.bytes_in).c_str(),
-      U64(m.bytes_out).c_str(), m.passes, U64(m.num_runs).c_str());
+      U64(m.bytes_out).c_str(), m.passes, U64(m.num_runs).c_str(),
+      U64(m.merge_ranges).c_str());
   out += StrFormat(
       "\"phases_s\":{\"startup\":%s,\"read_quicksort\":%s,"
       "\"last_run\":%s,\"merge_gather_write\":%s,\"close\":%s,"
@@ -230,10 +231,12 @@ std::string SortReport::ToText() const {
   out += StrFormat("=== AlphaSort report: %s ===\n", tool.c_str());
   if (!config.empty()) out += StrFormat("config: %s\n", config.c_str());
   out += StrFormat(
-      "records %llu (%.1f MB in, %.1f MB out), %d pass(es), %llu run(s)\n\n",
+      "records %llu (%.1f MB in, %.1f MB out), %d pass(es), %llu run(s), "
+      "%llu merge range(s)\n\n",
       static_cast<unsigned long long>(m.num_records), m.bytes_in / 1e6,
       m.bytes_out / 1e6, m.passes,
-      static_cast<unsigned long long>(m.num_runs));
+      static_cast<unsigned long long>(m.num_runs),
+      static_cast<unsigned long long>(m.merge_ranges));
 
   // Figure 7's table: one row per phase with its share of the total.
   const double total = m.total_s > 0 ? m.total_s : m.PhaseSum();

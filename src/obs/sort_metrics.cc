@@ -33,7 +33,9 @@ std::string SortMetrics::ToString() const {
   out += StrFormat("records: %llu (%.1f MB in, %.1f MB out), %d pass(es)\n",
                    static_cast<unsigned long long>(num_records),
                    bytes_in / 1e6, bytes_out / 1e6, passes);
-  out += StrFormat("runs: %llu\n", static_cast<unsigned long long>(num_runs));
+  out += StrFormat("runs: %llu, merge ranges: %llu\n",
+                   static_cast<unsigned long long>(num_runs),
+                   static_cast<unsigned long long>(merge_ranges));
   out += StrFormat(
       "phases (s): startup %.4f | read+quicksort %.4f | last run %.4f | "
       "merge+gather+write %.4f | close %.4f | total %.4f\n",

@@ -52,11 +52,16 @@ class CompactOps {
 }  // namespace
 
 void BuildCompactEntryArray(const RecordFormat& format, const char* base,
-                            size_t n, CompactEntry* out) {
+                            size_t n, CompactEntry* out,
+                            size_t prefetch_distance) {
+  const size_t r = format.record_size;
+  const size_t d = prefetch_distance;
   for (size_t i = 0; i < n; ++i) {
-    out[i] = CompactEntry{
-        Prefix32(format, base + i * format.record_size),
-        static_cast<uint32_t>(i)};
+    if (d != 0 && i + d < n) {
+      ALPHASORT_PREFETCH_READ(format.KeyPtr(base + (i + d) * r));
+    }
+    out[i] = CompactEntry{Prefix32(format, base + i * r),
+                          static_cast<uint32_t>(i)};
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/prefetch.h"
 #include "record/record.h"
 #include "sort/quicksort.h"
 
@@ -24,9 +25,12 @@ struct CompactEntry {
 };
 static_assert(sizeof(CompactEntry) == 8, "the paper's 8-byte pairs");
 
-// Builds entries over `n` contiguous records starting at `base`.
+// Builds entries over `n` contiguous records starting at `base`,
+// prefetching keys `prefetch_distance` records ahead of the extract loop
+// (0 disables the hints; see common/prefetch.h).
 void BuildCompactEntryArray(const RecordFormat& format, const char* base,
-                            size_t n, CompactEntry* out);
+                            size_t n, CompactEntry* out,
+                            size_t prefetch_distance = kDefaultPrefetchDistance);
 
 // Sorts entries by key (4-byte prefix fast path, full-key fallback
 // through base + index on ties). Stats count tie-breaks as usual.

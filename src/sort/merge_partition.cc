@@ -1,0 +1,111 @@
+#include "sort/merge_partition.h"
+
+#include <algorithm>
+
+namespace alphasort {
+
+namespace {
+
+// How many splitter candidates each wanted range contributes per run.
+// Oversampling keeps the quantile splitters close to the true key-space
+// quantiles even when runs disagree about the distribution (skewed
+// inputs), which is what bounds range imbalance.
+constexpr size_t kSplitterOversample = 8;
+
+MergePartition SingleRange(const std::vector<EntryRun>& runs,
+                           uint64_t total) {
+  MergePartition out;
+  MergeRange all;
+  all.runs = runs;
+  all.first_record = 0;
+  all.num_records = total;
+  out.ranges.push_back(std::move(all));
+  return out;
+}
+
+}  // namespace
+
+MergePartition PartitionEntryRuns(const RecordFormat& format,
+                                  const std::vector<EntryRun>& runs,
+                                  size_t max_ranges) {
+  uint64_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  if (max_ranges <= 1 || runs.size() <= 1 || total == 0) {
+    return SingleRange(runs, total);
+  }
+
+  const EntryKeyLess less{&format};
+  auto equal = [&less](const PrefixEntry& a, const PrefixEntry& b) {
+    return !less(a, b) && !less(b, a);
+  };
+
+  // Sample evenly spaced entries from every run. Each run is sorted, so
+  // its samples are order statistics of that run; pooled and sorted they
+  // approximate the order statistics of the whole key population.
+  std::vector<PrefixEntry> samples;
+  const size_t per_run = max_ranges * kSplitterOversample;
+  samples.reserve(per_run * runs.size());
+  for (const auto& run : runs) {
+    const size_t n = run.size();
+    if (n == 0) continue;
+    const size_t step = std::max<size_t>(1, n / per_run);
+    for (size_t i = step - 1; i < n; i += step) {
+      samples.push_back(run.begin[i]);
+    }
+  }
+  std::sort(samples.begin(), samples.end(), less);
+
+  // Splitters at sample quantiles; drop duplicates so an all-equal or
+  // heavily clustered key population collapses to fewer ranges instead of
+  // producing empty ones. upper_bound semantics below put every entry
+  // equal to a splitter in the range below it, which is what keeps equal
+  // keys from straddling a boundary.
+  std::vector<PrefixEntry> splitters;
+  splitters.reserve(max_ranges - 1);
+  for (size_t p = 1; p < max_ranges; ++p) {
+    const PrefixEntry cand = samples[p * samples.size() / max_ranges];
+    if (!splitters.empty() && equal(splitters.back(), cand)) continue;
+    splitters.push_back(cand);
+  }
+
+  // Per-run boundary cursors: bounds[s][r] is where run s's slice for
+  // range r begins. Search resumes from the previous splitter's bound —
+  // splitters ascend, so each run is scanned monotonically.
+  const size_t num_ranges = splitters.size() + 1;
+  std::vector<std::vector<const PrefixEntry*>> bounds(
+      runs.size(), std::vector<const PrefixEntry*>(num_ranges + 1));
+  for (size_t s = 0; s < runs.size(); ++s) {
+    bounds[s][0] = runs[s].begin;
+    for (size_t r = 0; r < splitters.size(); ++r) {
+      bounds[s][r + 1] =
+          std::upper_bound(bounds[s][r], runs[s].end, splitters[r], less);
+    }
+    bounds[s][num_ranges] = runs[s].end;
+  }
+
+  MergePartition out;
+  out.ranges.resize(num_ranges);
+  uint64_t first = 0;
+  for (size_t r = 0; r < num_ranges; ++r) {
+    MergeRange& range = out.ranges[r];
+    range.runs.reserve(runs.size());
+    uint64_t count = 0;
+    for (size_t s = 0; s < runs.size(); ++s) {
+      range.runs.push_back(EntryRun{bounds[s][r], bounds[s][r + 1]});
+      count += range.runs.back().size();
+    }
+    range.first_record = first;
+    range.num_records = count;
+    first += count;
+  }
+  // Interior ranges always hold at least their sampled splitter key, but
+  // the last range is empty when the largest splitter equals the maximum
+  // key (all-equal inputs, clustered tails). An empty range is a no-op
+  // chore — drop it so NumRanges() reflects real parallelism.
+  while (out.ranges.size() > 1 && out.ranges.back().num_records == 0) {
+    out.ranges.pop_back();
+  }
+  return out;
+}
+
+}  // namespace alphasort

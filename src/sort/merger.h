@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/prefetch.h"
 #include "common/tracer.h"
 #include "record/record.h"
 #include "sort/entry.h"
@@ -30,13 +31,19 @@ template <typename Tracer = NullTracer>
 class RunMerger {
  public:
   // `tracer` may be null only when Tracer is default-constructible (a
-  // default-constructed instance is used then).
+  // default-constructed instance is used then). `prefetch` enables the
+  // leaf-replacement record prefetch (common/prefetch.h): the replay
+  // after a replacement tie-breaks through the incoming candidate's
+  // record, a dependent random access the paper flags as the merge's
+  // memory wall; prefetching the record before the replay overlaps the
+  // miss with the path compares.
   RunMerger(const RecordFormat& format, std::vector<EntryRun> runs,
             TreeLayout layout = TreeLayout::kFlat, Tracer* tracer = nullptr,
-            SortStats* stats = nullptr)
+            SortStats* stats = nullptr, bool prefetch = true)
       : format_(format),
         runs_(std::move(runs)),
         cursors_(runs_.size()),
+        prefetch_(prefetch),
         stats_(stats != nullptr ? stats : &local_stats_),
         tree_(runs_.empty() ? 1 : runs_.size(),
               EntryLess{format, tracer != nullptr ? tracer : &default_tracer_,
@@ -58,7 +65,18 @@ class RunMerger {
     const PrefixEntry win = tree_.WinnerItem();
     const size_t s = tree_.WinnerStream();
     if (cursors_[s] != runs_[s].end) {
-      tree_.ReplaceWinner(*cursors_[s]++);
+      const PrefixEntry next = *cursors_[s]++;
+      if (prefetch_) {
+        // The incoming candidate's record: touched by any tie-break on
+        // the replay path and again by the gather a batch later.
+        ALPHASORT_PREFETCH_READ(format_.KeyPtr(next.record));
+        // The candidate after it: its entry is needed by the next
+        // replacement from this stream.
+        if (cursors_[s] != runs_[s].end) {
+          ALPHASORT_PREFETCH_READ(cursors_[s]);
+        }
+      }
+      tree_.ReplaceWinner(next);
     } else {
       tree_.ExhaustWinner();
     }
@@ -96,6 +114,7 @@ class RunMerger {
   RecordFormat format_;
   std::vector<EntryRun> runs_;
   std::vector<const PrefixEntry*> cursors_;
+  bool prefetch_;
   SortStats local_stats_;
   SortStats* stats_;
   LoserTree<PrefixEntry, EntryLess, Tracer> tree_;
@@ -107,10 +126,19 @@ class RunMerger {
 // execute during the merge phase (§5).
 template <typename Tracer>
 void GatherRecords(const RecordFormat& format, const char* const* pointers,
-                   size_t n, char* out, Tracer* tracer) {
+                   size_t n, char* out, Tracer* tracer,
+                   size_t prefetch_distance = kDefaultPrefetchDistance) {
   Mem<Tracer> mem(tracer);
   const size_t r = format.record_size;
+  const size_t d = prefetch_distance;
   for (size_t i = 0; i < n; ++i) {
+    // The pointer stream is in key order, so the source records are a
+    // random walk over the record array — every copy misses. Prefetch
+    // `d` pointers ahead: by the time the loop reaches that record its
+    // line is resident (docs/perf.md measures the effect).
+    if (d != 0 && i + d < n) {
+      ALPHASORT_PREFETCH_READ(pointers[i + d]);
+    }
     mem.TouchRead(pointers[i], r);
     mem.TouchWrite(out + i * r, r);
     memcpy(out + i * r, pointers[i], r);
@@ -118,9 +146,10 @@ void GatherRecords(const RecordFormat& format, const char* const* pointers,
 }
 
 inline void GatherRecords(const RecordFormat& format,
-                          const char* const* pointers, size_t n, char* out) {
+                          const char* const* pointers, size_t n, char* out,
+                          size_t prefetch_distance = kDefaultPrefetchDistance) {
   NullTracer tracer;
-  GatherRecords(format, pointers, n, out, &tracer);
+  GatherRecords(format, pointers, n, out, &tracer, prefetch_distance);
 }
 
 }  // namespace alphasort

@@ -1,5 +1,7 @@
 #include "sort/quicksort.h"
 
+#include "common/prefetch.h"
+
 namespace alphasort {
 
 void BuildPointerArray(const RecordFormat& format, const char* records,
@@ -17,9 +19,19 @@ void BuildKeyEntryArray(const RecordFormat& format, const char* records,
 }
 
 void BuildPrefixEntryArray(const RecordFormat& format, const char* records,
-                           size_t n, PrefixEntry* out) {
+                           size_t n, PrefixEntry* out,
+                           size_t prefetch_distance) {
+  // The build streams the record array once, touching only each record's
+  // key bytes — a strided access pattern the hardware prefetcher gives up
+  // on for large records. Prefetching the key `prefetch_distance` records
+  // ahead hides the miss behind the entry stores (docs/perf.md).
+  const size_t r = format.record_size;
+  const size_t d = prefetch_distance;
   for (size_t i = 0; i < n; ++i) {
-    out[i] = MakePrefixEntry(format, records + i * format.record_size);
+    if (d != 0 && i + d < n) {
+      ALPHASORT_PREFETCH_READ(format.KeyPtr(records + (i + d) * r));
+    }
+    out[i] = MakePrefixEntry(format, records + i * r);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/prefetch.h"
 #include "common/tracer.h"
 #include "record/record.h"
 #include "sort/entry.h"
@@ -418,8 +419,12 @@ void BuildPointerArray(const RecordFormat& format, const char* records,
                        size_t n, RecordPtr* out);
 void BuildKeyEntryArray(const RecordFormat& format, const char* records,
                         size_t n, KeyEntry* out);
+// The prefix build is the hot one (every sort runs it over every record);
+// it software-prefetches keys `prefetch_distance` records ahead of the
+// extract loop (0 disables the hints; see common/prefetch.h).
 void BuildPrefixEntryArray(const RecordFormat& format, const char* records,
-                           size_t n, PrefixEntry* out);
+                           size_t n, PrefixEntry* out,
+                           size_t prefetch_distance = kDefaultPrefetchDistance);
 
 // Non-templated convenience wrappers (NullTracer), used by tests, benches
 // and the AlphaSort core.

@@ -81,6 +81,67 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<3>(info.param) ? "_striped" : "_plain");
     });
 
+// The partitioned parallel merge must be invisible in the output: same
+// bytes, same CRC-32C as the single global tournament, for benign and
+// adversarial key distributions alike. Each run uses its own MemEnv but
+// the same generator seed, so the inputs are identical.
+TEST(AlphaSortTest, PartitionedMergeOutputMatchesSequentialCrc) {
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kConstant,
+        KeyDistribution::kFewDistinct, KeyDistribution::kSharedPrefix}) {
+    EndToEnd sequential;
+    ASSERT_TRUE(sequential.Prepare(12000, dist, /*striped=*/false).ok());
+    sequential.opts.num_workers = 3;
+    sequential.opts.merge_parallelism = 1;  // force the global tournament
+    sequential.opts.run_size_records = 700;
+    sequential.opts.io_chunk_bytes = 16 * 1024;
+    ASSERT_TRUE(sequential.Sort().ok());
+    ASSERT_TRUE(sequential.Validate().ok());
+    EXPECT_EQ(sequential.metrics.merge_ranges, 1u);
+
+    EndToEnd partitioned;
+    ASSERT_TRUE(partitioned.Prepare(12000, dist, /*striped=*/false).ok());
+    partitioned.opts.num_workers = 3;  // auto: up to 4 key ranges
+    partitioned.opts.run_size_records = 700;
+    partitioned.opts.io_chunk_bytes = 16 * 1024;
+    ASSERT_TRUE(partitioned.Sort().ok());
+    ASSERT_TRUE(partitioned.Validate().ok());
+
+    EXPECT_EQ(partitioned.metrics.output_crc32c,
+              sequential.metrics.output_crc32c)
+        << "distribution " << static_cast<int>(dist);
+    // All-equal keys legitimately collapse to one range; the others must
+    // actually split.
+    if (dist == KeyDistribution::kConstant) {
+      EXPECT_EQ(partitioned.metrics.merge_ranges, 1u);
+    } else {
+      EXPECT_GT(partitioned.metrics.merge_ranges, 1u);
+      EXPECT_LE(partitioned.metrics.merge_ranges, 4u);
+    }
+  }
+}
+
+// prefetch_distance is a pure hint: 0 (disabled) and a large distance
+// must both leave the output identical to the default.
+TEST(AlphaSortTest, PrefetchDistanceDoesNotChangeOutput) {
+  uint32_t crcs[3];
+  const size_t distances[3] = {8, 0, 64};
+  for (int i = 0; i < 3; ++i) {
+    EndToEnd e2e;
+    ASSERT_TRUE(
+        e2e.Prepare(8000, KeyDistribution::kUniform, /*striped=*/false).ok());
+    e2e.opts.num_workers = 2;
+    e2e.opts.prefetch_distance = distances[i];
+    e2e.opts.run_size_records = 500;
+    e2e.opts.io_chunk_bytes = 16 * 1024;
+    ASSERT_TRUE(e2e.Sort().ok());
+    ASSERT_TRUE(e2e.Validate().ok());
+    crcs[i] = e2e.metrics.output_crc32c;
+  }
+  EXPECT_EQ(crcs[0], crcs[1]);
+  EXPECT_EQ(crcs[0], crcs[2]);
+}
+
 TEST(AlphaSortTest, TwoPassSortsLargeInput) {
   EndToEnd e2e;
   ASSERT_TRUE(

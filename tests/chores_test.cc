@@ -1,4 +1,5 @@
 #include <atomic>
+#include <map>
 #include <set>
 #include <thread>
 #include <vector>
@@ -82,6 +83,46 @@ TEST(ChorePoolTest, DestructorDrainsOutstandingChores) {
 TEST(ChorePoolTest, ParallelForZeroIsNoop) {
   ChorePool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+// The chunked-grab drain must stay exact at the awkward sizes: n smaller
+// than the thread count (chunk clamps to 1), n not a multiple of the
+// chunk (ragged tail), and n == 1.
+TEST(ChorePoolTest, ParallelForChunkingCoversAwkwardSizes) {
+  for (int workers : {0, 1, 3, 7}) {
+    for (size_t n : {size_t{1}, size_t{2}, size_t{7}, size_t{63},
+                     size_t{64}, size_t{65}, size_t{1013}}) {
+      ChorePool pool(workers);
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(n, [&hits](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "index " << i << " of " << n << " workers " << workers;
+      }
+    }
+  }
+}
+
+// Chunks hand each drainer contiguous index spans; with a body that
+// records its thread, every thread's set of indices must still be
+// disjoint and the union complete (the invariant the sort's gather
+// slices rely on).
+TEST(ChorePoolTest, ParallelForIndicesDisjointAcrossThreads) {
+  ChorePool pool(3);
+  const size_t n = 512;
+  std::mutex mu;
+  std::map<std::thread::id, std::vector<size_t>> per_thread;
+  pool.ParallelFor(n, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    per_thread[std::this_thread::get_id()].push_back(i);
+  });
+  std::set<size_t> all;
+  for (const auto& [tid, indices] : per_thread) {
+    for (size_t i : indices) {
+      EXPECT_TRUE(all.insert(i).second) << "index " << i << " ran twice";
+    }
+  }
+  EXPECT_EQ(all.size(), n);
 }
 
 }  // namespace

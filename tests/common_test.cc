@@ -174,6 +174,40 @@ TEST(ChecksumTest, Crc32cDetectsCorruption) {
   EXPECT_NE(before, Crc32c(data.data(), data.size()));
 }
 
+TEST(ChecksumTest, Crc32cCombineMatchesDirectComputation) {
+  // Combine(CRC(a), CRC(b), |b|) must equal CRC(a||b) for every split of
+  // the stream, including empty halves — the property the partitioned
+  // merge relies on to checksum output ranges independently.
+  std::string data(3000, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 131 + 7);
+  }
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{255}, size_t{256},
+                             size_t{1024}, size_t{2999}, data.size()}) {
+    const uint32_t a = Crc32c(data.data(), split);
+    const uint32_t b = Crc32c(data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32cCombine(a, b, data.size() - split), whole)
+        << "split at " << split;
+  }
+}
+
+TEST(ChecksumTest, Crc32cCombineFoldsManyRanges) {
+  // Fold a multi-range split left to right, like the partitioned merge
+  // folds per-range CRCs in key order.
+  std::string data(4096, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i ^ (i >> 3));
+  }
+  const size_t cuts[] = {0, 700, 701, 2048, 4096};
+  uint32_t folded = 0;
+  for (size_t r = 0; r + 1 < sizeof(cuts) / sizeof(cuts[0]); ++r) {
+    const size_t len = cuts[r + 1] - cuts[r];
+    folded = Crc32cCombine(folded, Crc32c(data.data() + cuts[r], len), len);
+  }
+  EXPECT_EQ(folded, Crc32c(data.data(), data.size()));
+}
+
 TEST(FingerprintTest, OrderIndependent) {
   MultisetFingerprint a, b;
   a.Add("one", 3);

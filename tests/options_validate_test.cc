@@ -119,5 +119,33 @@ TEST(SortOptionsValidateTest, WorkersPassesDeadlineRetry) {
   ExpectInvalid(opts, "zero retry attempts");
 }
 
+TEST(SortOptionsValidateTest, MergeParallelismAutoOrPositive) {
+  SortOptions opts = ValidOptions();
+  opts.merge_parallelism = 0;
+  ExpectInvalid(opts, "merge_parallelism 0");
+
+  opts = ValidOptions();
+  opts.merge_parallelism = -2;
+  ExpectInvalid(opts, "merge_parallelism -2");
+
+  opts = ValidOptions();
+  opts.merge_parallelism = -1;  // auto
+  EXPECT_TRUE(opts.Validate().ok());
+
+  opts.merge_parallelism = 1;  // sequential
+  EXPECT_TRUE(opts.Validate().ok());
+
+  opts.merge_parallelism = 8;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(SortOptionsValidateTest, PrefetchDistanceAnyValueIncludingZero) {
+  SortOptions opts = ValidOptions();
+  opts.prefetch_distance = 0;  // 0 = hints disabled, still valid
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.prefetch_distance = 64;
+  EXPECT_TRUE(opts.Validate().ok());
+}
+
 }  // namespace
 }  // namespace alphasort

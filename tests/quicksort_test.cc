@@ -300,6 +300,42 @@ TEST(CompactEntryTest, FourByteSharedPrefixForcesTieBreaks) {
   EXPECT_LT(wide_stats.tie_breaks, n / 2);
 }
 
+// Past the 4-byte prefix's birthday bound (~2^16 random keys) collisions
+// are guaranteed, and this input makes them adversarial: a few thousand
+// distinct prefixes over 70,000 records, so compares must tie-break
+// through the records constantly, and any prefix-only shortcut in the
+// sort would leave equal-prefix groups unsorted. n > 2^16 also exercises
+// index values above the 16-bit line (a truncated-index bug would alias
+// records 65536 apart).
+TEST(CompactEntryTest, PrefixCollisionsAboveSixteenBitScaleSortCorrectly) {
+  const size_t n = 70000;
+  RecordGenerator gen(kDatamationFormat, 41);
+  auto block = gen.Generate(KeyDistribution::kUniform, n);
+  // Crush the leading 4 key bytes into ~3300 crafted values: every
+  // prefix bucket holds ~21 records whose order is decided past the
+  // prefix.
+  for (size_t i = 0; i < n; ++i) {
+    char* key = block.data() + i * 100;
+    memset(key, 'a' + static_cast<char>(i % 13), 3);
+    key[3] = static_cast<char>(i % 256);
+  }
+  std::vector<CompactEntry> entries(n);
+  BuildCompactEntryArray(kDatamationFormat, block.data(), n, entries.data());
+  SortStats stats;
+  SortCompactEntryArray(kDatamationFormat, block.data(), entries.data(), n,
+                        &stats);
+  EXPECT_GT(stats.tie_breaks, n);
+  std::vector<const char*> ptrs(n);
+  for (size_t i = 0; i < n; ++i) {
+    ptrs[i] = block.data() + uint64_t{entries[i].index} * 100;
+  }
+  EXPECT_TRUE(test::PointersAreSorted(kDatamationFormat, ptrs));
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = entries[i].index;
+  std::sort(idx.begin(), idx.end());
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(idx[i], i);
+}
+
 TEST(QuickSortTest, KeyOffsetInsideRecordIsRespected) {
   RecordFormat fmt(64, 10, 20);  // key starts at byte 20
   RecordGenerator gen(fmt, 17);
