@@ -1,7 +1,7 @@
 // fault_campaign: the fault-tolerance smoke gate scripts/ci.sh runs.
 //
 //   ./fault_campaign --mem [--seeds N] [--seed BASE] [--records N]
-//                    [--verbose]
+//                    [--verbose] [--flight FILE]
 //
 // Runs N seeded sorts, each against a fresh in-memory filesystem with a
 // randomized fault plan (transient/permanent failures, short reads,
@@ -10,12 +10,19 @@
 // if any trial is incorrect: wrong output under an OK status, or leaked
 // scratch files. Clean errors are expected and fine — that is what
 // "fail, don't lie" means.
+//
+// --flight FILE runs an obs::FlightRecorder across the whole campaign:
+// every trial's sort registers live progress, so the JSONL capture
+// replays which phase each job was in as faults landed — the
+// post-mortem for a wedged or crashed trial (expo_lint --flight).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "benchlib/fault_campaign.h"
+#include "obs/exposition.h"
 
 using namespace alphasort;
 
@@ -23,6 +30,7 @@ int main(int argc, char** argv) {
   CampaignConfig config;
   config.trials = 64;
   bool mem = false;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--mem") == 0) {
       mem = true;
@@ -34,10 +42,12 @@ int main(int argc, char** argv) {
       config.max_records = strtoull(argv[++i], nullptr, 10);
     } else if (strcmp(argv[i], "--verbose") == 0) {
       config.verbose = true;
+    } else if (strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
     } else {
       fprintf(stderr,
               "usage: %s --mem [--seeds N] [--seed BASE] [--records N] "
-              "[--verbose]\n",
+              "[--verbose] [--flight FILE]\n",
               argv[0]);
       return 2;
     }
@@ -55,7 +65,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::FlightRecorder::Options fr_opts;
+  fr_opts.path = flight_path;
+  // Trials are short, so tick fast enough to catch each one mid-phase.
+  fr_opts.interval_s = 0.005;
+  obs::FlightRecorder flight(fr_opts);
+  if (!flight_path.empty()) {
+    if (Status s = flight.Start(); !s.ok()) {
+      fprintf(stderr, "fault_campaign: cannot start flight recorder: %s\n",
+              s.ToString().c_str());
+      return 2;
+    }
+  }
+
   const CampaignReport report = RunFaultCampaign(config);
+  flight.Stop();
   printf("%s", report.ToString().c_str());
   if (report.incorrect > 0) {
     fprintf(stderr, "fault_campaign: %d INCORRECT trial(s)\n",

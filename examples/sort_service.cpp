@@ -2,7 +2,15 @@
 //
 //   ./sort_service [--jobs N] [--running K] [--records N]
 //                  [--budget-mb MB] [--job-budget-mb MB] [--workers K]
-//                  [--faults] [--smoke]
+//                  [--faults] [--smoke] [--expo FILE] [--log-jsonl FILE]
+//                  [--flight FILE]
+//
+// --expo FILE scrapes the Prometheus-style exposition (registry plus
+// live per-job progress) into FILE repeatedly while jobs run and once
+// after they finish; validate with expo_lint. --log-jsonl FILE attaches
+// a JSONL sink to the global structured logger for the run; validate
+// with log_lint. --flight FILE runs a flight recorder that appends a
+// progress snapshot line 4x/second; replay with expo_lint --flight.
 //
 // Default mode submits N concurrent Datamation jobs against an in-memory
 // filesystem, waits for them all, validates every output, and prints the
@@ -15,16 +23,20 @@
 // Aborted status, if the peak of admitted bytes ever exceeded the
 // service budget, or if any scratch file leaks.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchlib/datamation.h"
 #include "common/table.h"
 #include "io/env_stack.h"
+#include "obs/exposition.h"
+#include "obs/log.h"
 #include "svc/sort_service.h"
 
 using namespace alphasort;
@@ -40,7 +52,20 @@ struct DriverConfig {
   int workers = 2;
   bool faults = false;
   bool smoke = false;
+  std::string expo_path;
+  std::string log_jsonl_path;
+  std::string flight_path;
 };
+
+// Overwrites `path` with `text` (the exposition scrape is a whole
+// document, not an append stream).
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = fwrite(text.data(), 1, text.size(), f) == text.size();
+  fclose(f);
+  return ok;
+}
 
 const char* StateName(SortJobState s) {
   switch (s) {
@@ -55,6 +80,36 @@ const char* StateName(SortJobState s) {
 }
 
 int RunDriver(const DriverConfig& cfg) {
+  // Structured-log sink for the whole run (job lifecycle, admission
+  // decisions, retries all land in it).
+  std::unique_ptr<obs::JsonlFileLogSink> log_sink;
+  if (!cfg.log_jsonl_path.empty()) {
+    log_sink = std::make_unique<obs::JsonlFileLogSink>(cfg.log_jsonl_path);
+    if (!log_sink->ok()) {
+      fprintf(stderr, "cannot open log sink %s\n",
+              cfg.log_jsonl_path.c_str());
+      return 1;
+    }
+    obs::Logger::Global()->AddSink(log_sink.get());
+  }
+  struct SinkRemover {
+    obs::LogSink* sink;
+    ~SinkRemover() {
+      if (sink != nullptr) obs::Logger::Global()->RemoveSink(sink);
+    }
+  } sink_remover{log_sink.get()};
+
+  obs::FlightRecorder::Options fr_opts;
+  fr_opts.path = cfg.flight_path;
+  obs::FlightRecorder flight(fr_opts);
+  if (!cfg.flight_path.empty()) {
+    if (Status s = flight.Start(); !s.ok()) {
+      fprintf(stderr, "cannot start flight recorder %s: %s\n",
+              cfg.flight_path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+  }
+
   std::unique_ptr<Env> mem = NewMemEnv();
   // With --faults, a transient-fault layer sits between the store and
   // the service; each job carries a retry policy to absorb it.
@@ -131,6 +186,21 @@ int RunDriver(const DriverConfig& cfg) {
            static_cast<unsigned long long>(jobs.back().id()));
   }
 
+  // Scrape the exposition while jobs are live: every poll overwrites the
+  // file, so the final content is the last pre-completion snapshot plus
+  // the post-run scrape below.
+  if (!cfg.expo_path.empty()) {
+    for (;;) {
+      bool all_done = true;
+      for (auto& job : jobs) {
+        if (!job.TryWait()) all_done = false;
+      }
+      WriteTextFile(cfg.expo_path, obs::RenderExposition());
+      if (all_done) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
   int failures = 0;
   for (int j = 0; j < total_jobs; ++j) {
     const SortResult& r = jobs[j].Wait();
@@ -205,6 +275,15 @@ int RunDriver(const DriverConfig& cfg) {
             stray.size(), stray[0].c_str());
     ++failures;
   }
+  flight.Stop();
+  // The final scrape: service counters settled, per-job svc.job.<id>.*
+  // gauges at their terminal values (permille 1000 for completed jobs).
+  if (!cfg.expo_path.empty() &&
+      !WriteTextFile(cfg.expo_path, obs::RenderExposition())) {
+    fprintf(stderr, "FAIL: cannot write exposition to %s\n",
+            cfg.expo_path.c_str());
+    ++failures;
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -229,11 +308,18 @@ int main(int argc, char** argv) {
       cfg.faults = true;
     } else if (strcmp(argv[i], "--smoke") == 0) {
       cfg.smoke = true;
+    } else if (strcmp(argv[i], "--expo") == 0 && i + 1 < argc) {
+      cfg.expo_path = argv[++i];
+    } else if (strcmp(argv[i], "--log-jsonl") == 0 && i + 1 < argc) {
+      cfg.log_jsonl_path = argv[++i];
+    } else if (strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      cfg.flight_path = argv[++i];
     } else {
       fprintf(stderr,
               "usage: %s [--jobs N] [--running K] [--records N] "
               "[--budget-mb MB] [--job-budget-mb MB] [--workers K] "
-              "[--faults] [--smoke]\n",
+              "[--faults] [--smoke] [--expo FILE] [--log-jsonl FILE] "
+              "[--flight FILE]\n",
               argv[0]);
       return 2;
     }

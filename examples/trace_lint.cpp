@@ -2,17 +2,24 @@
 // `asort --trace` (or any obs::TraceRecorder export).
 //
 //   ./trace_lint FILE [--require NAME]... [--require-counter NAME]...
-//                [--distinct-threads N]
+//                [--require-job NAME]... [--distinct-threads N]
 //
 // Exits 0 when FILE parses as a structurally valid Chrome trace, every
 // --require NAME appears as an event-name substring, every
 // --require-counter NAME appears as a counter event (ph "C") with that
-// exact name and a numeric args.value, events span at least N distinct
-// tids, and each thread's timestamps are monotonically non-decreasing
-// (the recorder exports a globally time-sorted array; out-of-order
-// events within one tid mean a broken export or a hand-edited file).
-// Used by scripts/ci.sh to smoke-test the observability pipeline end to
-// end.
+// exact name and a numeric args.value, every event whose name contains a
+// --require-job NAME carries a numeric args.job (the obs::ScopedJobId
+// attribution), events span at least N distinct tids, and each thread's
+// timestamps are monotonically non-decreasing (the recorder exports a
+// globally time-sorted array; out-of-order events within one tid mean a
+// broken export or a hand-edited file).
+//
+// Cross-job span nesting is always rejected: a complete ("X") span
+// opening inside another span on the same tid must carry the same job id
+// (or id 0, the unattributed service scope) — two different nonzero jobs
+// nested on one thread means a chore ran without re-establishing
+// ScopedJobId, so its spans are charged to the wrong job. Used by
+// scripts/ci.sh to smoke-test the observability pipeline end to end.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,12 +39,15 @@ int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
   std::vector<std::string> required_counters;
+  std::vector<std::string> required_jobs;
   size_t distinct_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required.push_back(argv[++i]);
     } else if (strcmp(argv[i], "--require-counter") == 0 && i + 1 < argc) {
       required_counters.push_back(argv[++i]);
+    } else if (strcmp(argv[i], "--require-job") == 0 && i + 1 < argc) {
+      required_jobs.push_back(argv[++i]);
     } else if (strcmp(argv[i], "--distinct-threads") == 0 && i + 1 < argc) {
       distinct_threads = strtoul(argv[++i], nullptr, 10);
     } else if (path.empty() && argv[i][0] != '-') {
@@ -45,7 +55,8 @@ int main(int argc, char** argv) {
     } else {
       fprintf(stderr,
               "usage: %s FILE [--require NAME]... "
-              "[--require-counter NAME]... [--distinct-threads N]\n",
+              "[--require-counter NAME]... [--require-job NAME]... "
+              "[--distinct-threads N]\n",
               argv[0]);
       return 2;
     }
@@ -108,6 +119,15 @@ int main(int argc, char** argv) {
   std::set<std::string> counter_names;
   std::set<double> tids;
   std::map<double, double> last_ts_by_tid;
+  // Per-tid stack of open complete spans, as (end_ts, job id). The
+  // export is time-sorted, so spans open in start order; an event that
+  // starts before the top of its tid's stack ends is nested inside it.
+  struct OpenSpan {
+    double end_ts;
+    double job;
+    std::string name;
+  };
+  std::map<double, std::vector<OpenSpan>> open_by_tid;
   for (size_t i = 0; i < events->items.size(); ++i) {
     const obs::JsonValue& ev = events->items[i];
     const obs::JsonValue* name = ev.Find("name");
@@ -123,6 +143,44 @@ int main(int argc, char** argv) {
     }
     names.insert(name->string_value);
     tids.insert(tid->number_value);
+    const obs::JsonValue* ev_args = ev.Find("args");
+    const obs::JsonValue* job_field =
+        ev_args != nullptr && ev_args->IsObject() ? ev_args->Find("job")
+                                                  : nullptr;
+    const double job = job_field != nullptr && job_field->IsNumber()
+                           ? job_field->number_value
+                           : 0;
+    for (const std::string& want : required_jobs) {
+      if (name->string_value.find(want) == std::string::npos) continue;
+      if (job_field == nullptr || !job_field->IsNumber()) {
+        fprintf(stderr,
+                "trace_lint: event \"%s\" (event %zu) matches "
+                "--require-job \"%s\" but has no numeric args.job\n",
+                name->string_value.c_str(), i, want.c_str());
+        return 1;
+      }
+    }
+    if (ph->string_value == "X") {
+      const obs::JsonValue* dur = ev.Find("dur");
+      const double end_ts =
+          ts->number_value +
+          (dur != nullptr && dur->IsNumber() ? dur->number_value : 0);
+      std::vector<OpenSpan>& open = open_by_tid[tid->number_value];
+      while (!open.empty() && open.back().end_ts <= ts->number_value) {
+        open.pop_back();
+      }
+      if (!open.empty() && job != 0 && open.back().job != 0 &&
+          open.back().job != job) {
+        fprintf(stderr,
+                "trace_lint: cross-job span nesting on tid %.0f: \"%s\" "
+                "(job %.0f, event %zu) opened inside \"%s\" (job %.0f) — "
+                "a chore ran without re-establishing its ScopedJobId\n",
+                tid->number_value, name->string_value.c_str(), job, i,
+                open.back().name.c_str(), open.back().job);
+        return 1;
+      }
+      open.push_back(OpenSpan{end_ts, job, name->string_value});
+    }
     if (ph->string_value == "C") {
       const obs::JsonValue* args = ev.Find("args");
       const obs::JsonValue* value =

@@ -4,7 +4,10 @@
 # (docs/fault_tolerance.md), an observability smoke that sorts 100k
 # records under --trace/--report and validates both JSON artifacts, a
 # SortService smoke (concurrent jobs + a cancel under one shared budget,
-# docs/service.md), a bench smoke (scripts/bench.sh --smoke) compared
+# docs/service.md), an exposition smoke (Prometheus-text scrape +
+# structured-log JSONL + flight recorder, each through its validator)
+# plus the sort_top live-progress gate, a bench smoke
+# (scripts/bench.sh --smoke) compared
 # informationally against the committed BENCH_smoke.json baseline
 # (docs/observability.md), and a kernel-bench smoke compared against the
 # committed BENCH_kernels.json (docs/perf.md).
@@ -62,11 +65,14 @@ echo "=== observability smoke: asort --trace/--report on an in-memory input ==="
   --verify --metrics
 # The trace must parse as a Chrome trace, show the pipeline's overlap
 # (reads, QuickSorts, merge batches, and gather slices on distinct
-# threads), carry the queue-depth counter tracks, and be time-sorted
-# per thread.
+# threads), carry the queue-depth counter tracks, be time-sorted per
+# thread, and stamp pipeline spans with the ambient job id (asort runs
+# through Sorter, so its spans carry args.job = 1; cross-job span
+# nesting is always rejected).
 ./build/examples/trace_lint ci-artifacts/trace.json \
   --require read --require quicksort --require merge --require gather \
   --require-counter aio.queue_depth --require-counter chores.queue_depth \
+  --require-job sort.run --require-job quicksort --require-job merge \
   --distinct-threads 3
 # The report must carry the full v1 sort-report schema: phase breakdown
 # summing to the total, IO percentiles, registry delta, and hardware
@@ -81,6 +87,39 @@ echo "=== service smoke: 4 concurrent jobs + a cancel under one budget ==="
 # produces unsorted output, if the cancel ends dirty, if peak admitted
 # bytes ever exceeded the budget, or if a scratch file leaks.
 ./build/examples/sort_service --smoke
+
+echo
+echo "=== exposition smoke: scrape + log + flight artifacts validate ==="
+# The same service smoke, now capturing the observability surfaces
+# (docs/observability.md): a Prometheus-text exposition scrape polled
+# while the jobs run, a structured-log JSONL capture, and a
+# flight-recorder capture. Each artifact must round-trip through its
+# format validator; the scrape must show the service actually worked
+# (nonzero submissions, job 1 finished at permille 1000), and the log
+# must carry the admission-lifecycle events.
+./build/examples/sort_service --smoke \
+  --expo ci-artifacts/exposition.txt \
+  --log-jsonl ci-artifacts/service_log.jsonl \
+  --flight ci-artifacts/service_flight.jsonl
+./build/examples/expo_lint ci-artifacts/exposition.txt \
+  --require-nonzero alphasort_svc_jobs_submitted \
+  --require-nonzero alphasort_svc_job_1_permille
+./build/examples/expo_lint ci-artifacts/service_flight.jsonl --flight
+./build/examples/log_lint ci-artifacts/service_log.jsonl \
+  --require-event svc.submit --require-event svc.admit \
+  --require-event job.start --require-event svc.complete
+# Log-sink smoke: a 10k-event burst through one call site must be capped
+# at the rate limiter's window budget with exact suppressed accounting.
+./build/examples/log_lint --burst
+
+echo
+echo "=== sort_top smoke: live progress/ETA over an oversubscribed service ==="
+# The monitor consumes only the exposition text (pipeline -> progress
+# tracker -> registry -> exposition, end to end): 4 jobs over 2 runners,
+# polled continuously. Exit is non-zero if any job fails, a fraction
+# regresses between scrapes, no live progress is ever observed, or any
+# terminal svc.job.<id>.permille gauge is not 1000.
+./build/examples/sort_top --smoke
 
 echo
 echo "=== bench smoke: scripts/bench.sh --smoke -> BENCH_smoke.json ==="

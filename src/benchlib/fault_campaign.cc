@@ -134,6 +134,7 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   opts.merge_parallelism = kMergeParallelism[rng.Uniform(4)];
   const size_t kPrefetchDistance[] = {0, 8, 32};
   opts.prefetch_distance = kPrefetchDistance[rng.Uniform(3)];
+  opts.merge_prefetch = rng.OneIn(2);
   opts.scratch_stripe_width = rng.OneIn(3) ? 2 : 0;
   opts.retry_policy.max_attempts = 2 + static_cast<int>(rng.Uniform(4));
   opts.retry_policy.backoff_initial_us = 1;

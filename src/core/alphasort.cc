@@ -6,6 +6,7 @@
 #include "core/pipeline_internal.h"
 #include "core/sorter.h"
 #include "io/env_stack.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/metrics_env.h"
 #include "obs/perf_counters.h"
@@ -45,7 +46,8 @@ namespace core_internal {
 
 Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
                        ChorePool* pool, const SortControl* control,
-                       SortMetrics* metrics) {
+                       SortMetrics* metrics, uint64_t job_id,
+                       obs::JobProgressTracker* progress) {
   ALPHASORT_RETURN_IF_ERROR(options.Validate());
   SortMetrics local_metrics;
   if (metrics == nullptr) metrics = &local_metrics;
@@ -134,6 +136,8 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   ctx.input_bytes = size.value();
   ctx.num_records = size.value() / options.format.record_size;
   ctx.control = control;
+  ctx.job_id = job_id;
+  ctx.progress = progress;
 
   metrics->bytes_in = ctx.input_bytes;
   metrics->num_records = ctx.num_records;
@@ -148,6 +152,13 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   const bool one_pass =
       options.force_passes == 1 || (options.force_passes == 0 && fits);
   metrics->passes = one_pass ? 1 : 2;
+  if (progress != nullptr) {
+    progress->SetPlan(ctx.input_bytes, metrics->passes);
+  }
+  ALPHASORT_LOG(kDebug, "sort.plan")
+      .U64("bytes", ctx.input_bytes)
+      .U64("records", ctx.num_records)
+      .I64("passes", metrics->passes);
 
   Status sort_status = CheckControl(&ctx);
   if (sort_status.ok()) {
@@ -163,6 +174,7 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   }
 
   phase.Lap();
+  ProgressPhase(&ctx, obs::SortPhase::kClose);
   {
     obs::TraceSpan close_span("sort.close");
     ALPHASORT_RETURN_IF_ERROR(input.value()->Close());

@@ -158,12 +158,14 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
     if (got != byte_len) {
       return Status::Corruption("short read of input chunk");
     }
+    ProgressRead(ctx, got);
 
     // QuickSort the chunk as parallel sub-runs, like the one-pass read
     // phase; the run file is produced by merging them.
     const uint64_t sub = opts.run_size_records;
     const size_t num_sub = static_cast<size_t>((n + sub - 1) / sub);
     ctx->pool->ParallelFor(num_sub, [&](size_t s) {
+      obs::ScopedJobId job_scope(ctx->job_id);
       const uint64_t start = s * sub;
       const uint64_t len = std::min<uint64_t>(sub, n - start);
       obs::TraceSpan span("quicksort.run", "cpu");
@@ -173,6 +175,7 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
                             len, entries.data() + start,
                             opts.prefetch_distance);
       SortPrefixEntryArray(fmt, entries.data() + start, len, &stats);
+      ProgressSorted(ctx, len * fmt.record_size);
     });
 
     std::vector<EntryRun> sub_runs;
@@ -182,7 +185,7 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
           EntryRun{entries.data() + start, entries.data() + start + len});
     }
     RunMerger<> merger(fmt, std::move(sub_runs), TreeLayout::kFlat, nullptr,
-                       nullptr, opts.prefetch_distance != 0);
+                       nullptr, opts.merge_prefetch);
 
     const std::string path = ScratchRunPath(opts, 0, run_index);
     Result<std::unique_ptr<File>> run_file =
@@ -198,6 +201,7 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
 
     runs->push_back(ScratchRun{path, written, crc, /*has_crc=*/true});
     ctx->metrics->scratch_bytes_written += written;
+    ProgressSpilled(ctx, written);
     record_pos += n;
     ++run_index;
   }
@@ -329,6 +333,9 @@ Status MergeScratchRunsToFile(SortContext* ctx,
     }
     buf.in_flight = true;
     out_offset += buf.fill;
+    // Cascade levels also land here, so merged bytes can exceed the plan
+    // on deep cascades; the tracker clamps the fraction below 1.0.
+    ProgressMerged(ctx, buf.fill);
     which ^= 1;
   }
   for (auto& b : bufs) {
@@ -416,6 +423,7 @@ Status RunTwoPass(SortContext* ctx) {
   std::vector<ScratchRun> runs;
   Status s;
   {
+    ProgressPhase(ctx, obs::SortPhase::kRead);
     obs::TraceSpan span("sort.read_phase");
     obs::ScopedPerfRegion perf("read_phase");
     s = SpillRuns(ctx, &runs);
@@ -427,6 +435,7 @@ Status RunTwoPass(SortContext* ctx) {
     return s;
   }
   {
+    ProgressPhase(ctx, obs::SortPhase::kMerge);
     obs::TraceSpan span("sort.merge_phase");
     obs::ScopedPerfRegion perf("merge_phase");
     s = MergeScratchRuns(ctx, std::move(runs));

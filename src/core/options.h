@@ -125,6 +125,15 @@ struct SortOptions {
   // docs/perf.md for the measured effect.
   size_t prefetch_distance = kDefaultPrefetchDistance;
 
+  // Prefetch hints inside the *sequential* tournament's leaf replacement.
+  // Off by default: the single global tournament walks its runs in near
+  // order, the hardware prefetcher already has the lines, and the hint
+  // traffic costs ~20% on the kernels merge bench (BENCH_kernels.json:
+  // merge prefetch=8 0.0517s vs prefetch=0 0.0419s). The random-access
+  // kernels (entry build, gather) keep their hints via prefetch_distance,
+  // which this flag does not affect.
+  bool merge_prefetch = false;
+
   // Force a pass count (0 = choose by memory_budget).
   int force_passes = 0;
 

@@ -24,6 +24,7 @@ void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
   const size_t slices = static_cast<size_t>(ctx->pool->num_workers()) + 1;
   const size_t per_slice = (n + slices - 1) / slices;
   ctx->pool->ParallelFor(slices, [&](size_t s) {
+    obs::ScopedJobId job_scope(ctx->job_id);
     const size_t lo = s * per_slice;
     const size_t hi = std::min(n, lo + per_slice);
     if (lo < hi) {
@@ -142,11 +143,14 @@ Status PartitionedMerge(SortContext* ctx, const MergePartition& partition,
     // Everything captured by reference outlives the chore: the root
     // WaitIdle()s before this function returns.
     ctx->pool->Submit([&, r] {
+      // Chores from concurrent jobs interleave on shared workers, so the
+      // ambient job id must be re-established per chore.
+      obs::ScopedJobId job_scope(ctx->job_id);
       const MergeRange& range = partition.ranges[r];
       obs::TraceSpan range_span("merge.range", "cpu");
       SortStats stats;
       RunMerger<> merger(fmt, range.runs, TreeLayout::kFlat, nullptr,
-                         &stats, opts.prefetch_distance != 0);
+                         &stats, opts.merge_prefetch);
       std::vector<const char*> ptrs(batch_records);
       uint64_t offset = range.first_record * fmt.record_size;
       while (!merger.Done()) {
@@ -247,6 +251,7 @@ Status PartitionedMerge(SortContext* ctx, const MergePartition& partition,
                                              buf->data.data(), buf->len);
       }
       in_flight.push_back(buf);
+      ProgressMerged(ctx, buf->len);
       PartitionCounters::Get()->batches->Add();
       if (in_flight.size() < write_depth) continue;
     } else if (all_done) {
@@ -327,6 +332,7 @@ Status RunOnePass(SortContext* ctx) {
   // extract+QuickSort chores (§7). Chunks are processed in file order, so
   // runs become ready as the read front passes their last record.
   {
+    ProgressPhase(ctx, obs::SortPhase::kRead);
     std::optional<obs::TraceSpan> phase_span;
     phase_span.emplace("sort.read_phase");
     std::optional<obs::ScopedPerfRegion> phase_perf;
@@ -367,6 +373,7 @@ Status RunOnePass(SortContext* ctx) {
         next_run_start += len;
         ctx->pool->Submit([ctx, &records, &entries, &qs_stats, fmt, start,
                            len] {
+          obs::ScopedJobId job_scope(ctx->job_id);
           obs::TraceSpan span("quicksort.run", "cpu");
           obs::ScopedPerfRegion perf("quicksort");
           SortStats stats;
@@ -378,6 +385,7 @@ Status RunOnePass(SortContext* ctx) {
           QuickSortPrefixEntries(fmt, entries.get() + start, len, &stats,
                                  &tracer);
           qs_stats.Add(stats);
+          ProgressSorted(ctx, len * fmt.record_size);
         });
       }
     };
@@ -403,10 +411,12 @@ Status RunOnePass(SortContext* ctx) {
                 static_cast<unsigned long long>(off), expect, got)));
       }
       if (c + depth < num_chunks) submit(c + depth);
+      ProgressRead(ctx, got);
       dispatch_runs_below(
           std::min<uint64_t>(n, ((c + 1) * chunk) / fmt.record_size));
     }
     ctx->metrics->read_phase_s = phase.Lap();
+    ProgressPhase(ctx, obs::SortPhase::kLastRun);
     phase_span.emplace("sort.last_run");
     phase_perf.emplace("last_run");
 
@@ -423,6 +433,7 @@ Status RunOnePass(SortContext* ctx) {
                             opts.prefetch_distance);
       SortPrefixEntryArray(fmt, entries.get() + start, len, &stats);
       qs_stats.Add(stats);
+      ProgressSorted(ctx, len * fmt.record_size);
     }
     ctx->pool->WaitIdle();
     ctx->metrics->last_run_s = phase.Lap();
@@ -430,6 +441,7 @@ Status RunOnePass(SortContext* ctx) {
 
   // --- merge + gather + write phase.
   {
+    ProgressPhase(ctx, obs::SortPhase::kMerge);
     obs::TraceSpan merge_phase_span("sort.merge_phase");
     obs::ScopedPerfRegion merge_phase_perf("merge_phase");
     std::vector<EntryRun> runs;
@@ -477,8 +489,7 @@ Status RunOnePass(SortContext* ctx) {
     }
 
     RunMerger<> merger(fmt, std::move(runs), TreeLayout::kFlat, nullptr,
-                       &ctx->metrics->merge_stats,
-                       opts.prefetch_distance != 0);
+                       &ctx->metrics->merge_stats, opts.merge_prefetch);
 
     // Multi-buffered output: gather into one buffer while earlier ones
     // drain (write_buffers = 2 is classic double buffering; wider rings
@@ -541,6 +552,7 @@ Status RunOnePass(SortContext* ctx) {
       }
       buf.in_flight = true;
       out_offset += got * fmt.record_size;
+      ProgressMerged(ctx, got * fmt.record_size);
       which = (which + 1) % bufs.size();
     }
     for (auto& b : bufs) {

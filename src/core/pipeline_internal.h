@@ -10,6 +10,7 @@
 #include "core/sort_metrics.h"
 #include "io/async_io.h"
 #include "io/stripe.h"
+#include "obs/progress.h"
 
 namespace alphasort {
 namespace core_internal {
@@ -30,6 +31,13 @@ struct SortContext {
   // polls it at run/merge-batch boundaries via CheckControl.
   const SortControl* control = nullptr;
 
+  // Job attribution and live progress, optional. `job_id` re-establishes
+  // the ambient obs::CurrentJobId() inside chore lambdas (chores from
+  // concurrent jobs interleave on shared worker threads); `progress`
+  // receives the byte flow at every IO-buffer quantum.
+  uint64_t job_id = 0;
+  obs::JobProgressTracker* progress = nullptr;
+
   // Every scratch-run path this sort has created, whether or not it was
   // later cleaned up in-line. Only the root thread creates scratch runs,
   // so plain vector access is safe. The ScratchSweeper uses it (plus an
@@ -43,15 +51,36 @@ inline Status CheckControl(const SortContext* ctx) {
   return ctx->control == nullptr ? Status::OK() : ctx->control->Check();
 }
 
+// Null-safe progress publication helpers; same call frequency as
+// CheckControl (once per buffer, never per record).
+inline void ProgressPhase(SortContext* ctx, obs::SortPhase phase) {
+  if (ctx->progress != nullptr) ctx->progress->SetPhase(phase);
+}
+inline void ProgressRead(SortContext* ctx, uint64_t bytes) {
+  if (ctx->progress != nullptr) ctx->progress->AddRead(bytes);
+}
+inline void ProgressSorted(SortContext* ctx, uint64_t bytes) {
+  if (ctx->progress != nullptr) ctx->progress->AddSorted(bytes);
+}
+inline void ProgressSpilled(SortContext* ctx, uint64_t bytes) {
+  if (ctx->progress != nullptr) ctx->progress->AddSpilled(bytes);
+}
+inline void ProgressMerged(SortContext* ctx, uint64_t bytes) {
+  if (ctx->progress != nullptr) ctx->progress->AddMerged(bytes);
+}
+
 // The whole sort pipeline with caller-provided shared resources: plan
 // passes, run them, fill metrics. `aio` and `pool` may be shared across
 // concurrent sorts (a SortService owns one of each); `control` is the
 // per-job cancellation/deadline token (may be null). The env wrapping
-// (metrics, retry) prescribed by `options` happens inside.
-// AlphaSort::Run and Sorter jobs both land here.
+// (metrics, retry) prescribed by `options` happens inside. `job_id`
+// attributes trace spans and log events; `progress` (may be null)
+// receives live phase/byte-flow updates. AlphaSort::Run and Sorter jobs
+// both land here.
 Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
                        ChorePool* pool, const SortControl* control,
-                       SortMetrics* metrics);
+                       SortMetrics* metrics, uint64_t job_id = 0,
+                       obs::JobProgressTracker* progress = nullptr);
 
 // One-pass pipeline: the whole input is held in memory (paper §7).
 Status RunOnePass(SortContext* ctx);

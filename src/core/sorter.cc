@@ -4,6 +4,8 @@
 
 #include "common/table.h"
 #include "core/pipeline_internal.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace alphasort {
 
@@ -21,11 +23,32 @@ void ExecuteJob(Env* env, JobCore* job, AsyncIO* aio, ChorePool* pool) {
     std::lock_guard<std::mutex> lock(job->mu);
     job->state = SortJobState::kRunning;
   }
+  // Every span and log event on this thread (and, via SortContext,
+  // every chore the pipeline dispatches) carries this job's id.
+  obs::ScopedJobId job_scope(job->id);
+  job->progress.Start(job->id, job->publish_gauges);
+  obs::ScopedProgressRegistration progress_scope(&job->progress);
+  ALPHASORT_LOG(kInfo, "job.start")
+      .U64("job", job->id)
+      .Str("in", job->options.input_path)
+      .U64("budget", job->options.memory_budget);
   // A job cancelled or expired while queued never touches a file.
   Status s = job->control.Check();
   if (s.ok()) {
     s = RunSortPipeline(env, job->options, aio, pool, &job->control,
-                        &job->result.metrics);
+                        &job->result.metrics, job->id, &job->progress);
+  }
+  job->progress.SetPhase(s.ok() ? obs::SortPhase::kDone
+                                : obs::SortPhase::kFailed);
+  if (s.ok()) {
+    ALPHASORT_LOG(kInfo, "job.done")
+        .U64("job", job->id)
+        .U64("bytes", job->result.metrics.bytes_out)
+        .F64("total_s", job->result.metrics.total_s);
+  } else {
+    ALPHASORT_LOG(kWarn, "job.failed")
+        .U64("job", job->id)
+        .Str("status", s.ToString());
   }
   job->result.report.tool = "sorter";
   job->result.report.config = StrFormat(

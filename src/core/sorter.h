@@ -15,6 +15,7 @@
 #include "core/sort_metrics.h"
 #include "io/async_io.h"
 #include "io/env.h"
+#include "obs/progress.h"
 #include "obs/report.h"
 
 namespace alphasort {
@@ -80,6 +81,13 @@ struct JobCore {
   // its scheduler and reap the job without waiting for a runner tick.
   std::function<void()> on_cancel;
 
+  // Live progress, fed by the pipeline and snapshotted by
+  // SortJob::Progress(), the exposition renderer, and the flight
+  // recorder. `publish_gauges` mirrors it into svc.job.<id>.* registry
+  // gauges (a SortService opts in; plain Sorter jobs stay registry-free).
+  obs::JobProgressTracker progress;
+  bool publish_gauges = false;
+
   mutable std::mutex mu;
   std::condition_variable cv;
   SortJobState state = SortJobState::kQueued;
@@ -120,6 +128,11 @@ class SortJob {
   // Non-blocking: true with `*out` filled (if non-null) when the job is
   // done, false while it is still queued or running.
   bool TryWait(SortResult* out = nullptr);
+
+  // Point-in-time progress: phase, completion fraction, observed rate,
+  // and ETA (obs/progress.h documents the overlap-model accounting).
+  // Lock-free; safe to poll from any thread at any cadence.
+  obs::JobProgress Progress() const { return core_->progress.Snapshot(); }
 
   // True when a SortService shrank this job's memory budget to fit the
   // service-wide budget (always false for plain Sorter jobs).

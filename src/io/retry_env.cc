@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -123,6 +124,8 @@ void RetryEnv::BackoffAndCount(uint32_t* backoff_us) {
   retries_.fetch_add(1, std::memory_order_relaxed);
   RetryMetrics::Get()->retries->Add();
   RetryMetrics::Get()->backoff_us->Record(*backoff_us);
+  // Rate-limited per call site: a flapping device cannot flood the log.
+  ALPHASORT_LOG(kWarn, "io.retry").U64("backoff_us", *backoff_us);
   {
     obs::TraceSpan span("io.retry_backoff", "io");
     std::this_thread::sleep_for(std::chrono::microseconds(*backoff_us));
@@ -139,6 +142,8 @@ void RetryEnv::CountRecovered() {
 void RetryEnv::CountExhausted() {
   ops_exhausted_.fetch_add(1, std::memory_order_relaxed);
   RetryMetrics::Get()->exhausted->Add();
+  ALPHASORT_LOG(kError, "io.retry_exhausted")
+      .I64("max_attempts", policy_.max_attempts);
 }
 
 RetryStats RetryEnv::stats() const {

@@ -1,0 +1,179 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace alphasort {
+namespace obs {
+
+const char* SortPhaseName(SortPhase phase) {
+  switch (phase) {
+    case SortPhase::kQueued:
+      return "queued";
+    case SortPhase::kStartup:
+      return "startup";
+    case SortPhase::kRead:
+      return "read";
+    case SortPhase::kLastRun:
+      return "last_run";
+    case SortPhase::kMerge:
+      return "merge";
+    case SortPhase::kClose:
+      return "close";
+    case SortPhase::kDone:
+      return "done";
+    case SortPhase::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void JobProgressTracker::Start(uint64_t job_id, bool publish_gauges) {
+  job_id_.store(job_id, std::memory_order_relaxed);
+  phase_.store(static_cast<int>(SortPhase::kStartup),
+               std::memory_order_relaxed);
+  bytes_total_.store(0, std::memory_order_relaxed);
+  work_total_.store(0, std::memory_order_relaxed);
+  read_.store(0, std::memory_order_relaxed);
+  sorted_.store(0, std::memory_order_relaxed);
+  spilled_.store(0, std::memory_order_relaxed);
+  merged_.store(0, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+  if (publish_gauges) {
+    auto* registry = MetricsRegistry::Global();
+    const std::string base = StrFormat(
+        "svc.job.%llu", static_cast<unsigned long long>(job_id));
+    phase_gauge_ = registry->GetGauge(base + ".phase");
+    permille_gauge_ = registry->GetGauge(base + ".permille");
+  }
+  PublishGauges();
+}
+
+void JobProgressTracker::SetPlan(uint64_t bytes_total, int passes) {
+  bytes_total_.store(bytes_total, std::memory_order_relaxed);
+  // The overlap model's work accounting (see the header): bytes that
+  // must move through storage. Sorting rides under the read stream and
+  // adds none of its own.
+  const uint64_t factor = passes <= 1 ? 2 : 3;
+  work_total_.store(factor * bytes_total, std::memory_order_relaxed);
+}
+
+void JobProgressTracker::SetPhase(SortPhase phase) {
+  phase_.store(static_cast<int>(phase), std::memory_order_relaxed);
+  PublishGauges();
+}
+
+void JobProgressTracker::AddRead(uint64_t bytes) {
+  read_.fetch_add(bytes, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+void JobProgressTracker::AddSorted(uint64_t bytes) {
+  sorted_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void JobProgressTracker::AddSpilled(uint64_t bytes) {
+  spilled_.fetch_add(bytes, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+void JobProgressTracker::AddMerged(uint64_t bytes) {
+  merged_.fetch_add(bytes, std::memory_order_relaxed);
+  PublishGauges();
+}
+
+JobProgress JobProgressTracker::Snapshot() const {
+  JobProgress p;
+  p.job_id = job_id_.load(std::memory_order_relaxed);
+  p.phase = static_cast<SortPhase>(phase_.load(std::memory_order_relaxed));
+  p.bytes_total = bytes_total_.load(std::memory_order_relaxed);
+  p.bytes_read = read_.load(std::memory_order_relaxed);
+  p.bytes_sorted = sorted_.load(std::memory_order_relaxed);
+  p.bytes_spilled = spilled_.load(std::memory_order_relaxed);
+  p.bytes_merged = merged_.load(std::memory_order_relaxed);
+  p.work_done = p.bytes_read + p.bytes_spilled + p.bytes_merged;
+  p.work_total = work_total_.load(std::memory_order_relaxed);
+
+  if (p.phase == SortPhase::kDone) {
+    p.fraction = 1.0;
+  } else if (p.work_total > 0) {
+    // Clamped below 1: a cascade merge re-spills intermediate levels, so
+    // work_done can pass the planned total before the job finishes. The
+    // clamp keeps the fraction monotonic and honest — only completion
+    // reports 1.0.
+    p.fraction = std::min(0.999, double(p.work_done) / double(p.work_total));
+  }
+
+  if (start_ != std::chrono::steady_clock::time_point{}) {
+    p.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  }
+  if (p.elapsed_s > 0 && p.work_done > 0) {
+    p.bytes_per_s = double(p.work_done) / p.elapsed_s;
+    if (p.phase != SortPhase::kDone && p.phase != SortPhase::kFailed &&
+        p.work_total > p.work_done) {
+      p.eta_s = double(p.work_total - p.work_done) / p.bytes_per_s;
+    }
+  }
+  return p;
+}
+
+void JobProgressTracker::PublishGauges() {
+  if (phase_gauge_ == nullptr) return;
+  phase_gauge_->Set(phase_.load(std::memory_order_relaxed));
+  const uint64_t total = work_total_.load(std::memory_order_relaxed);
+  if (permille_gauge_ != nullptr) {
+    const int phase = phase_.load(std::memory_order_relaxed);
+    if (phase == static_cast<int>(SortPhase::kDone)) {
+      permille_gauge_->Set(1000);
+    } else if (total > 0) {
+      const uint64_t done = read_.load(std::memory_order_relaxed) +
+                            spilled_.load(std::memory_order_relaxed) +
+                            merged_.load(std::memory_order_relaxed);
+      permille_gauge_->Set(static_cast<int64_t>(
+          std::min<uint64_t>(999, done * 1000 / total)));
+    }
+  }
+}
+
+ProgressRegistry* ProgressRegistry::Global() {
+  static ProgressRegistry* registry = new ProgressRegistry();
+  return registry;
+}
+
+void ProgressRegistry::Register(const JobProgressTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trackers_.push_back(tracker);
+}
+
+void ProgressRegistry::Unregister(const JobProgressTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = trackers_.begin(); it != trackers_.end(); ++it) {
+    if (*it == tracker) {
+      trackers_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<JobProgress> ProgressRegistry::Snapshot() const {
+  std::vector<JobProgress> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(trackers_.size());
+    for (const JobProgressTracker* t : trackers_) {
+      out.push_back(t->Snapshot());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobProgress& a, const JobProgress& b) {
+              return a.job_id < b.job_id;
+            });
+  return out;
+}
+
+}  // namespace obs
+}  // namespace alphasort

@@ -1,0 +1,147 @@
+#ifndef ALPHASORT_OBS_PROGRESS_H_
+#define ALPHASORT_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace alphasort {
+namespace obs {
+
+class Gauge;
+
+// Live per-job progress for the sort pipeline.
+//
+// The pipeline publishes its byte flow (read, sorted, spilled, merged)
+// into a JobProgressTracker as it crosses each IO-buffer quantum; a
+// snapshot turns that flow into phase / fraction / rate / ETA. The
+// fraction follows the paper's overlap model (§7): QuickSort chores ride
+// entirely under the read stream, so sorted bytes are tracked for
+// display but contribute no work of their own — the job's work is the
+// bytes it must move through storage:
+//
+//   one pass:  work_total = 2 x input  (read it, write it)
+//   two pass:  work_total = 3 x input  (read, spill, merge-write; cascade
+//              merge levels re-spill on top, so the fraction is clamped
+//              below 1 until the job actually finishes)
+//
+// ETA extrapolates the observed work rate: remaining work / (work done
+// per elapsed second). All updates are relaxed atomics — the pipeline
+// touches the tracker once per buffer, never per record.
+
+enum class SortPhase : int {
+  kQueued = 0,
+  kStartup = 1,
+  kRead = 2,     // read + overlapped QuickSort (one-pass) or spill pass
+  kLastRun = 3,  // the §7 non-overlapped tail sort
+  kMerge = 4,    // merge + gather + write
+  kClose = 5,
+  kDone = 6,
+  kFailed = 7,
+};
+
+const char* SortPhaseName(SortPhase phase);
+
+// Point-in-time copy handed to callers (SortJob::Progress(), the
+// exposition renderer, the flight recorder).
+struct JobProgress {
+  uint64_t job_id = 0;
+  SortPhase phase = SortPhase::kQueued;
+  uint64_t bytes_total = 0;  // input size
+  uint64_t bytes_read = 0;
+  uint64_t bytes_sorted = 0;
+  uint64_t bytes_spilled = 0;
+  uint64_t bytes_merged = 0;
+  uint64_t work_done = 0;
+  uint64_t work_total = 0;
+  double fraction = 0;     // [0, 1]; 1 only once the job is done
+  double elapsed_s = 0;
+  double bytes_per_s = 0;  // observed work rate
+  double eta_s = 0;        // remaining work / rate; 0 when unknown/done
+};
+
+// One tracker per job, embedded in the JobCore and fed by the pipeline
+// through SortContext. Thread-safe: phase and byte counters are
+// independent atomics, so concurrent QuickSort chores and the root IO
+// loop publish without coordination.
+class JobProgressTracker {
+ public:
+  // Resets and stamps the start time. `publish_gauges` additionally
+  // mirrors phase and permille into svc.job.<id>.* registry gauges
+  // (services opt in; plain Sorter jobs keep the registry clean).
+  void Start(uint64_t job_id, bool publish_gauges);
+
+  // Called once the planner has sized the job (input bytes + pass count).
+  void SetPlan(uint64_t bytes_total, int passes);
+
+  void SetPhase(SortPhase phase);
+
+  void AddRead(uint64_t bytes);
+  void AddSorted(uint64_t bytes);
+  void AddSpilled(uint64_t bytes);
+  void AddMerged(uint64_t bytes);
+
+  JobProgress Snapshot() const;
+
+ private:
+  void PublishGauges();
+
+  std::atomic<uint64_t> job_id_{0};
+  std::atomic<int> phase_{static_cast<int>(SortPhase::kQueued)};
+  std::atomic<uint64_t> bytes_total_{0};
+  std::atomic<uint64_t> work_total_{0};
+  std::atomic<uint64_t> read_{0};
+  std::atomic<uint64_t> sorted_{0};
+  std::atomic<uint64_t> spilled_{0};
+  std::atomic<uint64_t> merged_{0};
+  std::chrono::steady_clock::time_point start_{};
+
+  Gauge* phase_gauge_ = nullptr;
+  Gauge* permille_gauge_ = nullptr;
+};
+
+// Registry of live trackers, walked by the exposition renderer and the
+// flight recorder. ExecuteJob registers its tracker for the duration of
+// the run; finished jobs drop out (their final state lives on in the
+// SortJob handle and the svc.* counters).
+class ProgressRegistry {
+ public:
+  static ProgressRegistry* Global();
+
+  void Register(const JobProgressTracker* tracker);
+  void Unregister(const JobProgressTracker* tracker);
+
+  // Snapshots every live tracker, sorted by job id.
+  std::vector<JobProgress> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<const JobProgressTracker*> trackers_;
+};
+
+// RAII registration for ExecuteJob's scope.
+class ScopedProgressRegistration {
+ public:
+  explicit ScopedProgressRegistration(const JobProgressTracker* tracker)
+      : tracker_(tracker) {
+    ProgressRegistry::Global()->Register(tracker_);
+  }
+  ~ScopedProgressRegistration() {
+    ProgressRegistry::Global()->Unregister(tracker_);
+  }
+
+  ScopedProgressRegistration(const ScopedProgressRegistration&) = delete;
+  ScopedProgressRegistration& operator=(const ScopedProgressRegistration&) =
+      delete;
+
+ private:
+  const JobProgressTracker* const tracker_;
+};
+
+}  // namespace obs
+}  // namespace alphasort
+
+#endif  // ALPHASORT_OBS_PROGRESS_H_

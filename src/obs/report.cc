@@ -69,26 +69,19 @@ void AppendRegistry(const RegistrySnapshot& reg, std::string* out) {
         JsonNumber(snap.Percentile(99)).c_str(), U64(snap.max).c_str());
   }
   *out += "}";
-  // Gauges (instantaneous levels, e.g. svc.* service state) appear only
-  // when something set one, so reports from gauge-free runs are
-  // byte-identical to the previous schema.
-  bool any_gauge = false;
+  // Gauges (instantaneous levels, e.g. svc.* service state). The key is
+  // always present — schema 1.1 — so consumers can index registry.gauges
+  // unconditionally; zero-valued gauges are still elided from the map.
+  *out += ",\"gauges\":{";
+  first = true;
   for (const auto& [name, value] : reg.gauges) {
-    if (value != 0) any_gauge = true;
+    if (value == 0) continue;
+    if (!first) *out += ",";
+    first = false;
+    *out += Quoted(name) +
+            StrFormat(":%lld", static_cast<long long>(value));
   }
-  if (any_gauge) {
-    *out += ",\"gauges\":{";
-    first = true;
-    for (const auto& [name, value] : reg.gauges) {
-      if (value == 0) continue;
-      if (!first) *out += ",";
-      first = false;
-      *out += Quoted(name) +
-              StrFormat(":%lld", static_cast<long long>(value));
-    }
-    *out += "}";
-  }
-  *out += "}";
+  *out += "}}";
 }
 
 void AppendPerf(const PerfReport& perf, std::string* out) {
@@ -179,10 +172,11 @@ std::string SortReport::ToJson() const {
   const SortMetrics& m = metrics;
   const SortThroughput t = m.Throughput();
   std::string out = "{";
-  out += StrFormat("\"schema_version\":%d,\"kind\":%s,\"tool\":%s,"
-                   "\"config\":%s,",
-                   kSchemaVersion, Quoted(kKind).c_str(),
-                   Quoted(tool).c_str(), Quoted(config).c_str());
+  out += StrFormat("\"schema_version\":%d,\"schema_minor\":%d,"
+                   "\"kind\":%s,\"tool\":%s,\"config\":%s,",
+                   kSchemaVersion, kSchemaVersionMinor,
+                   Quoted(kKind).c_str(), Quoted(tool).c_str(),
+                   Quoted(config).c_str());
   out += StrFormat(
       "\"records\":%s,\"bytes_in\":%s,\"bytes_out\":%s,\"passes\":%d,"
       "\"runs\":%s,\"merge_ranges\":%s,",
@@ -354,7 +348,11 @@ Status ValidateSortReportJson(const std::string& json) {
       }
     }
   }
-  RequireObject(root, "registry", &status);
+  if (const JsonValue* reg = RequireObject(root, "registry", &status)) {
+    // Since schema 1.1 the gauges key is always present, even when no
+    // gauge was ever set; consumers index it unconditionally.
+    RequireObject(*reg, "gauges", &status);
+  }
   if (const JsonValue* hw =
           RequireObject(root, "hardware_counters", &status)) {
     const JsonValue* available = hw->Find("available");

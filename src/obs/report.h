@@ -27,10 +27,13 @@ namespace obs {
 // Schema stability contract: consumers match on `kind` and
 // `schema_version`. Adding keys is backward compatible; removing or
 // renaming any key the validators below require bumps kSchemaVersion.
+// `schema_minor` records additive revisions within a major version
+// (minor 1: registry.gauges is always present).
 
 // One sort's full report.
 struct SortReport {
   static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersionMinor = 1;
   static constexpr const char* kKind = "alphasort.sort_report";
 
   std::string tool;    // producing binary, e.g. "asort"

@@ -14,6 +14,18 @@ int CurrentThreadId() {
   return id;
 }
 
+namespace {
+thread_local uint64_t current_job_id = 0;
+}  // namespace
+
+uint64_t CurrentJobId() { return current_job_id; }
+
+ScopedJobId::ScopedJobId(uint64_t job_id) : previous_(current_job_id) {
+  current_job_id = job_id;
+}
+
+ScopedJobId::~ScopedJobId() { current_job_id = previous_; }
+
 std::atomic<TraceRecorder*> TraceRecorder::current_{nullptr};
 
 TraceRecorder::TraceRecorder(size_t capacity)
@@ -54,6 +66,7 @@ void TraceRecorder::AddComplete(const char* name, const char* category,
   ev.tid = tid;
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
+  ev.job = CurrentJobId();
   Add(ev);
 }
 
@@ -64,6 +77,7 @@ void TraceRecorder::AddInstant(const char* name, const char* category) {
   ev.type = TraceEvent::Type::kInstant;
   ev.tid = CurrentThreadId();
   ev.ts_us = NowUs();
+  ev.job = CurrentJobId();
   Add(ev);
 }
 
@@ -75,6 +89,7 @@ void TraceRecorder::AddCounter(const char* name, int64_t value) {
   ev.tid = CurrentThreadId();
   ev.ts_us = NowUs();
   ev.value = value;
+  ev.job = CurrentJobId();
   Add(ev);
 }
 
@@ -128,22 +143,37 @@ std::string TraceRecorder::ToChromeJson() const {
     out += "\",\"cat\":\"";
     AppendEscaped(ev.category == nullptr ? "" : ev.category, &out);
     out += "\",";
+    // The job id attributes spans from concurrent jobs sharing one ring
+    // and one worker pool; 0 (no ambient job) is omitted so single-sort
+    // traces stay byte-identical to the previous format.
+    const std::string job_arg =
+        ev.job == 0
+            ? ""
+            : StrFormat("\"args\":{\"job\":%llu},",
+                        static_cast<unsigned long long>(ev.job));
     switch (ev.type) {
       case TraceEvent::Type::kComplete:
         out += StrFormat(
             "\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,",
             static_cast<unsigned long long>(ev.ts_us),
             static_cast<unsigned long long>(ev.dur_us));
+        out += job_arg;
         break;
       case TraceEvent::Type::kInstant:
         out += StrFormat("\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,",
                          static_cast<unsigned long long>(ev.ts_us));
+        out += job_arg;
         break;
       case TraceEvent::Type::kCounter:
         out += StrFormat(
-            "\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld},",
+            ev.job == 0 ? "\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld},"
+                        : "\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld,",
             static_cast<unsigned long long>(ev.ts_us),
             static_cast<long long>(ev.value));
+        if (ev.job != 0) {
+          out += StrFormat("\"job\":%llu},",
+                           static_cast<unsigned long long>(ev.job));
+        }
         break;
     }
     out += StrFormat("\"pid\":1,\"tid\":%d}", ev.tid);

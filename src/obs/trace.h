@@ -35,6 +35,29 @@ namespace obs {
 // order), stable for the thread's lifetime. Used as the Chrome "tid".
 int CurrentThreadId();
 
+// The ambient job id of the calling thread (0 = no job). Concurrent
+// jobs share one ChorePool and one trace ring, so a thread id alone
+// cannot attribute a span; every span, log event, and progress update
+// reads this thread-local instead. Executors set it on the job's root
+// thread for the whole run, and each chore lambda re-establishes it on
+// whichever worker picked the chore up.
+uint64_t CurrentJobId();
+
+// RAII job-id scope: sets the calling thread's ambient job id, restores
+// the previous value on destruction (nesting restores correctly when an
+// executor thread runs another job's chore inline).
+class ScopedJobId {
+ public:
+  explicit ScopedJobId(uint64_t job_id);
+  ~ScopedJobId();
+
+  ScopedJobId(const ScopedJobId&) = delete;
+  ScopedJobId& operator=(const ScopedJobId&) = delete;
+
+ private:
+  const uint64_t previous_;
+};
+
 struct TraceEvent {
   enum class Type : uint8_t {
     kComplete,  // Chrome ph:"X" — a span with a duration
@@ -52,6 +75,7 @@ struct TraceEvent {
   uint64_t ts_us = 0;   // microseconds since the recorder's epoch
   uint64_t dur_us = 0;  // kComplete only
   int64_t value = 0;    // kCounter only
+  uint64_t job = 0;     // ambient CurrentJobId() at record time, 0 = none
 };
 
 class TraceRecorder {

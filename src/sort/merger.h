@@ -36,10 +36,12 @@ class RunMerger {
   // after a replacement tie-breaks through the incoming candidate's
   // record, a dependent random access the paper flags as the merge's
   // memory wall; prefetching the record before the replay overlaps the
-  // miss with the path compares.
+  // miss with the path compares. Default off — on the sequential
+  // tournament the hint traffic measures ~20% slower than no hints
+  // (BENCH_kernels.json; SortOptions::merge_prefetch opts back in).
   RunMerger(const RecordFormat& format, std::vector<EntryRun> runs,
             TreeLayout layout = TreeLayout::kFlat, Tracer* tracer = nullptr,
-            SortStats* stats = nullptr, bool prefetch = true)
+            SortStats* stats = nullptr, bool prefetch = false)
       : format_(format),
         runs_(std::move(runs)),
         cursors_(runs_.size()),

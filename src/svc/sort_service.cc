@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/table.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace alphasort {
@@ -101,11 +102,15 @@ Result<SortJob> SortService::Submit(const SortOptions& options) {
   if (shutdown_) {
     ++stats_.rejected;
     JobsRejected()->Add();
+    ALPHASORT_LOG(kWarn, "svc.reject").Str("reason", "shutdown");
     return Status::Unavailable("sort service is shut down");
   }
   if (queue_.size() >= static_cast<size_t>(std::max(0, options_.max_queued))) {
     ++stats_.rejected;
     JobsRejected()->Add();
+    ALPHASORT_LOG(kWarn, "svc.reject")
+        .Str("reason", "queue_full")
+        .I64("queued", static_cast<int64_t>(queue_.size()));
     return Status::Unavailable(StrFormat(
         "admission queue full (%d queued, max_queued=%d)",
         static_cast<int>(queue_.size()), options_.max_queued));
@@ -124,6 +129,9 @@ Result<SortJob> SortService::Submit(const SortOptions& options) {
     if (Status v = core->options.Validate(); !v.ok()) {
       ++stats_.rejected;
       JobsRejected()->Add();
+      ALPHASORT_LOG(kWarn, "svc.reject")
+          .U64("job", core->id)
+          .Str("reason", "invalid_after_clamp");
       return Status::InvalidArgument(StrFormat(
           "job cannot run within the service budget of %llu bytes: %s",
           static_cast<unsigned long long>(options_.memory_budget),
@@ -131,6 +139,10 @@ Result<SortJob> SortService::Submit(const SortOptions& options) {
     }
     ++stats_.down_negotiated;
     JobsDownNegotiated()->Add();
+    ALPHASORT_LOG(kInfo, "svc.down_negotiate")
+        .U64("job", core->id)
+        .U64("requested", options.memory_budget)
+        .U64("granted", core->options.memory_budget);
   }
   // The admission ticket: what this job charges against the global
   // budget while it runs. Clamped above, so the head of the queue always
@@ -151,12 +163,19 @@ Result<SortJob> SortService::Submit(const SortOptions& options) {
   // Cancel() wakes the runners so a cancelled queued job is reaped
   // promptly instead of at the next admission tick.
   core->on_cancel = [this] { cv_.notify_all(); };
+  // Service jobs mirror their progress into svc.job.<id>.* gauges so
+  // the exposition endpoint can report them without a handle.
+  core->publish_gauges = true;
 
   queue_.push_back(core);
   ++stats_.submitted;
   stats_.queued = static_cast<int>(queue_.size());
   JobsSubmitted()->Add();
   JobsQueued()->Set(stats_.queued);
+  ALPHASORT_LOG(kInfo, "svc.submit")
+      .U64("job", core->id)
+      .U64("budget", core->options.memory_budget)
+      .I64("queued", stats_.queued);
   cv_.notify_all();
   return SortJob(std::move(core));
 }
@@ -168,6 +187,9 @@ void SortService::ReapQueuedLocked() {
       ++it;
       continue;
     }
+    ALPHASORT_LOG(kInfo, "svc.reap")
+        .U64("job", (*it)->id)
+        .Str("status", s.ToString());
     (*it)->Finish(std::move(s));
     it = queue_.erase(it);
     ++stats_.cancelled_queued;
@@ -210,6 +232,10 @@ void SortService::RunnerLoop() {
     JobsQueued()->Set(stats_.queued);
     JobsRunning()->Set(stats_.running);
     AdmittedBytes()->Set(static_cast<int64_t>(stats_.admitted_bytes));
+    ALPHASORT_LOG(kInfo, "svc.admit")
+        .U64("job", core->id)
+        .U64("ticket", core->admitted_bytes)
+        .I64("running", stats_.running);
 
     lock.unlock();
     RunAdmitted(core.get());
@@ -221,6 +247,10 @@ void SortService::RunnerLoop() {
     JobsRunning()->Set(stats_.running);
     AdmittedBytes()->Set(static_cast<int64_t>(stats_.admitted_bytes));
     JobsCompleted()->Add();
+    ALPHASORT_LOG(kInfo, "svc.complete")
+        .U64("job", core->id)
+        .I64("running", stats_.running)
+        .I64("queued", stats_.queued);
     // A freed ticket may unblock the new head; tell the other runners.
     cv_.notify_all();
   }

@@ -1,0 +1,207 @@
+// Tests for the structured event log (src/obs/log.h): level gating,
+// sinks, JSONL round-trip, per-site rate limiting, and job-id stamping.
+
+#include "obs/log.h"
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+
+namespace alphasort {
+namespace obs {
+namespace {
+
+// Restores the global level on scope exit so tests cannot leak a
+// threshold change into each other.
+struct ScopedLevel {
+  explicit ScopedLevel(LogLevel level) : saved(Logger::Global()->level()) {
+    Logger::Global()->SetLevel(level);
+  }
+  ~ScopedLevel() { Logger::Global()->SetLevel(saved); }
+  LogLevel saved;
+};
+
+struct ScopedSink {
+  explicit ScopedSink(LogSink* sink) : sink_(sink) {
+    Logger::Global()->AddSink(sink_);
+  }
+  ~ScopedSink() { Logger::Global()->RemoveSink(sink_); }
+  LogSink* sink_;
+};
+
+TEST(LogLevelTest, ThresholdGatesLowerLevels) {
+  ScopedLevel scoped(LogLevel::kWarn);
+  Logger* logger = Logger::Global();
+  EXPECT_FALSE(logger->Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger->Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger->Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger->Enabled(LogLevel::kError));
+}
+
+TEST(LogLevelTest, OffDisablesEverything) {
+  ScopedLevel scoped(LogLevel::kOff);
+  Logger* logger = Logger::Global();
+  EXPECT_FALSE(logger->Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger->Enabled(LogLevel::kError));
+}
+
+TEST(LogLevelTest, DisabledMacroEvaluatesNothing) {
+  ScopedLevel scoped(LogLevel::kError);
+  MemoryLogSink sink;
+  ScopedSink scoped_sink(&sink);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() -> uint64_t {
+    ++evaluations;
+    return 1;
+  };
+  ALPHASORT_LOG(kInfo, "test.disabled").U64("cost", expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(LogSinkTest, MemorySinkCapturesFields) {
+  ScopedLevel scoped(LogLevel::kInfo);
+  MemoryLogSink sink;
+  ScopedSink scoped_sink(&sink);
+  ALPHASORT_LOG(kInfo, "test.capture")
+      .U64("bytes", 4096)
+      .Str("op", "read")
+      .Bool("ok", true)
+      .F64("rate", 1.5)
+      .I64("delta", -3);
+  ASSERT_EQ(sink.count(), 1u);
+  const LogEvent ev = sink.events()[0];
+  EXPECT_STREQ(ev.event, "test.capture");
+  EXPECT_EQ(ev.level, LogLevel::kInfo);
+  EXPECT_GT(ev.ts_us, 0u);
+  ASSERT_EQ(ev.num_fields, 5);
+  EXPECT_STREQ(ev.fields[0].key, "bytes");
+  EXPECT_STREQ(ev.fields[0].value, "4096");
+  EXPECT_FALSE(ev.fields[0].is_string);
+  EXPECT_STREQ(ev.fields[1].key, "op");
+  EXPECT_STREQ(ev.fields[1].value, "read");
+  EXPECT_TRUE(ev.fields[1].is_string);
+  EXPECT_STREQ(ev.fields[4].value, "-3");
+}
+
+TEST(LogSinkTest, EventCarriesAmbientJobId) {
+  ScopedLevel scoped(LogLevel::kInfo);
+  MemoryLogSink sink;
+  ScopedSink scoped_sink(&sink);
+  {
+    ScopedJobId job_scope(42);
+    ALPHASORT_LOG(kInfo, "test.job_scope").U64("x", 1);
+  }
+  ALPHASORT_LOG(kInfo, "test.no_job_scope").U64("x", 2);
+  ASSERT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.events()[0].job_id, 42u);
+  EXPECT_EQ(sink.events()[1].job_id, 0u);
+}
+
+TEST(LogEventTest, FieldsTruncateAtCapacity) {
+  LogEvent ev;
+  const std::string long_value(200, 'v');
+  const std::string long_key(100, 'k');
+  ev.AddString(long_key.c_str(), long_value.c_str());
+  ASSERT_EQ(ev.num_fields, 1);
+  EXPECT_LT(std::strlen(ev.fields[0].key), LogEvent::kKeyCap);
+  EXPECT_LT(std::strlen(ev.fields[0].value), LogEvent::kValueCap);
+}
+
+TEST(LogEventTest, ExtraFieldsPastCapAreIgnored) {
+  LogEvent ev;
+  for (int i = 0; i < LogEvent::kMaxFields + 4; ++i) {
+    ev.AddNumber("k", "1");
+  }
+  EXPECT_EQ(ev.num_fields, LogEvent::kMaxFields);
+}
+
+TEST(LogFormatTest, JsonLinesRoundTripThroughValidator) {
+  ScopedLevel scoped(LogLevel::kInfo);
+  MemoryLogSink sink;
+  ScopedSink scoped_sink(&sink);
+  {
+    ScopedJobId job_scope(7);
+    ALPHASORT_LOG(kWarn, "test.round_trip")
+        .Str("msg", "quote \" and \\ backslash")
+        .U64("n", 123);
+  }
+  ALPHASORT_LOG(kInfo, "test.round_trip2").F64("f", 0.25);
+  ASSERT_EQ(sink.count(), 2u);
+  std::string jsonl;
+  for (const LogEvent& ev : sink.events()) {
+    jsonl += FormatLogJson(ev);
+    jsonl += "\n";
+  }
+  EXPECT_TRUE(ValidateLogJsonl(jsonl).ok()) << jsonl;
+  EXPECT_NE(jsonl.find("\"event\":\"test.round_trip\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"job\":7"), std::string::npos);
+}
+
+TEST(LogFormatTest, TextRenderingNamesTheEvent) {
+  LogEvent ev;
+  ev.level = LogLevel::kError;
+  ev.event = "test.text";
+  ev.AddNumber("n", "9");
+  const std::string text = FormatLogText(ev);
+  EXPECT_NE(text.find("event=test.text"), std::string::npos);
+  EXPECT_NE(text.find("level=error"), std::string::npos);
+  EXPECT_NE(text.find("n=9"), std::string::npos);
+}
+
+TEST(LogValidateTest, RejectsMalformedCaptures) {
+  EXPECT_FALSE(ValidateLogJsonl("not json\n").ok());
+  // ts_us must be numeric.
+  EXPECT_FALSE(
+      ValidateLogJsonl(
+          "{\"ts_us\":\"x\",\"level\":\"info\",\"event\":\"e\"}\n")
+          .ok());
+  // The level must be a known name.
+  EXPECT_FALSE(
+      ValidateLogJsonl("{\"ts_us\":1,\"level\":\"loud\",\"event\":\"e\"}\n")
+          .ok());
+  // The event name must be present.
+  EXPECT_FALSE(
+      ValidateLogJsonl("{\"ts_us\":1,\"level\":\"info\"}\n").ok());
+}
+
+TEST(LogRateLimiterTest, BurstIsCappedAtWindowBudget) {
+  LogRateLimiter limiter(/*max_per_window=*/128, /*window_us=*/1000000);
+  uint64_t admitted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t suppressed = 0;
+    // A fixed timestamp keeps the whole burst inside one window.
+    if (limiter.Admit(/*now_us=*/500, &suppressed)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 128u);
+  EXPECT_EQ(limiter.total_suppressed(), 10000u - 128u);
+}
+
+TEST(LogRateLimiterTest, NextWindowSurfacesTheDropCount) {
+  LogRateLimiter limiter(/*max_per_window=*/2, /*window_us=*/100);
+  uint64_t suppressed = 0;
+  EXPECT_TRUE(limiter.Admit(10, &suppressed));
+  EXPECT_TRUE(limiter.Admit(11, &suppressed));
+  EXPECT_FALSE(limiter.Admit(12, &suppressed));
+  EXPECT_FALSE(limiter.Admit(13, &suppressed));
+  // First admit of the new window carries the two drops.
+  EXPECT_TRUE(limiter.Admit(300, &suppressed));
+  EXPECT_EQ(suppressed, 2u);
+  EXPECT_EQ(limiter.total_suppressed(), 2u);
+}
+
+TEST(LoggerTest, TailReturnsRecentEvents) {
+  ScopedLevel scoped(LogLevel::kInfo);
+  const uint64_t before = Logger::Global()->events_emitted();
+  ALPHASORT_LOG(kInfo, "test.tail_marker").U64("x", 1);
+  EXPECT_EQ(Logger::Global()->events_emitted(), before + 1);
+  const std::vector<LogEvent> tail = Logger::Global()->Tail(4);
+  ASSERT_FALSE(tail.empty());
+  EXPECT_STREQ(tail.back().event, "test.tail_marker");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace alphasort

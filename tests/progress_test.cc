@@ -1,0 +1,171 @@
+// Tests for live job progress (src/obs/progress.h): the overlap-model
+// work plan, monotonic clamped fractions, terminal states, registry
+// lifecycle, and the opt-in svc.job.* gauges.
+
+#include "obs/progress.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace alphasort {
+namespace obs {
+namespace {
+
+TEST(ProgressPlanTest, OnePassPlanIsTwiceTheInput) {
+  JobProgressTracker t;
+  t.Start(1, /*publish_gauges=*/false);
+  t.SetPlan(/*bytes_total=*/1000, /*passes=*/1);
+  const JobProgress p = t.Snapshot();
+  EXPECT_EQ(p.bytes_total, 1000u);
+  EXPECT_EQ(p.work_total, 2000u);
+}
+
+TEST(ProgressPlanTest, TwoPassPlanIsThriceTheInput) {
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlan(1000, /*passes=*/2);
+  EXPECT_EQ(t.Snapshot().work_total, 3000u);
+}
+
+TEST(ProgressTrackerTest, SortedBytesAddNoWorkOfTheirOwn) {
+  // The §7 overlap model: QuickSort rides under the read stream, so
+  // sorted bytes are display-only — work is read + spill + merge.
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlan(1000, 1);
+  t.AddRead(400);
+  t.AddSorted(400);
+  const JobProgress p = t.Snapshot();
+  EXPECT_EQ(p.bytes_read, 400u);
+  EXPECT_EQ(p.bytes_sorted, 400u);
+  EXPECT_EQ(p.work_done, 400u);
+  EXPECT_DOUBLE_EQ(p.fraction, 0.2);
+}
+
+TEST(ProgressTrackerTest, FractionIsMonotonicUnderInterleavedUpdates) {
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlan(10000, 2);
+  double last = 0;
+  for (int i = 0; i < 40; ++i) {
+    switch (i % 4) {
+      case 0: t.AddRead(500); break;
+      case 1: t.AddSorted(500); break;
+      case 2: t.AddSpilled(400); break;
+      case 3: t.AddMerged(600); break;
+    }
+    const double f = t.Snapshot().fraction;
+    EXPECT_GE(f, last);
+    last = f;
+  }
+}
+
+TEST(ProgressTrackerTest, FractionClampsBelowOneUntilDone) {
+  // A cascade merge re-spills intermediate levels, so work_done can
+  // overshoot the plan; only kDone may report 1.0.
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlan(1000, 2);
+  t.AddRead(1000);
+  t.AddSpilled(1000);
+  t.AddMerged(5000);  // cascade overshoot
+  EXPECT_DOUBLE_EQ(t.Snapshot().fraction, 0.999);
+  t.SetPhase(SortPhase::kDone);
+  EXPECT_DOUBLE_EQ(t.Snapshot().fraction, 1.0);
+}
+
+TEST(ProgressTrackerTest, EtaExtrapolatesRemainingWork) {
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlan(1 << 20, 1);
+  t.AddRead(1 << 19);
+  const JobProgress p = t.Snapshot();
+  EXPECT_GT(p.elapsed_s, 0.0);
+  EXPECT_GT(p.bytes_per_s, 0.0);
+  EXPECT_GT(p.eta_s, 0.0);
+  t.SetPhase(SortPhase::kDone);
+  EXPECT_DOUBLE_EQ(t.Snapshot().eta_s, 0.0);
+}
+
+TEST(ProgressTrackerTest, FailedJobReportsNoEta) {
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlan(1000, 1);
+  t.AddRead(500);
+  t.SetPhase(SortPhase::kFailed);
+  const JobProgress p = t.Snapshot();
+  EXPECT_EQ(p.phase, SortPhase::kFailed);
+  EXPECT_DOUBLE_EQ(p.eta_s, 0.0);
+  EXPECT_LT(p.fraction, 1.0);
+}
+
+TEST(ProgressPhaseTest, PhaseNamesAreStable) {
+  EXPECT_STREQ(SortPhaseName(SortPhase::kQueued), "queued");
+  EXPECT_STREQ(SortPhaseName(SortPhase::kRead), "read");
+  EXPECT_STREQ(SortPhaseName(SortPhase::kLastRun), "last_run");
+  EXPECT_STREQ(SortPhaseName(SortPhase::kMerge), "merge");
+  EXPECT_STREQ(SortPhaseName(SortPhase::kDone), "done");
+  EXPECT_STREQ(SortPhaseName(SortPhase::kFailed), "failed");
+}
+
+TEST(ProgressRegistryTest, SnapshotIsSortedByJobId) {
+  JobProgressTracker a, b, c;
+  a.Start(30, false);
+  b.Start(10, false);
+  c.Start(20, false);
+  ScopedProgressRegistration ra(&a);
+  ScopedProgressRegistration rb(&b);
+  ScopedProgressRegistration rc(&c);
+  const std::vector<JobProgress> jobs =
+      ProgressRegistry::Global()->Snapshot();
+  ASSERT_GE(jobs.size(), 3u);
+  uint64_t last = 0;
+  bool saw10 = false, saw20 = false, saw30 = false;
+  for (const JobProgress& p : jobs) {
+    EXPECT_GE(p.job_id, last);
+    last = p.job_id;
+    saw10 |= p.job_id == 10;
+    saw20 |= p.job_id == 20;
+    saw30 |= p.job_id == 30;
+  }
+  EXPECT_TRUE(saw10 && saw20 && saw30);
+}
+
+TEST(ProgressRegistryTest, ScopedRegistrationUnregistersOnExit) {
+  JobProgressTracker t;
+  t.Start(777, false);
+  {
+    ScopedProgressRegistration reg(&t);
+    bool found = false;
+    for (const JobProgress& p : ProgressRegistry::Global()->Snapshot()) {
+      found |= p.job_id == 777;
+    }
+    EXPECT_TRUE(found);
+  }
+  for (const JobProgress& p : ProgressRegistry::Global()->Snapshot()) {
+    EXPECT_NE(p.job_id, 777u);
+  }
+}
+
+TEST(ProgressGaugeTest, PublishedGaugesTrackPhaseAndPermille) {
+  JobProgressTracker t;
+  t.Start(91001, /*publish_gauges=*/true);
+  t.SetPlan(1000, 1);
+  t.AddRead(1000);
+  t.AddMerged(500);
+  auto* registry = MetricsRegistry::Global();
+  RegistrySnapshot snap = registry->Snapshot();
+  EXPECT_EQ(snap.gauges.at("svc.job.91001.permille"), 750);
+  t.SetPhase(SortPhase::kDone);
+  snap = registry->Snapshot();
+  EXPECT_EQ(snap.gauges.at("svc.job.91001.permille"), 1000);
+  EXPECT_EQ(snap.gauges.at("svc.job.91001.phase"),
+            static_cast<int64_t>(SortPhase::kDone));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace alphasort

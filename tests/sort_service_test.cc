@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -17,6 +18,8 @@
 #include "benchlib/datamation.h"
 #include "common/table.h"
 #include "io/env_stack.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 
 namespace alphasort {
 namespace {
@@ -348,6 +351,101 @@ TEST(SortServiceTest, ConcurrentTwoPassJobsKeepScratchSeparate) {
                                    kDatamationFormat)
                     .ok());
   }
+  ExpectNoScratch(mem.get());
+}
+
+// After an oversubscription + cancel storm drains, the service's level
+// gauges (svc.jobs_running, svc.jobs_queued, svc.admitted_bytes) must
+// read zero again: cancelled, rejected, and completed jobs all release
+// their tickets and queue slots.
+TEST(SortServiceTest, LevelGaugesReturnToZeroAfterCancelStorm) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/4.0, /*write_mbps=*/100.0);
+  const int kJobs = 8;
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(MakeInput(mem.get(), j, 20000).ok());
+  }
+
+  svc::SortServiceOptions sopts;
+  sopts.memory_budget = 32 * kMB;
+  sopts.max_running = 2;
+  sopts.max_queued = kJobs;
+  svc::SortService service(stack.top(), sopts);
+
+  std::vector<SortJob> jobs;
+  for (int j = 0; j < kJobs; ++j) {
+    Result<SortJob> job = service.Submit(JobOptions(j, 16 * kMB));
+    ASSERT_TRUE(job.ok()) << job.status().ToString();
+    jobs.push_back(std::move(job).value());
+  }
+  // Cancel every other job — some still queued, some mid-read.
+  for (int j = 0; j < kJobs; j += 2) jobs[j].Cancel();
+  for (SortJob& job : jobs) job.Wait();
+
+  // Wait() returns when the result is ready; the runner releases its
+  // admission ticket just after, under the service lock. Poll until the
+  // service quiesces before asserting the levels.
+  svc::SortServiceStats stats = service.stats();
+  for (int i = 0; i < 5000 && (stats.running != 0 || stats.queued != 0 ||
+                               stats.admitted_bytes != 0);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = service.stats();
+  }
+  EXPECT_EQ(stats.running, 0);
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.admitted_bytes, 0u);
+
+  const obs::RegistrySnapshot snap =
+      obs::MetricsRegistry::Global()->Snapshot();
+  EXPECT_EQ(snap.gauges.at("svc.jobs_running"), 0);
+  EXPECT_EQ(snap.gauges.at("svc.jobs_queued"), 0);
+  EXPECT_EQ(snap.gauges.at("svc.admitted_bytes"), 0);
+  ExpectNoScratch(mem.get());
+}
+
+// SortJob::Progress() observed from outside the pipeline: the fraction
+// never decreases, and a finished job reports phase done, fraction 1.0,
+// with its terminal permille gauge at 1000.
+TEST(SortServiceTest, JobProgressFractionsAreMonotonic) {
+  std::unique_ptr<Env> mem = NewMemEnv();
+  EnvStack stack(mem.get());
+  stack.PushThrottle(/*read_mbps=*/8.0, /*write_mbps=*/8.0);
+  ASSERT_TRUE(MakeInput(mem.get(), 0, 20000).ok());
+
+  svc::SortService service(stack.top(), svc::SortServiceOptions());
+  SortOptions opts = JobOptions(0, 8 * kMB);
+  opts.force_passes = 2;
+  opts.run_size_records = 2000;
+  Result<SortJob> job = service.Submit(opts);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  SortJob handle = std::move(job).value();
+
+  double last = 0;
+  size_t observations = 0;
+  while (!handle.TryWait()) {
+    const obs::JobProgress p = handle.Progress();
+    EXPECT_GE(p.fraction + 1e-9, last)
+        << "fraction regressed at observation " << observations;
+    last = std::max(last, p.fraction);
+    ++observations;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  EXPECT_GT(observations, 0u);
+  ASSERT_TRUE(handle.Wait().status.ok());
+
+  const obs::JobProgress final_p = handle.Progress();
+  EXPECT_EQ(final_p.phase, obs::SortPhase::kDone);
+  EXPECT_DOUBLE_EQ(final_p.fraction, 1.0);
+  EXPECT_GE(final_p.work_done, final_p.bytes_total * 2);
+
+  const obs::RegistrySnapshot snap =
+      obs::MetricsRegistry::Global()->Snapshot();
+  const std::string gauge = StrFormat(
+      "svc.job.%llu.permille",
+      static_cast<unsigned long long>(handle.id()));
+  EXPECT_EQ(snap.gauges.at(gauge), 1000);
   ExpectNoScratch(mem.get());
 }
 
