@@ -4,13 +4,13 @@
 //   ./bench_report [--smoke] [--name NAME] [--out FILE]
 //                  [--suite NAME]... [--workers K]
 //
-// Runs six suites — the paper's run-generation comparison (§4
+// Runs seven suites — the paper's run-generation comparison (§4
 // QuickSort vs replacement-selection), output-stripe scaling (§6),
 // the 8B-vs-16B entry ablation (§7), an end-to-end in-memory
 // Datamation sort, hot-kernel microbenchmarks (entry build, merge,
-// gather, partitioned merge; docs/perf.md), and SortService
-// concurrency scaling
-// (docs/service.md) — and writes one BenchReport JSON
+// gather, partitioned merge; docs/perf.md), SortService
+// concurrency scaling (docs/service.md), and the networked service
+// end to end over loopback (docs/net.md) — and writes one BenchReport JSON
 // (kind "alphasort.bench_report") with a numeric metrics object per
 // configuration. --smoke shrinks every input so the whole suite runs in
 // seconds (CI); sizes are part of each entry's config string, so smoke
@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "benchlib/datamation.h"
+#include "benchlib/net_bench.h"
 #include "benchlib/service_bench.h"
 #include "common/prefetch.h"
 #include "common/table.h"
@@ -420,6 +421,47 @@ void RunService(const BenchConfig& cfg, obs::BenchReport* report) {
   }
 }
 
+// --- Networked service over loopback: framing + spooling + sort +
+// stream-back, as a tenant observes it (docs/net.md). Sizes are FIXED
+// regardless of --smoke (like the kernel suite) so the committed
+// baseline and the CI run compare like with like; the 100-client
+// configuration keeps the acceptance-scale concurrency in the
+// trajectory.
+void RunNet(const BenchConfig& cfg, obs::BenchReport* report) {
+  struct Shape {
+    int clients;
+    uint64_t records;
+  };
+  const Shape shapes[] = {{4, 2000}, {16, 2000}, {100, 2000}, {2, 100000}};
+  for (const Shape& shape : shapes) {
+    NetBenchConfig nb;
+    nb.num_clients = shape.clients;
+    nb.records_per_client = shape.records;
+    nb.max_running = 4;
+    nb.num_workers = cfg.workers;
+    const NetBenchResult r = RunNetBench(nb);
+    if (r.jobs_ok != shape.clients) {
+      fprintf(stderr, "net bench (clients=%d n=%llu): %s\n", shape.clients,
+              static_cast<unsigned long long>(shape.records),
+              r.ToString().c_str());
+      continue;
+    }
+    obs::BenchEntry e;
+    e.suite = "net";
+    e.config = StrFormat("clients=%d n=%llu running=4 workers=%d",
+                         shape.clients,
+                         static_cast<unsigned long long>(shape.records),
+                         cfg.workers);
+    e.values = {{"seconds", r.wall_s},
+                {"aggregate_mb_per_s", r.aggregate_mb_per_s},
+                {"jobs_ok", double(r.jobs_ok)},
+                {"p50_us", r.p50_us},
+                {"p95_us", r.p95_us},
+                {"p99_us", r.p99_us}};
+    report->entries.push_back(std::move(e));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -460,6 +502,7 @@ int main(int argc, char** argv) {
           {"datamation", RunDatamation},
           {"kernels", RunKernels},
           {"service", RunService},
+          {"net", RunNet},
       };
   for (const auto& [suite_name, fn] : suites) {
     if (!only.empty() &&

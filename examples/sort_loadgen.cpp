@@ -1,0 +1,457 @@
+// sort_loadgen: concurrent load driver for sort_serverd (docs/net.md).
+//
+//   ./sort_loadgen (--port P | --port-file FILE) [--host H]
+//                  [--clients N] [--jobs N] [--records N]
+//                  [--big-clients N] [--big-records N]
+//                  [--disconnects N] [--greedy N] [--greedy-mb MB]
+//                  [--smoke] [--report FILE]
+//
+// Each client is one thread speaking the wire protocol end to end:
+// generate records, stream them up, wait, stream the sorted bytes back,
+// and verify them client-side — ascending keys (RecordFormat
+// CompareKeys), a multiset fingerprint match against the input (the
+// output is a permutation, not just sorted), and the DONE frame's CRC.
+// Per-job end-to-end latency lands in the net.client.e2e_us histogram;
+// the summary prints p50/p95/p99.
+//
+// Client mix:
+//   --clients N       small sorts, one tenant each ("tenant-<i>")
+//   --big-clients N   large sorts (tenant "big-<i>")
+//   --disconnects N   connections dropped mid-upload (server must clean
+//                     up; verified by the end-of-run residue check)
+//   --greedy N        tenants whose job exceeds the per-tenant quota
+//                     capacity; they MUST be rejected with Unavailable,
+//                     promptly, not stalled
+//
+// After every worker finishes, a probe connection polls server STATUS
+// until the server reports no queued/running/in-flight jobs, zero
+// admitted bytes, and only the probe's own connection — leaked jobs or
+// gauge residue fail the run.
+//
+// --smoke is the CI gate (scripts/ci.sh --stage=smokes): 100 concurrent
+// small clients + 2 big ones + 1 disconnect + 1 greedy tenant, nonzero
+// exit on any verification failure. --report FILE writes a BenchReport
+// JSON artifact (validated by report_lint).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/table.h"
+#include "net/client.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "record/generator.h"
+
+using namespace alphasort;
+
+namespace {
+
+struct LoadConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string port_file;
+  int clients = 8;
+  int jobs_per_client = 1;
+  uint64_t records = 2000;
+  int big_clients = 0;
+  uint64_t big_records = 100000;
+  int disconnects = 0;
+  int greedy = 0;
+  uint64_t greedy_mb = 40;
+  bool smoke = false;
+  std::string report_path;
+};
+
+struct WorkerTally {
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> retried{0};  // Unavailable answers that were retried
+  std::atomic<int> greedy_rejected{0};
+  std::mutex mu;
+  std::string first_error;
+
+  void Fail(const std::string& what) {
+    failed.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.empty()) first_error = what;
+  }
+};
+
+uint64_t NowUs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+obs::Histogram* ClientE2eUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.e2e_us");
+  return h;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = fwrite(text.data(), 1, text.size(), f) == text.size();
+  fclose(f);
+  return ok;
+}
+
+// Client-side output verification: right length, ascending keys, a
+// permutation of the input, all without trusting the server.
+Status VerifySorted(const RecordFormat& format, const std::vector<char>& in,
+                    const std::string& out) {
+  if (out.size() != in.size()) {
+    return Status::Corruption(StrFormat(
+        "output is %zu bytes, input was %zu", out.size(), in.size()));
+  }
+  const size_t r = format.record_size;
+  MultisetFingerprint in_fp, out_fp;
+  for (size_t off = 0; off < in.size(); off += r) {
+    in_fp.Add(in.data() + off, r);
+  }
+  for (size_t off = 0; off < out.size(); off += r) {
+    out_fp.Add(out.data() + off, r);
+    if (off > 0 &&
+        format.CompareKeys(out.data() + off - r, out.data() + off) > 0) {
+      return Status::Corruption(
+          StrFormat("keys out of order at record %zu", off / r));
+    }
+  }
+  if (!(in_fp == out_fp)) {
+    return Status::Corruption("output is not a permutation of the input");
+  }
+  return Status::OK();
+}
+
+// One well-behaved client: N jobs over one connection, Unavailable
+// answers retried with backoff (the protocol's contract: back off, do
+// not stall).
+void RunClient(const LoadConfig& cfg, const std::string& tenant,
+               uint64_t seed, uint64_t records, WorkerTally* tally) {
+  const RecordFormat format = kDatamationFormat;
+  RecordGenerator gen(format, seed);
+  const std::vector<char> data =
+      gen.Generate(KeyDistribution::kUniform, records);
+
+  net::SortClient client;
+  Status s;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    s = client.Connect(cfg.host, cfg.port, tenant, 10.0);
+    if (s.ok() || !s.IsUnavailable()) break;
+    tally->retried.fetch_add(1);  // connection-capacity backpressure
+    std::this_thread::sleep_for(std::chrono::milliseconds(20 * (attempt + 1)));
+  }
+  if (!s.ok()) {
+    tally->Fail(StrFormat("%s connect: %s", tenant.c_str(),
+                          s.ToString().c_str()));
+    return;
+  }
+
+  for (int j = 0; j < cfg.jobs_per_client; ++j) {
+    bool done = false;
+    for (int attempt = 0; attempt < 10 && !done; ++attempt) {
+      net::SubmitSpec spec;
+      spec.format = format;
+      net::NetSortOutcome outcome;
+      std::string sorted;
+      const uint64_t t0 = NowUs();
+      s = client.SubmitSort(spec, data.data(), data.size(), &sorted,
+                            &outcome);
+      const uint64_t elapsed = NowUs() - t0;
+      if (!s.ok()) {
+        tally->Fail(StrFormat("%s transport: %s", tenant.c_str(),
+                              s.ToString().c_str()));
+        return;
+      }
+      if (outcome.status.IsUnavailable()) {
+        tally->retried.fetch_add(1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(25 * (attempt + 1)));
+        continue;
+      }
+      if (!outcome.status.ok()) {
+        tally->Fail(StrFormat("%s job: %s", tenant.c_str(),
+                              outcome.status.ToString().c_str()));
+        return;
+      }
+      if (Status v = VerifySorted(format, data, sorted); !v.ok()) {
+        tally->Fail(StrFormat("%s verify: %s", tenant.c_str(),
+                              v.ToString().c_str()));
+        return;
+      }
+      ClientE2eUs()->Record(elapsed);
+      tally->ok.fetch_add(1);
+      done = true;
+    }
+    if (!done) {
+      tally->Fail(StrFormat("%s: still Unavailable after retries",
+                            tenant.c_str()));
+      return;
+    }
+  }
+}
+
+// Connects, starts an upload, and vanishes mid-stream. The server must
+// notice, clean up the partial spool, and free the connection slot —
+// checked by the end-of-run residue probe, not here.
+void RunDisconnect(const LoadConfig& cfg, int idx, WorkerTally* tally) {
+  const RecordFormat format = kDatamationFormat;
+  RecordGenerator gen(format, 9000 + uint64_t(idx));
+  const std::vector<char> data =
+      gen.Generate(KeyDistribution::kUniform, 2000);
+
+  net::SortClient client;
+  if (Status s = client.Connect(cfg.host, cfg.port,
+                                StrFormat("drop-%d", idx), 10.0);
+      !s.ok()) {
+    tally->Fail(StrFormat("drop-%d connect: %s", idx,
+                          s.ToString().c_str()));
+    return;
+  }
+  net::SubmitFrame submit;
+  submit.expected_bytes = data.size();
+  net::TcpConn* raw = client.raw_conn();
+  (void)net::WriteFrame(raw, net::FrameType::kSubmit, submit.Encode());
+  // Half the stream, then gone.
+  (void)net::WriteFrame(raw, net::FrameType::kData,
+                        std::string(data.data(), data.size() / 2));
+  client.Close();
+  tally->ok.fetch_add(1);
+}
+
+// A tenant whose single job exceeds its quota bucket outright. The
+// contract under test: a prompt, clean Unavailable — not a stall, not a
+// silent accept.
+void RunGreedy(const LoadConfig& cfg, int idx, WorkerTally* tally) {
+  const RecordFormat format = kDatamationFormat;
+  const uint64_t records = (cfg.greedy_mb << 20) / format.record_size;
+  RecordGenerator gen(format, 7000 + uint64_t(idx));
+  const std::vector<char> data =
+      gen.Generate(KeyDistribution::kUniform, records);
+
+  net::SortClient client;
+  if (Status s = client.Connect(cfg.host, cfg.port,
+                                StrFormat("greedy-%d", idx), 10.0);
+      !s.ok()) {
+    tally->Fail(StrFormat("greedy-%d connect: %s", idx,
+                          s.ToString().c_str()));
+    return;
+  }
+  net::SubmitSpec spec;
+  spec.format = format;
+  net::NetSortOutcome outcome;
+  const uint64_t t0 = NowUs();
+  Status s = client.SubmitSort(spec, data.data(), data.size(),
+                               /*sorted=*/nullptr, &outcome);
+  const double wait_s = double(NowUs() - t0) / 1e6;
+  if (!s.ok()) {
+    tally->Fail(StrFormat("greedy-%d transport: %s", idx,
+                          s.ToString().c_str()));
+    return;
+  }
+  if (!outcome.status.IsUnavailable()) {
+    tally->Fail(StrFormat("greedy-%d expected Unavailable, got %s", idx,
+                          outcome.status.ToString().c_str()));
+    return;
+  }
+  if (wait_s > 30.0) {
+    tally->Fail(StrFormat("greedy-%d rejection took %.1fs (stalled)", idx,
+                          wait_s));
+    return;
+  }
+  tally->greedy_rejected.fetch_add(1);
+  tally->ok.fetch_add(1);
+}
+
+// Polls server STATUS until every job-side level reads zero and the
+// probe's connection is the only one left. Nonzero residue after the
+// deadline means a leaked job or a stuck gauge.
+bool ProbeResidue(const LoadConfig& cfg, net::StatusReplyFrame* last) {
+  net::SortClient probe;
+  if (Status s = probe.Connect(cfg.host, cfg.port, "probe", 10.0); !s.ok()) {
+    fprintf(stderr, "probe connect: %s\n", s.ToString().c_str());
+    return false;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    if (Status s = probe.QueryServerStatus(last); !s.ok()) {
+      fprintf(stderr, "probe status: %s\n", s.ToString().c_str());
+      return false;
+    }
+    if (last->jobs_queued == 0 && last->jobs_running == 0 &&
+        last->net_jobs_inflight == 0 && last->admitted_bytes == 0 &&
+        last->conns_active == 1) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+}
+
+int RunLoad(const LoadConfig& cfg) {
+  WorkerTally tally;
+  const uint64_t t0 = NowUs();
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < cfg.clients; ++i) {
+    workers.emplace_back([&cfg, i, &tally] {
+      RunClient(cfg, StrFormat("tenant-%d", i), 1000 + uint64_t(i),
+                cfg.records, &tally);
+    });
+  }
+  for (int i = 0; i < cfg.big_clients; ++i) {
+    workers.emplace_back([&cfg, i, &tally] {
+      RunClient(cfg, StrFormat("big-%d", i), 5000 + uint64_t(i),
+                cfg.big_records, &tally);
+    });
+  }
+  for (int i = 0; i < cfg.disconnects; ++i) {
+    workers.emplace_back([&cfg, i, &tally] { RunDisconnect(cfg, i, &tally); });
+  }
+  for (int i = 0; i < cfg.greedy; ++i) {
+    workers.emplace_back([&cfg, i, &tally] { RunGreedy(cfg, i, &tally); });
+  }
+  for (auto& w : workers) w.join();
+  const double wall_s = double(NowUs() - t0) / 1e6;
+
+  int failures = tally.failed.load();
+  if (failures > 0) {
+    std::lock_guard<std::mutex> lock(tally.mu);
+    fprintf(stderr, "FAIL: %d worker(s) failed, first: %s\n", failures,
+            tally.first_error.c_str());
+  }
+  if (tally.greedy_rejected.load() != cfg.greedy) {
+    fprintf(stderr, "FAIL: %d of %d greedy tenant(s) rejected\n",
+            tally.greedy_rejected.load(), cfg.greedy);
+    ++failures;
+  }
+
+  net::StatusReplyFrame residue;
+  if (!ProbeResidue(cfg, &residue)) {
+    fprintf(stderr,
+            "FAIL: residue after drain: queued=%llu running=%llu "
+            "inflight=%llu admitted=%llu conns=%llu\n",
+            static_cast<unsigned long long>(residue.jobs_queued),
+            static_cast<unsigned long long>(residue.jobs_running),
+            static_cast<unsigned long long>(residue.net_jobs_inflight),
+            static_cast<unsigned long long>(residue.admitted_bytes),
+            static_cast<unsigned long long>(residue.conns_active));
+    ++failures;
+  }
+
+  const obs::HistogramSnapshot lat = ClientE2eUs()->Snapshot();
+  printf("%d clients (%d big, %d disconnect, %d greedy): %d jobs ok, "
+         "%d failed, %d backoff-retries, %.2fs wall\n",
+         cfg.clients, cfg.big_clients, cfg.disconnects, cfg.greedy,
+         tally.ok.load(), tally.failed.load(), tally.retried.load(), wall_s);
+  printf("latency: %s\n", lat.Summary("us").c_str());
+
+  if (!cfg.report_path.empty()) {
+    obs::BenchReport report;
+    report.name = "net_smoke";
+    obs::BenchEntry entry;
+    entry.suite = "net_loadgen";
+    entry.config = StrFormat(
+        "clients=%d,records=%llu,big=%d,big_records=%llu,disc=%d,greedy=%d",
+        cfg.clients, static_cast<unsigned long long>(cfg.records),
+        cfg.big_clients, static_cast<unsigned long long>(cfg.big_records),
+        cfg.disconnects, cfg.greedy);
+    entry.values.emplace_back("jobs_ok", double(tally.ok.load()));
+    entry.values.emplace_back("jobs_failed", double(tally.failed.load()));
+    entry.values.emplace_back("backoff_retries",
+                              double(tally.retried.load()));
+    entry.values.emplace_back("greedy_rejected",
+                              double(tally.greedy_rejected.load()));
+    entry.values.emplace_back("wall_s", wall_s);
+    entry.values.emplace_back("p50_us", lat.Percentile(50));
+    entry.values.emplace_back("p95_us", lat.Percentile(95));
+    entry.values.emplace_back("p99_us", lat.Percentile(99));
+    report.entries.push_back(std::move(entry));
+    if (!WriteTextFile(cfg.report_path, report.ToJson())) {
+      fprintf(stderr, "FAIL: cannot write report %s\n",
+              cfg.report_path.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      cfg.host = argv[++i];
+    } else if (strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      cfg.port = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      cfg.port_file = argv[++i];
+    } else if (strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      cfg.clients = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      cfg.jobs_per_client = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      cfg.records = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--big-clients") == 0 && i + 1 < argc) {
+      cfg.big_clients = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--big-records") == 0 && i + 1 < argc) {
+      cfg.big_records = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--disconnects") == 0 && i + 1 < argc) {
+      cfg.disconnects = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--greedy") == 0 && i + 1 < argc) {
+      cfg.greedy = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--greedy-mb") == 0 && i + 1 < argc) {
+      cfg.greedy_mb = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      cfg.report_path = argv[++i];
+    } else {
+      fprintf(stderr,
+              "usage: %s (--port P | --port-file FILE) [--host H] "
+              "[--clients N] [--jobs N] [--records N] [--big-clients N] "
+              "[--big-records N] [--disconnects N] [--greedy N] "
+              "[--greedy-mb MB] [--smoke] [--report FILE]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.smoke) {
+    // The CI gate shape: 100 concurrent small tenants, two big jobs,
+    // one mid-upload disconnect, one over-quota tenant.
+    cfg.clients = 100;
+    cfg.jobs_per_client = 1;
+    cfg.records = 1000;
+    cfg.big_clients = 2;
+    cfg.big_records = 100000;
+    cfg.disconnects = 1;
+    cfg.greedy = 1;
+  }
+  if (!cfg.port_file.empty()) {
+    FILE* f = fopen(cfg.port_file.c_str(), "rb");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot read port file %s\n", cfg.port_file.c_str());
+      return 2;
+    }
+    char buf[32] = {0};
+    const size_t n = fread(buf, 1, sizeof(buf) - 1, f);
+    fclose(f);
+    (void)n;
+    cfg.port = atoi(buf);
+  }
+  if (cfg.port <= 0) {
+    fprintf(stderr, "a valid --port or --port-file is required\n");
+    return 2;
+  }
+  return RunLoad(cfg);
+}

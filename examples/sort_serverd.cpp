@@ -1,0 +1,219 @@
+// sort_serverd: the networked sort service daemon (docs/net.md).
+//
+//   ./sort_serverd [--port P] [--port-file FILE] [--mem]
+//                  [--data-root DIR] [--budget-mb MB] [--running K]
+//                  [--queued N] [--workers K] [--max-conns N]
+//                  [--quota-mb MB] [--quota-refill-mbps MB]
+//                  [--run-seconds S] [--expo FILE] [--log-jsonl FILE]
+//
+// Binds a NetServer (src/net/server.h) in front of a SortService and
+// serves until SIGINT/SIGTERM (or --run-seconds, for scripted runs).
+// --port 0 picks an ephemeral port; --port-file publishes the bound
+// port for scripts that start the daemon in the background (the CI net
+// smoke does exactly that). --mem spools into an in-memory Env so the
+// smoke exercises the whole wire path without touching disk.
+//
+// --expo FILE rewrites the Prometheus-style exposition once a second
+// while serving (net.* alongside svc.*); --log-jsonl FILE captures the
+// structured log (svc.conn.* events) for log_lint.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/table.h"
+#include "io/env.h"
+#include "net/server.h"
+#include "obs/exposition.h"
+#include "obs/log.h"
+
+using namespace alphasort;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+struct DaemonConfig {
+  int port = 0;
+  std::string port_file;
+  bool mem = false;
+  std::string data_root = "net_spool";
+  uint64_t budget_mb = 64;
+  int running = 2;
+  int queued = 64;
+  int workers = 2;
+  int max_conns = 256;
+  uint64_t quota_mb = 64;
+  uint64_t quota_refill_mbps = 32;
+  double run_seconds = 0;  // 0 = until signalled
+  std::string expo_path;
+  std::string log_jsonl_path;
+};
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = fwrite(text.data(), 1, text.size(), f) == text.size();
+  fclose(f);
+  return ok;
+}
+
+int RunDaemon(const DaemonConfig& cfg) {
+  std::unique_ptr<obs::JsonlFileLogSink> log_sink;
+  if (!cfg.log_jsonl_path.empty()) {
+    log_sink = std::make_unique<obs::JsonlFileLogSink>(cfg.log_jsonl_path);
+    if (!log_sink->ok()) {
+      fprintf(stderr, "cannot open log sink %s\n",
+              cfg.log_jsonl_path.c_str());
+      return 1;
+    }
+    obs::Logger::Global()->AddSink(log_sink.get());
+  }
+  struct SinkRemover {
+    obs::LogSink* sink;
+    ~SinkRemover() {
+      if (sink != nullptr) obs::Logger::Global()->RemoveSink(sink);
+    }
+  } sink_remover{log_sink.get()};
+
+  std::unique_ptr<Env> mem_env;
+  Env* env = nullptr;
+  if (cfg.mem) {
+    mem_env = NewMemEnv();
+    env = mem_env.get();
+  } else {
+    env = GetPosixEnv();
+  }
+
+  net::NetServerOptions nopts;
+  nopts.port = cfg.port;
+  nopts.max_conns = cfg.max_conns;
+  nopts.data_root = cfg.data_root;
+  nopts.service.memory_budget = cfg.budget_mb << 20;
+  nopts.service.max_running = cfg.running;
+  nopts.service.max_queued = cfg.queued;
+  nopts.service.num_workers = cfg.workers;
+  nopts.quota.capacity_bytes = cfg.quota_mb << 20;
+  nopts.quota.refill_bytes_per_s = cfg.quota_refill_mbps << 20;
+  nopts.job_defaults.io_chunk_bytes = 64 * 1024;
+  nopts.job_defaults.run_size_records = 10000;
+  nopts.job_defaults.memory_budget = 16 << 20;
+
+  net::NetServer server(env, nopts);
+  if (Status s = server.Start(); !s.ok()) {
+    fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("serving on port %d (budget %llu MB, max %d conns, quota %llu MB "
+         "per tenant)\n",
+         server.port(), static_cast<unsigned long long>(cfg.budget_mb),
+         cfg.max_conns, static_cast<unsigned long long>(cfg.quota_mb));
+  fflush(stdout);
+  if (!cfg.port_file.empty() &&
+      !WriteTextFile(cfg.port_file, StrFormat("%d\n", server.port()))) {
+    fprintf(stderr, "cannot write port file %s\n", cfg.port_file.c_str());
+    return 1;
+  }
+
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(cfg.run_seconds);
+  while (!g_stop.load()) {
+    if (cfg.run_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (!cfg.expo_path.empty()) {
+      WriteTextFile(cfg.expo_path, obs::RenderExposition());
+    }
+  }
+
+  server.Stop();
+  const net::NetServerStats stats = server.stats();
+  printf("served %llu conns (%llu rejected), %llu jobs ok, %llu failed, "
+         "%llu quota-rejected, %llu protocol errors\n",
+         static_cast<unsigned long long>(stats.conns_accepted),
+         static_cast<unsigned long long>(stats.conns_rejected),
+         static_cast<unsigned long long>(stats.jobs_completed),
+         static_cast<unsigned long long>(stats.jobs_failed),
+         static_cast<unsigned long long>(stats.quota_rejected),
+         static_cast<unsigned long long>(stats.protocol_errors));
+  // Leak gate: with every connection drained, no spool files (and for
+  // the in-memory env, no scratch spill files either) may remain under
+  // the data root. The "/c" prefix matches the per-connection spool
+  // naming and, on a real filesystem, skips the scratch directory entry.
+  std::vector<std::string> stray;
+  (void)env->ListFiles(cfg.data_root + "/c", &stray);
+  if (cfg.mem) {
+    (void)env->ListFiles(cfg.data_root + "/scratch/", &stray);
+  }
+  if (!stray.empty()) {
+    fprintf(stderr, "FAIL: %zu spool file(s) leaked, first: %s\n",
+            stray.size(), stray[0].c_str());
+    return 1;
+  }
+  if (!cfg.expo_path.empty() &&
+      !WriteTextFile(cfg.expo_path, obs::RenderExposition())) {
+    fprintf(stderr, "cannot write exposition to %s\n", cfg.expo_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DaemonConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      cfg.port = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      cfg.port_file = argv[++i];
+    } else if (strcmp(argv[i], "--mem") == 0) {
+      cfg.mem = true;
+    } else if (strcmp(argv[i], "--data-root") == 0 && i + 1 < argc) {
+      cfg.data_root = argv[++i];
+    } else if (strcmp(argv[i], "--budget-mb") == 0 && i + 1 < argc) {
+      cfg.budget_mb = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--running") == 0 && i + 1 < argc) {
+      cfg.running = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--queued") == 0 && i + 1 < argc) {
+      cfg.queued = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      cfg.workers = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--max-conns") == 0 && i + 1 < argc) {
+      cfg.max_conns = atoi(argv[++i]);
+    } else if (strcmp(argv[i], "--quota-mb") == 0 && i + 1 < argc) {
+      cfg.quota_mb = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--quota-refill-mbps") == 0 && i + 1 < argc) {
+      cfg.quota_refill_mbps = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--run-seconds") == 0 && i + 1 < argc) {
+      cfg.run_seconds = atof(argv[++i]);
+    } else if (strcmp(argv[i], "--expo") == 0 && i + 1 < argc) {
+      cfg.expo_path = argv[++i];
+    } else if (strcmp(argv[i], "--log-jsonl") == 0 && i + 1 < argc) {
+      cfg.log_jsonl_path = argv[++i];
+    } else {
+      fprintf(stderr,
+              "usage: %s [--port P] [--port-file FILE] [--mem] "
+              "[--data-root DIR] [--budget-mb MB] [--running K] "
+              "[--queued N] [--workers K] [--max-conns N] [--quota-mb MB] "
+              "[--quota-refill-mbps MB] [--run-seconds S] [--expo FILE] "
+              "[--log-jsonl FILE]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  return RunDaemon(cfg);
+}

@@ -2,19 +2,30 @@
 """Compares two BENCH_*.json perf-trajectory files.
 
     scripts/bench_compare.py BASELINE NEW [--threshold FRAC] [--warn-only]
+                             [--fail-on METRIC]... [--band FRAC]
 
 Entries are matched by (suite, config); for every metric present in both
 the relative change is printed, and a change past --threshold (default
-0.25, i.e. 25%) in the *worse* direction fails the comparison. Metrics
-named *_s or *_ms or named "seconds" are lower-is-better (times);
-everything else (throughputs, counts) is higher-is-better. Structural
-metrics (runs, avg_run_over_W, ties_per_record) describe the workload,
-not its speed, and are compared for drift in either direction.
+0.25, i.e. 25%) in the *worse* direction counts as a regression. Metrics
+named *_s or *_ms or *_us or named "seconds" are lower-is-better
+(times); everything else (throughputs, counts) is higher-is-better.
+Structural metrics (runs, avg_run_over_W, ties_per_record, ...) describe
+the workload, not its speed, and are compared for drift in either
+direction.
 
-Exit status: 0 when no regression (or --warn-only), 1 on regression,
-2 on usage/schema errors. CI runs this informationally (--warn-only)
-because its machines are shared and noisy; the printed table is the
-artifact that matters.
+Two tiers of enforcement (docs/perf.md):
+
+  * Ordinary metrics are advisory on shared CI machines: with
+    --warn-only a regression prints but does not fail the run.
+  * --fail-on METRIC promotes that metric to a hard gate that fails the
+    run even under --warn-only. The special name "structural" promotes
+    every structural metric at once. --band FRAC (default: the
+    --threshold value) is the tolerance used for promoted metrics, so
+    the hard gate can carry a wider noise band than the advisory tier.
+
+Exit status: 0 when no enforced regression, 1 on an enforced regression
+(any regression without --warn-only; a --fail-on regression always),
+2 on usage/schema errors.
 """
 
 import argparse
@@ -36,6 +47,10 @@ STRUCTURAL = {
     # partitioner actually produced. A drift means the splitter sampling
     # changed shape, not that the merge got faster or slower.
     "ranges",
+    # The net suite's job accounting: every configured job must keep
+    # succeeding; a drift means the harness shape changed.
+    "jobs_ok",
+    "jobs_failed",
 }
 
 
@@ -80,14 +95,38 @@ def main() -> int:
     parser.add_argument(
         "--warn-only",
         action="store_true",
-        help="print regressions but always exit 0",
+        help="print ordinary regressions but do not fail on them "
+        "(--fail-on metrics still fail)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="METRIC",
+        help="metric enforced even under --warn-only; repeatable; "
+        '"structural" promotes every structural metric',
+    )
+    parser.add_argument(
+        "--band",
+        type=float,
+        default=None,
+        help="tolerance for --fail-on metrics (default: --threshold)",
     )
     args = parser.parse_args()
+
+    fail_on = set(args.fail_on)
+    band = args.band if args.band is not None else args.threshold
 
     base = load(args.baseline)
     new = load(args.new)
 
-    regressions = []
+    def enforced(metric: str) -> bool:
+        if metric in fail_on:
+            return True
+        return "structural" in fail_on and metric in STRUCTURAL
+
+    soft = []
+    hard = []
     compared = 0
     header = f"{'suite/config':<52} {'metric':<16} {'base':>12} {'new':>12} {'change':>8}"
     print(header)
@@ -102,19 +141,25 @@ def main() -> int:
             else:
                 change = (n - b) / abs(b)
             compared += 1
+            limit = band if enforced(metric) else args.threshold
             if metric in STRUCTURAL:
-                worse = abs(change) > args.threshold
+                worse = abs(change) > limit
             elif lower_is_better(metric):
-                worse = change > args.threshold
+                worse = change > limit
             else:
-                worse = change < -args.threshold
-            flag = "  <-- REGRESSION" if worse else ""
+                worse = change < -limit
+            if worse and enforced(metric):
+                flag = "  <-- REGRESSION (enforced)"
+                hard.append((label, metric, change))
+            elif worse:
+                flag = "  <-- REGRESSION"
+                soft.append((label, metric, change))
+            else:
+                flag = ""
             print(
                 f"{label:<52} {metric:<16} {b:>12.6g} {n:>12.6g} "
                 f"{change:>+7.1%}{flag}"
             )
-            if worse:
-                regressions.append((label, metric, change))
 
     only_base = sorted(base.keys() - new.keys())
     only_new = sorted(new.keys() - base.keys())
@@ -126,9 +171,15 @@ def main() -> int:
         sys.exit("bench_compare: no comparable (suite, config) pairs")
 
     print()
-    if regressions:
+    if hard:
         print(
-            f"bench_compare: {len(regressions)} regression(s) past "
+            f"bench_compare: {len(hard)} enforced regression(s) past "
+            f"{band:.0%} across {compared} metric(s)"
+        )
+        return 1
+    if soft:
+        print(
+            f"bench_compare: {len(soft)} regression(s) past "
             f"{args.threshold:.0%} across {compared} metric(s)"
         )
         return 0 if args.warn_only else 1

@@ -1,0 +1,150 @@
+#include "benchlib/net_bench.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/table.h"
+#include "io/env.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "record/generator.h"
+
+namespace alphasort {
+
+namespace {
+
+uint64_t NowUs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+Status VerifySorted(const RecordFormat& format, const std::vector<char>& in,
+                    const std::string& out) {
+  if (out.size() != in.size()) {
+    return Status::Corruption(StrFormat(
+        "output is %zu bytes, input was %zu", out.size(), in.size()));
+  }
+  const size_t r = format.record_size;
+  MultisetFingerprint in_fp, out_fp;
+  for (size_t off = 0; off < in.size(); off += r) {
+    in_fp.Add(in.data() + off, r);
+  }
+  for (size_t off = 0; off < out.size(); off += r) {
+    out_fp.Add(out.data() + off, r);
+    if (off > 0 &&
+        format.CompareKeys(out.data() + off - r, out.data() + off) > 0) {
+      return Status::Corruption(
+          StrFormat("keys out of order at record %zu", off / r));
+    }
+  }
+  if (!(in_fp == out_fp)) {
+    return Status::Corruption("output is not a permutation of the input");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string NetBenchResult::ToString() const {
+  return StrFormat(
+      "ok=%d failed=%d wall=%.3fs %.1f MB/s p50=%.0fus p95=%.0fus "
+      "p99=%.0fus%s%s",
+      jobs_ok, jobs_failed, wall_s, aggregate_mb_per_s, p50_us, p95_us,
+      p99_us, first_error.ok() ? "" : " first_error=",
+      first_error.ok() ? "" : first_error.ToString().c_str());
+}
+
+NetBenchResult RunNetBench(const NetBenchConfig& config) {
+  NetBenchResult result;
+  std::unique_ptr<Env> env = NewMemEnv();
+
+  net::NetServerOptions nopts;
+  nopts.port = 0;
+  nopts.max_conns = config.num_clients + 8;
+  nopts.service.memory_budget = config.service_budget;
+  nopts.service.max_running = config.max_running;
+  nopts.service.max_queued = config.max_queued;
+  nopts.service.num_workers = config.num_workers;
+  nopts.quota.capacity_bytes = config.quota_capacity;
+  nopts.quota.refill_bytes_per_s = config.quota_capacity;
+  nopts.job_defaults.io_chunk_bytes = 64 * 1024;
+  nopts.job_defaults.run_size_records = 10000;
+  nopts.job_defaults.memory_budget = 16ull << 20;
+
+  net::NetServer server(env.get(), nopts);
+  if (Status s = server.Start(); !s.ok()) {
+    result.first_error = s;
+    result.jobs_failed = config.num_clients;
+    return result;
+  }
+  const int port = server.port();
+
+  const RecordFormat format = kDatamationFormat;
+  std::atomic<int> ok{0}, failed{0};
+  std::mutex err_mu;
+  Status first_error;
+  // One latency histogram shared across client threads; a local
+  // instance so back-to-back configurations don't pollute each other
+  // through the global registry.
+  obs::Histogram latency;
+
+  const uint64_t t0 = NowUs();
+  std::vector<std::thread> clients;
+  clients.reserve(size_t(config.num_clients));
+  for (int i = 0; i < config.num_clients; ++i) {
+    clients.emplace_back([&, i] {
+      RecordGenerator gen(format, config.seed * 1000 + uint64_t(i));
+      const std::vector<char> data = gen.Generate(
+          KeyDistribution::kUniform, config.records_per_client);
+      net::SortClient client;
+      Status s = client.Connect("127.0.0.1", port,
+                                StrFormat("bench-%d", i), 10.0);
+      net::NetSortOutcome outcome;
+      std::string sorted;
+      uint64_t elapsed = 0;
+      if (s.ok()) {
+        net::SubmitSpec spec;
+        spec.format = format;
+        const uint64_t start = NowUs();
+        s = client.SubmitSort(spec, data.data(), data.size(), &sorted,
+                              &outcome);
+        elapsed = NowUs() - start;
+      }
+      if (s.ok()) s = outcome.status;
+      if (s.ok()) s = VerifySorted(format, data, sorted);
+      if (s.ok()) {
+        latency.Record(elapsed);
+        ok.fetch_add(1);
+      } else {
+        failed.fetch_add(1);
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.ok()) first_error = s;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  result.wall_s = double(NowUs() - t0) / 1e6;
+
+  server.Stop();
+  result.jobs_ok = ok.load();
+  result.jobs_failed = failed.load();
+  result.first_error = first_error;
+  const double sorted_bytes = double(result.jobs_ok) *
+                              double(config.records_per_client) *
+                              double(format.record_size);
+  result.aggregate_mb_per_s =
+      result.wall_s > 0 ? sorted_bytes / 1e6 / result.wall_s : 0;
+  const obs::HistogramSnapshot snap = latency.Snapshot();
+  result.p50_us = snap.Percentile(50);
+  result.p95_us = snap.Percentile(95);
+  result.p99_us = snap.Percentile(99);
+  return result;
+}
+
+}  // namespace alphasort

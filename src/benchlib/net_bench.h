@@ -1,0 +1,54 @@
+#ifndef ALPHASORT_BENCHLIB_NET_BENCH_H_
+#define ALPHASORT_BENCHLIB_NET_BENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace alphasort {
+
+// Harness measuring the networked sort service end to end (docs/net.md):
+// a NetServer over a fresh in-memory filesystem on a loopback ephemeral
+// port, N concurrent clients each streaming records up, waiting, and
+// verifying the sorted stream that comes back. The numbers capture the
+// full wire path — framing, spooling, admission, sort, stream-back —
+// which is what a tenant of the service actually observes, as opposed to
+// the in-process service bench that skips the socket entirely.
+
+struct NetBenchConfig {
+  int num_clients = 16;
+  uint64_t records_per_client = 2000;
+  // Service arbitration under the server.
+  int max_running = 4;
+  int max_queued = 256;
+  uint64_t service_budget = 64ull << 20;
+  int num_workers = 2;
+  // Per-tenant quota capacity (every client is its own tenant); sized so
+  // the configured jobs always fit — quota rejection is the loadgen
+  // smoke's subject, not this harness's.
+  uint64_t quota_capacity = 256ull << 20;
+  uint64_t seed = 1;
+};
+
+struct NetBenchResult {
+  int jobs_ok = 0;      // OK result and client-side verification passed
+  int jobs_failed = 0;  // any non-OK outcome or verification failure
+  double wall_s = 0;    // first submit -> last result verified
+  double aggregate_mb_per_s = 0;  // verified sorted bytes / wall_s
+  // Client-observed end-to-end latency per job (connect excluded).
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  Status first_error;
+
+  std::string ToString() const;
+};
+
+// Runs one configuration start to finish; the server lives only for the
+// call.
+NetBenchResult RunNetBench(const NetBenchConfig& config);
+
+}  // namespace alphasort
+
+#endif  // ALPHASORT_BENCHLIB_NET_BENCH_H_

@@ -1,0 +1,174 @@
+#include "net/client.h"
+
+#include <algorithm>
+
+#include "common/checksum.h"
+#include "common/table.h"
+
+namespace alphasort {
+namespace net {
+
+Status SortClient::Connect(const std::string& host, int port,
+                           const std::string& tenant, double timeout_s) {
+  Close();
+  Result<TcpConn> conn = TcpConnect(host, port, timeout_s);
+  if (!conn.ok()) return conn.status();
+  conn_ = std::move(conn).value();
+  conn_.SetNoDelay();
+  reader_ = std::make_unique<FrameReader>(&conn_);
+
+  HelloFrame hello;
+  hello.tenant = tenant;
+  ALPHASORT_RETURN_IF_ERROR(
+      WriteFrame(&conn_, FrameType::kHello, hello.Encode()));
+
+  Frame frame;
+  ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
+  if (frame.type == FrameType::kResult) {
+    // The server refused the handshake (capacity, version); relay why.
+    ResultFrame result;
+    ALPHASORT_RETURN_IF_ERROR(result.Decode(frame.payload));
+    Close();
+    return result.ToStatus();
+  }
+  if (frame.type != FrameType::kHello) {
+    Close();
+    return Status::InvalidArgument(StrFormat(
+        "expected HELLO reply, got %s", FrameTypeName(frame.type)));
+  }
+  HelloFrame reply;
+  ALPHASORT_RETURN_IF_ERROR(reply.Decode(frame.payload));
+  conn_id_ = reply.conn_id;
+  return Status::OK();
+}
+
+Status SortClient::SubmitSort(const SubmitSpec& spec, const char* data,
+                              size_t n, std::string* sorted,
+                              NetSortOutcome* outcome) {
+  *outcome = NetSortOutcome();
+  if (sorted != nullptr) sorted->clear();
+  if (!conn_.valid()) return Status::IOError("client is not connected");
+
+  SubmitFrame submit;
+  submit.memory_budget = spec.memory_budget;
+  submit.record_size = uint32_t(spec.format.record_size);
+  submit.key_size = uint32_t(spec.format.key_size);
+  submit.expected_bytes = n;
+  ALPHASORT_RETURN_IF_ERROR(
+      WriteFrame(&conn_, FrameType::kSubmit, submit.Encode()));
+
+  // Stream the records. Between chunks, peek for an early RESULT — a
+  // quota or capacity rejection arrives while we are still sending, and
+  // stopping promptly keeps a rejected tenant from shipping gigabytes
+  // nobody will read.
+  Frame frame;
+  bool early_result = false;
+  uint32_t crc = 0;
+  size_t off = 0;
+  while (off < n) {
+    bool got = false;
+    ALPHASORT_RETURN_IF_ERROR(reader_->Poll(&frame, &got, 0));
+    if (got) {
+      if (frame.type != FrameType::kResult) {
+        return Status::InvalidArgument(StrFormat(
+            "unexpected %s frame while uploading", FrameTypeName(frame.type)));
+      }
+      early_result = true;
+      // Close the stream so the server's drain ends on a frame boundary
+      // and the connection returns to idle for a later retry.
+      DoneFrame done;
+      done.total_bytes = off;
+      done.crc32c = crc;
+      (void)WriteFrame(&conn_, FrameType::kDone, done.Encode());
+      break;
+    }
+    const size_t chunk = std::min(spec.chunk_bytes, n - off);
+    ALPHASORT_RETURN_IF_ERROR(WriteFrame(
+        &conn_, FrameType::kData, std::string(data + off, chunk)));
+    crc = Crc32c(data + off, chunk, crc);
+    off += chunk;
+  }
+  if (!early_result) {
+    DoneFrame done;
+    done.total_bytes = n;
+    done.crc32c = crc;
+    ALPHASORT_RETURN_IF_ERROR(
+        WriteFrame(&conn_, FrameType::kDone, done.Encode()));
+    // Wait for the job's terminal RESULT, ignoring any STATUS replies a
+    // sibling thread's queries might have left interleaved.
+    do {
+      ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
+    } while (frame.type == FrameType::kStatus);
+    if (frame.type != FrameType::kResult) {
+      return Status::InvalidArgument(StrFormat(
+          "expected RESULT, got %s", FrameTypeName(frame.type)));
+    }
+  }
+
+  ResultFrame result;
+  ALPHASORT_RETURN_IF_ERROR(result.Decode(frame.payload));
+  outcome->status = result.ToStatus();
+  outcome->job_id = result.job_id;
+  outcome->output_bytes = result.output_bytes;
+  outcome->server_elapsed_us = result.elapsed_us;
+  if (!outcome->status.ok()) {
+    // A delivered rejection: the stream is over, the connection fine.
+    return Status::OK();
+  }
+
+  // Receive the sorted stream: DATA frames, then DONE carrying the
+  // authoritative byte count and CRC.
+  uint64_t received = 0;
+  uint32_t rx_crc = 0;
+  for (;;) {
+    ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
+    if (frame.type == FrameType::kData) {
+      rx_crc = Crc32c(frame.payload.data(), frame.payload.size(), rx_crc);
+      received += frame.payload.size();
+      if (sorted != nullptr) sorted->append(frame.payload);
+      continue;
+    }
+    if (frame.type == FrameType::kDone) {
+      DoneFrame done;
+      ALPHASORT_RETURN_IF_ERROR(done.Decode(frame.payload));
+      if (done.total_bytes != received || received != result.output_bytes) {
+        return Status::Corruption(StrFormat(
+            "sorted stream length mismatch: RESULT %llu, DONE %llu, "
+            "received %llu",
+            static_cast<unsigned long long>(result.output_bytes),
+            static_cast<unsigned long long>(done.total_bytes),
+            static_cast<unsigned long long>(received)));
+      }
+      if (done.crc32c != rx_crc) {
+        return Status::Corruption("sorted stream failed its CRC check");
+      }
+      outcome->output_crc32c = done.crc32c;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(StrFormat(
+        "unexpected %s frame in the sorted stream", FrameTypeName(frame.type)));
+  }
+}
+
+Status SortClient::QueryServerStatus(StatusReplyFrame* reply) {
+  if (!conn_.valid()) return Status::IOError("client is not connected");
+  StatusRequestFrame req;
+  ALPHASORT_RETURN_IF_ERROR(
+      WriteFrame(&conn_, FrameType::kStatus, req.Encode()));
+  Frame frame;
+  ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
+  if (frame.type != FrameType::kStatus) {
+    return Status::InvalidArgument(StrFormat(
+        "expected STATUS reply, got %s", FrameTypeName(frame.type)));
+  }
+  return reply->Decode(frame.payload);
+}
+
+void SortClient::Close() {
+  reader_.reset();
+  conn_.Close();
+  conn_id_ = 0;
+}
+
+}  // namespace net
+}  // namespace alphasort

@@ -1,0 +1,84 @@
+#ifndef ALPHASORT_NET_CLIENT_H_
+#define ALPHASORT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+#include "record/record.h"
+
+namespace alphasort {
+namespace net {
+
+// Client half of the wire protocol (docs/net.md): connect, say HELLO,
+// then SubmitSort() as many jobs as wanted over the one connection.
+// Blocking, single-threaded by design — the loadgen gets concurrency by
+// running many clients, mirroring how tenants actually arrive.
+
+// Per-job parameters mirrored into the SUBMIT frame.
+struct SubmitSpec {
+  uint64_t memory_budget = 0;  // 0 = server default
+  RecordFormat format = kDatamationFormat;
+  size_t chunk_bytes = 256 * 1024;  // DATA frame payload size
+};
+
+// Terminal outcome of one submitted job, unpacked from the RESULT (and,
+// on success, the trailing DONE) frames.
+struct NetSortOutcome {
+  Status status;  // the job's own outcome, distinct from transport health
+  uint64_t job_id = 0;
+  uint64_t output_bytes = 0;
+  uint32_t output_crc32c = 0;  // CRC of the sorted stream (from DONE)
+  uint64_t server_elapsed_us = 0;
+};
+
+class SortClient {
+ public:
+  SortClient() = default;
+  ~SortClient() { Close(); }
+
+  SortClient(const SortClient&) = delete;
+  SortClient& operator=(const SortClient&) = delete;
+
+  // Connects and completes the HELLO handshake under `tenant`'s quota
+  // identity (empty = the "default" tenant).
+  Status Connect(const std::string& host, int port,
+                 const std::string& tenant = "",
+                 double timeout_s = 5.0);
+
+  // Streams `n` bytes of records, waits for the job, and receives the
+  // sorted stream into *sorted (cleared first; pass nullptr to discard
+  // the bytes while still checking the stream CRC).
+  //
+  // The return value is transport health: non-OK means the conversation
+  // itself broke (torn connection, frame corruption) and the client
+  // must Close(). An OK return with outcome->status non-OK is a
+  // well-delivered rejection — quota (Unavailable), admission
+  // backpressure (Unavailable), validation (InvalidArgument), and so
+  // on; the connection stays usable for another attempt.
+  Status SubmitSort(const SubmitSpec& spec, const char* data, size_t n,
+                    std::string* sorted, NetSortOutcome* outcome);
+
+  // Server-level stats snapshot (STATUS with job_id = 0). Only valid
+  // between jobs — SubmitSort owns the connection while it runs.
+  Status QueryServerStatus(StatusReplyFrame* reply);
+
+  bool connected() const { return conn_.valid(); }
+  uint64_t conn_id() const { return conn_id_; }
+
+  void Close();
+
+  // The raw connection, for tests that need to speak malformed frames.
+  TcpConn* raw_conn() { return &conn_; }
+
+ private:
+  TcpConn conn_;
+  std::unique_ptr<FrameReader> reader_;
+  uint64_t conn_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace alphasort
+
+#endif  // ALPHASORT_NET_CLIENT_H_

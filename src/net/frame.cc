@@ -1,0 +1,375 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/table.h"
+
+namespace alphasort {
+namespace net {
+
+namespace {
+
+// Little-endian fixed-width primitives. The protocol never uses
+// variable-width encodings: a fixed layout keeps the truncation checks
+// trivial and the fuzz corpus exhaustive.
+void PutU8(std::string* out, uint8_t v) { out->push_back(char(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = char((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = char((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Cursor over a payload; every getter fails with InvalidArgument on
+// truncation so payload decoders are a straight sequence of reads plus
+// one trailing-bytes check.
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_(buf) {}
+
+  Status U8(uint8_t* v) {
+    if (buf_.size() - pos_ < 1) return Truncated();
+    *v = uint8_t(buf_[pos_++]);
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) {
+    if (buf_.size() - pos_ < 4) return Truncated();
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+      *v |= uint32_t(uint8_t(buf_[pos_ + i])) << (8 * i);
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status U64(uint64_t* v) {
+    if (buf_.size() - pos_ < 8) return Truncated();
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= uint64_t(uint8_t(buf_[pos_ + i])) << (8 * i);
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status Str(std::string* v) {
+    uint32_t n = 0;
+    ALPHASORT_RETURN_IF_ERROR(U32(&n));
+    if (buf_.size() - pos_ < n) return Truncated();
+    v->assign(buf_, pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  // Rejects bytes past the last field: a longer-than-expected payload
+  // means the peer speaks a different layout.
+  Status Done() const {
+    if (pos_ != buf_.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "payload carries %zu trailing byte(s)", buf_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("payload truncated");
+  }
+
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+uint32_t FrameCrc(uint8_t type, const char* payload, size_t n) {
+  const char t = char(type);
+  uint32_t crc = Crc32c(&t, 1);
+  return Crc32c(payload, n, crc);
+}
+
+}  // namespace
+
+bool FrameTypeValid(uint8_t type) {
+  return type >= uint8_t(FrameType::kHello) &&
+         type <= uint8_t(FrameType::kResult);
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kSubmit:
+      return "SUBMIT";
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kDone:
+      return "DONE";
+    case FrameType::kStatus:
+      return "STATUS";
+    case FrameType::kCancel:
+      return "CANCEL";
+    case FrameType::kResult:
+      return "RESULT";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + kFrameOverhead);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU8(&out, uint8_t(type));
+  out.append(payload);
+  PutU32(&out, FrameCrc(uint8_t(type), payload.data(), payload.size()));
+  return out;
+}
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  if (!error_.ok()) return;  // poisoned: drop input
+  buf_.append(data, n);
+}
+
+Status FrameDecoder::Next(Frame* out, bool* got) {
+  *got = false;
+  if (!error_.ok()) return error_;
+
+  // Envelope header: length + type. The length is validated before the
+  // body is waited for, so a garbage length fails fast.
+  if (buf_.size() - pos_ < 5) {
+    // Compact the consumed prefix opportunistically so a long-lived
+    // connection does not grow the buffer without bound.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return Status::OK();
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= uint32_t(uint8_t(buf_[pos_ + i])) << (8 * i);
+  const uint8_t type = uint8_t(buf_[pos_ + 4]);
+  if (len > kMaxFramePayload) {
+    error_ = Status::InvalidArgument(StrFormat(
+        "frame payload length %u exceeds the %u-byte bound", len,
+        kMaxFramePayload));
+    return error_;
+  }
+  if (!FrameTypeValid(type)) {
+    error_ = Status::InvalidArgument(
+        StrFormat("unknown frame type 0x%02x", type));
+    return error_;
+  }
+  if (buf_.size() - pos_ < size_t(len) + kFrameOverhead) return Status::OK();
+
+  const char* payload = buf_.data() + pos_ + 5;
+  uint32_t wire_crc = 0;
+  for (int i = 0; i < 4; ++i)
+    wire_crc |= uint32_t(uint8_t(payload[len + i])) << (8 * i);
+  if (wire_crc != FrameCrc(type, payload, len)) {
+    error_ = Status::Corruption(
+        StrFormat("%s frame failed its CRC-32C check",
+                  FrameTypeName(FrameType(type))));
+    return error_;
+  }
+
+  out->type = FrameType(type);
+  out->payload.assign(payload, len);
+  pos_ += size_t(len) + kFrameOverhead;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  *got = true;
+  return Status::OK();
+}
+
+// --- HELLO ----------------------------------------------------------
+
+std::string HelloFrame::Encode() const {
+  std::string p;
+  PutU32(&p, version);
+  PutString(&p, tenant);
+  PutU64(&p, conn_id);
+  return p;
+}
+
+Status HelloFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&version));
+  ALPHASORT_RETURN_IF_ERROR(r.Str(&tenant));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&conn_id));
+  ALPHASORT_RETURN_IF_ERROR(r.Done());
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "protocol version mismatch: peer speaks %u, this side speaks %u",
+        version, kProtocolVersion));
+  }
+  return Status::OK();
+}
+
+// --- SUBMIT ---------------------------------------------------------
+
+std::string SubmitFrame::Encode() const {
+  std::string p;
+  PutU64(&p, memory_budget);
+  PutU32(&p, record_size);
+  PutU32(&p, key_size);
+  PutU64(&p, expected_bytes);
+  return p;
+}
+
+Status SubmitFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&memory_budget));
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&record_size));
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&key_size));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&expected_bytes));
+  ALPHASORT_RETURN_IF_ERROR(r.Done());
+  if (record_size == 0 || record_size > (1u << 16)) {
+    return Status::InvalidArgument(
+        StrFormat("record_size %u out of range", record_size));
+  }
+  if (key_size == 0 || key_size > record_size) {
+    return Status::InvalidArgument(StrFormat(
+        "key_size %u invalid for record_size %u", key_size, record_size));
+  }
+  return Status::OK();
+}
+
+// --- DONE -----------------------------------------------------------
+
+std::string DoneFrame::Encode() const {
+  std::string p;
+  PutU64(&p, total_bytes);
+  PutU32(&p, crc32c);
+  return p;
+}
+
+Status DoneFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&total_bytes));
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&crc32c));
+  return r.Done();
+}
+
+// --- STATUS ---------------------------------------------------------
+
+std::string StatusRequestFrame::Encode() const {
+  std::string p;
+  PutU64(&p, job_id);
+  return p;
+}
+
+Status StatusRequestFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&job_id));
+  return r.Done();
+}
+
+std::string StatusReplyFrame::Encode() const {
+  std::string p;
+  PutU64(&p, job_id);
+  PutU8(&p, job_state);
+  PutU32(&p, job_permille);
+  PutU64(&p, jobs_queued);
+  PutU64(&p, jobs_running);
+  PutU64(&p, admitted_bytes);
+  PutU64(&p, conns_active);
+  PutU64(&p, net_jobs_inflight);
+  return p;
+}
+
+Status StatusReplyFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&job_id));
+  ALPHASORT_RETURN_IF_ERROR(r.U8(&job_state));
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&job_permille));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&jobs_queued));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&jobs_running));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&admitted_bytes));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&conns_active));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&net_jobs_inflight));
+  return r.Done();
+}
+
+// --- CANCEL ---------------------------------------------------------
+
+std::string CancelFrame::Encode() const {
+  std::string p;
+  PutU64(&p, job_id);
+  return p;
+}
+
+Status CancelFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&job_id));
+  return r.Done();
+}
+
+// --- RESULT ---------------------------------------------------------
+
+std::string ResultFrame::Encode() const {
+  std::string p;
+  PutU64(&p, job_id);
+  PutU32(&p, code);
+  PutString(&p, message);
+  PutU64(&p, output_bytes);
+  PutU32(&p, output_crc32c);
+  PutU64(&p, elapsed_us);
+  return p;
+}
+
+Status ResultFrame::Decode(const std::string& payload) {
+  Reader r(payload);
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&job_id));
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&code));
+  ALPHASORT_RETURN_IF_ERROR(r.Str(&message));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&output_bytes));
+  ALPHASORT_RETURN_IF_ERROR(r.U32(&output_crc32c));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&elapsed_us));
+  ALPHASORT_RETURN_IF_ERROR(r.Done());
+  if (code > uint32_t(Status::Code::kDeadlineExceeded)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown status code %u in RESULT", code));
+  }
+  return Status::OK();
+}
+
+uint32_t ResultFrame::CodeOf(const Status& s) {
+  return uint32_t(s.code());
+}
+
+Status ResultFrame::ToStatus() const {
+  switch (Status::Code(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kCorruption:
+      return Status::Corruption(message);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kIOError:
+      return Status::IOError(message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(message);
+    case Status::Code::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case Status::Code::kAborted:
+      return Status::Aborted(message);
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(message);
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+  }
+  return Status::InvalidArgument("unknown status code");
+}
+
+}  // namespace net
+}  // namespace alphasort

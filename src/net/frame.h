@@ -1,0 +1,205 @@
+#ifndef ALPHASORT_NET_FRAME_H_
+#define ALPHASORT_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace alphasort {
+namespace net {
+
+// The sort service's wire protocol (docs/net.md).
+//
+// Everything on the wire is a *frame*: a length-prefixed, type-tagged,
+// CRC-guarded byte envelope. Framing is deliberately dumb — fixed
+// little-endian integers, no compression, no variable-width encodings —
+// so a truncated, reordered, or corrupted stream is detected at the
+// envelope layer and surfaces as a clean Status::Corruption or
+// Status::InvalidArgument instead of a confused state machine.
+//
+// Wire layout of one frame:
+//
+//   [u32 payload_len][u8 type][payload_len bytes][u32 crc32c]
+//
+// where the CRC-32C covers the type byte followed by the payload, so a
+// bit flip in either is caught. payload_len is bounded by
+// kMaxFramePayload; a larger length is rejected *before* any buffering
+// (a malicious or garbage length cannot make the peer allocate).
+//
+// A conversation (client speaks first):
+//
+//   C: HELLO{version, tenant}          S: HELLO{version, conn_id}
+//   C: SUBMIT{budget, record fmt}
+//   C: DATA{record bytes}...           (STATUS/CANCEL may interleave)
+//   C: DONE{total_bytes, crc}
+//                                      S: RESULT{job, status, bytes, crc}
+//                                      S: DATA{sorted bytes}...
+//                                      S: DONE{total_bytes, crc}
+//   ... the connection is back to idle; SUBMIT may repeat.
+//
+// STATUS works at any point after HELLO: job_id=0 asks for server-level
+// stats, otherwise for that job's state/progress. CANCEL aborts the
+// connection's in-flight job. Errors end with a RESULT carrying the
+// non-OK code; the server closes after protocol errors.
+
+// Bump when the frame grammar or any payload layout changes. A HELLO
+// carrying a different version is answered with InvalidArgument and the
+// connection is closed — no silent downgrade.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Largest payload a frame may carry. Data is chunked under this by the
+// senders; the bound is what lets a receiver reject a garbage length
+// without allocating.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+// Bytes of envelope around a payload: len + type + crc.
+inline constexpr size_t kFrameOverhead = 4 + 1 + 4;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kSubmit = 2,
+  kData = 3,
+  kDone = 4,
+  kStatus = 5,
+  kCancel = 6,
+  kResult = 7,
+};
+
+// True for the types the grammar defines (decoder rejects the rest).
+bool FrameTypeValid(uint8_t type);
+const char* FrameTypeName(FrameType type);
+
+// One decoded frame: the type tag and the raw payload bytes. Typed
+// payload structs below parse from / serialize to `payload`.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+// Serializes one frame into its wire bytes (envelope + CRC).
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+// Incremental frame parser: feed arbitrary byte slices in arrival
+// order, pull complete frames out. Safe against truncation (Next says
+// "need more"), oversized lengths (InvalidArgument before buffering the
+// body), unknown types (InvalidArgument), and payload corruption
+// (Corruption on CRC mismatch). Once an error is returned the decoder
+// is poisoned: every later Next returns the same error, because a
+// byte stream with a broken envelope has no trustworthy resync point.
+class FrameDecoder {
+ public:
+  void Append(const char* data, size_t n);
+  void Append(const std::string& bytes) { Append(bytes.data(), bytes.size()); }
+
+  // On success sets *got to whether a complete frame was produced in
+  // *out (false = need more bytes). On failure returns the decode error
+  // (and keeps returning it).
+  Status Next(Frame* out, bool* got);
+
+  // Bytes buffered but not yet consumed by complete frames. A nonzero
+  // remainder at connection EOF is a truncated frame.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status error_;    // sticky decode error
+};
+
+// --- Typed payloads -------------------------------------------------
+// Each struct round-trips through Encode()/Decode(). Decode returns
+// InvalidArgument on truncation or out-of-range fields; trailing bytes
+// after the last field are rejected too (catches layout skew between
+// versions that the HELLO check should have prevented).
+
+// Client -> server: first frame on a connection. Server replies with
+// its own Hello (tenant empty, conn_id set).
+struct HelloFrame {
+  uint32_t version = kProtocolVersion;
+  std::string tenant;    // quota identity; empty = "default" tenant
+  uint64_t conn_id = 0;  // server->client only
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+};
+
+// Client -> server: opens one sort job on this connection. The record
+// stream follows as DATA frames, ended by DONE.
+struct SubmitFrame {
+  uint64_t memory_budget = 0;   // requested job budget (service may clamp)
+  uint32_t record_size = 100;   // RecordFormat::record_size
+  uint32_t key_size = 10;       // RecordFormat::key_size
+  uint64_t expected_bytes = 0;  // advisory; 0 = unknown
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+};
+
+// Both directions: closes a DATA stream. total_bytes and crc32c cover
+// every DATA payload byte since the stream opened, in order.
+struct DoneFrame {
+  uint64_t total_bytes = 0;
+  uint32_t crc32c = 0;
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+};
+
+// Client -> server: job_id = 0 asks for server-level stats, anything
+// else for that specific job.
+struct StatusRequestFrame {
+  uint64_t job_id = 0;
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+};
+
+// Server -> client STATUS reply. job_* fields are zero for job_id=0
+// requests; the server-level fields are always filled.
+struct StatusReplyFrame {
+  uint64_t job_id = 0;
+  uint8_t job_state = 0;      // 0 none, 1 queued, 2 running, 3 done
+  uint32_t job_permille = 0;  // progress in [0, 1000]
+  uint64_t jobs_queued = 0;   // service admission queue
+  uint64_t jobs_running = 0;
+  uint64_t admitted_bytes = 0;
+  uint64_t conns_active = 0;
+  uint64_t net_jobs_inflight = 0;  // spooling/running/streaming over net
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+};
+
+// Client -> server: abort this connection's in-flight job (job_id is
+// advisory; a connection has at most one live job).
+struct CancelFrame {
+  uint64_t job_id = 0;
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+};
+
+// Server -> client: terminal outcome of one job (or of a protocol-level
+// rejection, job_id = 0). On OK the sorted stream follows as
+// DATA...DONE; on error nothing follows and the connection is back to
+// idle (or closed, for envelope-level errors).
+struct ResultFrame {
+  uint64_t job_id = 0;
+  uint32_t code = 0;  // Status::Code cast to its numeric value
+  std::string message;
+  uint64_t output_bytes = 0;
+  uint32_t output_crc32c = 0;
+  uint64_t elapsed_us = 0;  // submit received -> result sent, server clock
+
+  std::string Encode() const;
+  Status Decode(const std::string& payload);
+
+  Status ToStatus() const;  // reconstructs the Status
+  static uint32_t CodeOf(const Status& s);
+};
+
+}  // namespace net
+}  // namespace alphasort
+
+#endif  // ALPHASORT_NET_FRAME_H_

@@ -1,0 +1,77 @@
+#include "net/quota.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace alphasort {
+namespace net {
+
+void TokenBucket::RefillLocked(uint64_t now_us) {
+  if (last_refill_us_ == 0) {
+    last_refill_us_ = now_us;
+    return;
+  }
+  if (now_us <= last_refill_us_) return;
+  const double elapsed_s = double(now_us - last_refill_us_) / 1e6;
+  tokens_ = std::min(double(capacity_), tokens_ + elapsed_s * refill_per_s_);
+  last_refill_us_ = now_us;
+}
+
+bool TokenBucket::TryAcquire(uint64_t n, uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now_us);
+  if (tokens_ < double(n)) return false;
+  tokens_ -= double(n);
+  return true;
+}
+
+void TokenBucket::Refund(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(double(capacity_), tokens_ + double(n));
+}
+
+double TokenBucket::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+TokenBucket* TenantQuotas::BucketFor(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = buckets_[tenant];
+  if (slot == nullptr) {
+    slot = std::make_unique<TokenBucket>(options_.capacity_bytes,
+                                         options_.refill_bytes_per_s);
+  }
+  return slot.get();
+}
+
+Status TenantQuotas::Charge(const std::string& tenant, uint64_t bytes,
+                            uint64_t now_us) {
+  if (!enabled() || bytes == 0) return Status::OK();
+  if (bytes > options_.capacity_bytes) {
+    // No amount of waiting makes this fit; say so instead of inviting a
+    // retry loop. Still Unavailable (not InvalidArgument): the same job
+    // may be acceptable for a tenant with a bigger bucket.
+    return Status::Unavailable(StrFormat(
+        "tenant '%s' quota: %llu bytes exceeds the %llu-byte bucket "
+        "capacity",
+        tenant.c_str(), static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(options_.capacity_bytes)));
+  }
+  if (!BucketFor(tenant)->TryAcquire(bytes, now_us)) {
+    return Status::Unavailable(StrFormat(
+        "tenant '%s' quota exhausted (%llu bytes requested); back off and "
+        "retry",
+        tenant.c_str(), static_cast<unsigned long long>(bytes)));
+  }
+  return Status::OK();
+}
+
+void TenantQuotas::Refund(const std::string& tenant, uint64_t bytes) {
+  if (!enabled() || bytes == 0) return;
+  BucketFor(tenant)->Refund(bytes);
+}
+
+}  // namespace net
+}  // namespace alphasort

@@ -1,0 +1,99 @@
+#ifndef ALPHASORT_NET_QUOTA_H_
+#define ALPHASORT_NET_QUOTA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace alphasort {
+namespace net {
+
+// Per-tenant ingest quotas for the networked sort service (docs/net.md).
+//
+// The SortService's global memory budget protects the *machine*; it says
+// nothing about *who* gets the capacity. Without a per-client layer, one
+// greedy tenant streaming huge sorts starves everyone behind the shared
+// admission queue. The fairness layer here is a classic token bucket per
+// tenant, charged in ingest bytes as DATA frames arrive:
+//
+//   * capacity_bytes   — the burst a tenant may spend at once; also the
+//                        hard cap on a single job's size for that tenant
+//                        (a job larger than the bucket can never pass).
+//   * refill_per_s     — sustained ingest rate the tenant earns back.
+//
+// A charge that does not fit is rejected with Status::Unavailable — the
+// same backpressure code the admission queue uses, so clients have one
+// "back off and retry" signal regardless of which layer said no. The
+// charge is atomic per call: either the whole amount is taken or none
+// (no partial debits that would strand a half-admitted stream).
+
+class TokenBucket {
+ public:
+  TokenBucket(uint64_t capacity, double refill_per_s)
+      : capacity_(capacity),
+        refill_per_s_(refill_per_s),
+        tokens_(double(capacity)) {}
+
+  // Takes `n` tokens if available after refilling for the elapsed time;
+  // false leaves the bucket unchanged. `now_us` is a monotonic clock in
+  // microseconds (injected for deterministic tests).
+  bool TryAcquire(uint64_t n, uint64_t now_us);
+
+  // Returns tokens to the bucket (a rejected or aborted job gives its
+  // charge back so the failed attempt doesn't count against the tenant).
+  void Refund(uint64_t n);
+
+  uint64_t capacity() const { return capacity_; }
+  double tokens() const;
+
+ private:
+  void RefillLocked(uint64_t now_us);
+
+  const uint64_t capacity_;
+  const double refill_per_s_;
+  mutable std::mutex mu_;
+  double tokens_;
+  uint64_t last_refill_us_ = 0;
+};
+
+struct TenantQuotaOptions {
+  // 0 disables quotas entirely (every charge succeeds).
+  uint64_t capacity_bytes = 256ull << 20;
+  double refill_bytes_per_s = 64.0 * (1 << 20);
+};
+
+// Thread-safe registry of per-tenant buckets, created on first use. The
+// tenant name comes from the connection's HELLO frame; every connection
+// that says the same name shares one bucket.
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(const TenantQuotaOptions& options)
+      : options_(options) {}
+
+  // Charges `bytes` to `tenant`, creating its bucket on first sight.
+  // Unavailable when the bucket cannot cover the charge; the message
+  // distinguishes "larger than the bucket will ever hold" from "back
+  // off and retry".
+  Status Charge(const std::string& tenant, uint64_t bytes, uint64_t now_us);
+
+  // Returns a previous charge (failed/cancelled job).
+  void Refund(const std::string& tenant, uint64_t bytes);
+
+  bool enabled() const { return options_.capacity_bytes > 0; }
+
+ private:
+  TokenBucket* BucketFor(const std::string& tenant);
+
+  const TenantQuotaOptions options_;
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TokenBucket>> buckets_;
+};
+
+}  // namespace net
+}  // namespace alphasort
+
+#endif  // ALPHASORT_NET_QUOTA_H_

@@ -1,0 +1,782 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/checksum.h"
+#include "common/table.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace alphasort {
+namespace net {
+
+namespace {
+
+// Registry instruments (docs/observability.md): gauges mirror live
+// levels, counters accumulate, the histogram carries server-side
+// end-to-end job latency (SUBMIT received -> RESULT sent).
+obs::Gauge* ConnsActive() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global()->GetGauge("net.conns_active");
+  return g;
+}
+obs::Gauge* JobsInflight() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global()->GetGauge("net.jobs_inflight");
+  return g;
+}
+obs::Counter* ConnsAccepted() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.conns_accepted");
+  return c;
+}
+obs::Counter* ConnsRejected() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.conns_rejected");
+  return c;
+}
+obs::Counter* JobsSubmitted() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.jobs_submitted");
+  return c;
+}
+obs::Counter* JobsCompleted() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.jobs_completed");
+  return c;
+}
+obs::Counter* JobsFailed() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.jobs_failed");
+  return c;
+}
+obs::Counter* QuotaRejected() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.quota_rejected");
+  return c;
+}
+obs::Counter* ProtocolErrors() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.protocol_errors");
+  return c;
+}
+obs::Counter* BytesRx() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.bytes_rx");
+  return c;
+}
+obs::Counter* BytesTx() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("net.bytes_tx");
+  return c;
+}
+obs::Histogram* JobE2eUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.job.e2e_us");
+  return h;
+}
+
+uint64_t NowUs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+uint8_t WireJobState(SortJobState s) {
+  switch (s) {
+    case SortJobState::kQueued:
+      return 1;
+    case SortJobState::kRunning:
+      return 2;
+    case SortJobState::kDone:
+      return 3;
+  }
+  return 0;
+}
+
+// Output stream chunking: comfortably under kMaxFramePayload, large
+// enough that frame overhead is noise.
+constexpr size_t kStreamChunk = 256 * 1024;
+
+}  // namespace
+
+// One accepted connection: its socket, its thread, and the per-stream
+// state machine. All sorting happens inside the shared SortService;
+// this thread only shuttles bytes, spools input, and relays results.
+class NetServer::Connection {
+ public:
+  Connection(NetServer* server, uint64_t id, TcpConn conn)
+      : server_(server), id_(id), conn_(std::move(conn)) {}
+
+  void Start() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  // Thread-safe: unblocks any read/write so Run() exits promptly.
+  // Defers the close itself to conn_'s destructor (after Join()) for
+  // the same fd-ownership reasons as HalfClose() below.
+  void Shutdown() { HalfClose(); }
+
+  // Half-closes the socket when Run() is done with it, so the peer
+  // sees EOF right away instead of waiting for this object to be
+  // reaped. shutdown() rather than close() on purpose: the fd number
+  // stays owned by conn_ (freed by the destructor), so a concurrent
+  // Shutdown() from Stop() can never hit a reused descriptor.
+  void HalfClose() {
+    if (conn_.valid()) ::shutdown(conn_.fd(), SHUT_RDWR);
+  }
+
+  bool done() const { return done_.load(std::memory_order_acquire); }
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct StreamState {
+    SubmitFrame submit;
+    std::string tenant;
+    std::string in_path;
+    std::string out_path;
+    std::unique_ptr<File> spool;
+    uint64_t received = 0;
+    uint32_t crc = 0;
+    uint64_t charged = 0;    // quota bytes to refund on failure
+    uint64_t start_us = 0;   // SUBMIT receive time
+  };
+
+  void Run();
+  Status ServeOneJob(FrameReader* reader, const Frame& submit_frame);
+  Status SpoolInput(FrameReader* reader, StreamState* st, bool* rejected);
+  Status RunAndStreamBack(FrameReader* reader, StreamState* st);
+  Status DrainUntilDone(FrameReader* reader);
+  void AnswerStatus(const Frame& frame, const SortJob* job);
+  Status SendResult(uint64_t job_id, const Status& outcome,
+                    uint64_t output_bytes, uint64_t elapsed_us);
+  void CleanupStream(StreamState* st, bool refund);
+
+  NetServer* const server_;
+  const uint64_t id_;
+  TcpConn conn_;
+  std::string tenant_ = "default";
+  uint64_t job_seq_ = 0;
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+};
+
+void NetServer::Connection::Run() {
+  conn_.SetNoDelay();
+  ALPHASORT_LOG(kDebug, "svc.conn.open").U64("conn", id_);
+
+  FrameReader reader(&conn_);
+  Frame frame;
+
+  // Handshake: the first frame must be a HELLO with our version.
+  Status s = reader.Read(&frame);
+  if (s.ok() && frame.type != FrameType::kHello) {
+    s = Status::InvalidArgument(StrFormat(
+        "expected HELLO, got %s", FrameTypeName(frame.type)));
+  }
+  HelloFrame hello;
+  if (s.ok()) s = hello.Decode(frame.payload);
+  if (!s.ok()) {
+    // Best-effort rejection so the peer learns why before the close.
+    server_->NoteProtocolError();
+    ALPHASORT_LOG(kWarn, "svc.conn.error")
+        .U64("conn", id_)
+        .Str("status", s.ToString());
+    SendResult(0, s, 0, 0);
+    HalfClose();
+    done_.store(true, std::memory_order_release);
+    server_->NoteConnClosed();
+    return;
+  }
+  if (!hello.tenant.empty()) tenant_ = hello.tenant;
+  HelloFrame reply;
+  reply.conn_id = id_;
+  (void)WriteFrame(&conn_, FrameType::kHello, reply.Encode());
+  ALPHASORT_LOG(kInfo, "svc.conn.hello")
+      .U64("conn", id_)
+      .Str("tenant", tenant_);
+
+  // Steady state: jobs and queries until the peer hangs up.
+  for (;;) {
+    s = reader.Read(&frame);
+    if (s.IsNotFound()) {
+      s = Status::OK();  // orderly goodbye on a frame boundary
+      break;
+    }
+    if (!s.ok()) break;
+    if (frame.type == FrameType::kSubmit) {
+      s = ServeOneJob(&reader, frame);
+      if (s.IsNotFound()) {
+        // The peer hung up mid-protocol (a vanished client, not a
+        // malformed one); the job-level cleanup already ran.
+        s = Status::OK();
+        break;
+      }
+      if (!s.ok()) break;
+    } else if (frame.type == FrameType::kStatus) {
+      AnswerStatus(frame, nullptr);
+    } else if (frame.type == FrameType::kCancel) {
+      // No job in flight: nothing to cancel, by design not an error.
+    } else {
+      s = Status::InvalidArgument(StrFormat(
+          "%s frame outside a data stream", FrameTypeName(frame.type)));
+      break;
+    }
+  }
+
+  if (!s.ok()) {
+    server_->NoteProtocolError();
+    ALPHASORT_LOG(kWarn, "svc.conn.error")
+        .U64("conn", id_)
+        .Str("status", s.ToString());
+    SendResult(0, s, 0, 0);
+  }
+  ALPHASORT_LOG(kDebug, "svc.conn.close").U64("conn", id_);
+  HalfClose();
+  done_.store(true, std::memory_order_release);
+  server_->NoteConnClosed();
+}
+
+// A SUBMIT frame arrived; run the whole job protocol. A non-OK return
+// tears the connection down (protocol violation or torn stream); quota
+// and admission rejections RESULT back to the peer and return OK so the
+// connection survives for the next job.
+Status NetServer::Connection::ServeOneJob(FrameReader* reader,
+                                          const Frame& submit_frame) {
+  StreamState st;
+  st.start_us = NowUs();
+  st.tenant = tenant_;
+  ALPHASORT_RETURN_IF_ERROR(st.submit.Decode(submit_frame.payload));
+
+  server_->NoteJobInflight(+1);
+  struct InflightScope {
+    NetServer* server;
+    ~InflightScope() { server->NoteJobInflight(-1); }
+  } inflight{server_};
+
+  const uint64_t seq = ++job_seq_;
+  st.in_path = StrFormat("%s/c%llu-j%llu.in",
+                         server_->options_.data_root.c_str(),
+                         static_cast<unsigned long long>(id_),
+                         static_cast<unsigned long long>(seq));
+  st.out_path = StrFormat("%s/c%llu-j%llu.out",
+                          server_->options_.data_root.c_str(),
+                          static_cast<unsigned long long>(id_),
+                          static_cast<unsigned long long>(seq));
+  ALPHASORT_LOG(kInfo, "svc.conn.submit")
+      .U64("conn", id_)
+      .Str("tenant", tenant_)
+      .U64("expected", st.submit.expected_bytes)
+      .U64("budget", st.submit.memory_budget);
+
+  // The tenant's quota is charged up front for the advertised size, so
+  // an over-quota job is rejected before a byte is spooled. Streams
+  // that understate expected_bytes are charged the excess per frame.
+  if (st.submit.expected_bytes > 0) {
+    if (Status q = server_->quotas_.Charge(tenant_, st.submit.expected_bytes,
+                                           NowUs());
+        !q.ok()) {
+      server_->NoteQuotaRejected();
+      ALPHASORT_LOG(kWarn, "svc.conn.reject")
+          .U64("conn", id_)
+          .Str("tenant", tenant_)
+          .Str("reason", "quota")
+          .U64("bytes", st.submit.expected_bytes);
+      (void)SendResult(0, q, 0, NowUs() - st.start_us);
+      return DrainUntilDone(reader);
+    }
+    st.charged = st.submit.expected_bytes;
+  }
+
+  bool rejected = false;
+  Status s = SpoolInput(reader, &st, &rejected);
+  if (!s.ok()) {
+    // Torn stream (mid-stream disconnect) or protocol violation:
+    // nothing was submitted, so cleanup is local.
+    CleanupStream(&st, /*refund=*/true);
+    return s;
+  }
+  if (rejected) {
+    // SpoolInput already sent the RESULT and drained; stream is closed
+    // cleanly and the connection stays usable.
+    CleanupStream(&st, /*refund=*/true);
+    return Status::OK();
+  }
+  return RunAndStreamBack(reader, &st);
+}
+
+// Receives DATA frames into the spool file until DONE. Sets *rejected
+// (with the RESULT already sent) for recoverable refusals; returns
+// non-OK only for unrecoverable connection states.
+Status NetServer::Connection::SpoolInput(FrameReader* reader,
+                                         StreamState* st, bool* rejected) {
+  *rejected = false;
+  obs::TraceSpan span("net.spool", "net");
+
+  Result<std::unique_ptr<File>> spool =
+      server_->env_->OpenFile(st->in_path, OpenMode::kCreateReadWrite);
+  if (!spool.ok()) {
+    (void)SendResult(0, spool.status(), 0, NowUs() - st->start_us);
+    *rejected = true;
+    return DrainUntilDone(reader);
+  }
+  st->spool = std::move(spool).value();
+
+  Frame frame;
+  for (;;) {
+    ALPHASORT_RETURN_IF_ERROR(reader->Read(&frame));
+    switch (frame.type) {
+      case FrameType::kData: {
+        const uint64_t n = frame.payload.size();
+        // Bytes past the advertised size charge quota as they arrive.
+        const uint64_t prepaid = st->submit.expected_bytes > st->received
+                                     ? st->submit.expected_bytes - st->received
+                                     : 0;
+        if (n > prepaid) {
+          if (Status q = server_->quotas_.Charge(tenant_, n - prepaid,
+                                                 NowUs());
+              !q.ok()) {
+            server_->NoteQuotaRejected();
+            ALPHASORT_LOG(kWarn, "svc.conn.reject")
+                .U64("conn", id_)
+                .Str("tenant", tenant_)
+                .Str("reason", "quota_midstream");
+            (void)SendResult(0, q, 0, NowUs() - st->start_us);
+            *rejected = true;
+            return DrainUntilDone(reader);
+          }
+          st->charged += n - prepaid;
+        }
+        if (Status w = st->spool->Write(st->received, frame.payload.data(),
+                                        frame.payload.size());
+            !w.ok()) {
+          (void)SendResult(0, w, 0, NowUs() - st->start_us);
+          *rejected = true;
+          return DrainUntilDone(reader);
+        }
+        st->crc = Crc32c(frame.payload.data(), frame.payload.size(), st->crc);
+        st->received += n;
+        server_->NoteBytesRx(n);
+        break;
+      }
+      case FrameType::kDone: {
+        DoneFrame done;
+        ALPHASORT_RETURN_IF_ERROR(done.Decode(frame.payload));
+        Status verdict;
+        if (done.total_bytes != st->received) {
+          verdict = Status::Corruption(StrFormat(
+              "stream advertised %llu bytes, received %llu",
+              static_cast<unsigned long long>(done.total_bytes),
+              static_cast<unsigned long long>(st->received)));
+        } else if (done.crc32c != st->crc) {
+          verdict = Status::Corruption("input stream failed its CRC check");
+        } else if (st->received == 0 ||
+                   st->received % st->submit.record_size != 0) {
+          verdict = Status::InvalidArgument(StrFormat(
+              "%llu streamed bytes is not a positive multiple of the "
+              "%u-byte record size",
+              static_cast<unsigned long long>(st->received),
+              st->submit.record_size));
+        }
+        if (!verdict.ok()) {
+          (void)SendResult(0, verdict, 0, NowUs() - st->start_us);
+          *rejected = true;
+          return Status::OK();  // stream complete; connection reusable
+        }
+        return st->spool->Close();
+      }
+      case FrameType::kStatus:
+        AnswerStatus(frame, nullptr);
+        break;
+      case FrameType::kCancel:
+        (void)SendResult(0, Status::Aborted("cancelled during upload"), 0,
+                         NowUs() - st->start_us);
+        *rejected = true;
+        return DrainUntilDone(reader);
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "%s frame inside a data stream", FrameTypeName(frame.type)));
+    }
+  }
+}
+
+// Input is spooled and verified: submit it to the SortService, answer
+// STATUS and honour CANCEL while it runs, then stream the output back.
+Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
+                                               StreamState* st) {
+  SortOptions opts = server_->options_.job_defaults;
+  opts.input_path = st->in_path;
+  opts.output_path = st->out_path;
+  opts.format =
+      RecordFormat(st->submit.record_size, st->submit.key_size);
+  if (st->submit.memory_budget > 0) {
+    opts.memory_budget = st->submit.memory_budget;
+  }
+  opts.scratch_path = server_->options_.data_root + "/scratch";
+
+  Result<SortJob> submitted = server_->service_.Submit(opts);
+  if (!submitted.ok()) {
+    // Admission backpressure (queue full) or invalid options: the
+    // RESULT relays the code and the connection stays usable.
+    ALPHASORT_LOG(kWarn, "svc.conn.reject")
+        .U64("conn", id_)
+        .Str("tenant", tenant_)
+        .Str("reason", "admission")
+        .Str("status", submitted.status().ToString());
+    server_->NoteJobResult(false);
+    (void)SendResult(0, submitted.status(), 0, NowUs() - st->start_us);
+    CleanupStream(st, /*refund=*/true);
+    return Status::OK();
+  }
+  SortJob job = std::move(submitted).value();
+  server_->NoteJobSubmitted();
+
+  // Spans from here carry the service-assigned job id, so a trace
+  // follows one request across accept/spool/sort/stream-back.
+  obs::ScopedJobId job_scope(job.id());
+  {
+    obs::TraceSpan wait_span("net.sort_wait", "net");
+    while (!job.TryWait()) {
+      Frame frame;
+      bool got = false;
+      Status ps = reader->Poll(&frame, &got, 20);
+      if (!ps.ok()) {
+        // The client vanished mid-job: cancel, wait for the service to
+        // reap it (scratch swept), clean the spool, drop the conn.
+        ALPHASORT_LOG(kWarn, "svc.conn.eof_midjob")
+            .U64("conn", id_)
+            .U64("job", job.id());
+        job.Cancel();
+        job.Wait();
+        server_->NoteJobResult(false);
+        CleanupStream(st, /*refund=*/true);
+        return ps.IsNotFound() ? Status::OK() : ps;
+      }
+      if (!got) continue;
+      if (frame.type == FrameType::kStatus) {
+        AnswerStatus(frame, &job);
+      } else if (frame.type == FrameType::kCancel) {
+        job.Cancel();
+      } else {
+        job.Cancel();
+        job.Wait();
+        server_->NoteJobResult(false);
+        CleanupStream(st, /*refund=*/true);
+        return Status::InvalidArgument(StrFormat(
+            "%s frame while a job is in flight", FrameTypeName(frame.type)));
+      }
+    }
+  }
+
+  const SortResult& r = job.Wait();
+  const uint64_t elapsed_us = NowUs() - st->start_us;
+  if (!r.status.ok()) {
+    server_->NoteJobResult(false);
+    ALPHASORT_LOG(kInfo, "svc.conn.result")
+        .U64("conn", id_)
+        .U64("job", job.id())
+        .Str("status", r.status.ToString());
+    (void)SendResult(job.id(), r.status, 0, elapsed_us);
+    CleanupStream(st, /*refund=*/true);
+    return Status::OK();
+  }
+
+  // Success: RESULT header, then the sorted bytes, then DONE with the
+  // stream CRC. Socket writes block when the client reads slowly —
+  // TCP backpressure is the flow control.
+  obs::TraceSpan stream_span("net.stream_back", "net");
+  Result<uint64_t> out_size = server_->env_->GetFileSize(st->out_path);
+  if (!out_size.ok()) {
+    server_->NoteJobResult(false);
+    (void)SendResult(job.id(), out_size.status(), 0, elapsed_us);
+    CleanupStream(st, /*refund=*/true);
+    return Status::OK();
+  }
+  const uint64_t total = out_size.value();
+  ALPHASORT_RETURN_IF_ERROR(
+      SendResult(job.id(), Status::OK(), total, elapsed_us));
+
+  Result<std::unique_ptr<File>> out_file =
+      server_->env_->OpenFile(st->out_path, OpenMode::kReadOnly);
+  if (!out_file.ok()) {
+    CleanupStream(st, /*refund=*/false);
+    return out_file.status();
+  }
+  std::string chunk;
+  uint32_t crc = 0;
+  uint64_t off = 0;
+  while (off < total) {
+    const size_t want = size_t(std::min<uint64_t>(kStreamChunk, total - off));
+    chunk.resize(want);
+    size_t got = 0;
+    Status rs = out_file.value()->Read(off, want, chunk.data(), &got);
+    if (rs.ok() && got != want) {
+      rs = Status::IOError("short read streaming sorted output");
+    }
+    if (!rs.ok()) {
+      CleanupStream(st, /*refund=*/false);
+      return rs;
+    }
+    ALPHASORT_RETURN_IF_ERROR(
+        WriteFrame(&conn_, FrameType::kData, chunk));
+    crc = Crc32c(chunk.data(), want, crc);
+    off += want;
+    server_->NoteBytesTx(want);
+  }
+  DoneFrame done;
+  done.total_bytes = total;
+  done.crc32c = crc;
+  ALPHASORT_RETURN_IF_ERROR(
+      WriteFrame(&conn_, FrameType::kDone, done.Encode()));
+
+  server_->NoteJobResult(true);
+  JobE2eUs()->Record(elapsed_us);
+  ALPHASORT_LOG(kInfo, "svc.conn.result")
+      .U64("conn", id_)
+      .U64("job", job.id())
+      .Str("status", "OK")
+      .U64("bytes", total)
+      .U64("elapsed_us", elapsed_us);
+  CleanupStream(st, /*refund=*/false);
+  return Status::OK();
+}
+
+// After a mid-stream rejection the peer may still be sending its DATA
+// stream; reading (and discarding) until its DONE keeps the already-sent
+// RESULT deliverable instead of getting torn down by a reset.
+Status NetServer::Connection::DrainUntilDone(FrameReader* reader) {
+  Frame frame;
+  for (;;) {
+    ALPHASORT_RETURN_IF_ERROR(reader->Read(&frame));
+    if (frame.type == FrameType::kDone ||
+        frame.type == FrameType::kCancel) {
+      return Status::OK();
+    }
+    if (frame.type != FrameType::kData &&
+        frame.type != FrameType::kStatus) {
+      return Status::InvalidArgument(StrFormat(
+          "%s frame while draining a rejected stream",
+          FrameTypeName(frame.type)));
+    }
+  }
+}
+
+void NetServer::Connection::AnswerStatus(const Frame& frame,
+                                         const SortJob* job) {
+  StatusRequestFrame req;
+  if (!req.Decode(frame.payload).ok()) return;
+  StatusReplyFrame reply;
+  if (job != nullptr) {
+    reply.job_id = job->id();
+    reply.job_state = WireJobState(job->state());
+    const obs::JobProgress p = job->Progress();
+    reply.job_permille = uint32_t(p.fraction * 1000.0);
+  }
+  const svc::SortServiceStats svc_stats = server_->service_.stats();
+  reply.jobs_queued = uint64_t(svc_stats.queued);
+  reply.jobs_running = uint64_t(svc_stats.running);
+  reply.admitted_bytes = svc_stats.admitted_bytes;
+  const NetServerStats net_stats = server_->stats();
+  reply.conns_active = uint64_t(net_stats.conns_active);
+  reply.net_jobs_inflight = uint64_t(net_stats.jobs_inflight);
+  (void)WriteFrame(&conn_, FrameType::kStatus, reply.Encode());
+}
+
+Status NetServer::Connection::SendResult(uint64_t job_id,
+                                         const Status& outcome,
+                                         uint64_t output_bytes,
+                                         uint64_t elapsed_us) {
+  ResultFrame result;
+  result.job_id = job_id;
+  result.code = ResultFrame::CodeOf(outcome);
+  result.message = outcome.message();
+  result.output_bytes = output_bytes;
+  result.elapsed_us = elapsed_us;
+  return WriteFrame(&conn_, FrameType::kResult, result.Encode());
+}
+
+void NetServer::Connection::CleanupStream(StreamState* st, bool refund) {
+  if (st->spool != nullptr) {
+    (void)st->spool->Close();
+    st->spool.reset();
+  }
+  if (!st->in_path.empty()) (void)server_->env_->DeleteFile(st->in_path);
+  if (!st->out_path.empty()) (void)server_->env_->DeleteFile(st->out_path);
+  if (refund && st->charged > 0) {
+    server_->quotas_.Refund(st->tenant, st->charged);
+    st->charged = 0;
+  }
+}
+
+NetServer::NetServer(Env* env, const NetServerOptions& options)
+    : env_(env),
+      options_(options),
+      service_(env, options.service),
+      quotas_(options.quota) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::InvalidArgument("server already started");
+  }
+  ALPHASORT_RETURN_IF_ERROR(env_->CreateDir(options_.data_root));
+  ALPHASORT_RETURN_IF_ERROR(
+      listener_.Listen(options_.host, options_.port,
+                       std::max(16, options_.max_conns)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ALPHASORT_LOG(kInfo, "svc.net.start")
+      .Str("host", options_.host)
+      .I64("port", port())
+      .I64("max_conns", options_.max_conns);
+  return Status::OK();
+}
+
+void NetServer::AcceptLoop() {
+  for (;;) {
+    Result<TcpConn> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener closed: shutting down
+
+    std::unique_lock<std::mutex> lock(mu_);
+    ReapDoneConnsLocked();
+    if (stopping_) return;
+    if (stats_.conns_active >= options_.max_conns) {
+      // Connection-level backpressure: a full house answers with the
+      // same Unavailable the admission queue uses, then hangs up.
+      ++stats_.conns_rejected;
+      ConnsRejected()->Add();
+      lock.unlock();
+      TcpConn conn = std::move(accepted).value();
+      ResultFrame result;
+      result.code = ResultFrame::CodeOf(
+          Status::Unavailable("server at connection capacity"));
+      result.message = "server at connection capacity; back off and retry";
+      (void)WriteFrame(&conn, FrameType::kResult, result.Encode());
+      ALPHASORT_LOG(kWarn, "svc.conn.reject")
+          .Str("reason", "conn_capacity");
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    ++stats_.conns_accepted;
+    ++stats_.conns_active;
+    ConnsAccepted()->Add();
+    ConnsActive()->Set(stats_.conns_active);
+    auto conn = std::make_unique<Connection>(this, id,
+                                             std::move(accepted).value());
+    Connection* raw = conn.get();
+    conns_.emplace(id, std::move(conn));
+    lock.unlock();
+    raw->Start();
+  }
+}
+
+void NetServer::ReapDoneConnsLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->done()) {
+      it->second->Join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Unblock every connection thread, then join them all.
+  std::map<uint64_t, std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : conns_) conn->Shutdown();
+    conns.swap(conns_);
+  }
+  for (auto& [id, conn] : conns) conn->Join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+  ALPHASORT_LOG(kInfo, "svc.net.stop")
+      .U64("conns", stats_.conns_accepted)
+      .U64("jobs", stats_.jobs_completed);
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void NetServer::NoteConnClosed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --stats_.conns_active;
+  ConnsActive()->Set(stats_.conns_active);
+}
+
+void NetServer::NoteJobInflight(int delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.jobs_inflight += delta;
+  JobsInflight()->Set(stats_.jobs_inflight);
+}
+
+void NetServer::NoteJobSubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.jobs_submitted;
+  JobsSubmitted()->Add();
+}
+
+void NetServer::NoteJobResult(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    ++stats_.jobs_completed;
+    JobsCompleted()->Add();
+  } else {
+    ++stats_.jobs_failed;
+    JobsFailed()->Add();
+  }
+}
+
+void NetServer::NoteQuotaRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.quota_rejected;
+  QuotaRejected()->Add();
+}
+
+void NetServer::NoteProtocolError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.protocol_errors;
+  ProtocolErrors()->Add();
+}
+
+void NetServer::NoteBytesRx(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.bytes_rx += n;
+  BytesRx()->Add(n);
+}
+
+void NetServer::NoteBytesTx(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.bytes_tx += n;
+  BytesTx()->Add(n);
+}
+
+}  // namespace net
+}  // namespace alphasort

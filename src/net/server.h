@@ -1,0 +1,143 @@
+#ifndef ALPHASORT_NET_SERVER_H_
+#define ALPHASORT_NET_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "io/env.h"
+#include "net/quota.h"
+#include "net/socket.h"
+#include "svc/sort_service.h"
+
+namespace alphasort {
+namespace net {
+
+// The networked front door to a SortService (docs/net.md).
+//
+// A NetServer owns one TCP listener, one SortService, and one tenant
+// quota registry. Each accepted connection is served by its own thread
+// (the paper's root/worker split puts all sorting parallelism inside
+// the service's shared pools — a connection thread only shuttles bytes
+// and blocks on IO, so thread-per-connection scales to the hundreds of
+// connections the loadgen drives):
+//
+//   accept -> HELLO handshake -> { SUBMIT -> spool DATA under quota ->
+//   DONE -> SortService::Submit -> wait (answering STATUS, honouring
+//   CANCEL, noticing disconnects) -> RESULT + sorted DATA stream }* ->
+//   close.
+//
+// Resource protection is layered, every layer speaking Unavailable:
+//   * max_conns caps connection threads; excess connections get an
+//     immediate RESULT{Unavailable} and a close.
+//   * per-tenant token buckets (net/quota.h) cap ingest bytes; a tenant
+//     over its bucket is rejected, not stalled.
+//   * the SortService's global memory budget and bounded queue gate
+//     admission exactly as for in-process callers.
+//
+// Record bytes spool into the server Env under "<data_root>/" — one
+// input and one output file per in-flight job, deleted when the job's
+// result has been streamed back (or the stream aborts). A run that ends
+// with conns_active == 0 must leave "<data_root>/" empty; the loadgen
+// smoke gate checks exactly that.
+struct NetServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = kernel-chosen; NetServer::port() reports it
+  int max_conns = 256;
+
+  // The arbitration layer the wire fronts for.
+  svc::SortServiceOptions service;
+
+  // Per-tenant ingest fairness.
+  TenantQuotaOptions quota;
+
+  // Env namespace for connection spool files and job scratch.
+  std::string data_root = "net_spool";
+
+  // Template for per-job SortOptions: io_chunk_bytes, run_size_records,
+  // retry policy, etc. Paths, format, and memory_budget are overridden
+  // per job from the SUBMIT frame; a SUBMIT budget of 0 inherits the
+  // template's.
+  SortOptions job_defaults;
+};
+
+struct NetServerStats {
+  uint64_t conns_accepted = 0;
+  uint64_t conns_rejected = 0;  // over max_conns
+  uint64_t jobs_submitted = 0;  // reached SortService::Submit
+  uint64_t jobs_completed = 0;  // OK result streamed back
+  uint64_t jobs_failed = 0;     // any non-OK terminal result
+  uint64_t quota_rejected = 0;
+  uint64_t protocol_errors = 0;  // envelope or state-machine violations
+  uint64_t bytes_rx = 0;         // DATA payload bytes received
+  uint64_t bytes_tx = 0;         // DATA payload bytes sent
+  int conns_active = 0;
+  int jobs_inflight = 0;  // spooling, sorting, or streaming back
+};
+
+class NetServer {
+ public:
+  // `env` must outlive the server; all spool and scratch IO goes
+  // through it (an in-memory Env serves tests and CI).
+  NetServer(Env* env, const NetServerOptions& options);
+
+  // Stops and drains, like ~SortService.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, listens, and starts the accept loop.
+  Status Start();
+
+  // Closes the listener and every live connection, then joins all
+  // connection threads and drains the service. Idempotent.
+  void Stop();
+
+  // The bound port (after Start()).
+  int port() const { return listener_.port(); }
+
+  NetServerStats stats() const;
+  svc::SortServiceStats service_stats() const { return service_.stats(); }
+
+ private:
+  class Connection;
+
+  void AcceptLoop();
+  void ReapDoneConnsLocked();
+
+  // Stats/instrument updates shared by connection threads; each keeps
+  // stats_ and the net.* registry instruments in step under mu_.
+  void NoteConnClosed();
+  void NoteJobInflight(int delta);
+  void NoteJobSubmitted();
+  void NoteJobResult(bool ok);
+  void NoteQuotaRejected();
+  void NoteProtocolError();
+  void NoteBytesRx(uint64_t n);
+  void NoteBytesTx(uint64_t n);
+
+  Env* const env_;
+  const NetServerOptions options_;
+  svc::SortService service_;
+  TenantQuotas quotas_;
+  TcpListener listener_;
+
+  mutable std::mutex mu_;
+  bool started_ = false;
+  bool stopping_ = false;
+  uint64_t next_conn_id_ = 1;
+  NetServerStats stats_;
+  std::thread accept_thread_;
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace net
+}  // namespace alphasort
+
+#endif  // ALPHASORT_NET_SERVER_H_

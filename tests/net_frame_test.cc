@@ -1,0 +1,415 @@
+// Corpus and fuzz coverage for the wire protocol's envelope layer
+// (net/frame.h): typed payload round-trips, incremental decoding under
+// arbitrary fragmentation, and — the point of the exercise — that every
+// malformed input the grammar can meet (truncation, oversized lengths,
+// unknown types, flipped bits, trailing bytes, version skew) surfaces
+// as a clean InvalidArgument/Corruption, never a crash, hang, or
+// silently wrong frame.
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace alphasort {
+namespace net {
+namespace {
+
+// Encodes, then decodes through a fresh FrameDecoder, expecting exactly
+// one complete frame.
+Frame RoundTrip(FrameType type, const std::string& payload) {
+  FrameDecoder dec;
+  dec.Append(EncodeFrame(type, payload));
+  Frame f;
+  bool got = false;
+  EXPECT_TRUE(dec.Next(&f, &got).ok());
+  EXPECT_TRUE(got);
+  EXPECT_EQ(size_t(0), dec.buffered());
+  return f;
+}
+
+TEST(FrameEnvelope, RoundTripsEveryType) {
+  const FrameType kTypes[] = {
+      FrameType::kHello,  FrameType::kSubmit, FrameType::kData,
+      FrameType::kDone,   FrameType::kStatus, FrameType::kCancel,
+      FrameType::kResult,
+  };
+  for (FrameType t : kTypes) {
+    const std::string payload(17, char(uint8_t(t)));
+    Frame f = RoundTrip(t, payload);
+    EXPECT_EQ(t, f.type);
+    EXPECT_EQ(payload, f.payload);
+  }
+  // Empty payloads are legal (CANCEL and STATUS replies can shrink).
+  Frame f = RoundTrip(FrameType::kData, "");
+  EXPECT_EQ(size_t(0), f.payload.size());
+}
+
+TEST(FrameEnvelope, DecodesByteAtATime) {
+  const std::string wire = EncodeFrame(FrameType::kData, "hello records") +
+                           EncodeFrame(FrameType::kDone, "xy");
+  FrameDecoder dec;
+  std::vector<Frame> frames;
+  for (char c : wire) {
+    dec.Append(&c, 1);
+    Frame f;
+    bool got = false;
+    ASSERT_TRUE(dec.Next(&f, &got).ok());
+    if (got) frames.push_back(f);
+  }
+  ASSERT_EQ(size_t(2), frames.size());
+  EXPECT_EQ(FrameType::kData, frames[0].type);
+  EXPECT_EQ("hello records", frames[0].payload);
+  EXPECT_EQ(FrameType::kDone, frames[1].type);
+  EXPECT_EQ("xy", frames[1].payload);
+  EXPECT_EQ(size_t(0), dec.buffered());
+}
+
+TEST(FrameEnvelope, DecodesManyFramesFromOneAppend) {
+  std::string wire;
+  for (int i = 0; i < 50; ++i) {
+    wire += EncodeFrame(FrameType::kData, std::string(size_t(i), 'a'));
+  }
+  FrameDecoder dec;
+  dec.Append(wire);
+  for (int i = 0; i < 50; ++i) {
+    Frame f;
+    bool got = false;
+    ASSERT_TRUE(dec.Next(&f, &got).ok());
+    ASSERT_TRUE(got);
+    EXPECT_EQ(size_t(i), f.payload.size());
+  }
+  Frame f;
+  bool got = true;
+  EXPECT_TRUE(dec.Next(&f, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameEnvelope, TruncationIsNeedMoreNotError) {
+  const std::string wire = EncodeFrame(FrameType::kSubmit, "payload!");
+  // Every proper prefix decodes to "no frame yet" with an OK status.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    FrameDecoder dec;
+    dec.Append(wire.data(), n);
+    Frame f;
+    bool got = true;
+    EXPECT_TRUE(dec.Next(&f, &got).ok()) << "prefix " << n;
+    EXPECT_FALSE(got) << "prefix " << n;
+    EXPECT_EQ(n, dec.buffered()) << "prefix " << n;
+  }
+}
+
+TEST(FrameEnvelope, OversizedLengthRejectedBeforeBuffering) {
+  // Hand-build a header claiming kMaxFramePayload + 1 bytes; only the
+  // 5 header bytes are ever appended — the decoder must fail on the
+  // length alone, without waiting for (or allocating) the body.
+  const uint32_t len = kMaxFramePayload + 1;
+  std::string header;
+  for (int i = 0; i < 4; ++i) header.push_back(char((len >> (8 * i)) & 0xff));
+  header.push_back(char(uint8_t(FrameType::kData)));
+  FrameDecoder dec;
+  dec.Append(header);
+  Frame f;
+  bool got = false;
+  Status s = dec.Next(&f, &got);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameEnvelope, UnknownTypeRejected) {
+  for (uint8_t type : {uint8_t(0), uint8_t(8), uint8_t(0x7f), uint8_t(0xff)}) {
+    std::string wire = EncodeFrame(FrameType::kData, "abc");
+    wire[4] = char(type);  // corrupt the type tag past the valid range
+    FrameDecoder dec;
+    dec.Append(wire);
+    Frame f;
+    bool got = false;
+    Status s = dec.Next(&f, &got);
+    EXPECT_TRUE(s.IsInvalidArgument()) << "type " << int(type);
+    EXPECT_FALSE(got);
+  }
+}
+
+TEST(FrameEnvelope, CrcMismatchIsCorruption) {
+  std::string wire = EncodeFrame(FrameType::kData, "the payload bytes");
+  wire[7] ^= 0x20;  // flip one payload bit; the envelope stays plausible
+  FrameDecoder dec;
+  dec.Append(wire);
+  Frame f;
+  bool got = false;
+  Status s = dec.Next(&f, &got);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameEnvelope, ErrorsAreSticky) {
+  std::string bad = EncodeFrame(FrameType::kData, "zzzz");
+  bad[6] ^= 0x01;
+  FrameDecoder dec;
+  dec.Append(bad);
+  Frame f;
+  bool got = false;
+  const Status first = dec.Next(&f, &got);
+  ASSERT_TRUE(first.IsCorruption());
+  // A well-formed frame appended after the fact must NOT revive the
+  // decoder: there is no trustworthy resync point in a corrupt stream.
+  dec.Append(EncodeFrame(FrameType::kDone, "ok"));
+  for (int i = 0; i < 3; ++i) {
+    got = false;
+    Status again = dec.Next(&f, &got);
+    EXPECT_TRUE(again.IsCorruption());
+    EXPECT_FALSE(got);
+  }
+}
+
+// --- Typed payloads --------------------------------------------------
+
+TEST(FramePayloads, HelloRoundTrip) {
+  HelloFrame in;
+  in.version = kProtocolVersion;
+  in.tenant = "team-red";
+  in.conn_id = 77;
+  HelloFrame out;
+  ASSERT_TRUE(out.Decode(in.Encode()).ok());
+  EXPECT_EQ(in.version, out.version);
+  EXPECT_EQ(in.tenant, out.tenant);
+  EXPECT_EQ(in.conn_id, out.conn_id);
+}
+
+TEST(FramePayloads, HelloVersionMismatchRejected) {
+  HelloFrame in;
+  in.version = kProtocolVersion + 1;
+  in.tenant = "future";
+  HelloFrame out;
+  Status s = out.Decode(in.Encode());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(std::string::npos, s.ToString().find("version"));
+}
+
+TEST(FramePayloads, SubmitRoundTripAndValidation) {
+  SubmitFrame in;
+  in.memory_budget = 32ull << 20;
+  in.record_size = 100;
+  in.key_size = 10;
+  in.expected_bytes = 1000 * 100;
+  SubmitFrame out;
+  ASSERT_TRUE(out.Decode(in.Encode()).ok());
+  EXPECT_EQ(in.memory_budget, out.memory_budget);
+  EXPECT_EQ(in.record_size, out.record_size);
+  EXPECT_EQ(in.key_size, out.key_size);
+  EXPECT_EQ(in.expected_bytes, out.expected_bytes);
+
+  SubmitFrame zero_record = in;
+  zero_record.record_size = 0;
+  EXPECT_TRUE(out.Decode(zero_record.Encode()).IsInvalidArgument());
+
+  SubmitFrame huge_record = in;
+  huge_record.record_size = (1u << 16) + 1;
+  EXPECT_TRUE(out.Decode(huge_record.Encode()).IsInvalidArgument());
+
+  SubmitFrame key_over_record = in;
+  key_over_record.key_size = in.record_size + 1;
+  EXPECT_TRUE(out.Decode(key_over_record.Encode()).IsInvalidArgument());
+
+  SubmitFrame zero_key = in;
+  zero_key.key_size = 0;
+  EXPECT_TRUE(out.Decode(zero_key.Encode()).IsInvalidArgument());
+}
+
+TEST(FramePayloads, DoneStatusCancelRoundTrip) {
+  DoneFrame done_in;
+  done_in.total_bytes = 123456789;
+  done_in.crc32c = 0xdeadbeef;
+  DoneFrame done_out;
+  ASSERT_TRUE(done_out.Decode(done_in.Encode()).ok());
+  EXPECT_EQ(done_in.total_bytes, done_out.total_bytes);
+  EXPECT_EQ(done_in.crc32c, done_out.crc32c);
+
+  StatusRequestFrame req_in;
+  req_in.job_id = 42;
+  StatusRequestFrame req_out;
+  ASSERT_TRUE(req_out.Decode(req_in.Encode()).ok());
+  EXPECT_EQ(req_in.job_id, req_out.job_id);
+
+  StatusReplyFrame rep_in;
+  rep_in.job_id = 42;
+  rep_in.job_state = 2;
+  rep_in.job_permille = 640;
+  rep_in.jobs_queued = 3;
+  rep_in.jobs_running = 4;
+  rep_in.admitted_bytes = 5 << 20;
+  rep_in.conns_active = 6;
+  rep_in.net_jobs_inflight = 7;
+  StatusReplyFrame rep_out;
+  ASSERT_TRUE(rep_out.Decode(rep_in.Encode()).ok());
+  EXPECT_EQ(rep_in.job_permille, rep_out.job_permille);
+  EXPECT_EQ(rep_in.net_jobs_inflight, rep_out.net_jobs_inflight);
+
+  CancelFrame cancel_in;
+  cancel_in.job_id = 9;
+  CancelFrame cancel_out;
+  ASSERT_TRUE(cancel_out.Decode(cancel_in.Encode()).ok());
+  EXPECT_EQ(cancel_in.job_id, cancel_out.job_id);
+}
+
+TEST(FramePayloads, TrailingBytesRejected) {
+  DoneFrame done;
+  std::string padded = done.Encode() + "x";
+  Status s = done.Decode(padded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(std::string::npos, s.ToString().find("trailing"));
+
+  CancelFrame cancel;
+  EXPECT_TRUE(cancel.Decode(cancel.Encode() + "zz").IsInvalidArgument());
+}
+
+TEST(FramePayloads, TruncatedPayloadRejected) {
+  ResultFrame result;
+  result.message = "some failure text";
+  const std::string whole = result.Encode();
+  ResultFrame out;
+  for (size_t n = 0; n < whole.size(); ++n) {
+    Status s = out.Decode(whole.substr(0, n));
+    EXPECT_TRUE(s.IsInvalidArgument()) << "prefix " << n;
+  }
+  EXPECT_TRUE(out.Decode(whole).ok());
+}
+
+TEST(FramePayloads, ResultToStatusCoversEveryCode) {
+  const Status statuses[] = {
+      Status::OK(),
+      Status::NotFound("m"),
+      Status::Corruption("m"),
+      Status::InvalidArgument("m"),
+      Status::IOError("m"),
+      Status::NotSupported("m"),
+      Status::ResourceExhausted("m"),
+      Status::Aborted("m"),
+      Status::Unavailable("m"),
+      Status::DeadlineExceeded("m"),
+  };
+  for (const Status& s : statuses) {
+    ResultFrame in;
+    in.code = ResultFrame::CodeOf(s);
+    in.message = "round trip";
+    ResultFrame out;
+    ASSERT_TRUE(out.Decode(in.Encode()).ok()) << s.ToString();
+    EXPECT_EQ(s.code(), out.ToStatus().code());
+    if (!s.ok()) {
+      EXPECT_NE(std::string::npos, out.ToStatus().ToString().find("round trip"));
+    }
+  }
+  // A code past the enum is rejected at decode time.
+  ResultFrame bogus;
+  bogus.code = 200;
+  ResultFrame out;
+  EXPECT_TRUE(out.Decode(bogus.Encode()).IsInvalidArgument());
+}
+
+TEST(FramePayloads, ResultRoundTripFull) {
+  ResultFrame in;
+  in.job_id = 31337;
+  in.code = ResultFrame::CodeOf(Status::Unavailable("x"));
+  in.message = "tenant quota exhausted; back off and retry";
+  in.output_bytes = 424242;
+  in.output_crc32c = 0xabad1dea;
+  in.elapsed_us = 987654;
+  ResultFrame out;
+  ASSERT_TRUE(out.Decode(in.Encode()).ok());
+  EXPECT_EQ(in.job_id, out.job_id);
+  EXPECT_EQ(in.message, out.message);
+  EXPECT_EQ(in.output_bytes, out.output_bytes);
+  EXPECT_EQ(in.output_crc32c, out.output_crc32c);
+  EXPECT_EQ(in.elapsed_us, out.elapsed_us);
+  EXPECT_TRUE(out.ToStatus().IsUnavailable());
+}
+
+// --- Deterministic fuzz ----------------------------------------------
+
+// Flip random bits in well-formed streams: the decoder must return a
+// clean error or a valid frame — never crash — and once it errors it
+// must stay errored.
+TEST(FrameFuzz, RandomBitFlipsNeverCrashOrResurrect) {
+  Random rng(0xa15a);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string wire;
+    const int nframes = 1 + int(rng.Uniform(4));
+    for (int i = 0; i < nframes; ++i) {
+      const FrameType t = FrameType(1 + rng.Uniform(7));
+      std::string payload(size_t(rng.Uniform(200)), '\0');
+      for (char& c : payload) c = char(rng.Next32() & 0xff);
+      wire += EncodeFrame(t, payload);
+    }
+    const int nflips = 1 + int(rng.Uniform(4));
+    for (int i = 0; i < nflips; ++i) {
+      wire[rng.Uniform(wire.size())] ^= char(1u << rng.Uniform(8));
+    }
+
+    FrameDecoder dec;
+    // Feed in random-size slices to also fuzz the re-entry paths.
+    size_t off = 0;
+    bool errored = false;
+    Status first_error;
+    while (off < wire.size()) {
+      const size_t n =
+          std::min(wire.size() - off, size_t(1 + rng.Uniform(64)));
+      dec.Append(wire.data() + off, n);
+      off += n;
+      while (true) {
+        Frame f;
+        bool got = false;
+        Status s = dec.Next(&f, &got);
+        if (!s.ok()) {
+          EXPECT_TRUE(s.IsInvalidArgument() || s.IsCorruption())
+              << s.ToString();
+          if (errored) {
+            // Sticky: identical error every time after the first.
+            EXPECT_EQ(first_error.ToString(), s.ToString());
+          }
+          errored = true;
+          first_error = s;
+          break;
+        }
+        if (!got) break;
+        EXPECT_TRUE(FrameTypeValid(uint8_t(f.type)));
+        EXPECT_LE(f.payload.size(), size_t(kMaxFramePayload));
+      }
+      if (errored) break;
+    }
+  }
+}
+
+// Truncate well-formed streams at every slice point under random
+// fragmentation: decoding a prefix must never error (truncation is
+// "need more", not corruption).
+TEST(FrameFuzz, RandomTruncationIsAlwaysNeedMore) {
+  Random rng(0xf00d);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string wire;
+    for (int i = 0; i < 3; ++i) {
+      std::string payload(size_t(rng.Uniform(64)), '\0');
+      for (char& c : payload) c = char(rng.Next32() & 0xff);
+      wire += EncodeFrame(FrameType(1 + rng.Uniform(7)), payload);
+    }
+    const size_t cut = rng.Uniform(wire.size());
+    FrameDecoder dec;
+    dec.Append(wire.data(), cut);
+    while (true) {
+      Frame f;
+      bool got = false;
+      Status s = dec.Next(&f, &got);
+      ASSERT_TRUE(s.ok()) << "cut " << cut << ": " << s.ToString();
+      if (!got) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace alphasort

@@ -1,0 +1,550 @@
+// End-to-end tests for the networked sort service (net/server.h +
+// net/client.h) over real loopback sockets and an in-memory Env: jobs
+// sort and verify, connections survive well-delivered rejections
+// (quota, capacity, bad DONE), mid-stream disconnects leak nothing,
+// STATUS/CANCEL interleave with an in-flight upload, and protocol
+// violations (version skew, flipped CRCs) close the connection with a
+// clean RESULT and a counted protocol error.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/table.h"
+#include "io/env.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "record/generator.h"
+#include "tests/test_flight.h"
+
+namespace alphasort {
+namespace net {
+namespace {
+
+[[maybe_unused]] const bool kFlightInstalled =
+    test_flight::Install("net_service_test");
+
+constexpr uint64_t kMB = 1ull << 20;
+
+// A small server over a fresh MemEnv; every test gets its own.
+class NetServiceTest : public ::testing::Test {
+ protected:
+  void StartServer(NetServerOptions opts) {
+    env_ = NewMemEnv();
+    opts.port = 0;
+    server_ = std::make_unique<NetServer>(env_.get(), opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void StartDefaultServer() {
+    NetServerOptions opts;
+    opts.service.memory_budget = 64 * kMB;
+    opts.service.max_running = 2;
+    opts.service.max_queued = 64;
+    opts.service.num_workers = 2;
+    opts.quota.capacity_bytes = 64 * kMB;
+    opts.quota.refill_bytes_per_s = 64 * kMB;
+    opts.job_defaults.io_chunk_bytes = 64 * 1024;
+    opts.job_defaults.run_size_records = 4096;
+    opts.job_defaults.memory_budget = 8 * kMB;
+    StartServer(opts);
+  }
+
+  int port() const { return server_->port(); }
+
+  // The server counts a job completed after the trailing DONE is on
+  // the wire, so a client can observe its sorted stream a beat before
+  // the counter moves; waits out that beat.
+  void WaitForCompleted(uint64_t want) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server_->stats().jobs_completed < want &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(want, server_->stats().jobs_completed);
+  }
+
+  // Spins until the server has fully retired every connection and job,
+  // then asserts the spool namespace is empty (MemEnv is flat, so a
+  // prefix listing sees every spool and scratch file ever left behind).
+  void ExpectNoResidue() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const NetServerStats s = server_->stats();
+      const svc::SortServiceStats svc = server_->service_stats();
+      if (s.conns_active == 0 && s.jobs_inflight == 0 && svc.queued == 0 &&
+          svc.running == 0 && svc.admitted_bytes == 0) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const NetServerStats s = server_->stats();
+    EXPECT_EQ(0, s.conns_active);
+    EXPECT_EQ(0, s.jobs_inflight);
+    std::vector<std::string> leaked;
+    ASSERT_TRUE(env_->ListFiles("net_spool/", &leaked).ok());
+    EXPECT_TRUE(leaked.empty())
+        << leaked.size() << " file(s) leaked, first: " << leaked[0];
+  }
+
+  std::vector<char> MakeRecords(uint64_t count, uint64_t seed = 1) {
+    RecordGenerator gen(kDatamationFormat, seed);
+    return gen.Generate(KeyDistribution::kUniform, count);
+  }
+
+  // Full client-side verification: length, key order, permutation.
+  void ExpectSorted(const std::vector<char>& in, const std::string& out) {
+    const RecordFormat format = kDatamationFormat;
+    ASSERT_EQ(in.size(), out.size());
+    const size_t r = format.record_size;
+    MultisetFingerprint in_fp, out_fp;
+    for (size_t off = 0; off < in.size(); off += r) {
+      in_fp.Add(in.data() + off, r);
+    }
+    for (size_t off = 0; off < out.size(); off += r) {
+      out_fp.Add(out.data() + off, r);
+      if (off > 0) {
+        ASSERT_LE(format.CompareKeys(out.data() + off - r, out.data() + off),
+                  0)
+            << "keys out of order at record " << off / r;
+      }
+    }
+    EXPECT_TRUE(in_fp == out_fp) << "output is not a permutation";
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<NetServer> server_;
+};
+
+// Raw-frame helpers for the tests that speak the protocol by hand.
+Status ExpectFrame(FrameReader* reader, FrameType want, Frame* out) {
+  ALPHASORT_RETURN_IF_ERROR(reader->Read(out));
+  if (out->type != want) {
+    return Status::Corruption(StrFormat("expected %s frame, got %s",
+                                        FrameTypeName(want),
+                                        FrameTypeName(out->type)));
+  }
+  return Status::OK();
+}
+
+// HELLO handshake on a raw connection; returns the reader.
+std::unique_ptr<FrameReader> RawHello(TcpConn* conn,
+                                      const std::string& tenant) {
+  HelloFrame hello;
+  hello.tenant = tenant;
+  EXPECT_TRUE(WriteFrame(conn, FrameType::kHello, hello.Encode()).ok());
+  auto reader = std::make_unique<FrameReader>(conn);
+  Frame f;
+  EXPECT_TRUE(ExpectFrame(reader.get(), FrameType::kHello, &f).ok());
+  HelloFrame reply;
+  EXPECT_TRUE(reply.Decode(f.payload).ok());
+  EXPECT_NE(uint64_t(0), reply.conn_id);
+  return reader;
+}
+
+TEST_F(NetServiceTest, SortsOneJobEndToEnd) {
+  StartDefaultServer();
+  SortClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), "t0").ok());
+
+  const std::vector<char> data = MakeRecords(2000);
+  std::string sorted;
+  NetSortOutcome outcome;
+  SubmitSpec spec;
+  ASSERT_TRUE(
+      client.SubmitSort(spec, data.data(), data.size(), &sorted, &outcome)
+          .ok());
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(data.size(), outcome.output_bytes);
+  EXPECT_GT(outcome.job_id, uint64_t(0));
+  ExpectSorted(data, sorted);
+
+  WaitForCompleted(1);
+  const NetServerStats s = server_->stats();
+  EXPECT_EQ(uint64_t(0), s.jobs_failed);
+  EXPECT_EQ(uint64_t(0), s.protocol_errors);
+
+  client.Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, ReusesOneConnectionForManyJobs) {
+  StartDefaultServer();
+  SortClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), "t0").ok());
+  for (int i = 0; i < 4; ++i) {
+    const std::vector<char> data = MakeRecords(500 + uint64_t(i) * 100,
+                                               uint64_t(i) + 1);
+    std::string sorted;
+    NetSortOutcome outcome;
+    ASSERT_TRUE(client
+                    .SubmitSort(SubmitSpec(), data.data(), data.size(),
+                                &sorted, &outcome)
+                    .ok())
+        << "job " << i;
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    ExpectSorted(data, sorted);
+  }
+  WaitForCompleted(4);
+  EXPECT_EQ(uint64_t(1), server_->stats().conns_accepted);
+  client.Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, QuotaRejectionIsUnavailableAndConnSurvives) {
+  NetServerOptions opts;
+  opts.service.memory_budget = 64 * kMB;
+  opts.service.max_running = 2;
+  opts.service.num_workers = 2;
+  opts.quota.capacity_bytes = 64 * 1024;  // one small job's worth
+  opts.quota.refill_bytes_per_s = 10 * kMB;  // refills fast between jobs
+  opts.job_defaults.memory_budget = 8 * kMB;
+  StartServer(opts);
+
+  SortClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), "greedy").ok());
+
+  // 2000 records = 200KB, over the 64KB bucket: the up-front charge for
+  // expected_bytes must reject with Unavailable, not stall the tenant.
+  const std::vector<char> big = MakeRecords(2000);
+  std::string sorted;
+  NetSortOutcome outcome;
+  ASSERT_TRUE(
+      client.SubmitSort(SubmitSpec(), big.data(), big.size(), &sorted,
+                        &outcome)
+          .ok());
+  EXPECT_TRUE(outcome.status.IsUnavailable()) << outcome.status.ToString();
+  EXPECT_EQ(uint64_t(1), server_->stats().quota_rejected);
+
+  // The rejection was well-delivered: the same connection carries a
+  // within-quota job to completion.
+  const std::vector<char> small = MakeRecords(300, 7);
+  ASSERT_TRUE(
+      client.SubmitSort(SubmitSpec(), small.data(), small.size(), &sorted,
+                        &outcome)
+          .ok());
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ExpectSorted(small, sorted);
+
+  client.Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, MidStreamDisconnectLeaksNothing) {
+  StartDefaultServer();
+  {
+    Result<TcpConn> conn = TcpConnect("127.0.0.1", port());
+    ASSERT_TRUE(conn.ok());
+    auto reader = RawHello(&conn.value(), "dropper");
+
+    SubmitFrame submit;
+    submit.expected_bytes = 2000 * 100;
+    ASSERT_TRUE(
+        WriteFrame(&conn.value(), FrameType::kSubmit, submit.Encode()).ok());
+    const std::vector<char> data = MakeRecords(2000);
+    // Half the stream, then vanish.
+    ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                           std::string(data.data(), data.size() / 2))
+                    .ok());
+    conn.value().Close();
+  }
+  // The connection thread must notice, refund the quota charge, delete
+  // the partial spool, and retire — with nothing left behind.
+  ExpectNoResidue();
+  EXPECT_EQ(uint64_t(0), server_->stats().jobs_completed);
+}
+
+TEST_F(NetServiceTest, AnswersStatusDuringUpload) {
+  StartDefaultServer();
+  Result<TcpConn> conn = TcpConnect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+  auto reader = RawHello(&conn.value(), "curious");
+
+  const std::vector<char> data = MakeRecords(1000);
+  SubmitFrame submit;
+  submit.expected_bytes = data.size();
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kSubmit, submit.Encode()).ok());
+
+  // First half of the records...
+  const size_t half = data.size() / 2;
+  ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                         std::string(data.data(), half))
+                  .ok());
+  // ...a STATUS interleaved mid-stream must be answered in place...
+  StatusRequestFrame ask;
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kStatus, ask.Encode()).ok());
+  Frame f;
+  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kStatus, &f).ok());
+  StatusReplyFrame reply;
+  ASSERT_TRUE(reply.Decode(f.payload).ok());
+  EXPECT_EQ(uint64_t(1), reply.conns_active);
+  EXPECT_EQ(uint64_t(1), reply.net_jobs_inflight);
+
+  // ...and the upload then completes normally.
+  ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                         std::string(data.data() + half, data.size() - half))
+                  .ok());
+  DoneFrame done;
+  done.total_bytes = data.size();
+  done.crc32c = Crc32c(data.data(), data.size());
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kDone, done.Encode()).ok());
+
+  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
+  ResultFrame result;
+  ASSERT_TRUE(result.Decode(f.payload).ok());
+  EXPECT_TRUE(result.ToStatus().ok()) << result.ToStatus().ToString();
+  EXPECT_EQ(uint64_t(data.size()), result.output_bytes);
+
+  // Drain the sorted stream so the close is orderly.
+  uint64_t streamed = 0;
+  while (true) {
+    ASSERT_TRUE(reader->Read(&f).ok());
+    if (f.type == FrameType::kDone) break;
+    ASSERT_EQ(FrameType::kData, f.type);
+    streamed += f.payload.size();
+  }
+  EXPECT_EQ(uint64_t(data.size()), streamed);
+
+  conn.value().Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, CancelDuringUploadAbortsAndConnSurvives) {
+  StartDefaultServer();
+  Result<TcpConn> conn = TcpConnect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+  auto reader = RawHello(&conn.value(), "fickle");
+
+  const std::vector<char> data = MakeRecords(1000);
+  SubmitFrame submit;
+  submit.expected_bytes = data.size();
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kSubmit, submit.Encode()).ok());
+  ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                         std::string(data.data(), data.size() / 2))
+                  .ok());
+  CancelFrame cancel;
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kCancel, cancel.Encode()).ok());
+  // The stream still ends on a frame boundary so the server can keep
+  // the connection; an abandoned upload without DONE is the disconnect
+  // test's subject.
+  DoneFrame done;
+  done.total_bytes = data.size() / 2;
+  done.crc32c = Crc32c(data.data(), data.size() / 2);
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kDone, done.Encode()).ok());
+
+  Frame f;
+  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
+  ResultFrame result;
+  ASSERT_TRUE(result.Decode(f.payload).ok());
+  EXPECT_TRUE(result.ToStatus().IsAborted()) << result.ToStatus().ToString();
+
+  // Same connection, next job: runs to completion.
+  SubmitFrame submit2;
+  submit2.expected_bytes = data.size();
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kSubmit, submit2.Encode()).ok());
+  ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                         std::string(data.data(), data.size()))
+                  .ok());
+  DoneFrame done2;
+  done2.total_bytes = data.size();
+  done2.crc32c = Crc32c(data.data(), data.size());
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kDone, done2.Encode()).ok());
+  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
+  ASSERT_TRUE(result.Decode(f.payload).ok());
+  EXPECT_TRUE(result.ToStatus().ok()) << result.ToStatus().ToString();
+  while (true) {
+    ASSERT_TRUE(reader->Read(&f).ok());
+    if (f.type == FrameType::kDone) break;
+  }
+
+  conn.value().Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, VersionMismatchRejectedWithResult) {
+  StartDefaultServer();
+  Result<TcpConn> conn = TcpConnect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+  HelloFrame hello;
+  hello.version = kProtocolVersion + 1;
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kHello, hello.Encode()).ok());
+
+  FrameReader reader(&conn.value());
+  Frame f;
+  ASSERT_TRUE(ExpectFrame(&reader, FrameType::kResult, &f).ok());
+  ResultFrame result;
+  ASSERT_TRUE(result.Decode(f.payload).ok());
+  EXPECT_TRUE(result.ToStatus().IsInvalidArgument())
+      << result.ToStatus().ToString();
+  EXPECT_GE(server_->stats().protocol_errors, uint64_t(1));
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, CorruptFrameCountsProtocolErrorAndCloses) {
+  StartDefaultServer();
+  Result<TcpConn> conn = TcpConnect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+  auto reader = RawHello(&conn.value(), "flip");
+
+  // A SUBMIT whose CRC byte is flipped: envelope-level corruption.
+  SubmitFrame submit;
+  std::string wire = EncodeFrame(FrameType::kSubmit, submit.Encode());
+  wire[wire.size() - 1] ^= 0x01;
+  ASSERT_TRUE(conn.value().WriteAll(wire).ok());
+
+  // The server answers with a best-effort RESULT and closes; all this
+  // side must observe is an eventual EOF/RESULT, never a hang.
+  Frame f;
+  Status s = reader->Read(&f);
+  if (s.ok() && f.type == FrameType::kResult) {
+    ResultFrame result;
+    ASSERT_TRUE(result.Decode(f.payload).ok());
+    EXPECT_FALSE(result.ToStatus().ok());
+    s = reader->Read(&f);  // then EOF
+  }
+  EXPECT_FALSE(s.ok());
+  conn.value().Close();
+
+  ExpectNoResidue();
+  EXPECT_GE(server_->stats().protocol_errors, uint64_t(1));
+}
+
+TEST_F(NetServiceTest, ConnectionCapacityRejectionIsUnavailable) {
+  NetServerOptions opts;
+  opts.max_conns = 1;
+  opts.service.memory_budget = 64 * kMB;
+  opts.job_defaults.memory_budget = 8 * kMB;
+  StartServer(opts);
+
+  SortClient first;
+  ASSERT_TRUE(first.Connect("127.0.0.1", port(), "a").ok());
+
+  SortClient second;
+  Status s = second.Connect("127.0.0.1", port(), "b");
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_EQ(uint64_t(1), server_->stats().conns_rejected);
+
+  first.Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, DoneCrcMismatchIsCorruptionAndConnSurvives) {
+  StartDefaultServer();
+  Result<TcpConn> conn = TcpConnect("127.0.0.1", port());
+  ASSERT_TRUE(conn.ok());
+  auto reader = RawHello(&conn.value(), "liar");
+
+  const std::vector<char> data = MakeRecords(500);
+  SubmitFrame submit;
+  submit.expected_bytes = data.size();
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kSubmit, submit.Encode()).ok());
+  ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                         std::string(data.data(), data.size()))
+                  .ok());
+  DoneFrame done;
+  done.total_bytes = data.size();
+  done.crc32c = Crc32c(data.data(), data.size()) ^ 0xffffffffu;
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kDone, done.Encode()).ok());
+
+  Frame f;
+  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
+  ResultFrame result;
+  ASSERT_TRUE(result.Decode(f.payload).ok());
+  EXPECT_TRUE(result.ToStatus().IsCorruption())
+      << result.ToStatus().ToString();
+
+  // The stream ended on a frame boundary, so the connection still
+  // works: an honest retry of the same records succeeds.
+  SubmitFrame submit2;
+  submit2.expected_bytes = data.size();
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kSubmit, submit2.Encode()).ok());
+  ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
+                         std::string(data.data(), data.size()))
+                  .ok());
+  DoneFrame done2;
+  done2.total_bytes = data.size();
+  done2.crc32c = Crc32c(data.data(), data.size());
+  ASSERT_TRUE(
+      WriteFrame(&conn.value(), FrameType::kDone, done2.Encode()).ok());
+  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
+  ASSERT_TRUE(result.Decode(f.payload).ok());
+  EXPECT_TRUE(result.ToStatus().ok()) << result.ToStatus().ToString();
+  while (true) {
+    ASSERT_TRUE(reader->Read(&f).ok());
+    if (f.type == FrameType::kDone) break;
+  }
+
+  conn.value().Close();
+  ExpectNoResidue();
+}
+
+TEST_F(NetServiceTest, ManyConcurrentClients) {
+  NetServerOptions opts;
+  opts.service.memory_budget = 64 * kMB;
+  opts.service.max_running = 4;
+  opts.service.max_queued = 64;
+  opts.service.num_workers = 2;
+  opts.quota.capacity_bytes = 64 * kMB;
+  opts.quota.refill_bytes_per_s = 64 * kMB;
+  opts.max_conns = 64;
+  opts.job_defaults.memory_budget = 8 * kMB;
+  StartServer(opts);
+
+  constexpr int kClients = 16;
+  std::vector<std::thread> threads;
+  std::vector<Status> outcomes(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &outcomes] {
+      RecordGenerator gen(kDatamationFormat, uint64_t(i) + 100);
+      const std::vector<char> data =
+          gen.Generate(KeyDistribution::kUniform, 800);
+      SortClient client;
+      Status s =
+          client.Connect("127.0.0.1", port(), StrFormat("tenant-%d", i));
+      std::string sorted;
+      NetSortOutcome outcome;
+      if (s.ok()) {
+        s = client.SubmitSort(SubmitSpec(), data.data(), data.size(),
+                              &sorted, &outcome);
+      }
+      if (s.ok()) s = outcome.status;
+      if (s.ok() && sorted.size() != data.size()) {
+        s = Status::Corruption("short output");
+      }
+      outcomes[size_t(i)] = s;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(outcomes[size_t(i)].ok())
+        << "client " << i << ": " << outcomes[size_t(i)].ToString();
+  }
+  WaitForCompleted(kClients);
+  ExpectNoResidue();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace alphasort

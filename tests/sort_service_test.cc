@@ -20,9 +20,13 @@
 #include "io/env_stack.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "tests/test_flight.h"
 
 namespace alphasort {
 namespace {
+
+[[maybe_unused]] const bool kFlightInstalled =
+    test_flight::Install("sort_service_test");
 
 constexpr uint64_t kMB = 1ull << 20;
 

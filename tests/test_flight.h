@@ -1,0 +1,58 @@
+#ifndef ALPHASORT_TESTS_TEST_FLIGHT_H_
+#define ALPHASORT_TESTS_TEST_FLIGHT_H_
+
+// Opt-in flight recording for long-running service tests. When
+// ALPHASORT_TEST_FLIGHT_DIR is set (scripts/ci.sh points it at the CI
+// artifact directory), the whole test binary runs under an
+// obs::FlightRecorder sampling the metrics registry every 250ms; if
+// ctest later kills the binary on TIMEOUT, the tail of the capture
+// shows what the service was doing when it hung. Without the variable
+// the hook is a no-op.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/table.h"
+#include "obs/exposition.h"
+
+namespace alphasort {
+namespace test_flight {
+
+class FlightEnv : public ::testing::Environment {
+ public:
+  explicit FlightEnv(std::string binary_name)
+      : name_(std::move(binary_name)) {}
+
+  void SetUp() override {
+    const char* dir = std::getenv("ALPHASORT_TEST_FLIGHT_DIR");
+    if (dir == nullptr || dir[0] == '\0') return;
+    obs::FlightRecorder::Options opts;
+    opts.path = StrFormat("%s/%s.flight.jsonl", dir, name_.c_str());
+    recorder_ = std::make_unique<obs::FlightRecorder>(opts);
+    if (!recorder_->Start().ok()) recorder_.reset();
+  }
+
+  void TearDown() override {
+    if (recorder_ != nullptr) recorder_->Stop();
+    recorder_.reset();
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+};
+
+// Call from a namespace-scope initializer; registration must precede
+// RUN_ALL_TESTS (gtest_main provides main, so static init is the hook).
+inline bool Install(const char* binary_name) {
+  ::testing::AddGlobalTestEnvironment(new FlightEnv(binary_name));
+  return true;
+}
+
+}  // namespace test_flight
+}  // namespace alphasort
+
+#endif  // ALPHASORT_TESTS_TEST_FLIGHT_H_
