@@ -135,21 +135,31 @@ void FrameDecoder::Append(const char* data, size_t n) {
   buf_.append(data, n);
 }
 
+// Consumed-prefix bytes a decoder tolerates before compacting. A
+// streamed DATA sequence leaves a partial frame pending at nearly every
+// socket-read boundary, so compaction cannot wait for the buffer to be
+// exactly consumed — that would grow it with the total bytes ever
+// received on the connection. Erasing once the dead prefix passes this
+// threshold (or dominates the buffer) bounds the buffer near
+// threshold + one frame while amortising the memmove.
+static constexpr size_t kDecoderCompactThreshold = 64 * 1024;
+
 Status FrameDecoder::Next(Frame* out, bool* got) {
   *got = false;
   if (!error_.ok()) return error_;
 
+  // Compact before parsing, whether or not a full frame is buffered.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kDecoderCompactThreshold || pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+
   // Envelope header: length + type. The length is validated before the
   // body is waited for, so a garbage length fails fast.
-  if (buf_.size() - pos_ < 5) {
-    // Compact the consumed prefix opportunistically so a long-lived
-    // connection does not grow the buffer without bound.
-    if (pos_ > 0 && pos_ == buf_.size()) {
-      buf_.clear();
-      pos_ = 0;
-    }
-    return Status::OK();
-  }
+  if (buf_.size() - pos_ < 5) return Status::OK();
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i)
     len |= uint32_t(uint8_t(buf_[pos_ + i])) << (8 * i);
@@ -181,10 +191,6 @@ Status FrameDecoder::Next(Frame* out, bool* got) {
   out->type = FrameType(type);
   out->payload.assign(payload, len);
   pos_ += size_t(len) + kFrameOverhead;
-  if (pos_ == buf_.size()) {
-    buf_.clear();
-    pos_ = 0;
-  }
   *got = true;
   return Status::OK();
 }

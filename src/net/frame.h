@@ -101,6 +101,11 @@ class FrameDecoder {
   // remainder at connection EOF is a truncated frame.
   size_t buffered() const { return buf_.size() - pos_; }
 
+  // Total bytes currently held, consumed prefix included. Exposed so
+  // tests can assert the consumed prefix gets compacted away instead of
+  // growing with the total bytes ever received on the connection.
+  size_t internal_buffer_bytes() const { return buf_.size(); }
+
  private:
   std::string buf_;
   size_t pos_ = 0;  // consumed prefix of buf_

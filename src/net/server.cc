@@ -411,6 +411,19 @@ Status NetServer::Connection::SpoolInput(FrameReader* reader,
 // STATUS and honour CANCEL while it runs, then stream the output back.
 Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
                                                StreamState* st) {
+  // Every exit below — including the write-failure returns while
+  // streaming the result back to a client that hung up — must release
+  // the spool .in/.out files and settle the quota charge, or each
+  // mid-stream disconnect leaks its spools in data_root. The guard
+  // starts in refund mode; once the job has done its work (a RESULT(OK)
+  // is about to be sent) the charge is consumed and refund flips off.
+  struct StreamCleanup {
+    Connection* conn;
+    StreamState* st;
+    bool refund = true;
+    ~StreamCleanup() { conn->CleanupStream(st, refund); }
+  } cleanup{this, st};
+
   SortOptions opts = server_->options_.job_defaults;
   opts.input_path = st->in_path;
   opts.output_path = st->out_path;
@@ -432,7 +445,6 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
         .Str("status", submitted.status().ToString());
     server_->NoteJobResult(false);
     (void)SendResult(0, submitted.status(), 0, NowUs() - st->start_us);
-    CleanupStream(st, /*refund=*/true);
     return Status::OK();
   }
   SortJob job = std::move(submitted).value();
@@ -456,7 +468,6 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
         job.Cancel();
         job.Wait();
         server_->NoteJobResult(false);
-        CleanupStream(st, /*refund=*/true);
         return ps.IsNotFound() ? Status::OK() : ps;
       }
       if (!got) continue;
@@ -468,7 +479,6 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
         job.Cancel();
         job.Wait();
         server_->NoteJobResult(false);
-        CleanupStream(st, /*refund=*/true);
         return Status::InvalidArgument(StrFormat(
             "%s frame while a job is in flight", FrameTypeName(frame.type)));
       }
@@ -484,7 +494,6 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
         .U64("job", job.id())
         .Str("status", r.status.ToString());
     (void)SendResult(job.id(), r.status, 0, elapsed_us);
-    CleanupStream(st, /*refund=*/true);
     return Status::OK();
   }
 
@@ -496,19 +505,18 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
   if (!out_size.ok()) {
     server_->NoteJobResult(false);
     (void)SendResult(job.id(), out_size.status(), 0, elapsed_us);
-    CleanupStream(st, /*refund=*/true);
     return Status::OK();
   }
   const uint64_t total = out_size.value();
+  // The sort has run: the quota charge is consumed from here on, even if
+  // the client disappears while the result streams back.
+  cleanup.refund = false;
   ALPHASORT_RETURN_IF_ERROR(
       SendResult(job.id(), Status::OK(), total, elapsed_us));
 
   Result<std::unique_ptr<File>> out_file =
       server_->env_->OpenFile(st->out_path, OpenMode::kReadOnly);
-  if (!out_file.ok()) {
-    CleanupStream(st, /*refund=*/false);
-    return out_file.status();
-  }
+  if (!out_file.ok()) return out_file.status();
   std::string chunk;
   uint32_t crc = 0;
   uint64_t off = 0;
@@ -520,10 +528,7 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
     if (rs.ok() && got != want) {
       rs = Status::IOError("short read streaming sorted output");
     }
-    if (!rs.ok()) {
-      CleanupStream(st, /*refund=*/false);
-      return rs;
-    }
+    if (!rs.ok()) return rs;
     ALPHASORT_RETURN_IF_ERROR(
         WriteFrame(&conn_, FrameType::kData, chunk));
     crc = Crc32c(chunk.data(), want, crc);
@@ -544,7 +549,6 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
       .Str("status", "OK")
       .U64("bytes", total)
       .U64("elapsed_us", elapsed_us);
-  CleanupStream(st, /*refund=*/false);
   return Status::OK();
 }
 

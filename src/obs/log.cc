@@ -180,11 +180,16 @@ void Logger::RemoveSink(LogSink* sink) {
 }
 
 void Logger::Dispatch(const LogEvent& ev) {
-  // Ring first (lock-free, same slot-claim idiom as the trace ring): the
-  // last N events are always recoverable from memory even when no sink
-  // is installed or a sink is wedged.
-  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
-  ring_[seq % ring_.size()] = ev;
+  // Ring first, under its own mutex: once the ring wraps, a writer and a
+  // Tail reader can land on the same slot, and a LogEvent copy is not
+  // atomic — unsynchronized they'd produce a torn event. The ring mutex
+  // is never held across sink writes, so the last N events stay
+  // recoverable even when no sink is installed or a sink is wedged.
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ring_[next_ % ring_.size()] = ev;
+    ++next_;
+  }
   emitted_.fetch_add(1, std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(sink_mu_);
@@ -192,7 +197,8 @@ void Logger::Dispatch(const LogEvent& ev) {
 }
 
 std::vector<LogEvent> Logger::Tail(size_t max) const {
-  const uint64_t total = next_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  const uint64_t total = next_;
   const uint64_t kept = std::min<uint64_t>(total, ring_.size());
   const uint64_t want = std::min<uint64_t>(kept, max);
   std::vector<LogEvent> out;

@@ -22,7 +22,7 @@ namespace obs {
 // cancelled, retried IO, phase entered), each carrying a level, a
 // wall-clock timestamp, the emitting thread, the ambient job id, and a
 // small set of typed key-value fields. Events land in a bounded
-// lock-free ring (crash forensics: the last N events survive in memory)
+// in-memory ring (crash forensics: the last N events survive in memory)
 // and are then fanned out to the installed sinks.
 //
 // Cost discipline mirrors the tracer: a disabled level is one relaxed
@@ -163,14 +163,15 @@ class Logger {
   void AddSink(LogSink* sink);
   void RemoveSink(LogSink* sink);
 
-  // Appends to the ring (lock-free) and fans out to the sinks (under the
-  // sink mutex — stderr/file writes serialize anyway). Called by the
-  // LogMessage destructor; the level/rate checks have already passed.
+  // Appends to the ring (under the ring mutex, never held across sink
+  // IO) and fans out to the sinks (under the sink mutex — stderr/file
+  // writes serialize anyway). Called by the LogMessage destructor; the
+  // level/rate checks have already passed.
   void Dispatch(const LogEvent& ev);
 
   // The most recent `max` events, oldest first. For tests and crash
-  // handlers; takes no lock on writers (a torn in-flight event at the
-  // ring head is possible and acceptable).
+  // handlers; shares the ring mutex with writers so a wrapped ring
+  // cannot hand back a torn event.
   std::vector<LogEvent> Tail(size_t max) const;
 
   uint64_t events_emitted() const {
@@ -183,8 +184,9 @@ class Logger {
   std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
   std::atomic<uint64_t> emitted_{0};
 
-  std::vector<LogEvent> ring_;
-  std::atomic<uint64_t> next_{0};
+  mutable std::mutex ring_mu_;
+  std::vector<LogEvent> ring_;  // guarded by ring_mu_
+  uint64_t next_ = 0;           // guarded by ring_mu_
 
   mutable std::mutex sink_mu_;
   std::vector<LogSink*> sinks_;

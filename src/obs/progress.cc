@@ -1,12 +1,24 @@
 #include "obs/progress.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/table.h"
 #include "obs/metrics.h"
 
 namespace alphasort {
 namespace obs {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 const char* SortPhaseName(SortPhase phase) {
   switch (phase) {
@@ -40,14 +52,16 @@ void JobProgressTracker::Start(uint64_t job_id, bool publish_gauges) {
   sorted_.store(0, std::memory_order_relaxed);
   spilled_.store(0, std::memory_order_relaxed);
   merged_.store(0, std::memory_order_relaxed);
-  start_ = std::chrono::steady_clock::now();
   if (publish_gauges) {
     auto* registry = MetricsRegistry::Global();
     const std::string base = StrFormat(
         "svc.job.%llu", static_cast<unsigned long long>(job_id));
-    phase_gauge_ = registry->GetGauge(base + ".phase");
-    permille_gauge_ = registry->GetGauge(base + ".permille");
+    phase_gauge_.store(registry->GetGauge(base + ".phase"),
+                       std::memory_order_relaxed);
+    permille_gauge_.store(registry->GetGauge(base + ".permille"),
+                          std::memory_order_relaxed);
   }
+  start_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   PublishGauges();
 }
 
@@ -106,10 +120,12 @@ JobProgress JobProgressTracker::Snapshot() const {
     p.fraction = std::min(0.999, double(p.work_done) / double(p.work_total));
   }
 
-  if (start_ != std::chrono::steady_clock::time_point{}) {
-    p.elapsed_s = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start_)
-                      .count();
+  const uint64_t start_ns = start_ns_.load(std::memory_order_relaxed);
+  if (start_ns != 0) {
+    // Clamped to one tick: a snapshot in the same clock quantum as
+    // Start() still reports a nonzero (and thus rate-computable) age.
+    p.elapsed_s =
+        double(std::max<uint64_t>(1, SteadyNowNs() - start_ns)) * 1e-9;
   }
   if (p.elapsed_s > 0 && p.work_done > 0) {
     p.bytes_per_s = double(p.work_done) / p.elapsed_s;
@@ -122,18 +138,20 @@ JobProgress JobProgressTracker::Snapshot() const {
 }
 
 void JobProgressTracker::PublishGauges() {
-  if (phase_gauge_ == nullptr) return;
-  phase_gauge_->Set(phase_.load(std::memory_order_relaxed));
+  Gauge* phase_gauge = phase_gauge_.load(std::memory_order_relaxed);
+  if (phase_gauge == nullptr) return;
+  phase_gauge->Set(phase_.load(std::memory_order_relaxed));
   const uint64_t total = work_total_.load(std::memory_order_relaxed);
-  if (permille_gauge_ != nullptr) {
+  Gauge* permille_gauge = permille_gauge_.load(std::memory_order_relaxed);
+  if (permille_gauge != nullptr) {
     const int phase = phase_.load(std::memory_order_relaxed);
     if (phase == static_cast<int>(SortPhase::kDone)) {
-      permille_gauge_->Set(1000);
+      permille_gauge->Set(1000);
     } else if (total > 0) {
       const uint64_t done = read_.load(std::memory_order_relaxed) +
                             spilled_.load(std::memory_order_relaxed) +
                             merged_.load(std::memory_order_relaxed);
-      permille_gauge_->Set(static_cast<int64_t>(
+      permille_gauge->Set(static_cast<int64_t>(
           std::min<uint64_t>(999, done * 1000 / total)));
     }
   }

@@ -97,10 +97,13 @@ class JobProgressTracker {
   std::atomic<uint64_t> sorted_{0};
   std::atomic<uint64_t> spilled_{0};
   std::atomic<uint64_t> merged_{0};
-  std::chrono::steady_clock::time_point start_{};
+  // Steady-clock nanoseconds; 0 = not started. Atomic (like the gauge
+  // pointers) because Snapshot() may poll from a connection thread while
+  // the service thread is still inside Start() for a just-dequeued job.
+  std::atomic<uint64_t> start_ns_{0};
 
-  Gauge* phase_gauge_ = nullptr;
-  Gauge* permille_gauge_ = nullptr;
+  std::atomic<Gauge*> phase_gauge_{nullptr};
+  std::atomic<Gauge*> permille_gauge_{nullptr};
 };
 
 // Registry of live trackers, walked by the exposition renderer and the

@@ -91,6 +91,36 @@ TEST(FrameEnvelope, DecodesManyFramesFromOneAppend) {
   EXPECT_FALSE(got);
 }
 
+TEST(FrameEnvelope, ConsumedPrefixIsCompacted) {
+  // A long-lived DATA stream delivered in chunks that almost never align
+  // with frame boundaries must not grow the decoder's buffer with the
+  // total bytes received (regression: the consumed prefix was only
+  // released when the buffer happened to be *exactly* consumed, which a
+  // pending partial frame prevents at nearly every read boundary).
+  const std::string one =
+      EncodeFrame(FrameType::kData, std::string(1024, 'r'));
+  std::string wire;
+  for (int i = 0; i < 512; ++i) wire += one;  // ~528 KiB streamed
+  FrameDecoder dec;
+  size_t decoded = 0;
+  size_t max_buf = 0;
+  const size_t kChunk = 1000;  // misaligned with the 1033-byte frames
+  for (size_t off = 0; off < wire.size(); off += kChunk) {
+    dec.Append(wire.data() + off, std::min(kChunk, wire.size() - off));
+    Frame f;
+    bool got = true;
+    while (got) {
+      ASSERT_TRUE(dec.Next(&f, &got).ok());
+      if (got) ++decoded;
+    }
+    max_buf = std::max(max_buf, dec.internal_buffer_bytes());
+  }
+  EXPECT_EQ(size_t(512), decoded);
+  // Bounded near the compaction threshold plus a frame or two — far
+  // below the half-megabyte that crossed the decoder.
+  EXPECT_LT(max_buf, size_t(128) * 1024);
+}
+
 TEST(FrameEnvelope, TruncationIsNeedMoreNotError) {
   const std::string wire = EncodeFrame(FrameType::kSubmit, "payload!");
   // Every proper prefix decodes to "no frame yet" with an OK status.
