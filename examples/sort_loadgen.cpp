@@ -4,7 +4,7 @@
 //                  [--clients N] [--jobs N] [--records N]
 //                  [--big-clients N] [--big-records N]
 //                  [--disconnects N] [--greedy N] [--greedy-mb MB]
-//                  [--smoke] [--report FILE]
+//                  [--smoke] [--report FILE] [--trace FILE]
 //
 // Each client is one thread speaking the wire protocol end to end:
 // generate records, stream them up, wait, stream the sorted bytes back,
@@ -12,7 +12,16 @@
 // CompareKeys), a multiset fingerprint match against the input (the
 // output is a permutation, not just sorted), and the DONE frame's CRC.
 // Per-job end-to-end latency lands in the net.client.e2e_us histogram;
-// the summary prints p50/p95/p99.
+// the summary prints p50/p95/p99. The server's per-stage breakdown from
+// each v2 RESULT lands in net.client.{spool,queue,sort,merge,stream}_us,
+// and the gap between client-observed e2e and the server's elapsed_us —
+// the wire + client-stack overhead — in net.client.e2e_delta_us; all of
+// it is mirrored into the --report artifact.
+//
+// --trace FILE installs an obs::TraceRecorder for the run and exports
+// the client-side Chrome trace (net.submit spans, net.clock_sync
+// markers) on exit; examples/trace_merge joins it with the server's
+// --trace export into one timeline.
 //
 // Client mix:
 //   --clients N       small sorts, one tenant each ("tenant-<i>")
@@ -47,6 +56,7 @@
 #include "net/client.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "record/generator.h"
 
 using namespace alphasort;
@@ -67,6 +77,7 @@ struct LoadConfig {
   uint64_t greedy_mb = 40;
   bool smoke = false;
   std::string report_path;
+  std::string trace_path;
 };
 
 struct WorkerTally {
@@ -93,6 +104,40 @@ uint64_t NowUs() {
 obs::Histogram* ClientE2eUs() {
   static obs::Histogram* h =
       obs::MetricsRegistry::Global()->GetHistogram("net.client.e2e_us");
+  return h;
+}
+// Server-side stage attribution as the client received it in the v2
+// RESULT frame — the client's view of where the server spent its time.
+obs::Histogram* StageSpoolUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.spool_us");
+  return h;
+}
+obs::Histogram* StageQueueUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.queue_us");
+  return h;
+}
+obs::Histogram* StageSortUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.sort_us");
+  return h;
+}
+obs::Histogram* StageMergeUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.merge_us");
+  return h;
+}
+obs::Histogram* StageStreamUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.stream_us");
+  return h;
+}
+// Client-observed e2e minus server-reported elapsed_us: what the wire
+// and the client stack added on top of the server's own account.
+obs::Histogram* E2eDeltaUs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.e2e_delta_us");
   return h;
 }
 
@@ -188,6 +233,14 @@ void RunClient(const LoadConfig& cfg, const std::string& tenant,
         return;
       }
       ClientE2eUs()->Record(elapsed);
+      StageSpoolUs()->Record(outcome.spool_us);
+      StageQueueUs()->Record(outcome.queue_us);
+      StageSortUs()->Record(outcome.sort_us);
+      StageMergeUs()->Record(outcome.merge_us);
+      StageStreamUs()->Record(outcome.stream_us);
+      E2eDeltaUs()->Record(elapsed >= outcome.server_elapsed_us
+                               ? elapsed - outcome.server_elapsed_us
+                               : 0);
       tally->ok.fetch_add(1);
       done = true;
     }
@@ -299,6 +352,8 @@ bool ProbeResidue(const LoadConfig& cfg, net::StatusReplyFrame* last) {
 
 int RunLoad(const LoadConfig& cfg) {
   WorkerTally tally;
+  obs::TraceRecorder recorder;
+  if (!cfg.trace_path.empty()) recorder.Install();
   const uint64_t t0 = NowUs();
 
   std::vector<std::thread> workers;
@@ -375,11 +430,45 @@ int RunLoad(const LoadConfig& cfg) {
     entry.values.emplace_back("p50_us", lat.Percentile(50));
     entry.values.emplace_back("p95_us", lat.Percentile(95));
     entry.values.emplace_back("p99_us", lat.Percentile(99));
+    // Where the server said the time went, as percentiles over every
+    // completed job (from the v2 RESULT stage breakdown).
+    const struct {
+      const char* name;
+      obs::Histogram* h;
+    } stages[] = {
+        {"spool", StageSpoolUs()}, {"queue", StageQueueUs()},
+        {"sort", StageSortUs()},   {"merge", StageMergeUs()},
+        {"stream", StageStreamUs()},
+    };
+    for (const auto& stage : stages) {
+      const obs::HistogramSnapshot snap = stage.h->Snapshot();
+      entry.values.emplace_back(StrFormat("%s_p50_us", stage.name),
+                                snap.Percentile(50));
+      entry.values.emplace_back(StrFormat("%s_p95_us", stage.name),
+                                snap.Percentile(95));
+      entry.values.emplace_back(StrFormat("%s_p99_us", stage.name),
+                                snap.Percentile(99));
+    }
+    const obs::HistogramSnapshot delta = E2eDeltaUs()->Snapshot();
+    entry.values.emplace_back("e2e_delta_p50_us", delta.Percentile(50));
+    entry.values.emplace_back("e2e_delta_p95_us", delta.Percentile(95));
     report.entries.push_back(std::move(entry));
     if (!WriteTextFile(cfg.report_path, report.ToJson())) {
       fprintf(stderr, "FAIL: cannot write report %s\n",
               cfg.report_path.c_str());
       ++failures;
+    }
+  }
+  if (!cfg.trace_path.empty()) {
+    obs::TraceRecorder::Uninstall();
+    if (!WriteTextFile(cfg.trace_path, recorder.ToChromeJson())) {
+      fprintf(stderr, "FAIL: cannot write trace %s\n",
+              cfg.trace_path.c_str());
+      ++failures;
+    } else {
+      printf("trace: %s (%zu events, %llu dropped)\n",
+             cfg.trace_path.c_str(), recorder.size(),
+             static_cast<unsigned long long>(recorder.dropped()));
     }
   }
   return failures == 0 ? 0 : 1;
@@ -416,12 +505,14 @@ int main(int argc, char** argv) {
       cfg.smoke = true;
     } else if (strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
       cfg.report_path = argv[++i];
+    } else if (strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      cfg.trace_path = argv[++i];
     } else {
       fprintf(stderr,
               "usage: %s (--port P | --port-file FILE) [--host H] "
               "[--clients N] [--jobs N] [--records N] [--big-clients N] "
               "[--big-records N] [--disconnects N] [--greedy N] "
-              "[--greedy-mb MB] [--smoke] [--report FILE]\n",
+              "[--greedy-mb MB] [--smoke] [--report FILE] [--trace FILE]\n",
               argv[0]);
       return 2;
     }

@@ -5,6 +5,7 @@
 //                  [--queued N] [--workers K] [--max-conns N]
 //                  [--quota-mb MB] [--quota-refill-mbps MB]
 //                  [--run-seconds S] [--expo FILE] [--log-jsonl FILE]
+//                  [--trace FILE] [--slow-ms MS]
 //
 // Binds a NetServer (src/net/server.h) in front of a SortService and
 // serves until SIGINT/SIGTERM (or --run-seconds, for scripted runs).
@@ -15,7 +16,12 @@
 //
 // --expo FILE rewrites the Prometheus-style exposition once a second
 // while serving (net.* alongside svc.*); --log-jsonl FILE captures the
-// structured log (svc.conn.* events) for log_lint.
+// structured log (svc.conn.* events) for log_lint. --trace FILE exports
+// the server-side Chrome trace (net.spool / net.sort_wait /
+// net.stream_back spans, net.clock_sync markers) on exit, the server
+// half of an examples/trace_merge join. --slow-ms MS makes any job
+// whose end-to-end time reaches MS milliseconds emit a svc.job.slow
+// warning with its full per-stage breakdown (0 = off).
 
 #include <csignal>
 #include <cstdio>
@@ -32,6 +38,7 @@
 #include "net/server.h"
 #include "obs/exposition.h"
 #include "obs/log.h"
+#include "obs/trace.h"
 
 using namespace alphasort;
 
@@ -56,6 +63,8 @@ struct DaemonConfig {
   double run_seconds = 0;  // 0 = until signalled
   std::string expo_path;
   std::string log_jsonl_path;
+  std::string trace_path;
+  uint64_t slow_ms = 0;  // 0 = no slow-job warnings
 };
 
 bool WriteTextFile(const std::string& path, const std::string& text) {
@@ -67,6 +76,8 @@ bool WriteTextFile(const std::string& path, const std::string& text) {
 }
 
 int RunDaemon(const DaemonConfig& cfg) {
+  obs::TraceRecorder recorder;
+  if (!cfg.trace_path.empty()) recorder.Install();
   std::unique_ptr<obs::JsonlFileLogSink> log_sink;
   if (!cfg.log_jsonl_path.empty()) {
     log_sink = std::make_unique<obs::JsonlFileLogSink>(cfg.log_jsonl_path);
@@ -106,6 +117,7 @@ int RunDaemon(const DaemonConfig& cfg) {
   nopts.job_defaults.io_chunk_bytes = 64 * 1024;
   nopts.job_defaults.run_size_records = 10000;
   nopts.job_defaults.memory_budget = 16 << 20;
+  nopts.slow_job_threshold_us = cfg.slow_ms * 1000;
 
   net::NetServer server(env, nopts);
   if (Status s = server.Start(); !s.ok()) {
@@ -168,6 +180,16 @@ int RunDaemon(const DaemonConfig& cfg) {
     fprintf(stderr, "cannot write exposition to %s\n", cfg.expo_path.c_str());
     return 1;
   }
+  if (!cfg.trace_path.empty()) {
+    obs::TraceRecorder::Uninstall();
+    if (!WriteTextFile(cfg.trace_path, recorder.ToChromeJson())) {
+      fprintf(stderr, "cannot write trace to %s\n", cfg.trace_path.c_str());
+      return 1;
+    }
+    printf("trace: %s (%zu events, %llu dropped)\n", cfg.trace_path.c_str(),
+           recorder.size(),
+           static_cast<unsigned long long>(recorder.dropped()));
+  }
   return 0;
 }
 
@@ -204,13 +226,17 @@ int main(int argc, char** argv) {
       cfg.expo_path = argv[++i];
     } else if (strcmp(argv[i], "--log-jsonl") == 0 && i + 1 < argc) {
       cfg.log_jsonl_path = argv[++i];
+    } else if (strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      cfg.trace_path = argv[++i];
+    } else if (strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      cfg.slow_ms = strtoull(argv[++i], nullptr, 10);
     } else {
       fprintf(stderr,
               "usage: %s [--port P] [--port-file FILE] [--mem] "
               "[--data-root DIR] [--budget-mb MB] [--running K] "
               "[--queued N] [--workers K] [--max-conns N] [--quota-mb MB] "
               "[--quota-refill-mbps MB] [--run-seconds S] [--expo FILE] "
-              "[--log-jsonl FILE]\n",
+              "[--log-jsonl FILE] [--trace FILE] [--slow-ms MS]\n",
               argv[0]);
       return 2;
     }

@@ -4,6 +4,7 @@
 //   ./sort_top [--jobs N] [--running K] [--records N] [--budget-mb MB]
 //              [--job-budget-mb MB] [--workers K] [--interval-ms MS]
 //              [--smoke]
+//   ./sort_top --expo-file FILE [--interval-ms MS] [--watch-seconds S]
 //
 // Submits N concurrent Datamation jobs whose summed budgets oversubscribe
 // the service budget, then repeatedly scrapes obs::RenderExposition() —
@@ -12,6 +13,14 @@
 // finishes. The monitor deliberately consumes only the exposition text,
 // not the SortJob handles, so it exercises the full metrics path:
 // pipeline -> JobProgressTracker -> ProgressRegistry -> exposition.
+// The header names the scrape source, so a pasted screenful says where
+// its numbers came from: the in-process registry, or (--expo-file) the
+// exposition file a sort_serverd --expo rewrites while serving — the
+// remote-monitor shape, sort_top as a pure consumer of scrape text.
+//
+// Either source also renders the per-stage latency summary from the
+// alphasort_net_job_{spool,queue,sort,merge,stream,e2e}_us series
+// (obs::JobTimeline histograms) whenever the scrape carries them.
 //
 // --smoke is the CI shape: 4 jobs over 2 runners, polled continuously.
 // Exit is nonzero if any job fails, any job's observed fraction ever
@@ -47,6 +56,8 @@ struct MonitorConfig {
   int workers = 2;
   int interval_ms = 100;
   bool smoke = false;
+  std::string expo_file;
+  double watch_seconds = 0;  // --expo-file: 0 = one scrape and exit
 };
 
 // One job's row parsed back out of the exposition text.
@@ -101,6 +112,105 @@ std::map<uint64_t, JobRow> ParseJobs(const std::string& expo) {
   return rows;
 }
 
+// One net.job.* stage family's summary samples out of a scrape.
+struct StageQuantiles {
+  double p50 = 0, p95 = 0, p99 = 0;
+  double count = 0;
+  bool seen = false;
+};
+
+// Parses the alphasort_net_job_<stage>_us summary series (quantile
+// samples and _count) out of one exposition scrape.
+std::map<std::string, StageQuantiles> ParseStages(const std::string& expo) {
+  static const char* kPrefix = "alphasort_net_job_";
+  const size_t prefix_len = strlen(kPrefix);
+  std::map<std::string, StageQuantiles> stages;
+  size_t start = 0;
+  while (start < expo.size()) {
+    size_t end = expo.find('\n', start);
+    if (end == std::string::npos) end = expo.size();
+    const std::string line = expo.substr(start, end - start);
+    start = end + 1;
+    if (line.compare(0, prefix_len, kPrefix) != 0) continue;
+    const size_t sp = line.find_last_of(' ');
+    if (sp == std::string::npos) continue;
+    const double value = strtod(line.c_str() + sp + 1, nullptr);
+    const size_t q = line.find("{quantile=\"");
+    if (q != std::string::npos) {
+      StageQuantiles& s = stages[line.substr(prefix_len, q - prefix_len)];
+      s.seen = true;
+      const std::string quant = line.substr(q + 11, 4);
+      if (quant.compare(0, 3, "0.5") == 0) s.p50 = value;
+      if (quant == "0.95") s.p95 = value;
+      if (quant == "0.99") s.p99 = value;
+      continue;
+    }
+    const size_t count_at = line.rfind("_us_count ");
+    if (count_at != std::string::npos && count_at > prefix_len) {
+      StageQuantiles& s =
+          stages[line.substr(prefix_len, count_at + 3 - prefix_len)];
+      s.seen = true;
+      s.count = value;
+    }
+  }
+  return stages;
+}
+
+// Renders the per-stage latency table when the scrape carries any
+// net.job.* stage series (it does once the first networked job
+// completes server-side).
+void PrintStages(const std::string& expo) {
+  const std::map<std::string, StageQuantiles> stages = ParseStages(expo);
+  if (stages.empty()) return;
+  printf("net.job stage latency:  %-8s %10s %10s %10s %8s\n", "stage",
+         "p50_us", "p95_us", "p99_us", "jobs");
+  // Pipeline order, not map order — spool feeds queue feeds sort...
+  for (const char* name :
+       {"spool_us", "queue_us", "sort_us", "merge_us", "stream_us",
+        "e2e_us"}) {
+    auto it = stages.find(name);
+    if (it == stages.end() || !it->second.seen) continue;
+    printf("                        %-8.*s %10.0f %10.0f %10.0f %8.0f\n",
+           int(strlen(name) - 3), name, it->second.p50, it->second.p95,
+           it->second.p99, it->second.count);
+  }
+  printf("\n");
+}
+
+// --expo-file: the remote-monitor mode. No service is started; the
+// scrape text is whatever the daemon last wrote, polled until
+// --watch-seconds runs out (0 = a single scrape).
+int RunFileScrape(const MonitorConfig& cfg) {
+  printf("sort_top: scraping file %s every %dms\n\n",
+         cfg.expo_file.c_str(), cfg.interval_ms);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(cfg.watch_seconds);
+  for (;;) {
+    FILE* f = fopen(cfg.expo_file.c_str(), "rb");
+    if (f == nullptr) {
+      fprintf(stderr, "sort_top: cannot read %s\n", cfg.expo_file.c_str());
+      return 1;
+    }
+    std::string expo;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), f)) > 0) expo.append(buf, got);
+    fclose(f);
+
+    const std::map<uint64_t, JobRow> rows = ParseJobs(expo);
+    for (const auto& [id, row] : rows) {
+      printf("job %-3llu %-8s %5.1f%%  %7.1f MB/s  eta %5.2fs\n",
+             static_cast<unsigned long long>(id),
+             row.phase.empty() ? "?" : row.phase.c_str(),
+             100 * row.fraction, row.bytes_per_s / 1e6, row.eta_s);
+    }
+    if (!rows.empty()) printf("\n");
+    PrintStages(expo);
+    if (std::chrono::steady_clock::now() >= deadline) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.interval_ms));
+  }
+}
+
 int RunMonitor(const MonitorConfig& cfg) {
   std::unique_ptr<Env> mem = NewMemEnv();
   const RecordFormat format = kDatamationFormat;
@@ -146,6 +256,7 @@ int RunMonitor(const MonitorConfig& cfg) {
     }
     jobs.push_back(std::move(job).value());
   }
+  printf("sort_top: scraping in-process registry\n");
   printf("%d jobs over %d runner(s), %llu MB service budget\n\n",
          cfg.jobs, cfg.running,
          static_cast<unsigned long long>(cfg.budget_mb));
@@ -187,6 +298,7 @@ int RunMonitor(const MonitorConfig& cfg) {
                100 * row.fraction, row.bytes_per_s / 1e6, row.eta_s);
       }
       printf("\n");
+      PrintStages(expo);
     }
     if (all_done || failures > 0) break;
     if (!cfg.smoke) {
@@ -271,15 +383,21 @@ int main(int argc, char** argv) {
       cfg.interval_ms = atoi(argv[++i]);
     } else if (strcmp(argv[i], "--smoke") == 0) {
       cfg.smoke = true;
+    } else if (strcmp(argv[i], "--expo-file") == 0 && i + 1 < argc) {
+      cfg.expo_file = argv[++i];
+    } else if (strcmp(argv[i], "--watch-seconds") == 0 && i + 1 < argc) {
+      cfg.watch_seconds = atof(argv[++i]);
     } else {
       fprintf(stderr,
               "usage: %s [--jobs N] [--running K] [--records N] "
               "[--budget-mb MB] [--job-budget-mb MB] [--workers K] "
-              "[--interval-ms MS] [--smoke]\n",
+              "[--interval-ms MS] [--smoke] | "
+              "--expo-file FILE [--interval-ms MS] [--watch-seconds S]\n",
               argv[0]);
       return 2;
     }
   }
+  if (!cfg.expo_file.empty()) return RunFileScrape(cfg);
   if (cfg.smoke) {
     cfg.jobs = 4;
     cfg.running = 2;

@@ -2,14 +2,18 @@
 // `asort --trace` (or any obs::TraceRecorder export).
 //
 //   ./trace_lint FILE [--require NAME]... [--require-counter NAME]...
-//                [--require-job NAME]... [--distinct-threads N]
+//                [--require-job NAME]... [--require-trace-id NAME]...
+//                [--distinct-threads N]
 //
 // Exits 0 when FILE parses as a structurally valid Chrome trace, every
 // --require NAME appears as an event-name substring, every
 // --require-counter NAME appears as a counter event (ph "C") with that
 // exact name and a numeric args.value, every event whose name contains a
 // --require-job NAME carries a numeric args.job (the obs::ScopedJobId
-// attribution), events span at least N distinct tids, and each thread's
+// attribution), every event whose name contains a --require-trace-id
+// NAME carries a nonzero numeric args.trace_id (the distributed
+// obs::ScopedTraceId attribution), events span at least N distinct
+// tids, and each thread's
 // timestamps are monotonically non-decreasing (the recorder exports a
 // globally time-sorted array; out-of-order events within one tid mean a
 // broken export or a hand-edited file).
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> required;
   std::vector<std::string> required_counters;
   std::vector<std::string> required_jobs;
+  std::vector<std::string> required_trace_ids;
   size_t distinct_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
@@ -48,6 +53,8 @@ int main(int argc, char** argv) {
       required_counters.push_back(argv[++i]);
     } else if (strcmp(argv[i], "--require-job") == 0 && i + 1 < argc) {
       required_jobs.push_back(argv[++i]);
+    } else if (strcmp(argv[i], "--require-trace-id") == 0 && i + 1 < argc) {
+      required_trace_ids.push_back(argv[++i]);
     } else if (strcmp(argv[i], "--distinct-threads") == 0 && i + 1 < argc) {
       distinct_threads = strtoul(argv[++i], nullptr, 10);
     } else if (path.empty() && argv[i][0] != '-') {
@@ -56,7 +63,7 @@ int main(int argc, char** argv) {
       fprintf(stderr,
               "usage: %s FILE [--require NAME]... "
               "[--require-counter NAME]... [--require-job NAME]... "
-              "[--distinct-threads N]\n",
+              "[--require-trace-id NAME]... [--distinct-threads N]\n",
               argv[0]);
       return 2;
     }
@@ -156,6 +163,22 @@ int main(int argc, char** argv) {
         fprintf(stderr,
                 "trace_lint: event \"%s\" (event %zu) matches "
                 "--require-job \"%s\" but has no numeric args.job\n",
+                name->string_value.c_str(), i, want.c_str());
+        return 1;
+      }
+    }
+    for (const std::string& want : required_trace_ids) {
+      if (name->string_value.find(want) == std::string::npos) continue;
+      const obs::JsonValue* trace_field =
+          ev_args != nullptr && ev_args->IsObject()
+              ? ev_args->Find("trace_id")
+              : nullptr;
+      if (trace_field == nullptr || !trace_field->IsNumber() ||
+          trace_field->number_value == 0) {
+        fprintf(stderr,
+                "trace_lint: event \"%s\" (event %zu) matches "
+                "--require-trace-id \"%s\" but has no nonzero numeric "
+                "args.trace_id\n",
                 name->string_value.c_str(), i, want.c_str());
         return 1;
       }

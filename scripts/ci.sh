@@ -88,8 +88,8 @@ stage_smokes() {
   echo "=== smokes: build ==="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$(nproc)" --target \
-    fault_campaign asort trace_lint report_lint expo_lint log_lint \
-    sort_service sort_top sort_serverd sort_loadgen
+    fault_campaign asort trace_lint trace_merge report_lint expo_lint \
+    log_lint sort_service sort_top sort_serverd sort_loadgen
 
   echo
   echo "=== fault-campaign smoke: 32 seeded storms must never lie ==="
@@ -212,6 +212,50 @@ stage_smokes() {
   ./build/examples/expo_lint ci-artifacts/net_exposition.txt \
     --require-nonzero alphasort_net_conns_accepted \
     --require-nonzero alphasort_net_jobs_completed
+
+  echo
+  echo "=== trace-merge smoke: client + server traces join on one timeline ==="
+  # The distributed-tracing gate (docs/observability.md): a small traced
+  # run where both sides export Chrome traces around the v2 HELLO
+  # clock-sync handshake, trace_merge aligns them onto one timeline, and
+  # trace_lint requires the client's submit span and the server's
+  # stream-back span to both carry a nonzero args.trace_id — the
+  # cross-process join the trace ids exist for. The merged timeline is
+  # uploaded with the rest of ci-artifacts/.
+  rm -f ci-artifacts/serverd_traced.port
+  ./build/examples/sort_serverd --mem --port 0 \
+    --port-file ci-artifacts/serverd_traced.port \
+    --running 2 --max-conns 16 \
+    --trace ci-artifacts/net_server_trace.json &
+  local traced_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s ci-artifacts/serverd_traced.port ]] && break
+    sleep 0.1
+  done
+  [[ -s ci-artifacts/serverd_traced.port ]] || {
+    echo "FAIL: traced sort_serverd never published its port" >&2
+    kill -KILL "$traced_pid" 2>/dev/null || true
+    return 1
+  }
+  local traced_loadgen_rc=0
+  ./build/examples/sort_loadgen \
+    --port-file ci-artifacts/serverd_traced.port \
+    --clients 4 --jobs 2 --records 5000 \
+    --trace ci-artifacts/net_client_trace.json || traced_loadgen_rc=$?
+  kill -TERM "$traced_pid" 2>/dev/null || true
+  local traced_serverd_rc=0
+  wait "$traced_pid" || traced_serverd_rc=$?
+  if [[ "$traced_loadgen_rc" -ne 0 || "$traced_serverd_rc" -ne 0 ]]; then
+    echo "FAIL: traced run (loadgen rc=$traced_loadgen_rc," \
+      "serverd rc=$traced_serverd_rc)" >&2
+    return 1
+  fi
+  ./build/examples/trace_merge ci-artifacts/net_client_trace.json \
+    ci-artifacts/net_server_trace.json \
+    -o ci-artifacts/net_merged_trace.json
+  ./build/examples/trace_lint ci-artifacts/net_merged_trace.json \
+    --require net.submit --require net.spool --require net.stream_back \
+    --require-trace-id net.submit --require-trace-id net.stream_back
 }
 
 # --- stage: bench ----------------------------------------------------

@@ -137,6 +137,10 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   ctx.num_records = size.value() / options.format.record_size;
   ctx.control = control;
   ctx.job_id = job_id;
+  // The ambient trace id was established by the caller (ExecuteJob's
+  // ScopedTraceId); capture it so chore lambdas can re-establish it on
+  // whichever worker thread picks them up.
+  ctx.trace_id = obs::CurrentTraceId();
   ctx.progress = progress;
 
   metrics->bytes_in = ctx.input_bytes;

@@ -166,6 +166,7 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
     const size_t num_sub = static_cast<size_t>((n + sub - 1) / sub);
     ctx->pool->ParallelFor(num_sub, [&](size_t s) {
       obs::ScopedJobId job_scope(ctx->job_id);
+      obs::ScopedTraceId trace_scope(ctx->trace_id);
       const uint64_t start = s * sub;
       const uint64_t len = std::min<uint64_t>(sub, n - start);
       obs::TraceSpan span("quicksort.run", "cpu");

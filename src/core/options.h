@@ -137,6 +137,13 @@ struct SortOptions {
   // Force a pass count (0 = choose by memory_budget).
   int force_passes = 0;
 
+  // Distributed trace id attributing this job to a request that may span
+  // processes (0 = none). The networked service copies the client-minted
+  // id from the SUBMIT frame here; ExecuteJob establishes it as the
+  // ambient obs::CurrentTraceId() so every span, log event, and progress
+  // record the job produces carries it (docs/observability.md).
+  uint64_t trace_id = 0;
+
   // Wall-clock budget in seconds for the whole sort, 0 = none. The
   // pipeline checks cooperatively at run/merge-batch boundaries and
   // returns Status::DeadlineExceeded once it passes; under a SortService

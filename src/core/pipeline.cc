@@ -25,6 +25,7 @@ void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,
   const size_t per_slice = (n + slices - 1) / slices;
   ctx->pool->ParallelFor(slices, [&](size_t s) {
     obs::ScopedJobId job_scope(ctx->job_id);
+    obs::ScopedTraceId trace_scope(ctx->trace_id);
     const size_t lo = s * per_slice;
     const size_t hi = std::min(n, lo + per_slice);
     if (lo < hi) {
@@ -144,8 +145,9 @@ Status PartitionedMerge(SortContext* ctx, const MergePartition& partition,
     // WaitIdle()s before this function returns.
     ctx->pool->Submit([&, r] {
       // Chores from concurrent jobs interleave on shared workers, so the
-      // ambient job id must be re-established per chore.
+      // ambient job and trace ids must be re-established per chore.
       obs::ScopedJobId job_scope(ctx->job_id);
+      obs::ScopedTraceId trace_scope(ctx->trace_id);
       const MergeRange& range = partition.ranges[r];
       obs::TraceSpan range_span("merge.range", "cpu");
       SortStats stats;
@@ -374,6 +376,7 @@ Status RunOnePass(SortContext* ctx) {
         ctx->pool->Submit([ctx, &records, &entries, &qs_stats, fmt, start,
                            len] {
           obs::ScopedJobId job_scope(ctx->job_id);
+          obs::ScopedTraceId trace_scope(ctx->trace_id);
           obs::TraceSpan span("quicksort.run", "cpu");
           obs::ScopedPerfRegion perf("quicksort");
           SortStats stats;

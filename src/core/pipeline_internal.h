@@ -31,11 +31,13 @@ struct SortContext {
   // polls it at run/merge-batch boundaries via CheckControl.
   const SortControl* control = nullptr;
 
-  // Job attribution and live progress, optional. `job_id` re-establishes
-  // the ambient obs::CurrentJobId() inside chore lambdas (chores from
-  // concurrent jobs interleave on shared worker threads); `progress`
-  // receives the byte flow at every IO-buffer quantum.
+  // Job attribution and live progress, optional. `job_id` (and
+  // `trace_id`, for jobs that arrived over the wire) re-establish the
+  // ambient obs::CurrentJobId()/CurrentTraceId() inside chore lambdas
+  // (chores from concurrent jobs interleave on shared worker threads);
+  // `progress` receives the byte flow at every IO-buffer quantum.
   uint64_t job_id = 0;
+  uint64_t trace_id = 0;
   obs::JobProgressTracker* progress = nullptr;
 
   // Every scratch-run path this sort has created, whether or not it was

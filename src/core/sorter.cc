@@ -24,9 +24,12 @@ void ExecuteJob(Env* env, JobCore* job, AsyncIO* aio, ChorePool* pool) {
     job->state = SortJobState::kRunning;
   }
   // Every span and log event on this thread (and, via SortContext,
-  // every chore the pipeline dispatches) carries this job's id.
+  // every chore the pipeline dispatches) carries this job's id — and,
+  // when the job arrived over the wire, the client's trace id.
   obs::ScopedJobId job_scope(job->id);
-  job->progress.Start(job->id, job->publish_gauges);
+  obs::ScopedTraceId trace_scope(job->options.trace_id);
+  job->progress.Start(job->id, job->publish_gauges,
+                      job->options.trace_id);
   obs::ScopedProgressRegistration progress_scope(&job->progress);
   ALPHASORT_LOG(kInfo, "job.start")
       .U64("job", job->id)

@@ -1,12 +1,39 @@
 #include "net/client.h"
 
 #include <algorithm>
+#include <atomic>
+#include <random>
 
 #include "common/checksum.h"
 #include "common/table.h"
+#include "obs/trace.h"
 
 namespace alphasort {
 namespace net {
+
+namespace {
+
+// Minted trace ids stay within 48 bits: the trace tooling parses JSON
+// numbers as doubles, and 48-bit integers are exact in a double (53-bit
+// mantissa) with headroom. Nonzero by construction (0 = "no trace").
+uint64_t MintTraceId() {
+  constexpr uint64_t kMask = (uint64_t{1} << 48) - 1;
+  static std::atomic<uint64_t> counter{0};
+  static const uint64_t seed = [] {
+    std::random_device rd;
+    return (uint64_t(rd()) << 32) ^ uint64_t(rd());
+  }();
+  uint64_t id = 0;
+  while (id == 0) {
+    // Weyl-style sequence from a random seed: unique per process, very
+    // likely distinct across concurrent clients.
+    const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+    id = (seed + 0x9e3779b97f4a7c15ull * (n + 1)) & kMask;
+  }
+  return id;
+}
+
+}  // namespace
 
 Status SortClient::Connect(const std::string& host, int port,
                            const std::string& tenant, double timeout_s) {
@@ -19,6 +46,7 @@ Status SortClient::Connect(const std::string& host, int port,
 
   HelloFrame hello;
   hello.tenant = tenant;
+  hello.now_us = obs::TraceRawNowUs();
   ALPHASORT_RETURN_IF_ERROR(
       WriteFrame(&conn_, FrameType::kHello, hello.Encode()));
 
@@ -39,6 +67,9 @@ Status SortClient::Connect(const std::string& host, int port,
   HelloFrame reply;
   ALPHASORT_RETURN_IF_ERROR(reply.Decode(frame.payload));
   conn_id_ = reply.conn_id;
+  // Pair of clock-sync events (one here, one server-side on our HELLO):
+  // trace_merge aligns the two recorders' timelines from them.
+  if (reply.now_us != 0) obs::TraceClockSync("net.clock_sync", reply.now_us);
   return Status::OK();
 }
 
@@ -49,11 +80,22 @@ Status SortClient::SubmitSort(const SubmitSpec& spec, const char* data,
   if (sorted != nullptr) sorted->clear();
   if (!conn_.valid()) return Status::IOError("client is not connected");
 
+  // The whole round trip — upload, wait, download — runs under the
+  // job's trace id, as one client-side net.submit span. The server
+  // re-establishes the same id around everything it does for the job,
+  // so the two trace files join on it (examples/trace_merge).
+  const uint64_t trace_id =
+      spec.trace_id != 0 ? spec.trace_id : MintTraceId();
+  outcome->trace_id = trace_id;
+  obs::ScopedTraceId trace_scope(trace_id);
+  obs::TraceSpan submit_span("net.submit", "net");
+
   SubmitFrame submit;
   submit.memory_budget = spec.memory_budget;
   submit.record_size = uint32_t(spec.format.record_size);
   submit.key_size = uint32_t(spec.format.key_size);
   submit.expected_bytes = n;
+  submit.trace_id = trace_id;
   ALPHASORT_RETURN_IF_ERROR(
       WriteFrame(&conn_, FrameType::kSubmit, submit.Encode()));
 
@@ -94,15 +136,35 @@ Status SortClient::SubmitSort(const SubmitSpec& spec, const char* data,
     done.crc32c = crc;
     ALPHASORT_RETURN_IF_ERROR(
         WriteFrame(&conn_, FrameType::kDone, done.Encode()));
-    // Wait for the job's terminal RESULT, ignoring any STATUS replies a
-    // sibling thread's queries might have left interleaved.
-    do {
-      ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
-    } while (frame.type == FrameType::kStatus);
-    if (frame.type != FrameType::kResult) {
-      return Status::InvalidArgument(StrFormat(
-          "expected RESULT, got %s", FrameTypeName(frame.type)));
+  }
+  // Receive until the job's terminal RESULT. On success the server
+  // sends the sorted stream first (DATA... then DONE with the
+  // authoritative byte count and CRC) and the RESULT last, so its
+  // elapsed_us and stage breakdown cover the stream-back; on rejection
+  // or failure the RESULT stands alone. STATUS replies a sibling
+  // thread's queries might have left interleaved are skipped.
+  uint64_t received = 0;
+  uint32_t rx_crc = 0;
+  bool got_done = false;
+  DoneFrame rx_done;
+  while (!early_result) {
+    ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
+    if (frame.type == FrameType::kStatus) continue;
+    if (frame.type == FrameType::kResult) break;
+    if (frame.type == FrameType::kData && !got_done) {
+      rx_crc = Crc32c(frame.payload.data(), frame.payload.size(), rx_crc);
+      received += frame.payload.size();
+      if (sorted != nullptr) sorted->append(frame.payload);
+      continue;
     }
+    if (frame.type == FrameType::kDone && !got_done) {
+      ALPHASORT_RETURN_IF_ERROR(rx_done.Decode(frame.payload));
+      got_done = true;
+      continue;
+    }
+    return Status::InvalidArgument(StrFormat(
+        "unexpected %s frame in the sorted stream",
+        FrameTypeName(frame.type)));
   }
 
   ResultFrame result;
@@ -111,43 +173,38 @@ Status SortClient::SubmitSort(const SubmitSpec& spec, const char* data,
   outcome->job_id = result.job_id;
   outcome->output_bytes = result.output_bytes;
   outcome->server_elapsed_us = result.elapsed_us;
+  outcome->spool_us = result.spool_us;
+  outcome->queue_us = result.queue_us;
+  outcome->sort_us = result.sort_us;
+  outcome->merge_us = result.merge_us;
+  outcome->stream_us = result.stream_us;
   if (!outcome->status.ok()) {
+    if (received != 0 || got_done) {
+      return Status::InvalidArgument(
+          "server streamed sorted data before a failure RESULT");
+    }
     // A delivered rejection: the stream is over, the connection fine.
     return Status::OK();
   }
 
-  // Receive the sorted stream: DATA frames, then DONE carrying the
-  // authoritative byte count and CRC.
-  uint64_t received = 0;
-  uint32_t rx_crc = 0;
-  for (;;) {
-    ALPHASORT_RETURN_IF_ERROR(reader_->Read(&frame));
-    if (frame.type == FrameType::kData) {
-      rx_crc = Crc32c(frame.payload.data(), frame.payload.size(), rx_crc);
-      received += frame.payload.size();
-      if (sorted != nullptr) sorted->append(frame.payload);
-      continue;
-    }
-    if (frame.type == FrameType::kDone) {
-      DoneFrame done;
-      ALPHASORT_RETURN_IF_ERROR(done.Decode(frame.payload));
-      if (done.total_bytes != received || received != result.output_bytes) {
-        return Status::Corruption(StrFormat(
-            "sorted stream length mismatch: RESULT %llu, DONE %llu, "
-            "received %llu",
-            static_cast<unsigned long long>(result.output_bytes),
-            static_cast<unsigned long long>(done.total_bytes),
-            static_cast<unsigned long long>(received)));
-      }
-      if (done.crc32c != rx_crc) {
-        return Status::Corruption("sorted stream failed its CRC check");
-      }
-      outcome->output_crc32c = done.crc32c;
-      return Status::OK();
-    }
-    return Status::InvalidArgument(StrFormat(
-        "unexpected %s frame in the sorted stream", FrameTypeName(frame.type)));
+  if (!got_done) {
+    return Status::InvalidArgument(
+        "RESULT(OK) arrived without a sorted DATA...DONE stream");
   }
+  if (rx_done.total_bytes != received ||
+      received != result.output_bytes) {
+    return Status::Corruption(StrFormat(
+        "sorted stream length mismatch: RESULT %llu, DONE %llu, "
+        "received %llu",
+        static_cast<unsigned long long>(result.output_bytes),
+        static_cast<unsigned long long>(rx_done.total_bytes),
+        static_cast<unsigned long long>(received)));
+  }
+  if (rx_done.crc32c != rx_crc) {
+    return Status::Corruption("sorted stream failed its CRC check");
+  }
+  outcome->output_crc32c = rx_done.crc32c;
+  return Status::OK();
 }
 
 Status SortClient::QueryServerStatus(StatusReplyFrame* reply) {

@@ -21,16 +21,29 @@ struct SubmitSpec {
   uint64_t memory_budget = 0;  // 0 = server default
   RecordFormat format = kDatamationFormat;
   size_t chunk_bytes = 256 * 1024;  // DATA frame payload size
+  // Distributed trace id to submit under; 0 = mint one. Minted ids are
+  // nonzero and fit in 48 bits, so tooling that parses trace JSON with
+  // double-precision numbers (trace_merge, trace_lint) round-trips them
+  // exactly. A caller-provided id is used verbatim.
+  uint64_t trace_id = 0;
 };
 
-// Terminal outcome of one submitted job, unpacked from the RESULT (and,
-// on success, the trailing DONE) frames.
+// Terminal outcome of one submitted job, unpacked from the terminal
+// RESULT (and, on success, the preceding sorted-stream DONE) frames.
 struct NetSortOutcome {
   Status status;  // the job's own outcome, distinct from transport health
   uint64_t job_id = 0;
   uint64_t output_bytes = 0;
   uint32_t output_crc32c = 0;  // CRC of the sorted stream (from DONE)
   uint64_t server_elapsed_us = 0;
+  uint64_t trace_id = 0;  // the id this job ran under (minted or given)
+  // Server-side per-stage attribution from the v2 RESULT (zero on
+  // failure paths): where server_elapsed_us went. See docs/net.md.
+  uint64_t spool_us = 0;
+  uint64_t queue_us = 0;
+  uint64_t sort_us = 0;
+  uint64_t merge_us = 0;
+  uint64_t stream_us = 0;
 };
 
 class SortClient {

@@ -202,21 +202,25 @@ std::string HelloFrame::Encode() const {
   PutU32(&p, version);
   PutString(&p, tenant);
   PutU64(&p, conn_id);
+  PutU64(&p, now_us);
   return p;
 }
 
 Status HelloFrame::Decode(const std::string& payload) {
   Reader r(payload);
   ALPHASORT_RETURN_IF_ERROR(r.U32(&version));
-  ALPHASORT_RETURN_IF_ERROR(r.Str(&tenant));
-  ALPHASORT_RETURN_IF_ERROR(r.U64(&conn_id));
-  ALPHASORT_RETURN_IF_ERROR(r.Done());
+  // Version gates the rest of the layout: a v1 HELLO is 8 bytes shorter,
+  // so checking after the reads would report "payload truncated" instead
+  // of the actionable mismatch message old peers are promised.
   if (version != kProtocolVersion) {
     return Status::InvalidArgument(StrFormat(
         "protocol version mismatch: peer speaks %u, this side speaks %u",
         version, kProtocolVersion));
   }
-  return Status::OK();
+  ALPHASORT_RETURN_IF_ERROR(r.Str(&tenant));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&conn_id));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&now_us));
+  return r.Done();
 }
 
 // --- SUBMIT ---------------------------------------------------------
@@ -227,6 +231,7 @@ std::string SubmitFrame::Encode() const {
   PutU32(&p, record_size);
   PutU32(&p, key_size);
   PutU64(&p, expected_bytes);
+  PutU64(&p, trace_id);
   return p;
 }
 
@@ -236,6 +241,7 @@ Status SubmitFrame::Decode(const std::string& payload) {
   ALPHASORT_RETURN_IF_ERROR(r.U32(&record_size));
   ALPHASORT_RETURN_IF_ERROR(r.U32(&key_size));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&expected_bytes));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&trace_id));
   ALPHASORT_RETURN_IF_ERROR(r.Done());
   if (record_size == 0 || record_size > (1u << 16)) {
     return Status::InvalidArgument(
@@ -288,6 +294,7 @@ std::string StatusReplyFrame::Encode() const {
   PutU64(&p, admitted_bytes);
   PutU64(&p, conns_active);
   PutU64(&p, net_jobs_inflight);
+  PutU64(&p, quota_remaining);
   return p;
 }
 
@@ -301,6 +308,7 @@ Status StatusReplyFrame::Decode(const std::string& payload) {
   ALPHASORT_RETURN_IF_ERROR(r.U64(&admitted_bytes));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&conns_active));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&net_jobs_inflight));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&quota_remaining));
   return r.Done();
 }
 
@@ -328,6 +336,11 @@ std::string ResultFrame::Encode() const {
   PutU64(&p, output_bytes);
   PutU32(&p, output_crc32c);
   PutU64(&p, elapsed_us);
+  PutU64(&p, spool_us);
+  PutU64(&p, queue_us);
+  PutU64(&p, sort_us);
+  PutU64(&p, merge_us);
+  PutU64(&p, stream_us);
   return p;
 }
 
@@ -339,6 +352,11 @@ Status ResultFrame::Decode(const std::string& payload) {
   ALPHASORT_RETURN_IF_ERROR(r.U64(&output_bytes));
   ALPHASORT_RETURN_IF_ERROR(r.U32(&output_crc32c));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&elapsed_us));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&spool_us));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&queue_us));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&sort_us));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&merge_us));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&stream_us));
   ALPHASORT_RETURN_IF_ERROR(r.Done());
   if (code > uint32_t(Status::Code::kDeadlineExceeded)) {
     return Status::InvalidArgument(

@@ -29,24 +29,33 @@ namespace net {
 //
 // A conversation (client speaks first):
 //
-//   C: HELLO{version, tenant}          S: HELLO{version, conn_id}
-//   C: SUBMIT{budget, record fmt}
+//   C: HELLO{version, tenant, now_us}  S: HELLO{version, conn_id, now_us}
+//   C: SUBMIT{budget, record fmt, trace_id}
 //   C: DATA{record bytes}...           (STATUS/CANCEL may interleave)
 //   C: DONE{total_bytes, crc}
-//                                      S: RESULT{job, status, bytes, crc}
 //                                      S: DATA{sorted bytes}...
 //                                      S: DONE{total_bytes, crc}
+//                                      S: RESULT{job, status, bytes, crc,
+//                                                stage micros}
 //   ... the connection is back to idle; SUBMIT may repeat.
 //
-// STATUS works at any point after HELLO: job_id=0 asks for server-level
-// stats, otherwise for that job's state/progress. CANCEL aborts the
-// connection's in-flight job. Errors end with a RESULT carrying the
-// non-OK code; the server closes after protocol errors.
+// RESULT is always the terminal frame of a job (since v2): on success it
+// follows the sorted DATA...DONE stream, so its elapsed_us and per-stage
+// breakdown cover the stream-back; on failure or rejection it stands
+// alone and nothing follows. STATUS works at any point after HELLO:
+// job_id=0 asks for server-level stats, otherwise for that job's
+// state/progress. CANCEL aborts the connection's in-flight job. Errors
+// end with a RESULT carrying the non-OK code; the server closes after
+// protocol errors.
 
 // Bump when the frame grammar or any payload layout changes. A HELLO
 // carrying a different version is answered with InvalidArgument and the
 // connection is closed — no silent downgrade.
-inline constexpr uint32_t kProtocolVersion = 1;
+//
+// v2: HELLO gained now_us (clock sync), SUBMIT gained trace_id,
+// STATUS-reply gained quota_remaining, RESULT gained the per-stage
+// breakdown and moved behind the sorted stream (docs/net.md appendix).
+inline constexpr uint32_t kProtocolVersion = 2;
 
 // Largest payload a frame may carry. Data is chunked under this by the
 // senders; the bound is what lets a receiver reject a garbage length
@@ -124,6 +133,11 @@ struct HelloFrame {
   uint32_t version = kProtocolVersion;
   std::string tenant;    // quota identity; empty = "default" tenant
   uint64_t conn_id = 0;  // server->client only
+  // Sender's raw steady-clock reading (obs::TraceRawNowUs) at send time.
+  // Each side records the peer's value as a trace clock-sync event;
+  // examples/trace_merge uses the exchanged pair to map client and
+  // server traces onto one timeline.
+  uint64_t now_us = 0;
 
   std::string Encode() const;
   Status Decode(const std::string& payload);
@@ -136,6 +150,12 @@ struct SubmitFrame {
   uint32_t record_size = 100;   // RecordFormat::record_size
   uint32_t key_size = 10;       // RecordFormat::key_size
   uint64_t expected_bytes = 0;  // advisory; 0 = unknown
+  // Client-minted distributed trace id (0 = none). The server carries it
+  // through the job's whole life — spans, log events, progress gauges —
+  // so both sides' observability joins on one id. Client-generated ids
+  // stay within 48 bits (SortClient masks) so JSON tooling that parses
+  // numbers as doubles round-trips them exactly.
+  uint64_t trace_id = 0;
 
   std::string Encode() const;
   Status Decode(const std::string& payload);
@@ -171,6 +191,10 @@ struct StatusReplyFrame {
   uint64_t admitted_bytes = 0;
   uint64_t conns_active = 0;
   uint64_t net_jobs_inflight = 0;  // spooling/running/streaming over net
+  // Quota tokens the requesting tenant has left right now (refill
+  // applied), so clients can back off *before* earning an Unavailable.
+  // UINT64_MAX = quotas disabled, spend freely.
+  uint64_t quota_remaining = 0;
 
   std::string Encode() const;
   Status Decode(const std::string& payload);
@@ -186,16 +210,26 @@ struct CancelFrame {
 };
 
 // Server -> client: terminal outcome of one job (or of a protocol-level
-// rejection, job_id = 0). On OK the sorted stream follows as
-// DATA...DONE; on error nothing follows and the connection is back to
-// idle (or closed, for envelope-level errors).
+// rejection, job_id = 0). Since v2 the RESULT *follows* the sorted
+// DATA...DONE stream on success, so elapsed_us and the stage breakdown
+// cover the stream-back; on error it stands alone and nothing follows
+// (the connection is back to idle, or closed for envelope-level
+// errors).
 struct ResultFrame {
   uint64_t job_id = 0;
   uint32_t code = 0;  // Status::Code cast to its numeric value
   std::string message;
   uint64_t output_bytes = 0;
   uint32_t output_crc32c = 0;
-  uint64_t elapsed_us = 0;  // submit received -> result sent, server clock
+  uint64_t elapsed_us = 0;  // submit received -> stream-back done, server clock
+  // Per-stage latency attribution (obs::JobTimeline): where elapsed_us
+  // went. spool + queue + sort + merge + stream ≈ elapsed_us (only
+  // inter-stage gaps are unattributed). All zero on failure paths.
+  uint64_t spool_us = 0;   // receiving the upload
+  uint64_t queue_us = 0;   // admission + queue wait beyond pipeline work
+  uint64_t sort_us = 0;    // pipeline startup + read/QuickSort + last run
+  uint64_t merge_us = 0;   // pipeline merge + close
+  uint64_t stream_us = 0;  // streaming the sorted output back
 
   std::string Encode() const;
   Status Decode(const std::string& payload);

@@ -36,6 +36,12 @@ double TokenBucket::tokens() const {
   return tokens_;
 }
 
+uint64_t TokenBucket::Available(uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now_us);
+  return tokens_ <= 0 ? 0 : static_cast<uint64_t>(tokens_);
+}
+
 TokenBucket* TenantQuotas::BucketFor(const std::string& tenant) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = buckets_[tenant];
@@ -71,6 +77,12 @@ Status TenantQuotas::Charge(const std::string& tenant, uint64_t bytes,
 void TenantQuotas::Refund(const std::string& tenant, uint64_t bytes) {
   if (!enabled() || bytes == 0) return;
   BucketFor(tenant)->Refund(bytes);
+}
+
+uint64_t TenantQuotas::Remaining(const std::string& tenant,
+                                 uint64_t now_us) {
+  if (!enabled()) return UINT64_MAX;
+  return BucketFor(tenant)->Available(now_us);
 }
 
 }  // namespace net

@@ -50,6 +50,12 @@ class TokenBucket {
   uint64_t capacity() const { return capacity_; }
   double tokens() const;
 
+  // Tokens available right now: refills for the elapsed time first, so
+  // the answer reflects what a TryAcquire at `now_us` would see (tokens()
+  // reports the balance as of the last charge, which understates an idle
+  // bucket).
+  uint64_t Available(uint64_t now_us);
+
  private:
   void RefillLocked(uint64_t now_us);
 
@@ -82,6 +88,12 @@ class TenantQuotas {
 
   // Returns a previous charge (failed/cancelled job).
   void Refund(const std::string& tenant, uint64_t bytes);
+
+  // Bytes the tenant could charge right now (refill applied). UINT64_MAX
+  // when quotas are disabled — "spend freely", matching Charge()'s
+  // unconditional OK. Exposed to clients in the STATUS reply so they can
+  // back off before earning an Unavailable.
+  uint64_t Remaining(const std::string& tenant, uint64_t now_us);
 
   bool enabled() const { return options_.capacity_bytes > 0; }
 

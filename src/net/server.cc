@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace alphasort {
@@ -18,8 +19,8 @@ namespace net {
 namespace {
 
 // Registry instruments (docs/observability.md): gauges mirror live
-// levels, counters accumulate, the histogram carries server-side
-// end-to-end job latency (SUBMIT received -> RESULT sent).
+// levels, counters accumulate. Per-job latency histograms (net.job.*_us,
+// end-to-end and per-stage) are recorded via obs::RecordTimelineHistograms.
 obs::Gauge* ConnsActive() {
   static obs::Gauge* g =
       obs::MetricsRegistry::Global()->GetGauge("net.conns_active");
@@ -75,12 +76,6 @@ obs::Counter* BytesTx() {
       obs::MetricsRegistry::Global()->GetCounter("net.bytes_tx");
   return c;
 }
-obs::Histogram* JobE2eUs() {
-  static obs::Histogram* h =
-      obs::MetricsRegistry::Global()->GetHistogram("net.job.e2e_us");
-  return h;
-}
-
 uint64_t NowUs() {
   return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now().time_since_epoch())
@@ -147,6 +142,7 @@ class NetServer::Connection {
     uint32_t crc = 0;
     uint64_t charged = 0;    // quota bytes to refund on failure
     uint64_t start_us = 0;   // SUBMIT receive time
+    uint64_t spool_us = 0;   // measured around SpoolInput
   };
 
   void Run();
@@ -156,7 +152,8 @@ class NetServer::Connection {
   Status DrainUntilDone(FrameReader* reader);
   void AnswerStatus(const Frame& frame, const SortJob* job);
   Status SendResult(uint64_t job_id, const Status& outcome,
-                    uint64_t output_bytes, uint64_t elapsed_us);
+                    uint64_t output_bytes, uint64_t elapsed_us,
+                    const obs::JobTimeline* timeline = nullptr);
   void CleanupStream(StreamState* st, bool refund);
 
   NetServer* const server_;
@@ -196,8 +193,13 @@ void NetServer::Connection::Run() {
     return;
   }
   if (!hello.tenant.empty()) tenant_ = hello.tenant;
+  // Clock sync, one event per direction: record the client's send-time
+  // reading now (closest to receipt), answer with our own fresh reading.
+  // trace_merge pairs the two events to align the recorders' epochs.
+  if (hello.now_us != 0) obs::TraceClockSync("net.clock_sync", hello.now_us);
   HelloFrame reply;
   reply.conn_id = id_;
+  reply.now_us = obs::TraceRawNowUs();
   (void)WriteFrame(&conn_, FrameType::kHello, reply.Encode());
   ALPHASORT_LOG(kInfo, "svc.conn.hello")
       .U64("conn", id_)
@@ -254,6 +256,10 @@ Status NetServer::Connection::ServeOneJob(FrameReader* reader,
   st.start_us = NowUs();
   st.tenant = tenant_;
   ALPHASORT_RETURN_IF_ERROR(st.submit.Decode(submit_frame.payload));
+  // Everything this job touches on the server — spool/wait/stream spans,
+  // log events, and (via SortOptions) the pipeline itself — carries the
+  // client-minted trace id from here on.
+  obs::ScopedTraceId trace_scope(st.submit.trace_id);
 
   server_->NoteJobInflight(+1);
   struct InflightScope {
@@ -296,7 +302,9 @@ Status NetServer::Connection::ServeOneJob(FrameReader* reader,
   }
 
   bool rejected = false;
+  const uint64_t spool_begin_us = NowUs();
   Status s = SpoolInput(reader, &st, &rejected);
+  st.spool_us = NowUs() - spool_begin_us;
   if (!s.ok()) {
     // Torn stream (mid-stream disconnect) or protocol violation:
     // nothing was submitted, so cleanup is local.
@@ -433,6 +441,7 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
     opts.memory_budget = st->submit.memory_budget;
   }
   opts.scratch_path = server_->options_.data_root + "/scratch";
+  opts.trace_id = st->submit.trace_id;
 
   Result<SortJob> submitted = server_->service_.Submit(opts);
   if (!submitted.ok()) {
@@ -453,6 +462,7 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
   // Spans from here carry the service-assigned job id, so a trace
   // follows one request across accept/spool/sort/stream-back.
   obs::ScopedJobId job_scope(job.id());
+  const uint64_t wait_begin_us = NowUs();
   {
     obs::TraceSpan wait_span("net.sort_wait", "net");
     while (!job.TryWait()) {
@@ -485,70 +495,90 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
     }
   }
 
+  const uint64_t wait_us = NowUs() - wait_begin_us;
+
   const SortResult& r = job.Wait();
-  const uint64_t elapsed_us = NowUs() - st->start_us;
   if (!r.status.ok()) {
     server_->NoteJobResult(false);
     ALPHASORT_LOG(kInfo, "svc.conn.result")
         .U64("conn", id_)
         .U64("job", job.id())
         .Str("status", r.status.ToString());
-    (void)SendResult(job.id(), r.status, 0, elapsed_us);
+    (void)SendResult(job.id(), r.status, 0, NowUs() - st->start_us);
     return Status::OK();
   }
 
-  // Success: RESULT header, then the sorted bytes, then DONE with the
-  // stream CRC. Socket writes block when the client reads slowly —
+  // Success: the sorted bytes, DONE with the stream CRC, then the
+  // terminal RESULT — last so its elapsed_us and stage breakdown cover
+  // the stream-back. Socket writes block when the client reads slowly —
   // TCP backpressure is the flow control.
-  obs::TraceSpan stream_span("net.stream_back", "net");
   Result<uint64_t> out_size = server_->env_->GetFileSize(st->out_path);
   if (!out_size.ok()) {
     server_->NoteJobResult(false);
-    (void)SendResult(job.id(), out_size.status(), 0, elapsed_us);
+    (void)SendResult(job.id(), out_size.status(), 0,
+                     NowUs() - st->start_us);
     return Status::OK();
   }
   const uint64_t total = out_size.value();
   // The sort has run: the quota charge is consumed from here on, even if
   // the client disappears while the result streams back.
   cleanup.refund = false;
-  ALPHASORT_RETURN_IF_ERROR(
-      SendResult(job.id(), Status::OK(), total, elapsed_us));
 
-  Result<std::unique_ptr<File>> out_file =
-      server_->env_->OpenFile(st->out_path, OpenMode::kReadOnly);
-  if (!out_file.ok()) return out_file.status();
-  std::string chunk;
-  uint32_t crc = 0;
-  uint64_t off = 0;
-  while (off < total) {
-    const size_t want = size_t(std::min<uint64_t>(kStreamChunk, total - off));
-    chunk.resize(want);
-    size_t got = 0;
-    Status rs = out_file.value()->Read(off, want, chunk.data(), &got);
-    if (rs.ok() && got != want) {
-      rs = Status::IOError("short read streaming sorted output");
+  const uint64_t stream_begin_us = NowUs();
+  {
+    obs::TraceSpan stream_span("net.stream_back", "net");
+    Result<std::unique_ptr<File>> out_file =
+        server_->env_->OpenFile(st->out_path, OpenMode::kReadOnly);
+    if (!out_file.ok()) return out_file.status();
+    std::string chunk;
+    uint32_t crc = 0;
+    uint64_t off = 0;
+    while (off < total) {
+      const size_t want =
+          size_t(std::min<uint64_t>(kStreamChunk, total - off));
+      chunk.resize(want);
+      size_t got = 0;
+      Status rs = out_file.value()->Read(off, want, chunk.data(), &got);
+      if (rs.ok() && got != want) {
+        rs = Status::IOError("short read streaming sorted output");
+      }
+      if (!rs.ok()) return rs;
+      ALPHASORT_RETURN_IF_ERROR(
+          WriteFrame(&conn_, FrameType::kData, chunk));
+      crc = Crc32c(chunk.data(), want, crc);
+      off += want;
+      server_->NoteBytesTx(want);
     }
-    if (!rs.ok()) return rs;
+    DoneFrame done;
+    done.total_bytes = total;
+    done.crc32c = crc;
     ALPHASORT_RETURN_IF_ERROR(
-        WriteFrame(&conn_, FrameType::kData, chunk));
-    crc = Crc32c(chunk.data(), want, crc);
-    off += want;
-    server_->NoteBytesTx(want);
+        WriteFrame(&conn_, FrameType::kDone, done.Encode()));
   }
-  DoneFrame done;
-  done.total_bytes = total;
-  done.crc32c = crc;
+
+  // Attribute the job's whole life before the terminal RESULT ships it.
+  obs::JobTimeline timeline;
+  timeline.job_id = job.id();
+  timeline.trace_id = st->submit.trace_id;
+  timeline.spool_us = st->spool_us;
+  timeline.FillFromSortMetrics(r.metrics);
+  timeline.DeriveQueue(wait_us);
+  timeline.stream_us = NowUs() - stream_begin_us;
+  timeline.e2e_us = NowUs() - st->start_us;
   ALPHASORT_RETURN_IF_ERROR(
-      WriteFrame(&conn_, FrameType::kDone, done.Encode()));
+      SendResult(job.id(), Status::OK(), total, timeline.e2e_us,
+                 &timeline));
 
   server_->NoteJobResult(true);
-  JobE2eUs()->Record(elapsed_us);
+  obs::RecordTimelineHistograms(timeline);
+  obs::MaybeLogSlowJob(timeline,
+                       server_->options_.slow_job_threshold_us);
   ALPHASORT_LOG(kInfo, "svc.conn.result")
       .U64("conn", id_)
       .U64("job", job.id())
       .Str("status", "OK")
       .U64("bytes", total)
-      .U64("elapsed_us", elapsed_us);
+      .U64("elapsed_us", timeline.e2e_us);
   return Status::OK();
 }
 
@@ -590,19 +620,28 @@ void NetServer::Connection::AnswerStatus(const Frame& frame,
   const NetServerStats net_stats = server_->stats();
   reply.conns_active = uint64_t(net_stats.conns_active);
   reply.net_jobs_inflight = uint64_t(net_stats.jobs_inflight);
+  reply.quota_remaining = server_->quotas_.Remaining(tenant_, NowUs());
   (void)WriteFrame(&conn_, FrameType::kStatus, reply.Encode());
 }
 
 Status NetServer::Connection::SendResult(uint64_t job_id,
                                          const Status& outcome,
                                          uint64_t output_bytes,
-                                         uint64_t elapsed_us) {
+                                         uint64_t elapsed_us,
+                                         const obs::JobTimeline* timeline) {
   ResultFrame result;
   result.job_id = job_id;
   result.code = ResultFrame::CodeOf(outcome);
   result.message = outcome.message();
   result.output_bytes = output_bytes;
   result.elapsed_us = elapsed_us;
+  if (timeline != nullptr) {
+    result.spool_us = timeline->spool_us;
+    result.queue_us = timeline->queue_us;
+    result.sort_us = timeline->sort_us;
+    result.merge_us = timeline->merge_us;
+    result.stream_us = timeline->stream_us;
+  }
   return WriteFrame(&conn_, FrameType::kResult, result.Encode());
 }
 

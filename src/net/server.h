@@ -59,6 +59,11 @@ struct NetServerOptions {
   // Env namespace for connection spool files and job scratch.
   std::string data_root = "net_spool";
 
+  // Jobs whose end-to-end time (SUBMIT received -> sorted stream sent)
+  // reaches this bound emit a svc.job.slow warning carrying the full
+  // per-stage breakdown (obs::JobTimeline). 0 disables the check.
+  uint64_t slow_job_threshold_us = 0;
+
   // Template for per-job SortOptions: io_chunk_bytes, run_size_records,
   // retry policy, etc. Paths, format, and memory_budget are overridden
   // per job from the SUBMIT frame; a SUBMIT budget of 0 inherits the

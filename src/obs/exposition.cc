@@ -114,10 +114,14 @@ std::string RenderExposition(const RegistrySnapshot& registry,
     }
     AppendType("alphasort_job_info", "gauge", &out);
     for (const JobProgress& j : jobs) {
-      AppendJobSample(
-          "alphasort_job_info", j.job_id,
-          ",phase=\"" + EscapeLabelValue(SortPhaseName(j.phase)) + "\"",
-          "1", &out);
+      std::string labels =
+          ",phase=\"" + EscapeLabelValue(SortPhaseName(j.phase)) + "\"";
+      if (j.trace_id != 0) {
+        labels += StrFormat(
+            ",trace=\"%llu\"",
+            static_cast<unsigned long long>(j.trace_id));
+      }
+      AppendJobSample("alphasort_job_info", j.job_id, labels, "1", &out);
     }
     AppendType("alphasort_job_fraction", "gauge", &out);
     for (const JobProgress& j : jobs) {
@@ -318,12 +322,17 @@ std::string RenderFlightRecord() {
     first = false;
     out += StrFormat(
         "{\"id\":%llu,\"phase\":\"%s\",\"fraction\":%s,\"eta_s\":%s,"
-        "\"bytes_per_s\":%s,\"bytes_read\":%llu,\"bytes_merged\":%llu}",
+        "\"bytes_per_s\":%s,\"bytes_read\":%llu,\"bytes_merged\":%llu",
         static_cast<unsigned long long>(j.job_id), SortPhaseName(j.phase),
         JsonNumber(j.fraction).c_str(), JsonNumber(j.eta_s).c_str(),
         JsonNumber(j.bytes_per_s).c_str(),
         static_cast<unsigned long long>(j.bytes_read),
         static_cast<unsigned long long>(j.bytes_merged));
+    if (j.trace_id != 0) {
+      out += StrFormat(",\"trace\":%llu",
+                       static_cast<unsigned long long>(j.trace_id));
+    }
+    out += "}";
   }
   out += "],\"gauges\":{";
   first = true;

@@ -68,6 +68,10 @@ std::string FormatLogText(const LogEvent& ev) {
     out += StrFormat(" job=%llu",
                      static_cast<unsigned long long>(ev.job_id));
   }
+  if (ev.trace_id != 0) {
+    out += StrFormat(" trace=%llu",
+                     static_cast<unsigned long long>(ev.trace_id));
+  }
   for (int i = 0; i < ev.num_fields; ++i) {
     out += StrFormat(" %s=%s", ev.fields[i].key, ev.fields[i].value);
   }
@@ -87,6 +91,10 @@ std::string FormatLogJson(const LogEvent& ev) {
   if (ev.job_id != 0) {
     out += StrFormat(",\"job\":%llu",
                      static_cast<unsigned long long>(ev.job_id));
+  }
+  if (ev.trace_id != 0) {
+    out += StrFormat(",\"trace\":%llu",
+                     static_cast<unsigned long long>(ev.trace_id));
   }
   if (ev.suppressed != 0) {
     out += StrFormat(",\"suppressed\":%llu",
@@ -238,6 +246,7 @@ LogMessage::LogMessage(LogLevel level, const char* event,
   ev_.ts_us = LogWallTimeUs();
   ev_.tid = CurrentThreadId();
   ev_.job_id = CurrentJobId();
+  ev_.trace_id = CurrentTraceId();
   ev_.suppressed = suppressed;
 }
 

@@ -76,6 +76,9 @@ struct LogEvent {
   uint64_t ts_us = 0;   // wall clock, microseconds since epoch
   int tid = 0;          // obs::CurrentThreadId()
   uint64_t job_id = 0;  // ambient obs::CurrentJobId(), 0 = none
+  // Ambient obs::CurrentTraceId(), 0 = none. Rendered as "trace" so log
+  // events join client and server captures the way merged trace spans do.
+  uint64_t trace_id = 0;
   // Events the rate limiter dropped at this call site since the last
   // event that passed; attached so suppression is visible in the stream.
   uint64_t suppressed = 0;

@@ -42,8 +42,10 @@ const char* SortPhaseName(SortPhase phase) {
   return "unknown";
 }
 
-void JobProgressTracker::Start(uint64_t job_id, bool publish_gauges) {
+void JobProgressTracker::Start(uint64_t job_id, bool publish_gauges,
+                               uint64_t trace_id) {
   job_id_.store(job_id, std::memory_order_relaxed);
+  trace_id_.store(trace_id, std::memory_order_relaxed);
   phase_.store(static_cast<int>(SortPhase::kStartup),
                std::memory_order_relaxed);
   bytes_total_.store(0, std::memory_order_relaxed);
@@ -60,6 +62,13 @@ void JobProgressTracker::Start(uint64_t job_id, bool publish_gauges) {
                        std::memory_order_relaxed);
     permille_gauge_.store(registry->GetGauge(base + ".permille"),
                           std::memory_order_relaxed);
+    if (trace_id != 0) {
+      // Set once, never cleared: the gauge ties the finished job back to
+      // its distributed trace in the exposition and the flight recorder
+      // after the live tracker has unregistered.
+      registry->GetGauge(base + ".trace")
+          ->Set(static_cast<int64_t>(trace_id));
+    }
   }
   start_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   PublishGauges();
@@ -101,6 +110,7 @@ void JobProgressTracker::AddMerged(uint64_t bytes) {
 JobProgress JobProgressTracker::Snapshot() const {
   JobProgress p;
   p.job_id = job_id_.load(std::memory_order_relaxed);
+  p.trace_id = trace_id_.load(std::memory_order_relaxed);
   p.phase = static_cast<SortPhase>(phase_.load(std::memory_order_relaxed));
   p.bytes_total = bytes_total_.load(std::memory_order_relaxed);
   p.bytes_read = read_.load(std::memory_order_relaxed);

@@ -49,6 +49,7 @@ const char* SortPhaseName(SortPhase phase);
 // exposition renderer, the flight recorder).
 struct JobProgress {
   uint64_t job_id = 0;
+  uint64_t trace_id = 0;  // distributed trace id, 0 = none
   SortPhase phase = SortPhase::kQueued;
   uint64_t bytes_total = 0;  // input size
   uint64_t bytes_read = 0;
@@ -72,7 +73,12 @@ class JobProgressTracker {
   // Resets and stamps the start time. `publish_gauges` additionally
   // mirrors phase and permille into svc.job.<id>.* registry gauges
   // (services opt in; plain Sorter jobs keep the registry clean).
-  void Start(uint64_t job_id, bool publish_gauges);
+  // `trace_id` (0 = none) attributes the job to a distributed trace: it
+  // rides on snapshots, the exposition's job_info series, the flight
+  // recorder, and — when publishing — a svc.job.<id>.trace gauge that
+  // outlives the job, so tests and post-mortems can join a finished
+  // job back to its trace.
+  void Start(uint64_t job_id, bool publish_gauges, uint64_t trace_id = 0);
 
   // Called once the planner has sized the job (input bytes + pass count).
   void SetPlan(uint64_t bytes_total, int passes);
@@ -90,6 +96,7 @@ class JobProgressTracker {
   void PublishGauges();
 
   std::atomic<uint64_t> job_id_{0};
+  std::atomic<uint64_t> trace_id_{0};
   std::atomic<int> phase_{static_cast<int>(SortPhase::kQueued)};
   std::atomic<uint64_t> bytes_total_{0};
   std::atomic<uint64_t> work_total_{0};

@@ -1,0 +1,76 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/sort_metrics.h"
+#include "obs/trace.h"
+
+namespace alphasort {
+namespace obs {
+
+namespace {
+
+uint64_t SecondsToMicros(double s) {
+  if (s <= 0) return 0;
+  return static_cast<uint64_t>(s * 1e6);
+}
+
+}  // namespace
+
+uint64_t JobTimeline::StageSum() const {
+  return spool_us + queue_us + sort_us + merge_us + stream_us;
+}
+
+void JobTimeline::FillFromSortMetrics(const SortMetrics& m) {
+  sort_us = SecondsToMicros(m.startup_s) + SecondsToMicros(m.read_phase_s) +
+            SecondsToMicros(m.last_run_s);
+  merge_us = SecondsToMicros(m.merge_phase_s) + SecondsToMicros(m.close_s);
+}
+
+void JobTimeline::DeriveQueue(uint64_t wait_us) {
+  queue_us = wait_us - std::min(wait_us, sort_us + merge_us);
+}
+
+void RecordTimelineHistograms(const JobTimeline& t) {
+  // Function-local statics: one registry lookup per process, lock-free
+  // recording afterwards (the registry owns the histograms forever).
+  static Histogram* spool =
+      MetricsRegistry::Global()->GetHistogram("net.job.spool_us");
+  static Histogram* queue =
+      MetricsRegistry::Global()->GetHistogram("net.job.queue_us");
+  static Histogram* sort =
+      MetricsRegistry::Global()->GetHistogram("net.job.sort_us");
+  static Histogram* merge =
+      MetricsRegistry::Global()->GetHistogram("net.job.merge_us");
+  static Histogram* stream =
+      MetricsRegistry::Global()->GetHistogram("net.job.stream_us");
+  static Histogram* e2e =
+      MetricsRegistry::Global()->GetHistogram("net.job.e2e_us");
+  spool->Record(t.spool_us);
+  queue->Record(t.queue_us);
+  sort->Record(t.sort_us);
+  merge->Record(t.merge_us);
+  stream->Record(t.stream_us);
+  e2e->Record(t.e2e_us);
+}
+
+void MaybeLogSlowJob(const JobTimeline& t, uint64_t threshold_us) {
+  if (threshold_us == 0 || t.e2e_us < threshold_us) return;
+  // Re-establish the ids explicitly: the slow check may run after the
+  // connection thread's job scope has already unwound.
+  ScopedJobId job_scope(t.job_id);
+  ScopedTraceId trace_scope(t.trace_id);
+  ALPHASORT_LOG(kWarn, "svc.job.slow")
+      .U64("e2e_us", t.e2e_us)
+      .U64("spool_us", t.spool_us)
+      .U64("queue_us", t.queue_us)
+      .U64("sort_us", t.sort_us)
+      .U64("merge_us", t.merge_us)
+      .U64("stream_us", t.stream_us)
+      .U64("threshold_us", threshold_us);
+}
+
+}  // namespace obs
+}  // namespace alphasort

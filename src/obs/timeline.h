@@ -1,0 +1,75 @@
+#ifndef ALPHASORT_OBS_TIMELINE_H_
+#define ALPHASORT_OBS_TIMELINE_H_
+
+#include <cstdint>
+
+namespace alphasort {
+
+struct SortMetrics;  // obs/sort_metrics.h
+
+namespace obs {
+
+// Per-job latency attribution for the networked service.
+//
+// The paper's argument is an accounting argument (§4, §7): every second
+// of elapsed time is attributed to a stage, and the win comes from
+// overlapping the stages. A service job's ResultFrame::elapsed_us is the
+// opposite — one opaque number. JobTimeline decomposes a job's
+// end-to-end time into the stages a network sort actually passes
+// through:
+//
+//   spool   receiving the upload into the spool file (net.spool span)
+//   queue   admission + queue wait not covered by pipeline work
+//   sort    startup + read/QuickSort + last-run laps of the pipeline
+//   merge   merge + close laps of the pipeline
+//   stream  streaming the sorted output back (net.stream_back span)
+//
+// The server measures spool/wait/stream around its own span boundaries
+// and takes sort/merge from the job's SortMetrics phase laps. Because
+// the pipeline runs *during* the measured wait (the connection thread
+// waits on the service worker), queue time is derived, not measured:
+//
+//   queue_us = wait_us - min(wait_us, sort_us + merge_us)
+//
+// so spool + queue + sort + merge + stream ≈ e2e with only inter-stage
+// gaps and timer quantization unaccounted (asserted within 10% in
+// net_service_test). The breakdown travels back to the client in the v2
+// ResultFrame, feeds the net.job.*_us histograms, and — for jobs over a
+// configurable threshold — is emitted whole as a svc.job.slow log event.
+struct JobTimeline {
+  uint64_t job_id = 0;
+  uint64_t trace_id = 0;
+  uint64_t spool_us = 0;
+  uint64_t queue_us = 0;
+  uint64_t sort_us = 0;
+  uint64_t merge_us = 0;
+  uint64_t stream_us = 0;
+  uint64_t e2e_us = 0;
+
+  // spool + queue + sort + merge + stream.
+  uint64_t StageSum() const;
+
+  // Fills sort_us and merge_us from the pipeline's phase laps
+  // (sort = startup + read + last-run, merge = merge + close).
+  void FillFromSortMetrics(const SortMetrics& m);
+
+  // Derives queue_us from the connection thread's measured wall wait
+  // around the service handle (see the overlap note above).
+  void DeriveQueue(uint64_t wait_us);
+};
+
+// Records the breakdown into the global registry's net.job.{spool,queue,
+// sort,merge,stream,e2e}_us histograms (exported by RenderExposition as
+// alphasort_net_job_*_us summaries).
+void RecordTimelineHistograms(const JobTimeline& t);
+
+// Emits a svc.job.slow warning carrying the full breakdown when
+// t.e2e_us >= threshold_us. threshold_us == 0 disables the check. The
+// event is stamped with the timeline's job and trace ids regardless of
+// the caller's ambient scope.
+void MaybeLogSlowJob(const JobTimeline& t, uint64_t threshold_us);
+
+}  // namespace obs
+}  // namespace alphasort
+
+#endif  // ALPHASORT_OBS_TIMELINE_H_

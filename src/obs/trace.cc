@@ -16,6 +16,7 @@ int CurrentThreadId() {
 
 namespace {
 thread_local uint64_t current_job_id = 0;
+thread_local uint64_t current_trace_id = 0;
 }  // namespace
 
 uint64_t CurrentJobId() { return current_job_id; }
@@ -25,6 +26,22 @@ ScopedJobId::ScopedJobId(uint64_t job_id) : previous_(current_job_id) {
 }
 
 ScopedJobId::~ScopedJobId() { current_job_id = previous_; }
+
+uint64_t CurrentTraceId() { return current_trace_id; }
+
+ScopedTraceId::ScopedTraceId(uint64_t trace_id)
+    : previous_(current_trace_id) {
+  current_trace_id = trace_id;
+}
+
+ScopedTraceId::~ScopedTraceId() { current_trace_id = previous_; }
+
+uint64_t TraceRawNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::atomic<TraceRecorder*> TraceRecorder::current_{nullptr};
 
@@ -67,6 +84,7 @@ void TraceRecorder::AddComplete(const char* name, const char* category,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.job = CurrentJobId();
+  ev.trace = CurrentTraceId();
   Add(ev);
 }
 
@@ -78,6 +96,7 @@ void TraceRecorder::AddInstant(const char* name, const char* category) {
   ev.tid = CurrentThreadId();
   ev.ts_us = NowUs();
   ev.job = CurrentJobId();
+  ev.trace = CurrentTraceId();
   Add(ev);
 }
 
@@ -90,6 +109,30 @@ void TraceRecorder::AddCounter(const char* name, int64_t value) {
   ev.ts_us = NowUs();
   ev.value = value;
   ev.job = CurrentJobId();
+  ev.trace = CurrentTraceId();
+  Add(ev);
+}
+
+void TraceRecorder::AddClockSync(const char* name, uint64_t remote_raw_us) {
+  // One clock sample feeds both the trace-relative timestamp and the
+  // raw reading, so epoch recovery (local_raw_us - ts) is exact rather
+  // than off by the gap between two clock reads.
+  const auto now = std::chrono::steady_clock::now();
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = "clock";
+  ev.type = TraceEvent::Type::kClockSync;
+  ev.tid = CurrentThreadId();
+  ev.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count());
+  ev.dur_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count());
+  ev.value = static_cast<int64_t>(remote_raw_us);
+  ev.job = CurrentJobId();
+  ev.trace = CurrentTraceId();
   Add(ev);
 }
 
@@ -143,37 +186,51 @@ std::string TraceRecorder::ToChromeJson() const {
     out += "\",\"cat\":\"";
     AppendEscaped(ev.category == nullptr ? "" : ev.category, &out);
     out += "\",";
-    // The job id attributes spans from concurrent jobs sharing one ring
-    // and one worker pool; 0 (no ambient job) is omitted so single-sort
-    // traces stay byte-identical to the previous format.
-    const std::string job_arg =
-        ev.job == 0
-            ? ""
-            : StrFormat("\"args\":{\"job\":%llu},",
-                        static_cast<unsigned long long>(ev.job));
+    // Job and trace ids attribute events from concurrent jobs (and, via
+    // the wire, from other processes) sharing one ring; 0 (no ambient
+    // id) is omitted so single-sort traces stay byte-identical to the
+    // previous format. `extra` holds the id members, comma-prefixed for
+    // appending after an existing args member.
+    std::string extra;
+    if (ev.job != 0) {
+      extra += StrFormat(",\"job\":%llu",
+                         static_cast<unsigned long long>(ev.job));
+    }
+    if (ev.trace != 0) {
+      extra += StrFormat(",\"trace_id\":%llu",
+                         static_cast<unsigned long long>(ev.trace));
+    }
+    // Same members without the leading comma, for args that would
+    // otherwise be empty (and omitted entirely).
+    const std::string ids_only =
+        extra.empty() ? "" : "\"args\":{" + extra.substr(1) + "},";
     switch (ev.type) {
       case TraceEvent::Type::kComplete:
         out += StrFormat(
             "\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,",
             static_cast<unsigned long long>(ev.ts_us),
             static_cast<unsigned long long>(ev.dur_us));
-        out += job_arg;
+        out += ids_only;
         break;
       case TraceEvent::Type::kInstant:
         out += StrFormat("\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,",
                          static_cast<unsigned long long>(ev.ts_us));
-        out += job_arg;
+        out += ids_only;
         break;
       case TraceEvent::Type::kCounter:
+        out += StrFormat("\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld",
+                         static_cast<unsigned long long>(ev.ts_us),
+                         static_cast<long long>(ev.value));
+        out += extra + "},";
+        break;
+      case TraceEvent::Type::kClockSync:
         out += StrFormat(
-            ev.job == 0 ? "\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld},"
-                        : "\"ph\":\"C\",\"ts\":%llu,\"args\":{\"value\":%lld,",
+            "\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,"
+            "\"args\":{\"local_raw_us\":%llu,\"remote_raw_us\":%llu",
             static_cast<unsigned long long>(ev.ts_us),
-            static_cast<long long>(ev.value));
-        if (ev.job != 0) {
-          out += StrFormat("\"job\":%llu},",
-                           static_cast<unsigned long long>(ev.job));
-        }
+            static_cast<unsigned long long>(ev.dur_us),
+            static_cast<unsigned long long>(ev.value));
+        out += extra + "},";
         break;
     }
     out += StrFormat("\"pid\":1,\"tid\":%d}", ev.tid);

@@ -58,11 +58,35 @@ class ScopedJobId {
   const uint64_t previous_;
 };
 
+// The ambient distributed trace id of the calling thread (0 = none).
+// Where the job id attributes work *within* a process, the trace id
+// follows one request *across* processes: a client mints it, carries it
+// over the wire in the SUBMIT frame, and the server re-establishes it
+// around everything the job touches, so client spans and server spans
+// join on one id (examples/trace_merge). Stamped onto trace events and
+// log events exactly like the job id.
+uint64_t CurrentTraceId();
+
+// RAII trace-id scope, the cross-process sibling of ScopedJobId. Every
+// chore lambda that re-establishes the job id re-establishes this too.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t trace_id);
+  ~ScopedTraceId();
+
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  const uint64_t previous_;
+};
+
 struct TraceEvent {
   enum class Type : uint8_t {
-    kComplete,  // Chrome ph:"X" — a span with a duration
-    kInstant,   // Chrome ph:"i" — a point in time
-    kCounter,   // Chrome ph:"C" — a sampled value (queue depth)
+    kComplete,   // Chrome ph:"X" — a span with a duration
+    kInstant,    // Chrome ph:"i" — a point in time
+    kCounter,    // Chrome ph:"C" — a sampled value (queue depth)
+    kClockSync,  // ph:"i" carrying a local/remote raw-clock pair
   };
 
   // `name` and `category` must be string literals (or otherwise outlive
@@ -73,9 +97,10 @@ struct TraceEvent {
   Type type = Type::kComplete;
   int tid = 0;
   uint64_t ts_us = 0;   // microseconds since the recorder's epoch
-  uint64_t dur_us = 0;  // kComplete only
-  int64_t value = 0;    // kCounter only
+  uint64_t dur_us = 0;  // kComplete; kClockSync repurposes as local_raw_us
+  int64_t value = 0;    // kCounter; kClockSync repurposes as remote_raw_us
   uint64_t job = 0;     // ambient CurrentJobId() at record time, 0 = none
+  uint64_t trace = 0;   // ambient CurrentTraceId() at record time, 0 = none
 };
 
 class TraceRecorder {
@@ -106,6 +131,15 @@ class TraceRecorder {
                    uint64_t ts_us, uint64_t dur_us);
   void AddInstant(const char* name, const char* category);
   void AddCounter(const char* name, int64_t value);
+
+  // Records a clock-sync point: one instant carrying this process's raw
+  // steady-clock reading (TraceRawNowUs, taken now, from the same clock
+  // sample as the event timestamp) alongside the peer's raw reading as
+  // exchanged over the wire. examples/trace_merge uses a pair of these
+  // — one per process, each holding the other side's send time — to
+  // recover each recorder's epoch and the NTP-style clock skew, mapping
+  // two trace files onto one timeline.
+  void AddClockSync(const char* name, uint64_t remote_raw_us);
 
   // Events currently retained (<= capacity) and events overwritten after
   // the ring filled.
@@ -159,6 +193,19 @@ class TraceSpan {
 inline void TraceCounter(const char* name, int64_t value) {
   if (TraceRecorder* rec = TraceRecorder::Current()) {
     rec->AddCounter(name, value);
+  }
+}
+
+// Raw steady-clock microseconds, independent of any recorder's epoch.
+// This is the value HELLO frames exchange for clock alignment: both
+// sides of a connection sample the same kind of clock, and a recorder's
+// epoch can be recovered as (clock-sync local_raw_us - clock-sync ts).
+uint64_t TraceRawNowUs();
+
+// Records a clock-sync event if tracing is on (see AddClockSync).
+inline void TraceClockSync(const char* name, uint64_t remote_raw_us) {
+  if (TraceRecorder* rec = TraceRecorder::Current()) {
+    rec->AddClockSync(name, remote_raw_us);
   }
 }
 

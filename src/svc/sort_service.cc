@@ -7,6 +7,7 @@
 #include "common/table.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace alphasort {
 namespace svc {
@@ -94,6 +95,12 @@ void SortService::Shutdown() {
 
 Result<SortJob> SortService::Submit(const SortOptions& options) {
   ALPHASORT_RETURN_IF_ERROR(options.Validate());
+
+  // Admission-side log events (svc.reject, svc.down_negotiate,
+  // svc.submit) carry the submitter's trace id even though the job has
+  // not reached ExecuteJob's own trace scope yet — a rejected job's
+  // only footprint is here.
+  obs::ScopedTraceId trace_scope(options.trace_id);
 
   auto core = std::make_shared<core_internal::JobCore>();
   core->options = options;
@@ -187,9 +194,12 @@ void SortService::ReapQueuedLocked() {
       ++it;
       continue;
     }
-    ALPHASORT_LOG(kInfo, "svc.reap")
-        .U64("job", (*it)->id)
-        .Str("status", s.ToString());
+    {
+      obs::ScopedTraceId trace_scope((*it)->options.trace_id);
+      ALPHASORT_LOG(kInfo, "svc.reap")
+          .U64("job", (*it)->id)
+          .Str("status", s.ToString());
+    }
     (*it)->Finish(std::move(s));
     it = queue_.erase(it);
     ++stats_.cancelled_queued;
@@ -232,10 +242,13 @@ void SortService::RunnerLoop() {
     JobsQueued()->Set(stats_.queued);
     JobsRunning()->Set(stats_.running);
     AdmittedBytes()->Set(static_cast<int64_t>(stats_.admitted_bytes));
-    ALPHASORT_LOG(kInfo, "svc.admit")
-        .U64("job", core->id)
-        .U64("ticket", core->admitted_bytes)
-        .I64("running", stats_.running);
+    {
+      obs::ScopedTraceId trace_scope(core->options.trace_id);
+      ALPHASORT_LOG(kInfo, "svc.admit")
+          .U64("job", core->id)
+          .U64("ticket", core->admitted_bytes)
+          .I64("running", stats_.running);
+    }
 
     lock.unlock();
     RunAdmitted(core.get());
@@ -247,10 +260,13 @@ void SortService::RunnerLoop() {
     JobsRunning()->Set(stats_.running);
     AdmittedBytes()->Set(static_cast<int64_t>(stats_.admitted_bytes));
     JobsCompleted()->Add();
-    ALPHASORT_LOG(kInfo, "svc.complete")
-        .U64("job", core->id)
-        .I64("running", stats_.running)
-        .I64("queued", stats_.queued);
+    {
+      obs::ScopedTraceId trace_scope(core->options.trace_id);
+      ALPHASORT_LOG(kInfo, "svc.complete")
+          .U64("job", core->id)
+          .I64("running", stats_.running)
+          .I64("queued", stats_.queued);
+    }
     // A freed ticket may unblock the new head; tell the other runners.
     cv_.notify_all();
   }

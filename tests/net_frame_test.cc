@@ -205,11 +205,13 @@ TEST(FramePayloads, HelloRoundTrip) {
   in.version = kProtocolVersion;
   in.tenant = "team-red";
   in.conn_id = 77;
+  in.now_us = 123456789012345ull;  // v2 clock-sync sample
   HelloFrame out;
   ASSERT_TRUE(out.Decode(in.Encode()).ok());
   EXPECT_EQ(in.version, out.version);
   EXPECT_EQ(in.tenant, out.tenant);
   EXPECT_EQ(in.conn_id, out.conn_id);
+  EXPECT_EQ(in.now_us, out.now_us);
 }
 
 TEST(FramePayloads, HelloVersionMismatchRejected) {
@@ -222,18 +224,40 @@ TEST(FramePayloads, HelloVersionMismatchRejected) {
   EXPECT_NE(std::string::npos, s.ToString().find("version"));
 }
 
+TEST(FramePayloads, HelloFromV1PeerIsVersionMismatchNotTruncation) {
+  // A v1 HELLO is byte-identical to a v2 one minus the trailing now_us:
+  // the version is checked before the rest of the payload is read, so a
+  // v1 peer gets the actionable "protocol version mismatch" message, not
+  // a confusing truncation error.
+  HelloFrame v1;
+  v1.version = 1;
+  v1.tenant = "old-timer";
+  v1.conn_id = 5;
+  std::string wire = v1.Encode();
+  ASSERT_GT(wire.size(), size_t(8));
+  wire.resize(wire.size() - 8);  // drop now_us: the actual v1 layout
+  HelloFrame out;
+  Status s = out.Decode(wire);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(std::string::npos,
+            s.ToString().find("protocol version mismatch"))
+      << s.ToString();
+}
+
 TEST(FramePayloads, SubmitRoundTripAndValidation) {
   SubmitFrame in;
   in.memory_budget = 32ull << 20;
   in.record_size = 100;
   in.key_size = 10;
   in.expected_bytes = 1000 * 100;
+  in.trace_id = 0xfeedfacecafeull;  // 48-bit v2 trace id
   SubmitFrame out;
   ASSERT_TRUE(out.Decode(in.Encode()).ok());
   EXPECT_EQ(in.memory_budget, out.memory_budget);
   EXPECT_EQ(in.record_size, out.record_size);
   EXPECT_EQ(in.key_size, out.key_size);
   EXPECT_EQ(in.expected_bytes, out.expected_bytes);
+  EXPECT_EQ(in.trace_id, out.trace_id);
 
   SubmitFrame zero_record = in;
   zero_record.record_size = 0;
@@ -276,10 +300,12 @@ TEST(FramePayloads, DoneStatusCancelRoundTrip) {
   rep_in.admitted_bytes = 5 << 20;
   rep_in.conns_active = 6;
   rep_in.net_jobs_inflight = 7;
+  rep_in.quota_remaining = 48 << 20;  // v2 back-off signal
   StatusReplyFrame rep_out;
   ASSERT_TRUE(rep_out.Decode(rep_in.Encode()).ok());
   EXPECT_EQ(rep_in.job_permille, rep_out.job_permille);
   EXPECT_EQ(rep_in.net_jobs_inflight, rep_out.net_jobs_inflight);
+  EXPECT_EQ(rep_in.quota_remaining, rep_out.quota_remaining);
 
   CancelFrame cancel_in;
   cancel_in.job_id = 9;
@@ -297,6 +323,18 @@ TEST(FramePayloads, TrailingBytesRejected) {
 
   CancelFrame cancel;
   EXPECT_TRUE(cancel.Decode(cancel.Encode() + "zz").IsInvalidArgument());
+
+  // The v2 payloads grew at the tail (now_us, trace_id, the stage
+  // breakdown, quota_remaining); bytes past the new tails must still be
+  // rejected, not read as a hypothetical v3.
+  HelloFrame hello;
+  EXPECT_TRUE(hello.Decode(hello.Encode() + "x").IsInvalidArgument());
+  SubmitFrame submit;
+  EXPECT_TRUE(submit.Decode(submit.Encode() + "x").IsInvalidArgument());
+  StatusReplyFrame reply;
+  EXPECT_TRUE(reply.Decode(reply.Encode() + "x").IsInvalidArgument());
+  ResultFrame result;
+  EXPECT_TRUE(result.Decode(result.Encode() + "x").IsInvalidArgument());
 }
 
 TEST(FramePayloads, TruncatedPayloadRejected) {
@@ -350,6 +388,11 @@ TEST(FramePayloads, ResultRoundTripFull) {
   in.output_bytes = 424242;
   in.output_crc32c = 0xabad1dea;
   in.elapsed_us = 987654;
+  in.spool_us = 11111;
+  in.queue_us = 22222;
+  in.sort_us = 33333;
+  in.merge_us = 44444;
+  in.stream_us = 55555;
   ResultFrame out;
   ASSERT_TRUE(out.Decode(in.Encode()).ok());
   EXPECT_EQ(in.job_id, out.job_id);
@@ -357,6 +400,11 @@ TEST(FramePayloads, ResultRoundTripFull) {
   EXPECT_EQ(in.output_bytes, out.output_bytes);
   EXPECT_EQ(in.output_crc32c, out.output_crc32c);
   EXPECT_EQ(in.elapsed_us, out.elapsed_us);
+  EXPECT_EQ(in.spool_us, out.spool_us);
+  EXPECT_EQ(in.queue_us, out.queue_us);
+  EXPECT_EQ(in.sort_us, out.sort_us);
+  EXPECT_EQ(in.merge_us, out.merge_us);
+  EXPECT_EQ(in.stream_us, out.stream_us);
   EXPECT_TRUE(out.ToStatus().IsUnavailable());
 }
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,6 +23,11 @@
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/exposition.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "record/generator.h"
 #include "tests/test_flight.h"
 
@@ -135,6 +141,28 @@ Status ExpectFrame(FrameReader* reader, FrameType want, Frame* out) {
                                         FrameTypeName(out->type)));
   }
   return Status::OK();
+}
+
+// v2 success ordering: the sorted DATA...DONE stream arrives first and
+// the terminal RESULT last (so its elapsed_us and stage breakdown cover
+// the stream-back). Drains the stream, then decodes the RESULT.
+Status ReadSortedStreamThenResult(FrameReader* reader, uint64_t* streamed,
+                                  ResultFrame* result) {
+  *streamed = 0;
+  Frame f;
+  for (;;) {
+    ALPHASORT_RETURN_IF_ERROR(reader->Read(&f));
+    if (f.type == FrameType::kData) {
+      *streamed += f.payload.size();
+      continue;
+    }
+    if (f.type == FrameType::kDone) break;
+    return Status::Corruption(
+        StrFormat("expected DATA/DONE in the sorted stream, got %s",
+                  FrameTypeName(f.type)));
+  }
+  ALPHASORT_RETURN_IF_ERROR(ExpectFrame(reader, FrameType::kResult, &f));
+  return result->Decode(f.payload);
 }
 
 // HELLO handshake on a raw connection; returns the reader.
@@ -291,6 +319,10 @@ TEST_F(NetServiceTest, AnswersStatusDuringUpload) {
   ASSERT_TRUE(reply.Decode(f.payload).ok());
   EXPECT_EQ(uint64_t(1), reply.conns_active);
   EXPECT_EQ(uint64_t(1), reply.net_jobs_inflight);
+  // v2: the reply carries this tenant's live token balance (quotas are
+  // on, so it is a real number — nonzero, at most the bucket capacity).
+  EXPECT_GT(reply.quota_remaining, uint64_t(0));
+  EXPECT_LE(reply.quota_remaining, uint64_t(64) * kMB);
 
   // ...and the upload then completes normally.
   ASSERT_TRUE(WriteFrame(&conn.value(), FrameType::kData,
@@ -302,20 +334,12 @@ TEST_F(NetServiceTest, AnswersStatusDuringUpload) {
   ASSERT_TRUE(
       WriteFrame(&conn.value(), FrameType::kDone, done.Encode()).ok());
 
-  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
+  uint64_t streamed = 0;
   ResultFrame result;
-  ASSERT_TRUE(result.Decode(f.payload).ok());
+  ASSERT_TRUE(
+      ReadSortedStreamThenResult(reader.get(), &streamed, &result).ok());
   EXPECT_TRUE(result.ToStatus().ok()) << result.ToStatus().ToString();
   EXPECT_EQ(uint64_t(data.size()), result.output_bytes);
-
-  // Drain the sorted stream so the close is orderly.
-  uint64_t streamed = 0;
-  while (true) {
-    ASSERT_TRUE(reader->Read(&f).ok());
-    if (f.type == FrameType::kDone) break;
-    ASSERT_EQ(FrameType::kData, f.type);
-    streamed += f.payload.size();
-  }
   EXPECT_EQ(uint64_t(data.size()), streamed);
 
   conn.value().Close();
@@ -367,13 +391,11 @@ TEST_F(NetServiceTest, CancelDuringUploadAbortsAndConnSurvives) {
   done2.crc32c = Crc32c(data.data(), data.size());
   ASSERT_TRUE(
       WriteFrame(&conn.value(), FrameType::kDone, done2.Encode()).ok());
-  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
-  ASSERT_TRUE(result.Decode(f.payload).ok());
+  uint64_t streamed = 0;
+  ASSERT_TRUE(
+      ReadSortedStreamThenResult(reader.get(), &streamed, &result).ok());
   EXPECT_TRUE(result.ToStatus().ok()) << result.ToStatus().ToString();
-  while (true) {
-    ASSERT_TRUE(reader->Read(&f).ok());
-    if (f.type == FrameType::kDone) break;
-  }
+  EXPECT_EQ(uint64_t(data.size()), streamed);
 
   conn.value().Close();
   ExpectNoResidue();
@@ -488,16 +510,122 @@ TEST_F(NetServiceTest, DoneCrcMismatchIsCorruptionAndConnSurvives) {
   done2.crc32c = Crc32c(data.data(), data.size());
   ASSERT_TRUE(
       WriteFrame(&conn.value(), FrameType::kDone, done2.Encode()).ok());
-  ASSERT_TRUE(ExpectFrame(reader.get(), FrameType::kResult, &f).ok());
-  ASSERT_TRUE(result.Decode(f.payload).ok());
+  uint64_t streamed = 0;
+  ASSERT_TRUE(
+      ReadSortedStreamThenResult(reader.get(), &streamed, &result).ok());
   EXPECT_TRUE(result.ToStatus().ok()) << result.ToStatus().ToString();
-  while (true) {
-    ASSERT_TRUE(reader->Read(&f).ok());
-    if (f.type == FrameType::kDone) break;
-  }
+  EXPECT_EQ(uint64_t(data.size()), streamed);
 
   conn.value().Close();
   ExpectNoResidue();
+}
+
+// The tracing acceptance test: one job under a caller-chosen trace id,
+// and the id shows up in every observability surface on both sides of
+// the wire — the client's net.submit span, the server's net.spool /
+// net.sort_wait / net.stream_back spans, the structured log's service
+// lifecycle events, and the job's registry gauge — while the RESULT's
+// stage breakdown accounts for the server's elapsed time within 10%.
+// Client and server share this process, so one recorder and one log
+// sink capture both halves of the wire.
+TEST_F(NetServiceTest, TracePropagatesEndToEnd) {
+  obs::TraceRecorder recorder;
+  recorder.Install();
+  obs::MemoryLogSink log;
+  obs::Logger::Global()->AddSink(&log);
+
+  StartDefaultServer();
+  SortClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), "traced").ok());
+
+  constexpr uint64_t kTraceId = 0xABCDEF123456ull;  // fits in 48 bits
+  const std::vector<char> data = MakeRecords(20000);
+  std::string sorted;
+  NetSortOutcome outcome;
+  SubmitSpec spec;
+  spec.trace_id = kTraceId;
+  ASSERT_TRUE(
+      client.SubmitSort(spec, data.data(), data.size(), &sorted, &outcome)
+          .ok());
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(kTraceId, outcome.trace_id);
+  ExpectSorted(data, sorted);
+  WaitForCompleted(1);
+  client.Close();
+  ExpectNoResidue();
+
+  obs::Logger::Global()->RemoveSink(&log);
+  obs::TraceRecorder::Uninstall();
+
+  // The breakdown attributes the server's end-to-end time to stages:
+  // spool + queue + sort + merge + stream within 10% of elapsed_us.
+  const uint64_t stage_sum = outcome.spool_us + outcome.queue_us +
+                             outcome.sort_us + outcome.merge_us +
+                             outcome.stream_us;
+  ASSERT_GT(outcome.server_elapsed_us, uint64_t(0));
+  EXPECT_NEAR(double(stage_sum), double(outcome.server_elapsed_us),
+              0.10 * double(outcome.server_elapsed_us))
+      << "spool=" << outcome.spool_us << " queue=" << outcome.queue_us
+      << " sort=" << outcome.sort_us << " merge=" << outcome.merge_us
+      << " stream=" << outcome.stream_us;
+
+  // Every stage span, client- and server-side, carries args.trace_id.
+  obs::JsonValue trace;
+  ASSERT_TRUE(obs::ParseJson(recorder.ToChromeJson(), &trace).ok());
+  const obs::JsonValue* events = trace.Find("traceEvents");
+  ASSERT_NE(nullptr, events);
+  ASSERT_TRUE(events->IsArray());
+  const char* kStageSpans[] = {"net.submit", "net.spool", "net.sort_wait",
+                               "net.stream_back"};
+  for (const char* span : kStageSpans) {
+    bool tagged = false;
+    for (const obs::JsonValue& ev : events->items) {
+      const obs::JsonValue* name = ev.Find("name");
+      if (name == nullptr || name->string_value != span) continue;
+      const obs::JsonValue* args = ev.Find("args");
+      const obs::JsonValue* id =
+          args == nullptr ? nullptr : args->Find("trace_id");
+      if (id != nullptr && id->IsNumber() &&
+          uint64_t(id->number_value) == kTraceId) {
+        tagged = true;
+      }
+    }
+    EXPECT_TRUE(tagged) << span << " span missing args.trace_id";
+  }
+
+  // The structured log joins the same timeline: the service lifecycle
+  // events for this job were stamped with the ambient id.
+  bool admit_tagged = false;
+  bool complete_tagged = false;
+  for (const obs::LogEvent& ev : log.events()) {
+    if (ev.trace_id != kTraceId) continue;
+    if (strcmp(ev.event, "svc.admit") == 0) admit_tagged = true;
+    if (strcmp(ev.event, "svc.complete") == 0) complete_tagged = true;
+  }
+  EXPECT_TRUE(admit_tagged) << "svc.admit not stamped with the trace id";
+  EXPECT_TRUE(complete_tagged) << "svc.complete not stamped";
+
+  // And the registry: the job's .trace gauge (the flight recorder's
+  // join key) holds the id, and the timeline fed the e2e histogram.
+  const obs::RegistrySnapshot reg =
+      obs::MetricsRegistry::Global()->Snapshot();
+  const std::string gauge = StrFormat(
+      "svc.job.%llu.trace", static_cast<unsigned long long>(outcome.job_id));
+  auto it = reg.gauges.find(gauge);
+  ASSERT_NE(reg.gauges.end(), it) << gauge << " missing from the registry";
+  EXPECT_EQ(int64_t(kTraceId), it->second);
+  const auto hist = reg.histograms.find("net.job.e2e_us");
+  ASSERT_NE(reg.histograms.end(), hist);
+  EXPECT_GE(hist->second.count, uint64_t(1));
+
+  // The flight recorder samples the same gauges, so a post-mortem
+  // capture taken any time after admission names the trace id too.
+  const std::string flight = obs::RenderFlightRecord();
+  EXPECT_NE(std::string::npos,
+            flight.find(StrFormat(
+                "\"%s\":%llu", gauge.c_str(),
+                static_cast<unsigned long long>(kTraceId))))
+      << flight;
 }
 
 TEST_F(NetServiceTest, ManyConcurrentClients) {
