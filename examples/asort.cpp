@@ -36,6 +36,7 @@
 #include "benchlib/datamation.h"
 #include "core/alphasort.h"
 #include "core/merge_files.h"
+#include "core/sorter.h"
 #include "core/vms_sort.h"
 #include "common/table.h"
 #include "io/stripe.h"
@@ -191,7 +192,7 @@ int main(int argc, char** argv) {
 
   SortMetrics metrics;
   Status s;
-  // AlphaSort::Run brackets the registry itself; the merge and vms paths
+  // A Sorter job brackets the registry itself; the merge and vms paths
   // need the same per-run delta taken here so --metrics and --report
   // describe this run, not the whole process history.
   obs::RegistrySnapshot registry_before;
@@ -204,7 +205,14 @@ int main(int argc, char** argv) {
   } else if (args.algorithm == "vms") {
     s = VmsSort::Run(env, opts, &metrics);
   } else {
-    s = AlphaSort::Run(env, opts, &metrics);
+    Sorter::Resources resources;
+    resources.num_workers = opts.num_workers;
+    resources.io_threads = opts.io_threads;
+    resources.use_affinity = opts.use_affinity;
+    Sorter sorter(env, resources);
+    const SortResult& result = sorter.Start(opts).Wait();
+    s = result.status;
+    metrics = result.metrics;
   }
   if (external_delta) {
     metrics.registry_delta =

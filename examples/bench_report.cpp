@@ -4,11 +4,12 @@
 //   ./bench_report [--smoke] [--name NAME] [--out FILE]
 //                  [--suite NAME]... [--workers K]
 //
-// Runs seven suites — the paper's run-generation comparison (§4
+// Runs eight suites — the paper's run-generation comparison (§4
 // QuickSort vs replacement-selection), output-stripe scaling (§6),
 // the 8B-vs-16B entry ablation (§7), an end-to-end in-memory
 // Datamation sort, hot-kernel microbenchmarks (entry build, merge,
-// gather, partitioned merge; docs/perf.md), SortService
+// gather, partitioned merge; docs/perf.md), the streaming-ingest
+// source comparison (file vs mmap vs stream; docs/api.md), SortService
 // concurrency scaling (docs/service.md), and the networked service
 // end to end over loopback (docs/net.md) — and writes one BenchReport JSON
 // (kind "alphasort.bench_report") with a numeric metrics object per
@@ -25,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchlib/datamation.h"
@@ -33,6 +35,8 @@
 #include "common/prefetch.h"
 #include "common/table.h"
 #include "core/alphasort.h"
+#include "core/record_source.h"
+#include "core/sorter.h"
 #include "obs/report.h"
 #include "record/generator.h"
 #include "sort/compact_entry.h"
@@ -137,11 +141,18 @@ void RunStriping(const BenchConfig& cfg, obs::BenchReport* report) {
     opts.input_path = spec.path;
     opts.output_path = out;
     opts.num_workers = cfg.workers;
-    SortMetrics m;
-    if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
-      fprintf(stderr, "striping sort: %s\n", s.ToString().c_str());
+    Sorter sorter(env.get(), [&cfg] {
+      Sorter::Resources r;
+      r.num_workers = cfg.workers;
+      return r;
+    }());
+    const SortResult& result = sorter.Start(opts).Wait();
+    if (!result.status.ok()) {
+      fprintf(stderr, "striping sort: %s\n",
+              result.status.ToString().c_str());
       continue;
     }
+    const SortMetrics& m = result.metrics;
     obs::BenchEntry e;
     e.suite = "striping";
     e.config = StrFormat("width=%zu n=%llu workers=%d", width,
@@ -210,11 +221,18 @@ void RunDatamation(const BenchConfig& cfg, obs::BenchReport* report) {
   opts.input_path = spec.path;
   opts.output_path = "bench_datamation_out.dat";
   opts.num_workers = cfg.workers;
-  SortMetrics m;
-  if (Status s = AlphaSort::Run(env.get(), opts, &m); !s.ok()) {
-    fprintf(stderr, "datamation sort: %s\n", s.ToString().c_str());
+  Sorter sorter(env.get(), [&cfg] {
+    Sorter::Resources r;
+    r.num_workers = cfg.workers;
+    return r;
+  }());
+  const SortResult& result = sorter.Start(opts).Wait();
+  if (!result.status.ok()) {
+    fprintf(stderr, "datamation sort: %s\n",
+            result.status.ToString().c_str());
     return;
   }
+  const SortMetrics& m = result.metrics;
   if (Status s = ValidateSortedFile(env.get(), spec.path, opts.output_path,
                                     opts.format);
       !s.ok()) {
@@ -421,7 +439,7 @@ void RunService(const BenchConfig& cfg, obs::BenchReport* report) {
   }
 }
 
-// --- Networked service over loopback: framing + spooling + sort +
+// --- Networked service over loopback: framing + streamed ingest + sort +
 // stream-back, as a tenant observes it (docs/net.md). Sizes are FIXED
 // regardless of --smoke (like the kernel suite) so the committed
 // baseline and the CI run compare like with like; the 100-client
@@ -460,6 +478,112 @@ void RunNet(const BenchConfig& cfg, obs::BenchReport* report) {
                 {"p99_us", r.p99_us}};
     report->entries.push_back(std::move(e));
   }
+}
+
+// --- Streaming-ingest front end (docs/api.md): the same page-cache-
+// resident input sorted through each RecordSource. `file` is the
+// input_path sugar (FileRecordSource's readahead ring through AsyncIO),
+// `mmap` maps the resident pages and builds entries over them without
+// copying a record until the gather, `stream` replays the bytes through
+// a producer thread and the bounded StreamRecordSource — the network
+// path's ingest without the network. The input is written and read back
+// once before timing, so all three sources see warm pages; at this
+// shape mmap's zero-copy one-pass is expected to beat the plain file
+// source (the read phase disappears into the entry build).
+void RunIngest(const BenchConfig& cfg, obs::BenchReport* report) {
+  const uint64_t records = cfg.smoke ? 200000 : 1000000;
+  const uint64_t bytes = records * kDatamationFormat.record_size;
+  Env* env = GetPosixEnv();
+  const std::string prefix = "/tmp/alphasort_bench_ingest";
+  const std::string in_path = prefix + "_in.dat";
+  const std::string out_path = prefix + "_out.dat";
+
+  InputSpec spec;
+  spec.path = in_path;
+  spec.num_records = records;
+  if (Status s = CreateInputFile(env, spec); !s.ok()) {
+    fprintf(stderr, "ingest input: %s\n", s.ToString().c_str());
+    return;
+  }
+  // Warm the page cache and keep a copy for the stream producer.
+  std::vector<char> resident(bytes);
+  {
+    FILE* f = fopen(in_path.c_str(), "rb");
+    if (f == nullptr ||
+        fread(resident.data(), 1, bytes, f) != bytes) {
+      fprintf(stderr, "ingest: warming read of %s failed\n",
+              in_path.c_str());
+      if (f != nullptr) fclose(f);
+      return;
+    }
+    fclose(f);
+  }
+
+  auto run_one = [&](const char* source_name, SortOptions opts,
+                     std::thread* producer) {
+    opts.output_path = out_path;
+    opts.scratch_path = prefix + "_scratch";
+    opts.num_workers = cfg.workers;
+    // Resident shape: the whole input fits the budget, so every source
+    // gets the one-pass plan and the contiguous ones get zero-copy.
+    opts.memory_budget = std::max<uint64_t>(256ull << 20, 2 * bytes);
+    Sorter sorter(env, [&cfg] {
+      Sorter::Resources r;
+      r.num_workers = cfg.workers;
+      return r;
+    }());
+    const SortResult& result = sorter.Start(opts).Wait();
+    if (producer != nullptr && producer->joinable()) producer->join();
+    if (!result.status.ok()) {
+      fprintf(stderr, "ingest sort (%s): %s\n", source_name,
+              result.status.ToString().c_str());
+      return;
+    }
+    const SortMetrics& m = result.metrics;
+    obs::BenchEntry e;
+    e.suite = "ingest";
+    e.config = StrFormat("source=%s n=%llu workers=%d resident",
+                         source_name,
+                         static_cast<unsigned long long>(records),
+                         cfg.workers);
+    e.values = {{"seconds", m.total_s},
+                {"mb_per_s", m.Throughput().mb_per_s},
+                {"read_phase_s", m.read_phase_s},
+                {"merge_phase_s", m.merge_phase_s}};
+    report->entries.push_back(std::move(e));
+  };
+
+  {
+    SortOptions opts;
+    opts.input_path = in_path;
+    run_one("file", std::move(opts), nullptr);
+  }
+  {
+    SortOptions opts;
+    opts.source = [in_path] {
+      return std::make_shared<MmapRecordSource>(in_path);
+    };
+    run_one("mmap", std::move(opts), nullptr);
+  }
+  {
+    auto stream = std::make_shared<StreamRecordSource>();
+    SortOptions opts;
+    opts.source = [stream]() -> std::shared_ptr<RecordSource> {
+      return stream;
+    };
+    std::thread producer([stream, &resident] {
+      const size_t chunk = 1 << 20;
+      for (size_t off = 0; off < resident.size(); off += chunk) {
+        const size_t n = std::min(chunk, resident.size() - off);
+        if (!stream->Append(resident.data() + off, n)) break;
+      }
+      stream->CloseWrite();
+    });
+    run_one("stream", std::move(opts), &producer);
+  }
+
+  env->DeleteFile(in_path);
+  env->DeleteFile(out_path);
 }
 
 }  // namespace
@@ -501,6 +625,7 @@ int main(int argc, char** argv) {
           {"entry_width", RunEntryWidth},
           {"datamation", RunDatamation},
           {"kernels", RunKernels},
+          {"ingest", RunIngest},
           {"service", RunService},
           {"net", RunNet},
       };

@@ -17,6 +17,7 @@
 #include "benchlib/datamation.h"
 #include "core/alphasort.h"
 #include "core/sort_metrics.h"
+#include "core/sorter.h"
 #include "io/stripe.h"
 #include "sim/cost_model.h"
 
@@ -99,11 +100,16 @@ int main(int argc, char** argv) {
   opts.output_path = out_path;
   opts.num_workers = args.workers;
   opts.io_threads = static_cast<int>(args.width);
-  SortMetrics metrics;
-  if (Status s = AlphaSort::Run(env, opts, &metrics); !s.ok()) {
-    fprintf(stderr, "sort: %s\n", s.ToString().c_str());
+  Sorter::Resources resources;
+  resources.num_workers = opts.num_workers;
+  resources.io_threads = opts.io_threads;
+  Sorter sorter(env, resources);
+  const SortResult& result = sorter.Start(opts).Wait();
+  if (!result.status.ok()) {
+    fprintf(stderr, "sort: %s\n", result.status.ToString().c_str());
     return 1;
   }
+  const SortMetrics& metrics = result.metrics;
   printf("\n%s\n", metrics.ToString().c_str());
 
   if (args.price > 0) {

@@ -13,7 +13,7 @@
 // output is a permutation, not just sorted), and the DONE frame's CRC.
 // Per-job end-to-end latency lands in the net.client.e2e_us histogram;
 // the summary prints p50/p95/p99. The server's per-stage breakdown from
-// each v2 RESULT lands in net.client.{spool,queue,sort,merge,stream}_us,
+// each v2 RESULT lands in net.client.{ingest,queue,sort,merge,stream}_us,
 // and the gap between client-observed e2e and the server's elapsed_us —
 // the wire + client-stack overhead — in net.client.e2e_delta_us; all of
 // it is mirrored into the --report artifact.
@@ -27,7 +27,9 @@
 //   --clients N       small sorts, one tenant each ("tenant-<i>")
 //   --big-clients N   large sorts (tenant "big-<i>")
 //   --disconnects N   connections dropped mid-upload (server must clean
-//                     up; verified by the end-of-run residue check)
+//                     up; verified by the end-of-run residue check and,
+//                     with quotas on, a same-tenant refund probe — the
+//                     leak gate for the up-front streamed-ingest charge)
 //   --greedy N        tenants whose job exceeds the per-tenant quota
 //                     capacity; they MUST be rejected with Unavailable,
 //                     promptly, not stalled
@@ -44,6 +46,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -108,9 +111,9 @@ obs::Histogram* ClientE2eUs() {
 }
 // Server-side stage attribution as the client received it in the v2
 // RESULT frame — the client's view of where the server spent its time.
-obs::Histogram* StageSpoolUs() {
+obs::Histogram* StageIngestUs() {
   static obs::Histogram* h =
-      obs::MetricsRegistry::Global()->GetHistogram("net.client.spool_us");
+      obs::MetricsRegistry::Global()->GetHistogram("net.client.ingest_us");
   return h;
 }
 obs::Histogram* StageQueueUs() {
@@ -233,7 +236,7 @@ void RunClient(const LoadConfig& cfg, const std::string& tenant,
         return;
       }
       ClientE2eUs()->Record(elapsed);
-      StageSpoolUs()->Record(outcome.spool_us);
+      StageIngestUs()->Record(outcome.ingest_us);
       StageQueueUs()->Record(outcome.queue_us);
       StageSortUs()->Record(outcome.sort_us);
       StageMergeUs()->Record(outcome.merge_us);
@@ -253,30 +256,81 @@ void RunClient(const LoadConfig& cfg, const std::string& tenant,
 }
 
 // Connects, starts an upload, and vanishes mid-stream. The server must
-// notice, clean up the partial spool, and free the connection slot —
-// checked by the end-of-run residue probe, not here.
+// notice, poison the half-fed stream (reaping the job), free the
+// connection slot (checked by the end-of-run residue probe), and refund
+// the tenant's quota charge — checked here: the worker reconnects as the
+// same tenant and polls STATUS until the bucket reads (near) its
+// pre-drop level. The SUBMIT deliberately advertises far more than it
+// sends, so the up-front charge dwarfs what refill could restore during
+// the gate and a leak cannot hide behind the refill rate (the smoke
+// serverd runs with refill slowed for exactly this reason).
 void RunDisconnect(const LoadConfig& cfg, int idx, WorkerTally* tally) {
   const RecordFormat format = kDatamationFormat;
   RecordGenerator gen(format, 9000 + uint64_t(idx));
   const std::vector<char> data =
       gen.Generate(KeyDistribution::kUniform, 2000);
+  const std::string tenant = StrFormat("drop-%d", idx);
 
   net::SortClient client;
-  if (Status s = client.Connect(cfg.host, cfg.port,
-                                StrFormat("drop-%d", idx), 10.0);
+  if (Status s = client.Connect(cfg.host, cfg.port, tenant, 10.0);
       !s.ok()) {
     tally->Fail(StrFormat("drop-%d connect: %s", idx,
                           s.ToString().c_str()));
     return;
   }
+  net::StatusReplyFrame before;
+  if (Status s = client.QueryServerStatus(&before); !s.ok()) {
+    tally->Fail(StrFormat("drop-%d status: %s", idx,
+                          s.ToString().c_str()));
+    return;
+  }
+  const bool quotas_on = before.quota_remaining != UINT64_MAX;
+
   net::SubmitFrame submit;
-  submit.expected_bytes = data.size();
+  submit.expected_bytes =
+      quotas_on ? std::min<uint64_t>(before.quota_remaining / 2, 16ull << 20)
+                : data.size();
   net::TcpConn* raw = client.raw_conn();
   (void)net::WriteFrame(raw, net::FrameType::kSubmit, submit.Encode());
   // Half the stream, then gone.
   (void)net::WriteFrame(raw, net::FrameType::kData,
                         std::string(data.data(), data.size() / 2));
   client.Close();
+
+  if (quotas_on) {
+    net::SortClient again;
+    if (Status s = again.Connect(cfg.host, cfg.port, tenant, 10.0);
+        !s.ok()) {
+      tally->Fail(StrFormat("drop-%d reconnect: %s", idx,
+                            s.ToString().c_str()));
+      return;
+    }
+    // An eighth of the bucket covers refill jitter; a leaked 50% charge
+    // cannot clear the bar.
+    const uint64_t want =
+        before.quota_remaining - before.quota_remaining / 8;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    net::StatusReplyFrame after;
+    for (;;) {
+      if (Status s = again.QueryServerStatus(&after); !s.ok()) {
+        tally->Fail(StrFormat("drop-%d refund probe: %s", idx,
+                              s.ToString().c_str()));
+        return;
+      }
+      if (after.quota_remaining >= want) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        tally->Fail(StrFormat(
+            "drop-%d: quota not refunded after mid-ingest disconnect "
+            "(%llu of %llu tokens back)",
+            idx,
+            static_cast<unsigned long long>(after.quota_remaining),
+            static_cast<unsigned long long>(before.quota_remaining)));
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
   tally->ok.fetch_add(1);
 }
 
@@ -436,7 +490,7 @@ int RunLoad(const LoadConfig& cfg) {
       const char* name;
       obs::Histogram* h;
     } stages[] = {
-        {"spool", StageSpoolUs()}, {"queue", StageQueueUs()},
+        {"ingest", StageIngestUs()}, {"queue", StageQueueUs()},
         {"sort", StageSortUs()},   {"merge", StageMergeUs()},
         {"stream", StageStreamUs()},
     };

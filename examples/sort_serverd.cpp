@@ -11,13 +11,14 @@
 // serves until SIGINT/SIGTERM (or --run-seconds, for scripted runs).
 // --port 0 picks an ephemeral port; --port-file publishes the bound
 // port for scripts that start the daemon in the background (the CI net
-// smoke does exactly that). --mem spools into an in-memory Env so the
-// smoke exercises the whole wire path without touching disk.
+// smoke does exactly that). --mem stages output and scratch in an
+// in-memory Env so the smoke exercises the whole wire path without
+// touching disk (input never touches storage on any path).
 //
 // --expo FILE rewrites the Prometheus-style exposition once a second
 // while serving (net.* alongside svc.*); --log-jsonl FILE captures the
 // structured log (svc.conn.* events) for log_lint. --trace FILE exports
-// the server-side Chrome trace (net.spool / net.sort_wait /
+// the server-side Chrome trace (net.ingest / net.sort_wait /
 // net.stream_back spans, net.clock_sync markers) on exit, the server
 // half of an examples/trace_merge join. --slow-ms MS makes any job
 // whose end-to-end time reaches MS milliseconds emit a svc.job.slow
@@ -161,17 +162,18 @@ int RunDaemon(const DaemonConfig& cfg) {
          static_cast<unsigned long long>(stats.jobs_failed),
          static_cast<unsigned long long>(stats.quota_rejected),
          static_cast<unsigned long long>(stats.protocol_errors));
-  // Leak gate: with every connection drained, no spool files (and for
-  // the in-memory env, no scratch spill files either) may remain under
-  // the data root. The "/c" prefix matches the per-connection spool
-  // naming and, on a real filesystem, skips the scratch directory entry.
+  // Leak gate: with every connection drained, no staged output files
+  // (and for the in-memory env, no scratch spill files either) may
+  // remain under the data root. The "/c" prefix matches the
+  // per-connection output naming and, on a real filesystem, skips the
+  // scratch directory entry.
   std::vector<std::string> stray;
   (void)env->ListFiles(cfg.data_root + "/c", &stray);
   if (cfg.mem) {
     (void)env->ListFiles(cfg.data_root + "/scratch/", &stray);
   }
   if (!stray.empty()) {
-    fprintf(stderr, "FAIL: %zu spool file(s) leaked, first: %s\n",
+    fprintf(stderr, "FAIL: %zu data file(s) leaked, first: %s\n",
             stray.size(), stray[0].c_str());
     return 1;
   }

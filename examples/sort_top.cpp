@@ -19,7 +19,7 @@
 // remote-monitor shape, sort_top as a pure consumer of scrape text.
 //
 // Either source also renders the per-stage latency summary from the
-// alphasort_net_job_{spool,queue,sort,merge,stream,e2e}_us series
+// alphasort_net_job_{ingest,queue,sort,merge,stream,e2e}_us series
 // (obs::JobTimeline histograms) whenever the scrape carries them.
 //
 // --smoke is the CI shape: 4 jobs over 2 runners, polled continuously.
@@ -164,9 +164,9 @@ void PrintStages(const std::string& expo) {
   if (stages.empty()) return;
   printf("net.job stage latency:  %-8s %10s %10s %10s %8s\n", "stage",
          "p50_us", "p95_us", "p99_us", "jobs");
-  // Pipeline order, not map order — spool feeds queue feeds sort...
+  // Pipeline order, not map order — ingest feeds queue feeds sort...
   for (const char* name :
-       {"spool_us", "queue_us", "sort_us", "merge_us", "stream_us",
+       {"ingest_us", "queue_us", "sort_us", "merge_us", "stream_us",
         "e2e_us"}) {
     auto it = stages.find(name);
     if (it == stages.end() || !it->second.seen) continue;

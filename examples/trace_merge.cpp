@@ -1,7 +1,7 @@
 // trace_merge: joins a client-side and a server-side Chrome trace (each
 // produced by obs::TraceRecorder::ToChromeJson — e.g. sort_loadgen
 // --trace and sort_serverd --trace) into one timeline, so a distributed
-// job's client net.submit span and the server's net.spool /
+// job's client net.submit span and the server's net.ingest /
 // net.sort_wait / net.stream_back spans line up in one viewer window.
 //
 //   ./trace_merge CLIENT_FILE SERVER_FILE -o OUT [--trace-id ID]

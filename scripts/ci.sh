@@ -5,6 +5,7 @@
 #   ./scripts/ci.sh --stage=tier1    # build + full test suite
 #   ./scripts/ci.sh --stage=sanitizers  # ASan+UBSan suite, TSan suites
 #   ./scripts/ci.sh --stage=smokes   # fault/obs/service/net smoke gates
+#   ./scripts/ci.sh --stage=api      # strict-deprecation build + lints
 #   ./scripts/ci.sh --stage=bench    # bench trajectories vs baselines
 #
 # The stages are independent (each configures the build trees it needs),
@@ -175,11 +176,15 @@ stage_smokes() {
   # with Unavailable (32MB bucket < its 40MB job). The loadgen exits
   # non-zero on any unsorted output, un-backed-off rejection, or gauge
   # residue; the daemon exits non-zero if a spool or scratch file
-  # outlives its job. Both exits gate.
+  # outlives its job. Both exits gate. Refill is slowed to 1 MB/s so the
+  # disconnect tenant's refund probe sees the refund itself, not the
+  # bucket refilling over the top of a leak (greedy rejection is
+  # capacity-based, so the slow refill does not touch it).
   rm -f ci-artifacts/serverd.port
   ./build/examples/sort_serverd --mem --port 0 \
     --port-file ci-artifacts/serverd.port \
     --running 4 --queued 128 --max-conns 256 --quota-mb 32 \
+    --quota-refill-mbps 1 \
     --expo ci-artifacts/net_exposition.txt \
     --log-jsonl ci-artifacts/net_server_log.jsonl &
   local serverd_pid=$!
@@ -254,8 +259,74 @@ stage_smokes() {
     ci-artifacts/net_server_trace.json \
     -o ci-artifacts/net_merged_trace.json
   ./build/examples/trace_lint ci-artifacts/net_merged_trace.json \
-    --require net.submit --require net.spool --require net.stream_back \
+    --require net.submit --require net.ingest --require net.stream_back \
     --require-trace-id net.submit --require-trace-id net.stream_back
+}
+
+# --- stage: api ------------------------------------------------------
+
+stage_api() {
+  echo "=== api: strict-deprecation build of the example/bench surface ==="
+  # docs/api.md: the one-shot AlphaSort::Run shim is [[deprecated]] under
+  # ALPHASORT_STRICT_DEPRECATION. Everything a user copies from — the
+  # examples, benches, and daemons — must live on the Sorter/RecordSource
+  # API, so they build here with the warning promoted to an error. The
+  # test suite deliberately keeps calling the shim (it is covered API),
+  # so tests are excluded from this build's targets.
+  cmake -B build-api -S . \
+    -DCMAKE_CXX_FLAGS="-DALPHASORT_STRICT_DEPRECATION -Werror=deprecated-declarations" \
+    >/dev/null
+  cmake --build build-api -j "$(nproc)" --target \
+    quickstart asort minute_sort datamation_sort bench_report \
+    sort_serverd sort_loadgen sort_top trace_merge \
+    report_lint expo_lint trace_lint
+
+  echo
+  echo "=== api: streamed-ingest smoke + lints over its artifacts ==="
+  # The strict-built daemon serves a small traced run over the spool-free
+  # path; every observability artifact it emits must lint: the loadgen's
+  # BenchReport (report_lint), the server's Prometheus exposition
+  # (expo_lint), and the merged client+server trace (trace_lint), which
+  # must carry net.ingest spans — the upload feeding the sort directly,
+  # not a spool stage.
+  rm -f ci-artifacts/serverd_api.port
+  ./build-api/examples/sort_serverd --mem --port 0 \
+    --port-file ci-artifacts/serverd_api.port \
+    --running 2 --max-conns 16 \
+    --expo ci-artifacts/api_exposition.txt \
+    --trace ci-artifacts/api_server_trace.json &
+  local api_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s ci-artifacts/serverd_api.port ]] && break
+    sleep 0.1
+  done
+  [[ -s ci-artifacts/serverd_api.port ]] || {
+    echo "FAIL: api-stage sort_serverd never published its port" >&2
+    kill -KILL "$api_pid" 2>/dev/null || true
+    return 1
+  }
+  local api_loadgen_rc=0
+  ./build-api/examples/sort_loadgen \
+    --port-file ci-artifacts/serverd_api.port \
+    --clients 4 --jobs 2 --records 5000 \
+    --report ci-artifacts/BENCH_api_smoke.json \
+    --trace ci-artifacts/api_client_trace.json || api_loadgen_rc=$?
+  kill -TERM "$api_pid" 2>/dev/null || true
+  local api_serverd_rc=0
+  wait "$api_pid" || api_serverd_rc=$?
+  if [[ "$api_loadgen_rc" -ne 0 || "$api_serverd_rc" -ne 0 ]]; then
+    echo "FAIL: api smoke (loadgen rc=$api_loadgen_rc," \
+      "serverd rc=$api_serverd_rc)" >&2
+    return 1
+  fi
+  ./build-api/examples/report_lint ci-artifacts/BENCH_api_smoke.json
+  ./build-api/examples/expo_lint ci-artifacts/api_exposition.txt \
+    --require-nonzero alphasort_net_jobs_completed
+  ./build-api/examples/trace_merge ci-artifacts/api_client_trace.json \
+    ci-artifacts/api_server_trace.json \
+    -o ci-artifacts/api_merged_trace.json
+  ./build-api/examples/trace_lint ci-artifacts/api_merged_trace.json \
+    --require net.submit --require net.ingest --require net.stream_back
 }
 
 # --- stage: bench ----------------------------------------------------
@@ -303,7 +374,8 @@ stage_bench() {
 
   echo
   echo "=== net bench: wire-path suite vs committed BENCH_net.json ==="
-  # Full wire path (frame + spool + sort + stream-back) at the committed
+  # Full wire path (frame + streamed ingest + sort + stream-back) at the
+  # committed
   # shapes. Job accounting is structural -- every configured job must
   # keep succeeding -- while latency percentiles warn only.
   ./build/examples/bench_report --suite net --name net \
@@ -314,6 +386,20 @@ stage_bench() {
       ci-artifacts/BENCH_net.json --warn-only --threshold 0.5 \
       --fail-on structural --band 0.6
   fi
+
+  echo
+  echo "=== ingest bench: source comparison vs committed BENCH_ingest.json ==="
+  # The streaming-ingest front end (docs/api.md) at the resident-input
+  # shape: file (readahead ring) vs mmap (zero-copy) vs stream (bounded
+  # producer). Wall-clock warns only — shared CI machines can't hold the
+  # mmap-beats-file margin reliably; the committed baseline records it.
+  ./build/examples/bench_report --suite ingest --name ingest \
+    --out ci-artifacts/BENCH_ingest.json
+  ./build/examples/report_lint ci-artifacts/BENCH_ingest.json
+  if [[ -f BENCH_ingest.json ]]; then
+    python3 scripts/bench_compare.py BENCH_ingest.json \
+      ci-artifacts/BENCH_ingest.json --warn-only --threshold 0.5
+  fi
 }
 
 # --- driver ----------------------------------------------------------
@@ -323,7 +409,7 @@ for arg in "$@"; do
   case "$arg" in
     --stage=*) stage="${arg#--stage=}" ;;
     *)
-      echo "usage: $0 [--stage=tier1|sanitizers|smokes|bench]" >&2
+      echo "usage: $0 [--stage=tier1|sanitizers|smokes|api|bench]" >&2
       exit 2
       ;;
   esac
@@ -333,6 +419,7 @@ case "$stage" in
   tier1) stage_tier1 ;;
   sanitizers) stage_sanitizers ;;
   smokes) stage_smokes ;;
+  api) stage_api ;;
   bench) stage_bench ;;
   all)
     stage_tier1
@@ -341,10 +428,12 @@ case "$stage" in
     echo
     stage_smokes
     echo
+    stage_api
+    echo
     stage_bench
     ;;
   *)
-    echo "usage: $0 [--stage=tier1|sanitizers|smokes|bench]" >&2
+    echo "usage: $0 [--stage=tier1|sanitizers|smokes|api|bench]" >&2
     exit 2
     ;;
 esac

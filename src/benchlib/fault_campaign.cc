@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/table.h"
 #include "core/alphasort.h"
+#include "core/sorter.h"
 #include "io/env_stack.h"
 
 namespace alphasort {
@@ -143,7 +144,15 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   FaultPlan plan = MakeCampaignPlan(seed, opts.scratch_path);
   result.plan_overrides = plan.overrides.size();
   fenv.SetPlan(plan);
-  result.sort_status = AlphaSort::Run(stack.top(), opts, &result.metrics);
+  result.sort_status = [&] {
+    Sorter::Resources resources;
+    resources.num_workers = opts.num_workers;
+    resources.io_threads = opts.io_threads;
+    Sorter sorter(stack.top(), resources);
+    const SortResult& r = sorter.Start(opts).Wait();
+    result.metrics = r.metrics;
+    return r.status;
+  }();
   fenv.SetPlan(FaultPlan{});  // quiesce before validation
   result.faults_injected = fenv.faults_injected();
 

@@ -12,7 +12,7 @@ namespace alphasort {
 // a NetServer over a fresh in-memory filesystem on a loopback ephemeral
 // port, N concurrent clients each streaming records up, waiting, and
 // verifying the sorted stream that comes back. The numbers capture the
-// full wire path — framing, spooling, admission, sort, stream-back —
+// full wire path — framing, streamed ingest, admission, sort, stream-back —
 // which is what a tenant of the service actually observes, as opposed to
 // the in-process service bench that skips the socket entirely.
 

@@ -47,7 +47,8 @@ namespace core_internal {
 Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
                        ChorePool* pool, const SortControl* control,
                        SortMetrics* metrics, uint64_t job_id,
-                       obs::JobProgressTracker* progress) {
+                       obs::JobProgressTracker* progress,
+                       const PipelineBody& body) {
   ALPHASORT_RETURN_IF_ERROR(options.Validate());
   SortMetrics local_metrics;
   if (metrics == nullptr) metrics = &local_metrics;
@@ -106,23 +107,28 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
     metrics->io_retries_exhausted = rs.ops_exhausted;
   };
 
-  // Open the input and create the output, members in parallel (§6).
+  // Build and open the input source, and create the output, members in
+  // parallel (§6). `input_path` is sugar for a FileRecordSource shaped by
+  // the options' IO knobs; the factory covers everything else (mmap,
+  // memory, generated, live streams).
   std::optional<obs::TraceSpan> startup_span;
   startup_span.emplace("sort.startup");
-  Result<std::unique_ptr<StripeFile>> input =
-      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, aio);
-  ALPHASORT_RETURN_IF_ERROR(input.status());
+  std::shared_ptr<RecordSource> source;
+  if (options.source) {
+    source = options.source();
+    if (source == nullptr) {
+      return Status::InvalidArgument("source factory returned nullptr");
+    }
+  } else {
+    source = std::make_shared<FileRecordSource>(
+        options.input_path, options.io_chunk_bytes, options.io_depth);
+  }
+  ALPHASORT_RETURN_IF_ERROR(source->Open(env, aio));
   Result<std::unique_ptr<StripeFile>> output = StripeFile::Open(
       env, options.output_path, OpenMode::kCreateReadWrite, aio);
-  ALPHASORT_RETURN_IF_ERROR(output.status());
-
-  Result<uint64_t> size = input.value()->Size();
-  ALPHASORT_RETURN_IF_ERROR(size.status());
-  if (size.value() % options.format.record_size != 0) {
-    return Status::InvalidArgument(StrFormat(
-        "input size %llu is not a multiple of the record size %zu",
-        static_cast<unsigned long long>(size.value()),
-        options.format.record_size));
+  if (!output.ok()) {
+    source->Close();
+    return output.status();
   }
 
   core_internal::SortContext ctx;
@@ -131,10 +137,8 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   ctx.metrics = metrics;
   ctx.aio = aio;
   ctx.pool = pool;
-  ctx.input = input.value().get();
+  ctx.source = source.get();
   ctx.output = output.value().get();
-  ctx.input_bytes = size.value();
-  ctx.num_records = size.value() / options.format.record_size;
   ctx.control = control;
   ctx.job_id = job_id;
   // The ambient trace id was established by the caller (ExecuteJob's
@@ -143,34 +147,68 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   ctx.trace_id = obs::CurrentTraceId();
   ctx.progress = progress;
 
+  uint64_t total = 0;
+  ctx.size_known = source->TotalBytes(&total);
+  if (ctx.size_known) {
+    if (total % options.format.record_size != 0) {
+      source->Close();
+      output.value()->Close();
+      return Status::InvalidArgument(StrFormat(
+          "input size %llu is not a multiple of the record size %zu",
+          static_cast<unsigned long long>(total),
+          options.format.record_size));
+    }
+    ctx.input_bytes = total;
+    ctx.num_records = total / options.format.record_size;
+  }
+
   metrics->bytes_in = ctx.input_bytes;
   metrics->num_records = ctx.num_records;
   metrics->startup_s = phase.Lap();
   startup_span.reset();
 
   // One pass if the records plus their entries fit in the budget (§6:
-  // "the Datamation sort benchmark should be done in one pass").
-  const uint64_t entry_bytes =
-      ctx.num_records * SortOptions::kEntryOverheadBytes;
-  const bool fits = ctx.input_bytes + entry_bytes <= options.memory_budget;
-  const bool one_pass =
-      options.force_passes == 1 || (options.force_passes == 0 && fits);
-  metrics->passes = one_pass ? 1 : 2;
-  if (progress != nullptr) {
-    progress->SetPlan(ctx.input_bytes, metrics->passes);
+  // "the Datamation sort benchmark should be done in one pass"). Sources
+  // with unknown totals (live streams) defer the decision: RunAdaptive
+  // starts optimistic and spills only if the budget overflows, setting
+  // the real plan at end of input.
+  bool one_pass = false;
+  if (ctx.size_known) {
+    const uint64_t entry_bytes =
+        ctx.num_records * SortOptions::kEntryOverheadBytes;
+    const bool fits = ctx.input_bytes + entry_bytes <= options.memory_budget;
+    one_pass =
+        options.force_passes == 1 || (options.force_passes == 0 && fits);
+    metrics->passes = one_pass ? 1 : 2;
+    if (progress != nullptr) {
+      progress->SetPlan(ctx.input_bytes, metrics->passes);
+    }
+  } else if (progress != nullptr) {
+    progress->SetPlanUnknown(/*passes_hint=*/1);
   }
   ALPHASORT_LOG(kDebug, "sort.plan")
+      .Str("source", source->name())
       .U64("bytes", ctx.input_bytes)
       .U64("records", ctx.num_records)
       .I64("passes", metrics->passes);
 
   Status sort_status = CheckControl(&ctx);
   if (sort_status.ok()) {
-    sort_status = one_pass ? core_internal::RunOnePass(&ctx)
-                           : core_internal::RunTwoPass(&ctx);
+    if (body) {
+      sort_status = body(&ctx);
+    } else if (!ctx.size_known) {
+      sort_status = core_internal::RunAdaptive(&ctx);
+    } else {
+      sort_status = one_pass ? core_internal::RunOnePass(&ctx)
+                             : core_internal::RunTwoPass(&ctx);
+    }
   }
+  // Custom bodies and the adaptive path discover (or refine) the input
+  // shape themselves; re-read it from the context either way.
+  metrics->bytes_in = ctx.input_bytes;
+  metrics->num_records = ctx.num_records;
   if (!sort_status.ok()) {
-    input.value()->Close();
+    source->Close();
     output.value()->Close();
     fill_retry_metrics();
     finish_observability();
@@ -181,7 +219,7 @@ Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
   ProgressPhase(&ctx, obs::SortPhase::kClose);
   {
     obs::TraceSpan close_span("sort.close");
-    ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
+    ALPHASORT_RETURN_IF_ERROR(source->Close());
     ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
   }
   metrics->close_s = phase.Lap();

@@ -5,6 +5,16 @@
 #include "core/sort_metrics.h"
 #include "io/env.h"
 
+// Deprecation attribute for the legacy one-shot entry points, opt-in so
+// existing builds stay warning-clean: define ALPHASORT_STRICT_DEPRECATION
+// (scripts/ci.sh --stage=api does, with warnings as errors) to surface
+// every remaining call site as [[deprecated]].
+#if defined(ALPHASORT_STRICT_DEPRECATION)
+#define ALPHASORT_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define ALPHASORT_DEPRECATED(msg)
+#endif
+
 namespace alphasort {
 
 // AlphaSort: a cache-conscious external sort (Nyberg, Barclay, Cvetanovic,
@@ -47,6 +57,9 @@ class AlphaSort {
   // breakdown. Returns the first error encountered; on error the output
   // file contents are unspecified. Equivalent to
   // Sorter(env).Start(options).Wait() with pools sized from `options`.
+  ALPHASORT_DEPRECATED(
+      "use Sorter::Start (core/sorter.h) or svc::SortService; see "
+      "docs/api.md")
   static Status Run(Env* env, const SortOptions& options,
                     SortMetrics* metrics = nullptr);
 };

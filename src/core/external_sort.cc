@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/checksum.h"
@@ -149,12 +150,10 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
     ALPHASORT_RETURN_IF_ERROR(CheckControl(ctx));
     const uint64_t n =
         std::min<uint64_t>(chunk_records, ctx->num_records - record_pos);
-    const uint64_t byte_off = record_pos * fmt.record_size;
     const size_t byte_len = static_cast<size_t>(n * fmt.record_size);
 
     size_t got = 0;
-    ALPHASORT_RETURN_IF_ERROR(
-        ctx->input->Read(byte_off, byte_len, block.data(), &got));
+    ALPHASORT_RETURN_IF_ERROR(ctx->source->Read(block.data(), byte_len, &got));
     if (got != byte_len) {
       return Status::Corruption("short read of input chunk");
     }
@@ -434,6 +433,199 @@ Status RunTwoPass(SortContext* ctx) {
   if (!s.ok()) {
     for (const auto& run : runs) RemoveScratchRun(ctx, run.path);
     return s;
+  }
+  {
+    ProgressPhase(ctx, obs::SortPhase::kMerge);
+    obs::TraceSpan span("sort.merge_phase");
+    obs::ScopedPerfRegion perf("merge_phase");
+    s = MergeScratchRuns(ctx, std::move(runs));
+  }
+  ctx->metrics->merge_phase_s = phase.Lap();
+  return s;
+}
+
+Status RunAdaptive(SortContext* ctx) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  const size_t rec = fmt.record_size;
+  const uint64_t per_record = rec + SortOptions::kEntryOverheadBytes;
+  PhaseTimer phase;
+  ScratchSweeper sweeper(ctx);
+
+  // Block sizing. The first block is optimistic: the full memory budget,
+  // so an input that would have planned a one-pass sort still finishes in
+  // one pass even though nobody knew its size up front. Once the first
+  // block overflows, the sort is two-pass regardless and later blocks
+  // drop to the spill path's sizing (half the budget, leaving merge
+  // headroom).
+  const uint64_t first_records = std::max<uint64_t>(
+      opts.run_size_records, opts.memory_budget / per_record);
+  const uint64_t spill_records = std::max<uint64_t>(
+      opts.run_size_records, opts.memory_budget / (2 * per_record));
+
+  std::unique_ptr<char[]> block(new char[first_records * rec]);
+  std::unique_ptr<PrefixEntry[]> entries(new PrefixEntry[first_records]);
+  char* const data = block.get();
+  PrefixEntry* const ents = entries.get();
+
+  // Pulls up to `cap_records` into the block, dispatching a QuickSort
+  // chore at every run boundary so sorting overlaps the (possibly
+  // network-paced) ingest; the block's partial tail run is sorted inline
+  // and the pool drained before returning, so the caller may reuse the
+  // block. `*eof` flips when the stream ends.
+  auto read_block = [&](uint64_t cap_records, uint64_t* out_records,
+                        bool* eof) -> Status {
+    const uint64_t cap_bytes = cap_records * rec;
+    uint64_t filled = 0;
+    uint64_t next_run_start = 0;
+    // Dispatched chores reference the block; they must finish before any
+    // error return unwinds it.
+    auto abandon = [&](Status why) {
+      ctx->pool->WaitIdle();
+      return why;
+    };
+    while (filled < cap_bytes) {
+      // Cancellation/deadline poll, once per ingest chunk.
+      if (Status ctl = CheckControl(ctx); !ctl.ok()) return abandon(ctl);
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(opts.io_chunk_bytes, cap_bytes - filled));
+      size_t got = 0;
+      Status s = ctx->source->Read(data + filled, want, &got);
+      if (!s.ok()) return abandon(s);
+      filled += got;
+      ProgressRead(ctx, got);
+      const uint64_t ready = filled / rec;
+      while (ready - next_run_start >= opts.run_size_records) {
+        const uint64_t start = next_run_start;
+        const uint64_t len = opts.run_size_records;
+        next_run_start += len;
+        ctx->pool->Submit([ctx, data, ents, fmt, start, len] {
+          obs::ScopedJobId job_scope(ctx->job_id);
+          obs::ScopedTraceId trace_scope(ctx->trace_id);
+          obs::TraceSpan span("quicksort.run", "cpu");
+          obs::ScopedPerfRegion perf("quicksort");
+          SortStats stats;
+          BuildPrefixEntryArray(fmt, data + start * fmt.record_size, len,
+                                ents + start,
+                                ctx->options->prefetch_distance);
+          SortPrefixEntryArray(fmt, ents + start, len, &stats);
+          ProgressSorted(ctx, len * fmt.record_size);
+        });
+      }
+      if (got < want) {
+        *eof = true;
+        break;
+      }
+    }
+    if (*eof && filled % rec != 0) {
+      return abandon(Status::Corruption(StrFormat(
+          "stream ended mid-record: %llu trailing bytes (record size %zu)",
+          static_cast<unsigned long long>(filled % rec), rec)));
+    }
+    const uint64_t n = filled / rec;
+    // The block's partial tail run (no more input can join it).
+    if (next_run_start < n) {
+      const uint64_t start = next_run_start;
+      const uint64_t len = n - start;
+      obs::TraceSpan span("quicksort.run", "cpu");
+      obs::ScopedPerfRegion perf("quicksort");
+      SortStats stats;
+      BuildPrefixEntryArray(fmt, data + start * rec, len, ents + start,
+                            opts.prefetch_distance);
+      SortPrefixEntryArray(fmt, ents + start, len, &stats);
+      ProgressSorted(ctx, len * rec);
+    }
+    ctx->pool->WaitIdle();
+    *out_records = n;
+    return Status::OK();
+  };
+
+  // EntryRun views over the current block's first `n` records.
+  auto block_runs = [&](uint64_t n) {
+    std::vector<EntryRun> result;
+    for (uint64_t start = 0; start < n; start += opts.run_size_records) {
+      const uint64_t len =
+          std::min<uint64_t>(opts.run_size_records, n - start);
+      result.push_back(EntryRun{ents + start, ents + start + len});
+    }
+    return result;
+  };
+
+  ProgressPhase(ctx, obs::SortPhase::kRead);
+  std::optional<obs::TraceSpan> read_span;
+  read_span.emplace("sort.read_phase");
+  std::optional<obs::ScopedPerfRegion> read_perf;
+  read_perf.emplace("read_phase");
+
+  bool eof = false;
+  uint64_t n0 = 0;
+  ALPHASORT_RETURN_IF_ERROR(read_block(first_records, &n0, &eof));
+
+  if (eof) {
+    // The whole input arrived within the budget: one pass after all.
+    ctx->num_records = n0;
+    ctx->input_bytes = n0 * rec;
+    ctx->metrics->passes = 1;
+    if (ctx->progress != nullptr) {
+      ctx->progress->SetPlan(ctx->input_bytes, 1);
+    }
+    ctx->metrics->read_phase_s = phase.Lap();
+    read_perf.reset();
+    read_span.reset();
+    if (n0 == 0) {
+      ctx->metrics->num_runs = 0;
+      return Status::OK();
+    }
+    std::vector<EntryRun> entry_runs = block_runs(n0);
+    ctx->metrics->num_runs = entry_runs.size();
+    return MergeEntryRunsToOutput(ctx, entry_runs, ctx->input_bytes);
+  }
+
+  // The first block overflowed the budget: spill it as scratch run 0 and
+  // degrade to spill-as-usual for the rest of the stream.
+  uint64_t total_records = n0;
+  std::vector<ScratchRun> runs;
+  auto spill_block = [&](uint64_t n) -> Status {
+    RunMerger<> merger(fmt, block_runs(n), TreeLayout::kFlat, nullptr,
+                       nullptr, opts.merge_prefetch);
+    const std::string path = ScratchRunPath(opts, 0, runs.size());
+    Result<std::unique_ptr<File>> run_file =
+        OpenScratchRun(ctx, path, OpenMode::kCreateReadWrite);
+    ALPHASORT_RETURN_IF_ERROR(run_file.status());
+    uint64_t written = 0;
+    uint32_t crc = 0;
+    Status s = WriteRunFile(ctx, merger, run_file.value().get(), &written,
+                            &crc);
+    Status close_status = run_file.value()->Close();
+    ALPHASORT_RETURN_IF_ERROR(s);
+    ALPHASORT_RETURN_IF_ERROR(close_status);
+    runs.push_back(ScratchRun{path, written, crc, /*has_crc=*/true});
+    ctx->metrics->scratch_bytes_written += written;
+    ProgressSpilled(ctx, written);
+    return Status::OK();
+  };
+
+  Status s = spill_block(n0);
+  while (s.ok() && !eof) {
+    uint64_t n = 0;
+    s = read_block(spill_records, &n, &eof);
+    if (!s.ok() || n == 0) break;
+    total_records += n;
+    s = spill_block(n);
+  }
+  ctx->num_records = total_records;
+  ctx->input_bytes = total_records * rec;
+  ctx->metrics->read_phase_s = phase.Lap();
+  ctx->metrics->num_runs = runs.size();
+  read_perf.reset();
+  read_span.reset();
+  if (!s.ok()) {
+    for (const auto& run : runs) RemoveScratchRun(ctx, run.path);
+    return s;
+  }
+  ctx->metrics->passes = 2;
+  if (ctx->progress != nullptr) {
+    ctx->progress->SetPlan(ctx->input_bytes, 2);
   }
   {
     ProgressPhase(ctx, obs::SortPhase::kMerge);

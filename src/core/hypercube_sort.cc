@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/table.h"
+#include "core/pipeline_internal.h"
 #include "core/sort_metrics.h"
+#include "core/sorter.h"
 #include "io/stripe.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
@@ -26,57 +28,46 @@ struct EntryFullLess {
   }
 };
 
-}  // namespace
-
-Status HypercubeSort::Run(Env* env, const SortOptions& options,
-                          const HypercubeOptions& hyper,
-                          HypercubeMetrics* metrics) {
-  HypercubeMetrics local_metrics;
-  if (metrics == nullptr) metrics = &local_metrics;
-  *metrics = HypercubeMetrics();
-  if (hyper.nodes <= 0) {
-    return Status::InvalidArgument("nodes must be positive");
+// The sample-sort pass structure, run inside the shared RunSortPipeline
+// harness. Needs the whole input resident and evenly divided up front,
+// so it requires a source with a known total.
+Status HypercubeBody(core_internal::SortContext* ctx,
+                     const HypercubeOptions& hyper,
+                     HypercubeMetrics* metrics) {
+  if (!ctx->size_known) {
+    return Status::InvalidArgument(
+        "hypercube sort needs the input size up front; streamed sources "
+        "are not supported");
   }
-  ALPHASORT_RETURN_IF_ERROR(options.Validate());
-  const RecordFormat fmt = options.format;
+  const RecordFormat fmt = ctx->options->format;
   const size_t P = static_cast<size_t>(hyper.nodes);
-
-  PhaseTimer total_timer;
+  const uint64_t bytes = ctx->input_bytes;
+  const uint64_t n = ctx->num_records;
+  metrics->num_records = n;
+  ctx->metrics->passes = 1;
   PhaseTimer phase;
 
   // --- read: in the original each node reads its own disk; here the
-  // input stripe is read once into shared memory and divided evenly.
-  Result<std::unique_ptr<StripeFile>> input =
-      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly);
-  ALPHASORT_RETURN_IF_ERROR(input.status());
-  Result<std::unique_ptr<StripeFile>> output = StripeFile::Open(
-      env, options.output_path, OpenMode::kCreateReadWrite);
-  ALPHASORT_RETURN_IF_ERROR(output.status());
-  Result<uint64_t> size = input.value()->Size();
-  ALPHASORT_RETURN_IF_ERROR(size.status());
-  if (size.value() % fmt.record_size != 0) {
-    return Status::InvalidArgument(
-        "input size is not a multiple of the record size");
-  }
-  const uint64_t bytes = size.value();
-  const uint64_t n = bytes / fmt.record_size;
-  metrics->num_records = n;
-
+  // input is streamed once into shared memory and divided evenly.
+  core_internal::ProgressPhase(ctx, obs::SortPhase::kRead);
   std::unique_ptr<char[]> records(new char[bytes]);
   {
     uint64_t offset = 0;
-    const size_t chunk = options.io_chunk_bytes;
+    const size_t chunk = ctx->options->io_chunk_bytes;
     while (offset < bytes) {
+      ALPHASORT_RETURN_IF_ERROR(core_internal::CheckControl(ctx));
       const size_t len =
           static_cast<size_t>(std::min<uint64_t>(chunk, bytes - offset));
       size_t got = 0;
       ALPHASORT_RETURN_IF_ERROR(
-          input.value()->Read(offset, len, records.get() + offset, &got));
+          ctx->source->Read(records.get() + offset, len, &got));
       if (got != len) return Status::Corruption("short read of input");
+      core_internal::ProgressRead(ctx, got);
       offset += len;
     }
   }
   metrics->read_s = phase.Lap();
+  ctx->metrics->read_phase_s = metrics->read_s;
 
   // Per-node state.
   std::vector<uint64_t> node_begin(P + 1);
@@ -179,14 +170,16 @@ Status HypercubeSort::Run(Env* env, const SortOptions& options,
       }
       GatherRecords(fmt, ptrs.data(), got, out_buf.data());
       if (my_records > 0) {
-        node_status[me] = output.value()->Write(
+        node_status[me] = ctx->output->Write(
             out_offset[me] * fmt.record_size, out_buf.data(),
             out_buf.size());
+        core_internal::ProgressMerged(ctx, out_buf.size());
       }
     }
     merge_s[me] = node_phase.Lap();
   };
 
+  core_internal::ProgressPhase(ctx, obs::SortPhase::kMerge);
   std::vector<std::thread> threads;
   threads.reserve(P);
   for (size_t i = 0; i < P; ++i) threads.emplace_back(node_main, i);
@@ -196,12 +189,40 @@ Status HypercubeSort::Run(Env* env, const SortOptions& options,
   metrics->local_sort_s = *std::max_element(sort_s.begin(), sort_s.end());
   metrics->merge_write_s =
       *std::max_element(merge_s.begin(), merge_s.end());
+  ctx->metrics->merge_phase_s = phase.Lap();
 
-  ALPHASORT_RETURN_IF_ERROR(output.value()->Truncate(bytes));
-  ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
-  ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
-  metrics->total_s = total_timer.Lap();
-  return Status::OK();
+  return ctx->output->Truncate(bytes);
+}
+
+}  // namespace
+
+Status HypercubeSort::Run(Env* env, const SortOptions& options,
+                          const HypercubeOptions& hyper,
+                          HypercubeMetrics* metrics) {
+  HypercubeMetrics local_metrics;
+  if (metrics == nullptr) metrics = &local_metrics;
+  *metrics = HypercubeMetrics();
+  if (hyper.nodes <= 0) {
+    return Status::InvalidArgument("nodes must be positive");
+  }
+
+  // Thin shim: the sample-sort body inside the one shared pipeline
+  // harness, via a transient Sorter sized from the options. Wait() below
+  // keeps every by-reference capture alive for the job's duration.
+  PhaseTimer total_timer;
+  HypercubeMetrics* out = metrics;
+  auto body = [out, hyper](core_internal::SortContext* ctx) {
+    return HypercubeBody(ctx, hyper, out);
+  };
+  Sorter::Resources resources;
+  resources.num_workers = options.num_workers;
+  resources.io_threads = options.io_threads;
+  resources.use_affinity = options.use_affinity;
+  Sorter sorter(env, resources);
+  SortJob job = sorter.Start(options, body);
+  const SortResult& result = job.Wait();
+  if (result.status.ok()) metrics->total_s = total_timer.Lap();
+  return result.status;
 }
 
 }  // namespace alphasort

@@ -5,10 +5,19 @@
 namespace alphasort {
 
 Status SortOptions::Validate() const {
-  if (input_path.empty() || output_path.empty()) {
-    return Status::InvalidArgument("input_path and output_path are required");
+  if (input_path.empty() && !source) {
+    return Status::InvalidArgument(
+        "an input is required: set input_path or source");
   }
-  if (input_path == output_path) {
+  if (!input_path.empty() && source) {
+    return Status::InvalidArgument(
+        "input_path and source are mutually exclusive — input_path is "
+        "sugar for a file source");
+  }
+  if (output_path.empty()) {
+    return Status::InvalidArgument("output_path is required");
+  }
+  if (!input_path.empty() && input_path == output_path) {
     return Status::InvalidArgument("input and output must differ");
   }
   if (!format.Valid()) {

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "common/prefetch.h"
@@ -12,12 +14,25 @@
 
 namespace alphasort {
 
+class RecordSource;  // core/record_source.h
+using RecordSourceFactory = std::function<std::shared_ptr<RecordSource>()>;
+
 // Configuration for one AlphaSort run. Defaults reproduce the paper's
 // choices at laptop scale.
 struct SortOptions {
-  // Input/output paths; a ".str" suffix opens them as striped files
-  // (paper §6), anything else as a plain file.
+  // Input path; a ".str" suffix opens it as a striped file (paper §6),
+  // anything else as a plain file. Sugar for `source`: a set input_path
+  // builds a FileRecordSource. Exactly one of input_path / source must
+  // be set (Validate rejects both).
   std::string input_path;
+
+  // The general input: a factory producing the RecordSource the pipeline
+  // pulls records from (core/record_source.h — files, mmap, memory,
+  // generators, live network streams). Invoked once per run; returning
+  // nullptr fails the run.
+  RecordSourceFactory source;
+
+  // Output path; ".str" = striped, like input_path.
   std::string output_path;
 
   RecordFormat format = kDatamationFormat;
@@ -156,7 +171,8 @@ struct SortOptions {
   // Checks every invariant the pipeline assumes, in one place. Called by
   // every entry point (AlphaSort, VmsSort, HypercubeSort, SortWithSchema,
   // SortService::Submit) before any file is touched:
-  //   - input/output paths set and distinct, valid record format
+  //   - exactly one of input_path / source set, output_path set and
+  //     distinct from input_path, valid record format
   //   - run_size_records > 0
   //   - io_threads >= 1, io_depth >= 1, io_chunk_bytes > 0
   //   - max_merge_fanin >= 2 (a 1-way "merge" cannot make progress)

@@ -302,17 +302,33 @@ Status RunOnePass(SortContext* ctx) {
     return Status::OK();
   }
 
-  // All records stay where they are read; entries reference them. Raw
-  // uninitialized allocations: zero-filling them here would touch every
-  // page serially, which is exactly the cost §5 offloads to the workers.
-  std::unique_ptr<char[]> records(new char[bytes]);
+  // Zero-copy fast path: a source whose entire input is already resident
+  // in one immutable buffer (mmap, memory, generated) needs no record
+  // array and no read loop — entries reference the source's bytes
+  // directly, and the only copy left in the whole sort is the gather.
+  uint64_t resident_len = 0;
+  const char* resident = ctx->source->ContiguousBytes(&resident_len);
+  const bool zero_copy = resident != nullptr && resident_len == bytes;
+
+  // Otherwise records are copied out of the source and stay where they
+  // land; entries reference them. Raw uninitialized allocation:
+  // zero-filling it here would touch every page serially, which is
+  // exactly the cost §5 offloads to the workers.
+  std::unique_ptr<char[]> records;
+  const char* data = resident;
+  if (!zero_copy) {
+    records.reset(new char[bytes]);
+    data = records.get();
+  }
   std::unique_ptr<PrefixEntry[]> entries(new PrefixEntry[n]);
   StatsSink qs_stats;
 
   // Prefault the fresh arrays across the workers (§5: "the workers sweep
   // through the address space touching pages... zeroing a 1 GB address
   // space takes 12 cpu seconds") so page faults don't serialize inside
-  // the IO and QuickSort loops.
+  // the IO and QuickSort loops. Prefaulting writes, so it must never
+  // touch a zero-copy source's (read-only, already-resident) buffer —
+  // only the entry array gets swept there.
   if (opts.prefault_memory) {
     constexpr size_t kPage = 4096;
     const size_t slices = static_cast<size_t>(ctx->pool->num_workers()) + 1;
@@ -325,46 +341,23 @@ Status RunOnePass(SortContext* ctx) {
     char* entry_bytes = reinterpret_cast<char*>(entries.get());
     const size_t entry_len = n * sizeof(PrefixEntry);
     ctx->pool->ParallelFor(slices, [&](size_t s) {
-      prefault(records.get(), bytes, s);
+      if (!zero_copy) prefault(records.get(), bytes, s);
       prefault(entry_bytes, entry_len, s);
     });
   }
 
-  // --- read phase: triple-buffered chunk reads overlapped with per-run
-  // extract+QuickSort chores (§7). Chunks are processed in file order, so
-  // runs become ready as the read front passes their last record.
+  // --- read phase: sequential source pulls overlapped with per-run
+  // extract+QuickSort chores (§7); the source keeps its own read-ahead in
+  // flight (FileRecordSource rings `io_depth` chunks). Bytes arrive in
+  // record order, so runs become ready as the read front passes their
+  // last record. The zero-copy path skips the pulls entirely and
+  // dispatches every full run at once.
   {
     ProgressPhase(ctx, obs::SortPhase::kRead);
     std::optional<obs::TraceSpan> phase_span;
     phase_span.emplace("sort.read_phase");
     std::optional<obs::ScopedPerfRegion> phase_perf;
     phase_perf.emplace("read_phase");
-    const size_t chunk = opts.io_chunk_bytes;
-    const uint64_t num_chunks = (bytes + chunk - 1) / chunk;
-    const int depth = opts.io_depth;
-    std::vector<AsyncIO::Handle> handles(num_chunks, 0);
-    uint64_t submitted = 0;
-
-    auto submit = [&](uint64_t c) {
-      const uint64_t off = c * chunk;
-      const size_t len =
-          static_cast<size_t>(std::min<uint64_t>(chunk, bytes - off));
-      handles[c] = ctx->aio->SubmitRead(ctx->input, off, len,
-                                        records.get() + off);
-      submitted = c + 1;
-    };
-    // On an error return, outstanding reads and chores still reference the
-    // local buffers; they must complete before the stack unwinds.
-    auto abandon = [&](uint64_t waited, Status why) {
-      for (uint64_t c = waited; c < submitted; ++c) {
-        ctx->aio->Wait(handles[c]);
-      }
-      ctx->pool->WaitIdle();
-      return why;
-    };
-    const uint64_t initial =
-        std::min<uint64_t>(num_chunks, static_cast<uint64_t>(depth));
-    for (uint64_t c = 0; c < initial; ++c) submit(c);
 
     uint64_t next_run_start = 0;  // first record of the next unsorted run
     auto dispatch_runs_below = [&](uint64_t records_ready) {
@@ -373,7 +366,7 @@ Status RunOnePass(SortContext* ctx) {
         const uint64_t start = next_run_start;
         const uint64_t len = opts.run_size_records;
         next_run_start += len;
-        ctx->pool->Submit([ctx, &records, &entries, &qs_stats, fmt, start,
+        ctx->pool->Submit([ctx, data, &entries, &qs_stats, fmt, start,
                            len] {
           obs::ScopedJobId job_scope(ctx->job_id);
           obs::ScopedTraceId trace_scope(ctx->trace_id);
@@ -381,9 +374,8 @@ Status RunOnePass(SortContext* ctx) {
           obs::ScopedPerfRegion perf("quicksort");
           SortStats stats;
           NullTracer tracer;
-          BuildPrefixEntryArray(fmt,
-                                records.get() + start * fmt.record_size,
-                                len, entries.get() + start,
+          BuildPrefixEntryArray(fmt, data + start * fmt.record_size, len,
+                                entries.get() + start,
                                 ctx->options->prefetch_distance);
           QuickSortPrefixEntries(fmt, entries.get() + start, len, &stats,
                                  &tracer);
@@ -392,31 +384,44 @@ Status RunOnePass(SortContext* ctx) {
         });
       }
     };
+    // On an error return, dispatched chores still reference the local
+    // buffers; they must complete before the stack unwinds. (The
+    // source's own read-ahead targets its own buffers — the harness
+    // drains it at Close.)
+    auto abandon = [&](Status why) {
+      ctx->pool->WaitIdle();
+      return why;
+    };
 
-    for (uint64_t c = 0; c < num_chunks; ++c) {
-      // Cancellation/deadline poll, once per read chunk: the in-flight
-      // chunk completes (the buffers stay referenced), then the sort
-      // unwinds through the normal error path.
-      if (Status ctl = CheckControl(ctx); !ctl.ok()) {
-        return abandon(c, ctl);
+    if (zero_copy) {
+      ProgressRead(ctx, bytes);
+      dispatch_runs_below(n);
+    } else {
+      const size_t chunk = opts.io_chunk_bytes;
+      const uint64_t num_chunks = (bytes + chunk - 1) / chunk;
+      for (uint64_t c = 0; c < num_chunks; ++c) {
+        // Cancellation/deadline poll, once per read chunk.
+        if (Status ctl = CheckControl(ctx); !ctl.ok()) {
+          return abandon(ctl);
+        }
+        const uint64_t off = c * chunk;
+        const size_t expect =
+            static_cast<size_t>(std::min<uint64_t>(chunk, bytes - off));
+        size_t got = 0;
+        Status read_status =
+            ctx->source->Read(records.get() + off, expect, &got);
+        if (!read_status.ok()) return abandon(read_status);
+        if (got != expect) {
+          // The source promised TotalBytes and delivered fewer: the input
+          // was truncated (or a stream producer lied about its size).
+          return abandon(Status::Corruption(StrFormat(
+              "short read at offset %llu: wanted %zu got %zu",
+              static_cast<unsigned long long>(off), expect, got)));
+        }
+        ProgressRead(ctx, got);
+        dispatch_runs_below(
+            std::min<uint64_t>(n, ((c + 1) * chunk) / fmt.record_size));
       }
-      const uint64_t off = c * chunk;
-      const size_t expect =
-          static_cast<size_t>(std::min<uint64_t>(chunk, bytes - off));
-      size_t got = 0;
-      Status read_status = ctx->aio->Wait(handles[c], &got);
-      if (!read_status.ok()) return abandon(c + 1, read_status);
-      if (got != expect) {
-        return abandon(
-            c + 1,
-            Status::Corruption(StrFormat(
-                "short read at offset %llu: wanted %zu got %zu",
-                static_cast<unsigned long long>(off), expect, got)));
-      }
-      if (c + depth < num_chunks) submit(c + depth);
-      ProgressRead(ctx, got);
-      dispatch_runs_below(
-          std::min<uint64_t>(n, ((c + 1) * chunk) / fmt.record_size));
     }
     ctx->metrics->read_phase_s = phase.Lap();
     ProgressPhase(ctx, obs::SortPhase::kLastRun);
@@ -431,9 +436,8 @@ Status RunOnePass(SortContext* ctx) {
       obs::TraceSpan span("quicksort.run", "cpu");
       obs::ScopedPerfRegion perf("quicksort");
       SortStats stats;
-      BuildPrefixEntryArray(fmt, records.get() + start * fmt.record_size,
-                            len, entries.get() + start,
-                            opts.prefetch_distance);
+      BuildPrefixEntryArray(fmt, data + start * fmt.record_size, len,
+                            entries.get() + start, opts.prefetch_distance);
       SortPrefixEntryArray(fmt, entries.get() + start, len, &stats);
       qs_stats.Add(stats);
       ProgressSorted(ctx, len * fmt.record_size);
@@ -442,20 +446,30 @@ Status RunOnePass(SortContext* ctx) {
     ctx->metrics->last_run_s = phase.Lap();
   }
 
-  // --- merge + gather + write phase.
+  // --- merge + gather + write phase, shared with RunAdaptive.
+  std::vector<EntryRun> runs;
+  for (uint64_t start = 0; start < n; start += opts.run_size_records) {
+    const uint64_t len = std::min<uint64_t>(opts.run_size_records,
+                                            n - start);
+    runs.push_back(
+        EntryRun{entries.get() + start, entries.get() + start + len});
+  }
+  ctx->metrics->num_runs = runs.size();
+  ctx->metrics->quicksort_stats = qs_stats.Take();
+  return MergeEntryRunsToOutput(ctx, runs, bytes);
+}
+
+Status MergeEntryRunsToOutput(SortContext* ctx,
+                              const std::vector<EntryRun>& entry_runs,
+                              uint64_t bytes) {
+  const SortOptions& opts = *ctx->options;
+  const RecordFormat& fmt = opts.format;
+  PhaseTimer phase;
   {
     ProgressPhase(ctx, obs::SortPhase::kMerge);
     obs::TraceSpan merge_phase_span("sort.merge_phase");
     obs::ScopedPerfRegion merge_phase_perf("merge_phase");
-    std::vector<EntryRun> runs;
-    for (uint64_t start = 0; start < n; start += opts.run_size_records) {
-      const uint64_t len = std::min<uint64_t>(opts.run_size_records,
-                                              n - start);
-      runs.push_back(
-          EntryRun{entries.get() + start, entries.get() + start + len});
-    }
-    ctx->metrics->num_runs = runs.size();
-    ctx->metrics->quicksort_stats = qs_stats.Take();
+    std::vector<EntryRun> runs = entry_runs;
 
     // Merge strategy (§5): with workers available, split the key space
     // into ~workers+1 disjoint ranges and let every worker drive its own

@@ -1,16 +1,19 @@
 #ifndef ALPHASORT_CORE_PIPELINE_INTERNAL_H_
 #define ALPHASORT_CORE_PIPELINE_INTERNAL_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/chores.h"
 #include "core/options.h"
+#include "core/record_source.h"
 #include "core/sort_control.h"
 #include "core/sort_metrics.h"
 #include "io/async_io.h"
 #include "io/stripe.h"
 #include "obs/progress.h"
+#include "sort/merger.h"
 
 namespace alphasort {
 namespace core_internal {
@@ -22,8 +25,14 @@ struct SortContext {
   SortMetrics* metrics = nullptr;
   AsyncIO* aio = nullptr;
   ChorePool* pool = nullptr;
-  StripeFile* input = nullptr;
+  // The input stream (core/record_source.h), opened by the harness; the
+  // pipeline consumes it strictly sequentially.
+  RecordSource* source = nullptr;
   StripeFile* output = nullptr;
+  // Input totals. With size_known they are set before the pass bodies
+  // run (and drive one-pass vs two-pass planning); for streamed sources
+  // they start 0 and are filled at end of input by the adaptive path.
+  bool size_known = true;
   uint64_t input_bytes = 0;
   uint64_t num_records = 0;
 
@@ -71,18 +80,28 @@ inline void ProgressMerged(SortContext* ctx, uint64_t bytes) {
   if (ctx->progress != nullptr) ctx->progress->AddMerged(bytes);
 }
 
+// A pass body: the part of the sort between "input opened, plan chosen"
+// and "output written". The default body is RunOnePass/RunTwoPass (or
+// RunAdaptive for unknown totals); the legacy entry points (VmsSort,
+// HypercubeSort) inject their own bodies and inherit the whole harness —
+// validation, env wrapping, observability, metrics — from the one
+// RunSortPipeline path.
+using PipelineBody = std::function<Status(SortContext*)>;
+
 // The whole sort pipeline with caller-provided shared resources: plan
 // passes, run them, fill metrics. `aio` and `pool` may be shared across
 // concurrent sorts (a SortService owns one of each); `control` is the
 // per-job cancellation/deadline token (may be null). The env wrapping
 // (metrics, retry) prescribed by `options` happens inside. `job_id`
 // attributes trace spans and log events; `progress` (may be null)
-// receives live phase/byte-flow updates. AlphaSort::Run and Sorter jobs
-// both land here.
+// receives live phase/byte-flow updates. A null `body` runs the planner's
+// choice of pass structure. AlphaSort::Run and Sorter jobs both land
+// here.
 Status RunSortPipeline(Env* env, const SortOptions& options, AsyncIO* aio,
                        ChorePool* pool, const SortControl* control,
                        SortMetrics* metrics, uint64_t job_id = 0,
-                       obs::JobProgressTracker* progress = nullptr);
+                       obs::JobProgressTracker* progress = nullptr,
+                       const PipelineBody& body = nullptr);
 
 // One-pass pipeline: the whole input is held in memory (paper §7).
 Status RunOnePass(SortContext* ctx);
@@ -90,6 +109,23 @@ Status RunOnePass(SortContext* ctx);
 // Two-pass external sort: QuickSorted runs spill to scratch files and are
 // streamed back through a tournament merge (paper §6).
 Status RunTwoPass(SortContext* ctx);
+
+// Adaptive pipeline for sources with unknown totals (live streams): reads
+// opportunistically into the full memory budget, QuickSorting runs as the
+// bytes arrive; if the input ends inside the first block the sort
+// finishes in one pass, otherwise the block spills as scratch run 0 and
+// the sort degrades to spill-as-usual plus a merge. Sets
+// ctx->input_bytes / num_records / the progress plan at end of input.
+Status RunAdaptive(SortContext* ctx);
+
+// The in-memory merge phase shared by RunOnePass and RunAdaptive's
+// one-pass outcome: merges the sorted `runs` (entry arrays over resident
+// records) into ctx->output — partitioned across workers when configured,
+// a single sequential tournament otherwise — then truncates to `bytes`
+// and fills the merge metrics.
+Status MergeEntryRunsToOutput(SortContext* ctx,
+                              const std::vector<EntryRun>& runs,
+                              uint64_t bytes);
 
 // Gathers `ptrs[0..n)` into `out` in parallel slices across the pool.
 void ParallelGather(SortContext* ctx, const char* const* ptrs, size_t n,

@@ -31,15 +31,18 @@ void ExecuteJob(Env* env, JobCore* job, AsyncIO* aio, ChorePool* pool) {
   job->progress.Start(job->id, job->publish_gauges,
                       job->options.trace_id);
   obs::ScopedProgressRegistration progress_scope(&job->progress);
+  const std::string in_label =
+      job->options.input_path.empty() ? "<source>" : job->options.input_path;
   ALPHASORT_LOG(kInfo, "job.start")
       .U64("job", job->id)
-      .Str("in", job->options.input_path)
+      .Str("in", in_label)
       .U64("budget", job->options.memory_budget);
   // A job cancelled or expired while queued never touches a file.
   Status s = job->control.Check();
   if (s.ok()) {
     s = RunSortPipeline(env, job->options, aio, pool, &job->control,
-                        &job->result.metrics, job->id, &job->progress);
+                        &job->result.metrics, job->id, &job->progress,
+                        job->body);
   }
   job->progress.SetPhase(s.ok() ? obs::SortPhase::kDone
                                 : obs::SortPhase::kFailed);
@@ -56,8 +59,8 @@ void ExecuteJob(Env* env, JobCore* job, AsyncIO* aio, ChorePool* pool) {
   job->result.report.tool = "sorter";
   job->result.report.config = StrFormat(
       "job=%llu in=%s out=%s workers=%d budget=%llu%s",
-      static_cast<unsigned long long>(job->id),
-      job->options.input_path.c_str(), job->options.output_path.c_str(),
+      static_cast<unsigned long long>(job->id), in_label.c_str(),
+      job->options.output_path.c_str(),
       job->options.num_workers,
       static_cast<unsigned long long>(job->options.memory_budget),
       job->down_negotiated ? " down_negotiated" : "");
@@ -121,8 +124,14 @@ void Sorter::ReapFinishedLocked() {
 }
 
 SortJob Sorter::Start(const SortOptions& options) {
+  return Start(options, nullptr);
+}
+
+SortJob Sorter::Start(const SortOptions& options,
+                      core_internal::PipelineBody body) {
   auto core = std::make_shared<core_internal::JobCore>();
   core->options = options;
+  core->body = std::move(body);
   {
     std::lock_guard<std::mutex> lock(mu_);
     core->id = next_id_++;

@@ -11,6 +11,7 @@
 
 #include "core/chores.h"
 #include "core/options.h"
+#include "core/pipeline_internal.h"
 #include "core/sort_control.h"
 #include "core/sort_metrics.h"
 #include "io/async_io.h"
@@ -69,6 +70,11 @@ struct JobCore {
   uint64_t id = 0;
   SortOptions options;  // effective options the job runs with
   SortControl control;
+
+  // Custom pass body (null = the planner's choice). The legacy entry
+  // points (VmsSort, HypercubeSort) route through here so the whole
+  // harness — validation, env wrapping, observability — is shared.
+  PipelineBody body;
 
   // Admission ticket a SortService charged against its global memory
   // budget; 0 for plain Sorter jobs. Informational after admission.
@@ -175,6 +181,15 @@ class Sorter {
   // InvalidArgument status. options.time_limit_s (if set) starts
   // counting here.
   SortJob Start(const SortOptions& options);
+
+  // Internal-facing overload: runs `body` as the job's pass structure in
+  // place of the planner's one-/two-pass choice, inside the same harness
+  // (validation, env wrapping, metrics, observability). The legacy
+  // algorithm entry points (VmsSort, HypercubeSort) are thin shims over
+  // this; it is public so experiments can be too, but the body contract
+  // (core/pipeline_internal.h) is not a stable API.
+  SortJob Start(const SortOptions& options,
+                core_internal::PipelineBody body);
 
   Env* env() const { return env_; }
 

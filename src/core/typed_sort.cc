@@ -4,8 +4,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/alphasort.h"
 #include "core/record_io.h"
+#include "core/sorter.h"
 #include "io/stripe.h"
 
 namespace alphasort {
@@ -47,7 +47,17 @@ Status SortWithSchema(Env* env, const SortOptions& options,
   wide_opts.input_path = cond_path;
   wide_opts.output_path = sorted_path;
   wide_opts.scratch_path = options.scratch_path + ".typed";
-  Status sort_status = AlphaSort::Run(env, wide_opts, metrics);
+  Status sort_status = [&]() -> Status {
+    Sorter::Resources resources;
+    resources.num_workers = wide_opts.num_workers;
+    resources.io_threads = wide_opts.io_threads;
+    resources.use_affinity = wide_opts.use_affinity;
+    Sorter sorter(env, resources);
+    SortJob job = sorter.Start(wide_opts);
+    const SortResult& result = job.Wait();
+    *metrics = result.metrics;
+    return result.status;
+  }();
   env->DeleteFile(cond_path);
   if (!sort_status.ok()) {
     env->DeleteFile(sorted_path);

@@ -7,6 +7,7 @@
 #include "common/table.h"
 #include "core/chores.h"
 #include "core/pipeline_internal.h"
+#include "core/sorter.h"
 #include "io/buffered_writer.h"
 #include "io/stripe.h"
 #include "sort/replacement_selection.h"
@@ -22,7 +23,9 @@ using core_internal::ScratchRunPath;
 // tournament holds the whole input (the paper's memory-rich single-disk
 // configuration) the single run streams directly to the output —
 // `*direct_to_output` reports that, and no scratch is written. Otherwise
-// each run spills to its own scratch file for the merge pass.
+// each run spills to its own scratch file for the merge pass. Sources
+// with unknown totals always spill (direct output needs the record count
+// up front) and fill ctx->input_bytes/num_records at end of input.
 Status GenerateRuns(core_internal::SortContext* ctx,
                     std::vector<ScratchRun>* runs,
                     bool* direct_to_output) {
@@ -32,10 +35,14 @@ Status GenerateRuns(core_internal::SortContext* ctx,
 
   // Tournament of W records plus one spare slot the incoming record lands
   // in; emitting a winner frees its slot, which becomes the next spare.
-  const size_t capacity = std::max<size_t>(
-      16, std::min<uint64_t>(opts.memory_budget / (2 * r),
-                             ctx->num_records == 0 ? 16 : ctx->num_records));
-  *direct_to_output = capacity >= ctx->num_records;
+  uint64_t cap = std::max<uint64_t>(16, opts.memory_budget / (2 * r));
+  if (ctx->size_known) {
+    cap = std::max<uint64_t>(
+        16, std::min<uint64_t>(
+                cap, ctx->num_records == 0 ? 16 : ctx->num_records));
+  }
+  const size_t capacity = static_cast<size_t>(cap);
+  *direct_to_output = ctx->size_known && capacity >= ctx->num_records;
   std::vector<char> workspace((capacity + 1) * r);
 
   // Sink state: a buffered writer per run.
@@ -58,6 +65,7 @@ Status GenerateRuns(core_internal::SortContext* ctx,
       ALPHASORT_RETURN_IF_ERROR(close_status);
       runs->back().bytes = bytes;
       ctx->metrics->scratch_bytes_written += bytes;
+      core_internal::ProgressSpilled(ctx, bytes);
     }
     return Status::OK();
   };
@@ -107,19 +115,25 @@ Status GenerateRuns(core_internal::SortContext* ctx,
                                       TreeLayout::kFlat, nullptr,
                                       &ctx->metrics->quicksort_stats);
 
-  // Chunked streaming read of the input.
+  // Chunked streaming read of the input: pull until the source ends.
   std::vector<char> read_buf(
       std::max<size_t>(r, opts.io_chunk_bytes / r * r));
-  uint64_t offset = 0;
+  uint64_t total = 0;
   uint64_t filled = 0;  // slots used during the initial fill
-  while (offset < ctx->input_bytes) {
-    const size_t len = static_cast<size_t>(
-        std::min<uint64_t>(read_buf.size(), ctx->input_bytes - offset));
+  for (;;) {
+    // Cancellation/deadline poll, once per read chunk.
+    ALPHASORT_RETURN_IF_ERROR(core_internal::CheckControl(ctx));
     size_t got = 0;
     ALPHASORT_RETURN_IF_ERROR(
-        ctx->input->Read(offset, len, read_buf.data(), &got));
-    if (got != len) return Status::Corruption("short read of input");
-    for (size_t pos = 0; pos < len; pos += r) {
+        ctx->source->Read(read_buf.data(), read_buf.size(), &got));
+    if (got == 0) break;
+    if (got % r != 0) {
+      return Status::Corruption(StrFormat(
+          "stream ended mid-record: %llu trailing bytes (record size %zu)",
+          static_cast<unsigned long long>(got % r), r));
+    }
+    core_internal::ProgressRead(ctx, got);
+    for (size_t pos = 0; pos < got; pos += r) {
       char* slot;
       if (filled < capacity) {
         slot = workspace.data() + filled * r;
@@ -131,89 +145,74 @@ Status GenerateRuns(core_internal::SortContext* ctx,
       rs.Add(slot);
       ALPHASORT_RETURN_IF_ERROR(sink_error);
     }
-    offset += len;
+    total += got;
+    if (got < read_buf.size()) break;  // end of input
+  }
+  if (!ctx->size_known) {
+    ctx->input_bytes = total;
+    ctx->num_records = total / r;
+  } else if (total != ctx->input_bytes) {
+    return Status::Corruption("short read of input");
   }
   rs.Finish();
   ALPHASORT_RETURN_IF_ERROR(sink_error);
   return close_current();
 }
 
-}  // namespace
-
-Status VmsSort::Run(Env* env, const SortOptions& options,
-                    SortMetrics* metrics) {
-  ALPHASORT_RETURN_IF_ERROR(options.Validate());
-  SortMetrics local_metrics;
-  if (metrics == nullptr) metrics = &local_metrics;
-  *metrics = SortMetrics();
-
-  PhaseTimer total_timer;
+// The replacement-selection pass structure, run inside the shared
+// RunSortPipeline harness (which owns validation, env wrapping, file
+// opens, metrics, and observability).
+Status VmsBody(core_internal::SortContext* ctx) {
   PhaseTimer phase;
-  AsyncIO aio(options.io_threads);
-  ChorePool pool(options.num_workers);
+  core_internal::ScratchSweeper sweeper(ctx);
+  ctx->metrics->passes = 2;
 
-  Result<std::unique_ptr<StripeFile>> input =
-      StripeFile::Open(env, options.input_path, OpenMode::kReadOnly, &aio);
-  ALPHASORT_RETURN_IF_ERROR(input.status());
-  Result<std::unique_ptr<StripeFile>> output = StripeFile::Open(
-      env, options.output_path, OpenMode::kCreateReadWrite, &aio);
-  ALPHASORT_RETURN_IF_ERROR(output.status());
-  Result<uint64_t> size = input.value()->Size();
-  ALPHASORT_RETURN_IF_ERROR(size.status());
-  if (size.value() % options.format.record_size != 0) {
-    return Status::InvalidArgument(
-        "input size is not a multiple of the record size");
-  }
-
-  core_internal::SortContext ctx;
-  ctx.env = env;
-  ctx.options = &options;
-  ctx.metrics = metrics;
-  ctx.aio = &aio;
-  ctx.pool = &pool;
-  ctx.input = input.value().get();
-  ctx.output = output.value().get();
-  ctx.input_bytes = size.value();
-  ctx.num_records = size.value() / options.format.record_size;
-  metrics->bytes_in = ctx.input_bytes;
-  metrics->num_records = ctx.num_records;
-  metrics->passes = 2;
-  metrics->startup_s = phase.Lap();
-
+  core_internal::ProgressPhase(ctx, obs::SortPhase::kRead);
   std::vector<ScratchRun> runs;
   bool direct_to_output = false;
-  Status s = GenerateRuns(&ctx, &runs, &direct_to_output);
-  metrics->read_phase_s = phase.Lap();
-  metrics->num_runs =
-      direct_to_output ? (ctx.num_records > 0 ? 1 : 0) : runs.size();
+  Status s = GenerateRuns(ctx, &runs, &direct_to_output);
+  ctx->metrics->read_phase_s = phase.Lap();
+  ctx->metrics->num_runs =
+      direct_to_output ? (ctx->num_records > 0 ? 1 : 0) : runs.size();
   if (!s.ok()) {
     for (const auto& run : runs) {
-      core_internal::RemoveScratchRun(&ctx, run.path);
+      core_internal::RemoveScratchRun(ctx, run.path);
     }
-    input.value()->Close();
-    output.value()->Close();
     return s;
   }
 
   if (direct_to_output) {
     // The single run already streamed to the output: one pass, no merge.
-    metrics->passes = 1;
-    s = output.value()->Truncate(ctx.input_bytes);
+    ctx->metrics->passes = 1;
+    s = ctx->output->Truncate(ctx->input_bytes);
   } else {
-    s = core_internal::MergeScratchRuns(&ctx, std::move(runs));
+    if (ctx->progress != nullptr) {
+      // Totals are final now (a streamed input has fully arrived);
+      // replace the harness's estimate with the real two-pass plan.
+      ctx->progress->SetPlan(ctx->input_bytes, 2);
+    }
+    core_internal::ProgressPhase(ctx, obs::SortPhase::kMerge);
+    s = core_internal::MergeScratchRuns(ctx, std::move(runs));
   }
-  metrics->merge_phase_s = phase.Lap();
-  if (!s.ok()) {
-    input.value()->Close();
-    output.value()->Close();
-    return s;
-  }
-  ALPHASORT_RETURN_IF_ERROR(input.value()->Close());
-  ALPHASORT_RETURN_IF_ERROR(output.value()->Close());
-  metrics->close_s = phase.Lap();
-  metrics->bytes_out = ctx.input_bytes;
-  metrics->total_s = total_timer.Lap();
-  return Status::OK();
+  ctx->metrics->merge_phase_s = phase.Lap();
+  return s;
+}
+
+}  // namespace
+
+Status VmsSort::Run(Env* env, const SortOptions& options,
+                    SortMetrics* metrics) {
+  // Thin shim: the replacement-selection body inside the one shared
+  // pipeline harness, via a transient Sorter sized from the options.
+  Sorter::Resources resources;
+  resources.num_workers = options.num_workers;
+  resources.io_threads = options.io_threads;
+  resources.use_affinity = options.use_affinity;
+  Sorter sorter(env, resources);
+  SortJob job = sorter.Start(options, VmsBody);
+  const SortResult& result = job.Wait();
+  if (metrics != nullptr) *metrics = result.metrics;
+  return result.status;
 }
 
 }  // namespace alphasort

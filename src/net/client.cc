@@ -173,7 +173,7 @@ Status SortClient::SubmitSort(const SubmitSpec& spec, const char* data,
   outcome->job_id = result.job_id;
   outcome->output_bytes = result.output_bytes;
   outcome->server_elapsed_us = result.elapsed_us;
-  outcome->spool_us = result.spool_us;
+  outcome->ingest_us = result.ingest_us;
   outcome->queue_us = result.queue_us;
   outcome->sort_us = result.sort_us;
   outcome->merge_us = result.merge_us;

@@ -38,8 +38,10 @@ struct NetSortOutcome {
   uint64_t server_elapsed_us = 0;
   uint64_t trace_id = 0;  // the id this job ran under (minted or given)
   // Server-side per-stage attribution from the v2 RESULT (zero on
-  // failure paths): where server_elapsed_us went. See docs/net.md.
-  uint64_t spool_us = 0;
+  // failure paths): where server_elapsed_us went. ingest_us overlaps
+  // sort_us (the server sorts the upload as it arrives), so the stage
+  // sum can exceed server_elapsed_us. See docs/net.md.
+  uint64_t ingest_us = 0;
   uint64_t queue_us = 0;
   uint64_t sort_us = 0;
   uint64_t merge_us = 0;

@@ -336,7 +336,7 @@ std::string ResultFrame::Encode() const {
   PutU64(&p, output_bytes);
   PutU32(&p, output_crc32c);
   PutU64(&p, elapsed_us);
-  PutU64(&p, spool_us);
+  PutU64(&p, ingest_us);
   PutU64(&p, queue_us);
   PutU64(&p, sort_us);
   PutU64(&p, merge_us);
@@ -352,7 +352,7 @@ Status ResultFrame::Decode(const std::string& payload) {
   ALPHASORT_RETURN_IF_ERROR(r.U64(&output_bytes));
   ALPHASORT_RETURN_IF_ERROR(r.U32(&output_crc32c));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&elapsed_us));
-  ALPHASORT_RETURN_IF_ERROR(r.U64(&spool_us));
+  ALPHASORT_RETURN_IF_ERROR(r.U64(&ingest_us));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&queue_us));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&sort_us));
   ALPHASORT_RETURN_IF_ERROR(r.U64(&merge_us));

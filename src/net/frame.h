@@ -190,7 +190,7 @@ struct StatusReplyFrame {
   uint64_t jobs_running = 0;
   uint64_t admitted_bytes = 0;
   uint64_t conns_active = 0;
-  uint64_t net_jobs_inflight = 0;  // spooling/running/streaming over net
+  uint64_t net_jobs_inflight = 0;  // ingesting/running/streaming over net
   // Quota tokens the requesting tenant has left right now (refill
   // applied), so clients can back off *before* earning an Unavailable.
   // UINT64_MAX = quotas disabled, spend freely.
@@ -223,9 +223,11 @@ struct ResultFrame {
   uint32_t output_crc32c = 0;
   uint64_t elapsed_us = 0;  // submit received -> stream-back done, server clock
   // Per-stage latency attribution (obs::JobTimeline): where elapsed_us
-  // went. spool + queue + sort + merge + stream ≈ elapsed_us (only
-  // inter-stage gaps are unattributed). All zero on failure paths.
-  uint64_t spool_us = 0;   // receiving the upload
+  // went. Since the spool-free ingest path, ingest overlaps the sort's
+  // read pass, so the stage sum can exceed elapsed_us — the overlap IS
+  // the win. (Wire layout unchanged: this is the field once named
+  // spool_us.) All zero on failure paths.
+  uint64_t ingest_us = 0;  // receiving the upload (overlaps sort_us)
   uint64_t queue_us = 0;   // admission + queue wait beyond pipeline work
   uint64_t sort_us = 0;    // pipeline startup + read/QuickSort + last run
   uint64_t merge_us = 0;   // pipeline merge + close

@@ -8,6 +8,7 @@
 
 #include "common/checksum.h"
 #include "common/table.h"
+#include "core/record_source.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
@@ -102,7 +103,9 @@ constexpr size_t kStreamChunk = 256 * 1024;
 
 // One accepted connection: its socket, its thread, and the per-stream
 // state machine. All sorting happens inside the shared SortService;
-// this thread only shuttles bytes, spools input, and relays results.
+// this thread only shuttles bytes — DATA frames feed the job's
+// StreamRecordSource directly, so the sort ingests the upload as it
+// arrives (no input spool file) — and relays results.
 class NetServer::Connection {
  public:
   Connection(NetServer* server, uint64_t id, TcpConn conn)
@@ -135,26 +138,34 @@ class NetServer::Connection {
   struct StreamState {
     SubmitFrame submit;
     std::string tenant;
-    std::string in_path;
     std::string out_path;
-    std::unique_ptr<File> spool;
+    // The job's input, fed frame by frame; the pipeline reads the other
+    // end concurrently (backpressure: TryAppend stalls the upload when
+    // the sort falls behind, instead of buffering the whole stream).
+    std::shared_ptr<StreamRecordSource> stream;
     uint64_t received = 0;
     uint32_t crc = 0;
-    uint64_t charged = 0;    // quota bytes to refund on failure
+    uint64_t charged = 0;   // quota bytes to refund on failure
+    // True once the job's work is spent (a RESULT(OK) is imminent): the
+    // quota charge is consumed, not refunded, even if the client then
+    // vanishes mid stream-back.
+    bool charge_consumed = false;
     uint64_t start_us = 0;   // SUBMIT receive time
-    uint64_t spool_us = 0;   // measured around SpoolInput
+    uint64_t ingest_us = 0;  // measured around IngestInput
   };
 
   void Run();
   Status ServeOneJob(FrameReader* reader, const Frame& submit_frame);
-  Status SpoolInput(FrameReader* reader, StreamState* st, bool* rejected);
-  Status RunAndStreamBack(FrameReader* reader, StreamState* st);
+  Status IngestInput(FrameReader* reader, StreamState* st, SortJob* job,
+                     bool* settled);
+  Status RunAndStreamBack(FrameReader* reader, StreamState* st,
+                          SortJob* job);
   Status DrainUntilDone(FrameReader* reader);
   void AnswerStatus(const Frame& frame, const SortJob* job);
   Status SendResult(uint64_t job_id, const Status& outcome,
                     uint64_t output_bytes, uint64_t elapsed_us,
                     const obs::JobTimeline* timeline = nullptr);
-  void CleanupStream(StreamState* st, bool refund);
+  void CleanupStream(StreamState* st);
 
   NetServer* const server_;
   const uint64_t id_;
@@ -256,9 +267,9 @@ Status NetServer::Connection::ServeOneJob(FrameReader* reader,
   st.start_us = NowUs();
   st.tenant = tenant_;
   ALPHASORT_RETURN_IF_ERROR(st.submit.Decode(submit_frame.payload));
-  // Everything this job touches on the server — spool/wait/stream spans,
-  // log events, and (via SortOptions) the pipeline itself — carries the
-  // client-minted trace id from here on.
+  // Everything this job touches on the server — ingest/wait/stream
+  // spans, log events, and (via SortOptions) the pipeline itself —
+  // carries the client-minted trace id from here on.
   obs::ScopedTraceId trace_scope(st.submit.trace_id);
 
   server_->NoteJobInflight(+1);
@@ -268,10 +279,6 @@ Status NetServer::Connection::ServeOneJob(FrameReader* reader,
   } inflight{server_};
 
   const uint64_t seq = ++job_seq_;
-  st.in_path = StrFormat("%s/c%llu-j%llu.in",
-                         server_->options_.data_root.c_str(),
-                         static_cast<unsigned long long>(id_),
-                         static_cast<unsigned long long>(seq));
   st.out_path = StrFormat("%s/c%llu-j%llu.out",
                           server_->options_.data_root.c_str(),
                           static_cast<unsigned long long>(id_),
@@ -283,7 +290,7 @@ Status NetServer::Connection::ServeOneJob(FrameReader* reader,
       .U64("budget", st.submit.memory_budget);
 
   // The tenant's quota is charged up front for the advertised size, so
-  // an over-quota job is rejected before a byte is spooled. Streams
+  // an over-quota job is rejected before a byte is ingested. Streams
   // that understate expected_bytes are charged the excess per frame.
   if (st.submit.expected_bytes > 0) {
     if (Status q = server_->quotas_.Charge(tenant_, st.submit.expected_bytes,
@@ -301,41 +308,111 @@ Status NetServer::Connection::ServeOneJob(FrameReader* reader,
     st.charged = st.submit.expected_bytes;
   }
 
-  bool rejected = false;
-  const uint64_t spool_begin_us = NowUs();
-  Status s = SpoolInput(reader, &st, &rejected);
-  st.spool_us = NowUs() - spool_begin_us;
-  if (!s.ok()) {
-    // Torn stream (mid-stream disconnect) or protocol violation:
-    // nothing was submitted, so cleanup is local.
-    CleanupStream(&st, /*refund=*/true);
-    return s;
-  }
-  if (rejected) {
-    // SpoolInput already sent the RESULT and drained; stream is closed
-    // cleanly and the connection stays usable.
-    CleanupStream(&st, /*refund=*/true);
-    return Status::OK();
-  }
-  return RunAndStreamBack(reader, &st);
-}
+  // Every exit below — including mid-ingest disconnects and the
+  // write-failure returns while streaming the result back to a client
+  // that hung up — must release the output file and settle the quota
+  // charge, or each failure leaks into data_root or the tenant's
+  // bucket. The charge is refunded unless the job's work was actually
+  // spent (charge_consumed flips just before a RESULT(OK)).
+  struct StreamCleanup {
+    Connection* conn;
+    StreamState* st;
+    ~StreamCleanup() { conn->CleanupStream(st); }
+  } cleanup{this, &st};
 
-// Receives DATA frames into the spool file until DONE. Sets *rejected
-// (with the RESULT already sent) for recoverable refusals; returns
-// non-OK only for unrecoverable connection states.
-Status NetServer::Connection::SpoolInput(FrameReader* reader,
-                                         StreamState* st, bool* rejected) {
-  *rejected = false;
-  obs::TraceSpan span("net.spool", "net");
+  // The job is submitted *before* its input exists: DATA frames feed
+  // the StreamRecordSource below while the pipeline QuickSorts what has
+  // already arrived, so ingest and the sort's read pass overlap instead
+  // of serializing through a spool file.
+  SortOptions opts = server_->options_.job_defaults;
+  opts.input_path.clear();
+  st.stream = std::make_shared<StreamRecordSource>();
+  opts.source = [stream = st.stream]() -> std::shared_ptr<RecordSource> {
+    return stream;
+  };
+  opts.output_path = st.out_path;
+  opts.format =
+      RecordFormat(st.submit.record_size, st.submit.key_size);
+  if (st.submit.memory_budget > 0) {
+    opts.memory_budget = st.submit.memory_budget;
+  }
+  opts.scratch_path = server_->options_.data_root + "/scratch";
+  opts.trace_id = st.submit.trace_id;
 
-  Result<std::unique_ptr<File>> spool =
-      server_->env_->OpenFile(st->in_path, OpenMode::kCreateReadWrite);
-  if (!spool.ok()) {
-    (void)SendResult(0, spool.status(), 0, NowUs() - st->start_us);
-    *rejected = true;
+  Result<SortJob> submitted = server_->service_.Submit(opts);
+  if (!submitted.ok()) {
+    // Admission backpressure (queue full) or invalid options: the
+    // RESULT relays the code, the unsent upload is drained, and the
+    // connection stays usable.
+    ALPHASORT_LOG(kWarn, "svc.conn.reject")
+        .U64("conn", id_)
+        .Str("tenant", tenant_)
+        .Str("reason", "admission")
+        .Str("status", submitted.status().ToString());
+    server_->NoteJobResult(false);
+    (void)SendResult(0, submitted.status(), 0, NowUs() - st.start_us);
     return DrainUntilDone(reader);
   }
-  st->spool = std::move(spool).value();
+  SortJob job = std::move(submitted).value();
+  server_->NoteJobSubmitted();
+
+  // Spans from here carry the service-assigned job id, so a trace
+  // follows one request across accept/ingest/sort/stream-back.
+  obs::ScopedJobId job_scope(job.id());
+
+  bool settled = false;
+  const uint64_t ingest_begin_us = NowUs();
+  Status s = IngestInput(reader, &st, &job, &settled);
+  st.ingest_us = NowUs() - ingest_begin_us;
+  if (!s.ok()) {
+    // Torn stream (mid-ingest disconnect) or protocol violation: poison
+    // the input so the pipeline stops, reap the job, refund (via the
+    // cleanup guard), drop the connection.
+    st.stream->Fail(Status::Aborted("connection lost mid-upload"));
+    job.Cancel();
+    job.Wait();
+    server_->NoteJobResult(false);
+    ALPHASORT_LOG(kWarn, "svc.conn.eof_midingest")
+        .U64("conn", id_)
+        .U64("job", job.id());
+    return s;
+  }
+  if (settled) {
+    // IngestInput already reaped the job and sent the RESULT; the
+    // connection stays usable for the next SUBMIT.
+    return Status::OK();
+  }
+  return RunAndStreamBack(reader, &st, &job);
+}
+
+// Receives DATA frames into the job's StreamRecordSource until DONE.
+// Sets *settled (with the job reaped and the RESULT already sent) for
+// refusals and upload-time failures the connection survives; returns
+// non-OK only for unrecoverable connection states (the caller reaps the
+// job). On a plain OK return the upload is complete and verified, the
+// stream is closed for writing, and the job is still in flight.
+Status NetServer::Connection::IngestInput(FrameReader* reader,
+                                          StreamState* st, SortJob* job,
+                                          bool* settled) {
+  *settled = false;
+  obs::TraceSpan span("net.ingest", "net");
+
+  // Reaps the job and RESULTs its (or the given) failure to the peer.
+  auto settle = [&](Status outcome) {
+    st->stream->Fail(outcome);
+    job->Cancel();
+    const SortResult& r = job->Wait();
+    if (outcome.ok()) outcome = r.status;
+    server_->NoteJobResult(false);
+    (void)SendResult(job->id(), outcome, 0, NowUs() - st->start_us);
+    *settled = true;
+  };
+
+  // Flips true when the pipeline stopped consuming (the job died:
+  // invalid options discovered at open, deadline, service shutdown).
+  // The remaining upload is read and discarded so the RESULT stays
+  // deliverable, then the job's own status is reported at DONE.
+  bool stream_dead = false;
 
   Frame frame;
   for (;;) {
@@ -356,22 +433,32 @@ Status NetServer::Connection::SpoolInput(FrameReader* reader,
                 .U64("conn", id_)
                 .Str("tenant", tenant_)
                 .Str("reason", "quota_midstream");
-            (void)SendResult(0, q, 0, NowUs() - st->start_us);
-            *rejected = true;
+            settle(q);
             return DrainUntilDone(reader);
           }
           st->charged += n - prepaid;
         }
-        if (Status w = st->spool->Write(st->received, frame.payload.data(),
-                                        frame.payload.size());
-            !w.ok()) {
-          (void)SendResult(0, w, 0, NowUs() - st->start_us);
-          *rejected = true;
-          return DrainUntilDone(reader);
-        }
         st->crc = Crc32c(frame.payload.data(), frame.payload.size(), st->crc);
         st->received += n;
         server_->NoteBytesRx(n);
+        while (!stream_dead) {
+          // Bounded-buffer append with a deadline, so a dead consumer
+          // (the job failed mid-ingest) is noticed instead of blocking
+          // this thread on a reader that will never drain the stream.
+          bool accepted = false;
+          Status as = st->stream->TryAppend(frame.payload.data(),
+                                            frame.payload.size(),
+                                            /*timeout_ms=*/50, &accepted);
+          if (!as.ok() || accepted) {
+            stream_dead = !as.ok();
+            break;
+          }
+          if (job->TryWait()) {
+            // Finished without reading to EOF: the job failed (a queued
+            // job reaped by its deadline never opens the stream at all).
+            stream_dead = true;
+          }
+        }
         break;
       }
       case FrameType::kDone: {
@@ -393,20 +480,20 @@ Status NetServer::Connection::SpoolInput(FrameReader* reader,
               static_cast<unsigned long long>(st->received),
               st->submit.record_size));
         }
-        if (!verdict.ok()) {
-          (void)SendResult(0, verdict, 0, NowUs() - st->start_us);
-          *rejected = true;
-          return Status::OK();  // stream complete; connection reusable
+        if (!verdict.ok() || stream_dead) {
+          settle(verdict);  // OK verdict reports the job's own failure
+          return Status::OK();
         }
-        return st->spool->Close();
+        st->stream->CloseWrite();
+        return Status::OK();
       }
       case FrameType::kStatus:
-        AnswerStatus(frame, nullptr);
+        AnswerStatus(frame, job);
         break;
       case FrameType::kCancel:
-        (void)SendResult(0, Status::Aborted("cancelled during upload"), 0,
-                         NowUs() - st->start_us);
-        *rejected = true;
+        settle(Status::Aborted("cancelled during upload"));
+        // A well-behaved canceller still ends the upload with DONE;
+        // drain to that boundary so the connection stays reusable.
         return DrainUntilDone(reader);
       default:
         return Status::InvalidArgument(StrFormat(
@@ -415,53 +502,13 @@ Status NetServer::Connection::SpoolInput(FrameReader* reader,
   }
 }
 
-// Input is spooled and verified: submit it to the SortService, answer
-// STATUS and honour CANCEL while it runs, then stream the output back.
+// The upload has fully arrived and verified: answer STATUS and honour
+// CANCEL while the job drains the stream and sorts, then stream the
+// output back.
 Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
-                                               StreamState* st) {
-  // Every exit below — including the write-failure returns while
-  // streaming the result back to a client that hung up — must release
-  // the spool .in/.out files and settle the quota charge, or each
-  // mid-stream disconnect leaks its spools in data_root. The guard
-  // starts in refund mode; once the job has done its work (a RESULT(OK)
-  // is about to be sent) the charge is consumed and refund flips off.
-  struct StreamCleanup {
-    Connection* conn;
-    StreamState* st;
-    bool refund = true;
-    ~StreamCleanup() { conn->CleanupStream(st, refund); }
-  } cleanup{this, st};
-
-  SortOptions opts = server_->options_.job_defaults;
-  opts.input_path = st->in_path;
-  opts.output_path = st->out_path;
-  opts.format =
-      RecordFormat(st->submit.record_size, st->submit.key_size);
-  if (st->submit.memory_budget > 0) {
-    opts.memory_budget = st->submit.memory_budget;
-  }
-  opts.scratch_path = server_->options_.data_root + "/scratch";
-  opts.trace_id = st->submit.trace_id;
-
-  Result<SortJob> submitted = server_->service_.Submit(opts);
-  if (!submitted.ok()) {
-    // Admission backpressure (queue full) or invalid options: the
-    // RESULT relays the code and the connection stays usable.
-    ALPHASORT_LOG(kWarn, "svc.conn.reject")
-        .U64("conn", id_)
-        .Str("tenant", tenant_)
-        .Str("reason", "admission")
-        .Str("status", submitted.status().ToString());
-    server_->NoteJobResult(false);
-    (void)SendResult(0, submitted.status(), 0, NowUs() - st->start_us);
-    return Status::OK();
-  }
-  SortJob job = std::move(submitted).value();
-  server_->NoteJobSubmitted();
-
-  // Spans from here carry the service-assigned job id, so a trace
-  // follows one request across accept/spool/sort/stream-back.
-  obs::ScopedJobId job_scope(job.id());
+                                               StreamState* st,
+                                               SortJob* job_ptr) {
+  SortJob& job = *job_ptr;
   const uint64_t wait_begin_us = NowUs();
   {
     obs::TraceSpan wait_span("net.sort_wait", "net");
@@ -471,7 +518,7 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
       Status ps = reader->Poll(&frame, &got, 20);
       if (!ps.ok()) {
         // The client vanished mid-job: cancel, wait for the service to
-        // reap it (scratch swept), clean the spool, drop the conn.
+        // reap it (scratch swept), clean the output, drop the conn.
         ALPHASORT_LOG(kWarn, "svc.conn.eof_midjob")
             .U64("conn", id_)
             .U64("job", job.id());
@@ -522,7 +569,7 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
   const uint64_t total = out_size.value();
   // The sort has run: the quota charge is consumed from here on, even if
   // the client disappears while the result streams back.
-  cleanup.refund = false;
+  st->charge_consumed = true;
 
   const uint64_t stream_begin_us = NowUs();
   {
@@ -560,7 +607,7 @@ Status NetServer::Connection::RunAndStreamBack(FrameReader* reader,
   obs::JobTimeline timeline;
   timeline.job_id = job.id();
   timeline.trace_id = st->submit.trace_id;
-  timeline.spool_us = st->spool_us;
+  timeline.ingest_us = st->ingest_us;
   timeline.FillFromSortMetrics(r.metrics);
   timeline.DeriveQueue(wait_us);
   timeline.stream_us = NowUs() - stream_begin_us;
@@ -636,7 +683,7 @@ Status NetServer::Connection::SendResult(uint64_t job_id,
   result.output_bytes = output_bytes;
   result.elapsed_us = elapsed_us;
   if (timeline != nullptr) {
-    result.spool_us = timeline->spool_us;
+    result.ingest_us = timeline->ingest_us;
     result.queue_us = timeline->queue_us;
     result.sort_us = timeline->sort_us;
     result.merge_us = timeline->merge_us;
@@ -645,14 +692,17 @@ Status NetServer::Connection::SendResult(uint64_t job_id,
   return WriteFrame(&conn_, FrameType::kResult, result.Encode());
 }
 
-void NetServer::Connection::CleanupStream(StreamState* st, bool refund) {
-  if (st->spool != nullptr) {
-    (void)st->spool->Close();
-    st->spool.reset();
+void NetServer::Connection::CleanupStream(StreamState* st) {
+  if (st->stream != nullptr) {
+    // Belt and braces: if the job was reaped without ever opening its
+    // source, a producer-side close here frees the buffered chunks. A
+    // live pipeline was already handled (CloseWrite at DONE or Fail on
+    // the error paths) — this is a no-op then.
+    st->stream->CloseWrite();
+    st->stream.reset();
   }
-  if (!st->in_path.empty()) (void)server_->env_->DeleteFile(st->in_path);
   if (!st->out_path.empty()) (void)server_->env_->DeleteFile(st->out_path);
-  if (refund && st->charged > 0) {
+  if (!st->charge_consumed && st->charged > 0) {
     server_->quotas_.Refund(st->tenant, st->charged);
     st->charged = 0;
   }

@@ -27,10 +27,11 @@ namespace net {
 // and blocks on IO, so thread-per-connection scales to the hundreds of
 // connections the loadgen drives):
 //
-//   accept -> HELLO handshake -> { SUBMIT -> spool DATA under quota ->
-//   DONE -> SortService::Submit -> wait (answering STATUS, honouring
-//   CANCEL, noticing disconnects) -> RESULT + sorted DATA stream }* ->
-//   close.
+//   accept -> HELLO handshake -> { SUBMIT -> SortService::Submit ->
+//   DATA frames feed the job's StreamRecordSource under quota (the
+//   pipeline sorts the upload as it arrives — no input spool file) ->
+//   DONE -> wait (answering STATUS, honouring CANCEL, noticing
+//   disconnects) -> RESULT + sorted DATA stream }* -> close.
 //
 // Resource protection is layered, every layer speaking Unavailable:
 //   * max_conns caps connection threads; excess connections get an
@@ -40,11 +41,12 @@ namespace net {
 //   * the SortService's global memory budget and bounded queue gate
 //     admission exactly as for in-process callers.
 //
-// Record bytes spool into the server Env under "<data_root>/" — one
-// input and one output file per in-flight job, deleted when the job's
-// result has been streamed back (or the stream aborts). A run that ends
-// with conns_active == 0 must leave "<data_root>/" empty; the loadgen
-// smoke gate checks exactly that.
+// Input bytes never touch the server Env: they stream straight from
+// the socket into the pipeline. Only the sorted output ("<data_root>/
+// c<conn>-j<seq>.out") and the job's scratch live on disk, deleted when
+// the result has been streamed back (or the stream aborts). A run that
+// ends with conns_active == 0 must leave "<data_root>/" empty; the
+// loadgen smoke gate checks exactly that.
 struct NetServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = kernel-chosen; NetServer::port() reports it
@@ -56,7 +58,8 @@ struct NetServerOptions {
   // Per-tenant ingest fairness.
   TenantQuotaOptions quota;
 
-  // Env namespace for connection spool files and job scratch.
+  // Env namespace for staged output files and job scratch. (The name
+  // predates the spool-free ingest path; input is never written here.)
   std::string data_root = "net_spool";
 
   // Jobs whose end-to-end time (SUBMIT received -> sorted stream sent)
@@ -82,12 +85,12 @@ struct NetServerStats {
   uint64_t bytes_rx = 0;         // DATA payload bytes received
   uint64_t bytes_tx = 0;         // DATA payload bytes sent
   int conns_active = 0;
-  int jobs_inflight = 0;  // spooling, sorting, or streaming back
+  int jobs_inflight = 0;  // ingesting, sorting, or streaming back
 };
 
 class NetServer {
  public:
-  // `env` must outlive the server; all spool and scratch IO goes
+  // `env` must outlive the server; all output and scratch IO goes
   // through it (an in-memory Env serves tests and CI).
   NetServer(Env* env, const NetServerOptions& options);
 

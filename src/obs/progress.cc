@@ -50,6 +50,8 @@ void JobProgressTracker::Start(uint64_t job_id, bool publish_gauges,
                std::memory_order_relaxed);
   bytes_total_.store(0, std::memory_order_relaxed);
   work_total_.store(0, std::memory_order_relaxed);
+  total_known_.store(true, std::memory_order_relaxed);
+  work_factor_.store(2, std::memory_order_relaxed);
   read_.store(0, std::memory_order_relaxed);
   sorted_.store(0, std::memory_order_relaxed);
   spilled_.store(0, std::memory_order_relaxed);
@@ -81,6 +83,15 @@ void JobProgressTracker::SetPlan(uint64_t bytes_total, int passes) {
   // adds none of its own.
   const uint64_t factor = passes <= 1 ? 2 : 3;
   work_total_.store(factor * bytes_total, std::memory_order_relaxed);
+  total_known_.store(true, std::memory_order_relaxed);
+}
+
+void JobProgressTracker::SetPlanUnknown(int passes_hint) {
+  const uint64_t factor = passes_hint <= 1 ? 2 : 3;
+  bytes_total_.store(0, std::memory_order_relaxed);
+  work_total_.store(0, std::memory_order_relaxed);
+  work_factor_.store(factor, std::memory_order_relaxed);
+  total_known_.store(false, std::memory_order_relaxed);
 }
 
 void JobProgressTracker::SetPhase(SortPhase phase) {
@@ -119,6 +130,17 @@ JobProgress JobProgressTracker::Snapshot() const {
   p.bytes_merged = merged_.load(std::memory_order_relaxed);
   p.work_done = p.bytes_read + p.bytes_spilled + p.bytes_merged;
   p.work_total = work_total_.load(std::memory_order_relaxed);
+  p.total_known = total_known_.load(std::memory_order_relaxed);
+  if (!p.total_known && p.bytes_read > 0) {
+    // Streamed ingest: treat the bytes seen so far as the whole input, a
+    // running lower bound. During ingest work_done/work_total sits at a
+    // steady 1/factor plateau, then rises as spill/merge bytes accrue;
+    // when the real SetPlan lands at end of input the estimate and the
+    // truth coincide, so the fraction is continuous across the switch.
+    p.bytes_total = p.bytes_read;
+    p.work_total =
+        work_factor_.load(std::memory_order_relaxed) * p.bytes_read;
+  }
 
   if (p.phase == SortPhase::kDone) {
     p.fraction = 1.0;
@@ -155,14 +177,21 @@ void JobProgressTracker::PublishGauges() {
   Gauge* permille_gauge = permille_gauge_.load(std::memory_order_relaxed);
   if (permille_gauge != nullptr) {
     const int phase = phase_.load(std::memory_order_relaxed);
+    const uint64_t read = read_.load(std::memory_order_relaxed);
+    uint64_t effective_total = total;
+    if (!total_known_.load(std::memory_order_relaxed)) {
+      // Unknown-total (streamed) jobs: estimate from bytes read so far,
+      // mirroring Snapshot(). Clamped to 999 until DONE arrives.
+      effective_total = work_factor_.load(std::memory_order_relaxed) * read;
+    }
     if (phase == static_cast<int>(SortPhase::kDone)) {
       permille_gauge->Set(1000);
-    } else if (total > 0) {
-      const uint64_t done = read_.load(std::memory_order_relaxed) +
+    } else if (effective_total > 0) {
+      const uint64_t done = read +
                             spilled_.load(std::memory_order_relaxed) +
                             merged_.load(std::memory_order_relaxed);
       permille_gauge->Set(static_cast<int64_t>(
-          std::min<uint64_t>(999, done * 1000 / total)));
+          std::min<uint64_t>(999, done * 1000 / effective_total)));
     }
   }
 }

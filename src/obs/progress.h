@@ -51,7 +51,12 @@ struct JobProgress {
   uint64_t job_id = 0;
   uint64_t trace_id = 0;  // distributed trace id, 0 = none
   SortPhase phase = SortPhase::kQueued;
-  uint64_t bytes_total = 0;  // input size
+  // False for jobs whose input size is not known up front (streamed
+  // ingest): bytes_total/work_total are then running lower-bound
+  // estimates scaled from bytes_read, and fraction/permille are clamped
+  // below done until the real plan lands at end of input.
+  bool total_known = true;
+  uint64_t bytes_total = 0;  // input size (or the estimate, see above)
   uint64_t bytes_read = 0;
   uint64_t bytes_sorted = 0;
   uint64_t bytes_spilled = 0;
@@ -83,6 +88,14 @@ class JobProgressTracker {
   // Called once the planner has sized the job (input bytes + pass count).
   void SetPlan(uint64_t bytes_total, int passes);
 
+  // For jobs whose input size is unknown up front (streamed ingest): no
+  // byte total, but snapshots still move — the work total is estimated
+  // as if the bytes read so far were the whole input, scaled by
+  // `passes_hint`'s work factor, so the fraction/permille hold a steady
+  // ingest plateau and rise through the later phases. The adaptive
+  // pipeline calls SetPlan with the real totals at end of input.
+  void SetPlanUnknown(int passes_hint);
+
   void SetPhase(SortPhase phase);
 
   void AddRead(uint64_t bytes);
@@ -100,6 +113,10 @@ class JobProgressTracker {
   std::atomic<int> phase_{static_cast<int>(SortPhase::kQueued)};
   std::atomic<uint64_t> bytes_total_{0};
   std::atomic<uint64_t> work_total_{0};
+  // False between SetPlanUnknown and the real SetPlan: totals are then
+  // derived from bytes_read at snapshot time using work_factor_.
+  std::atomic<bool> total_known_{true};
+  std::atomic<uint64_t> work_factor_{2};
   std::atomic<uint64_t> read_{0};
   std::atomic<uint64_t> sorted_{0};
   std::atomic<uint64_t> spilled_{0};

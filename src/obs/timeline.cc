@@ -20,7 +20,7 @@ uint64_t SecondsToMicros(double s) {
 }  // namespace
 
 uint64_t JobTimeline::StageSum() const {
-  return spool_us + queue_us + sort_us + merge_us + stream_us;
+  return ingest_us + queue_us + sort_us + merge_us + stream_us;
 }
 
 void JobTimeline::FillFromSortMetrics(const SortMetrics& m) {
@@ -36,8 +36,8 @@ void JobTimeline::DeriveQueue(uint64_t wait_us) {
 void RecordTimelineHistograms(const JobTimeline& t) {
   // Function-local statics: one registry lookup per process, lock-free
   // recording afterwards (the registry owns the histograms forever).
-  static Histogram* spool =
-      MetricsRegistry::Global()->GetHistogram("net.job.spool_us");
+  static Histogram* ingest =
+      MetricsRegistry::Global()->GetHistogram("net.job.ingest_us");
   static Histogram* queue =
       MetricsRegistry::Global()->GetHistogram("net.job.queue_us");
   static Histogram* sort =
@@ -48,7 +48,7 @@ void RecordTimelineHistograms(const JobTimeline& t) {
       MetricsRegistry::Global()->GetHistogram("net.job.stream_us");
   static Histogram* e2e =
       MetricsRegistry::Global()->GetHistogram("net.job.e2e_us");
-  spool->Record(t.spool_us);
+  ingest->Record(t.ingest_us);
   queue->Record(t.queue_us);
   sort->Record(t.sort_us);
   merge->Record(t.merge_us);
@@ -64,7 +64,7 @@ void MaybeLogSlowJob(const JobTimeline& t, uint64_t threshold_us) {
   ScopedTraceId trace_scope(t.trace_id);
   ALPHASORT_LOG(kWarn, "svc.job.slow")
       .U64("e2e_us", t.e2e_us)
-      .U64("spool_us", t.spool_us)
+      .U64("ingest_us", t.ingest_us)
       .U64("queue_us", t.queue_us)
       .U64("sort_us", t.sort_us)
       .U64("merge_us", t.merge_us)

@@ -18,35 +18,42 @@ namespace obs {
 // end-to-end time into the stages a network sort actually passes
 // through:
 //
-//   spool   receiving the upload into the spool file (net.spool span)
+//   ingest  receiving the upload (net.ingest span). DATA frames feed a
+//           StreamRecordSource the pipeline reads concurrently, so the
+//           sort's read pass runs *during* this stage — ingest and sort
+//           are overlapped wall time, not consecutive.
 //   queue   admission + queue wait not covered by pipeline work
 //   sort    startup + read/QuickSort + last-run laps of the pipeline
 //   merge   merge + close laps of the pipeline
 //   stream  streaming the sorted output back (net.stream_back span)
 //
-// The server measures spool/wait/stream around its own span boundaries
+// The server measures ingest/wait/stream around its own span boundaries
 // and takes sort/merge from the job's SortMetrics phase laps. Because
-// the pipeline runs *during* the measured wait (the connection thread
-// waits on the service worker), queue time is derived, not measured:
+// the pipeline runs during both the ingest and the measured wait, queue
+// time is derived, not measured:
 //
 //   queue_us = wait_us - min(wait_us, sort_us + merge_us)
 //
-// so spool + queue + sort + merge + stream ≈ e2e with only inter-stage
-// gaps and timer quantization unaccounted (asserted within 10% in
-// net_service_test). The breakdown travels back to the client in the v2
-// ResultFrame, feeds the net.job.*_us histograms, and — for jobs over a
-// configurable threshold — is emitted whole as a svc.job.slow log event.
+// and — unlike the old store-and-forward spool — StageSum() can exceed
+// e2e_us: ingest_us and the sort's read lap cover the same wall clock.
+// The overlap itself is observable as e2e < ingest + queue + sort +
+// merge + stream. The non-overlapped stages (queue + merge + stream)
+// still fit inside e2e, which net_service_test asserts. The breakdown
+// travels back to the client in the v2 ResultFrame, feeds the
+// net.job.*_us histograms, and — for jobs over a configurable
+// threshold — is emitted whole as a svc.job.slow log event.
 struct JobTimeline {
   uint64_t job_id = 0;
   uint64_t trace_id = 0;
-  uint64_t spool_us = 0;
+  uint64_t ingest_us = 0;
   uint64_t queue_us = 0;
   uint64_t sort_us = 0;
   uint64_t merge_us = 0;
   uint64_t stream_us = 0;
   uint64_t e2e_us = 0;
 
-  // spool + queue + sort + merge + stream.
+  // ingest + queue + sort + merge + stream. May exceed e2e_us: ingest
+  // overlaps the sort's read pass (see above).
   uint64_t StageSum() const;
 
   // Fills sort_us and merge_us from the pipeline's phase laps
@@ -58,7 +65,7 @@ struct JobTimeline {
   void DeriveQueue(uint64_t wait_us);
 };
 
-// Records the breakdown into the global registry's net.job.{spool,queue,
+// Records the breakdown into the global registry's net.job.{ingest,queue,
 // sort,merge,stream,e2e}_us histograms (exported by RenderExposition as
 // alphasort_net_job_*_us summaries).
 void RecordTimelineHistograms(const JobTimeline& t);

@@ -388,7 +388,7 @@ TEST(FramePayloads, ResultRoundTripFull) {
   in.output_bytes = 424242;
   in.output_crc32c = 0xabad1dea;
   in.elapsed_us = 987654;
-  in.spool_us = 11111;
+  in.ingest_us = 11111;
   in.queue_us = 22222;
   in.sort_us = 33333;
   in.merge_us = 44444;
@@ -400,7 +400,7 @@ TEST(FramePayloads, ResultRoundTripFull) {
   EXPECT_EQ(in.output_bytes, out.output_bytes);
   EXPECT_EQ(in.output_crc32c, out.output_crc32c);
   EXPECT_EQ(in.elapsed_us, out.elapsed_us);
-  EXPECT_EQ(in.spool_us, out.spool_us);
+  EXPECT_EQ(in.ingest_us, out.ingest_us);
   EXPECT_EQ(in.queue_us, out.queue_us);
   EXPECT_EQ(in.sort_us, out.sort_us);
   EXPECT_EQ(in.merge_us, out.merge_us);

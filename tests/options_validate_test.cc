@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "core/record_source.h"
+
 namespace alphasort {
 namespace {
 
@@ -137,6 +141,23 @@ TEST(SortOptionsValidateTest, MergeParallelismAutoOrPositive) {
 
   opts.merge_parallelism = 8;
   EXPECT_TRUE(opts.Validate().ok());
+}
+
+TEST(SortOptionsValidateTest, SourceAndInputPathAreExactlyOne) {
+  // No input at all: neither the sugar nor a factory.
+  SortOptions opts = ValidOptions();
+  opts.input_path.clear();
+  ExpectInvalid(opts, "no input_path and no source");
+
+  // A source factory alone is a complete input spec.
+  opts.source = [] {
+    return std::make_shared<MemoryRecordSource>(std::string(100, 'x'));
+  };
+  EXPECT_TRUE(opts.Validate().ok());
+
+  // Both set is ambiguous and rejected.
+  opts.input_path = "in.dat";
+  ExpectInvalid(opts, "both input_path and source");
 }
 
 TEST(SortOptionsValidateTest, PrefetchDistanceAnyValueIncludingZero) {

@@ -77,6 +77,38 @@ TEST(ProgressTrackerTest, FractionClampsBelowOneUntilDone) {
   EXPECT_DOUBLE_EQ(t.Snapshot().fraction, 1.0);
 }
 
+TEST(ProgressTrackerTest, UnknownTotalEstimatesFromBytesRead) {
+  // Streamed ingest: no byte total up front. The tracker scales a
+  // running work estimate from bytes_read so snapshots still move, and
+  // never reports done until the phase says so.
+  JobProgressTracker t;
+  t.Start(1, false);
+  t.SetPlanUnknown(/*passes_hint=*/1);
+  {
+    const JobProgress p = t.Snapshot();
+    EXPECT_FALSE(p.total_known);
+    EXPECT_EQ(uint64_t{0}, p.work_total);
+    EXPECT_DOUBLE_EQ(p.fraction, 0.0);
+  }
+  t.AddRead(1000);
+  t.AddSorted(1000);
+  {
+    const JobProgress p = t.Snapshot();
+    EXPECT_FALSE(p.total_known);
+    EXPECT_EQ(uint64_t{1000}, p.bytes_total) << "estimate = bytes read";
+    EXPECT_GT(p.work_total, uint64_t{0});
+    // Everything read has been sorted, yet the stream may keep going:
+    // the fraction must stay clamped below done.
+    EXPECT_LE(p.fraction, 0.999);
+  }
+  // End of input: the adaptive pipeline sets the real plan.
+  t.SetPlan(1000, /*passes=*/1);
+  t.SetPhase(SortPhase::kDone);
+  const JobProgress p = t.Snapshot();
+  EXPECT_TRUE(p.total_known);
+  EXPECT_DOUBLE_EQ(p.fraction, 1.0);
+}
+
 TEST(ProgressTrackerTest, EtaExtrapolatesRemainingWork) {
   JobProgressTracker t;
   t.Start(1, false);
