@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_entry_width.dir/ablation_entry_width.cc.o"
+  "CMakeFiles/ablation_entry_width.dir/ablation_entry_width.cc.o.d"
+  "ablation_entry_width"
+  "ablation_entry_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_entry_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fanin.dir/ablation_fanin.cc.o"
+  "CMakeFiles/ablation_fanin.dir/ablation_fanin.cc.o.d"
+  "ablation_fanin"
+  "ablation_fanin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fanin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

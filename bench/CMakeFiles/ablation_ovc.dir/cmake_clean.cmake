@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ovc.dir/ablation_ovc.cc.o"
+  "CMakeFiles/ablation_ovc.dir/ablation_ovc.cc.o.d"
+  "ablation_ovc"
+  "ablation_ovc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ovc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix.dir/ablation_prefix.cc.o"
+  "CMakeFiles/ablation_prefix.dir/ablation_prefix.cc.o.d"
+  "ablation_prefix"
+  "ablation_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runsize.dir/ablation_runsize.cc.o"
+  "CMakeFiles/ablation_runsize.dir/ablation_runsize.cc.o.d"
+  "ablation_runsize"
+  "ablation_runsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

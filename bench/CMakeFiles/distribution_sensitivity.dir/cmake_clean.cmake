@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_sensitivity.dir/distribution_sensitivity.cc.o"
+  "CMakeFiles/distribution_sensitivity.dir/distribution_sensitivity.cc.o.d"
+  "distribution_sensitivity"
+  "distribution_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

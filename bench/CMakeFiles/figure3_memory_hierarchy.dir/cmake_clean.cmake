@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_memory_hierarchy.dir/figure3_memory_hierarchy.cc.o"
+  "CMakeFiles/figure3_memory_hierarchy.dir/figure3_memory_hierarchy.cc.o.d"
+  "figure3_memory_hierarchy"
+  "figure3_memory_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_memory_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

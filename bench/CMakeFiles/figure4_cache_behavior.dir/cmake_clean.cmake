@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_cache_behavior.dir/figure4_cache_behavior.cc.o"
+  "CMakeFiles/figure4_cache_behavior.dir/figure4_cache_behavior.cc.o.d"
+  "figure4_cache_behavior"
+  "figure4_cache_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_cache_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_striping.dir/figure5_striping.cc.o"
+  "CMakeFiles/figure5_striping.dir/figure5_striping.cc.o.d"
+  "figure5_striping"
+  "figure5_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_time_breakdown.dir/figure7_time_breakdown.cc.o"
+  "CMakeFiles/figure7_time_breakdown.dir/figure7_time_breakdown.cc.o.d"
+  "figure7_time_breakdown"
+  "figure7_time_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_cost.dir/gather_cost.cc.o"
+  "CMakeFiles/gather_cost.dir/gather_cost.cc.o.d"
+  "gather_cost"
+  "gather_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

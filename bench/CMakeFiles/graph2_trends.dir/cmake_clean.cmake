@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph2_trends.dir/graph2_trends.cc.o"
+  "CMakeFiles/graph2_trends.dir/graph2_trends.cc.o.d"
+  "graph2_trends"
+  "graph2_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph2_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for graph2_trends.
+# This may be replaced when dependencies are built.

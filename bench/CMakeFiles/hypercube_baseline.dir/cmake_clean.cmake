@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_baseline.dir/hypercube_baseline.cc.o"
+  "CMakeFiles/hypercube_baseline.dir/hypercube_baseline.cc.o.d"
+  "hypercube_baseline"
+  "hypercube_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

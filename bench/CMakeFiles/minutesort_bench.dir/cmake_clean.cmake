@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minutesort_bench.dir/minutesort_bench.cc.o"
+  "CMakeFiles/minutesort_bench.dir/minutesort_bench.cc.o.d"
+  "minutesort_bench"
+  "minutesort_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minutesort_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprocessor_speedup.dir/multiprocessor_speedup.cc.o"
+  "CMakeFiles/multiprocessor_speedup.dir/multiprocessor_speedup.cc.o.d"
+  "multiprocessor_speedup"
+  "multiprocessor_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprocessor_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

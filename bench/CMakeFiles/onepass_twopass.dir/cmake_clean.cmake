@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onepass_twopass.dir/onepass_twopass.cc.o"
+  "CMakeFiles/onepass_twopass.dir/onepass_twopass.cc.o.d"
+  "onepass_twopass"
+  "onepass_twopass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onepass_twopass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

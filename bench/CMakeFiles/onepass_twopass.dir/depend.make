@@ -1,0 +1,2 @@
+# Empty dependencies file for onepass_twopass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksort_vs_replacement_bench.dir/quicksort_vs_replacement_bench.cc.o"
+  "CMakeFiles/quicksort_vs_replacement_bench.dir/quicksort_vs_replacement_bench.cc.o.d"
+  "quicksort_vs_replacement_bench"
+  "quicksort_vs_replacement_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksort_vs_replacement_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quicksort_vs_replacement_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_variants_bench.dir/sort_variants_bench.cc.o"
+  "CMakeFiles/sort_variants_bench.dir/sort_variants_bench.cc.o.d"
+  "sort_variants_bench"
+  "sort_variants_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_variants_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sort_variants_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup_overhead.dir/startup_overhead.cc.o"
+  "CMakeFiles/startup_overhead.dir/startup_overhead.cc.o.d"
+  "startup_overhead"
+  "startup_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

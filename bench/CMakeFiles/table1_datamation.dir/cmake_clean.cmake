@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_datamation.dir/table1_datamation.cc.o"
+  "CMakeFiles/table1_datamation.dir/table1_datamation.cc.o.d"
+  "table1_datamation"
+  "table1_datamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_datamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

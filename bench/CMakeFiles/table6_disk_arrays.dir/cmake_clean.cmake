@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_disk_arrays.dir/table6_disk_arrays.cc.o"
+  "CMakeFiles/table6_disk_arrays.dir/table6_disk_arrays.cc.o.d"
+  "table6_disk_arrays"
+  "table6_disk_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_disk_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

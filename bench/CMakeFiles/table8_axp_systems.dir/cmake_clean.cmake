@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_axp_systems.dir/table8_axp_systems.cc.o"
+  "CMakeFiles/table8_axp_systems.dir/table8_axp_systems.cc.o.d"
+  "table8_axp_systems"
+  "table8_axp_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_axp_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

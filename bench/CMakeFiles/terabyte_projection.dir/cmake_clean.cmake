@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terabyte_projection.dir/terabyte_projection.cc.o"
+  "CMakeFiles/terabyte_projection.dir/terabyte_projection.cc.o.d"
+  "terabyte_projection"
+  "terabyte_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terabyte_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

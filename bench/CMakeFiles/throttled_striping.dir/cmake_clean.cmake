@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttled_striping.dir/throttled_striping.cc.o"
+  "CMakeFiles/throttled_striping.dir/throttled_striping.cc.o.d"
+  "throttled_striping"
+  "throttled_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttled_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vms_vs_alphasort.dir/vms_vs_alphasort.cc.o"
+  "CMakeFiles/vms_vs_alphasort.dir/vms_vs_alphasort.cc.o.d"
+  "vms_vs_alphasort"
+  "vms_vs_alphasort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vms_vs_alphasort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

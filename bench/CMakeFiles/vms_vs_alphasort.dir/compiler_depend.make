@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vms_vs_alphasort.
+# This may be replaced when dependencies are built.

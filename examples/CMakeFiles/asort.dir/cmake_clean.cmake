@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asort.dir/asort.cpp.o"
+  "CMakeFiles/asort.dir/asort.cpp.o.d"
+  "asort"
+  "asort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_sort.dir/check_sort.cpp.o"
+  "CMakeFiles/check_sort.dir/check_sort.cpp.o.d"
+  "check_sort"
+  "check_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datamation_sort.dir/datamation_sort.cpp.o"
+  "CMakeFiles/datamation_sort.dir/datamation_sort.cpp.o.d"
+  "datamation_sort"
+  "datamation_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datamation_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

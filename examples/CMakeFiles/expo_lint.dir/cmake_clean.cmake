@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expo_lint.dir/expo_lint.cpp.o"
+  "CMakeFiles/expo_lint.dir/expo_lint.cpp.o.d"
+  "expo_lint"
+  "expo_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expo_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

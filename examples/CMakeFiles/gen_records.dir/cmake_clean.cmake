@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_records.dir/gen_records.cpp.o"
+  "CMakeFiles/gen_records.dir/gen_records.cpp.o.d"
+  "gen_records"
+  "gen_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

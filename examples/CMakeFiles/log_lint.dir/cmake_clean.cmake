@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_lint.dir/log_lint.cpp.o"
+  "CMakeFiles/log_lint.dir/log_lint.cpp.o.d"
+  "log_lint"
+  "log_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minute_sort.dir/minute_sort.cpp.o"
+  "CMakeFiles/minute_sort.dir/minute_sort.cpp.o.d"
+  "minute_sort"
+  "minute_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minute_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

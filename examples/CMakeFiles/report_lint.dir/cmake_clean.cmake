@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_lint.dir/report_lint.cpp.o"
+  "CMakeFiles/report_lint.dir/report_lint.cpp.o.d"
+  "report_lint"
+  "report_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

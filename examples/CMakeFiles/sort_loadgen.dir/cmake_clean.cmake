@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_loadgen.dir/sort_loadgen.cpp.o"
+  "CMakeFiles/sort_loadgen.dir/sort_loadgen.cpp.o.d"
+  "sort_loadgen"
+  "sort_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_serverd.dir/sort_serverd.cpp.o"
+  "CMakeFiles/sort_serverd.dir/sort_serverd.cpp.o.d"
+  "sort_serverd"
+  "sort_serverd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_serverd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_service.dir/sort_service.cpp.o"
+  "CMakeFiles/sort_service.dir/sort_service.cpp.o.d"
+  "sort_service"
+  "sort_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

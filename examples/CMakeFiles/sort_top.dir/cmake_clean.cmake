@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_top.dir/sort_top.cpp.o"
+  "CMakeFiles/sort_top.dir/sort_top.cpp.o.d"
+  "sort_top"
+  "sort_top.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_top.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

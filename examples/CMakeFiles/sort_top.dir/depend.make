@@ -1,0 +1,2 @@
+# Empty dependencies file for sort_top.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_lint.dir/trace_lint.cpp.o"
+  "CMakeFiles/trace_lint.dir/trace_lint.cpp.o.d"
+  "trace_lint"
+  "trace_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

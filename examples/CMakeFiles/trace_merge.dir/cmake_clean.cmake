@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_merge.dir/trace_merge.cpp.o"
+  "CMakeFiles/trace_merge.dir/trace_merge.cpp.o.d"
+  "trace_merge"
+  "trace_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_keys.dir/typed_keys.cpp.o"
+  "CMakeFiles/typed_keys.dir/typed_keys.cpp.o.d"
+  "typed_keys"
+  "typed_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

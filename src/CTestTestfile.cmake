@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("record")
+subdirs("sort")
+subdirs("io")
+subdirs("sim")
+subdirs("core")
+subdirs("svc")
+subdirs("net")
+subdirs("benchlib")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_benchlib.dir/datamation.cc.o"
+  "CMakeFiles/alphasort_benchlib.dir/datamation.cc.o.d"
+  "CMakeFiles/alphasort_benchlib.dir/fault_campaign.cc.o"
+  "CMakeFiles/alphasort_benchlib.dir/fault_campaign.cc.o.d"
+  "CMakeFiles/alphasort_benchlib.dir/historical.cc.o"
+  "CMakeFiles/alphasort_benchlib.dir/historical.cc.o.d"
+  "CMakeFiles/alphasort_benchlib.dir/minutesort.cc.o"
+  "CMakeFiles/alphasort_benchlib.dir/minutesort.cc.o.d"
+  "CMakeFiles/alphasort_benchlib.dir/net_bench.cc.o"
+  "CMakeFiles/alphasort_benchlib.dir/net_bench.cc.o.d"
+  "CMakeFiles/alphasort_benchlib.dir/service_bench.cc.o"
+  "CMakeFiles/alphasort_benchlib.dir/service_bench.cc.o.d"
+  "libalphasort_benchlib.a"
+  "libalphasort_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_common.dir/checksum.cc.o"
+  "CMakeFiles/alphasort_common.dir/checksum.cc.o.d"
+  "CMakeFiles/alphasort_common.dir/status.cc.o"
+  "CMakeFiles/alphasort_common.dir/status.cc.o.d"
+  "CMakeFiles/alphasort_common.dir/table.cc.o"
+  "CMakeFiles/alphasort_common.dir/table.cc.o.d"
+  "libalphasort_common.a"
+  "libalphasort_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alphasort.cc" "src/core/CMakeFiles/alphasort_core.dir/alphasort.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/alphasort.cc.o.d"
+  "/root/repo/src/core/chores.cc" "src/core/CMakeFiles/alphasort_core.dir/chores.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/chores.cc.o.d"
+  "/root/repo/src/core/external_sort.cc" "src/core/CMakeFiles/alphasort_core.dir/external_sort.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/external_sort.cc.o.d"
+  "/root/repo/src/core/hypercube_sort.cc" "src/core/CMakeFiles/alphasort_core.dir/hypercube_sort.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/hypercube_sort.cc.o.d"
+  "/root/repo/src/core/merge_files.cc" "src/core/CMakeFiles/alphasort_core.dir/merge_files.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/merge_files.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/alphasort_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/options.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/alphasort_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/record_io.cc" "src/core/CMakeFiles/alphasort_core.dir/record_io.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/record_io.cc.o.d"
+  "/root/repo/src/core/record_source.cc" "src/core/CMakeFiles/alphasort_core.dir/record_source.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/record_source.cc.o.d"
+  "/root/repo/src/core/run_reader.cc" "src/core/CMakeFiles/alphasort_core.dir/run_reader.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/run_reader.cc.o.d"
+  "/root/repo/src/core/sorter.cc" "src/core/CMakeFiles/alphasort_core.dir/sorter.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/sorter.cc.o.d"
+  "/root/repo/src/core/typed_sort.cc" "src/core/CMakeFiles/alphasort_core.dir/typed_sort.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/typed_sort.cc.o.d"
+  "/root/repo/src/core/vms_sort.cc" "src/core/CMakeFiles/alphasort_core.dir/vms_sort.cc.o" "gcc" "src/core/CMakeFiles/alphasort_core.dir/vms_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/sort/CMakeFiles/alphasort_sort.dir/DependInfo.cmake"
+  "/root/repo/src/io/CMakeFiles/alphasort_io.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/alphasort_record.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/alphasort_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_core.dir/alphasort.cc.o"
+  "CMakeFiles/alphasort_core.dir/alphasort.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/chores.cc.o"
+  "CMakeFiles/alphasort_core.dir/chores.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/external_sort.cc.o"
+  "CMakeFiles/alphasort_core.dir/external_sort.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/hypercube_sort.cc.o"
+  "CMakeFiles/alphasort_core.dir/hypercube_sort.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/merge_files.cc.o"
+  "CMakeFiles/alphasort_core.dir/merge_files.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/options.cc.o"
+  "CMakeFiles/alphasort_core.dir/options.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/pipeline.cc.o"
+  "CMakeFiles/alphasort_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/record_io.cc.o"
+  "CMakeFiles/alphasort_core.dir/record_io.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/record_source.cc.o"
+  "CMakeFiles/alphasort_core.dir/record_source.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/run_reader.cc.o"
+  "CMakeFiles/alphasort_core.dir/run_reader.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/sorter.cc.o"
+  "CMakeFiles/alphasort_core.dir/sorter.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/typed_sort.cc.o"
+  "CMakeFiles/alphasort_core.dir/typed_sort.cc.o.d"
+  "CMakeFiles/alphasort_core.dir/vms_sort.cc.o"
+  "CMakeFiles/alphasort_core.dir/vms_sort.cc.o.d"
+  "libalphasort_core.a"
+  "libalphasort_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

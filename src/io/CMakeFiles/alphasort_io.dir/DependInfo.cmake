@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/async_io.cc" "src/io/CMakeFiles/alphasort_io.dir/async_io.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/async_io.cc.o.d"
+  "/root/repo/src/io/buffered_writer.cc" "src/io/CMakeFiles/alphasort_io.dir/buffered_writer.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/buffered_writer.cc.o.d"
+  "/root/repo/src/io/env.cc" "src/io/CMakeFiles/alphasort_io.dir/env.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/env.cc.o.d"
+  "/root/repo/src/io/env_stack.cc" "src/io/CMakeFiles/alphasort_io.dir/env_stack.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/env_stack.cc.o.d"
+  "/root/repo/src/io/fault_env.cc" "src/io/CMakeFiles/alphasort_io.dir/fault_env.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/fault_env.cc.o.d"
+  "/root/repo/src/io/mem_env.cc" "src/io/CMakeFiles/alphasort_io.dir/mem_env.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/mem_env.cc.o.d"
+  "/root/repo/src/io/posix_env.cc" "src/io/CMakeFiles/alphasort_io.dir/posix_env.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/posix_env.cc.o.d"
+  "/root/repo/src/io/retry_env.cc" "src/io/CMakeFiles/alphasort_io.dir/retry_env.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/retry_env.cc.o.d"
+  "/root/repo/src/io/stripe.cc" "src/io/CMakeFiles/alphasort_io.dir/stripe.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/stripe.cc.o.d"
+  "/root/repo/src/io/throttled_env.cc" "src/io/CMakeFiles/alphasort_io.dir/throttled_env.cc.o" "gcc" "src/io/CMakeFiles/alphasort_io.dir/throttled_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/alphasort_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

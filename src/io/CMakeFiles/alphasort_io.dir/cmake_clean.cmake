@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_io.dir/async_io.cc.o"
+  "CMakeFiles/alphasort_io.dir/async_io.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/buffered_writer.cc.o"
+  "CMakeFiles/alphasort_io.dir/buffered_writer.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/env.cc.o"
+  "CMakeFiles/alphasort_io.dir/env.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/env_stack.cc.o"
+  "CMakeFiles/alphasort_io.dir/env_stack.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/fault_env.cc.o"
+  "CMakeFiles/alphasort_io.dir/fault_env.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/mem_env.cc.o"
+  "CMakeFiles/alphasort_io.dir/mem_env.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/posix_env.cc.o"
+  "CMakeFiles/alphasort_io.dir/posix_env.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/retry_env.cc.o"
+  "CMakeFiles/alphasort_io.dir/retry_env.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/stripe.cc.o"
+  "CMakeFiles/alphasort_io.dir/stripe.cc.o.d"
+  "CMakeFiles/alphasort_io.dir/throttled_env.cc.o"
+  "CMakeFiles/alphasort_io.dir/throttled_env.cc.o.d"
+  "libalphasort_io.a"
+  "libalphasort_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

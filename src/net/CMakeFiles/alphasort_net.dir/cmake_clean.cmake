@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_net.dir/client.cc.o"
+  "CMakeFiles/alphasort_net.dir/client.cc.o.d"
+  "CMakeFiles/alphasort_net.dir/frame.cc.o"
+  "CMakeFiles/alphasort_net.dir/frame.cc.o.d"
+  "CMakeFiles/alphasort_net.dir/quota.cc.o"
+  "CMakeFiles/alphasort_net.dir/quota.cc.o.d"
+  "CMakeFiles/alphasort_net.dir/server.cc.o"
+  "CMakeFiles/alphasort_net.dir/server.cc.o.d"
+  "CMakeFiles/alphasort_net.dir/socket.cc.o"
+  "CMakeFiles/alphasort_net.dir/socket.cc.o.d"
+  "libalphasort_net.a"
+  "libalphasort_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

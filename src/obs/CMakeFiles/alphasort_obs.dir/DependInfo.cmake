@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/exposition.cc" "src/obs/CMakeFiles/alphasort_obs.dir/exposition.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/exposition.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/obs/CMakeFiles/alphasort_obs.dir/json.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/json.cc.o.d"
+  "/root/repo/src/obs/log.cc" "src/obs/CMakeFiles/alphasort_obs.dir/log.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/log.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/alphasort_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/metrics_env.cc" "src/obs/CMakeFiles/alphasort_obs.dir/metrics_env.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/metrics_env.cc.o.d"
+  "/root/repo/src/obs/perf_counters.cc" "src/obs/CMakeFiles/alphasort_obs.dir/perf_counters.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/perf_counters.cc.o.d"
+  "/root/repo/src/obs/progress.cc" "src/obs/CMakeFiles/alphasort_obs.dir/progress.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/progress.cc.o.d"
+  "/root/repo/src/obs/report.cc" "src/obs/CMakeFiles/alphasort_obs.dir/report.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/report.cc.o.d"
+  "/root/repo/src/obs/sort_metrics.cc" "src/obs/CMakeFiles/alphasort_obs.dir/sort_metrics.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/sort_metrics.cc.o.d"
+  "/root/repo/src/obs/timeline.cc" "src/obs/CMakeFiles/alphasort_obs.dir/timeline.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/timeline.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/obs/CMakeFiles/alphasort_obs.dir/trace.cc.o" "gcc" "src/obs/CMakeFiles/alphasort_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_obs.dir/exposition.cc.o"
+  "CMakeFiles/alphasort_obs.dir/exposition.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/json.cc.o"
+  "CMakeFiles/alphasort_obs.dir/json.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/log.cc.o"
+  "CMakeFiles/alphasort_obs.dir/log.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/metrics.cc.o"
+  "CMakeFiles/alphasort_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/metrics_env.cc.o"
+  "CMakeFiles/alphasort_obs.dir/metrics_env.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/perf_counters.cc.o"
+  "CMakeFiles/alphasort_obs.dir/perf_counters.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/progress.cc.o"
+  "CMakeFiles/alphasort_obs.dir/progress.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/report.cc.o"
+  "CMakeFiles/alphasort_obs.dir/report.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/sort_metrics.cc.o"
+  "CMakeFiles/alphasort_obs.dir/sort_metrics.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/timeline.cc.o"
+  "CMakeFiles/alphasort_obs.dir/timeline.cc.o.d"
+  "CMakeFiles/alphasort_obs.dir/trace.cc.o"
+  "CMakeFiles/alphasort_obs.dir/trace.cc.o.d"
+  "libalphasort_obs.a"
+  "libalphasort_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/generator.cc" "src/record/CMakeFiles/alphasort_record.dir/generator.cc.o" "gcc" "src/record/CMakeFiles/alphasort_record.dir/generator.cc.o.d"
+  "/root/repo/src/record/key_conditioner.cc" "src/record/CMakeFiles/alphasort_record.dir/key_conditioner.cc.o" "gcc" "src/record/CMakeFiles/alphasort_record.dir/key_conditioner.cc.o.d"
+  "/root/repo/src/record/validator.cc" "src/record/CMakeFiles/alphasort_record.dir/validator.cc.o" "gcc" "src/record/CMakeFiles/alphasort_record.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

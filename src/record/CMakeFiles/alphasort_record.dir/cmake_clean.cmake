@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_record.dir/generator.cc.o"
+  "CMakeFiles/alphasort_record.dir/generator.cc.o.d"
+  "CMakeFiles/alphasort_record.dir/key_conditioner.cc.o"
+  "CMakeFiles/alphasort_record.dir/key_conditioner.cc.o.d"
+  "CMakeFiles/alphasort_record.dir/validator.cc.o"
+  "CMakeFiles/alphasort_record.dir/validator.cc.o.d"
+  "libalphasort_record.a"
+  "libalphasort_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cc" "src/sim/CMakeFiles/alphasort_sim.dir/cache_sim.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/cache_sim.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/alphasort_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/disk_sim.cc" "src/sim/CMakeFiles/alphasort_sim.dir/disk_sim.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/disk_sim.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/sim/CMakeFiles/alphasort_sim.dir/event_sim.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/event_sim.cc.o.d"
+  "/root/repo/src/sim/hardware_configs.cc" "src/sim/CMakeFiles/alphasort_sim.dir/hardware_configs.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/hardware_configs.cc.o.d"
+  "/root/repo/src/sim/memory_hierarchy.cc" "src/sim/CMakeFiles/alphasort_sim.dir/memory_hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/memory_hierarchy.cc.o.d"
+  "/root/repo/src/sim/pipeline_event_sim.cc" "src/sim/CMakeFiles/alphasort_sim.dir/pipeline_event_sim.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/pipeline_event_sim.cc.o.d"
+  "/root/repo/src/sim/pipeline_model.cc" "src/sim/CMakeFiles/alphasort_sim.dir/pipeline_model.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/pipeline_model.cc.o.d"
+  "/root/repo/src/sim/stall_model.cc" "src/sim/CMakeFiles/alphasort_sim.dir/stall_model.cc.o" "gcc" "src/sim/CMakeFiles/alphasort_sim.dir/stall_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  "/root/repo/src/sort/CMakeFiles/alphasort_sort.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/alphasort_record.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

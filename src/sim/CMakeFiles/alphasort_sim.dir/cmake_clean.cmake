@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_sim.dir/cache_sim.cc.o"
+  "CMakeFiles/alphasort_sim.dir/cache_sim.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/cost_model.cc.o"
+  "CMakeFiles/alphasort_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/disk_sim.cc.o"
+  "CMakeFiles/alphasort_sim.dir/disk_sim.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/event_sim.cc.o"
+  "CMakeFiles/alphasort_sim.dir/event_sim.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/hardware_configs.cc.o"
+  "CMakeFiles/alphasort_sim.dir/hardware_configs.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/alphasort_sim.dir/memory_hierarchy.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/pipeline_event_sim.cc.o"
+  "CMakeFiles/alphasort_sim.dir/pipeline_event_sim.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/pipeline_model.cc.o"
+  "CMakeFiles/alphasort_sim.dir/pipeline_model.cc.o.d"
+  "CMakeFiles/alphasort_sim.dir/stall_model.cc.o"
+  "CMakeFiles/alphasort_sim.dir/stall_model.cc.o.d"
+  "libalphasort_sim.a"
+  "libalphasort_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/compact_entry.cc" "src/sort/CMakeFiles/alphasort_sort.dir/compact_entry.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/compact_entry.cc.o.d"
+  "/root/repo/src/sort/merge_partition.cc" "src/sort/CMakeFiles/alphasort_sort.dir/merge_partition.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/merge_partition.cc.o.d"
+  "/root/repo/src/sort/ovc.cc" "src/sort/CMakeFiles/alphasort_sort.dir/ovc.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/ovc.cc.o.d"
+  "/root/repo/src/sort/partition_sort.cc" "src/sort/CMakeFiles/alphasort_sort.dir/partition_sort.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/partition_sort.cc.o.d"
+  "/root/repo/src/sort/quicksort.cc" "src/sort/CMakeFiles/alphasort_sort.dir/quicksort.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/quicksort.cc.o.d"
+  "/root/repo/src/sort/replacement_selection.cc" "src/sort/CMakeFiles/alphasort_sort.dir/replacement_selection.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/replacement_selection.cc.o.d"
+  "/root/repo/src/sort/tournament_tree.cc" "src/sort/CMakeFiles/alphasort_sort.dir/tournament_tree.cc.o" "gcc" "src/sort/CMakeFiles/alphasort_sort.dir/tournament_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/record/CMakeFiles/alphasort_record.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_sort.dir/compact_entry.cc.o"
+  "CMakeFiles/alphasort_sort.dir/compact_entry.cc.o.d"
+  "CMakeFiles/alphasort_sort.dir/merge_partition.cc.o"
+  "CMakeFiles/alphasort_sort.dir/merge_partition.cc.o.d"
+  "CMakeFiles/alphasort_sort.dir/ovc.cc.o"
+  "CMakeFiles/alphasort_sort.dir/ovc.cc.o.d"
+  "CMakeFiles/alphasort_sort.dir/partition_sort.cc.o"
+  "CMakeFiles/alphasort_sort.dir/partition_sort.cc.o.d"
+  "CMakeFiles/alphasort_sort.dir/quicksort.cc.o"
+  "CMakeFiles/alphasort_sort.dir/quicksort.cc.o.d"
+  "CMakeFiles/alphasort_sort.dir/replacement_selection.cc.o"
+  "CMakeFiles/alphasort_sort.dir/replacement_selection.cc.o.d"
+  "CMakeFiles/alphasort_sort.dir/tournament_tree.cc.o"
+  "CMakeFiles/alphasort_sort.dir/tournament_tree.cc.o.d"
+  "libalphasort_sort.a"
+  "libalphasort_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

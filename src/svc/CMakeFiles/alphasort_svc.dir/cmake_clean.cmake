@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_svc.dir/sort_service.cc.o"
+  "CMakeFiles/alphasort_svc.dir/sort_service.cc.o.d"
+  "libalphasort_svc.a"
+  "libalphasort_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

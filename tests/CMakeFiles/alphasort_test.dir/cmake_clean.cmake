@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphasort_test.dir/alphasort_test.cc.o"
+  "CMakeFiles/alphasort_test.dir/alphasort_test.cc.o.d"
+  "alphasort_test"
+  "alphasort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphasort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

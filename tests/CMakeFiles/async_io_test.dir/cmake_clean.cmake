@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_io_test.dir/async_io_test.cc.o"
+  "CMakeFiles/async_io_test.dir/async_io_test.cc.o.d"
+  "async_io_test"
+  "async_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

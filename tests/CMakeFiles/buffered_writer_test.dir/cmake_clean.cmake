@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffered_writer_test.dir/buffered_writer_test.cc.o"
+  "CMakeFiles/buffered_writer_test.dir/buffered_writer_test.cc.o.d"
+  "buffered_writer_test"
+  "buffered_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffered_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chores_test.dir/chores_test.cc.o"
+  "CMakeFiles/chores_test.dir/chores_test.cc.o.d"
+  "chores_test"
+  "chores_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditioner_fuzz_test.dir/conditioner_fuzz_test.cc.o"
+  "CMakeFiles/conditioner_fuzz_test.dir/conditioner_fuzz_test.cc.o.d"
+  "conditioner_fuzz_test"
+  "conditioner_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditioner_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/datamation_test.cc" "tests/CMakeFiles/datamation_test.dir/datamation_test.cc.o" "gcc" "tests/CMakeFiles/datamation_test.dir/datamation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/benchlib/CMakeFiles/alphasort_benchlib.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/alphasort_net.dir/DependInfo.cmake"
+  "/root/repo/src/svc/CMakeFiles/alphasort_svc.dir/DependInfo.cmake"
+  "/root/repo/src/core/CMakeFiles/alphasort_core.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/alphasort_sim.dir/DependInfo.cmake"
+  "/root/repo/src/sort/CMakeFiles/alphasort_sort.dir/DependInfo.cmake"
+  "/root/repo/src/io/CMakeFiles/alphasort_io.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/alphasort_obs.dir/DependInfo.cmake"
+  "/root/repo/src/record/CMakeFiles/alphasort_record.dir/DependInfo.cmake"
+  "/root/repo/src/common/CMakeFiles/alphasort_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datamation_test.dir/datamation_test.cc.o"
+  "CMakeFiles/datamation_test.dir/datamation_test.cc.o.d"
+  "datamation_test"
+  "datamation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datamation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

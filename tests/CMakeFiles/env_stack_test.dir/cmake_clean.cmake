@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_stack_test.dir/env_stack_test.cc.o"
+  "CMakeFiles/env_stack_test.dir/env_stack_test.cc.o.d"
+  "env_stack_test"
+  "env_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_sim_test.dir/event_sim_test.cc.o"
+  "CMakeFiles/event_sim_test.dir/event_sim_test.cc.o.d"
+  "event_sim_test"
+  "event_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

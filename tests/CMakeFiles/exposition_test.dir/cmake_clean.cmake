@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exposition_test.dir/exposition_test.cc.o"
+  "CMakeFiles/exposition_test.dir/exposition_test.cc.o.d"
+  "exposition_test"
+  "exposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

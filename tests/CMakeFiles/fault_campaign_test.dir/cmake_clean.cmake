@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_campaign_test.dir/fault_campaign_test.cc.o"
+  "CMakeFiles/fault_campaign_test.dir/fault_campaign_test.cc.o.d"
+  "fault_campaign_test"
+  "fault_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_sort_test.dir/hypercube_sort_test.cc.o"
+  "CMakeFiles/hypercube_sort_test.dir/hypercube_sort_test.cc.o.d"
+  "hypercube_sort_test"
+  "hypercube_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

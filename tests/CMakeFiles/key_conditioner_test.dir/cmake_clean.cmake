@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_conditioner_test.dir/key_conditioner_test.cc.o"
+  "CMakeFiles/key_conditioner_test.dir/key_conditioner_test.cc.o.d"
+  "key_conditioner_test"
+  "key_conditioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_conditioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

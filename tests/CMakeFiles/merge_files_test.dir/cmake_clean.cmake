@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_files_test.dir/merge_files_test.cc.o"
+  "CMakeFiles/merge_files_test.dir/merge_files_test.cc.o.d"
+  "merge_files_test"
+  "merge_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

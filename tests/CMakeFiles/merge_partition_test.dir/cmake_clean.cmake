@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_partition_test.dir/merge_partition_test.cc.o"
+  "CMakeFiles/merge_partition_test.dir/merge_partition_test.cc.o.d"
+  "merge_partition_test"
+  "merge_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_env_test.dir/metrics_env_test.cc.o"
+  "CMakeFiles/metrics_env_test.dir/metrics_env_test.cc.o.d"
+  "metrics_env_test"
+  "metrics_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

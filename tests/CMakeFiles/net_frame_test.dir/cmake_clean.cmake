@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_frame_test.dir/net_frame_test.cc.o"
+  "CMakeFiles/net_frame_test.dir/net_frame_test.cc.o.d"
+  "net_frame_test"
+  "net_frame_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

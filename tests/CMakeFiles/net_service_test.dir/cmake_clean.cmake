@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_service_test.dir/net_service_test.cc.o"
+  "CMakeFiles/net_service_test.dir/net_service_test.cc.o.d"
+  "net_service_test"
+  "net_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

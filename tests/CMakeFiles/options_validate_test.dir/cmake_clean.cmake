@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_validate_test.dir/options_validate_test.cc.o"
+  "CMakeFiles/options_validate_test.dir/options_validate_test.cc.o.d"
+  "options_validate_test"
+  "options_validate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

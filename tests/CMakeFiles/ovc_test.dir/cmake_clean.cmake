@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovc_test.dir/ovc_test.cc.o"
+  "CMakeFiles/ovc_test.dir/ovc_test.cc.o.d"
+  "ovc_test"
+  "ovc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_counters_test.dir/perf_counters_test.cc.o"
+  "CMakeFiles/perf_counters_test.dir/perf_counters_test.cc.o.d"
+  "perf_counters_test"
+  "perf_counters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quicksort_test.dir/quicksort_test.cc.o"
+  "CMakeFiles/quicksort_test.dir/quicksort_test.cc.o.d"
+  "quicksort_test"
+  "quicksort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quicksort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_source_test.dir/record_source_test.cc.o"
+  "CMakeFiles/record_source_test.dir/record_source_test.cc.o.d"
+  "record_source_test"
+  "record_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_selection_test.dir/replacement_selection_test.cc.o"
+  "CMakeFiles/replacement_selection_test.dir/replacement_selection_test.cc.o.d"
+  "replacement_selection_test"
+  "replacement_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retry_env_test.dir/retry_env_test.cc.o"
+  "CMakeFiles/retry_env_test.dir/retry_env_test.cc.o.d"
+  "retry_env_test"
+  "retry_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retry_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_reader_test.dir/run_reader_test.cc.o"
+  "CMakeFiles/run_reader_test.dir/run_reader_test.cc.o.d"
+  "run_reader_test"
+  "run_reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

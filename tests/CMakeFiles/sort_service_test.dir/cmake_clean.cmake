@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_service_test.dir/sort_service_test.cc.o"
+  "CMakeFiles/sort_service_test.dir/sort_service_test.cc.o.d"
+  "sort_service_test"
+  "sort_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

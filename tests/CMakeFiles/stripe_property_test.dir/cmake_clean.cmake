@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stripe_property_test.dir/stripe_property_test.cc.o"
+  "CMakeFiles/stripe_property_test.dir/stripe_property_test.cc.o.d"
+  "stripe_property_test"
+  "stripe_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stripe_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stripe_test.dir/stripe_test.cc.o"
+  "CMakeFiles/stripe_test.dir/stripe_test.cc.o.d"
+  "stripe_test"
+  "stripe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stripe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

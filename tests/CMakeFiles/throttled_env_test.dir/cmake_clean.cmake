@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttled_env_test.dir/throttled_env_test.cc.o"
+  "CMakeFiles/throttled_env_test.dir/throttled_env_test.cc.o.d"
+  "throttled_env_test"
+  "throttled_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttled_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_sort_test.dir/typed_sort_test.cc.o"
+  "CMakeFiles/typed_sort_test.dir/typed_sort_test.cc.o.d"
+  "typed_sort_test"
+  "typed_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

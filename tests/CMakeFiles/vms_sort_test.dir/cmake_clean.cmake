@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vms_sort_test.dir/vms_sort_test.cc.o"
+  "CMakeFiles/vms_sort_test.dir/vms_sort_test.cc.o.d"
+  "vms_sort_test"
+  "vms_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vms_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
