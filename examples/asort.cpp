@@ -6,7 +6,9 @@
 //           [--record-size R] [--key-size K] [--key-offset OFF]
 //           [--workers N] [--merge-parallelism P] [--prefetch-distance D]
 //           [--memory-mb M]
-//           [--algorithm alphasort|vms] [--merge] [--verify] [--quiet]
+//           [--algorithm alphasort|vms]
+//           [--sort-kernel auto|quicksort|radix_hybrid]
+//           [--merge] [--verify] [--quiet]
 //           [--trace=FILE] [--report=FILE] [--metrics] [--mem]
 //           [--gen-records N]
 //
@@ -59,6 +61,7 @@ struct Args {
   long prefetch_distance = -1;  // -1 = library default, 0 = disable
   uint64_t memory_mb = 256;
   std::string algorithm = "alphasort";
+  std::string sort_kernel = "auto";  // in-cache run sort: auto|quicksort|radix_hybrid
   bool merge = false;
   bool verify = false;
   bool quiet = false;
@@ -75,6 +78,7 @@ int Usage(const char* prog) {
           "[--record-size R] [--key-size K] [--key-offset OFF] "
           "[--workers N] [--merge-parallelism P] [--prefetch-distance D] "
           "[--memory-mb M] [--algorithm alphasort|vms] "
+          "[--sort-kernel auto|quicksort|radix_hybrid] "
           "[--merge] [--verify] [--quiet] [--trace=FILE] [--report=FILE] "
           "[--metrics] [--mem] [--gen-records N]\n",
           prog);
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
     else if (const char* v = need("--prefetch-distance")) args.prefetch_distance = atol(v);
     else if (const char* v = need("--memory-mb")) args.memory_mb = strtoull(v, nullptr, 10);
     else if (const char* v = need("--algorithm")) args.algorithm = v;
+    else if (const char* v = need("--sort-kernel")) args.sort_kernel = v;
     else if (const char* v = need("--trace")) args.trace_path = v;
     else if (strncmp(argv[i], "--trace=", 8) == 0) args.trace_path = argv[i] + 8;
     else if (const char* v = need("--report")) args.report_path = v;
@@ -123,6 +128,11 @@ int main(int argc, char** argv) {
   }
   if (args.algorithm != "alphasort" && args.algorithm != "vms") {
     fprintf(stderr, "unknown algorithm '%s'\n", args.algorithm.c_str());
+    return 2;
+  }
+  SortKernel sort_kernel;
+  if (!ParseSortKernel(args.sort_kernel, &sort_kernel)) {
+    fprintf(stderr, "unknown sort kernel '%s'\n", args.sort_kernel.c_str());
     return 2;
   }
 
@@ -151,6 +161,7 @@ int main(int argc, char** argv) {
   opts.format = RecordFormat(args.record_size, args.key_size,
                              args.key_offset);
   opts.num_workers = args.workers;
+  opts.sort_kernel = sort_kernel;
   opts.merge_parallelism = args.merge_parallelism;
   if (args.prefetch_distance >= 0) {
     opts.prefetch_distance = static_cast<size_t>(args.prefetch_distance);

@@ -51,15 +51,26 @@ STRUCTURAL = {
     # succeeding; a drift means the harness shape changed.
     "jobs_ok",
     "jobs_failed",
+    # The kernels suite's in-cache sort shape. simd_active says whether
+    # the vector path actually ran (a silent fall-back to scalar would
+    # otherwise read as a plain slowdown); radix_passes / tie_shortcuts
+    # say how the MSB-radix hybrid split the runs. Drift in any of these
+    # means the kernel changed shape, not just speed.
+    "simd_active",
+    "radix_passes",
+    "tie_shortcuts",
 }
 
 
 def lower_is_better(metric: str) -> bool:
+    # sim_* metrics are cache-simulator miss/stall counts: fewer is
+    # always better regardless of the unit suffix.
     return (
         metric == "seconds"
         or metric.endswith("_s")
         or metric.endswith("_ms")
         or metric.endswith("_us")
+        or metric.startswith("sim_")
     )
 
 

@@ -99,7 +99,16 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   InputSpec spec;
   spec.path = striped_in ? "in.str" : "in.dat";
   spec.num_records = records;
-  spec.distribution = KeyDistribution::kUniform;
+  // Rotate key distributions so skew-sensitive paths (radix bucket
+  // recursion, tie-break-heavy compares, presorted scans) see fault
+  // traffic, not just the uniform Datamation shape.
+  const KeyDistribution kDistributions[] = {
+      KeyDistribution::kUniform,      KeyDistribution::kUniform,
+      KeyDistribution::kSorted,       KeyDistribution::kReverse,
+      KeyDistribution::kFewDistinct,  KeyDistribution::kSharedPrefix,
+      KeyDistribution::kAlmostSorted, KeyDistribution::kDupHeavy,
+      KeyDistribution::kZipfian};
+  spec.distribution = kDistributions[rng.Uniform(9)];
   spec.seed = seed + 17;
   spec.stripe_width = width;
   spec.stride_bytes = 4 * 1024;
@@ -136,6 +145,11 @@ TrialResult RunFaultTrial(uint64_t seed, uint64_t max_records) {
   const size_t kPrefetchDistance[] = {0, 8, 32};
   opts.prefetch_distance = kPrefetchDistance[rng.Uniform(3)];
   opts.merge_prefetch = rng.OneIn(2);
+  // All three kernels must survive every fault schedule — their output is
+  // byte-identical, so any divergence the validator catches is a bug.
+  const SortKernel kKernels[] = {SortKernel::kAuto, SortKernel::kQuickSort,
+                                 SortKernel::kRadixHybrid};
+  opts.sort_kernel = kKernels[rng.Uniform(3)];
   opts.scratch_stripe_width = rng.OneIn(3) ? 2 : 0;
   opts.retry_policy.max_attempts = 2 + static_cast<int>(rng.Uniform(4));
   opts.retry_policy.backoff_initial_us = 1;

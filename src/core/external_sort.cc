@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
+#include "sort/radix_partition.h"
 #include "sort/tournament_tree.h"
 
 namespace alphasort {
@@ -174,7 +175,8 @@ Status SpillRuns(SortContext* ctx, std::vector<ScratchRun>* runs) {
       BuildPrefixEntryArray(fmt, block.data() + start * fmt.record_size,
                             len, entries.data() + start,
                             opts.prefetch_distance);
-      SortPrefixEntryArray(fmt, entries.data() + start, len, &stats);
+      SortPrefixEntryArrayWithKernel(fmt, entries.data() + start, len,
+                                     opts.sort_kernel, &stats);
       ProgressSorted(ctx, len * fmt.record_size);
     });
 
@@ -508,7 +510,8 @@ Status RunAdaptive(SortContext* ctx) {
           BuildPrefixEntryArray(fmt, data + start * fmt.record_size, len,
                                 ents + start,
                                 ctx->options->prefetch_distance);
-          SortPrefixEntryArray(fmt, ents + start, len, &stats);
+          SortPrefixEntryArrayWithKernel(fmt, ents + start, len,
+                                         ctx->options->sort_kernel, &stats);
           ProgressSorted(ctx, len * fmt.record_size);
         });
       }
@@ -532,7 +535,8 @@ Status RunAdaptive(SortContext* ctx) {
       SortStats stats;
       BuildPrefixEntryArray(fmt, data + start * rec, len, ents + start,
                             opts.prefetch_distance);
-      SortPrefixEntryArray(fmt, ents + start, len, &stats);
+      SortPrefixEntryArrayWithKernel(fmt, ents + start, len,
+                                     opts.sort_kernel, &stats);
       ProgressSorted(ctx, len * rec);
     }
     ctx->pool->WaitIdle();

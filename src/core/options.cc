@@ -74,6 +74,10 @@ Status SortOptions::Validate() const {
     return Status::InvalidArgument(
         "merge_parallelism must be -1 (auto) or >= 1");
   }
+  if (!SortKernelIsValid(sort_kernel)) {
+    return Status::InvalidArgument(
+        "sort_kernel must be auto, quicksort or radix_hybrid");
+  }
   return Status::OK();
 }
 

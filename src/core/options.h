@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "io/retry_env.h"
 #include "record/record.h"
+#include "sort/sort_kernel.h"
 
 namespace alphasort {
 
@@ -149,6 +150,14 @@ struct SortOptions {
   // which this flag does not affect.
   bool merge_prefetch = false;
 
+  // In-cache sort kernel for run generation (sort/sort_kernel.h):
+  // kQuickSort is the paper's key-prefix introsort, kRadixHybrid puts
+  // MSB-radix partition passes over the prefixes in front of it, kAuto
+  // picks by run size. Both produce byte-identical output (same strict
+  // total order), so this is purely a speed knob — docs/perf.md "Kernel
+  // pass 2" has the measurements.
+  SortKernel sort_kernel = SortKernel::kAuto;
+
   // Force a pass count (0 = choose by memory_budget).
   int force_passes = 0;
 
@@ -182,6 +191,7 @@ struct SortOptions {
   //   - num_workers >= 0, force_passes in {0,1,2}, time_limit_s >= 0,
   //     retry_policy.max_attempts >= 1
   //   - merge_parallelism is -1 (auto) or >= 1
+  //   - sort_kernel is one of auto / quicksort / radix_hybrid
   // Returns InvalidArgument naming the violated invariant.
   Status Validate() const;
 

@@ -13,6 +13,7 @@
 #include "sort/merge_partition.h"
 #include "sort/merger.h"
 #include "sort/quicksort.h"
+#include "sort/radix_partition.h"
 
 namespace alphasort {
 namespace core_internal {
@@ -377,8 +378,9 @@ Status RunOnePass(SortContext* ctx) {
           BuildPrefixEntryArray(fmt, data + start * fmt.record_size, len,
                                 entries.get() + start,
                                 ctx->options->prefetch_distance);
-          QuickSortPrefixEntries(fmt, entries.get() + start, len, &stats,
-                                 &tracer);
+          SortPrefixEntriesWithKernel(fmt, entries.get() + start, len,
+                                      ctx->options->sort_kernel, &stats,
+                                      &tracer);
           qs_stats.Add(stats);
           ProgressSorted(ctx, len * fmt.record_size);
         });
@@ -438,7 +440,8 @@ Status RunOnePass(SortContext* ctx) {
       SortStats stats;
       BuildPrefixEntryArray(fmt, data + start * fmt.record_size, len,
                             entries.get() + start, opts.prefetch_distance);
-      SortPrefixEntryArray(fmt, entries.get() + start, len, &stats);
+      SortPrefixEntryArrayWithKernel(fmt, entries.get() + start, len,
+                                     opts.sort_kernel, &stats);
       qs_stats.Add(stats);
       ProgressSorted(ctx, len * fmt.record_size);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -18,6 +19,22 @@ void StoreBigEndian(char* key, size_t n, uint64_t v) {
     key[i] = shift < 64 ? static_cast<char>((v >> shift) & 0xff) : 0;
   }
 }
+
+// SplitMix64 finalizer: spreads a small rank over the full 64-bit key
+// space, so equal ranks yield equal keys but the hot keys land anywhere —
+// skewed popularity without skewed byte values.
+uint64_t MixRank(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Universe of distinct Zipfian keys. P(rank <= r) = ln(r)/ln(N) is the
+// s=1 Zipf CDF up to normalization, so rank = floor(N^u) inverts it.
+constexpr double kZipfUniverse = 1 << 20;
+
+// kDupHeavy's hot set: 9 of 10 keys come from this many distinct values.
+constexpr uint64_t kDupHotKeys = 64;
 
 }  // namespace
 
@@ -65,6 +82,28 @@ void RecordGenerator::FillKey(KeyDistribution dist, uint64_t index,
         StoreBigEndian(key, k, index);
       }
       break;
+    case KeyDistribution::kDupHeavy:
+      // 90% of records share kDupHotKeys distinct keys (long equal-prefix
+      // runs that force the tie-break path and radix skew fallbacks); the
+      // other 10% are uniform random so duplicates interleave with
+      // singletons rather than forming one constant block.
+      if (rng_.OneIn(10)) {
+        for (size_t i = 0; i < k; ++i) {
+          key[i] = static_cast<char>(rng_.Next32() & 0xff);
+        }
+      } else {
+        StoreBigEndian(key, k, MixRank(rng_.Uniform(kDupHotKeys)));
+      }
+      break;
+    case KeyDistribution::kZipfian: {
+      // Inverse-CDF sample of a Zipf(s=1) rank, mixed so popularity skew
+      // does not imply byte-value skew: rank 1 appears ~ln-factor more
+      // often than rank 2, etc., over a 2^20-key universe.
+      const uint64_t rank = static_cast<uint64_t>(
+          std::pow(kZipfUniverse, rng_.NextDouble()));
+      StoreBigEndian(key, k, MixRank(rank));
+      break;
+    }
   }
 }
 

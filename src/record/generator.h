@@ -20,6 +20,10 @@ enum class KeyDistribution {
   kSharedPrefix,    // first SharedPrefixLen() bytes equal, rest random —
                     // defeats key-prefix sorting, the paper's §4 risk case
   kAlmostSorted,    // sorted with a sprinkling of out-of-place records
+  kDupHeavy,        // 90% of keys drawn from a small hot set, 10% uniform —
+                    // long equal-prefix runs with random keys interleaved
+  kZipfian,         // key ranks Zipf(s=1)-distributed: a few very hot keys,
+                    // a long tail — the classic skewed-workload shape
 };
 
 class RecordGenerator {

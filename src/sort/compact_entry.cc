@@ -1,6 +1,7 @@
 #include "sort/compact_entry.h"
 
 #include "common/bytes.h"
+#include "common/simd.h"
 
 namespace alphasort {
 
@@ -15,7 +16,11 @@ class CompactOps {
  public:
   CompactOps(const RecordFormat& format, const char* base,
              CompactEntry* entries, SortStats* stats)
-      : fmt_(format), base_(base), a_(entries), stats_(stats) {}
+      : fmt_(format),
+        base_(base),
+        a_(entries),
+        stats_(stats),
+        use_vector_(simd::VectorActive()) {}
 
   bool Less(size_t i, size_t j) { return LessEntries(a_[i], a_[j]); }
 
@@ -29,6 +34,48 @@ class CompactOps {
   bool LessThanPivot(size_t i) { return LessEntries(a_[i], pivot_); }
   bool PivotLessThan(size_t i) { return LessEntries(pivot_, a_[i]); }
 
+  // Vectorized partition scans (see IntroSortLoop): four 32-bit prefixes
+  // per step, strictly-decided lanes skipped, everything else resolved by
+  // the scalar compare below. Plain SSE2/NEON — 32-bit lane compares need
+  // no SSE4.2.
+  size_t ScanLessThanPivot(size_t i, size_t hi) {
+#if defined(ALPHASORT_SIMD_VECTOR)
+    if (use_vector_) {
+      const simd::V128 pv = simd::Broadcast32(pivot_.prefix);
+      while (i + 4 <= hi) {
+        const simd::V128 p =
+            simd::GatherU32Stride(&a_[i].prefix, sizeof(CompactEntry));
+        if (simd::LessU32Mask(p, pv) != 0xFu) break;
+        stats_->compares += 4;
+        i += 4;
+      }
+    }
+#else
+    (void)hi;
+#endif
+    while (LessThanPivot(i)) ++i;
+    return i;
+  }
+
+  size_t ScanPivotLessThan(size_t j, size_t lo) {
+#if defined(ALPHASORT_SIMD_VECTOR)
+    if (use_vector_) {
+      const simd::V128 pv = simd::Broadcast32(pivot_.prefix);
+      while (j >= lo + 3) {
+        const simd::V128 p =
+            simd::GatherU32Stride(&a_[j - 3].prefix, sizeof(CompactEntry));
+        if (simd::GreaterU32Mask(p, pv) != 0xFu) break;
+        stats_->compares += 4;
+        j -= 4;
+      }
+    }
+#else
+    (void)lo;
+#endif
+    while (PivotLessThan(j)) --j;
+    return j;
+  }
+
  private:
   const char* Rec(const CompactEntry& e) const {
     return base_ + static_cast<uint64_t>(e.index) * fmt_.record_size;
@@ -37,9 +84,18 @@ class CompactOps {
   bool LessEntries(const CompactEntry& x, const CompactEntry& y) {
     ++stats_->compares;
     if (x.prefix != y.prefix) return x.prefix < y.prefix;
-    if (fmt_.key_size <= 4) return false;
-    ++stats_->tie_breaks;
-    return fmt_.CompareKeys(Rec(x), Rec(y)) < 0;
+    if (fmt_.key_size > 4) {
+      // The 4-byte prefix already decided the first 4 key bytes — resume
+      // the compare at byte 4 instead of re-reading them.
+      ++stats_->tie_breaks;
+      stats_->tie_break_bytes_skipped += 4;
+      const int c = memcmp(fmt_.KeyPtr(Rec(x)) + 4, fmt_.KeyPtr(Rec(y)) + 4,
+                           fmt_.key_size - 4);
+      if (c != 0) return c < 0;
+    }
+    // Equal keys: order by record index — a strict total order, so every
+    // kernel yields the same byte-identical permutation.
+    return x.index < y.index;
   }
 
   RecordFormat fmt_;
@@ -47,6 +103,7 @@ class CompactOps {
   CompactEntry* a_;
   SortStats* stats_;
   CompactEntry pivot_{};
+  bool use_vector_;
 };
 
 }  // namespace
@@ -56,7 +113,35 @@ void BuildCompactEntryArray(const RecordFormat& format, const char* base,
                             size_t prefetch_distance) {
   const size_t r = format.record_size;
   const size_t d = prefetch_distance;
-  for (size_t i = 0; i < n; ++i) {
+  size_t i = 0;
+#if defined(ALPHASORT_SIMD_VECTOR)
+  // Vector path: four records per step — gather the four 4-byte key
+  // heads, byte-reverse all lanes at once, interleave with the index
+  // lanes, and store four 8-byte entries with two 16-byte stores. Valid
+  // whenever the key has >= 4 bytes (Prefix32 is then exactly the
+  // big-endian load of the first 4; shorter keys keep the scalar path's
+  // zero-padded packing).
+  if (simd::VectorActive() && format.key_size >= 4) {
+    // Four records retire per step, so the hint reaches 4x as many
+    // records ahead to buy the scalar loop's time headroom (same logic
+    // as BuildPrefixEntryArray's 2x).
+    const size_t vd = 4 * d;
+    for (; i + 4 <= n; i += 4) {
+      if (vd != 0 && i + vd + 3 < n) {
+        ALPHASORT_PREFETCH_READ(format.KeyPtr(base + (i + vd) * r));
+        ALPHASORT_PREFETCH_READ(format.KeyPtr(base + (i + vd + 3) * r));
+      }
+      const simd::V128 pref = simd::Bswap32x4(
+          simd::GatherU32Stride(format.KeyPtr(base + i * r), r));
+      const simd::V128 idx = simd::SetU32(
+          static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1),
+          static_cast<uint32_t>(i + 2), static_cast<uint32_t>(i + 3));
+      simd::StoreU128(&out[i], simd::InterleaveLo32(pref, idx));
+      simd::StoreU128(&out[i + 2], simd::InterleaveHi32(pref, idx));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
     if (d != 0 && i + d < n) {
       ALPHASORT_PREFETCH_READ(format.KeyPtr(base + (i + d) * r));
     }

@@ -1,6 +1,7 @@
 #include "sort/quicksort.h"
 
 #include "common/prefetch.h"
+#include "common/simd.h"
 
 namespace alphasort {
 
@@ -27,7 +28,37 @@ void BuildPrefixEntryArray(const RecordFormat& format, const char* records,
   // ahead hides the miss behind the entry stores (docs/perf.md).
   const size_t r = format.record_size;
   const size_t d = prefetch_distance;
-  for (size_t i = 0; i < n; ++i) {
+  size_t i = 0;
+#if defined(ALPHASORT_SIMD_VECTOR)
+  // Vector path: two records per step — load both 8-byte key heads into
+  // one register, byte-reverse each 64-bit lane (the big-endian prefix
+  // normalization), interleave with the two record pointers, and store
+  // two 16-byte entries. Valid when the key has >= 8 bytes (the prefix is
+  // then exactly the byte-reversed load) on a 64-bit pointer target.
+  if (simd::VectorActive() && format.key_size >= 8 &&
+      sizeof(void*) == sizeof(uint64_t)) {
+    // The vector loop retires two records per step, so the hint must
+    // reach twice as many records ahead to buy the same time headroom
+    // the scalar loop gets from `d`.
+    const size_t vd = 2 * d;
+    for (; i + 2 <= n; i += 2) {
+      if (vd != 0 && i + vd + 1 < n) {
+        ALPHASORT_PREFETCH_READ(format.KeyPtr(records + (i + vd) * r));
+        ALPHASORT_PREFETCH_READ(format.KeyPtr(records + (i + vd + 1) * r));
+      }
+      const char* r0 = records + i * r;
+      const char* r1 = r0 + r;
+      const simd::V128 pref = simd::Bswap64x2(
+          simd::LoadU64Pair(format.KeyPtr(r0), format.KeyPtr(r1)));
+      const simd::V128 ptrs =
+          simd::SetU64(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(r0)),
+                       static_cast<uint64_t>(reinterpret_cast<uintptr_t>(r1)));
+      simd::StoreU128(&out[i], simd::InterleaveLo64(pref, ptrs));
+      simd::StoreU128(&out[i + 1], simd::InterleaveHi64(pref, ptrs));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
     if (d != 0 && i + d < n) {
       ALPHASORT_PREFETCH_READ(format.KeyPtr(records + (i + d) * r));
     }

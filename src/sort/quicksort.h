@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/prefetch.h"
+#include "common/simd.h"
 #include "common/tracer.h"
 #include "record/record.h"
 #include "sort/entry.h"
@@ -21,12 +22,15 @@ struct SortStats {
   uint64_t exchanges = 0;
   uint64_t bytes_moved = 0;       // data moved by exchanges
   uint64_t tie_breaks = 0;        // prefix compares that went to the record
+  uint64_t tie_break_bytes_skipped = 0;  // key bytes the prefix already
+                                         // decided, not re-compared on ties
 
   void Merge(const SortStats& o) {
     compares += o.compares;
     exchanges += o.exchanges;
     bytes_moved += o.bytes_moved;
     tie_breaks += o.tie_breaks;
+    tie_break_bytes_skipped += o.tie_break_bytes_skipped;
   }
 };
 
@@ -114,12 +118,22 @@ void IntroSortLoop(Ops& ops, size_t lo, size_t hi, int depth_budget) {
     size_t i = lo;
     size_t j = hi - 1;
     while (true) {
-      do {
-        ++i;
-      } while (ops.LessThanPivot(i));
-      do {
-        --j;
-      } while (ops.PivotLessThan(j));
+      // An Ops may expose vectorized partition scans (ScanLessThanPivot /
+      // ScanPivotLessThan advance past runs of entries the prefix alone
+      // decides — src/common/simd.h); the classic do-while is the
+      // fallback. Both rely on the median-of-three sentinels: a[lo] <=
+      // pivot <= a[hi-1], so neither scan can leave [lo, hi).
+      if constexpr (requires { ops.ScanLessThanPivot(i, hi); }) {
+        i = ops.ScanLessThanPivot(i + 1, hi);
+        j = ops.ScanPivotLessThan(j - 1, lo);
+      } else {
+        do {
+          ++i;
+        } while (ops.LessThanPivot(i));
+        do {
+          --j;
+        } while (ops.PivotLessThan(j));
+      }
       if (i >= j) break;
       ops.Swap(i, j);
     }
@@ -329,7 +343,11 @@ class PrefixSortOps {
  public:
   PrefixSortOps(const RecordFormat& format, PrefixEntry* entries,
                 Tracer* tracer, SortStats* stats)
-      : fmt_(format), a_(entries), mem_(tracer), stats_(stats) {}
+      : fmt_(format),
+        a_(entries),
+        mem_(tracer),
+        stats_(stats),
+        use_vector_(simd::VectorActive()) {}
 
   bool Less(size_t i, size_t j) {
     mem_.TouchRead(&a_[i], sizeof(PrefixEntry));
@@ -362,15 +380,71 @@ class PrefixSortOps {
     return LessEntries(pivot_, a_[i]);
   }
 
+  // Vectorized Hoare partition scans (see IntroSortLoop). A lane whose
+  // prefix is strictly below (resp. above) the pivot prefix is decided
+  // without looking at the record; any equal-or-crossing lane drops to the
+  // scalar compare, which owns the tie-break. The caller's sentinels bound
+  // both scans, so the pair loads below never leave [lo, hi).
+  size_t ScanLessThanPivot(size_t i, size_t hi) {
+#if defined(ALPHASORT_SIMD_CMP64)
+    if (use_vector_) {
+      const simd::V128 pv = simd::Broadcast64(pivot_.prefix);
+      while (i + 2 <= hi) {
+        const simd::V128 p =
+            simd::GatherU64Stride(&a_[i].prefix, sizeof(PrefixEntry));
+        if (simd::LessU64Mask(p, pv) != 0x3u) break;
+        mem_.TouchRead(&a_[i], 2 * sizeof(PrefixEntry));
+        stats_->compares += 2;
+        i += 2;
+      }
+    }
+#else
+    (void)hi;
+#endif
+    while (LessThanPivot(i)) ++i;
+    return i;
+  }
+
+  size_t ScanPivotLessThan(size_t j, size_t lo) {
+#if defined(ALPHASORT_SIMD_CMP64)
+    if (use_vector_) {
+      const simd::V128 pv = simd::Broadcast64(pivot_.prefix);
+      while (j >= lo + 1) {
+        const simd::V128 p =
+            simd::GatherU64Stride(&a_[j - 1].prefix, sizeof(PrefixEntry));
+        if (simd::GreaterU64Mask(p, pv) != 0x3u) break;
+        mem_.TouchRead(&a_[j - 1], 2 * sizeof(PrefixEntry));
+        stats_->compares += 2;
+        j -= 2;
+      }
+    }
+#else
+    (void)lo;
+#endif
+    while (PivotLessThan(j)) --j;
+    return j;
+  }
+
  private:
   bool LessEntries(const PrefixEntry& x, const PrefixEntry& y) {
     ++stats_->compares;
     if (x.prefix != y.prefix) return x.prefix < y.prefix;
-    if (fmt_.key_size <= 8) return false;  // prefix covers the whole key
-    ++stats_->tie_breaks;
-    mem_.TouchRead(fmt_.KeyPtr(x.record), fmt_.key_size);
-    mem_.TouchRead(fmt_.KeyPtr(y.record), fmt_.key_size);
-    return fmt_.CompareKeys(x.record, y.record) < 0;
+    if (fmt_.key_size > 8) {
+      // The prefix already decided the first 8 key bytes — resume the
+      // compare at byte 8 instead of re-reading them.
+      ++stats_->tie_breaks;
+      stats_->tie_break_bytes_skipped += 8;
+      mem_.TouchRead(fmt_.KeyPtr(x.record) + 8, fmt_.key_size - 8);
+      mem_.TouchRead(fmt_.KeyPtr(y.record) + 8, fmt_.key_size - 8);
+      const int c = memcmp(fmt_.KeyPtr(x.record) + 8,
+                           fmt_.KeyPtr(y.record) + 8, fmt_.key_size - 8);
+      if (c != 0) return c < 0;
+    }
+    // Equal keys: order by record address. This makes the comparator a
+    // strict total order, so every kernel (quicksort, radix_hybrid,
+    // heapsort fallback) produces the same byte-identical permutation —
+    // the CRC-equality contract pipeline.cc relies on.
+    return x.record < y.record;
   }
 
   RecordFormat fmt_;
@@ -378,6 +452,7 @@ class PrefixSortOps {
   Mem<Tracer> mem_;
   SortStats* stats_;
   PrefixEntry pivot_{};
+  bool use_vector_;
 };
 
 // ---------------------------------------------------------------------------

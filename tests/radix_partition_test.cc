@@ -1,0 +1,257 @@
+#include "sort/radix_partition.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/datamation.h"
+#include "core/alphasort.h"
+#include "io/env.h"
+#include "record/generator.h"
+#include "tests/test_util.h"
+
+// The radix hybrid's contract: same strict total order as the introsort,
+// therefore pointer-identical entry arrays and byte-identical pipeline
+// output — which kernel ran must be unobservable except in speed.
+
+namespace alphasort {
+namespace {
+
+std::vector<char> MakeBlock(const RecordFormat& fmt, KeyDistribution dist,
+                            uint64_t n, uint64_t seed) {
+  RecordGenerator gen(fmt, seed);
+  return gen.Generate(dist, n);
+}
+
+// --- entry-level pointer-identity sweeps (mirrors merge_partition_test's
+// distribution sweep shape).
+
+class RadixSweep : public ::testing::TestWithParam<KeyDistribution> {};
+
+TEST_P(RadixSweep, PrefixEntriesMatchIntrosortExactly) {
+  const RecordFormat fmt = kDatamationFormat;
+  const KeyDistribution dist = GetParam();
+  // Below budget (pure introsort), just above it (one pass), and well
+  // above (real scatter + per-bucket finishes).
+  for (uint64_t n : {uint64_t{100}, uint64_t{3000}, uint64_t{40000}}) {
+    std::vector<char> block =
+        MakeBlock(fmt, dist, n, 1000 + n + static_cast<uint64_t>(dist));
+    std::vector<PrefixEntry> quick(n), radix(n);
+    BuildPrefixEntryArray(fmt, block.data(), n, quick.data());
+    radix = quick;
+
+    SortStats qstats, rstats;
+    SortPrefixEntryArray(fmt, quick.data(), n, &qstats);
+    RadixStats shape;
+    RadixSortPrefixEntryArray(fmt, radix.data(), n, &rstats, &shape);
+
+    ASSERT_EQ(memcmp(quick.data(), radix.data(), n * sizeof(PrefixEntry)), 0)
+        << test::DistributionName(dist) << " n=" << n;
+    if (n > 3000) {
+      // Large inputs must actually exercise the radix layer (or its
+      // duplicate shortcut) rather than falling straight to introsort.
+      EXPECT_GT(shape.partition_passes + shape.tie_shortcuts, 0u)
+          << test::DistributionName(dist);
+    }
+    EXPECT_GT(shape.buckets_sorted, 0u);
+  }
+}
+
+TEST_P(RadixSweep, CompactEntriesMatchIntrosortExactly) {
+  const RecordFormat fmt = kDatamationFormat;
+  const KeyDistribution dist = GetParam();
+  for (uint64_t n : {uint64_t{100}, uint64_t{40000}}) {
+    std::vector<char> block =
+        MakeBlock(fmt, dist, n, 2000 + n + static_cast<uint64_t>(dist));
+    std::vector<CompactEntry> quick(n), radix(n);
+    BuildCompactEntryArray(fmt, block.data(), n, quick.data());
+    radix = quick;
+
+    SortCompactEntryArray(fmt, block.data(), quick.data(), n);
+    RadixStats shape;
+    RadixSortCompactEntryArray(fmt, block.data(), radix.data(), n, nullptr,
+                               &shape);
+
+    ASSERT_EQ(memcmp(quick.data(), radix.data(), n * sizeof(CompactEntry)),
+              0)
+        << test::DistributionName(dist) << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, RadixSweep,
+    ::testing::ValuesIn(test::AllDistributions()),
+    [](const ::testing::TestParamInfo<KeyDistribution>& info) {
+      return test::DistributionName(info.param);
+    });
+
+// --- skew and duplicate shape: the stats must show the safety valves
+// firing where the input demands them.
+
+TEST(RadixPartitionTest, AllEqualPrefixesTakeTheTieShortcut) {
+  const RecordFormat fmt = kDatamationFormat;
+  const uint64_t n = 10000;
+  // kSharedPrefix shares the first 8 key bytes — every 64-bit prefix is
+  // identical, so no number of radix passes can split the range.
+  std::vector<char> block =
+      MakeBlock(fmt, KeyDistribution::kSharedPrefix, n, 31);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  RadixStats shape;
+  SortStats stats;
+  RadixSortPrefixEntryArray(fmt, entries.data(), n, &stats, &shape);
+  EXPECT_EQ(shape.partition_passes, 0u);
+  EXPECT_EQ(shape.tie_shortcuts, 1u);
+  EXPECT_GT(stats.tie_breaks, 0u);
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_LE(fmt.CompareKeys(entries[i - 1].record, entries[i].record), 0);
+  }
+}
+
+TEST(RadixPartitionTest, SkewedBucketsRecurseOnTheNextByte) {
+  const RecordFormat fmt = kDatamationFormat;
+  const uint64_t n = 12000;
+  // Uniform keys, then pin the first byte to one of two values: two
+  // buckets of ~6000 entries, both over the 2048-entry budget, so the
+  // hybrid must recurse on byte 1.
+  std::vector<char> block = MakeBlock(fmt, KeyDistribution::kUniform, n, 77);
+  for (uint64_t i = 0; i < n; ++i) {
+    block[i * fmt.record_size + fmt.key_offset] = (i % 2) ? 'A' : 'Q';
+  }
+  std::vector<PrefixEntry> quick(n), radix(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, quick.data());
+  radix = quick;
+  SortPrefixEntryArray(fmt, quick.data(), n);
+  RadixStats shape;
+  RadixSortPrefixEntryArray(fmt, radix.data(), n, nullptr, &shape);
+  EXPECT_EQ(memcmp(quick.data(), radix.data(), n * sizeof(PrefixEntry)), 0);
+  EXPECT_GE(shape.buckets_recursed, 2u);
+  EXPECT_GE(shape.partition_passes, 3u);  // top pass + both fat buckets
+}
+
+TEST(RadixPartitionTest, CommonPrefixAdvancesBytesWithoutScatter) {
+  const RecordFormat fmt = kDatamationFormat;
+  const uint64_t n = 12000;
+  // First 3 key bytes constant, rest uniform: the hybrid should skip 3
+  // bytes without paying a scatter, then split cleanly on byte 3.
+  std::vector<char> block = MakeBlock(fmt, KeyDistribution::kUniform, n, 78);
+  for (uint64_t i = 0; i < n; ++i) {
+    memset(block.data() + i * fmt.record_size + fmt.key_offset, 'z', 3);
+  }
+  std::vector<PrefixEntry> quick(n), radix(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, quick.data());
+  radix = quick;
+  SortPrefixEntryArray(fmt, quick.data(), n);
+  RadixStats shape;
+  RadixSortPrefixEntryArray(fmt, radix.data(), n, nullptr, &shape);
+  EXPECT_EQ(memcmp(quick.data(), radix.data(), n * sizeof(PrefixEntry)), 0);
+  EXPECT_EQ(shape.partition_passes, 1u);
+}
+
+TEST(RadixPartitionTest, StatsAccountScatterMoves) {
+  const RecordFormat fmt = kDatamationFormat;
+  const uint64_t n = 20000;
+  std::vector<char> block = MakeBlock(fmt, KeyDistribution::kUniform, n, 79);
+  std::vector<PrefixEntry> entries(n);
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  SortStats stats;
+  RadixStats shape;
+  RadixSortPrefixEntryArray(fmt, entries.data(), n, &stats, &shape);
+  EXPECT_EQ(shape.partition_passes, 1u);  // uniform: one pass suffices
+  // The scatter moved every entry once, on top of the bucket introsorts'
+  // own swaps.
+  EXPECT_GE(stats.exchanges, n);
+  EXPECT_GE(stats.bytes_moved, n * sizeof(PrefixEntry));
+  EXPECT_GT(stats.compares, 0u);
+}
+
+TEST(RadixPartitionTest, KernelDispatchRespectsSelection) {
+  const RecordFormat fmt = kDatamationFormat;
+  const uint64_t n = 30000;  // above the kAuto radix threshold
+  std::vector<char> block = MakeBlock(fmt, KeyDistribution::kUniform, n, 80);
+  std::vector<PrefixEntry> entries(n);
+
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  RadixStats shape;
+  SortPrefixEntryArrayWithKernel(fmt, entries.data(), n,
+                                 SortKernel::kQuickSort, nullptr, &shape);
+  EXPECT_EQ(shape.partition_passes, 0u);
+  EXPECT_EQ(shape.buckets_sorted, 0u);
+
+  BuildPrefixEntryArray(fmt, block.data(), n, entries.data());
+  SortPrefixEntryArrayWithKernel(fmt, entries.data(), n, SortKernel::kAuto,
+                                 nullptr, &shape);
+  EXPECT_GE(shape.partition_passes, 1u);
+}
+
+// --- options plumbing.
+
+TEST(RadixPartitionTest, SortKernelNamesRoundTrip) {
+  for (SortKernel k : {SortKernel::kAuto, SortKernel::kQuickSort,
+                       SortKernel::kRadixHybrid}) {
+    SortKernel parsed;
+    ASSERT_TRUE(ParseSortKernel(SortKernelName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  SortKernel parsed = SortKernel::kAuto;
+  EXPECT_FALSE(ParseSortKernel("bogosort", &parsed));
+  EXPECT_EQ(parsed, SortKernel::kAuto);
+}
+
+TEST(RadixPartitionTest, ValidateRejectsBogusKernel) {
+  SortOptions opts;
+  opts.input_path = "in.dat";
+  opts.output_path = "out.dat";
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.sort_kernel = static_cast<SortKernel>(42);
+  EXPECT_TRUE(opts.Validate().IsInvalidArgument());
+}
+
+// --- pipeline-level CRC equality: spilled-run and one-pass outputs must
+// be byte-identical whichever kernel sorted the runs.
+
+struct KernelRun {
+  std::unique_ptr<Env> env = NewMemEnv();
+  SortMetrics metrics;
+
+  Status Run(SortKernel kernel, KeyDistribution dist, int passes) {
+    InputSpec spec;
+    spec.path = "in.dat";
+    spec.num_records = 12000;
+    spec.distribution = dist;
+    spec.seed = 4242;
+    ALPHASORT_RETURN_IF_ERROR(CreateInputFile(env.get(), spec));
+    SortOptions opts;
+    opts.input_path = spec.path;
+    opts.output_path = "out.dat";
+    opts.sort_kernel = kernel;
+    opts.num_workers = 2;
+    opts.run_size_records = 5000;  // several runs, above + below budget
+    opts.io_chunk_bytes = 16 * 1024;
+    opts.force_passes = passes;
+    ALPHASORT_RETURN_IF_ERROR(AlphaSort::Run(env.get(), opts, &metrics));
+    return ValidateSortedFile(env.get(), spec.path, opts.output_path,
+                              opts.format);
+  }
+};
+
+TEST(RadixPartitionTest, PipelineOutputCrcMatchesQuicksortKernel) {
+  for (KeyDistribution dist :
+       {KeyDistribution::kUniform, KeyDistribution::kDupHeavy,
+        KeyDistribution::kZipfian, KeyDistribution::kSharedPrefix}) {
+    for (int passes : {1, 2}) {
+      KernelRun quick, radix;
+      Status qs = quick.Run(SortKernel::kQuickSort, dist, passes);
+      ASSERT_TRUE(qs.ok()) << qs.ToString();
+      Status rs = radix.Run(SortKernel::kRadixHybrid, dist, passes);
+      ASSERT_TRUE(rs.ok()) << rs.ToString();
+      EXPECT_EQ(quick.metrics.output_crc32c, radix.metrics.output_crc32c)
+          << test::DistributionName(dist) << " passes=" << passes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alphasort

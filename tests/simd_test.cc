@@ -1,0 +1,282 @@
+#include "common/simd.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "record/generator.h"
+#include "record/record.h"
+#include "sort/compact_entry.h"
+#include "sort/quicksort.h"
+#include "tests/test_util.h"
+
+// simd-vs-scalar parity: every kernel that consults simd::VectorActive()
+// must produce bit-identical results with the vector path on and off, over
+// random and adversarial corpora, unaligned record bases, and tails
+// shorter than the vector width. On a forced-scalar build
+// (ALPHASORT_SIMD_FORCE_SCALAR) both sides run the scalar code and the
+// suite degenerates to self-consistency — which is exactly what CI's
+// tier-1 scalar configuration is for.
+
+namespace alphasort {
+namespace {
+
+TEST(SimdShimTest, BackendReportIsConsistent) {
+#if defined(ALPHASORT_SIMD_VECTOR)
+  EXPECT_TRUE(simd::kVectorCompiled);
+  EXPECT_STRNE(simd::kBackendName, "scalar");
+#else
+  EXPECT_FALSE(simd::kVectorCompiled);
+  EXPECT_STREQ(simd::kBackendName, "scalar");
+#endif
+}
+
+TEST(SimdShimTest, ForceScalarFlagControlsVectorActive) {
+  EXPECT_EQ(simd::VectorActive(), simd::kVectorCompiled);
+  {
+    simd::ScopedForceScalar force;
+    EXPECT_FALSE(simd::VectorActive());
+    {
+      simd::ScopedForceScalar unforce(false);
+      EXPECT_EQ(simd::VectorActive(), simd::kVectorCompiled);
+    }
+    EXPECT_FALSE(simd::VectorActive());
+  }
+  EXPECT_EQ(simd::VectorActive(), simd::kVectorCompiled);
+}
+
+#if defined(ALPHASORT_SIMD_VECTOR)
+// Direct checks of the compare-mask helpers against scalar arithmetic,
+// including the sign-bias boundary values the SSE path must get right.
+TEST(SimdShimTest, U32MasksMatchScalarCompares) {
+  Random rng(7);
+  const uint32_t edge[] = {0u, 1u, 0x7fffffffu, 0x80000000u, 0x80000001u,
+                           0xffffffffu};
+  for (int iter = 0; iter < 2000; ++iter) {
+    uint32_t a[4], b[4];
+    for (int l = 0; l < 4; ++l) {
+      a[l] = rng.OneIn(3) ? edge[rng.Uniform(6)] : rng.Next32();
+      b[l] = rng.OneIn(3) ? (rng.OneIn(2) ? a[l] : edge[rng.Uniform(6)])
+                          : rng.Next32();
+    }
+    const simd::V128 va = simd::SetU32(a[0], a[1], a[2], a[3]);
+    const simd::V128 vb = simd::SetU32(b[0], b[1], b[2], b[3]);
+    unsigned want_lt = 0, want_gt = 0;
+    for (int l = 0; l < 4; ++l) {
+      if (a[l] < b[l]) want_lt |= 1u << l;
+      if (a[l] > b[l]) want_gt |= 1u << l;
+    }
+    EXPECT_EQ(simd::LessU32Mask(va, vb), want_lt);
+    EXPECT_EQ(simd::GreaterU32Mask(va, vb), want_gt);
+  }
+}
+
+TEST(SimdShimTest, Bswap32x4MatchesScalar) {
+  Random rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    uint32_t in[4], out[4];
+    for (auto& v : in) v = rng.Next32();
+    simd::StoreU128(out, simd::Bswap32x4(
+                             simd::SetU32(in[0], in[1], in[2], in[3])));
+    for (int l = 0; l < 4; ++l) {
+      EXPECT_EQ(out[l], __builtin_bswap32(in[l]));
+    }
+  }
+}
+#endif  // ALPHASORT_SIMD_VECTOR
+
+#if defined(ALPHASORT_SIMD_CMP64)
+TEST(SimdShimTest, U64MasksMatchScalarCompares) {
+  Random rng(13);
+  const uint64_t edge[] = {0ull, 1ull, 0x7fffffffffffffffull,
+                           0x8000000000000000ull, 0xffffffffffffffffull};
+  for (int iter = 0; iter < 2000; ++iter) {
+    uint64_t a[2], b[2];
+    for (int l = 0; l < 2; ++l) {
+      a[l] = rng.OneIn(3) ? edge[rng.Uniform(5)] : rng.Next64();
+      b[l] = rng.OneIn(3) ? (rng.OneIn(2) ? a[l] : edge[rng.Uniform(5)])
+                          : rng.Next64();
+    }
+    const simd::V128 va = simd::SetU64(a[0], a[1]);
+    const simd::V128 vb = simd::SetU64(b[0], b[1]);
+    unsigned want_lt = 0, want_gt = 0;
+    for (int l = 0; l < 2; ++l) {
+      if (a[l] < b[l]) want_lt |= 1u << l;
+      if (a[l] > b[l]) want_gt |= 1u << l;
+    }
+    EXPECT_EQ(simd::LessU64Mask(va, vb), want_lt);
+    EXPECT_EQ(simd::GreaterU64Mask(va, vb), want_gt);
+  }
+}
+
+TEST(SimdShimTest, Bswap64x2MatchesScalar) {
+  Random rng(17);
+  for (int iter = 0; iter < 500; ++iter) {
+    uint64_t in[2], out[2];
+    for (auto& v : in) v = rng.Next64();
+    simd::StoreU128(out, simd::Bswap64x2(simd::SetU64(in[0], in[1])));
+    EXPECT_EQ(out[0], __builtin_bswap64(in[0]));
+    EXPECT_EQ(out[1], __builtin_bswap64(in[1]));
+  }
+}
+#endif  // ALPHASORT_SIMD_CMP64
+
+// ---------------------------------------------------------------------------
+// Kernel parity fuzz.
+// ---------------------------------------------------------------------------
+
+// Generates `n` records at an intentionally misaligned base address.
+struct MisalignedBlock {
+  std::vector<char> storage;
+  char* records = nullptr;
+
+  MisalignedBlock(const RecordFormat& fmt, KeyDistribution dist, uint64_t n,
+                  size_t misalign, uint64_t seed)
+      : storage(n * fmt.record_size + misalign + 16) {
+    records = storage.data() + misalign;
+    RecordGenerator gen(fmt, seed);
+    gen.Generate(dist, n, records);
+  }
+};
+
+// Tail sizes below/straddling the 2-entry (prefix) and 4-entry (compact)
+// vector widths, plus sizes that leave every possible remainder.
+const size_t kParitySizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 64, 129, 1000};
+
+TEST(SimdParityTest, BuildPrefixEntryArrayMatchesScalar) {
+  const RecordFormat fmt = kDatamationFormat;
+  uint64_t seed = 100;
+  for (KeyDistribution dist : test::AllDistributions()) {
+    for (size_t n : kParitySizes) {
+      for (size_t misalign : {size_t{0}, size_t{1}, size_t{7}}) {
+        MisalignedBlock block(fmt, dist, n, misalign, ++seed);
+        std::vector<PrefixEntry> vec(n + 1), sca(n + 1);
+        for (size_t prefetch : {size_t{0}, size_t{8}}) {
+          BuildPrefixEntryArray(fmt, block.records, n, vec.data(), prefetch);
+          {
+            simd::ScopedForceScalar force;
+            BuildPrefixEntryArray(fmt, block.records, n, sca.data(),
+                                  prefetch);
+          }
+          ASSERT_EQ(memcmp(vec.data(), sca.data(), n * sizeof(PrefixEntry)),
+                    0)
+              << test::DistributionName(dist) << " n=" << n
+              << " misalign=" << misalign;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, BuildCompactEntryArrayMatchesScalar) {
+  const RecordFormat fmt = kDatamationFormat;
+  uint64_t seed = 200;
+  for (KeyDistribution dist : test::AllDistributions()) {
+    for (size_t n : kParitySizes) {
+      for (size_t misalign : {size_t{0}, size_t{3}}) {
+        MisalignedBlock block(fmt, dist, n, misalign, ++seed);
+        std::vector<CompactEntry> vec(n + 1), sca(n + 1);
+        BuildCompactEntryArray(fmt, block.records, n, vec.data());
+        {
+          simd::ScopedForceScalar force;
+          BuildCompactEntryArray(fmt, block.records, n, sca.data());
+        }
+        ASSERT_EQ(memcmp(vec.data(), sca.data(), n * sizeof(CompactEntry)),
+                  0)
+            << test::DistributionName(dist) << " n=" << n
+            << " misalign=" << misalign;
+      }
+    }
+  }
+}
+
+// Short keys must take the scalar packing on both paths (the vector build
+// requires >= 8 / >= 4 key bytes).
+TEST(SimdParityTest, ShortKeysBuildIdentically) {
+  for (size_t key_size : {size_t{1}, size_t{3}, size_t{4}, size_t{7}}) {
+    const RecordFormat fmt{32, 0, key_size};
+    MisalignedBlock block(fmt, KeyDistribution::kUniform, 500, 1, 7 + key_size);
+    std::vector<PrefixEntry> pv(500), ps(500);
+    std::vector<CompactEntry> cv(500), cs(500);
+    BuildPrefixEntryArray(fmt, block.records, 500, pv.data());
+    BuildCompactEntryArray(fmt, block.records, 500, cv.data());
+    {
+      simd::ScopedForceScalar force;
+      BuildPrefixEntryArray(fmt, block.records, 500, ps.data());
+      BuildCompactEntryArray(fmt, block.records, 500, cs.data());
+    }
+    EXPECT_EQ(memcmp(pv.data(), ps.data(), 500 * sizeof(PrefixEntry)), 0);
+    EXPECT_EQ(memcmp(cv.data(), cs.data(), 500 * sizeof(CompactEntry)), 0);
+  }
+}
+
+// The vectorized Hoare scans must leave the sort's output bit-identical:
+// the comparator is a strict total order (full key, then record
+// position), so vector and scalar runs must agree exactly, swap-for-swap
+// outcomes included.
+TEST(SimdParityTest, PrefixSortMatchesScalarSort) {
+  const RecordFormat fmt = kDatamationFormat;
+  uint64_t seed = 300;
+  for (KeyDistribution dist : test::AllDistributions()) {
+    for (size_t n : {size_t{17}, size_t{1000}, size_t{20000}}) {
+      MisalignedBlock block(fmt, dist, n, 0, ++seed);
+      std::vector<PrefixEntry> vec(n), sca(n);
+      BuildPrefixEntryArray(fmt, block.records, n, vec.data());
+      sca = vec;
+      SortStats vstats, sstats;
+      SortPrefixEntryArray(fmt, vec.data(), n, &vstats);
+      {
+        simd::ScopedForceScalar force;
+        SortPrefixEntryArray(fmt, sca.data(), n, &sstats);
+      }
+      ASSERT_EQ(memcmp(vec.data(), sca.data(), n * sizeof(PrefixEntry)), 0)
+          << test::DistributionName(dist) << " n=" << n;
+      // Both runs resolve the same ties (the vector scan only skips
+      // strictly-decided lanes).
+      EXPECT_EQ(vstats.tie_breaks, sstats.tie_breaks);
+      EXPECT_EQ(vstats.exchanges, sstats.exchanges);
+    }
+  }
+}
+
+TEST(SimdParityTest, CompactSortMatchesScalarSort) {
+  const RecordFormat fmt = kDatamationFormat;
+  uint64_t seed = 400;
+  for (KeyDistribution dist : test::AllDistributions()) {
+    for (size_t n : {size_t{17}, size_t{1000}, size_t{20000}}) {
+      MisalignedBlock block(fmt, dist, n, 0, ++seed);
+      std::vector<CompactEntry> vec(n), sca(n);
+      BuildCompactEntryArray(fmt, block.records, n, vec.data());
+      sca = vec;
+      SortCompactEntryArray(fmt, block.records, vec.data(), n);
+      {
+        simd::ScopedForceScalar force;
+        SortCompactEntryArray(fmt, block.records, sca.data(), n);
+      }
+      ASSERT_EQ(memcmp(vec.data(), sca.data(), n * sizeof(CompactEntry)), 0)
+          << test::DistributionName(dist) << " n=" << n;
+    }
+  }
+}
+
+// The byte-skip tie-break must still order by the full key: with the
+// shared-prefix corpus every compare ties on the prefix, so the sorted
+// order is decided entirely by the resumed-at-byte-8 compares.
+TEST(SimdParityTest, TieBreaksSkipPrefixDecidedBytesAndStillSort) {
+  const RecordFormat fmt = kDatamationFormat;
+  MisalignedBlock block(fmt, KeyDistribution::kSharedPrefix, 5000, 0, 55);
+  std::vector<PrefixEntry> entries(5000);
+  BuildPrefixEntryArray(fmt, block.records, 5000, entries.data());
+  SortStats stats;
+  SortPrefixEntryArray(fmt, entries.data(), 5000, &stats);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    ASSERT_LE(fmt.CompareKeys(entries[i - 1].record, entries[i].record), 0);
+  }
+  EXPECT_GT(stats.tie_breaks, 0u);
+  EXPECT_EQ(stats.tie_break_bytes_skipped, stats.tie_breaks * 8);
+}
+
+}  // namespace
+}  // namespace alphasort

@@ -41,7 +41,8 @@ inline std::vector<KeyDistribution> AllDistributions() {
   return {KeyDistribution::kUniform,      KeyDistribution::kSorted,
           KeyDistribution::kReverse,      KeyDistribution::kConstant,
           KeyDistribution::kFewDistinct,  KeyDistribution::kSharedPrefix,
-          KeyDistribution::kAlmostSorted};
+          KeyDistribution::kAlmostSorted, KeyDistribution::kDupHeavy,
+          KeyDistribution::kZipfian};
 }
 
 inline const char* DistributionName(KeyDistribution d) {
@@ -60,6 +61,10 @@ inline const char* DistributionName(KeyDistribution d) {
       return "SharedPrefix";
     case KeyDistribution::kAlmostSorted:
       return "AlmostSorted";
+    case KeyDistribution::kDupHeavy:
+      return "DupHeavy";
+    case KeyDistribution::kZipfian:
+      return "Zipfian";
   }
   return "Unknown";
 }
